@@ -1,0 +1,286 @@
+//! Targeted-consequent mining: rules `{precursors} → class`.
+//!
+//! The association-rule base learner builds one transaction per fatal event
+//! in the training set: the antecedent items are the non-fatal event types
+//! seen within the rule-generation window `W_P` before it, and the class is
+//! the fatal event type itself. Mining then searches, per class, for
+//! antecedent itemsets whose *joint* support with the class clears
+//! `min_support`, emitting rules whose confidence
+//! `support(X ∪ {f}) / support(X)` clears `min_confidence`.
+//!
+//! Confidence denominators are counted over **all** transactions, so a
+//! precursor pattern that precedes many different fatal types yields low
+//! confidence for each of them — exactly the discrimination the paper's
+//! learner needs.
+
+use crate::itemset::{is_subset_sorted, join_step, normalize, Itemset};
+use crate::Item;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// See [`PAR_THRESHOLD`](crate::generic) — same rationale.
+const PAR_THRESHOLD: usize = 64;
+
+/// One training transaction: the antecedent items observed before an
+/// occurrence of `class`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassTransaction<I, C> {
+    /// Precursor items (normalized internally).
+    pub items: Vec<I>,
+    /// The class label (e.g. the fatal event type that followed).
+    pub class: C,
+}
+
+impl<I, C> ClassTransaction<I, C> {
+    /// Creates a transaction.
+    pub fn new(items: Vec<I>, class: C) -> Self {
+        ClassTransaction { items, class }
+    }
+}
+
+/// A mined rule `antecedent → class`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRule<I, C> {
+    /// Sorted antecedent itemset (non-empty).
+    pub antecedent: Itemset<I>,
+    /// The predicted class.
+    pub class: C,
+    /// `|{t : X ⊆ t.items ∧ t.class = f}| / N` over all N transactions.
+    pub support: f64,
+    /// `support(X ∪ {f}) / support(X)` with the denominator over all
+    /// transactions.
+    pub confidence: f64,
+}
+
+/// Mines class rules with the levelwise Apriori strategy.
+///
+/// `max_len` bounds the antecedent size (the paper's rules have small
+/// bodies; 4 is a practical default).
+///
+/// # Panics
+/// Panics when `min_support` is outside `(0, 1]`, `min_confidence` is
+/// outside `[0, 1]`, or `max_len == 0`.
+pub fn mine_class_rules<I: Item, C: Item>(
+    transactions: &[ClassTransaction<I, C>],
+    min_support: f64,
+    min_confidence: f64,
+    max_len: usize,
+) -> Vec<ClassRule<I, C>> {
+    assert!(
+        min_support > 0.0 && min_support <= 1.0,
+        "min_support {min_support} outside (0,1]"
+    );
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "min_confidence {min_confidence} outside [0,1]"
+    );
+    assert!(max_len > 0, "max_len must be positive");
+    if transactions.is_empty() {
+        return Vec::new();
+    }
+
+    let n = transactions.len();
+    let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
+
+    let normalized: Vec<(Itemset<I>, C)> = transactions
+        .iter()
+        .map(|t| (normalize(t.items.clone()), t.class))
+        .collect();
+
+    // Group transaction indices by class.
+    let mut by_class: HashMap<C, Vec<usize>> = HashMap::new();
+    for (idx, (_, c)) in normalized.iter().enumerate() {
+        by_class.entry(*c).or_default().push(idx);
+    }
+
+    let all_sets: Vec<&Itemset<I>> = normalized.iter().map(|(s, _)| s).collect();
+
+    let count_in = |cand: &Itemset<I>, indices: &[usize]| -> usize {
+        indices
+            .iter()
+            .filter(|&&i| is_subset_sorted(cand, all_sets[i]))
+            .count()
+    };
+    let count_all = |cand: &Itemset<I>| -> usize {
+        if n >= PAR_THRESHOLD * 64 {
+            (0..n)
+                .into_par_iter()
+                .filter(|&i| is_subset_sorted(cand, all_sets[i]))
+                .count()
+        } else {
+            (0..n)
+                .filter(|&i| is_subset_sorted(cand, all_sets[i]))
+                .count()
+        }
+    };
+
+    let mut classes: Vec<C> = by_class.keys().copied().collect();
+    classes.sort();
+
+    let mut rules = Vec::new();
+    for class in classes {
+        let class_idx = &by_class[&class];
+
+        // L1: items frequent *jointly with this class*.
+        let mut item_counts: HashMap<I, usize> = HashMap::new();
+        for &i in class_idx {
+            for &item in all_sets[i] {
+                *item_counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        let mut level: Vec<Itemset<I>> = item_counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&i, _)| vec![i])
+            .collect();
+        level.sort();
+
+        let mut k = 0;
+        while !level.is_empty() && k < max_len {
+            // Emit rules for this level.
+            let counts_class: Vec<usize> = if level.len() >= PAR_THRESHOLD {
+                level.par_iter().map(|c| count_in(c, class_idx)).collect()
+            } else {
+                level.iter().map(|c| count_in(c, class_idx)).collect()
+            };
+            let mut survivors = Vec::new();
+            for (cand, joint) in level.iter().zip(&counts_class) {
+                if *joint < min_count {
+                    continue;
+                }
+                survivors.push(cand.clone());
+                let ante = count_all(cand);
+                debug_assert!(ante >= *joint);
+                let confidence = *joint as f64 / ante as f64;
+                if confidence >= min_confidence {
+                    rules.push(ClassRule {
+                        antecedent: cand.clone(),
+                        class,
+                        support: *joint as f64 / n as f64,
+                        confidence,
+                    });
+                }
+            }
+            survivors.sort();
+            level = join_step(&survivors);
+            k += 1;
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `networkWarningInterrupt, networkError → socketReadFailure: 1.0`
+    /// — the shape of the paper's SDSC example.
+    #[test]
+    fn paper_shaped_example() {
+        const NW: u32 = 1; // networkWarningInterrupt
+        const NE: u32 = 2; // networkError
+        const IDO: u32 = 3; // idoStartInfo
+        const SOCKET: u32 = 100;
+        const FS: u32 = 101;
+
+        let mut txs = Vec::new();
+        // 10 socket failures, all preceded by {NW, NE}.
+        for _ in 0..10 {
+            txs.push(ClassTransaction::new(vec![NW, NE], SOCKET));
+        }
+        // 8 fs failures preceded by {IDO}, 2 preceded by {NW} only.
+        for _ in 0..8 {
+            txs.push(ClassTransaction::new(vec![IDO], FS));
+        }
+        for _ in 0..2 {
+            txs.push(ClassTransaction::new(vec![NW], FS));
+        }
+
+        let rules = mine_class_rules(&txs, 0.05, 0.1, 3);
+        let socket_rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![NW, NE] && r.class == SOCKET)
+            .expect("missing {NW,NE}→SOCKET");
+        assert!((socket_rule.confidence - 1.0).abs() < 1e-12);
+        assert!((socket_rule.support - 0.5).abs() < 1e-12);
+
+        let fs_rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec![IDO] && r.class == FS)
+            .expect("missing {IDO}→FS");
+        assert!((fs_rule.confidence - 1.0).abs() < 1e-12);
+        assert!((fs_rule.support - 0.4).abs() < 1e-12);
+
+        // NW precedes both classes → {NW}→SOCKET has confidence 10/12.
+        let nw_socket = rules
+            .iter()
+            .find(|r| r.antecedent == vec![NW] && r.class == SOCKET)
+            .unwrap();
+        assert!((nw_socket.confidence - 10.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn confidence_denominator_spans_classes() {
+        // Item 7 appears in 4 transactions, only 1 with class A.
+        let txs = vec![
+            ClassTransaction::new(vec![7], 0u8),
+            ClassTransaction::new(vec![7], 1u8),
+            ClassTransaction::new(vec![7], 1u8),
+            ClassTransaction::new(vec![7], 1u8),
+        ];
+        let rules = mine_class_rules(&txs, 0.2, 0.0, 2);
+        let a = rules.iter().find(|r| r.class == 0).unwrap();
+        assert!((a.confidence - 0.25).abs() < 1e-12);
+        let b = rules.iter().find(|r| r.class == 1).unwrap();
+        assert!((b.confidence - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_support_prunes_rare_patterns() {
+        let mut txs = vec![ClassTransaction::new(vec![1, 2], 9u8)];
+        for _ in 0..99 {
+            txs.push(ClassTransaction::new(vec![3], 8u8));
+        }
+        let rules = mine_class_rules(&txs, 0.05, 0.0, 3);
+        assert!(
+            rules.iter().all(|r| r.class != 9),
+            "rare class must be pruned"
+        );
+        assert!(rules.iter().any(|r| r.class == 8));
+    }
+
+    #[test]
+    fn multi_item_antecedents_grow_levelwise() {
+        let mut txs = Vec::new();
+        for _ in 0..20 {
+            txs.push(ClassTransaction::new(vec![1, 2, 3], 0u8));
+        }
+        let rules = mine_class_rules(&txs, 0.5, 0.5, 3);
+        assert!(rules.iter().any(|r| r.antecedent == vec![1, 2, 3]));
+        assert!(rules.iter().any(|r| r.antecedent == vec![1, 2]));
+        assert!(rules.iter().any(|r| r.antecedent == vec![1]));
+        // max_len bounds antecedent size.
+        let rules2 = mine_class_rules(&txs, 0.5, 0.5, 2);
+        assert!(rules2.iter().all(|r| r.antecedent.len() <= 2));
+    }
+
+    #[test]
+    fn empty_transactions_yield_no_rules() {
+        assert!(mine_class_rules::<u32, u8>(&[], 0.1, 0.1, 3).is_empty());
+        // Transactions with empty antecedents produce no rules either.
+        let txs = vec![ClassTransaction::new(Vec::<u32>::new(), 0u8)];
+        assert!(mine_class_rules(&txs, 0.1, 0.1, 3).is_empty());
+    }
+
+    #[test]
+    fn support_and_confidence_bounds() {
+        let txs: Vec<ClassTransaction<u32, u8>> = (0..50)
+            .map(|i| ClassTransaction::new(vec![i % 5, (i * 3) % 7 + 10], (i % 3) as u8))
+            .collect();
+        for r in mine_class_rules(&txs, 0.02, 0.0, 3) {
+            assert!(r.support > 0.0 && r.support <= 1.0);
+            assert!(r.confidence > 0.0 && r.confidence <= 1.0);
+            assert!(r.confidence >= r.support - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Classic Apriori: frequent itemsets and all-rules induction.
+
+use crate::itemset::{is_subset_sorted, join_step, normalize, Itemset};
+use crate::Item;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Parallelize support counting only past this many candidate itemsets;
+/// below it the Rayon dispatch overhead dominates.
+const PAR_THRESHOLD: usize = 64;
+
+/// A frequent itemset with its absolute support count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrequentItemset<I> {
+    /// The sorted items.
+    pub items: Itemset<I>,
+    /// Number of transactions containing all the items.
+    pub count: usize,
+}
+
+impl<I> FrequentItemset<I> {
+    /// Relative support given the transaction count.
+    pub fn support(&self, n_transactions: usize) -> f64 {
+        if n_transactions == 0 {
+            0.0
+        } else {
+            self.count as f64 / n_transactions as f64
+        }
+    }
+}
+
+/// An association rule `antecedent → consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule<I> {
+    /// Sorted antecedent itemset (non-empty).
+    pub antecedent: Itemset<I>,
+    /// Sorted consequent itemset (non-empty, disjoint from antecedent).
+    pub consequent: Itemset<I>,
+    /// Relative support of `antecedent ∪ consequent`.
+    pub support: f64,
+    /// `support(antecedent ∪ consequent) / support(antecedent)`.
+    pub confidence: f64,
+}
+
+fn count_candidates<I: Item>(candidates: &[Itemset<I>], transactions: &[Itemset<I>]) -> Vec<usize> {
+    let count_one = |cand: &Itemset<I>| {
+        transactions
+            .iter()
+            .filter(|t| is_subset_sorted(cand, t))
+            .count()
+    };
+    if candidates.len() >= PAR_THRESHOLD {
+        candidates.par_iter().map(count_one).collect()
+    } else {
+        candidates.iter().map(count_one).collect()
+    }
+}
+
+/// Levelwise Apriori. Returns every itemset with relative support
+/// `≥ min_support`, up to `max_len` items, sorted by `(len, items)`.
+///
+/// Transactions are normalized (sorted + deduplicated) internally.
+///
+/// # Panics
+/// Panics when `min_support` is outside `(0, 1]` or `max_len == 0`.
+pub fn frequent_itemsets<I: Item>(
+    transactions: &[Vec<I>],
+    min_support: f64,
+    max_len: usize,
+) -> Vec<FrequentItemset<I>> {
+    assert!(
+        min_support > 0.0 && min_support <= 1.0,
+        "min_support {min_support} outside (0,1]"
+    );
+    assert!(max_len > 0, "max_len must be positive");
+    if transactions.is_empty() {
+        return Vec::new();
+    }
+    let txs: Vec<Itemset<I>> = transactions.iter().map(|t| normalize(t.clone())).collect();
+    let n = txs.len();
+    let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
+
+    // L1 from single-pass counting.
+    let mut item_counts: HashMap<I, usize> = HashMap::new();
+    for t in &txs {
+        for &i in t {
+            *item_counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut level: Vec<FrequentItemset<I>> = item_counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .map(|(i, count)| FrequentItemset {
+            items: vec![i],
+            count,
+        })
+        .collect();
+    level.sort_by(|a, b| a.items.cmp(&b.items));
+
+    let mut all = Vec::new();
+    let mut k = 1;
+    while !level.is_empty() && k < max_len {
+        all.extend(level.iter().cloned());
+        let sets: Vec<Itemset<I>> = level.iter().map(|f| f.items.clone()).collect();
+        let candidates = join_step(&sets);
+        let counts = count_candidates(&candidates, &txs);
+        level = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c >= min_count)
+            .map(|(items, count)| FrequentItemset { items, count })
+            .collect();
+        level.sort_by(|a, b| a.items.cmp(&b.items));
+        k += 1;
+    }
+    all.extend(level);
+    all
+}
+
+/// Induces every rule `X → Y` with `X ∪ Y` frequent, `X, Y` non-empty and
+/// disjoint, and confidence `≥ min_confidence`.
+///
+/// Single-consequent rules only (`|Y| = 1`): that is the shape the failure
+/// predictor consumes, and it keeps induction linear in the itemset size.
+pub fn generate_rules<I: Item>(
+    frequent: &[FrequentItemset<I>],
+    n_transactions: usize,
+    min_confidence: f64,
+) -> Vec<AssociationRule<I>> {
+    // Index support counts for denominator lookups.
+    let index: HashMap<&[I], usize> = frequent
+        .iter()
+        .map(|f| (f.items.as_slice(), f.count))
+        .collect();
+    let mut rules = Vec::new();
+    for f in frequent.iter().filter(|f| f.items.len() >= 2) {
+        for skip in 0..f.items.len() {
+            let consequent = vec![f.items[skip]];
+            let antecedent: Vec<I> = f
+                .items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, &x)| x)
+                .collect();
+            let Some(&ante_count) = index.get(antecedent.as_slice()) else {
+                continue; // antecedent below threshold (can't happen for true Apriori output)
+            };
+            let confidence = f.count as f64 / ante_count as f64;
+            if confidence >= min_confidence {
+                rules.push(AssociationRule {
+                    antecedent,
+                    consequent,
+                    support: f.count as f64 / n_transactions as f64,
+                    confidence,
+                });
+            }
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    /// Brute-force reference: enumerate all subsets of the item universe.
+    fn brute_force_frequent(
+        transactions: &[Vec<u32>],
+        min_support: f64,
+        max_len: usize,
+    ) -> Vec<FrequentItemset<u32>> {
+        let universe: Vec<u32> = {
+            let mut u: Vec<u32> = transactions.iter().flatten().copied().collect();
+            u.sort_unstable();
+            u.dedup();
+            u
+        };
+        let n = transactions.len();
+        let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
+        let txs: Vec<Vec<u32>> = transactions.iter().map(|t| normalize(t.clone())).collect();
+        let mut out = Vec::new();
+        for mask in 1u64..(1 << universe.len()) {
+            let items: Vec<u32> = universe
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &x)| x)
+                .collect();
+            if items.is_empty() || items.len() > max_len {
+                continue;
+            }
+            let count = txs.iter().filter(|t| is_subset_sorted(&items, t)).count();
+            if count >= min_count {
+                out.push(FrequentItemset { items, count });
+            }
+        }
+        out
+    }
+
+    fn tx_data() -> Vec<Vec<u32>> {
+        vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 2, 3, 4],
+            vec![4],
+        ]
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        let txs = tx_data();
+        for &ms in &[0.2, 0.34, 0.5, 0.9] {
+            let mut fast = frequent_itemsets(&txs, ms, 4);
+            let mut slow = brute_force_frequent(&txs, ms, 4);
+            fast.sort_by(|a, b| a.items.cmp(&b.items));
+            slow.sort_by(|a, b| a.items.cmp(&b.items));
+            assert_eq!(fast, slow, "min_support = {ms}");
+        }
+    }
+
+    #[test]
+    fn supports_are_correct() {
+        let txs = tx_data();
+        let freq = frequent_itemsets(&txs, 0.5, 3);
+        let by_items: HashMap<Vec<u32>, usize> =
+            freq.iter().map(|f| (f.items.clone(), f.count)).collect();
+        assert_eq!(by_items[&vec![1]], 4);
+        assert_eq!(by_items[&vec![2]], 4);
+        assert_eq!(by_items[&vec![1, 2]], 3);
+        assert!((by_items[&vec![1, 2]] as f64 / 6.0 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_len_truncates() {
+        let txs = tx_data();
+        let freq = frequent_itemsets(&txs, 0.2, 2);
+        assert!(freq.iter().all(|f| f.items.len() <= 2));
+        let freq3 = frequent_itemsets(&txs, 0.2, 3);
+        assert!(freq3.iter().any(|f| f.items.len() == 3));
+    }
+
+    #[test]
+    fn duplicate_items_in_transaction_count_once() {
+        let txs = vec![vec![1, 1, 1], vec![1, 2]];
+        let freq = frequent_itemsets(&txs, 0.9, 2);
+        let one = freq.iter().find(|f| f.items == vec![1]).unwrap();
+        assert_eq!(one.count, 2);
+    }
+
+    #[test]
+    fn rules_confidence() {
+        let txs = tx_data();
+        let freq = frequent_itemsets(&txs, 0.3, 3);
+        let rules = generate_rules(&freq, txs.len(), 0.0);
+        // {2,3} appears 3 times, {2} 4 times → conf({2}→{3}) = 0.75.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![2] && r.consequent == vec![3])
+            .unwrap();
+        assert!((r.confidence - 0.75).abs() < 1e-12);
+        assert!((r.support - 0.5).abs() < 1e-12);
+        // min_confidence filters.
+        let strict = generate_rules(&freq, txs.len(), 0.76);
+        assert!(strict
+            .iter()
+            .all(|r| !(r.antecedent == vec![2] && r.consequent == vec![3])));
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(frequent_itemsets::<u32>(&[], 0.5, 3).is_empty());
+        assert!(generate_rules::<u32>(&[], 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn rules_are_single_consequent_and_disjoint() {
+        let txs = tx_data();
+        let freq = frequent_itemsets(&txs, 0.2, 4);
+        for r in generate_rules(&freq, txs.len(), 0.1) {
+            assert_eq!(r.consequent.len(), 1);
+            assert!(!r.antecedent.is_empty());
+            let a: HashSet<u32> = r.antecedent.iter().copied().collect();
+            assert!(!a.contains(&r.consequent[0]));
+            assert!(r.confidence > 0.0 && r.confidence <= 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "min_support")]
+    fn zero_support_panics() {
+        frequent_itemsets::<u32>(&[vec![1]], 0.0, 2);
+    }
+}

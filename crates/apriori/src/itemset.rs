@@ -1,0 +1,127 @@
+//! Sorted-vector itemsets and the Apriori candidate join.
+
+use crate::Item;
+
+/// An itemset represented as a sorted, deduplicated vector.
+pub type Itemset<I> = Vec<I>;
+
+/// Normalizes a collection of items into a sorted, deduplicated itemset.
+pub fn normalize<I: Item>(mut items: Vec<I>) -> Itemset<I> {
+    items.sort_unstable();
+    items.dedup();
+    items
+}
+
+/// `true` when sorted slice `needle` is a subset of sorted slice `haystack`
+/// (two-pointer merge; O(|haystack|)).
+pub fn is_subset_sorted<I: Item>(needle: &[I], haystack: &[I]) -> bool {
+    let mut hi = haystack.iter();
+    'outer: for n in needle {
+        for h in hi.by_ref() {
+            match h.cmp(n) {
+                core::cmp::Ordering::Less => continue,
+                core::cmp::Ordering::Equal => continue 'outer,
+                core::cmp::Ordering::Greater => return false,
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// The Apriori join step: from the sorted list of frequent `k`-itemsets,
+/// produce candidate `(k+1)`-itemsets by joining pairs that share their
+/// first `k−1` items, then prune candidates with an infrequent `k`-subset.
+///
+/// `frequent` must be sorted lexicographically (as produced by the
+/// levelwise loop).
+pub fn join_step<I: Item>(frequent: &[Itemset<I>]) -> Vec<Itemset<I>> {
+    let k = match frequent.first() {
+        Some(f) => f.len(),
+        None => return Vec::new(),
+    };
+    debug_assert!(frequent.iter().all(|f| f.len() == k));
+    debug_assert!(
+        frequent.windows(2).all(|w| w[0] <= w[1]),
+        "input must be sorted"
+    );
+
+    let mut candidates = Vec::new();
+    for i in 0..frequent.len() {
+        for j in (i + 1)..frequent.len() {
+            let (a, b) = (&frequent[i], &frequent[j]);
+            if a[..k - 1] != b[..k - 1] {
+                break; // sorted input: no later j can share the prefix
+            }
+            let mut cand = a.clone();
+            cand.push(b[k - 1]);
+            // Prune: every k-subset must be frequent.
+            if all_subsets_frequent(&cand, frequent) {
+                candidates.push(cand);
+            }
+        }
+    }
+    candidates
+}
+
+/// Checks that every `|cand|−1`-subset of `cand` appears in the sorted
+/// `frequent` list (binary search per subset).
+fn all_subsets_frequent<I: Item>(cand: &[I], frequent: &[Itemset<I>]) -> bool {
+    let mut sub: Vec<I> = Vec::with_capacity(cand.len() - 1);
+    for skip in 0..cand.len() {
+        sub.clear();
+        sub.extend(
+            cand.iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, &x)| x),
+        );
+        if frequent
+            .binary_search_by(|f| f.as_slice().cmp(sub.as_slice()))
+            .is_err()
+        {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn subset_checks() {
+        assert!(is_subset_sorted::<u32>(&[], &[]));
+        assert!(is_subset_sorted(&[], &[1, 2]));
+        assert!(is_subset_sorted(&[2], &[1, 2, 3]));
+        assert!(is_subset_sorted(&[1, 3], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1, 4], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[0], &[1, 2, 3]));
+        assert!(!is_subset_sorted(&[1], &[]));
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        assert_eq!(normalize(vec![3, 1, 2, 1, 3]), vec![1, 2, 3]);
+        assert_eq!(normalize(Vec::<u32>::new()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn join_produces_pruned_candidates() {
+        // Frequent 2-itemsets over {1,2,3}: all pairs → candidate {1,2,3}.
+        let l2 = vec![vec![1, 2], vec![1, 3], vec![2, 3]];
+        assert_eq!(join_step(&l2), vec![vec![1, 2, 3]]);
+
+        // Missing {2,3} → {1,2,3} must be pruned.
+        let l2 = vec![vec![1, 2], vec![1, 3]];
+        assert!(join_step(&l2).is_empty());
+    }
+
+    #[test]
+    fn join_from_singletons() {
+        let l1 = vec![vec![1], vec![2], vec![4]];
+        assert_eq!(join_step(&l1), vec![vec![1, 2], vec![1, 4], vec![2, 4]]);
+        assert!(join_step::<u32>(&[]).is_empty());
+    }
+}

@@ -1,0 +1,51 @@
+//! # apriori — association-rule mining
+//!
+//! A from-scratch implementation of the Apriori frequent-itemset algorithm
+//! (Agrawal & Srikant) plus the *targeted-consequent* variant the failure
+//! predictor needs: mining rules of the form
+//!
+//! ```text
+//! {e1, e2, …, ek} → f   (support, confidence)
+//! ```
+//!
+//! where the consequent `f` is a designated class label (a fatal event
+//! type) and the antecedent items are the non-fatal precursor event types
+//! observed in the rule-generation window before it.
+//!
+//! * [`frequent_itemsets`] — classic levelwise Apriori,
+//! * [`generate_rules`] — all-rules induction from frequent itemsets,
+//! * [`mine_class_rules`] — targeted mining used by the association-rule
+//!   base learner; `support` is measured over all transactions and
+//!   `confidence = support(X ∪ {f}) / support(X)`.
+//!
+//! Items are generic over any `Copy + Ord + Hash` type. Candidate support
+//! counting is parallelized with Rayon when the candidate set is large.
+//!
+//! # Example
+//!
+//! ```
+//! use apriori::{mine_class_rules, ClassTransaction};
+//!
+//! // Ten fatal "socket" events, each preceded by warnings {1, 2}.
+//! let transactions: Vec<ClassTransaction<u32, &str>> =
+//!     (0..10).map(|_| ClassTransaction::new(vec![1, 2], "socketReadFailure")).collect();
+//! let rules = mine_class_rules(&transactions, 0.01, 0.1, 4);
+//! let rule = rules
+//!     .iter()
+//!     .find(|r| r.antecedent == vec![1, 2])
+//!     .expect("mined {1,2} → socketReadFailure");
+//! assert_eq!(rule.class, "socketReadFailure");
+//! assert_eq!(rule.confidence, 1.0);
+//! ```
+
+mod classrules;
+mod generic;
+mod itemset;
+
+pub use classrules::{mine_class_rules, ClassRule, ClassTransaction};
+pub use generic::{frequent_itemsets, generate_rules, AssociationRule, FrequentItemset};
+pub use itemset::{is_subset_sorted, join_step, Itemset};
+
+/// Bound on item types usable by the miners.
+pub trait Item: Copy + Eq + Ord + core::hash::Hash + core::fmt::Debug + Send + Sync {}
+impl<T: Copy + Eq + Ord + core::hash::Hash + core::fmt::Debug + Send + Sync> Item for T {}

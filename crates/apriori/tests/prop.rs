@@ -1,0 +1,149 @@
+//! Property tests: the levelwise miner must agree with brute force.
+
+use apriori::{
+    frequent_itemsets, generate_rules, is_subset_sorted, mine_class_rules, ClassTransaction,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn normalize(mut v: Vec<u8>) -> Vec<u8> {
+    v.sort_unstable();
+    v.dedup();
+    v
+}
+
+fn brute_force(
+    transactions: &[Vec<u8>],
+    min_support: f64,
+    max_len: usize,
+) -> HashMap<Vec<u8>, usize> {
+    let universe: Vec<u8> = normalize(transactions.iter().flatten().copied().collect());
+    let n = transactions.len();
+    let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
+    let txs: Vec<Vec<u8>> = transactions.iter().map(|t| normalize(t.clone())).collect();
+    let mut out = HashMap::new();
+    for mask in 1u64..(1u64 << universe.len()) {
+        let items: Vec<u8> = universe
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, &x)| x)
+            .collect();
+        if items.len() > max_len {
+            continue;
+        }
+        let count = txs.iter().filter(|t| is_subset_sorted(&items, t)).count();
+        if count >= min_count {
+            out.insert(items, count);
+        }
+    }
+    out
+}
+
+fn arb_transactions() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    prop::collection::vec(prop::collection::vec(0u8..8, 0..6), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apriori_agrees_with_brute_force(
+        txs in arb_transactions(),
+        support_pct in 1u32..60,
+        max_len in 1usize..5,
+    ) {
+        let min_support = support_pct as f64 / 100.0;
+        let fast = frequent_itemsets(&txs, min_support, max_len);
+        let slow = brute_force(&txs, min_support, max_len);
+        let fast_map: HashMap<Vec<u8>, usize> =
+            fast.iter().map(|f| (f.items.clone(), f.count)).collect();
+        prop_assert_eq!(fast_map, slow);
+    }
+
+    #[test]
+    fn rules_respect_confidence_definition(txs in arb_transactions()) {
+        let freq = frequent_itemsets(&txs, 0.1, 4);
+        let index: HashMap<Vec<u8>, usize> =
+            freq.iter().map(|f| (f.items.clone(), f.count)).collect();
+        for rule in generate_rules(&freq, txs.len(), 0.0) {
+            let mut joint = rule.antecedent.clone();
+            joint.extend(&rule.consequent);
+            joint.sort_unstable();
+            let joint_count = index[&joint];
+            let ante_count = index[&rule.antecedent];
+            prop_assert!((rule.confidence - joint_count as f64 / ante_count as f64).abs() < 1e-12);
+            prop_assert!((rule.support - joint_count as f64 / txs.len() as f64).abs() < 1e-12);
+            prop_assert!(rule.confidence >= rule.support - 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_rules_counts_verified_by_replay(
+        txs in prop::collection::vec(
+            (prop::collection::vec(0u8..6, 0..5), 0u8..3),
+            1..25,
+        ),
+        support_pct in 5u32..50,
+    ) {
+        let transactions: Vec<ClassTransaction<u8, u8>> = txs
+            .iter()
+            .map(|(items, class)| ClassTransaction::new(items.clone(), *class))
+            .collect();
+        let min_support = support_pct as f64 / 100.0;
+        let rules = mine_class_rules(&transactions, min_support, 0.0, 4);
+        let n = transactions.len();
+        for rule in &rules {
+            // Recount support/confidence directly.
+            let joint = transactions
+                .iter()
+                .filter(|t| {
+                    t.class == rule.class
+                        && is_subset_sorted(&rule.antecedent, &normalize(t.items.clone()))
+                })
+                .count();
+            let ante = transactions
+                .iter()
+                .filter(|t| is_subset_sorted(&rule.antecedent, &normalize(t.items.clone())))
+                .count();
+            prop_assert!((rule.support - joint as f64 / n as f64).abs() < 1e-12);
+            prop_assert!((rule.confidence - joint as f64 / ante as f64).abs() < 1e-12);
+            prop_assert!(rule.support >= min_support - 1e-12);
+        }
+    }
+
+    #[test]
+    fn class_rules_are_complete_for_singletons(
+        txs in prop::collection::vec(
+            (prop::collection::vec(0u8..5, 1..4), 0u8..2),
+            4..20,
+        ),
+    ) {
+        // Every (item, class) pair whose joint support clears the threshold
+        // must be found as a singleton rule.
+        let transactions: Vec<ClassTransaction<u8, u8>> = txs
+            .iter()
+            .map(|(items, class)| ClassTransaction::new(items.clone(), *class))
+            .collect();
+        let n = transactions.len();
+        let min_support = 0.2;
+        let min_count = (min_support * n as f64).ceil() as usize;
+        let rules = mine_class_rules(&transactions, min_support, 0.0, 3);
+        for item in 0u8..5 {
+            for class in 0u8..2 {
+                let joint = transactions
+                    .iter()
+                    .filter(|t| t.class == class && t.items.contains(&item))
+                    .count();
+                if joint >= min_count {
+                    prop_assert!(
+                        rules
+                            .iter()
+                            .any(|r| r.antecedent == vec![item] && r.class == class),
+                        "missing rule {{{item}}} → {class} with joint {joint}"
+                    );
+                }
+            }
+        }
+    }
+}

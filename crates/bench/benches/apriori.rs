@@ -1,0 +1,48 @@
+//! Association-rule mining: targeted-consequent mining vs generic
+//! frequent-itemset mining plus rule induction (the pruning ablation from
+//! DESIGN.md).
+
+use apriori::{frequent_itemsets, generate_rules, mine_class_rules};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dml_bench::fixtures;
+use dml_core::learners::transactions_for_bench;
+use raslog::Duration;
+
+fn bench_apriori(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apriori");
+    group.sample_size(10);
+    for weeks in [8i64, 26] {
+        let txs = transactions_for_bench(fixtures::training_slice(weeks), Duration::from_secs(300));
+        group.bench_with_input(
+            BenchmarkId::new("targeted", format!("{weeks}wk/{}tx", txs.len())),
+            &txs,
+            |b, txs| {
+                b.iter(|| std::hint::black_box(mine_class_rules(txs, 0.01, 0.1, 4)));
+            },
+        );
+        // Generic ablation: mine all frequent itemsets over item+class
+        // transactions, then induce rules (no consequent targeting).
+        let generic: Vec<Vec<u32>> = txs
+            .iter()
+            .map(|t| {
+                let mut items: Vec<u32> = t.items.iter().map(|i| i.0 as u32).collect();
+                items.push(10_000 + t.class.0 as u32); // class as an item
+                items
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("generic", format!("{weeks}wk/{}tx", txs.len())),
+            &generic,
+            |b, generic| {
+                b.iter(|| {
+                    let freq = frequent_itemsets(generic, 0.01, 5);
+                    std::hint::black_box(generate_rules(&freq, generic.len(), 0.1))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apriori);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Ablation: predictor cost by repository composition (association only /
+//! statistical only / distribution only / full mixture-of-experts).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dml_bench::fixtures;
+use dml_core::{FrameworkConfig, MetaLearner, Predictor, RuleKind};
+
+fn bench_ensemble(c: &mut Criterion) {
+    let config = FrameworkConfig::default();
+    let meta = MetaLearner::new(config);
+    let train = fixtures::training_slice(26);
+    let test = fixtures::test_week(26);
+    let mut group = c.benchmark_group("ensemble_order");
+    group.throughput(Throughput::Elements(test.len() as u64));
+    group.sample_size(20);
+
+    let full = meta.train(train);
+    group.bench_with_input(
+        BenchmarkId::from_parameter("meta"),
+        &full.repo,
+        |b, repo| {
+            b.iter(|| std::hint::black_box(Predictor::new(repo, config.window).observe_all(test)));
+        },
+    );
+    for kind in [
+        RuleKind::Association,
+        RuleKind::Statistical,
+        RuleKind::Distribution,
+    ] {
+        let single = meta.train_single_kind(train, kind);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind}")),
+            &single.repo,
+            |b, repo| {
+                b.iter(|| {
+                    std::hint::black_box(Predictor::new(repo, config.window).observe_all(test))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ensemble);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Table 4 substrate: temporal+spatial compression throughput per
+//! threshold.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dml_bench::fixtures;
+use preprocess::{filter_events, FilterConfig};
+use raslog::Duration;
+
+fn bench_filter(c: &mut Criterion) {
+    let typed = fixtures::typed_week();
+    let mut group = c.benchmark_group("filter");
+    group.throughput(Throughput::Elements(typed.len() as u64));
+    group.sample_size(20);
+    for secs in [10i64, 60, 300] {
+        let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{secs}s")),
+            &config,
+            |b, config| {
+                b.iter(|| std::hint::black_box(filter_events(typed, config)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Synthetic log generation throughput (Table 2 substrate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dml_bench::fixtures;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+    group.sample_size(10);
+    let volume = fixtures::volume_generator();
+    let n = volume.week_events(1).0.len();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sdsc_full_week"),
+        &volume,
+        |b, g| {
+            b.iter(|| std::hint::black_box(g.week_events(1)));
+        },
+    );
+    let scaled = fixtures::generator();
+    group.bench_with_input(
+        BenchmarkId::from_parameter("sdsc_scaled_week"),
+        &scaled,
+        |b, g| {
+            b.iter(|| std::hint::black_box(g.week_events(1)));
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: Rayon-parallel rule revision vs a single-thread pool.
+//!
+//! (On a single-core host both configurations collapse to the same cost;
+//! the bench documents that the parallel path adds no measurable overhead.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dml_bench::fixtures;
+use dml_core::learners::standard_learners;
+use dml_core::reviser::revise;
+use dml_core::FrameworkConfig;
+
+fn bench_parallel_training(c: &mut Criterion) {
+    let config = FrameworkConfig::default();
+    let train = fixtures::training_slice(26);
+    let candidates: Vec<dml_core::Rule> = standard_learners()
+        .iter()
+        .flat_map(|l| l.learn(train, &config))
+        .collect();
+    let mut group = c.benchmark_group("parallel_training");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{threads}threads/{}rules", candidates.len())),
+            &candidates,
+            |b, candidates| {
+                b.iter(|| {
+                    pool.install(|| {
+                        std::hint::black_box(revise(candidates.clone(), train, &config))
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_training);
+criterion_main!(benches);

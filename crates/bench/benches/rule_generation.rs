@@ -1,0 +1,25 @@
+//! Table 5 (rule generation): training cost as a function of training size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dml_bench::fixtures;
+use dml_core::{FrameworkConfig, MetaLearner};
+
+fn bench_rule_generation(c: &mut Criterion) {
+    let meta = MetaLearner::new(FrameworkConfig::default());
+    let mut group = c.benchmark_group("rule_generation");
+    group.sample_size(10);
+    for weeks in [4i64, 8, 13, 26] {
+        let slice = fixtures::training_slice(weeks);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{weeks}wk")),
+            &slice,
+            |b, slice| {
+                b.iter(|| std::hint::black_box(meta.train(slice)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_generation);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 5 (rule matching): event-driven predictor throughput.
+//!
+//! The paper reports matching cost "usually in dozens of seconds" per week
+//! on 2005 hardware; the event-driven design should make it trivial here.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dml_bench::fixtures;
+use dml_core::{FrameworkConfig, MetaLearner, Predictor};
+
+fn bench_rule_matching(c: &mut Criterion) {
+    let config = FrameworkConfig::default();
+    let outcome = MetaLearner::new(config).train(fixtures::training_slice(26));
+    let test = fixtures::test_week(26);
+    let mut group = c.benchmark_group("rule_matching");
+    group.throughput(Throughput::Elements(test.len() as u64));
+    group.bench_function("one_week", |b| {
+        b.iter(|| {
+            let mut p = Predictor::new(&outcome.repo, config.window);
+            std::hint::black_box(p.observe_all(test))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rule_matching);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Shared benchmark fixtures.
+//!
+//! Every bench measures the same deterministic workloads: an SDSC-like
+//! synthetic log (volume-scaled) streamed through preprocessing, plus raw
+//! week slices for the filter benches.
+
+use bgl_sim::{Generator, SystemPreset};
+use preprocess::{clean_log, Categorizer, FilterConfig};
+use raslog::{CleanEvent, RasEvent, Timestamp, WEEK_MS};
+use std::sync::OnceLock;
+
+/// Weeks in the shared clean dataset.
+pub const WEEKS: i64 = 30;
+
+/// The shared generator (SDSC-like, reduced duplication).
+pub fn generator() -> Generator {
+    Generator::new(
+        SystemPreset::sdsc()
+            .with_weeks(WEEKS)
+            .with_volume_scale(0.2),
+        42,
+    )
+}
+
+/// A full-duplication generator for filter benches.
+pub fn volume_generator() -> Generator {
+    Generator::new(SystemPreset::sdsc().with_weeks(4), 42)
+}
+
+/// One raw (duplicated) week from the volume generator.
+pub fn raw_week() -> &'static Vec<RasEvent> {
+    static RAW: OnceLock<Vec<RasEvent>> = OnceLock::new();
+    RAW.get_or_init(|| volume_generator().week_events(1).0)
+}
+
+/// The raw week, categorized but unfiltered.
+pub fn typed_week() -> &'static Vec<CleanEvent> {
+    static TYPED: OnceLock<Vec<CleanEvent>> = OnceLock::new();
+    TYPED.get_or_init(|| {
+        let generator = volume_generator();
+        let categorizer = Categorizer::new(generator.catalog().clone());
+        let (typed, _) = categorizer.categorize_log(raw_week());
+        typed
+    })
+}
+
+/// The shared preprocessed dataset.
+pub fn clean_dataset() -> &'static Vec<CleanEvent> {
+    static CLEAN: OnceLock<Vec<CleanEvent>> = OnceLock::new();
+    CLEAN.get_or_init(|| {
+        let generator = generator();
+        let categorizer = Categorizer::new(generator.catalog().clone());
+        let mut clean = Vec::new();
+        for week in 0..WEEKS {
+            let (raw, _) = generator.week_events(week);
+            let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+            clean.append(&mut c);
+        }
+        clean
+    })
+}
+
+/// The first `weeks` weeks of the clean dataset.
+pub fn training_slice(weeks: i64) -> &'static [CleanEvent] {
+    let clean = clean_dataset();
+    raslog::store::window(
+        clean,
+        Timestamp::ZERO,
+        Timestamp(weeks.min(WEEKS) * WEEK_MS),
+    )
+}
+
+/// One clean test week following the training prefix.
+pub fn test_week(after_weeks: i64) -> &'static [CleanEvent] {
+    let clean = clean_dataset();
+    raslog::store::window(
+        clean,
+        Timestamp(after_weeks * WEEK_MS),
+        Timestamp((after_weeks + 1).min(WEEKS) * WEEK_MS),
+    )
+}

@@ -1,0 +1,8 @@
+//! # dml-bench — shared fixtures for the Criterion benchmarks
+//!
+//! The benchmark binaries in `benches/` regenerate the performance-oriented
+//! results of the paper (Table 5 and the ablation studies listed in
+//! DESIGN.md). This library crate holds the common fixture builders so
+//! every bench measures the same workloads.
+
+pub mod fixtures;

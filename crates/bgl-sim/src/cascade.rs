@@ -1,0 +1,295 @@
+//! Ground-truth precursor rules.
+//!
+//! Real failure logs contain *cause-and-effect chains*: specific warning
+//! events precede specific fatal events within minutes (the paper's SDSC
+//! example: `networkWarningInterrupt, networkError → socketReadFailure`).
+//! The generator plants such chains explicitly — a hidden rule set the
+//! association-rule learner is supposed to rediscover — while leaving the
+//! majority of fatal events unheralded (the paper measures up to 75 % of
+//! fatals with no precursor warning).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use raslog::{Duration, EventCatalog, EventTypeId};
+use serde::{Deserialize, Serialize};
+
+/// One hidden cause-and-effect chain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CascadeRule {
+    /// Non-fatal precursor types emitted before the fatal event.
+    pub precursors: Vec<EventTypeId>,
+    /// The fatal type this chain leads to.
+    pub fatal: EventTypeId,
+    /// Probability that an occurrence of `fatal` is preceded by the chain.
+    pub fire_prob: f64,
+    /// Expected number of *false cues* per week: the precursors appear but
+    /// no fatal follows, which caps the achievable rule confidence.
+    pub false_cues_per_week: f64,
+    /// Precursors are emitted within `[min_lead, max_lead]` before the
+    /// fatal event.
+    pub min_lead: Duration,
+    /// See `min_lead`.
+    pub max_lead: Duration,
+}
+
+impl CascadeRule {
+    /// Draws a random rule targeting `fatal`, with 2–4 precursors picked
+    /// from `nonfatal_pool`.
+    pub fn random<R: Rng>(fatal: EventTypeId, nonfatal_pool: &[EventTypeId], rng: &mut R) -> Self {
+        let k = rng.gen_range(2..=4usize).min(nonfatal_pool.len());
+        let mut precursors: Vec<EventTypeId> =
+            nonfatal_pool.choose_multiple(rng, k).copied().collect();
+        precursors.sort();
+        CascadeRule {
+            precursors,
+            fatal,
+            fire_prob: rng.gen_range(0.65..0.95),
+            false_cues_per_week: rng.gen_range(0.0..0.5),
+            min_lead: Duration::from_secs(20),
+            max_lead: Duration::from_secs(240),
+        }
+    }
+}
+
+/// Non-fatal types eligible as precursors: real cause-and-effect chains
+/// run through *unusual* warnings, not each facility's routine chatter, so
+/// the few most frequent types of every facility (the head of the noise
+/// model's per-facility Zipf) are excluded.
+pub fn precursor_pool(catalog: &EventCatalog) -> Vec<EventTypeId> {
+    let mut pool = Vec::new();
+    for facility in raslog::Facility::ALL {
+        let facility_nonfatal: Vec<EventTypeId> = catalog
+            .iter()
+            .filter(|d| d.facility == facility && !d.fatal)
+            .map(|d| d.id)
+            .collect();
+        pool.extend(facility_nonfatal.into_iter().skip(4));
+    }
+    pool
+}
+
+/// The full hidden rule set plus the fatal-type mixture in force during a
+/// stretch of weeks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Regime {
+    /// Hidden cause-and-effect chains, at most one per fatal type.
+    pub rules: Vec<CascadeRule>,
+    /// Relative occurrence weight of every fatal type in the catalog
+    /// (indexed by position in `fatal_types`).
+    pub fatal_weights: Vec<f64>,
+    /// The fatal types, aligned with `fatal_weights`.
+    pub fatal_types: Vec<EventTypeId>,
+    /// The coverage target this regime was created with; drift re-targets
+    /// against this value (using the realized coverage would ratchet it
+    /// upward, since rule selection always overshoots a little).
+    pub target_coverage: f64,
+    /// Multiplier on the background renewal scale: workload and upgrade
+    /// cycles change how often the machine fails, which is what makes a
+    /// statically fitted inter-arrival distribution go stale.
+    pub rate_multiplier: f64,
+    /// Multiplier on the burst probability (storm-proneness drifts too).
+    pub burst_multiplier: f64,
+}
+
+impl Regime {
+    /// Draws an initial regime.
+    ///
+    /// `precursor_coverage` is the target fraction of fatal *occurrences*
+    /// (by weight) whose type carries a cascade rule — the complement of
+    /// the paper's "fatals without precursors" share.
+    pub fn random<R: Rng>(catalog: &EventCatalog, precursor_coverage: f64, rng: &mut R) -> Self {
+        let fatal_types = catalog.fatal_ids();
+        let nonfatal = precursor_pool(catalog);
+        // Zipf-like weights: a few fatal types dominate, most are rare.
+        // Shuffled so the heavy types differ between seeds/regimes.
+        let mut fatal_weights: Vec<f64> = (0..fatal_types.len())
+            .map(|i| 1.0 / (i as f64 + 1.0))
+            .collect();
+        fatal_weights.shuffle(rng);
+
+        let mut regime = Regime {
+            rules: Vec::new(),
+            fatal_weights,
+            fatal_types,
+            target_coverage: precursor_coverage,
+            rate_multiplier: 1.0,
+            burst_multiplier: 1.0,
+        };
+        regime.retarget_coverage(precursor_coverage, &nonfatal, rng);
+        regime
+    }
+
+    /// Rebuilds which fatal types carry rules so the cumulative weight of
+    /// rule-bearing types approximates `coverage`, *preserving* the chains
+    /// of types that keep their rule (so ordinary weight drift does not
+    /// churn every rule).
+    fn retarget_coverage<R: Rng>(
+        &mut self,
+        coverage: f64,
+        nonfatal_pool: &[EventTypeId],
+        rng: &mut R,
+    ) {
+        let total: f64 = self.fatal_weights.iter().sum();
+        // Visit fatal types from heaviest to lightest.
+        let mut order: Vec<usize> = (0..self.fatal_types.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.fatal_weights[b]
+                .partial_cmp(&self.fatal_weights[a])
+                .expect("finite")
+        });
+        let existing: Vec<CascadeRule> = std::mem::take(&mut self.rules);
+        let mut covered = 0.0;
+        for idx in order {
+            if covered / total >= coverage {
+                break;
+            }
+            covered += self.fatal_weights[idx];
+            let fatal = self.fatal_types[idx];
+            match existing.iter().find(|r| r.fatal == fatal) {
+                Some(rule) => self.rules.push(rule.clone()),
+                None => self
+                    .rules
+                    .push(CascadeRule::random(fatal, nonfatal_pool, rng)),
+            }
+        }
+    }
+
+    /// Fraction of fatal-occurrence weight covered by cascade rules.
+    pub fn coverage(&self) -> f64 {
+        let total: f64 = self.fatal_weights.iter().sum();
+        let covered: f64 = self
+            .fatal_types
+            .iter()
+            .zip(&self.fatal_weights)
+            .filter(|(t, _)| self.rules.iter().any(|r| r.fatal == **t))
+            .map(|(_, w)| w)
+            .sum();
+        covered / total
+    }
+
+    /// The rule targeting `fatal`, if any.
+    pub fn rule_for(&self, fatal: EventTypeId) -> Option<&CascadeRule> {
+        self.rules.iter().find(|r| r.fatal == fatal)
+    }
+
+    /// Evolves the regime: each rule is independently replaced with
+    /// probability `drift`, and the same fraction of the fatal-type weight
+    /// mass is re-randomized. `drift = 1.0` is a full reconfiguration.
+    pub fn drifted<R: Rng>(&self, drift: f64, catalog: &EventCatalog, rng: &mut R) -> Regime {
+        let nonfatal = precursor_pool(catalog);
+        let mut next = self.clone();
+        for rule in &mut next.rules {
+            if rng.gen_bool(drift.clamp(0.0, 1.0)) {
+                // Replace the chain while keeping the same fatal target so
+                // coverage stays put but the learned antecedents go stale.
+                *rule = CascadeRule::random(rule.fatal, &nonfatal, rng);
+            }
+        }
+        for w in &mut next.fatal_weights {
+            if rng.gen_bool((drift * 0.5).clamp(0.0, 1.0)) {
+                *w = rng.gen_range(0.01..1.0);
+            }
+        }
+        // Failure-rate drift: a slow multiplicative random walk week to
+        // week, a jump at a reconfiguration.
+        let (lo, hi) = if drift >= 0.5 {
+            (0.5, 2.0)
+        } else {
+            (0.90, 1.115)
+        };
+        next.rate_multiplier = (next.rate_multiplier * rng.gen_range(lo..hi)).clamp(0.30, 3.0);
+        next.burst_multiplier = (next.burst_multiplier * rng.gen_range(lo..hi)).clamp(0.30, 2.5);
+        // Re-target so rule coverage tracks the drifted weights; chains of
+        // surviving targets are preserved, so small drifts churn few rules.
+        next.retarget_coverage(self.target_coverage, &nonfatal, rng);
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::standard_catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_regime_hits_coverage_target() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(1);
+        let regime = Regime::random(&catalog, 0.35, &mut rng);
+        let cov = regime.coverage();
+        assert!((0.3..0.55).contains(&cov), "coverage {cov}");
+        assert!(!regime.rules.is_empty());
+        // Rules reference only catalog types with the right classing.
+        for r in &regime.rules {
+            assert!(catalog.is_fatal(r.fatal));
+            for p in &r.precursors {
+                assert!(!catalog.is_fatal(*p));
+            }
+            assert!(r.precursors.len() >= 2 && r.precursors.len() <= 4);
+            assert!(r.fire_prob > 0.0 && r.fire_prob < 1.0);
+        }
+    }
+
+    #[test]
+    fn rule_for_finds_target() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(2);
+        let regime = Regime::random(&catalog, 0.3, &mut rng);
+        let target = regime.rules[0].fatal;
+        assert_eq!(regime.rule_for(target).unwrap().fatal, target);
+        // A fatal type with no rule returns None.
+        let uncovered = regime
+            .fatal_types
+            .iter()
+            .find(|t| regime.rules.iter().all(|r| r.fatal != **t))
+            .copied()
+            .expect("some type uncovered");
+        assert!(regime.rule_for(uncovered).is_none());
+    }
+
+    #[test]
+    fn zero_drift_is_identity_on_rules() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(3);
+        let regime = Regime::random(&catalog, 0.3, &mut rng);
+        let next = regime.drifted(0.0, &catalog, &mut rng);
+        assert_eq!(next.rules, regime.rules);
+        assert_eq!(next.fatal_weights, regime.fatal_weights);
+    }
+
+    #[test]
+    fn full_drift_rewrites_most_rules() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(4);
+        let regime = Regime::random(&catalog, 0.35, &mut rng);
+        let next = regime.drifted(1.0, &catalog, &mut rng);
+        let unchanged = next
+            .rules
+            .iter()
+            .filter(|r| regime.rules.iter().any(|o| o == *r))
+            .count();
+        assert!(
+            unchanged * 5 <= regime.rules.len(),
+            "{unchanged}/{} rules survived a full reconfiguration",
+            regime.rules.len()
+        );
+        // Coverage stays in the same ballpark.
+        assert!((next.coverage() - regime.coverage()).abs() < 0.25);
+    }
+
+    #[test]
+    fn small_drift_changes_few_rules() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(5);
+        let regime = Regime::random(&catalog, 0.35, &mut rng);
+        let next = regime.drifted(0.05, &catalog, &mut rng);
+        let changed = next
+            .rules
+            .iter()
+            .filter(|r| !regime.rules.iter().any(|o| o == *r))
+            .count();
+        assert!(changed <= regime.rules.len() / 3, "{changed} rules changed");
+    }
+}

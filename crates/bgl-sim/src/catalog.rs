@@ -1,0 +1,387 @@
+//! The standard Blue Gene/L event catalog.
+//!
+//! Builds the 219-type vocabulary with the exact per-facility fatal and
+//! non-fatal counts of Table 3:
+//!
+//! | Facility   | Fatal | Non-fatal |
+//! |------------|-------|-----------|
+//! | APP        | 10    | 7         |
+//! | BGLMASTER  | 2     | 2         |
+//! | CMCS       | 0     | 4         |
+//! | DISCOVERY  | 0     | 24        |
+//! | HARDWARE   | 1     | 12        |
+//! | KERNEL     | 46    | 90        |
+//! | LINKCARD   | 1     | 0         |
+//! | MMCS       | 0     | 5         |
+//! | MONITOR    | 9     | 5         |
+//! | SERV_NET   | 0     | 1         |
+//! | **TOTAL**  | **69**| **150**   |
+//!
+//! A handful of non-fatal types are logged with `FATAL` severity — the
+//! "fake fatal" entries that administrators helped remove from the failure
+//! list; the categorizer relies on the catalog's corrected classing.
+
+use raslog::{EventCatalog, Facility, Severity};
+
+/// KERNEL subsystems whose hard faults are truly fatal (23 × 2 kinds = 46).
+const KERNEL_FATAL_SUBSYSTEMS: [&str; 23] = [
+    "cache",
+    "torus",
+    "tree network",
+    "collective network",
+    "barrier network",
+    "edram bank",
+    "ddr memory",
+    "cpu",
+    "fpu",
+    "broadcast",
+    "node map file",
+    "rts startup",
+    "socket",
+    "lustre io",
+    "memory controller",
+    "bic interrupt",
+    "scratch register",
+    "instruction address",
+    "data address",
+    "kernel panic handler",
+    "real time clock",
+    "mailbox",
+    "program counter",
+];
+
+/// KERNEL subsystems with only recoverable events (30 × 3 kinds = 90).
+const KERNEL_NONFATAL_SUBSYSTEMS: [&str; 30] = [
+    "l1 cache",
+    "l2 cache",
+    "l3 cache",
+    "torus link",
+    "tree link",
+    "ethernet",
+    "ido packet",
+    "parity",
+    "ecc",
+    "tlb",
+    "alignment",
+    "syscall",
+    "interrupt controller",
+    "dma",
+    "uart",
+    "jtag",
+    "power state",
+    "thermal sensor",
+    "clock domain",
+    "memory scrub",
+    "page table",
+    "kernel module",
+    "network stack",
+    "io node link",
+    "ciod",
+    "debug unit",
+    "performance counter",
+    "watchdog",
+    "firmware",
+    "microcode",
+];
+
+const DISCOVERY_COMPONENTS: [&str; 6] = [
+    "nodecard",
+    "servicecard",
+    "linkcard",
+    "clockcard",
+    "fanmodule",
+    "powermodule",
+];
+const DISCOVERY_ISSUES: [&str; 4] = [
+    "communication warning",
+    "read error",
+    "presence warning",
+    "vpd error",
+];
+
+/// Builds the standard 219-type Blue Gene/L catalog.
+pub fn standard_catalog() -> EventCatalog {
+    let mut c = EventCatalog::new();
+
+    // ---- APP: 10 fatal, 7 non-fatal -------------------------------------
+    for name in [
+        "load program failure",
+        "function call failure",
+        "application segmentation fault",
+        "mpi abort failure",
+        "application assertion failure",
+        "job kill failure",
+        "process exit failure",
+        "application io failure",
+        "signal termination failure",
+        "stack overflow failure",
+    ] {
+        c.add(Facility::App, name, Severity::Failure, true);
+    }
+    for (name, sev) in [
+        ("load program info", Severity::Info),
+        ("application start info", Severity::Info),
+        ("application exit info", Severity::Info),
+        ("job queue warning", Severity::Warning),
+        ("application checkpoint info", Severity::Info),
+        ("application memory warning", Severity::Warning),
+        ("application runtime warning", Severity::Warning),
+    ] {
+        c.add(Facility::App, name, sev, false);
+    }
+
+    // ---- BGLMASTER: 2 fatal, 2 non-fatal ---------------------------------
+    c.add(
+        Facility::BglMaster,
+        "bglmaster segmentation failure",
+        Severity::Failure,
+        true,
+    );
+    c.add(
+        Facility::BglMaster,
+        "bglmaster abort failure",
+        Severity::Fatal,
+        true,
+    );
+    c.add(
+        Facility::BglMaster,
+        "bglmaster restart info",
+        Severity::Info,
+        false,
+    );
+    c.add(
+        Facility::BglMaster,
+        "bglmaster heartbeat info",
+        Severity::Info,
+        false,
+    );
+
+    // ---- CMCS: 0 fatal, 4 non-fatal --------------------------------------
+    c.add(Facility::Cmcs, "cmcs command info", Severity::Info, false);
+    c.add(Facility::Cmcs, "cmcs exit info", Severity::Info, false);
+    c.add(Facility::Cmcs, "cmcs startup info", Severity::Info, false);
+    c.add(
+        Facility::Cmcs,
+        "cmcs polling warning",
+        Severity::Warning,
+        false,
+    );
+
+    // ---- DISCOVERY: 0 fatal, 24 non-fatal --------------------------------
+    for comp in DISCOVERY_COMPONENTS {
+        for issue in DISCOVERY_ISSUES {
+            let sev = if issue.contains("error") {
+                Severity::Error
+            } else {
+                Severity::Warning
+            };
+            c.add(Facility::Discovery, format!("{comp} {issue}"), sev, false);
+        }
+    }
+
+    // ---- HARDWARE: 1 fatal, 12 non-fatal ---------------------------------
+    c.add(
+        Facility::Hardware,
+        "midplane power failure",
+        Severity::Fatal,
+        true,
+    );
+    for (name, sev) in [
+        ("midplane service warning", Severity::Warning),
+        ("midplane switch error", Severity::Error),
+        ("fan speed warning", Severity::Warning),
+        ("power supply warning", Severity::Warning),
+        ("clock signal warning", Severity::Warning),
+        ("temperature sensor warning", Severity::Warning),
+        ("voltage rail warning", Severity::Warning),
+        ("bulk power error", Severity::Error),
+        ("midplane service card error", Severity::Error),
+        ("cable connection warning", Severity::Warning),
+        ("hardware replace info", Severity::Info),
+        ("midplane init info", Severity::Info),
+    ] {
+        c.add(Facility::Hardware, name, sev, false);
+    }
+
+    // ---- KERNEL: 46 fatal, 90 non-fatal ----------------------------------
+    for sub in KERNEL_FATAL_SUBSYSTEMS {
+        c.add(
+            Facility::Kernel,
+            format!("{sub} failure"),
+            Severity::Fatal,
+            true,
+        );
+        c.add(
+            Facility::Kernel,
+            format!("uncorrectable {sub} error"),
+            Severity::Failure,
+            true,
+        );
+    }
+    for (i, sub) in KERNEL_NONFATAL_SUBSYSTEMS.iter().enumerate() {
+        c.add(
+            Facility::Kernel,
+            format!("{sub} warning"),
+            Severity::Warning,
+            false,
+        );
+        // A few correctable-error types are logged FATAL though they are
+        // recoverable — the "fake fatal" population of the raw logs.
+        let sev = if i % 10 == 0 {
+            Severity::Fatal
+        } else {
+            Severity::Severe
+        };
+        c.add(
+            Facility::Kernel,
+            format!("correctable {sub} error"),
+            sev,
+            false,
+        );
+        c.add(
+            Facility::Kernel,
+            format!("{sub} info"),
+            Severity::Info,
+            false,
+        );
+    }
+
+    // ---- LINKCARD: 1 fatal, 0 non-fatal ----------------------------------
+    c.add(
+        Facility::LinkCard,
+        "linkcard failure",
+        Severity::Fatal,
+        true,
+    );
+
+    // ---- MMCS: 0 fatal, 5 non-fatal --------------------------------------
+    c.add(
+        Facility::Mmcs,
+        "mmcs control network error",
+        Severity::Error,
+        false,
+    );
+    c.add(
+        Facility::Mmcs,
+        "mmcs command warning",
+        Severity::Warning,
+        false,
+    );
+    c.add(Facility::Mmcs, "mmcs db info", Severity::Info, false);
+    c.add(Facility::Mmcs, "mmcs polling info", Severity::Info, false);
+    c.add(
+        Facility::Mmcs,
+        "mmcs connection warning",
+        Severity::Warning,
+        false,
+    );
+
+    // ---- MONITOR: 9 fatal, 5 non-fatal -----------------------------------
+    for name in [
+        "node card temperature failure",
+        "ambient temperature failure",
+        "fan failure",
+        "power module failure",
+        "service card temperature failure",
+        "link card temperature failure",
+        "dc voltage failure",
+        "ac power failure",
+        "coolant flow failure",
+    ] {
+        c.add(Facility::Monitor, name, Severity::Fatal, true);
+    }
+    // "node card temperature warning" is another classic fake fatal.
+    c.add(
+        Facility::Monitor,
+        "node card temperature warning",
+        Severity::Fatal,
+        false,
+    );
+    for (name, sev) in [
+        ("fan speed info", Severity::Info),
+        ("power consumption info", Severity::Info),
+        ("humidity warning", Severity::Warning),
+        ("monitor heartbeat info", Severity::Info),
+    ] {
+        c.add(Facility::Monitor, name, sev, false);
+    }
+
+    // ---- SERV_NET: 0 fatal, 1 non-fatal ----------------------------------
+    c.add(
+        Facility::ServNet,
+        "system operation error",
+        Severity::Error,
+        false,
+    );
+
+    debug_assert_eq!(c.len(), 219);
+    debug_assert_eq!(c.fatal_count(), 69);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_counts_exact() {
+        let c = standard_catalog();
+        assert_eq!(c.len(), 219);
+        assert_eq!(c.fatal_count(), 69);
+        let expected: [(Facility, usize, usize); 10] = [
+            (Facility::App, 10, 7),
+            (Facility::BglMaster, 2, 2),
+            (Facility::Cmcs, 0, 4),
+            (Facility::Discovery, 0, 24),
+            (Facility::Hardware, 1, 12),
+            (Facility::Kernel, 46, 90),
+            (Facility::LinkCard, 1, 0),
+            (Facility::Mmcs, 0, 5),
+            (Facility::Monitor, 9, 5),
+            (Facility::ServNet, 0, 1),
+        ];
+        for (fac, fatal, nonfatal) in expected {
+            assert_eq!(c.facility_counts(fac), (fatal, nonfatal), "{fac}");
+        }
+    }
+
+    #[test]
+    fn has_fake_fatals() {
+        let c = standard_catalog();
+        let fakes: Vec<_> = c.iter().filter(|d| d.is_fake_fatal()).collect();
+        assert!(!fakes.is_empty(), "catalog must contain fake fatal types");
+        // The canonical example from the paper's discussion.
+        assert!(fakes
+            .iter()
+            .any(|d| d.name == "node card temperature warning"));
+        // Fake fatals never count as fatal.
+        for d in &fakes {
+            assert!(!d.fatal);
+        }
+    }
+
+    #[test]
+    fn ids_are_dense_and_stable() {
+        let a = standard_catalog();
+        let b = standard_catalog();
+        for (da, db) in a.iter().zip(b.iter()) {
+            assert_eq!(da, db);
+        }
+        for (i, d) in a.iter().enumerate() {
+            assert_eq!(d.id.index(), i);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_works() {
+        let c = standard_catalog();
+        let id = c
+            .lookup(Facility::Kernel, "torus failure")
+            .expect("torus failure");
+        assert!(c.is_fatal(id));
+        let id = c
+            .lookup(Facility::Cmcs, "cmcs exit info")
+            .expect("cmcs exit info");
+        assert!(!c.is_fatal(id));
+    }
+}

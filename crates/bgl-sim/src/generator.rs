@@ -1,0 +1,376 @@
+//! The generator: orchestrates jobs, faults, cascades, noise and reporting
+//! into a raw RAS log.
+//!
+//! Week streams are independently addressable — `week_events(w)` depends
+//! only on `(seed, w)` and the deterministic regime schedule — so callers
+//! can either materialize a whole log ([`Generator::generate`]) or stream
+//! weeks through preprocessing without holding the raw log in memory.
+
+use crate::cascade::Regime;
+use crate::faults::{generate_fatals, FatalOccurrence};
+use crate::jobs::{job_at, Job, JobModel};
+use crate::noise::generate_noise;
+use crate::presets::SystemPreset;
+use crate::regime::RegimeSchedule;
+use crate::reporting::expand;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use raslog::{
+    Duration, EventCatalog, Facility, JobId, Location, LogStore, RasEvent, RecordSource, Timestamp,
+    WEEK_MS,
+};
+
+/// What the generator *intended*: useful for validating the pipeline and
+/// for oracle-based tests, never shown to the learners.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Every intended fatal occurrence.
+    pub fatals: Vec<FatalOccurrence>,
+    /// How many of them were preceded by a planted precursor cascade.
+    pub cued_fatals: usize,
+}
+
+/// A fully materialized log plus its ground truth.
+#[derive(Debug, Clone)]
+pub struct GeneratedLog {
+    /// The raw, duplicated RAS log.
+    pub store: LogStore,
+    /// The generator's intent.
+    pub truth: GroundTruth,
+}
+
+/// Synthesizes RAS logs for one system preset.
+#[derive(Debug, Clone)]
+pub struct Generator {
+    preset: SystemPreset,
+    catalog: EventCatalog,
+    schedule: RegimeSchedule,
+    job_model: JobModel,
+    seed: u64,
+}
+
+impl Generator {
+    /// Creates a generator with the standard catalog.
+    pub fn new(preset: SystemPreset, seed: u64) -> Self {
+        let catalog = crate::catalog::standard_catalog();
+        let schedule = RegimeSchedule::generate(&catalog, &preset.regime, seed);
+        let job_model = JobModel::new(preset.topology);
+        Generator {
+            preset,
+            catalog,
+            schedule,
+            job_model,
+            seed,
+        }
+    }
+
+    /// The event catalog in use.
+    pub fn catalog(&self) -> &EventCatalog {
+        &self.catalog
+    }
+
+    /// The preset in use.
+    pub fn preset(&self) -> &SystemPreset {
+        &self.preset
+    }
+
+    /// The hidden regime in force during week `w` (for oracle tests).
+    pub fn regime(&self, week: i64) -> &Regime {
+        self.schedule.for_week(week)
+    }
+
+    /// Picks a plausible location for an event of `facility`.
+    fn location_for<R: Rng>(&self, facility: Facility, rng: &mut R) -> Location {
+        let topo = &self.preset.topology;
+        match facility {
+            Facility::Kernel | Facility::App => topo.random_chip(rng),
+            Facility::Monitor | Facility::Discovery => {
+                if rng.gen_bool(0.7) {
+                    topo.random_node_card(rng)
+                } else {
+                    topo.random_service_card(rng)
+                }
+            }
+            Facility::Hardware => topo.random_midplane(rng),
+            Facility::LinkCard => topo.random_link_card(rng),
+            Facility::Mmcs | Facility::Cmcs => topo.random_service_card(rng),
+            Facility::BglMaster | Facility::ServNet => Location::System,
+        }
+    }
+
+    /// Generates the raw records and ground truth for week `w`.
+    ///
+    /// Records are sorted by time and carry record ids
+    /// `w·10⁹, w·10⁹+1, …` so ids are unique across weeks and increase with
+    /// time inside a week.
+    pub fn week_events(&self, week: i64) -> (Vec<RasEvent>, GroundTruth) {
+        assert!(
+            (0..self.preset.weeks).contains(&week),
+            "week {week} out of range"
+        );
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (week as u64).wrapping_mul(0xd129_2e47_91fa_c0de));
+        let from = Timestamp(week * WEEK_MS);
+        let to = Timestamp((week + 1) * WEEK_MS);
+        let regime = self.schedule.for_week(week);
+
+        let jobs = self
+            .job_model
+            .schedule(from, to, (week as u32) * 100_000, &mut rng);
+        let fatals = generate_fatals(&self.preset.fault, regime, from, to, &mut rng);
+        let noise = generate_noise(&self.preset.noise, &self.catalog, week, &mut rng);
+
+        let mut out: Vec<RasEvent> = Vec::new();
+        let mut truth = GroundTruth {
+            fatals: fatals.clone(),
+            cued_fatals: 0,
+        };
+
+        // Fatal occurrences, their cascades, and their duplicated reports.
+        for f in &fatals {
+            let facility = self.catalog.def(f.type_id).facility;
+            let loc = self.location_for(facility, &mut rng);
+            let job = job_at(&jobs, f.time, &loc).map(|j| j.id);
+            let job = job.or_else(|| fallback_job(&jobs, f.time));
+
+            if let Some(rule) = regime.rule_for(f.type_id) {
+                if rng.gen_bool(rule.fire_prob) {
+                    truth.cued_fatals += 1;
+                    for &p in &rule.precursors {
+                        let lead = rng.gen_range(rule.min_lead.millis()..=rule.max_lead.millis());
+                        let pt = (f.time - Duration(lead)).max(from);
+                        let ploc = self.location_for(self.catalog.def(p).facility, &mut rng);
+                        expand(
+                            pt,
+                            p,
+                            ploc,
+                            job,
+                            RecordSource::Ras,
+                            &self.catalog,
+                            &self.preset.topology,
+                            &self.preset.reporting,
+                            &mut rng,
+                            &mut out,
+                        );
+                    }
+                }
+            }
+            expand(
+                f.time,
+                f.type_id,
+                loc,
+                job,
+                RecordSource::Ras,
+                &self.catalog,
+                &self.preset.topology,
+                &self.preset.reporting,
+                &mut rng,
+                &mut out,
+            );
+        }
+
+        // False cues: precursor chains with no fatal behind them.
+        for rule in &regime.rules {
+            let n = poisson_count(rule.false_cues_per_week, &mut rng);
+            for _ in 0..n {
+                let t0 = Timestamp(rng.gen_range(from.millis()..to.millis()));
+                for &p in &rule.precursors {
+                    let jitter = Duration::from_secs(rng.gen_range(0..60));
+                    let ploc = self.location_for(self.catalog.def(p).facility, &mut rng);
+                    let job = fallback_job(&jobs, t0);
+                    expand(
+                        t0 + jitter,
+                        p,
+                        ploc,
+                        job,
+                        RecordSource::Ras,
+                        &self.catalog,
+                        &self.preset.topology,
+                        &self.preset.reporting,
+                        &mut rng,
+                        &mut out,
+                    );
+                }
+            }
+        }
+
+        // Background noise.
+        for e in &noise {
+            let facility = self.catalog.def(e.type_id).facility;
+            let loc = self.location_for(facility, &mut rng);
+            let job = job_at(&jobs, e.time, &loc).map(|j| j.id);
+            expand(
+                e.time,
+                e.type_id,
+                loc,
+                job,
+                e.source,
+                &self.catalog,
+                &self.preset.topology,
+                &self.preset.reporting,
+                &mut rng,
+                &mut out,
+            );
+        }
+
+        // Re-report offsets may spill past the week boundary; clamp them so
+        // concatenated week streams stay globally time-sorted.
+        let last_second = Timestamp(to.millis() - raslog::SECOND_MS);
+        for e in &mut out {
+            e.time = e.time.min(last_second);
+        }
+        out.sort_by_key(|e| e.time);
+        for (i, e) in out.iter_mut().enumerate() {
+            e.record_id = week as u64 * 1_000_000_000 + i as u64;
+        }
+        (out, truth)
+    }
+
+    /// Materializes the whole log.
+    pub fn generate(&self) -> GeneratedLog {
+        let mut events = Vec::new();
+        let mut truth = GroundTruth::default();
+        for w in 0..self.preset.weeks {
+            let (mut week_events, week_truth) = self.week_events(w);
+            events.append(&mut week_events);
+            truth.fatals.extend(week_truth.fatals);
+            truth.cued_fatals += week_truth.cued_fatals;
+        }
+        GeneratedLog {
+            store: LogStore::from_events(events),
+            truth,
+        }
+    }
+}
+
+/// The most recently started job running at `t`, regardless of location —
+/// used when an event strikes outside any partition.
+fn fallback_job(jobs: &[Job], t: Timestamp) -> Option<JobId> {
+    jobs.iter()
+        .rev()
+        .find(|j| t >= j.start && t < j.end)
+        .map(|j| j.id)
+}
+
+fn poisson_count<R: Rng>(mean: f64, rng: &mut R) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    use rand_distr::{Distribution, Poisson};
+    Poisson::new(mean).expect("positive mean").sample(rng) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::SystemPreset;
+
+    fn small_gen(seed: u64) -> Generator {
+        Generator::new(
+            SystemPreset::anl().with_weeks(3).with_volume_scale(0.05),
+            seed,
+        )
+    }
+
+    #[test]
+    fn weeks_are_deterministic_and_sorted() {
+        let g = small_gen(42);
+        let (a, ta) = g.week_events(1);
+        let (b, tb) = g.week_events(1);
+        assert_eq!(a, b);
+        assert_eq!(ta.fatals, tb.fatals);
+        assert!(!a.is_empty());
+        for w in a.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for e in &a {
+            assert_eq!(e.time.week_index(), 1);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (a, _) = small_gen(1).week_events(0);
+        let (b, _) = small_gen(2).week_events(0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn record_ids_unique_and_increasing() {
+        let g = small_gen(7);
+        let log = g.generate();
+        let ids: Vec<u64> = log.store.events().iter().map(|e| e.record_id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len(), "duplicate record ids");
+    }
+
+    #[test]
+    fn truth_counts_cued_fatals() {
+        let g = small_gen(11);
+        let log = g.generate();
+        assert!(!log.truth.fatals.is_empty());
+        assert!(log.truth.cued_fatals <= log.truth.fatals.len());
+        // Coverage target is 35 % and fire probabilities average ~0.75, so
+        // the cued share should be well below half but above zero.
+        let share = log.truth.cued_fatals as f64 / log.truth.fatals.len() as f64;
+        assert!(share > 0.02 && share < 0.7, "cued share {share}");
+    }
+
+    #[test]
+    fn planted_precursors_appear_in_log() {
+        let g = small_gen(13);
+        let (events, truth) = g.week_events(0);
+        let regime = g.regime(0);
+        // Find a cued fatal: a fatal with a rule whose precursor entry data
+        // appears in the preceding 5 minutes.
+        let catalog = g.catalog();
+        let mut found = 0;
+        for f in &truth.fatals {
+            let Some(rule) = regime.rule_for(f.type_id) else {
+                continue;
+            };
+            let names: Vec<&str> = rule
+                .precursors
+                .iter()
+                .map(|&p| catalog.def(p).name.as_str())
+                .collect();
+            let window_start = f.time - Duration::from_secs(400);
+            let hits = events
+                .iter()
+                .filter(|e| e.time >= window_start && e.time < f.time)
+                .filter(|e| names.contains(&e.entry_data.as_str()))
+                .count();
+            if hits >= names.len() {
+                found += 1;
+            }
+        }
+        if truth.cued_fatals > 0 {
+            assert!(
+                found > 0,
+                "no cascades found despite {} cued fatals",
+                truth.cued_fatals
+            );
+        }
+    }
+
+    #[test]
+    fn fatal_severities_match_catalog_logging() {
+        let g = small_gen(17);
+        let (events, _) = g.week_events(0);
+        let catalog = g.catalog();
+        for e in &events {
+            let id = catalog
+                .lookup(e.facility, &e.entry_data)
+                .expect("known type");
+            assert_eq!(e.severity, catalog.def(id).logged_severity);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_week_panics() {
+        small_gen(1).week_events(99);
+    }
+}

@@ -1,0 +1,188 @@
+//! A lightweight job-scheduler model.
+//!
+//! Blue Gene jobs run on partitions of node cards; any event detected on a
+//! chip is attributed to the job whose partition contains it. The model
+//! keeps a rolling set of active jobs with Poisson-ish arrivals and
+//! log-normal durations, enough for the `Job ID` attribute and for the
+//! filter's "same Job ID" compression predicates to be meaningful.
+
+use crate::topology::Topology;
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal as LogNormalDist};
+use raslog::{Duration, JobId, Location, Timestamp};
+
+/// A scheduled job occupying a set of node cards for a time interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Job {
+    /// Unique job id.
+    pub id: JobId,
+    /// Start time (inclusive).
+    pub start: Timestamp,
+    /// End time (exclusive).
+    pub end: Timestamp,
+    /// The node cards the job occupies.
+    pub partition: Vec<Location>,
+}
+
+impl Job {
+    /// `true` when the job is running at `t` and its partition contains
+    /// `loc`.
+    pub fn covers(&self, t: Timestamp, loc: &Location) -> bool {
+        t >= self.start && t < self.end && self.partition.iter().any(|nc| nc.contains(loc))
+    }
+}
+
+/// Generates the job schedule for a time span.
+#[derive(Debug, Clone)]
+pub struct JobModel {
+    topology: Topology,
+    /// Mean gap between job starts.
+    pub mean_interarrival: Duration,
+    /// Median job duration (log-normal).
+    pub median_duration: Duration,
+    /// Node cards per job partition (min, max).
+    pub partition_cards: (usize, usize),
+}
+
+impl JobModel {
+    /// A schedule generator with workload parameters typical of capability
+    /// systems (jobs of minutes to hours on 1–8 node cards).
+    pub fn new(topology: Topology) -> Self {
+        JobModel {
+            topology,
+            mean_interarrival: Duration::from_mins(20),
+            median_duration: Duration::from_hours(2),
+            partition_cards: (1, 8),
+        }
+    }
+
+    /// Generates all jobs whose start falls in `[from, to)`, with ids
+    /// beginning at `first_id`.
+    pub fn schedule<R: Rng>(
+        &self,
+        from: Timestamp,
+        to: Timestamp,
+        first_id: u32,
+        rng: &mut R,
+    ) -> Vec<Job> {
+        let dur_dist = LogNormalDist::new((self.median_duration.millis() as f64).ln(), 0.9)
+            .expect("valid log-normal");
+        let mut jobs = Vec::new();
+        let mut t = from;
+        let mut id = first_id;
+        while t < to {
+            // Exponential gap with the configured mean.
+            let gap_ms = (-rng.gen_range(1e-12f64..1.0).ln()
+                * self.mean_interarrival.millis() as f64) as i64;
+            t = t + Duration(gap_ms.max(1));
+            if t >= to {
+                break;
+            }
+            let dur_ms = dur_dist.sample(rng).clamp(60_000.0, 7.0 * 24.0 * 3.6e6) as i64;
+            let cards = rng.gen_range(self.partition_cards.0..=self.partition_cards.1);
+            let mut partition = Vec::with_capacity(cards);
+            for _ in 0..cards {
+                partition.push(self.topology.random_node_card(rng));
+            }
+            partition.sort();
+            partition.dedup();
+            jobs.push(Job {
+                id: JobId(id),
+                start: t,
+                end: t + Duration(dur_ms),
+                partition,
+            });
+            id += 1;
+        }
+        jobs
+    }
+}
+
+/// Finds the job covering `loc` at `t`, preferring the most recently
+/// started one (jobs are sorted by start time).
+pub fn job_at<'a>(jobs: &'a [Job], t: Timestamp, loc: &Location) -> Option<&'a Job> {
+    jobs.iter().rev().find(|j| j.covers(t, loc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> JobModel {
+        JobModel::new(Topology::new(1, 16))
+    }
+
+    #[test]
+    fn schedule_is_ordered_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let to = Timestamp::from_secs(7 * 24 * 3600);
+        let jobs = model().schedule(Timestamp::ZERO, to, 100, &mut rng);
+        assert!(!jobs.is_empty());
+        for w in jobs.windows(2) {
+            assert!(w[0].start <= w[1].start);
+            assert_eq!(w[1].id.0, w[0].id.0 + 1);
+        }
+        for j in &jobs {
+            assert!(j.start >= Timestamp::ZERO && j.start < to);
+            assert!(j.end > j.start);
+            assert!(!j.partition.is_empty());
+        }
+    }
+
+    #[test]
+    fn covers_respects_time_and_space() {
+        let card = Location::NodeCard {
+            rack: 0,
+            midplane: 0,
+            node_card: 3,
+        };
+        let job = Job {
+            id: JobId(1),
+            start: Timestamp::from_secs(100),
+            end: Timestamp::from_secs(200),
+            partition: vec![card],
+        };
+        let chip_on = Location::chip(0, 0, 3, 5, 1);
+        let chip_off = Location::chip(0, 0, 4, 5, 1);
+        assert!(job.covers(Timestamp::from_secs(150), &chip_on));
+        assert!(!job.covers(Timestamp::from_secs(150), &chip_off));
+        assert!(!job.covers(Timestamp::from_secs(50), &chip_on));
+        assert!(!job.covers(Timestamp::from_secs(200), &chip_on)); // end exclusive
+    }
+
+    #[test]
+    fn job_at_prefers_latest() {
+        let card = Location::NodeCard {
+            rack: 0,
+            midplane: 0,
+            node_card: 3,
+        };
+        let mk = |id: u32, s: i64, e: i64| Job {
+            id: JobId(id),
+            start: Timestamp::from_secs(s),
+            end: Timestamp::from_secs(e),
+            partition: vec![card],
+        };
+        let jobs = vec![mk(1, 0, 1000), mk(2, 500, 800)];
+        let chip = Location::chip(0, 0, 3, 0, 0);
+        assert_eq!(
+            job_at(&jobs, Timestamp::from_secs(600), &chip).unwrap().id,
+            JobId(2)
+        );
+        assert_eq!(
+            job_at(&jobs, Timestamp::from_secs(900), &chip).unwrap().id,
+            JobId(1)
+        );
+        assert!(job_at(&jobs, Timestamp::from_secs(2000), &chip).is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let to = Timestamp::from_secs(24 * 3600);
+        let a = model().schedule(Timestamp::ZERO, to, 0, &mut StdRng::seed_from_u64(42));
+        let b = model().schedule(Timestamp::ZERO, to, 0, &mut StdRng::seed_from_u64(42));
+        assert_eq!(a, b);
+    }
+}

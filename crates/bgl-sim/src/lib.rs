@@ -1,0 +1,47 @@
+//! # bgl-sim — synthetic Blue Gene/L RAS log generator
+//!
+//! The paper evaluates on production RAS logs from the ANL and SDSC Blue
+//! Gene/L machines. Those logs are not publicly redistributable, so this
+//! crate synthesizes logs with the same *statistical structure*, driving
+//! every code path the real logs exercise:
+//!
+//! * the real packaging hierarchy ([`topology`]) and a job-scheduler model
+//!   ([`jobs`]) so events carry realistic `Location` and `Job ID` fields;
+//! * the standard 219-type event catalog ([`catalog`]) with the exact
+//!   fatal/non-fatal per-facility counts of Table 3, including "fake
+//!   fatal" types whose logged severity overstates their impact;
+//! * heavy-tailed fatal arrival processes (Weibull, shape < 1) with burst
+//!   cascades — the temporal correlation of Figs. 4–5 ([`faults`]);
+//! * hidden ground-truth *precursor rules*: a configurable fraction of
+//!   fatal events is preceded by correlated non-fatal events within the
+//!   rule-generation window, the signal the association-rule learner must
+//!   find ([`cascade`]); the rest arrive unheralded (the paper observes up
+//!   to 75 % of fatals have no precursor);
+//! * slow concept drift plus an optional mid-life reconfiguration that
+//!   rewrites most rules at once — the regime change SDSC underwent near
+//!   week 62 ([`regime`]);
+//! * per-chip duplicated reporting and polling-agent re-reports
+//!   ([`reporting`]), so the preprocessing filter has real work (~98 %
+//!   compression at a 300 s threshold, as in Table 4);
+//! * facility-dependent background noise including ANL-style
+//!   machine-check storms ([`noise`]).
+//!
+//! Generation is fully deterministic given a seed, and per-week streams are
+//! independently addressable so online-prediction examples can stream weeks
+//! without materializing whole logs.
+
+pub mod cascade;
+pub mod catalog;
+pub mod faults;
+pub mod generator;
+pub mod jobs;
+pub mod noise;
+pub mod presets;
+pub mod regime;
+pub mod reporting;
+pub mod topology;
+
+pub use catalog::standard_catalog;
+pub use generator::{GeneratedLog, Generator, GroundTruth};
+pub use presets::SystemPreset;
+pub use topology::Topology;

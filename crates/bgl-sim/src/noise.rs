@@ -1,0 +1,251 @@
+//! Background non-fatal event streams.
+//!
+//! Most of a RAS log is informational: warnings, configuration chatter,
+//! environmental readings. The noise model emits per-facility Poisson
+//! streams with Zipf-weighted type choice, plus ANL-style *machine-check
+//! storms* — the paper notes over 1.15 million machine-check messages in a
+//! single week at ANL, produced by aggressive diagnostics.
+
+use rand::Rng;
+use rand_distr::{Distribution, Poisson};
+use raslog::{EventCatalog, EventTypeId, Facility, RecordSource, Timestamp, DAY_MS, WEEK_MS};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the background noise streams.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Expected *unique* non-fatal events per week for each facility
+    /// (indexed by [`Facility::index`]); duplication happens later in
+    /// reporting.
+    pub weekly_rates: [f64; 10],
+    /// Probability that a given week contains a machine-check storm.
+    pub storm_weekly_prob: f64,
+    /// Expected unique events in one storm (heavily duplicated later).
+    pub storm_mean_events: f64,
+}
+
+impl NoiseConfig {
+    /// Rates shaped like the ANL log: KERNEL-dominated with a busy MONITOR
+    /// stream and frequent diagnostic storms.
+    pub fn anl_like() -> Self {
+        let mut weekly_rates = [0.0; 10];
+        weekly_rates[Facility::App.index()] = 14.0;
+        weekly_rates[Facility::BglMaster.index()] = 1.0;
+        weekly_rates[Facility::Cmcs.index()] = 2.5;
+        weekly_rates[Facility::Discovery.index()] = 13.0;
+        weekly_rates[Facility::Hardware.index()] = 5.0;
+        weekly_rates[Facility::Kernel.index()] = 220.0;
+        weekly_rates[Facility::Mmcs.index()] = 4.0;
+        weekly_rates[Facility::Monitor.index()] = 140.0;
+        weekly_rates[Facility::ServNet.index()] = 0.01;
+        NoiseConfig {
+            weekly_rates,
+            storm_weekly_prob: 0.3,
+            storm_mean_events: 1500.0,
+        }
+    }
+
+    /// Rates shaped like the SDSC log: quieter overall, no MONITOR stream
+    /// (the SDSC log has zero MONITOR records) and rare storms.
+    pub fn sdsc_like() -> Self {
+        let mut weekly_rates = [0.0; 10];
+        weekly_rates[Facility::App.index()] = 4.5;
+        weekly_rates[Facility::BglMaster.index()] = 0.8;
+        weekly_rates[Facility::Cmcs.index()] = 3.0;
+        weekly_rates[Facility::Discovery.index()] = 24.0;
+        weekly_rates[Facility::Hardware.index()] = 2.5;
+        weekly_rates[Facility::Kernel.index()] = 27.0;
+        weekly_rates[Facility::Mmcs.index()] = 4.0;
+        weekly_rates[Facility::Monitor.index()] = 0.0;
+        weekly_rates[Facility::ServNet.index()] = 0.03;
+        NoiseConfig {
+            weekly_rates,
+            storm_weekly_prob: 0.05,
+            storm_mean_events: 300.0,
+        }
+    }
+}
+
+/// One background non-fatal emission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoiseEvent {
+    /// When it is logged.
+    pub time: Timestamp,
+    /// Which non-fatal type.
+    pub type_id: EventTypeId,
+    /// Recording mechanism (`MachineCheck` for storm events).
+    pub source: RecordSource,
+}
+
+/// Generates the noise stream for week `w` (times within that week),
+/// sorted by time.
+pub fn generate_noise<R: Rng>(
+    config: &NoiseConfig,
+    catalog: &EventCatalog,
+    week: i64,
+    rng: &mut R,
+) -> Vec<NoiseEvent> {
+    let week_start = week * WEEK_MS;
+    let mut out = Vec::new();
+
+    // Per-facility non-fatal type pools with Zipf weights.
+    for facility in Facility::ALL {
+        let rate = config.weekly_rates[facility.index()];
+        if rate <= 0.0 {
+            continue;
+        }
+        let pool: Vec<EventTypeId> = catalog
+            .iter()
+            .filter(|d| d.facility == facility && !d.fatal)
+            .map(|d| d.id)
+            .collect();
+        if pool.is_empty() {
+            continue;
+        }
+        let n = Poisson::new(rate).expect("positive rate").sample(rng) as usize;
+        // Steep Zipf: routine chatter concentrates on each facility's few
+        // stock messages; the tail types are genuinely unusual.
+        let total_weight: f64 = (1..=pool.len()).map(|i| 1.0 / (i as f64).powf(1.5)).sum();
+        for _ in 0..n {
+            let mut x = rng.gen_range(0.0..total_weight);
+            let mut chosen = pool[pool.len() - 1];
+            for (i, &id) in pool.iter().enumerate() {
+                let w = 1.0 / ((i + 1) as f64).powf(1.5);
+                if x < w {
+                    chosen = id;
+                    break;
+                }
+                x -= w;
+            }
+            out.push(NoiseEvent {
+                time: Timestamp(week_start + rng.gen_range(0..WEEK_MS)),
+                type_id: chosen,
+                source: RecordSource::Ras,
+            });
+        }
+    }
+
+    // Machine-check storm: a burst of KERNEL info/correctable messages
+    // concentrated in one day of the week.
+    if rng.gen_bool(config.storm_weekly_prob.clamp(0.0, 1.0)) {
+        let kernel_pool: Vec<EventTypeId> = catalog
+            .iter()
+            .filter(|d| d.facility == Facility::Kernel && !d.fatal)
+            .map(|d| d.id)
+            .collect();
+        if !kernel_pool.is_empty() {
+            let day = rng.gen_range(0..7i64);
+            let day_start = week_start + day * DAY_MS;
+            let n = Poisson::new(config.storm_mean_events.max(1.0))
+                .expect("positive storm size")
+                .sample(rng) as usize;
+            // A storm is a specific message family hammering the log, not
+            // a uniform spray over every kernel type: concentrate on the
+            // few heaviest types (steep Zipf).
+            let total_weight: f64 = (1..=kernel_pool.len())
+                .map(|i| 1.0 / (i as f64).powi(2))
+                .sum();
+            for _ in 0..n {
+                let mut x = rng.gen_range(0.0..total_weight);
+                let mut id = kernel_pool[0];
+                for (i, &cand) in kernel_pool.iter().enumerate() {
+                    let w = 1.0 / ((i + 1) as f64).powi(2);
+                    if x < w {
+                        id = cand;
+                        break;
+                    }
+                    x -= w;
+                }
+                out.push(NoiseEvent {
+                    time: Timestamp(day_start + rng.gen_range(0..DAY_MS)),
+                    type_id: id,
+                    source: RecordSource::MachineCheck,
+                });
+            }
+        }
+    }
+
+    out.sort_by_key(|e| e.time);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::standard_catalog;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noise_is_nonfatal_sorted_and_in_week() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(1);
+        let events = generate_noise(&NoiseConfig::anl_like(), &catalog, 3, &mut rng);
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+        for e in &events {
+            assert!(!catalog.is_fatal(e.type_id));
+            assert_eq!(e.time.week_index(), 3);
+        }
+    }
+
+    #[test]
+    fn sdsc_has_no_monitor_noise() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(2);
+        for week in 0..10 {
+            for e in generate_noise(&NoiseConfig::sdsc_like(), &catalog, week, &mut rng) {
+                assert_ne!(catalog.def(e.type_id).facility, Facility::Monitor);
+            }
+        }
+    }
+
+    #[test]
+    fn storms_are_machine_check_kernel_bursts() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = NoiseConfig {
+            storm_weekly_prob: 1.0,
+            ..NoiseConfig::anl_like()
+        };
+        let events = generate_noise(&config, &catalog, 0, &mut rng);
+        let storm: Vec<_> = events
+            .iter()
+            .filter(|e| e.source == RecordSource::MachineCheck)
+            .collect();
+        assert!(storm.len() > 500, "storm too small: {}", storm.len());
+        for e in &storm {
+            assert_eq!(catalog.def(e.type_id).facility, Facility::Kernel);
+        }
+        // Storm is concentrated in one day.
+        let days: std::collections::HashSet<i64> =
+            storm.iter().map(|e| e.time.day_index()).collect();
+        assert_eq!(days.len(), 1);
+    }
+
+    #[test]
+    fn rates_scale_expected_counts() {
+        let catalog = standard_catalog();
+        let mut rng = StdRng::seed_from_u64(4);
+        let config = NoiseConfig {
+            storm_weekly_prob: 0.0,
+            ..NoiseConfig::anl_like()
+        };
+        let mut kernel_total = 0usize;
+        let weeks = 20;
+        for week in 0..weeks {
+            kernel_total += generate_noise(&config, &catalog, week, &mut rng)
+                .iter()
+                .filter(|e| catalog.def(e.type_id).facility == Facility::Kernel)
+                .count();
+        }
+        let expected = config.weekly_rates[Facility::Kernel.index()] * weeks as f64;
+        let got = kernel_total as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.15,
+            "{got} vs {expected}"
+        );
+    }
+}

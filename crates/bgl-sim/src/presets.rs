@@ -1,0 +1,168 @@
+//! System presets matching the two case-study machines.
+//!
+//! | Log      | Period              | Weeks | Raw events | Racks | I/O nodes |
+//! |----------|---------------------|-------|------------|-------|-----------|
+//! | ANL BGL  | Jan 2005 – Jun 2007 | 112   | 5 887 771  | 1     | 32        |
+//! | SDSC BGL | Dec 2004 – Jun 2007 | 132   | 517 247    | 3     | 384       |
+//!
+//! The ANL log is far larger despite the smaller machine because ANL ran
+//! diagnostics aggressively (machine-check storms). The SDSC system went
+//! through a major reconfiguration around week 62, visible as an accuracy
+//! dip and rule churn in the paper's Figs. 10 and 12.
+
+use crate::faults::FaultConfig;
+use crate::noise::NoiseConfig;
+use crate::regime::RegimeConfig;
+use crate::reporting::ReportingConfig;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Full configuration of one synthetic system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemPreset {
+    /// Display name ("ANL", "SDSC", …).
+    pub name: String,
+    /// Machine size.
+    pub topology: Topology,
+    /// Log length in weeks.
+    pub weeks: i64,
+    /// Fatal arrival processes.
+    pub fault: FaultConfig,
+    /// Background noise streams.
+    pub noise: NoiseConfig,
+    /// Duplicated-reporting intensities.
+    pub reporting: ReportingConfig,
+    /// Regime drift / reconfiguration parameters.
+    pub regime: RegimeConfig,
+}
+
+impl SystemPreset {
+    /// The ANL-like system: one rack, noisy diagnostics, no mid-life
+    /// reconfiguration.
+    pub fn anl() -> Self {
+        let weeks = 112;
+        SystemPreset {
+            name: "ANL".to_string(),
+            topology: Topology::new(1, 16),
+            weeks,
+            fault: FaultConfig {
+                weibull_shape: 1.6,
+                weibull_scale_secs: 50_000.0,
+                burst_prob: 0.25,
+                burst_size_exponent: 1.35,
+                burst_max_size: 60,
+                burst_spread_secs: 45.0,
+            },
+            noise: NoiseConfig::anl_like(),
+            reporting: ReportingConfig::anl_like(),
+            regime: RegimeConfig {
+                weeks,
+                weekly_drift: 0.03,
+                reconfig_week: None,
+                reconfig_drift: 0.8,
+                precursor_coverage: 0.20,
+            },
+        }
+    }
+
+    /// The SDSC-like system: three racks, quieter logging, and a major
+    /// reconfiguration around week 62.
+    pub fn sdsc() -> Self {
+        let weeks = 132;
+        SystemPreset {
+            name: "SDSC".to_string(),
+            topology: Topology::new(3, 64),
+            weeks,
+            fault: FaultConfig {
+                weibull_shape: 1.5,
+                weibull_scale_secs: 46_000.0,
+                burst_prob: 0.33,
+                burst_size_exponent: 1.25,
+                burst_max_size: 60,
+                burst_spread_secs: 45.0,
+            },
+            noise: NoiseConfig::sdsc_like(),
+            reporting: ReportingConfig::sdsc_like(),
+            regime: RegimeConfig {
+                weeks,
+                weekly_drift: 0.03,
+                reconfig_week: Some(62),
+                reconfig_drift: 0.8,
+                precursor_coverage: 0.20,
+            },
+        }
+    }
+
+    /// Scales the *volume* knobs (duplication intensity and storm size) by
+    /// `scale`, leaving the signal — fatal arrivals, precursor cascades and
+    /// unique noise rates — untouched. Prediction-accuracy experiments are
+    /// therefore insensitive to `scale`; only raw-log volume (Tables 2 and
+    /// 4, and the filter benchmarks) changes.
+    pub fn with_volume_scale(mut self, scale: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        for d in &mut self.reporting.per_facility_dup {
+            *d = (*d * scale).max(1.0);
+        }
+        self.reporting.machine_check_dup = (self.reporting.machine_check_dup * scale).max(1.0);
+        self.reporting.fatal_dup = (self.reporting.fatal_dup * scale).max(1.0);
+        self.noise.storm_mean_events = (self.noise.storm_mean_events * scale).max(1.0);
+        self
+    }
+
+    /// Truncates the log to `weeks` weeks (for quick tests).
+    pub fn with_weeks(mut self, weeks: i64) -> Self {
+        assert!(weeks > 0, "need at least one week");
+        self.weeks = weeks;
+        self.regime.weeks = weeks;
+        if let Some(r) = self.regime.reconfig_week {
+            if r >= weeks {
+                self.regime.reconfig_week = None;
+            }
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes() {
+        let anl = SystemPreset::anl();
+        assert_eq!(anl.topology.chips(), 1024);
+        assert_eq!(anl.weeks, 112);
+        assert!(anl.regime.reconfig_week.is_none());
+        let sdsc = SystemPreset::sdsc();
+        assert_eq!(sdsc.topology.chips(), 3072);
+        assert_eq!(sdsc.weeks, 132);
+        assert_eq!(sdsc.regime.reconfig_week, Some(62));
+    }
+
+    #[test]
+    fn volume_scale_touches_only_volume() {
+        let base = SystemPreset::anl();
+        let scaled = base.clone().with_volume_scale(0.1);
+        assert_eq!(scaled.fault, base.fault);
+        assert_eq!(scaled.noise.weekly_rates, base.noise.weekly_rates);
+        assert!(scaled.reporting.fatal_dup < base.reporting.fatal_dup);
+        assert!(scaled.reporting.fatal_dup >= 1.0);
+        assert!(scaled.noise.storm_mean_events < base.noise.storm_mean_events);
+    }
+
+    #[test]
+    fn with_weeks_drops_out_of_range_reconfig() {
+        let sdsc = SystemPreset::sdsc().with_weeks(20);
+        assert_eq!(sdsc.weeks, 20);
+        assert_eq!(sdsc.regime.weeks, 20);
+        assert!(sdsc.regime.reconfig_week.is_none());
+        let sdsc_long = SystemPreset::sdsc().with_weeks(80);
+        assert_eq!(sdsc_long.regime.reconfig_week, Some(62));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_scale_panics() {
+        SystemPreset::anl().with_volume_scale(0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! Machine topology: how many racks, midplanes, cards, chips and I/O nodes.
+
+use rand::Rng;
+use raslog::Location;
+use serde::{Deserialize, Serialize};
+
+/// Fixed Blue Gene/L packaging constants.
+pub const MIDPLANES_PER_RACK: u8 = 2;
+/// Node cards per midplane.
+pub const NODE_CARDS_PER_MIDPLANE: u8 = 16;
+/// Compute cards per node card.
+pub const COMPUTE_CARDS_PER_NODE_CARD: u8 = 16;
+/// Compute chips per compute card.
+pub const CHIPS_PER_COMPUTE_CARD: u8 = 2;
+/// Link cards per midplane.
+pub const LINK_CARDS_PER_MIDPLANE: u8 = 4;
+
+/// The size of one machine installation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of racks (ANL: 1, SDSC: 3).
+    pub racks: u8,
+    /// I/O nodes per midplane (ANL: 16, SDSC: 64).
+    pub io_nodes_per_midplane: u8,
+}
+
+impl Topology {
+    /// Creates a topology.
+    ///
+    /// # Panics
+    /// Panics when `racks == 0`.
+    pub fn new(racks: u8, io_nodes_per_midplane: u8) -> Self {
+        assert!(racks > 0, "need at least one rack");
+        Topology {
+            racks,
+            io_nodes_per_midplane,
+        }
+    }
+
+    /// Total midplanes.
+    pub fn midplanes(&self) -> u32 {
+        self.racks as u32 * MIDPLANES_PER_RACK as u32
+    }
+
+    /// Total compute chips (= dual-core compute nodes).
+    pub fn chips(&self) -> u32 {
+        self.midplanes()
+            * NODE_CARDS_PER_MIDPLANE as u32
+            * COMPUTE_CARDS_PER_NODE_CARD as u32
+            * CHIPS_PER_COMPUTE_CARD as u32
+    }
+
+    /// Total I/O nodes.
+    pub fn io_nodes(&self) -> u32 {
+        self.midplanes() * self.io_nodes_per_midplane as u32
+    }
+
+    /// Total node cards.
+    pub fn node_cards(&self) -> u32 {
+        self.midplanes() * NODE_CARDS_PER_MIDPLANE as u32
+    }
+
+    /// A uniformly random compute-chip location.
+    pub fn random_chip<R: Rng>(&self, rng: &mut R) -> Location {
+        Location::Chip {
+            rack: rng.gen_range(0..self.racks),
+            midplane: rng.gen_range(0..MIDPLANES_PER_RACK),
+            node_card: rng.gen_range(0..NODE_CARDS_PER_MIDPLANE),
+            compute_card: rng.gen_range(0..COMPUTE_CARDS_PER_NODE_CARD),
+            chip: rng.gen_range(0..CHIPS_PER_COMPUTE_CARD),
+        }
+    }
+
+    /// A uniformly random node-card location.
+    pub fn random_node_card<R: Rng>(&self, rng: &mut R) -> Location {
+        Location::NodeCard {
+            rack: rng.gen_range(0..self.racks),
+            midplane: rng.gen_range(0..MIDPLANES_PER_RACK),
+            node_card: rng.gen_range(0..NODE_CARDS_PER_MIDPLANE),
+        }
+    }
+
+    /// A uniformly random midplane location.
+    pub fn random_midplane<R: Rng>(&self, rng: &mut R) -> Location {
+        Location::Midplane {
+            rack: rng.gen_range(0..self.racks),
+            midplane: rng.gen_range(0..MIDPLANES_PER_RACK),
+        }
+    }
+
+    /// A uniformly random service-card location.
+    pub fn random_service_card<R: Rng>(&self, rng: &mut R) -> Location {
+        let Location::Midplane { rack, midplane } = self.random_midplane(rng) else {
+            unreachable!()
+        };
+        Location::ServiceCard { rack, midplane }
+    }
+
+    /// A uniformly random link-card location.
+    pub fn random_link_card<R: Rng>(&self, rng: &mut R) -> Location {
+        let Location::Midplane { rack, midplane } = self.random_midplane(rng) else {
+            unreachable!()
+        };
+        Location::LinkCard {
+            rack,
+            midplane,
+            link: rng.gen_range(0..LINK_CARDS_PER_MIDPLANE),
+        }
+    }
+
+    /// A uniformly random I/O-node location.
+    pub fn random_io_node<R: Rng>(&self, rng: &mut R) -> Location {
+        let Location::Midplane { rack, midplane } = self.random_midplane(rng) else {
+            unreachable!()
+        };
+        Location::IoNode {
+            rack,
+            midplane,
+            io: rng.gen_range(0..self.io_nodes_per_midplane),
+        }
+    }
+
+    /// A random chip *within* the given node card (used for duplicate
+    /// reports from siblings of a failing chip).
+    pub fn random_chip_in_node_card<R: Rng>(&self, card: Location, rng: &mut R) -> Location {
+        match card {
+            Location::NodeCard {
+                rack,
+                midplane,
+                node_card,
+            } => Location::Chip {
+                rack,
+                midplane,
+                node_card,
+                compute_card: rng.gen_range(0..COMPUTE_CARDS_PER_NODE_CARD),
+                chip: rng.gen_range(0..CHIPS_PER_COMPUTE_CARD),
+            },
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn anl_and_sdsc_sizes() {
+        // ANL: one rack, 1,024 dual-core compute nodes, 32 I/O nodes.
+        let anl = Topology::new(1, 16);
+        assert_eq!(anl.chips(), 1024);
+        assert_eq!(anl.io_nodes(), 32);
+        // SDSC: three racks, 3,072 compute nodes, 384 I/O nodes.
+        let sdsc = Topology::new(3, 64);
+        assert_eq!(sdsc.chips(), 3072);
+        assert_eq!(sdsc.io_nodes(), 384);
+        assert_eq!(sdsc.node_cards(), 96);
+    }
+
+    #[test]
+    fn random_locations_are_in_bounds() {
+        let t = Topology::new(3, 64);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..500 {
+            let chip = t.random_chip(&mut rng);
+            assert!(chip.rack().unwrap() < 3);
+            let io = t.random_io_node(&mut rng);
+            if let Location::IoNode { io, .. } = io {
+                assert!(io < 64);
+            } else {
+                panic!("not an io node");
+            }
+        }
+    }
+
+    #[test]
+    fn chip_in_node_card_stays_on_card() {
+        let t = Topology::new(1, 16);
+        let mut rng = StdRng::seed_from_u64(2);
+        let card = Location::NodeCard {
+            rack: 0,
+            midplane: 1,
+            node_card: 7,
+        };
+        for _ in 0..100 {
+            let chip = t.random_chip_in_node_card(card, &mut rng);
+            assert!(card.contains(&chip), "{card} !⊇ {chip}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rack")]
+    fn zero_racks_panics() {
+        Topology::new(0, 16);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the synthetic log generator.
+
+use bgl_sim::{standard_catalog, Generator, SystemPreset};
+use proptest::prelude::*;
+use raslog::{Severity, WEEK_MS};
+
+fn small_preset(weeks: i64) -> SystemPreset {
+    SystemPreset::sdsc()
+        .with_weeks(weeks)
+        .with_volume_scale(0.05)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn week_streams_are_sorted_typed_and_bounded(seed in 0u64..1000, week in 0i64..4) {
+        let generator = Generator::new(small_preset(4), seed);
+        let (events, truth) = generator.week_events(week);
+        prop_assert!(!events.is_empty());
+        // Sorted by time, inside the week, ids strictly increasing.
+        for w in events.windows(2) {
+            prop_assert!(w[0].time <= w[1].time);
+            prop_assert!(w[0].record_id < w[1].record_id);
+        }
+        let catalog = generator.catalog();
+        for e in &events {
+            prop_assert_eq!(e.time.week_index(), week);
+            // Every record maps to a catalog type with matching logged
+            // severity.
+            let id = catalog.lookup(e.facility, &e.entry_data);
+            prop_assert!(id.is_some(), "unknown entry `{}`", e.entry_data);
+            prop_assert_eq!(catalog.def(id.unwrap()).logged_severity, e.severity);
+        }
+        // Truth bookkeeping.
+        prop_assert!(truth.cued_fatals <= truth.fatals.len());
+        for f in &truth.fatals {
+            prop_assert!(catalog.is_fatal(f.type_id));
+            prop_assert_eq!(f.time.week_index(), week);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000) {
+        let a = Generator::new(small_preset(2), seed);
+        let b = Generator::new(small_preset(2), seed);
+        prop_assert_eq!(a.week_events(1).0, b.week_events(1).0);
+    }
+
+    #[test]
+    fn locations_fit_the_topology(seed in 0u64..200) {
+        let preset = small_preset(2);
+        let racks = preset.topology.racks;
+        let generator = Generator::new(preset, seed);
+        let (events, _) = generator.week_events(0);
+        for e in &events {
+            if let Some(rack) = e.location.rack() {
+                prop_assert!(rack < racks, "rack {rack} out of range at {}", e.location);
+            }
+        }
+    }
+
+    #[test]
+    fn volume_scale_reduces_raw_count_not_fatals(seed in 0u64..200) {
+        let full = Generator::new(SystemPreset::sdsc().with_weeks(1), seed);
+        let scaled =
+            Generator::new(SystemPreset::sdsc().with_weeks(1).with_volume_scale(0.05), seed);
+        let (raw_full, truth_full) = full.week_events(0);
+        let (raw_scaled, truth_scaled) = scaled.week_events(0);
+        prop_assert!(raw_scaled.len() < raw_full.len());
+        // The signal (intended fatal occurrences) is identical.
+        prop_assert_eq!(truth_full.fatals, truth_scaled.fatals);
+    }
+}
+
+#[test]
+fn logged_fatal_population_includes_fakes() {
+    // Across a few weeks, some records logged FATAL must be catalog-classed
+    // non-fatal (the categorizer's correction target).
+    let generator = Generator::new(small_preset(4), 9);
+    let catalog = standard_catalog();
+    let mut fake_seen = false;
+    let mut true_seen = false;
+    for w in 0..4 {
+        let (events, _) = generator.week_events(w);
+        for e in &events {
+            if e.severity.is_fatal_as_logged() {
+                let id = catalog.lookup(e.facility, &e.entry_data).unwrap();
+                if catalog.is_fatal(id) {
+                    true_seen = true;
+                } else {
+                    fake_seen = true;
+                }
+            }
+        }
+    }
+    assert!(true_seen, "no truly fatal records logged");
+    assert!(fake_seen, "no fake-fatal records logged");
+}
+
+#[test]
+fn severity_mix_is_dominated_by_informational_records() {
+    // RAS logs are mostly chatter: at full duplication, INFO/WARNING/…
+    // records outnumber FATAL/FAILURE ones.
+    let generator = Generator::new(SystemPreset::sdsc().with_weeks(2), 11);
+    let mut low = 0usize;
+    let mut high = 0usize;
+    for w in 0..2 {
+        let (events, _) = generator.week_events(w);
+        for e in &events {
+            if e.severity <= Severity::Error {
+                low += 1;
+            } else {
+                high += 1;
+            }
+        }
+    }
+    assert!(low > high, "low {low} vs high {high}");
+    let _ = WEEK_MS;
+}

@@ -1,0 +1,89 @@
+//! A minimal `--flag value` argument parser (no external dependencies).
+
+use crate::CliError;
+use std::collections::HashMap;
+
+/// Parsed `--flag value` pairs.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses alternating `--flag value` tokens.
+    pub fn parse(tokens: &[String]) -> Result<Args, CliError> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let flag = tokens[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected `--flag`, got `{}`", tokens[i]))?;
+            let value = tokens
+                .get(i + 1)
+                .ok_or_else(|| format!("flag `--{flag}` needs a value"))?;
+            if values.insert(flag.to_string(), value.clone()).is_some() {
+                return Err(format!("flag `--{flag}` given twice"));
+            }
+            i += 2;
+        }
+        Ok(Args { values })
+    }
+
+    /// A required string flag.
+    pub fn required(&self, flag: &str) -> Result<&str, CliError> {
+        self.values
+            .get(flag)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag `--{flag}`"))
+    }
+
+    /// An optional string flag.
+    pub fn optional(&self, flag: &str) -> Option<&str> {
+        self.values.get(flag).map(String::as_str)
+    }
+
+    /// An optional parsed flag with a default.
+    pub fn parsed_or<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, CliError> {
+        match self.values.get(flag) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<T>()
+                .map_err(|_| format!("flag `--{flag}`: cannot parse `{v}`")),
+        }
+    }
+
+    /// A required parsed flag.
+    pub fn parsed<T: std::str::FromStr>(&self, flag: &str) -> Result<T, CliError> {
+        let v = self.required(flag)?;
+        v.parse::<T>()
+            .map_err(|_| format!("flag `--{flag}`: cannot parse `{v}`"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_flag_pairs() {
+        let a = Args::parse(&toks("--weeks 30 --out file.log")).unwrap();
+        assert_eq!(a.required("out").unwrap(), "file.log");
+        assert_eq!(a.parsed::<i64>("weeks").unwrap(), 30);
+        assert_eq!(a.parsed_or("seed", 42u64).unwrap(), 42);
+        assert!(a.optional("missing").is_none());
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Args::parse(&toks("weeks 30")).is_err());
+        assert!(Args::parse(&toks("--weeks")).is_err());
+        assert!(Args::parse(&toks("--weeks 1 --weeks 2")).is_err());
+        let a = Args::parse(&toks("--weeks thirty")).unwrap();
+        assert!(a.parsed::<i64>("weeks").is_err());
+        assert!(a.required("out").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! `dml evaluate` — score warnings against the failures in a clean log.
+
+use crate::args::Args;
+use crate::CliError;
+use dml_core::{evaluation, Warning};
+use raslog::store::window;
+use raslog::{Timestamp, WEEK_MS};
+use std::io::BufRead;
+
+/// `--in CLEAN --warnings WARNINGS.jsonl [--from-week A]`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let input = args.required("in")?;
+    let warnings_path = args.required("warnings")?;
+    let from_week: i64 = args.parsed_or("from-week", 0)?;
+
+    let events = crate::commands::read_clean(input)?;
+    let test = window(
+        &events,
+        Timestamp(from_week * WEEK_MS),
+        Timestamp(i64::MAX / 2),
+    );
+
+    let file = std::fs::File::open(warnings_path)
+        .map_err(|e| format!("cannot open {warnings_path}: {e}"))?;
+    let mut warnings: Vec<Warning> = Vec::new();
+    for (i, line) in std::io::BufReader::new(file).lines().enumerate() {
+        let line = line.map_err(|e| format!("{warnings_path}: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        warnings.push(
+            serde_json::from_str(&line)
+                .map_err(|e| format!("{warnings_path} line {}: {e}", i + 1))?,
+        );
+    }
+
+    let acc = evaluation::score(&warnings, test);
+    println!("warnings : {}", warnings.len());
+    println!("failures : {}", acc.covered_fatals + acc.missed_fatals);
+    println!("precision: {:.3}", acc.precision());
+    println!("recall   : {:.3}", acc.recall());
+    println!(
+        "true warnings {} / false alarms {} / covered {} / missed {}",
+        acc.true_warnings, acc.false_warnings, acc.covered_fatals, acc.missed_fatals
+    );
+    Ok(())
+}

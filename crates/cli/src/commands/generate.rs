@@ -1,0 +1,33 @@
+//! `dml generate` — synthesize a raw RAS log file.
+
+use crate::args::Args;
+use crate::CliError;
+use bgl_sim::{Generator, SystemPreset};
+
+/// `--preset anl|sdsc --weeks N --out FILE [--seed N] [--scale X]`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let preset_name = args.required("preset")?;
+    let weeks: i64 = args.parsed("weeks")?;
+    let out = args.required("out")?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let scale: f64 = args.parsed_or("scale", 1.0)?;
+
+    let preset = match preset_name {
+        "anl" => SystemPreset::anl(),
+        "sdsc" => SystemPreset::sdsc(),
+        other => return Err(format!("unknown preset `{other}` (anl|sdsc)")),
+    }
+    .with_weeks(weeks)
+    .with_volume_scale(scale);
+
+    let generator = Generator::new(preset, seed);
+    let mut writer = crate::commands::create(out)?;
+    let mut total = 0usize;
+    for week in 0..weeks {
+        let (events, _) = generator.week_events(week);
+        total += events.len();
+        raslog::io::write_log(&events, &mut writer).map_err(|e| format!("write {out}: {e}"))?;
+    }
+    eprintln!("generated {total} records over {weeks} weeks → {out}");
+    Ok(())
+}

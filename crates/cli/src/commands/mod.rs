@@ -1,0 +1,32 @@
+//! The subcommand implementations.
+
+pub mod evaluate;
+pub mod generate;
+pub mod predict;
+pub mod preprocess_cmd;
+pub mod stats;
+pub mod train;
+
+use crate::CliError;
+use raslog::{CleanEvent, RasEvent};
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// Reads a raw RAS log file.
+pub fn read_raw(path: &str) -> Result<Vec<RasEvent>, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    raslog::io::read_log(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Reads a preprocessed (clean) log file.
+pub fn read_clean(path: &str) -> Result<Vec<CleanEvent>, CliError> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    raslog::io::read_clean_log(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Opens a buffered writer, creating the file.
+pub fn create(path: &str) -> Result<BufWriter<std::fs::File>, CliError> {
+    let file =
+        std::fs::File::create(Path::new(path)).map_err(|e| format!("cannot create {path}: {e}"))?;
+    Ok(BufWriter::new(file))
+}

@@ -1,0 +1,46 @@
+//! `dml predict` — run the event-driven predictor over a clean log.
+
+use crate::args::Args;
+use crate::CliError;
+use dml_core::{load_repository_file, Predictor};
+use raslog::store::window;
+use raslog::{Duration, Timestamp, WEEK_MS};
+use std::io::Write;
+
+/// `--in CLEAN --rules RULES.json --out WARNINGS.jsonl
+///  [--from-week A] [--window SECS]`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let input = args.required("in")?;
+    let rules = args.required("rules")?;
+    let out = args.required("out")?;
+    let from_week: i64 = args.parsed_or("from-week", 0)?;
+    let window_secs: i64 = args.parsed_or("window", 300)?;
+
+    let events = crate::commands::read_clean(input)?;
+    let repo = load_repository_file(rules).map_err(|e| e.to_string())?;
+    let test = window(
+        &events,
+        Timestamp(from_week * WEEK_MS),
+        Timestamp(i64::MAX / 2),
+    );
+    let mut predictor = Predictor::new(&repo, Duration::from_secs(window_secs));
+    // Warm up on the events before the prediction span.
+    predictor.warm_up(window(
+        &events,
+        Timestamp(i64::MIN / 2),
+        Timestamp(from_week * WEEK_MS),
+    ));
+    let warnings = predictor.observe_all(test);
+
+    let mut writer = crate::commands::create(out)?;
+    for w in &warnings {
+        let line = serde_json::to_string(w).map_err(|e| format!("encode warning: {e}"))?;
+        writeln!(writer, "{line}").map_err(|e| format!("write {out}: {e}"))?;
+    }
+    eprintln!(
+        "{} warnings over {} events → {out}",
+        warnings.len(),
+        test.len()
+    );
+    Ok(())
+}

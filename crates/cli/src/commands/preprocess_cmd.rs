@@ -1,0 +1,47 @@
+//! `dml preprocess` — categorize + filter a raw log into a clean log.
+
+use crate::args::Args;
+use crate::CliError;
+use preprocess::{clean_log, discover_catalog, Categorizer, DiscoveryConfig, FilterConfig};
+use raslog::Duration;
+
+/// `--in RAW --out CLEAN [--threshold SECS] [--catalog standard|discover]`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let input = args.required("in")?;
+    let out = args.required("out")?;
+    let threshold: i64 = args.parsed_or("threshold", 300)?;
+    let catalog_mode = args.optional("catalog").unwrap_or("standard");
+
+    let events = crate::commands::read_raw(input)?;
+    let catalog = match catalog_mode {
+        "standard" => bgl_sim::standard_catalog(),
+        "discover" => {
+            let (catalog, stats) = discover_catalog(&events, &DiscoveryConfig::default());
+            eprintln!(
+                "discovered {} event types ({} severity conflicts)",
+                stats.types_kept, stats.severity_conflicts
+            );
+            catalog
+        }
+        other => {
+            return Err(format!(
+                "unknown catalog mode `{other}` (standard|discover)"
+            ))
+        }
+    };
+    let categorizer = Categorizer::new(catalog);
+    let config = FilterConfig::with_threshold(Duration::from_secs(threshold));
+    let (clean, stats) = clean_log(&events, &categorizer, &config);
+
+    let mut writer = crate::commands::create(out)?;
+    raslog::io::write_clean_log(&clean, &mut writer).map_err(|e| format!("write {out}: {e}"))?;
+    eprintln!(
+        "{} → {} events ({:.1} % compression; {} unknown records dropped, {} fake fatals corrected)",
+        events.len(),
+        clean.len(),
+        100.0 * stats.overall_compression(),
+        stats.categorize.unknown,
+        stats.categorize.fake_fatals
+    );
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! `dml stats` — summarize a raw RAS log file.
+
+use crate::args::Args;
+use crate::CliError;
+use raslog::{Facility, LogStore};
+
+/// `--in FILE`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let input = args.required("in")?;
+    let store = LogStore::from_events(crate::commands::read_raw(input)?);
+    println!("{input}: {} records, {} weeks", store.len(), store.weeks());
+    println!("\nper facility:");
+    let counts = store.counts_by_facility();
+    for fac in Facility::ALL {
+        if counts[fac.index()] > 0 {
+            println!("  {:<10} {:>9}", fac.to_string(), counts[fac.index()]);
+        }
+    }
+    println!("\nper logged severity:");
+    for (sev, n) in store.counts_by_severity() {
+        if n > 0 {
+            println!("  {:<8} {:>9}", sev.to_string(), n);
+        }
+    }
+    Ok(())
+}

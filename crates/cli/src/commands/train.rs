@@ -1,0 +1,57 @@
+//! `dml train` — train the meta-learner on a clean log, save the rules.
+
+use crate::args::Args;
+use crate::CliError;
+use dml_core::{save_repository_file, FrameworkConfig, MetaLearner, RuleKind};
+use raslog::store::window;
+use raslog::{Duration, Timestamp, WEEK_MS};
+
+/// `--in CLEAN --rules OUT.json [--from-week A] [--to-week B]
+///  [--window SECS] [--no-reviser true] [--extended true]`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let input = args.required("in")?;
+    let rules_out = args.required("rules")?;
+    let from_week: i64 = args.parsed_or("from-week", 0)?;
+    let to_week: i64 = args.parsed_or("to-week", i64::MAX / WEEK_MS)?;
+    let window_secs: i64 = args.parsed_or("window", 300)?;
+    let no_reviser: bool = args.parsed_or("no-reviser", false)?;
+    let extended: bool = args.parsed_or("extended", false)?;
+
+    let events = crate::commands::read_clean(input)?;
+    let slice = window(
+        &events,
+        Timestamp(from_week * WEEK_MS),
+        Timestamp(to_week.saturating_mul(WEEK_MS)),
+    );
+    let config = FrameworkConfig {
+        window: Duration::from_secs(window_secs),
+        use_reviser: !no_reviser,
+        ..FrameworkConfig::default()
+    };
+    let meta = if extended {
+        MetaLearner::with_learners(config, dml_core::learners::extended_learners())
+    } else {
+        MetaLearner::new(config)
+    };
+    let outcome = meta.train(slice);
+    save_repository_file(&outcome.repo, rules_out).map_err(|e| e.to_string())?;
+    eprintln!(
+        "trained on {} events: {} rules kept of {} candidates ({} removed by reviser) → {rules_out}",
+        slice.len(),
+        outcome.repo.len(),
+        outcome.candidates,
+        outcome.removed_by_reviser
+    );
+    for kind in [
+        RuleKind::Association,
+        RuleKind::Statistical,
+        RuleKind::Location,
+        RuleKind::Distribution,
+    ] {
+        let n = outcome.repo.count_by_kind(kind);
+        if n > 0 {
+            eprintln!("  {kind}: {n}");
+        }
+    }
+    Ok(())
+}

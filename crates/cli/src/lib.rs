@@ -1,0 +1,46 @@
+//! # dml-cli — file-oriented front end
+//!
+//! The `dml` binary drives the whole pipeline over files, the way an
+//! operations team would deploy it:
+//!
+//! ```text
+//! dml generate   --preset sdsc --weeks 30 --seed 7 --out raw.log
+//! dml stats      --in raw.log
+//! dml preprocess --in raw.log --threshold 300 --out clean.log
+//! dml train      --in clean.log --to-week 20 --rules rules.json
+//! dml predict    --in clean.log --from-week 20 --rules rules.json --out warnings.jsonl
+//! dml evaluate   --in clean.log --from-week 20 --warnings warnings.jsonl
+//! ```
+//!
+//! Raw logs use the pipe-separated format of [`raslog::io`]; preprocessed
+//! logs use the compact clean-event format; rules travel as the JSON
+//! document of [`dml_core::persist`]; warnings as JSON lines.
+
+pub mod args;
+pub mod commands;
+
+/// Error type for all commands: a user-facing message.
+pub type CliError = String;
+
+/// Runs one command line (without the program name). Exposed for tests.
+pub fn run(argv: &[String]) -> Result<(), CliError> {
+    let (cmd, rest) = argv
+        .split_first()
+        .ok_or_else(|| format!("no command given\n{}", usage()))?;
+    let args = args::Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => commands::generate::run(&args),
+        "stats" => commands::stats::run(&args),
+        "preprocess" => commands::preprocess_cmd::run(&args),
+        "train" => commands::train::run(&args),
+        "predict" => commands::predict::run(&args),
+        "evaluate" => commands::evaluate::run(&args),
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+/// The usage string.
+pub fn usage() -> &'static str {
+    "usage: dml <generate|stats|preprocess|train|predict|evaluate> [--flag value]...\n\
+     run `dml <command>` with missing flags to see what it needs"
+}

@@ -1,0 +1,9 @@
+//! The `dml` binary. See the crate docs of `dml_cli` for the commands.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = dml_cli::run(&argv) {
+        eprintln!("error: {message}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,197 @@
+//! End-to-end test of the `dml` binary: generate → stats → preprocess →
+//! train → predict → evaluate, all through the file formats.
+
+use std::process::Command;
+
+fn dml() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dml"))
+}
+
+fn tmp(name: &str) -> String {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dml_cli_test_{}_{name}", std::process::id()));
+    p.to_string_lossy().into_owned()
+}
+
+#[test]
+fn full_pipeline_through_the_binary() {
+    let raw = tmp("raw.log");
+    let clean = tmp("clean.log");
+    let rules = tmp("rules.json");
+    let warnings = tmp("warnings.jsonl");
+
+    // generate
+    let out = dml()
+        .args([
+            "generate", "--preset", "sdsc", "--weeks", "16", "--seed", "7", "--scale", "0.05",
+            "--out", &raw,
+        ])
+        .output()
+        .expect("run generate");
+    assert!(
+        out.status.success(),
+        "generate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // stats
+    let out = dml()
+        .args(["stats", "--in", &raw])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("records"), "{stdout}");
+    assert!(stdout.contains("KERNEL"), "{stdout}");
+
+    // preprocess
+    let out = dml()
+        .args([
+            "preprocess",
+            "--in",
+            &raw,
+            "--threshold",
+            "300",
+            "--out",
+            &clean,
+        ])
+        .output()
+        .expect("run preprocess");
+    assert!(
+        out.status.success(),
+        "preprocess: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("compression"), "{stderr}");
+
+    // train on the first 12 weeks
+    let out = dml()
+        .args([
+            "train",
+            "--in",
+            &clean,
+            "--to-week",
+            "12",
+            "--rules",
+            &rules,
+        ])
+        .output()
+        .expect("run train");
+    assert!(
+        out.status.success(),
+        "train: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("rules kept"));
+
+    // predict on the rest
+    let out = dml()
+        .args([
+            "predict",
+            "--in",
+            &clean,
+            "--rules",
+            &rules,
+            "--from-week",
+            "12",
+            "--out",
+            &warnings,
+        ])
+        .output()
+        .expect("run predict");
+    assert!(
+        out.status.success(),
+        "predict: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // evaluate
+    let out = dml()
+        .args([
+            "evaluate",
+            "--in",
+            &clean,
+            "--warnings",
+            &warnings,
+            "--from-week",
+            "12",
+        ])
+        .output()
+        .expect("run evaluate");
+    assert!(
+        out.status.success(),
+        "evaluate: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("precision:"), "{stdout}");
+    assert!(stdout.contains("recall   :"), "{stdout}");
+    // Extract recall and require a sane floor.
+    let recall_line = stdout.lines().find(|l| l.starts_with("recall")).unwrap();
+    let recall: f64 = recall_line
+        .split(':')
+        .nth(1)
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(recall > 0.2, "recall {recall} too low\n{stdout}");
+
+    for f in [raw, clean, rules, warnings] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn discover_catalog_mode_works() {
+    let raw = tmp("raw2.log");
+    let clean = tmp("clean2.log");
+    let out = dml()
+        .args([
+            "generate", "--preset", "anl", "--weeks", "3", "--seed", "9", "--scale", "0.05",
+            "--out", &raw,
+        ])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success());
+    let out = dml()
+        .args([
+            "preprocess",
+            "--in",
+            &raw,
+            "--out",
+            &clean,
+            "--catalog",
+            "discover",
+        ])
+        .output()
+        .expect("run preprocess");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stderr).contains("discovered"));
+    for f in [raw, clean] {
+        std::fs::remove_file(f).ok();
+    }
+}
+
+#[test]
+fn helpful_errors() {
+    let out = dml().output().expect("run bare");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+
+    let out = dml().args(["frobnicate"]).output().expect("run unknown");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+
+    let out = dml()
+        .args(["generate", "--weeks", "3"])
+        .output()
+        .expect("run incomplete");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--preset"));
+}

@@ -1,0 +1,305 @@
+//! Adaptive prediction-window tuning — the paper's first "future work"
+//! item, implemented.
+//!
+//! "In the current design, the prediction window size is fixed. Our
+//! on-going work includes adaptively changing this window size such that
+//! the system can automatically tune its size to reduce the training cost,
+//! without sacrificing the prediction accuracy." (Section 7.)
+//!
+//! The controller exploits Observation #7 (larger window ⇒ higher recall,
+//! lower precision): after each retraining cycle it inspects the rolling
+//! accuracy and nudges `W_P` geometrically — widening when recall is below
+//! target (missing failures), narrowing when precision is below target
+//! (false alarms, and needless event-history cost) — clamped to the
+//! paper's practical `[5 min, 2 h]` range.
+
+use crate::config::FrameworkConfig;
+use crate::driver::{DriverConfig, DriverReport, TrainingPolicy};
+use crate::evaluation::{weekly_series, Accuracy};
+use crate::knowledge::KnowledgeRepository;
+use crate::meta::MetaLearner;
+use crate::predictor::Predictor;
+use raslog::store::window;
+use raslog::{CleanEvent, Duration, Timestamp, WEEK_MS};
+use serde::{Deserialize, Serialize};
+
+/// Controller parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptiveWindowConfig {
+    /// Smallest allowed window (paper: below 5 min leaves no time for
+    /// preventive action).
+    pub min_window: Duration,
+    /// Largest allowed window (paper: above 2 h the event-history cost
+    /// grows without accuracy benefit).
+    pub max_window: Duration,
+    /// Desired recall; below it the window widens.
+    pub recall_target: f64,
+    /// Desired precision; below it the window narrows.
+    pub precision_target: f64,
+    /// Geometric step per adjustment (e.g. 1.5 ⇒ ±50 %).
+    pub step: f64,
+}
+
+impl Default for AdaptiveWindowConfig {
+    fn default() -> Self {
+        AdaptiveWindowConfig {
+            min_window: Duration::from_mins(5),
+            max_window: Duration::from_hours(2),
+            recall_target: 0.6,
+            precision_target: 0.7,
+            step: 1.5,
+        }
+    }
+}
+
+/// The stateless adjustment rule (exposed for unit testing and reuse).
+///
+/// Returns the next window given the current one and the rolling accuracy
+/// of the last cycle. Recall shortfalls dominate (a missed failure costs
+/// more than a false alarm); within targets the window decays gently
+/// toward `min_window` to keep the monitoring state small.
+pub fn next_window(
+    current: Duration,
+    rolling: Accuracy,
+    config: &AdaptiveWindowConfig,
+) -> Duration {
+    let scaled = |factor: f64| -> Duration {
+        let ms = (current.millis() as f64 * factor) as i64;
+        Duration(ms.clamp(config.min_window.millis(), config.max_window.millis()))
+    };
+    let observed = rolling.true_warnings
+        + rolling.false_warnings
+        + rolling.covered_fatals
+        + rolling.missed_fatals;
+    if observed == 0 {
+        return current; // nothing observed: hold
+    }
+    if rolling.recall() < config.recall_target {
+        scaled(config.step)
+    } else if rolling.precision() < config.precision_target {
+        scaled(1.0 / config.step)
+    } else {
+        // Both targets met: drift down slowly to shed monitoring cost.
+        scaled(1.0 / config.step.sqrt())
+    }
+}
+
+/// One retraining cycle of the adaptive driver.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WindowStep {
+    /// Week at which this window took effect.
+    pub week: i64,
+    /// The window used for the cycle.
+    pub window: Duration,
+    /// The cycle's accuracy (drives the next adjustment).
+    pub accuracy: Accuracy,
+}
+
+/// An adaptive-driver run: the usual report plus the window trajectory.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// Standard driver outputs (weekly accuracy, warnings, overall).
+    pub report: DriverReport,
+    /// The window chosen at every retraining cycle.
+    pub trajectory: Vec<WindowStep>,
+}
+
+/// Runs the dynamic driver with the controller retuning `W_P` at every
+/// retraining boundary. Training always uses the *current* window (the
+/// rule-generation window equals the prediction window, as in the paper).
+pub fn run_adaptive_driver(
+    events: &[CleanEvent],
+    total_weeks: i64,
+    base: &DriverConfig,
+    adaptive: &AdaptiveWindowConfig,
+) -> AdaptiveReport {
+    assert!(
+        base.initial_training_weeks > 0 && base.initial_training_weeks < total_weeks,
+        "initial training window must leave room for testing"
+    );
+    let mut framework: FrameworkConfig = base.framework;
+    let mut trajectory = Vec::new();
+    let mut report = DriverReport::default();
+
+    let train = |framework: &FrameworkConfig, from: i64, to: i64| {
+        let slice = window(events, Timestamp(from * WEEK_MS), Timestamp(to * WEEK_MS));
+        MetaLearner::new(*framework).train(slice)
+    };
+
+    let first_test_week = base.initial_training_weeks;
+    let mut outcome = train(&framework, 0, first_test_week);
+    let retrain_every = framework.retrain_weeks.max(1);
+    let mut week = first_test_week;
+
+    while week < total_weeks {
+        let block_end = (week + retrain_every).min(total_weeks);
+        let mut predictor = Predictor::new(&outcome.repo, framework.window);
+        let warm = window(
+            events,
+            Timestamp((week - 1).max(0) * WEEK_MS),
+            Timestamp(week * WEEK_MS),
+        );
+        predictor.warm_up(warm);
+        let block = window(
+            events,
+            Timestamp(week * WEEK_MS),
+            Timestamp(block_end * WEEK_MS),
+        );
+        let warnings = predictor.observe_all(block);
+        let cycle_accuracy = crate::evaluation::score(&warnings, block);
+        report.warnings.extend(warnings);
+        trajectory.push(WindowStep {
+            week,
+            window: framework.window,
+            accuracy: cycle_accuracy,
+        });
+
+        // Retune the window and retrain for the next block.
+        framework.window = next_window(framework.window, cycle_accuracy, adaptive);
+        if block_end < total_weeks {
+            let (from, to) = match base.policy {
+                TrainingPolicy::Static => (0, first_test_week),
+                TrainingPolicy::SlidingWeeks(n) => ((block_end - n).max(0), block_end),
+                TrainingPolicy::Growing => (0, block_end),
+            };
+            let next = train(&framework, from, to);
+            let diff = KnowledgeRepository::churn(&outcome.repo, &next.repo);
+            report.churn.push(crate::driver::ChurnRecord {
+                week: block_end,
+                unchanged: diff.unchanged,
+                added: diff.added,
+                removed_by_learner: diff.removed,
+                removed_by_reviser: next.removed_by_reviser,
+                total: next.repo.len(),
+            });
+            outcome = next;
+        }
+        week = block_end;
+    }
+
+    let test_events = window(
+        events,
+        Timestamp(first_test_week * WEEK_MS),
+        Timestamp(total_weeks * WEEK_MS),
+    );
+    report.weekly = weekly_series(
+        &report.warnings,
+        test_events,
+        first_test_week,
+        total_weeks - 1,
+    );
+    report.overall = crate::evaluation::score(&report.warnings, test_events);
+    AdaptiveReport { report, trajectory }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acc(tw: u64, fw: u64, cov: u64, miss: u64) -> Accuracy {
+        Accuracy {
+            true_warnings: tw,
+            false_warnings: fw,
+            covered_fatals: cov,
+            missed_fatals: miss,
+        }
+    }
+
+    #[test]
+    fn widens_on_low_recall() {
+        let config = AdaptiveWindowConfig::default();
+        let w = Duration::from_mins(10);
+        // recall 0.2, precision 1.0 → widen.
+        let next = next_window(w, acc(2, 0, 2, 8), &config);
+        assert!(next > w);
+        assert_eq!(next, Duration((w.millis() as f64 * 1.5) as i64));
+    }
+
+    #[test]
+    fn narrows_on_low_precision() {
+        let config = AdaptiveWindowConfig::default();
+        let w = Duration::from_mins(60);
+        // recall 0.9, precision 0.2 → narrow.
+        let next = next_window(w, acc(2, 8, 9, 1), &config);
+        assert!(next < w);
+    }
+
+    #[test]
+    fn clamps_to_bounds() {
+        let config = AdaptiveWindowConfig::default();
+        // Already at max and recall still low: stays at max.
+        let next = next_window(config.max_window, acc(0, 0, 0, 10), &config);
+        assert_eq!(next, config.max_window);
+        // At min and precision low: stays at min.
+        let next = next_window(config.min_window, acc(1, 9, 9, 0), &config);
+        assert_eq!(next, config.min_window);
+    }
+
+    #[test]
+    fn holds_when_nothing_observed() {
+        let config = AdaptiveWindowConfig::default();
+        let w = Duration::from_mins(30);
+        assert_eq!(next_window(w, Accuracy::default(), &config), w);
+    }
+
+    #[test]
+    fn decays_gently_when_on_target() {
+        let config = AdaptiveWindowConfig::default();
+        let w = Duration::from_mins(60);
+        // precision 0.9, recall 0.9: drift down.
+        let next = next_window(w, acc(9, 1, 9, 1), &config);
+        assert!(next < w);
+        assert!(next > Duration((w.millis() as f64 / config.step) as i64));
+    }
+
+    #[test]
+    fn adaptive_driver_runs_and_tracks_trajectory() {
+        // Reuse the driver tests' synthetic cascade workload.
+        let week_secs = WEEK_MS / 1000;
+        let mut events = Vec::new();
+        for w in 0..16i64 {
+            for i in 0..12 {
+                let base = w * week_secs + i * 50_000;
+                events.push(CleanEvent::new(
+                    Timestamp::from_secs(base),
+                    raslog::EventTypeId(1),
+                    false,
+                ));
+                events.push(CleanEvent::new(
+                    Timestamp::from_secs(base + 60),
+                    raslog::EventTypeId(2),
+                    false,
+                ));
+                events.push(CleanEvent::new(
+                    Timestamp::from_secs(base + 200),
+                    raslog::EventTypeId(100),
+                    true,
+                ));
+            }
+        }
+        let base = DriverConfig {
+            framework: FrameworkConfig {
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            policy: TrainingPolicy::SlidingWeeks(4),
+            initial_training_weeks: 4,
+            only_kind: None,
+        };
+        let adaptive = AdaptiveWindowConfig::default();
+        let out = run_adaptive_driver(&events, 16, &base, &adaptive);
+        assert_eq!(out.trajectory.len(), 6);
+        assert!(
+            out.report.overall.recall() > 0.8,
+            "recall {}",
+            out.report.overall.recall()
+        );
+        for step in &out.trajectory {
+            assert!(step.window >= adaptive.min_window);
+            assert!(step.window <= adaptive.max_window);
+        }
+        // The workload is high-precision/high-recall, so the controller
+        // should drift the window downward over time.
+        assert!(out.trajectory.last().unwrap().window <= out.trajectory[0].window);
+    }
+}

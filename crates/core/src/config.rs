@@ -1,0 +1,110 @@
+//! Framework parameters and the paper's defaults.
+
+use raslog::Duration;
+use serde::{Deserialize, Serialize};
+
+/// All tunables of the prediction framework.
+///
+/// Defaults follow Section 5.2: prediction / rule-generation window
+/// `W_P = 300 s`, retraining window `W_R = 4` weeks, association support
+/// 0.01 and confidence 0.1 (low on purpose — failures are rare and the
+/// reviser removes bad rules), statistical threshold 0.8, distribution
+/// threshold 0.6, `MinROC = 0.7`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameworkConfig {
+    /// The prediction window `W_P`, also the rule-generation window: rules
+    /// are learned from (and warnings are valid for) events within this
+    /// span.
+    pub window: Duration,
+    /// The retraining window `W_R` in weeks.
+    pub retrain_weeks: i64,
+    /// Minimum association-rule support.
+    pub min_support: f64,
+    /// Minimum association-rule confidence.
+    pub min_confidence: f64,
+    /// Maximum association antecedent size.
+    pub max_antecedent: usize,
+    /// Minimum empirical probability for a statistical rule
+    /// ("if `k` failures within `W_P`, another follows with `p ≥ …`").
+    pub stat_threshold: f64,
+    /// Largest `k` the statistical learner considers.
+    pub stat_max_k: usize,
+    /// CDF threshold of the probability-distribution learner: warn when
+    /// `F(elapsed since last failure) ≥ dist_threshold`.
+    pub dist_threshold: f64,
+    /// A distribution warning expires once the elapsed time passes this
+    /// quantile of the fitted CDF with no failure (the "failure never
+    /// came" false alarm).
+    pub dist_expire_quantile: f64,
+    /// `MinROC` of Algorithm 1.
+    pub min_roc: f64,
+    /// Whether the reviser runs at all (Fig. 11 ablates this).
+    pub use_reviser: bool,
+}
+
+impl Default for FrameworkConfig {
+    fn default() -> Self {
+        FrameworkConfig {
+            window: Duration::from_secs(300),
+            retrain_weeks: 4,
+            min_support: 0.01,
+            min_confidence: 0.1,
+            max_antecedent: 4,
+            stat_threshold: 0.8,
+            stat_max_k: 10,
+            dist_threshold: 0.6,
+            dist_expire_quantile: 0.88,
+            min_roc: 0.7,
+            use_reviser: true,
+        }
+    }
+}
+
+impl FrameworkConfig {
+    /// Same configuration with a different prediction window (Fig. 13
+    /// sweeps 5 min – 2 h).
+    pub fn with_window(mut self, window: Duration) -> Self {
+        assert!(window > Duration::ZERO, "window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Same configuration with the reviser toggled.
+    pub fn with_reviser(mut self, use_reviser: bool) -> Self {
+        self.use_reviser = use_reviser;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = FrameworkConfig::default();
+        assert_eq!(c.window, Duration::from_secs(300));
+        assert_eq!(c.retrain_weeks, 4);
+        assert!((c.min_support - 0.01).abs() < 1e-12);
+        assert!((c.min_confidence - 0.1).abs() < 1e-12);
+        assert!((c.stat_threshold - 0.8).abs() < 1e-12);
+        assert!((c.dist_threshold - 0.6).abs() < 1e-12);
+        assert!((c.min_roc - 0.7).abs() < 1e-12);
+        assert!(c.use_reviser);
+    }
+
+    #[test]
+    fn builders() {
+        let c = FrameworkConfig::default()
+            .with_window(Duration::from_mins(30))
+            .with_reviser(false);
+        assert_eq!(c.window, Duration::from_mins(30));
+        assert!(!c.use_reviser);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_panics() {
+        FrameworkConfig::default().with_window(Duration::ZERO);
+    }
+}

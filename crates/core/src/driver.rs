@@ -1,0 +1,358 @@
+//! The dynamic retraining driver.
+//!
+//! Walks a multi-year preprocessed log week by week, retraining every
+//! `W_R` weeks on a training window chosen by policy:
+//!
+//! * [`TrainingPolicy::Static`] — the initial training set forever (the
+//!   baseline the dynamic approach beats in Fig. 9);
+//! * [`TrainingPolicy::SlidingWeeks`] — the most recent `n` weeks
+//!   (the paper recommends ~6 months: the accuracy of *dynamic-whole* at a
+//!   fraction of the cost);
+//! * [`TrainingPolicy::Growing`] — all history so far (*dynamic-whole*).
+//!
+//! The driver records the per-week accuracy series (Figs. 7, 9–11, 13) and
+//! the rule churn at every retraining (Fig. 12).
+
+use crate::config::FrameworkConfig;
+use crate::evaluation::{weekly_series, Accuracy, WeekAccuracy};
+use crate::knowledge::KnowledgeRepository;
+use crate::meta::MetaLearner;
+use crate::predictor::{Predictor, Warning};
+use crate::rules::RuleKind;
+use raslog::store::window;
+use raslog::{CleanEvent, Timestamp, WEEK_MS};
+use serde::{Deserialize, Serialize};
+
+/// How the training window moves at each retraining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrainingPolicy {
+    /// Train once on the initial window; never retrain.
+    Static,
+    /// Retrain on the most recent `n` weeks.
+    SlidingWeeks(i64),
+    /// Retrain on all history from week 0.
+    Growing,
+}
+
+/// Driver parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DriverConfig {
+    /// Framework (learner/reviser/predictor) parameters.
+    pub framework: FrameworkConfig,
+    /// Training-window policy.
+    pub policy: TrainingPolicy,
+    /// Length of the initial training set, in weeks (the paper uses six
+    /// months ≈ 26 weeks).
+    pub initial_training_weeks: i64,
+    /// Restrict training and prediction to one rule kind (`None` = full
+    /// meta-learner). Fig. 7's base-learner baselines set this.
+    pub only_kind: Option<RuleKind>,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        DriverConfig {
+            framework: FrameworkConfig::default(),
+            policy: TrainingPolicy::SlidingWeeks(26),
+            initial_training_weeks: 26,
+            only_kind: None,
+        }
+    }
+}
+
+/// Rule churn at one retraining (one x-position of Fig. 12).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChurnRecord {
+    /// The week at which retraining happened.
+    pub week: i64,
+    /// Rules surviving from the previous repository.
+    pub unchanged: usize,
+    /// Rules newly added by the meta-learner.
+    pub added: usize,
+    /// Rules dropped because the meta-learner no longer generates them.
+    pub removed_by_learner: usize,
+    /// Candidate rules discarded by the reviser at this retraining.
+    pub removed_by_reviser: usize,
+    /// Repository size after this retraining.
+    pub total: usize,
+}
+
+/// The full outcome of a driver run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct DriverReport {
+    /// Accuracy per test week.
+    pub weekly: Vec<WeekAccuracy>,
+    /// Churn at every retraining.
+    pub churn: Vec<ChurnRecord>,
+    /// All warnings issued during testing (issue-time ordered).
+    pub warnings: Vec<Warning>,
+    /// Aggregate accuracy over the whole test span.
+    pub overall: Accuracy,
+}
+
+impl DriverReport {
+    /// Mean weekly precision (ignoring weeks without warnings *and*
+    /// failures).
+    pub fn mean_precision(&self) -> f64 {
+        mean_of(&self.weekly, |a| {
+            (a.true_warnings + a.false_warnings > 0).then(|| a.precision())
+        })
+    }
+
+    /// Mean weekly recall (ignoring weeks without failures).
+    pub fn mean_recall(&self) -> f64 {
+        mean_of(&self.weekly, |a| {
+            (a.covered_fatals + a.missed_fatals > 0).then(|| a.recall())
+        })
+    }
+}
+
+fn mean_of(weekly: &[WeekAccuracy], f: impl Fn(&Accuracy) -> Option<f64>) -> f64 {
+    let values: Vec<f64> = weekly.iter().filter_map(|w| f(&w.accuracy)).collect();
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Runs the dynamic framework over `events` (time-sorted, preprocessed),
+/// which span `total_weeks` weeks starting at week 0.
+///
+/// Weeks `0..initial_training_weeks` are the first training set; testing
+/// starts right after and runs to the end of the log.
+pub fn run_driver(events: &[CleanEvent], total_weeks: i64, config: &DriverConfig) -> DriverReport {
+    assert!(
+        config.initial_training_weeks > 0 && config.initial_training_weeks < total_weeks,
+        "initial training window must leave room for testing"
+    );
+    let meta = MetaLearner::new(config.framework);
+    let train = |from_week: i64, to_week: i64| {
+        let slice = window(
+            events,
+            Timestamp(from_week * WEEK_MS),
+            Timestamp(to_week * WEEK_MS),
+        );
+        match config.only_kind {
+            None => meta.train(slice),
+            Some(kind) => meta.train_single_kind(slice, kind),
+        }
+    };
+
+    let first_test_week = config.initial_training_weeks;
+    let mut outcome = train(0, first_test_week);
+    let mut report = DriverReport::default();
+    report.churn.push(ChurnRecord {
+        week: first_test_week,
+        unchanged: 0,
+        added: outcome.repo.len(),
+        removed_by_learner: 0,
+        removed_by_reviser: outcome.removed_by_reviser,
+        total: outcome.repo.len(),
+    });
+
+    let retrain_every = config.framework.retrain_weeks.max(1);
+    let mut week = first_test_week;
+    while week < total_weeks {
+        let block_end = (week + retrain_every).min(total_weeks);
+
+        // Warm the predictor with the preceding week so windows and the
+        // last-failure clock are primed at the block boundary.
+        let mut predictor = Predictor::new(&outcome.repo, config.framework.window);
+        let warm = window(
+            events,
+            Timestamp((week - 1).max(0) * WEEK_MS),
+            Timestamp(week * WEEK_MS),
+        );
+        predictor.warm_up(warm);
+        let block = window(
+            events,
+            Timestamp(week * WEEK_MS),
+            Timestamp(block_end * WEEK_MS),
+        );
+        report.warnings.extend(predictor.observe_all(block));
+
+        // Retrain for the next block.
+        if block_end < total_weeks && config.policy != TrainingPolicy::Static {
+            let (from, to) = match config.policy {
+                TrainingPolicy::Static => unreachable!(),
+                TrainingPolicy::SlidingWeeks(n) => ((block_end - n).max(0), block_end),
+                TrainingPolicy::Growing => (0, block_end),
+            };
+            let next = train(from, to);
+            let diff = KnowledgeRepository::churn(&outcome.repo, &next.repo);
+            report.churn.push(ChurnRecord {
+                week: block_end,
+                unchanged: diff.unchanged,
+                added: diff.added,
+                removed_by_learner: diff.removed,
+                removed_by_reviser: next.removed_by_reviser,
+                total: next.repo.len(),
+            });
+            outcome = next;
+        }
+        week = block_end;
+    }
+
+    let test_events = window(
+        events,
+        Timestamp(first_test_week * WEEK_MS),
+        Timestamp(total_weeks * WEEK_MS),
+    );
+    report.weekly = weekly_series(
+        &report.warnings,
+        test_events,
+        first_test_week,
+        total_weeks - 1,
+    );
+    report.overall = crate::evaluation::score(&report.warnings, test_events);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{Duration, EventTypeId};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    /// A stable cascade {1,2} → 100 planted throughout `weeks` weeks.
+    fn stable_log(weeks: i64) -> Vec<CleanEvent> {
+        let week_secs = WEEK_MS / 1000;
+        let mut events = Vec::new();
+        for w in 0..weeks {
+            for i in 0..12 {
+                let base = w * week_secs + i * 50_000;
+                events.push(ev(base, 1, false));
+                events.push(ev(base + 60, 2, false));
+                events.push(ev(base + 200, 100, true));
+            }
+        }
+        events
+    }
+
+    /// The same cascade, but after `switch_week` the precursors change to
+    /// {3,4} (a concept drift the static policy cannot follow).
+    fn drifting_log(weeks: i64, switch_week: i64) -> Vec<CleanEvent> {
+        let week_secs = WEEK_MS / 1000;
+        let mut events = Vec::new();
+        for w in 0..weeks {
+            let (a, b) = if w < switch_week { (1, 2) } else { (3, 4) };
+            for i in 0..12 {
+                let base = w * week_secs + i * 50_000;
+                events.push(ev(base, a, false));
+                events.push(ev(base + 60, b, false));
+                events.push(ev(base + 200, 100, true));
+            }
+        }
+        events
+    }
+
+    fn quick_config(policy: TrainingPolicy) -> DriverConfig {
+        DriverConfig {
+            framework: FrameworkConfig {
+                window: Duration::from_secs(300),
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            policy,
+            initial_training_weeks: 4,
+            only_kind: None,
+        }
+    }
+
+    #[test]
+    fn stable_pattern_is_predicted_well() {
+        let report = run_driver(&stable_log(12), 12, &quick_config(TrainingPolicy::Growing));
+        assert!(
+            report.overall.recall() > 0.9,
+            "recall {}",
+            report.overall.recall()
+        );
+        assert!(
+            report.overall.precision() > 0.9,
+            "precision {}",
+            report.overall.precision()
+        );
+        assert_eq!(report.weekly.len(), 8);
+        assert!(!report.churn.is_empty());
+    }
+
+    #[test]
+    fn dynamic_policy_recovers_from_drift_where_static_does_not() {
+        let log = drifting_log(16, 8);
+        let static_report = run_driver(&log, 16, &quick_config(TrainingPolicy::Static));
+        let dynamic_report = run_driver(&log, 16, &quick_config(TrainingPolicy::SlidingWeeks(4)));
+
+        // Accuracy in the final four weeks (well after the drift).
+        let tail_recall = |r: &DriverReport| {
+            let tail: Vec<_> = r.weekly.iter().filter(|w| w.week >= 12).collect();
+            tail.iter().map(|w| w.accuracy.recall()).sum::<f64>() / tail.len() as f64
+        };
+        let s = tail_recall(&static_report);
+        let d = tail_recall(&dynamic_report);
+        assert!(
+            d > s + 0.3,
+            "dynamic tail recall {d} should beat static {s} decisively"
+        );
+    }
+
+    #[test]
+    fn churn_reflects_drift() {
+        let log = drifting_log(16, 8);
+        let report = run_driver(&log, 16, &quick_config(TrainingPolicy::SlidingWeeks(4)));
+        // Retraining at week 10 trains on weeks 6..10 which mixes the two
+        // regimes; by week 12 the old rules must be gone.
+        let late = report
+            .churn
+            .iter()
+            .find(|c| c.week == 12)
+            .expect("retraining at week 12");
+        assert!(late.total > 0);
+        // Some retraining after the switch must remove old rules.
+        let removed_after: usize = report
+            .churn
+            .iter()
+            .filter(|c| c.week >= 9)
+            .map(|c| c.removed_by_learner)
+            .sum();
+        assert!(removed_after > 0, "{:?}", report.churn);
+    }
+
+    #[test]
+    fn static_policy_never_retrains() {
+        let report = run_driver(&stable_log(12), 12, &quick_config(TrainingPolicy::Static));
+        assert_eq!(report.churn.len(), 1, "only the initial training");
+    }
+
+    #[test]
+    fn only_kind_restricts_rules() {
+        let report = run_driver(
+            &stable_log(12),
+            12,
+            &DriverConfig {
+                only_kind: Some(RuleKind::Association),
+                ..quick_config(TrainingPolicy::Growing)
+            },
+        );
+        assert!(report
+            .warnings
+            .iter()
+            .all(|w| w.kind == RuleKind::Association));
+    }
+
+    #[test]
+    fn mean_metrics_skip_empty_weeks() {
+        let report = run_driver(&stable_log(12), 12, &quick_config(TrainingPolicy::Growing));
+        assert!(report.mean_precision() > 0.9);
+        assert!(report.mean_recall() > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "room for testing")]
+    fn initial_window_must_leave_test_weeks() {
+        run_driver(&stable_log(4), 4, &quick_config(TrainingPolicy::Growing));
+    }
+}

@@ -1,0 +1,327 @@
+//! Matching warnings against failures: precision, recall, weekly series.
+//!
+//! The two metrics of Section 5.1:
+//!
+//! * **precision** `= Tp / (Tp + Fp)` — correct predictions over all
+//!   predictions made: a warning is *correct* when a fatal event occurs
+//!   inside its validity interval `(issued_at, deadline]`;
+//! * **recall** `= Tp / (Tp + Fn)` — predicted failures over all failures:
+//!   a fatal event is *covered* when some warning was pending when it
+//!   struck.
+//!
+//! Precision is counted over warnings and recall over fatal events (one
+//! warning can cover several failures of a burst, and several rules can
+//! warn about one failure), which is the standard resolution of the
+//! paper's shared-`Tp` notation.
+
+use crate::knowledge::KnowledgeRepository;
+use crate::predictor::{Predictor, Warning};
+use crate::rules::Rule;
+use dml_stats::roc_score;
+use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Warning- and failure-level accuracy counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Accuracy {
+    /// Warnings whose interval contained a fatal event.
+    pub true_warnings: u64,
+    /// Warnings whose interval contained none (false alarms).
+    pub false_warnings: u64,
+    /// Fatal events covered by some pending warning.
+    pub covered_fatals: u64,
+    /// Fatal events no warning covered.
+    pub missed_fatals: u64,
+}
+
+impl Accuracy {
+    /// Correct predictions over all predictions made.
+    pub fn precision(&self) -> f64 {
+        let denom = self.true_warnings + self.false_warnings;
+        if denom == 0 {
+            0.0
+        } else {
+            self.true_warnings as f64 / denom as f64
+        }
+    }
+
+    /// Covered failures over all failures.
+    pub fn recall(&self) -> f64 {
+        let denom = self.covered_fatals + self.missed_fatals;
+        if denom == 0 {
+            0.0
+        } else {
+            self.covered_fatals as f64 / denom as f64
+        }
+    }
+
+    /// The reviser's `sqrt(precision² + recall²)` score.
+    pub fn roc(&self) -> f64 {
+        roc_score(self.precision(), self.recall())
+    }
+
+    /// Accumulates another accuracy record.
+    pub fn merge(&mut self, other: &Accuracy) {
+        self.true_warnings += other.true_warnings;
+        self.false_warnings += other.false_warnings;
+        self.covered_fatals += other.covered_fatals;
+        self.missed_fatals += other.missed_fatals;
+    }
+}
+
+/// Runs a fresh predictor over `events` and returns its warnings.
+pub fn run_predictor(
+    repo: &KnowledgeRepository,
+    window: Duration,
+    events: &[CleanEvent],
+) -> Vec<Warning> {
+    Predictor::new(repo, window).observe_all(events)
+}
+
+/// Times of fatal events, optionally restricted to one type.
+fn fatal_times(events: &[CleanEvent], target: Option<EventTypeId>) -> Vec<Timestamp> {
+    events
+        .iter()
+        .filter(|e| e.fatal && target.is_none_or(|t| e.type_id == t))
+        .map(|e| e.time)
+        .collect()
+}
+
+/// `true` for each warning whose interval `(issued_at, deadline]` contains
+/// a fatal time.
+pub fn warning_hits(warnings: &[Warning], fatal_times: &[Timestamp]) -> Vec<bool> {
+    warnings
+        .iter()
+        .map(|w| {
+            let idx = fatal_times.partition_point(|&t| t <= w.issued_at);
+            fatal_times.get(idx).is_some_and(|&t| t <= w.deadline)
+        })
+        .collect()
+}
+
+/// `true` for each fatal time covered by some warning
+/// (`issued_at < t ≤ deadline`). `warnings` must be sorted by `issued_at`
+/// (predictor output order).
+pub fn coverage_counts(warnings: &[Warning], fatal_times: &[Timestamp]) -> Vec<bool> {
+    debug_assert!(warnings
+        .windows(2)
+        .all(|w| w[0].issued_at <= w[1].issued_at));
+    // Prefix maximum of deadlines over warnings sorted by issue time.
+    let mut prefix_max: Vec<Timestamp> = Vec::with_capacity(warnings.len());
+    let mut running = Timestamp(i64::MIN);
+    for w in warnings {
+        running = running.max(w.deadline);
+        prefix_max.push(running);
+    }
+    fatal_times
+        .iter()
+        .map(|&t| {
+            let idx = warnings.partition_point(|w| w.issued_at < t);
+            idx > 0 && prefix_max[idx - 1] >= t
+        })
+        .collect()
+}
+
+/// Scores warnings against the failures in `events`. When `target` is set,
+/// only failures of that type count toward coverage (per-rule revision of
+/// association rules); warning hits still count any failure.
+pub fn score_with_target(
+    warnings: &[Warning],
+    events: &[CleanEvent],
+    target: Option<EventTypeId>,
+) -> Accuracy {
+    let all_fatals = fatal_times(events, None);
+    let target_fatals = match target {
+        None => all_fatals.clone(),
+        Some(_) => fatal_times(events, target),
+    };
+    let hits = warning_hits(warnings, &all_fatals);
+    let covered = coverage_counts(warnings, &target_fatals);
+    Accuracy {
+        true_warnings: hits.iter().filter(|&&h| h).count() as u64,
+        false_warnings: hits.iter().filter(|&&h| !h).count() as u64,
+        covered_fatals: covered.iter().filter(|&&c| c).count() as u64,
+        missed_fatals: covered.iter().filter(|&&c| !c).count() as u64,
+    }
+}
+
+/// Scores warnings against all failures in `events`.
+pub fn score(warnings: &[Warning], events: &[CleanEvent]) -> Accuracy {
+    score_with_target(warnings, events, None)
+}
+
+/// The per-rule revision target: association rules are judged on their own
+/// fatal type, the others on all failures.
+pub fn revision_target(rule: &Rule) -> Option<EventTypeId> {
+    match rule {
+        Rule::Association(a) => Some(a.fatal),
+        _ => None,
+    }
+}
+
+/// One week of accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WeekAccuracy {
+    /// Zero-based week index.
+    pub week: i64,
+    /// Accuracy of warnings issued (and failures occurring) in this week.
+    pub accuracy: Accuracy,
+}
+
+/// Buckets warnings (by issue time) and failures (by occurrence time) into
+/// weeks `first..=last`, scoring each bucket against the *full* event and
+/// warning streams so intervals may cross week boundaries.
+pub fn weekly_series(
+    warnings: &[Warning],
+    events: &[CleanEvent],
+    first: i64,
+    last: i64,
+) -> Vec<WeekAccuracy> {
+    let all_fatals = fatal_times(events, None);
+    let hits = warning_hits(warnings, &all_fatals);
+    let covered = coverage_counts(warnings, &all_fatals);
+    (first..=last)
+        .map(|week| {
+            let mut acc = Accuracy::default();
+            for (w, &hit) in warnings.iter().zip(&hits) {
+                if w.issued_at.week_index() == week {
+                    if hit {
+                        acc.true_warnings += 1;
+                    } else {
+                        acc.false_warnings += 1;
+                    }
+                }
+            }
+            for (&t, &cov) in all_fatals.iter().zip(&covered) {
+                if t.week_index() == week {
+                    if cov {
+                        acc.covered_fatals += 1;
+                    } else {
+                        acc.missed_fatals += 1;
+                    }
+                }
+            }
+            WeekAccuracy {
+                week,
+                accuracy: acc,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+    use crate::rules::RuleKind;
+
+    fn warn(issued: i64, deadline: i64) -> Warning {
+        Warning {
+            issued_at: Timestamp::from_secs(issued),
+            deadline: Timestamp::from_secs(deadline),
+            rule: RuleId(0),
+            kind: RuleKind::Association,
+            predicted: None,
+        }
+    }
+
+    fn fatal(secs: i64, ty: u16) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), true)
+    }
+
+    #[test]
+    fn warning_hit_interval_is_half_open() {
+        let fatals = vec![Timestamp::from_secs(100)];
+        // Fatal exactly at issue time does not count (no lead time).
+        assert_eq!(warning_hits(&[warn(100, 400)], &fatals), vec![false]);
+        assert_eq!(warning_hits(&[warn(99, 100)], &fatals), vec![true]);
+        assert_eq!(warning_hits(&[warn(0, 99)], &fatals), vec![false]);
+    }
+
+    #[test]
+    fn coverage_uses_any_pending_warning() {
+        let warnings = vec![warn(0, 50), warn(60, 400)];
+        let fatals = vec![
+            Timestamp::from_secs(55),  // in neither interval
+            Timestamp::from_secs(100), // inside the second
+        ];
+        assert_eq!(coverage_counts(&warnings, &fatals), vec![false, true]);
+    }
+
+    #[test]
+    fn coverage_prefix_max_handles_nested_intervals() {
+        // First warning has the *longer* deadline.
+        let warnings = vec![warn(0, 1000), warn(10, 20)];
+        let fatals = vec![Timestamp::from_secs(500)];
+        assert_eq!(coverage_counts(&warnings, &fatals), vec![true]);
+    }
+
+    #[test]
+    fn score_counts_all_sides() {
+        let warnings = vec![warn(0, 100), warn(200, 250)];
+        let events = vec![fatal(50, 1), fatal(300, 1)];
+        let acc = score(&warnings, &events);
+        assert_eq!(acc.true_warnings, 1);
+        assert_eq!(acc.false_warnings, 1);
+        assert_eq!(acc.covered_fatals, 1);
+        assert_eq!(acc.missed_fatals, 1);
+        assert!((acc.precision() - 0.5).abs() < 1e-12);
+        assert!((acc.recall() - 0.5).abs() < 1e-12);
+        assert!((acc.roc() - (0.5f64 * 0.5 + 0.25).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_restricts_recall_not_precision() {
+        // Warning hits a type-2 fatal; target is type 1.
+        let warnings = vec![warn(0, 100)];
+        let events = vec![fatal(50, 2), fatal(5000, 1)];
+        let acc = score_with_target(&warnings, &events, Some(EventTypeId(1)));
+        assert_eq!(acc.true_warnings, 1, "any fatal counts for the warning");
+        assert_eq!(acc.covered_fatals, 0);
+        assert_eq!(
+            acc.missed_fatals, 1,
+            "only type-1 fatals in the denominator"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let acc = score(&[], &[]);
+        assert_eq!(acc, Accuracy::default());
+        assert_eq!(acc.precision(), 0.0);
+        assert_eq!(acc.recall(), 0.0);
+    }
+
+    #[test]
+    fn weekly_buckets_by_issue_and_occurrence() {
+        let week = 7 * 24 * 3600;
+        // Warning issued at end of week 0, fatal lands in week 1.
+        let warnings = vec![warn(week - 10, week + 100)];
+        let events = vec![fatal(week + 50, 1)];
+        let series = weekly_series(&warnings, &events, 0, 1);
+        assert_eq!(series.len(), 2);
+        assert_eq!(
+            series[0].accuracy.true_warnings, 1,
+            "warning counted in week 0"
+        );
+        assert_eq!(series[0].accuracy.covered_fatals, 0);
+        assert_eq!(
+            series[1].accuracy.covered_fatals, 1,
+            "fatal counted in week 1"
+        );
+        assert_eq!(series[1].accuracy.true_warnings, 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Accuracy {
+            true_warnings: 1,
+            false_warnings: 2,
+            covered_fatals: 3,
+            missed_fatals: 4,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.true_warnings, 2);
+        assert_eq!(a.missed_fatals, 8);
+    }
+}

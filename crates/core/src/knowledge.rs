@@ -1,0 +1,268 @@
+//! The knowledge repository.
+//!
+//! Holds the rules the predictor consults, with the two lookup lists of
+//! Algorithm 2 prebuilt:
+//!
+//! * `E-List` — for each event type, the association rules whose
+//!   antecedent contains it (consulted on non-fatal arrivals);
+//! * `F-List` — for each fatal type, the association rules predicting it.
+//!
+//! The repository also supports the churn accounting of Fig. 12: diffing
+//! two snapshots by structural rule identity.
+
+use crate::evaluation::Accuracy;
+use crate::rules::{Rule, RuleId, RuleIdentity, RuleKind};
+use raslog::EventTypeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// A rule plus its bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoredRule {
+    /// Repository-local id.
+    pub id: RuleId,
+    /// The rule.
+    pub rule: Rule,
+    /// Training-set accuracy measured by the reviser, when it ran.
+    pub training_counts: Option<Accuracy>,
+}
+
+/// Rule-set difference between two retraining snapshots.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleChurn {
+    /// Rules present in both snapshots (by identity).
+    pub unchanged: usize,
+    /// Rules only in the new snapshot.
+    pub added: usize,
+    /// Rules only in the old snapshot.
+    pub removed: usize,
+}
+
+/// The rule store consulted by the predictor.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct KnowledgeRepository {
+    rules: Vec<StoredRule>,
+    /// Association rules indexed by antecedent item.
+    e_list: HashMap<EventTypeId, Vec<RuleId>>,
+    /// Association rules indexed by predicted fatal type.
+    f_list: HashMap<EventTypeId, Vec<RuleId>>,
+    /// Statistical rules, ascending `k`.
+    statistical: Vec<RuleId>,
+    /// Location-recurrence rules, ascending `k`.
+    location: Vec<RuleId>,
+    /// Distribution rules.
+    distribution: Vec<RuleId>,
+}
+
+impl KnowledgeRepository {
+    /// Builds a repository from rules in ensemble order.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let mut repo = KnowledgeRepository::default();
+        for rule in rules {
+            repo.insert(rule, None);
+        }
+        repo
+    }
+
+    /// Builds a repository from rules with reviser counts attached.
+    pub fn with_counts(rules: Vec<(Rule, Option<Accuracy>)>) -> Self {
+        let mut repo = KnowledgeRepository::default();
+        for (rule, counts) in rules {
+            repo.insert(rule, counts);
+        }
+        repo
+    }
+
+    fn insert(&mut self, rule: Rule, training_counts: Option<Accuracy>) {
+        let id = RuleId(u32::try_from(self.rules.len()).expect("too many rules"));
+        match &rule {
+            Rule::Association(a) => {
+                for &item in &a.antecedent {
+                    self.e_list.entry(item).or_default().push(id);
+                }
+                self.f_list.entry(a.fatal).or_default().push(id);
+            }
+            Rule::Statistical(_) => self.statistical.push(id),
+            Rule::Location(_) => self.location.push(id),
+            Rule::Distribution(_) => self.distribution.push(id),
+        }
+        self.rules.push(StoredRule {
+            id,
+            rule,
+            training_counts,
+        });
+        // Keep count-triggered rules sorted by k so the predictor can stop
+        // at the first non-matching one.
+        self.statistical
+            .sort_by_key(|&id| match &self.rules[id.0 as usize].rule {
+                Rule::Statistical(s) => s.k,
+                _ => usize::MAX,
+            });
+        self.location
+            .sort_by_key(|&id| match &self.rules[id.0 as usize].rule {
+                Rule::Location(l) => l.k,
+                _ => usize::MAX,
+            });
+    }
+
+    /// The stored rule for `id`.
+    pub fn get(&self, id: RuleId) -> &StoredRule {
+        &self.rules[id.0 as usize]
+    }
+
+    /// All stored rules in insertion order.
+    pub fn rules(&self) -> &[StoredRule] {
+        &self.rules
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Number of rules of each kind.
+    pub fn count_by_kind(&self, kind: RuleKind) -> usize {
+        self.rules.iter().filter(|r| r.rule.kind() == kind).count()
+    }
+
+    /// Association rules containing `item` in their antecedent.
+    pub fn rules_triggered_by(&self, item: EventTypeId) -> &[RuleId] {
+        self.e_list.get(&item).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Association rules predicting `fatal`.
+    pub fn rules_predicting(&self, fatal: EventTypeId) -> &[RuleId] {
+        self.f_list.get(&fatal).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Statistical rules in ascending `k` order.
+    pub fn statistical_rules(&self) -> &[RuleId] {
+        &self.statistical
+    }
+
+    /// Location-recurrence rules in ascending `k` order.
+    pub fn location_rules(&self) -> &[RuleId] {
+        &self.location
+    }
+
+    /// Distribution rules.
+    pub fn distribution_rules(&self) -> &[RuleId] {
+        &self.distribution
+    }
+
+    /// The set of structural identities in the repository.
+    pub fn identities(&self) -> HashSet<RuleIdentity> {
+        self.rules.iter().map(|r| r.rule.identity()).collect()
+    }
+
+    /// Diffs two snapshots by identity (Fig. 12's churn accounting).
+    pub fn churn(old: &KnowledgeRepository, new: &KnowledgeRepository) -> RuleChurn {
+        let old_ids = old.identities();
+        let new_ids = new.identities();
+        RuleChurn {
+            unchanged: old_ids.intersection(&new_ids).count(),
+            added: new_ids.difference(&old_ids).count(),
+            removed: old_ids.difference(&new_ids).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{AssociationRule, StatisticalRule};
+
+    fn assoc(items: &[u16], fatal: u16) -> Rule {
+        Rule::Association(AssociationRule {
+            antecedent: items.iter().map(|&i| EventTypeId(i)).collect(),
+            fatal: EventTypeId(fatal),
+            support: 0.1,
+            confidence: 0.9,
+        })
+    }
+
+    fn stat(k: usize) -> Rule {
+        Rule::Statistical(StatisticalRule {
+            k,
+            probability: 0.9,
+        })
+    }
+
+    #[test]
+    fn indices_route_lookups() {
+        let repo = KnowledgeRepository::new(vec![
+            assoc(&[1, 2], 100),
+            assoc(&[2, 3], 101),
+            stat(4),
+            stat(2),
+        ]);
+        assert_eq!(repo.len(), 4);
+        assert_eq!(repo.rules_triggered_by(EventTypeId(2)).len(), 2);
+        assert_eq!(repo.rules_triggered_by(EventTypeId(1)).len(), 1);
+        assert_eq!(repo.rules_triggered_by(EventTypeId(99)).len(), 0);
+        assert_eq!(repo.rules_predicting(EventTypeId(100)).len(), 1);
+        // Statistical rules come back ascending in k.
+        let ks: Vec<usize> = repo
+            .statistical_rules()
+            .iter()
+            .map(|&id| match &repo.get(id).rule {
+                Rule::Statistical(s) => s.k,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ks, vec![2, 4]);
+    }
+
+    #[test]
+    fn count_by_kind() {
+        let repo = KnowledgeRepository::new(vec![assoc(&[1], 100), stat(2), stat(3)]);
+        assert_eq!(repo.count_by_kind(RuleKind::Association), 1);
+        assert_eq!(repo.count_by_kind(RuleKind::Statistical), 2);
+        assert_eq!(repo.count_by_kind(RuleKind::Distribution), 0);
+    }
+
+    #[test]
+    fn churn_accounting() {
+        let old = KnowledgeRepository::new(vec![assoc(&[1, 2], 100), assoc(&[3], 101), stat(2)]);
+        let new = KnowledgeRepository::new(vec![
+            assoc(&[1, 2], 100), // unchanged
+            assoc(&[4], 102),    // added
+            stat(3),             // added (different k)
+        ]);
+        let churn = KnowledgeRepository::churn(&old, &new);
+        assert_eq!(
+            churn,
+            RuleChurn {
+                unchanged: 1,
+                added: 2,
+                removed: 2
+            }
+        );
+    }
+
+    #[test]
+    fn churn_ignores_measure_changes() {
+        let old = KnowledgeRepository::new(vec![assoc(&[1], 100)]);
+        let mut r = assoc(&[1], 100);
+        if let Rule::Association(a) = &mut r {
+            a.confidence = 0.123;
+        }
+        let new = KnowledgeRepository::new(vec![r]);
+        let churn = KnowledgeRepository::churn(&old, &new);
+        assert_eq!(churn.unchanged, 1);
+        assert_eq!(churn.added, 0);
+    }
+
+    #[test]
+    fn empty_repo() {
+        let repo = KnowledgeRepository::default();
+        assert!(repo.is_empty());
+        assert!(repo.statistical_rules().is_empty());
+        assert!(repo.distribution_rules().is_empty());
+    }
+}

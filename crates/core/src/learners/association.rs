@@ -1,0 +1,180 @@
+//! The association-rule base learner.
+//!
+//! "On the training set, for each fatal event, we identify the set of
+//! non-fatal events preceding it within the rule generation window `W_P`
+//! … We then apply the standard association rule algorithm to build rule
+//! models for event sets that are above the minimum support and
+//! confidence." (Section 4.1.)
+
+use super::BaseLearner;
+use crate::config::FrameworkConfig;
+use crate::rules::{AssociationRule, Rule, RuleKind};
+use apriori::{mine_class_rules, ClassTransaction};
+use raslog::{CleanEvent, EventTypeId};
+use std::collections::VecDeque;
+
+/// Mines `{non-fatal precursors} → fatal` rules with Apriori.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AssociationLearner;
+
+/// Builds one transaction per fatal event: the distinct non-fatal types
+/// observed within `window` before it (single forward sweep).
+pub(super) fn build_transactions(
+    events: &[CleanEvent],
+    window: raslog::Duration,
+) -> Vec<ClassTransaction<EventTypeId, EventTypeId>> {
+    let mut txs = Vec::new();
+    let mut recent: VecDeque<(raslog::Timestamp, EventTypeId)> = VecDeque::new();
+    for ev in events {
+        while let Some(&(t, _)) = recent.front() {
+            if ev.time - t > window {
+                recent.pop_front();
+            } else {
+                break;
+            }
+        }
+        if ev.fatal {
+            let mut items: Vec<EventTypeId> = recent.iter().map(|&(_, ty)| ty).collect();
+            items.sort_unstable();
+            items.dedup();
+            txs.push(ClassTransaction::new(items, ev.type_id));
+        } else {
+            recent.push_back((ev.time, ev.type_id));
+        }
+    }
+    txs
+}
+
+impl BaseLearner for AssociationLearner {
+    fn name(&self) -> &'static str {
+        "association rule"
+    }
+
+    fn kind(&self) -> RuleKind {
+        RuleKind::Association
+    }
+
+    fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+        let txs = build_transactions(events, config.window);
+        if txs.is_empty() {
+            return Vec::new();
+        }
+        mine_class_rules(
+            &txs,
+            config.min_support,
+            config.min_confidence,
+            config.max_antecedent,
+        )
+        .into_iter()
+        .map(|r| {
+            Rule::Association(AssociationRule {
+                antecedent: r.antecedent,
+                fatal: r.class,
+                support: r.support,
+                confidence: r.confidence,
+            })
+        })
+        .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{Duration, Timestamp};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    /// Planted pattern: types {1, 2} precede fatal 100 by < 300 s.
+    fn planted_log(repeats: usize) -> Vec<CleanEvent> {
+        let mut events = Vec::new();
+        for i in 0..repeats {
+            let base = i as i64 * 10_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 50, 2, false));
+            events.push(ev(base + 200, 100, true));
+            // An unrelated fatal with no precursors.
+            events.push(ev(base + 5_000, 101, true));
+        }
+        events
+    }
+
+    #[test]
+    fn transactions_capture_window_contents() {
+        let txs = build_transactions(&planted_log(3), Duration::from_secs(300));
+        assert_eq!(txs.len(), 6); // two fatals per repeat
+        let cued: Vec<_> = txs.iter().filter(|t| t.class == EventTypeId(100)).collect();
+        for t in &cued {
+            assert_eq!(t.items, vec![EventTypeId(1), EventTypeId(2)]);
+        }
+        let uncued: Vec<_> = txs.iter().filter(|t| t.class == EventTypeId(101)).collect();
+        for t in &uncued {
+            assert!(t.items.is_empty(), "no precursors expected: {:?}", t.items);
+        }
+    }
+
+    #[test]
+    fn learns_planted_rule() {
+        let rules = AssociationLearner.learn(&planted_log(20), &FrameworkConfig::default());
+        let hit = rules.iter().find_map(|r| match r {
+            Rule::Association(a)
+                if a.antecedent == vec![EventTypeId(1), EventTypeId(2)]
+                    && a.fatal == EventTypeId(100) =>
+            {
+                Some(a)
+            }
+            _ => None,
+        });
+        let a = hit.expect("planted rule not mined");
+        assert!(a.confidence > 0.99, "confidence {}", a.confidence);
+        assert!((a.support - 0.5).abs() < 1e-9, "support {}", a.support);
+        // No rule should target the precursor-less fatal.
+        assert!(rules.iter().all(|r| match r {
+            Rule::Association(a) => a.fatal != EventTypeId(101),
+            _ => true,
+        }));
+    }
+
+    #[test]
+    fn window_excludes_stale_precursors() {
+        // Precursor 400 s before the fatal is outside W_P = 300 s.
+        let events = vec![ev(0, 1, false), ev(400, 100, true)];
+        let txs = build_transactions(&events, Duration::from_secs(300));
+        assert_eq!(txs.len(), 1);
+        assert!(txs[0].items.is_empty());
+        // With a 2-hour window it is included (Fig. 13's tradeoff).
+        let txs = build_transactions(&events, Duration::from_hours(2));
+        assert_eq!(txs[0].items, vec![EventTypeId(1)]);
+    }
+
+    #[test]
+    fn empty_input_learns_nothing() {
+        assert!(AssociationLearner
+            .learn(&[], &FrameworkConfig::default())
+            .is_empty());
+        // All-non-fatal input produces no transactions either.
+        let events = vec![ev(0, 1, false), ev(1, 2, false)];
+        assert!(AssociationLearner
+            .learn(&events, &FrameworkConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn fatal_events_are_not_antecedents() {
+        // A fatal preceding another fatal must not appear as an antecedent.
+        let mut events = Vec::new();
+        for i in 0..30 {
+            let base = i as i64 * 10_000;
+            events.push(ev(base, 50, true));
+            events.push(ev(base + 100, 100, true));
+        }
+        let rules = AssociationLearner.learn(&events, &FrameworkConfig::default());
+        for r in &rules {
+            if let Rule::Association(a) = r {
+                assert!(!a.antecedent.contains(&EventTypeId(50)));
+            }
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! The probability-distribution base learner.
+//!
+//! "…calculates inter-arrival times between adjacent fatal events and uses
+//! maximum likelihood estimation to fit a mathematical model to these
+//! data. Distributions like Weibull, exponential, and log-normal are
+//! examined … this base method will trigger a warning if the probability
+//! is larger than a user-defined threshold, or equally saying, when the
+//! elapsed time since the last failure is longer than some threshold."
+//! (Section 4.1, with the SDSC example
+//! `F(t) = 1 − e^{−(t/19984.8)^0.507936}` and threshold 0.60.)
+
+use super::BaseLearner;
+use crate::config::FrameworkConfig;
+use crate::rules::{DistributionRule, Rule, RuleKind};
+use raslog::store::clean::fatal_interarrivals_secs;
+use raslog::CleanEvent;
+
+/// Minimum number of gaps before a fit is attempted.
+const MIN_GAPS: usize = 8;
+
+/// Fits the long-term failure inter-arrival distribution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DistributionLearner;
+
+impl BaseLearner for DistributionLearner {
+    fn name(&self) -> &'static str {
+        "probability distribution"
+    }
+
+    fn kind(&self) -> RuleKind {
+        RuleKind::Distribution
+    }
+
+    fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+        // Long-term behaviour only: gaps inside the rule-generation window
+        // are short-term correlations and belong to the statistical
+        // learner ("this method … intends to utilize long-term failure
+        // behavior").
+        let window_secs = config.window.as_secs_f64();
+        let gaps: Vec<f64> = fatal_interarrivals_secs(events)
+            .into_iter()
+            .filter(|&g| g > window_secs)
+            .collect();
+        if gaps.len() < MIN_GAPS {
+            return Vec::new();
+        }
+        match dml_stats::fit_best(&gaps) {
+            Some(best) => vec![Rule::Distribution(DistributionRule {
+                model: best.model,
+                threshold: config.dist_threshold,
+                expire_quantile: config.dist_expire_quantile,
+            })],
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_stats::{ContinuousDistribution, DistributionFamily, FittedModel};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    use raslog::{EventTypeId, Timestamp};
+
+    fn weibull_fatal_log(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<CleanEvent> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = 0.0f64;
+        let mut events = Vec::new();
+        for _ in 0..n {
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += scale * (-(u.ln())).powf(1.0 / shape);
+            events.push(CleanEvent::new(
+                Timestamp::from_secs(t as i64),
+                EventTypeId(0),
+                true,
+            ));
+        }
+        events
+    }
+
+    #[test]
+    fn fits_weibull_body_and_recovers_parameters() {
+        // Wear-out body: shape 1.5, scale 42 000 s — almost no gap falls
+        // below the 300 s window, so truncation bias is negligible.
+        let events = weibull_fatal_log(1.5, 42_000.0, 3_000, 1);
+        let rules = DistributionLearner.learn(&events, &FrameworkConfig::default());
+        assert_eq!(rules.len(), 1);
+        let Rule::Distribution(d) = &rules[0] else {
+            panic!("wrong kind")
+        };
+        assert_eq!(d.model.family(), DistributionFamily::Weibull);
+        let FittedModel::Weibull(w) = d.model else {
+            unreachable!()
+        };
+        assert!((w.shape - 1.5).abs() < 0.1, "shape {}", w.shape);
+        assert!(
+            (w.scale - 42_000.0).abs() / 42_000.0 < 0.1,
+            "scale {}",
+            w.scale
+        );
+        // Trigger point is the 60th percentile of the fit.
+        let f = d.model.cdf(d.trigger_elapsed().as_secs_f64());
+        assert!((f - 0.6).abs() < 0.01, "F(trigger) = {f}");
+    }
+
+    #[test]
+    fn short_gaps_are_excluded_from_the_fit() {
+        // Interleave burst pairs (gap 50 s) with the body; the fitted body
+        // must stay (almost) unchanged because sub-window gaps are the
+        // statistical learner's domain.
+        let body = weibull_fatal_log(1.5, 42_000.0, 1_500, 2);
+        let mut with_bursts = Vec::new();
+        for e in &body {
+            with_bursts.push(*e);
+            with_bursts.push(CleanEvent::new(
+                raslog::Timestamp(e.time.millis() + 50_000),
+                EventTypeId(0),
+                true,
+            ));
+        }
+        let clean_rules = DistributionLearner.learn(&body, &FrameworkConfig::default());
+        let burst_rules = DistributionLearner.learn(&with_bursts, &FrameworkConfig::default());
+        let Rule::Distribution(a) = &clean_rules[0] else {
+            unreachable!()
+        };
+        let Rule::Distribution(b) = &burst_rules[0] else {
+            unreachable!()
+        };
+        let (FittedModel::Weibull(wa), FittedModel::Weibull(wb)) = (a.model, b.model) else {
+            panic!("expected Weibull fits, got {:?} / {:?}", a.model, b.model)
+        };
+        assert!(
+            (wa.shape - wb.shape).abs() < 0.2,
+            "{} vs {}",
+            wa.shape,
+            wb.shape
+        );
+        assert!((wa.scale - wb.scale).abs() / wa.scale < 0.15);
+    }
+
+    #[test]
+    fn too_few_gaps_learns_nothing() {
+        let events = weibull_fatal_log(0.51, 20_000.0, 5, 2);
+        assert!(DistributionLearner
+            .learn(&events, &FrameworkConfig::default())
+            .is_empty());
+        assert!(DistributionLearner
+            .learn(&[], &FrameworkConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn nonfatal_events_do_not_contribute_gaps() {
+        let mut events = weibull_fatal_log(1.0, 1000.0, 100, 3);
+        // Interleave non-fatal chatter.
+        for i in 0..500 {
+            events.push(CleanEvent::new(
+                Timestamp::from_secs(i * 13),
+                EventTypeId(9),
+                false,
+            ));
+        }
+        events.sort_by_key(|e| e.time);
+        let with_noise = DistributionLearner.learn(&events, &FrameworkConfig::default());
+        let clean = DistributionLearner.learn(
+            &weibull_fatal_log(1.0, 1000.0, 100, 3),
+            &FrameworkConfig::default(),
+        );
+        assert_eq!(with_noise, clean);
+    }
+}

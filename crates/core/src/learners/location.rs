@@ -1,0 +1,157 @@
+//! The location-recurrence base learner (extension).
+//!
+//! The paper's framework is explicitly open: "we believe other predictive
+//! methods can be easily incorporated". This learner adds a *spatial*
+//! expert to the ensemble: failing hardware keeps failing until it is
+//! serviced, so `k` fatals on the same midplane within `W_P` predict
+//! another failure. It is not part of [`standard_learners`] (which mirrors
+//! the paper's three) — use [`extended_learners`] or
+//! [`MetaLearner::with_learners`].
+//!
+//! [`standard_learners`]: super::standard_learners
+//! [`extended_learners`]: super::extended_learners
+//! [`MetaLearner::with_learners`]: crate::meta::MetaLearner::with_learners
+
+use super::BaseLearner;
+use crate::config::FrameworkConfig;
+use crate::rules::{LocationRule, Rule, RuleKind};
+use raslog::{CleanEvent, Timestamp};
+
+/// Minimum trigger occurrences before a probability estimate is trusted.
+const MIN_SAMPLES: usize = 5;
+
+/// Learns "`k` same-midplane failures within `W_P` ⇒ another failure"
+/// rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LocationLearner;
+
+/// For each fatal event with a known midplane: `(same-midplane count in
+/// the closed window ending at it, whether any fatal follows within the
+/// window)`.
+fn midplane_window_counts(events: &[CleanEvent], window: raslog::Duration) -> Vec<(usize, bool)> {
+    let fatals: Vec<(Timestamp, Option<(u8, u8)>)> = events
+        .iter()
+        .filter(|e| e.fatal)
+        .map(|e| (e.time, e.location.midplane()))
+        .collect();
+    let mut out = Vec::new();
+    let mut lo = 0usize;
+    for (i, &(t, mp)) in fatals.iter().enumerate() {
+        while fatals[lo].0 < t - window {
+            lo += 1;
+        }
+        let Some(mp) = mp else { continue };
+        let count = fatals[lo..=i]
+            .iter()
+            .filter(|&&(_, m)| m == Some(mp))
+            .count();
+        let followed = fatals
+            .get(i + 1)
+            .map(|&(next, _)| next - t <= window)
+            .unwrap_or(false);
+        out.push((count, followed));
+    }
+    out
+}
+
+impl BaseLearner for LocationLearner {
+    fn name(&self) -> &'static str {
+        "location recurrence"
+    }
+
+    fn kind(&self) -> RuleKind {
+        RuleKind::Location
+    }
+
+    fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+        let samples = midplane_window_counts(events, config.window);
+        let mut rules = Vec::new();
+        for k in 2..=config.stat_max_k {
+            let triggered: Vec<bool> = samples
+                .iter()
+                .filter(|&&(count, _)| count >= k)
+                .map(|&(_, followed)| followed)
+                .collect();
+            if triggered.len() < MIN_SAMPLES {
+                break;
+            }
+            let p = triggered.iter().filter(|&&f| f).count() as f64 / triggered.len() as f64;
+            if p >= config.stat_threshold {
+                rules.push(Rule::Location(LocationRule { k, probability: p }));
+            }
+        }
+        rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{Duration, EventTypeId, Location};
+
+    fn fatal_at(secs: i64, midplane: u8) -> CleanEvent {
+        CleanEvent {
+            time: Timestamp::from_secs(secs),
+            type_id: EventTypeId(0),
+            location: Location::chip(0, midplane, 3, 5, 0),
+            job_id: None,
+            fatal: true,
+        }
+    }
+
+    #[test]
+    fn counts_are_per_midplane() {
+        // Midplane 0 bursts; midplane 1 sees isolated fatals interleaved.
+        let events = vec![
+            fatal_at(0, 0),
+            fatal_at(50, 1),
+            fatal_at(100, 0),
+            fatal_at(150, 0),
+        ];
+        let counts = midplane_window_counts(&events, Duration::from_secs(300));
+        assert_eq!(counts, vec![(1, true), (1, true), (2, true), (3, false)]);
+    }
+
+    #[test]
+    fn learns_same_midplane_recurrence() {
+        // Midplane 0 fails in runs of 6 (50 s apart): of the five "≥2
+        // seen" positions per run, four are followed — probability 0.8.
+        let mut events = Vec::new();
+        for i in 0..30 {
+            let base = i as i64 * 100_000;
+            for j in 0..6 {
+                events.push(fatal_at(base + j * 50, 0));
+            }
+        }
+        let rules = LocationLearner.learn(&events, &FrameworkConfig::default());
+        assert!(!rules.is_empty());
+        for r in &rules {
+            let Rule::Location(l) = r else {
+                panic!("wrong kind")
+            };
+            assert!(l.probability >= 0.8);
+            assert!(l.k >= 2);
+        }
+    }
+
+    #[test]
+    fn scattered_failures_learn_nothing() {
+        let events: Vec<CleanEvent> = (0..60)
+            .map(|i| fatal_at(i * 50_000, (i % 2) as u8))
+            .collect();
+        assert!(LocationLearner
+            .learn(&events, &FrameworkConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn system_located_fatals_are_skipped() {
+        // Fatals with no midplane (Location::System) contribute no samples.
+        let events: Vec<CleanEvent> = (0..20)
+            .map(|i| CleanEvent::new(Timestamp::from_secs(i * 10), EventTypeId(0), true))
+            .collect();
+        assert!(LocationLearner
+            .learn(&events, &FrameworkConfig::default())
+            .is_empty());
+    }
+}

@@ -1,0 +1,82 @@
+//! The base learners.
+//!
+//! Each base learner turns a training window of preprocessed events into
+//! candidate rules of one [`RuleKind`]. "Other predictive methods can be
+//! easily incorporated" — implement [`BaseLearner`] and hand the learner to
+//! the meta-learner.
+
+mod association;
+mod distribution;
+mod location;
+mod statistical;
+
+pub use association::AssociationLearner;
+pub use distribution::DistributionLearner;
+pub use location::LocationLearner;
+pub use statistical::StatisticalLearner;
+
+use crate::config::FrameworkConfig;
+use crate::rules::{Rule, RuleKind};
+use raslog::CleanEvent;
+
+/// A predictive method pluggable into the meta-learner.
+pub trait BaseLearner: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> &'static str;
+
+    /// The rule kind this learner produces.
+    fn kind(&self) -> RuleKind;
+
+    /// Learns candidate rules from a time-sorted training window.
+    fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule>;
+}
+
+/// Exposes the association learner's transaction construction for the
+/// benchmark harness (one transaction per fatal event: the distinct
+/// non-fatal types within `window` before it).
+pub fn transactions_for_bench(
+    events: &[CleanEvent],
+    window: raslog::Duration,
+) -> Vec<apriori::ClassTransaction<raslog::EventTypeId, raslog::EventTypeId>> {
+    association::build_transactions(events, window)
+}
+
+/// The paper's three base learners, in mixture-of-experts order.
+pub fn standard_learners() -> Vec<Box<dyn BaseLearner>> {
+    vec![
+        Box::new(AssociationLearner),
+        Box::new(StatisticalLearner),
+        Box::new(DistributionLearner),
+    ]
+}
+
+/// The extended ensemble: the paper's three learners plus the
+/// location-recurrence extension (association → statistical → location →
+/// distribution).
+pub fn extended_learners() -> Vec<Box<dyn BaseLearner>> {
+    vec![
+        Box::new(AssociationLearner),
+        Box::new(StatisticalLearner),
+        Box::new(LocationLearner),
+        Box::new(DistributionLearner),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_learners_in_ensemble_order() {
+        let learners = standard_learners();
+        let kinds: Vec<RuleKind> = learners.iter().map(|l| l.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                RuleKind::Association,
+                RuleKind::Statistical,
+                RuleKind::Distribution
+            ]
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! The statistical-rule base learner.
+//!
+//! "On the training set, we calculate the probability of `k` failures
+//! occurred within the rule generation window `W_P`. If the probability is
+//! larger than a user-defined threshold, then a statistic rule is
+//! generated, along with its probability value. … we have discovered that
+//! for both logs, if four failures occur within 300 seconds, then the
+//! probability of another failure is 99 %." (Section 4.1.)
+
+use super::BaseLearner;
+use crate::config::FrameworkConfig;
+use crate::rules::{Rule, RuleKind, StatisticalRule};
+use raslog::{CleanEvent, Timestamp};
+
+/// Minimum trigger occurrences before a probability estimate is trusted.
+const MIN_SAMPLES: usize = 5;
+
+/// Learns "`k` failures within `W_P` ⇒ another failure" rules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatisticalLearner;
+
+/// For each fatal event, `(count of fatals in the closed window ending at
+/// it, whether another fatal follows within the window)`.
+pub(crate) fn fatal_window_counts(
+    events: &[CleanEvent],
+    window: raslog::Duration,
+) -> Vec<(usize, bool)> {
+    let fatal_times: Vec<Timestamp> = events.iter().filter(|e| e.fatal).map(|e| e.time).collect();
+    let mut out = Vec::with_capacity(fatal_times.len());
+    let mut lo = 0usize;
+    for (i, &t) in fatal_times.iter().enumerate() {
+        while fatal_times[lo] < t - window {
+            lo += 1;
+        }
+        let count = i - lo + 1; // fatals in [t - window, t], current included
+        let followed = fatal_times
+            .get(i + 1)
+            .map(|&next| next - t <= window)
+            .unwrap_or(false);
+        out.push((count, followed));
+    }
+    out
+}
+
+impl BaseLearner for StatisticalLearner {
+    fn name(&self) -> &'static str {
+        "statistical rule"
+    }
+
+    fn kind(&self) -> RuleKind {
+        RuleKind::Statistical
+    }
+
+    fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+        let samples = fatal_window_counts(events, config.window);
+        let mut rules = Vec::new();
+        for k in 1..=config.stat_max_k {
+            let triggered: Vec<bool> = samples
+                .iter()
+                .filter(|&&(count, _)| count >= k)
+                .map(|&(_, followed)| followed)
+                .collect();
+            if triggered.len() < MIN_SAMPLES {
+                break; // higher k only gets rarer
+            }
+            let p = triggered.iter().filter(|&&f| f).count() as f64 / triggered.len() as f64;
+            if p >= config.stat_threshold {
+                rules.push(Rule::Statistical(StatisticalRule { k, probability: p }));
+            }
+        }
+        rules
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{Duration, EventTypeId};
+
+    fn fatal(secs: i64) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(0), true)
+    }
+
+    #[test]
+    fn window_counts_basics() {
+        // Burst of 3 fatals 100 s apart, then an isolated one.
+        let events = vec![fatal(0), fatal(100), fatal(200), fatal(10_000)];
+        let counts = fatal_window_counts(&events, Duration::from_secs(300));
+        assert_eq!(counts, vec![(1, true), (2, true), (3, false), (1, false)]);
+    }
+
+    #[test]
+    fn learns_rule_from_deep_bursts() {
+        // Bursts of 6 fatals 50 s apart: once 3 are seen within the window
+        // another always follows; isolated fatals dilute low-k rules.
+        let mut events = Vec::new();
+        for i in 0..30 {
+            let base = i as i64 * 100_000;
+            for j in 0..6 {
+                events.push(fatal(base + j * 50));
+            }
+            events.push(fatal(base + 50_000)); // isolated
+        }
+        let config = FrameworkConfig::default();
+        let rules = StatisticalLearner.learn(&events, &config);
+        assert!(!rules.is_empty(), "no statistical rules learned");
+        for r in &rules {
+            let Rule::Statistical(s) = r else {
+                panic!("wrong kind")
+            };
+            assert!(s.probability >= config.stat_threshold);
+            assert!(s.k >= 2, "k=1 cannot clear 0.8 here (k {})", s.k);
+        }
+        // k = 2 rule: every burst position 2..6 sees a follower except the
+        // last → probability 4/5 = 0.8 ≥ threshold.
+        assert!(rules
+            .iter()
+            .any(|r| matches!(r, Rule::Statistical(s) if s.k == 2)));
+    }
+
+    #[test]
+    fn no_rules_from_isolated_failures() {
+        let events: Vec<CleanEvent> = (0..50).map(|i| fatal(i * 100_000)).collect();
+        let rules = StatisticalLearner.learn(&events, &FrameworkConfig::default());
+        assert!(rules.is_empty(), "{rules:?}");
+    }
+
+    #[test]
+    fn respects_min_samples() {
+        // Only 3 fatal events: not enough evidence for any rule.
+        let events = vec![fatal(0), fatal(10), fatal(20)];
+        assert!(StatisticalLearner
+            .learn(&events, &FrameworkConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn ignores_nonfatal_events() {
+        let mut events = Vec::new();
+        for i in 0..100 {
+            events.push(CleanEvent::new(
+                Timestamp::from_secs(i * 10),
+                EventTypeId(1),
+                false,
+            ));
+        }
+        assert!(StatisticalLearner
+            .learn(&events, &FrameworkConfig::default())
+            .is_empty());
+        assert!(fatal_window_counts(&events, Duration::from_secs(300)).is_empty());
+    }
+}

@@ -1,0 +1,90 @@
+//! # dml-core — the dynamic meta-learning failure-prediction engine
+//!
+//! The paper's contribution (Section 4): a prediction methodology built
+//! from a **meta-learner**, a **reviser** and an **event-driven predictor**
+//! operating on a periodically re-trained knowledge repository.
+//!
+//! * [`config`] — all framework parameters with the paper's defaults
+//!   (`W_P = 300 s`, `W_R = 4` weeks, support 0.01 / confidence 0.1,
+//!   statistical threshold 0.8, distribution threshold 0.6,
+//!   `MinROC = 0.7`);
+//! * [`rules`] — the three rule shapes produced by the base learners;
+//! * [`learners`] — the base learners: association rules, statistical
+//!   rules, probability distribution;
+//! * [`meta`] — the mixture-of-experts meta-learner that trains all base
+//!   learners and orders their rules (association → statistical →
+//!   distribution);
+//! * [`reviser`] — Algorithm 1: per-rule ROC filtering on the training set;
+//! * [`knowledge`] — the knowledge repository with the `E-List`/`F-List`
+//!   indices of Algorithm 2 plus rule-churn accounting;
+//! * [`predictor`] — Algorithm 2: the event-driven online matcher;
+//! * [`evaluation`] — warning/failure matching, precision & recall, weekly
+//!   accuracy series;
+//! * [`driver`] — the dynamic retraining loop over a multi-year log with
+//!   static / sliding / growing training-window policies;
+//! * [`venn`] — which base learner covers which failure (the paper's
+//!   Fig. 8).
+//!
+//! Extensions beyond the paper: [`tracker`] (streaming accuracy monitor),
+//! [`adaptive`] (the adaptive prediction-window controller sketched as
+//! future work), [`learners::LocationLearner`] (a fourth, spatial base
+//! learner) and [`persist`] (rule hand-off between trainer and predictor
+//! processes).
+//!
+//! # Example
+//!
+//! Train on a toy event stream with a planted precursor pattern and
+//! predict online:
+//!
+//! ```
+//! use dml_core::{evaluation, FrameworkConfig, MetaLearner, Predictor};
+//! use raslog::{CleanEvent, EventTypeId, Timestamp};
+//!
+//! // {type 1, type 2} precede fatal type 100 by ~200 s, forty times over.
+//! let mut events = Vec::new();
+//! for i in 0..40i64 {
+//!     let base = i * 10_000;
+//!     events.push(CleanEvent::new(Timestamp::from_secs(base), EventTypeId(1), false));
+//!     events.push(CleanEvent::new(Timestamp::from_secs(base + 50), EventTypeId(2), false));
+//!     events.push(CleanEvent::new(Timestamp::from_secs(base + 200), EventTypeId(100), true));
+//! }
+//!
+//! let config = FrameworkConfig::default(); // W_P = 300 s, MinROC = 0.7, …
+//! let outcome = MetaLearner::new(config).train(&events[..90]);
+//! assert!(!outcome.repo.is_empty());
+//!
+//! let warnings = Predictor::new(&outcome.repo, config.window).observe_all(&events[90..]);
+//! let accuracy = evaluation::score(&warnings, &events[90..]);
+//! assert!(accuracy.recall() > 0.9);
+//! assert!(accuracy.precision() > 0.9);
+//! ```
+
+pub mod adaptive;
+pub mod config;
+pub mod driver;
+pub mod evaluation;
+pub mod knowledge;
+pub mod learners;
+pub mod meta;
+pub mod persist;
+pub mod predictor;
+pub mod reviser;
+pub mod rules;
+pub mod tracker;
+pub mod venn;
+
+pub use adaptive::{next_window, run_adaptive_driver, AdaptiveReport, AdaptiveWindowConfig};
+pub use config::FrameworkConfig;
+pub use driver::{run_driver, ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
+pub use evaluation::{
+    coverage_counts, run_predictor, score, weekly_series, Accuracy, WeekAccuracy,
+};
+pub use knowledge::{KnowledgeRepository, RuleChurn, StoredRule};
+pub use learners::{
+    AssociationLearner, BaseLearner, DistributionLearner, LocationLearner, StatisticalLearner,
+};
+pub use meta::{MetaLearner, TrainingOutcome};
+pub use persist::{load_repository, load_repository_file, save_repository, save_repository_file};
+pub use predictor::{Predictor, Warning};
+pub use rules::{Rule, RuleId, RuleIdentity, RuleKind};
+pub use tracker::AccuracyTracker;

@@ -1,0 +1,250 @@
+//! The meta-learner: mixture-of-experts ensemble of the base learners.
+//!
+//! "Base learners are experts in some portion of the feature space, and
+//! the combination rule selects the most appropriate classifier for each
+//! instance." The meta-learner trains all base learners on the current
+//! training window, keeps their rules in the consultation order
+//! association → statistical → distribution (realized by the predictor's
+//! routing) and, unless disabled, passes the candidates through the
+//! reviser before installing them in the knowledge repository.
+//!
+//! Per-phase wall-clock timings are recorded because Table 5 reports rule
+//! generation cost split by phase.
+
+use crate::config::FrameworkConfig;
+use crate::knowledge::KnowledgeRepository;
+use crate::learners::{standard_learners, BaseLearner};
+use crate::reviser::revise;
+use crate::rules::{Rule, RuleKind};
+use raslog::CleanEvent;
+use std::time::{Duration as StdDuration, Instant};
+
+/// Wall-clock cost of one training pass, split by phase (Table 5's
+/// columns).
+#[derive(Debug, Clone, Default)]
+pub struct PhaseTimings {
+    /// `(learner name, duration)` per base learner.
+    pub learners: Vec<(&'static str, StdDuration)>,
+    /// Ensemble assembly + revision.
+    pub ensemble_and_revise: StdDuration,
+}
+
+impl PhaseTimings {
+    /// Total rule-generation time.
+    pub fn total(&self) -> StdDuration {
+        self.learners.iter().map(|&(_, d)| d).sum::<StdDuration>() + self.ensemble_and_revise
+    }
+}
+
+/// The result of one (re)training.
+#[derive(Debug, Clone)]
+pub struct TrainingOutcome {
+    /// The new knowledge repository.
+    pub repo: KnowledgeRepository,
+    /// Candidate rules produced by the base learners.
+    pub candidates: usize,
+    /// Candidates discarded by the reviser (0 when it is disabled).
+    pub removed_by_reviser: usize,
+    /// Per-phase wall-clock timings.
+    pub timings: PhaseTimings,
+}
+
+/// Trains base learners and assembles the knowledge repository.
+pub struct MetaLearner {
+    config: FrameworkConfig,
+    learners: Vec<Box<dyn BaseLearner>>,
+}
+
+impl MetaLearner {
+    /// A meta-learner over the paper's three base learners.
+    pub fn new(config: FrameworkConfig) -> Self {
+        MetaLearner {
+            config,
+            learners: standard_learners(),
+        }
+    }
+
+    /// A meta-learner over a custom learner set (the framework is designed
+    /// so "other predictive methods can be easily incorporated").
+    pub fn with_learners(config: FrameworkConfig, learners: Vec<Box<dyn BaseLearner>>) -> Self {
+        assert!(!learners.is_empty(), "need at least one base learner");
+        MetaLearner { config, learners }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FrameworkConfig {
+        &self.config
+    }
+
+    /// Trains on a time-sorted window of preprocessed events.
+    pub fn train(&self, events: &[CleanEvent]) -> TrainingOutcome {
+        let mut candidates: Vec<Rule> = Vec::new();
+        let mut timings = PhaseTimings::default();
+        for learner in &self.learners {
+            let start = Instant::now();
+            let mut rules = learner.learn(events, &self.config);
+            timings.learners.push((learner.name(), start.elapsed()));
+            candidates.append(&mut rules);
+        }
+        // Ensemble ordering: association → statistical → distribution.
+        let start = Instant::now();
+        candidates.sort_by_key(|r| r.kind());
+        let n_candidates = candidates.len();
+
+        let (repo, removed) = if self.config.use_reviser {
+            let outcome = revise(candidates, events, &self.config);
+            let removed = outcome.removed;
+            (
+                KnowledgeRepository::with_counts(
+                    outcome
+                        .kept
+                        .into_iter()
+                        .map(|(r, a)| (r, Some(a)))
+                        .collect(),
+                ),
+                removed,
+            )
+        } else {
+            (KnowledgeRepository::new(candidates), 0)
+        };
+        timings.ensemble_and_revise = start.elapsed();
+
+        TrainingOutcome {
+            repo,
+            candidates: n_candidates,
+            removed_by_reviser: removed,
+            timings,
+        }
+    }
+
+    /// Trains with only the learners of one kind — the "base learner
+    /// alone" baselines of Fig. 7.
+    pub fn train_single_kind(&self, events: &[CleanEvent], kind: RuleKind) -> TrainingOutcome {
+        let mut candidates: Vec<Rule> = Vec::new();
+        let mut timings = PhaseTimings::default();
+        for learner in self.learners.iter().filter(|l| l.kind() == kind) {
+            let start = Instant::now();
+            candidates.extend(learner.learn(events, &self.config));
+            timings.learners.push((learner.name(), start.elapsed()));
+        }
+        let n_candidates = candidates.len();
+        let start = Instant::now();
+        let (repo, removed) = if self.config.use_reviser {
+            let outcome = revise(candidates, events, &self.config);
+            let removed = outcome.removed;
+            (
+                KnowledgeRepository::with_counts(
+                    outcome
+                        .kept
+                        .into_iter()
+                        .map(|(r, a)| (r, Some(a)))
+                        .collect(),
+                ),
+                removed,
+            )
+        } else {
+            (KnowledgeRepository::new(candidates), 0)
+        };
+        timings.ensemble_and_revise = start.elapsed();
+        TrainingOutcome {
+            repo,
+            candidates: n_candidates,
+            removed_by_reviser: removed,
+            timings,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{EventTypeId, Timestamp};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    /// A log with all three signal kinds: planted precursors, deep bursts
+    /// and enough gaps for a distribution fit.
+    fn rich_log() -> Vec<CleanEvent> {
+        let mut events = Vec::new();
+        for i in 0..40 {
+            let base = i as i64 * 50_000;
+            // Cascade: {1,2} → 100.
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 60, 2, false));
+            events.push(ev(base + 200, 100, true));
+            // Deep burst of 6 fatals.
+            for j in 0..6 {
+                events.push(ev(base + 20_000 + j * 40, 101, true));
+            }
+        }
+        events.sort_by_key(|e| e.time);
+        events
+    }
+
+    #[test]
+    fn trains_all_three_kinds() {
+        let meta = MetaLearner::new(FrameworkConfig::default());
+        let outcome = meta.train(&rich_log());
+        assert!(outcome.candidates > 0);
+        let repo = &outcome.repo;
+        assert!(
+            repo.count_by_kind(RuleKind::Association) > 0,
+            "association rules"
+        );
+        assert!(
+            repo.count_by_kind(RuleKind::Statistical) > 0,
+            "statistical rules"
+        );
+        assert!(
+            repo.count_by_kind(RuleKind::Distribution) > 0,
+            "distribution rule"
+        );
+        assert_eq!(outcome.timings.learners.len(), 3);
+        // Revised rules carry their training accuracy.
+        assert!(repo.rules().iter().all(|r| r.training_counts.is_some()));
+    }
+
+    #[test]
+    fn reviser_toggle_controls_removal() {
+        let on = MetaLearner::new(FrameworkConfig::default());
+        let off = MetaLearner::new(FrameworkConfig::default().with_reviser(false));
+        let log = rich_log();
+        let with = on.train(&log);
+        let without = off.train(&log);
+        assert_eq!(without.removed_by_reviser, 0);
+        assert!(without.repo.len() >= with.repo.len());
+        assert_eq!(without.repo.len(), without.candidates);
+        assert!(without
+            .repo
+            .rules()
+            .iter()
+            .all(|r| r.training_counts.is_none()));
+    }
+
+    #[test]
+    fn single_kind_training_isolates_learner() {
+        let meta = MetaLearner::new(FrameworkConfig::default());
+        let outcome = meta.train_single_kind(&rich_log(), RuleKind::Statistical);
+        assert!(!outcome.repo.is_empty());
+        assert_eq!(
+            outcome.repo.len(),
+            outcome.repo.count_by_kind(RuleKind::Statistical)
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_safe() {
+        let meta = MetaLearner::new(FrameworkConfig::default());
+        let outcome = meta.train(&[]);
+        assert!(outcome.repo.is_empty());
+        assert_eq!(outcome.candidates, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_learner_set() {
+        MetaLearner::with_learners(FrameworkConfig::default(), Vec::new());
+    }
+}

@@ -1,0 +1,163 @@
+//! Knowledge-repository persistence.
+//!
+//! Production deployments retrain off the critical path ("the rule
+//! generation process can be conducted in parallel when the production
+//! system is in operation") and hand the resulting rules to the online
+//! predictor — which may live in another process or survive restarts.
+//! The repository serializes to a JSON document for that hand-off.
+
+use crate::knowledge::KnowledgeRepository;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Serialization/deserialization failures.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON encoding/decoding failure.
+    Json(String),
+}
+
+impl core::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Writes the repository as JSON.
+pub fn save_repository<W: Write>(repo: &KnowledgeRepository, w: W) -> Result<(), PersistError> {
+    serde_json::to_writer(w, repo).map_err(|e| PersistError::Json(e.to_string()))
+}
+
+/// Reads a repository back from JSON.
+pub fn load_repository<R: Read>(r: R) -> Result<KnowledgeRepository, PersistError> {
+    serde_json::from_reader(r).map_err(|e| PersistError::Json(e.to_string()))
+}
+
+/// Saves to a file path.
+pub fn save_repository_file(
+    repo: &KnowledgeRepository,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let file = std::fs::File::create(path)?;
+    save_repository(repo, std::io::BufWriter::new(file))
+}
+
+/// Loads from a file path.
+pub fn load_repository_file(path: impl AsRef<Path>) -> Result<KnowledgeRepository, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load_repository(std::io::BufReader::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::Accuracy;
+    use crate::rules::{AssociationRule, DistributionRule, LocationRule, Rule, StatisticalRule};
+    use dml_stats::{FittedModel, Weibull};
+    use raslog::{Duration, EventTypeId};
+
+    fn sample_repo() -> KnowledgeRepository {
+        KnowledgeRepository::with_counts(vec![
+            (
+                Rule::Association(AssociationRule {
+                    antecedent: vec![EventTypeId(3), EventTypeId(9)],
+                    fatal: EventTypeId(120),
+                    support: 0.04,
+                    confidence: 0.81,
+                }),
+                Some(Accuracy {
+                    true_warnings: 12,
+                    false_warnings: 3,
+                    covered_fatals: 11,
+                    missed_fatals: 2,
+                }),
+            ),
+            (
+                Rule::Statistical(StatisticalRule {
+                    k: 4,
+                    probability: 0.99,
+                }),
+                None,
+            ),
+            (
+                Rule::Location(LocationRule {
+                    k: 2,
+                    probability: 0.85,
+                }),
+                None,
+            ),
+            (
+                Rule::Distribution(DistributionRule {
+                    model: FittedModel::Weibull(Weibull::new(0.51, 19_984.8)),
+                    threshold: 0.6,
+                    expire_quantile: 0.88,
+                }),
+                None,
+            ),
+        ])
+    }
+
+    #[test]
+    fn round_trips_through_memory() {
+        let repo = sample_repo();
+        let mut buf = Vec::new();
+        save_repository(&repo, &mut buf).unwrap();
+        let back = load_repository(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), repo.len());
+        for (a, b) in repo.rules().iter().zip(back.rules()) {
+            assert_eq!(a, b);
+        }
+        // Indices survive: the predictor-facing lookups still work.
+        assert_eq!(
+            back.rules_triggered_by(EventTypeId(3)).len(),
+            repo.rules_triggered_by(EventTypeId(3)).len()
+        );
+        assert_eq!(back.statistical_rules().len(), 1);
+        assert_eq!(back.location_rules().len(), 1);
+        assert_eq!(back.distribution_rules().len(), 1);
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let repo = sample_repo();
+        let path = std::env::temp_dir().join("dml_repo_roundtrip.json");
+        save_repository_file(&repo, &path).unwrap();
+        let back = load_repository_file(&path).unwrap();
+        assert_eq!(back.identities(), repo.identities());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn loaded_repo_drives_a_predictor() {
+        use crate::predictor::Predictor;
+        use raslog::CleanEvent;
+        let mut buf = Vec::new();
+        save_repository(&sample_repo(), &mut buf).unwrap();
+        let repo = load_repository(buf.as_slice()).unwrap();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let w = p.observe_all(&[
+            CleanEvent::new(raslog::Timestamp::from_secs(0), EventTypeId(3), false),
+            CleanEvent::new(raslog::Timestamp::from_secs(10), EventTypeId(9), false),
+        ]);
+        assert_eq!(w.len(), 1, "association rule fires from the reloaded repo");
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(load_repository("not json".as_bytes()).is_err());
+        assert!(load_repository_file("/nonexistent/path.json").is_err());
+    }
+}

@@ -1,0 +1,442 @@
+//! The event-driven predictor (Algorithm 2).
+//!
+//! The predictor keeps the most recent events within the prediction window
+//! `W_P` and, on every arrival, consults the knowledge repository in
+//! mixture-of-experts order:
+//!
+//! 1. a **non-fatal** event is routed through the `E-List` to the
+//!    association rules it may complete;
+//! 2. a **fatal** event is checked against the statistical rules
+//!    ("`k` fatals within `W_P`");
+//! 3. if neither produced a warning, the probability-distribution rule is
+//!    consulted: once the elapsed time since the last failure crosses the
+//!    fitted CDF threshold, one warning per failure gap is issued, valid
+//!    until the elapsed time passes the expiry quantile.
+//!
+//! A rule does not re-issue a warning while its previous warning is still
+//! pending (per-rule rate limiting), which keeps the false-alarm
+//! accounting honest.
+
+use crate::knowledge::KnowledgeRepository;
+use crate::rules::{Rule, RuleId, RuleKind};
+use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+
+/// A failure warning: "a failure may occur in `(issued_at, deadline]`".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warning {
+    /// When the warning was produced.
+    pub issued_at: Timestamp,
+    /// End of the validity interval.
+    pub deadline: Timestamp,
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// The kind of that rule.
+    pub kind: RuleKind,
+    /// The specific fatal type predicted (association rules only).
+    pub predicted: Option<EventTypeId>,
+}
+
+/// The online matcher.
+pub struct Predictor<'r> {
+    repo: &'r KnowledgeRepository,
+    window: Duration,
+    /// Non-fatal events within the window (time, type).
+    recent: VecDeque<(Timestamp, EventTypeId)>,
+    /// Multiplicity of each type currently in `recent`.
+    present: HashMap<EventTypeId, usize>,
+    /// Fatal events within the window: `(time, midplane)`.
+    recent_fatals: VecDeque<(Timestamp, Option<(u8, u8)>)>,
+    /// Time of the most recent fatal event, if any.
+    last_fatal: Option<Timestamp>,
+    /// Rule → deadline of its currently pending warning.
+    active: HashMap<RuleId, Timestamp>,
+    /// Predicted fatal type → deadline of the pending warning about it.
+    /// Algorithm 2 warns that "failure fᵢ may occur within `W_P`": many
+    /// association rules (antecedent subsets) predict the same failure, so
+    /// warnings are deduplicated per predicted type, not only per rule.
+    active_targets: HashMap<EventTypeId, Timestamp>,
+    /// One distribution warning per failure gap.
+    dist_armed: bool,
+    /// Precomputed (rule, trigger elapsed, expire elapsed).
+    dist_thresholds: Vec<(RuleId, Duration, Duration)>,
+}
+
+impl<'r> Predictor<'r> {
+    /// Creates a predictor over `repo` with prediction window `window`.
+    pub fn new(repo: &'r KnowledgeRepository, window: Duration) -> Self {
+        assert!(window > Duration::ZERO, "window must be positive");
+        let dist_thresholds = repo
+            .distribution_rules()
+            .iter()
+            .map(|&id| {
+                let Rule::Distribution(d) = &repo.get(id).rule else {
+                    unreachable!("distribution index holds only distribution rules")
+                };
+                (id, d.trigger_elapsed(), d.expire_elapsed())
+            })
+            .collect();
+        Predictor {
+            repo,
+            window,
+            recent: VecDeque::new(),
+            present: HashMap::new(),
+            recent_fatals: VecDeque::new(),
+            last_fatal: None,
+            active: HashMap::new(),
+            active_targets: HashMap::new(),
+            dist_armed: false,
+            dist_thresholds,
+        }
+    }
+
+    /// Feeds one event; returns the warnings it triggers.
+    pub fn observe(&mut self, ev: &CleanEvent) -> Vec<Warning> {
+        self.evict(ev.time);
+        let mut warnings = Vec::new();
+
+        if ev.fatal {
+            let midplane = ev.location.midplane();
+            self.recent_fatals.push_back((ev.time, midplane));
+            let count = self.recent_fatals.len();
+            for &id in self.repo.statistical_rules() {
+                let Rule::Statistical(s) = &self.repo.get(id).rule else {
+                    unreachable!()
+                };
+                if s.k > count {
+                    break; // ascending k: no further rule can match
+                }
+                self.try_warn(
+                    &mut warnings,
+                    ev.time,
+                    id,
+                    RuleKind::Statistical,
+                    None,
+                    ev.time + self.window,
+                );
+            }
+            // Location-recurrence rules: same-midplane fatal count.
+            if !self.repo.location_rules().is_empty() {
+                if let Some(mp) = midplane {
+                    let same_mp = self
+                        .recent_fatals
+                        .iter()
+                        .filter(|&&(_, m)| m == Some(mp))
+                        .count();
+                    for &id in self.repo.location_rules() {
+                        let Rule::Location(l) = &self.repo.get(id).rule else {
+                            unreachable!()
+                        };
+                        if l.k > same_mp {
+                            break; // ascending k
+                        }
+                        self.try_warn(
+                            &mut warnings,
+                            ev.time,
+                            id,
+                            RuleKind::Location,
+                            None,
+                            ev.time + self.window,
+                        );
+                    }
+                }
+            }
+            // The failure closes the current gap; re-arm the distribution
+            // rules for the next one and resolve their pending warnings.
+            self.last_fatal = Some(ev.time);
+            self.dist_armed = true;
+            for i in 0..self.dist_thresholds.len() {
+                let id = self.dist_thresholds[i].0;
+                self.active.remove(&id);
+            }
+        } else {
+            // Insert first so single-item antecedents match their own
+            // arrival.
+            self.recent.push_back((ev.time, ev.type_id));
+            *self.present.entry(ev.type_id).or_insert(0) += 1;
+
+            for &id in self.repo.rules_triggered_by(ev.type_id) {
+                let Rule::Association(a) = &self.repo.get(id).rule else {
+                    unreachable!()
+                };
+                if a.antecedent
+                    .iter()
+                    .all(|item| self.present.contains_key(item))
+                {
+                    self.try_warn(
+                        &mut warnings,
+                        ev.time,
+                        id,
+                        RuleKind::Association,
+                        Some(a.fatal),
+                        ev.time + self.window,
+                    );
+                }
+            }
+
+            // Distribution fallback: only when nothing else fired.
+            if warnings.is_empty() && self.dist_armed {
+                if let Some(last) = self.last_fatal {
+                    let elapsed = ev.time - last;
+                    for &(id, trigger, expire) in &self.dist_thresholds {
+                        if elapsed >= trigger {
+                            let deadline = (last + expire).max(ev.time + self.window);
+                            self.try_warn(
+                                &mut warnings,
+                                ev.time,
+                                id,
+                                RuleKind::Distribution,
+                                None,
+                                deadline,
+                            );
+                            self.dist_armed = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        warnings
+    }
+
+    /// Feeds a slice of events, collecting all warnings.
+    pub fn observe_all(&mut self, events: &[CleanEvent]) -> Vec<Warning> {
+        let mut out = Vec::new();
+        for ev in events {
+            out.extend(self.observe(ev));
+        }
+        out
+    }
+
+    /// Feeds events without recording warnings (state warm-up across a
+    /// retraining boundary).
+    pub fn warm_up(&mut self, events: &[CleanEvent]) {
+        for ev in events {
+            let _ = self.observe(ev);
+        }
+    }
+
+    fn try_warn(
+        &mut self,
+        warnings: &mut Vec<Warning>,
+        now: Timestamp,
+        rule: RuleId,
+        kind: RuleKind,
+        predicted: Option<EventTypeId>,
+        deadline: Timestamp,
+    ) {
+        if let Some(&pending) = self.active.get(&rule) {
+            if pending > now {
+                return; // previous warning from this rule still pending
+            }
+        }
+        if let Some(target) = predicted {
+            if let Some(&pending) = self.active_targets.get(&target) {
+                if pending > now {
+                    return; // this failure is already being warned about
+                }
+            }
+            self.active_targets.insert(target, deadline);
+        }
+        self.active.insert(rule, deadline);
+        warnings.push(Warning {
+            issued_at: now,
+            deadline,
+            rule,
+            kind,
+            predicted,
+        });
+    }
+
+    fn evict(&mut self, now: Timestamp) {
+        let cutoff = now - self.window;
+        while let Some(&(t, ty)) = self.recent.front() {
+            if t < cutoff {
+                self.recent.pop_front();
+                match self.present.get_mut(&ty) {
+                    Some(n) if *n > 1 => *n -= 1,
+                    _ => {
+                        self.present.remove(&ty);
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        while let Some(&(t, _)) = self.recent_fatals.front() {
+            if t < cutoff {
+                self.recent_fatals.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{AssociationRule, DistributionRule, StatisticalRule};
+    use dml_stats::{FittedModel, Weibull};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    fn assoc_repo() -> KnowledgeRepository {
+        KnowledgeRepository::new(vec![Rule::Association(AssociationRule {
+            antecedent: vec![EventTypeId(1), EventTypeId(2)],
+            fatal: EventTypeId(100),
+            support: 0.1,
+            confidence: 0.9,
+        })])
+    }
+
+    #[test]
+    fn association_rule_fires_when_antecedent_completes() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        assert!(
+            p.observe(&ev(0, 1, false)).is_empty(),
+            "incomplete antecedent"
+        );
+        let w = p.observe(&ev(50, 2, false));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, RuleKind::Association);
+        assert_eq!(w[0].predicted, Some(EventTypeId(100)));
+        assert_eq!(w[0].deadline, Timestamp::from_secs(350));
+    }
+
+    #[test]
+    fn association_rule_respects_window() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe(&ev(0, 1, false));
+        // Type 1 is stale (> 300 s old) by the time type 2 arrives.
+        assert!(p.observe(&ev(400, 2, false)).is_empty());
+    }
+
+    #[test]
+    fn association_warning_rate_limited() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe(&ev(0, 1, false));
+        assert_eq!(p.observe(&ev(10, 2, false)).len(), 1);
+        // Re-completions within the pending window do not re-warn…
+        assert!(p.observe(&ev(20, 2, false)).is_empty());
+        assert!(p.observe(&ev(150, 1, false)).is_empty());
+        // …but after the deadline passes the rule may fire again.
+        let w = p.observe(&ev(400, 2, false));
+        assert_eq!(
+            w.len(),
+            1,
+            "antecedent(1@150, 2@400) within window, pending expired"
+        );
+    }
+
+    #[test]
+    fn statistical_rule_counts_fatals_in_window() {
+        let repo = KnowledgeRepository::new(vec![Rule::Statistical(StatisticalRule {
+            k: 3,
+            probability: 0.95,
+        })]);
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        assert!(p.observe(&ev(0, 9, true)).is_empty());
+        assert!(p.observe(&ev(100, 9, true)).is_empty());
+        let w = p.observe(&ev(200, 9, true)); // third fatal within 300 s
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, RuleKind::Statistical);
+        // Fatals spread out never accumulate to 3.
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        for i in 0..10 {
+            assert!(p.observe(&ev(i * 1000, 9, true)).is_empty());
+        }
+    }
+
+    #[test]
+    fn distribution_rule_one_warning_per_gap() {
+        let model = FittedModel::Weibull(Weibull::new(1.0, 1000.0)); // F(t)=1-e^{-t/1000}
+        let rule = DistributionRule {
+            model,
+            threshold: 0.6,
+            expire_quantile: 0.98,
+        };
+        let trigger = rule.trigger_elapsed(); // ≈ 916 s
+        assert!((trigger.as_secs() - 916).abs() <= 1);
+        let repo = KnowledgeRepository::new(vec![Rule::Distribution(rule)]);
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+
+        // No last failure yet → never fires.
+        assert!(p.observe(&ev(100, 1, false)).is_empty());
+        // A fatal starts the gap clock.
+        let _ = p.observe(&ev(200, 9, true));
+        // Non-fatal before the trigger point: silence.
+        assert!(p.observe(&ev(900, 1, false)).is_empty());
+        // Past the trigger point: exactly one warning for this gap.
+        let w = p.observe(&ev(1200, 1, false));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, RuleKind::Distribution);
+        // Deadline reaches to the expiry quantile of the gap.
+        assert!(w[0].deadline > w[0].issued_at);
+        assert!(p.observe(&ev(1300, 1, false)).is_empty(), "one per gap");
+        // A new fatal re-arms it.
+        let _ = p.observe(&ev(2000, 9, true));
+        let w = p.observe(&ev(2000 + 1000, 1, false));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn distribution_only_consulted_when_others_silent() {
+        let model = FittedModel::Weibull(Weibull::new(1.0, 10.0)); // triggers almost immediately
+        let repo = KnowledgeRepository::new(vec![
+            Rule::Association(AssociationRule {
+                antecedent: vec![EventTypeId(1)],
+                fatal: EventTypeId(100),
+                support: 0.1,
+                confidence: 0.9,
+            }),
+            Rule::Distribution(DistributionRule {
+                model,
+                threshold: 0.6,
+                expire_quantile: 0.98,
+            }),
+        ]);
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe(&ev(0, 9, true));
+        // Type 1 completes the association antecedent AND the elapsed time
+        // is past the distribution trigger — only the association fires.
+        let w = p.observe(&ev(100, 1, false));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, RuleKind::Association);
+        // A different non-fatal type leaves the association silent, so the
+        // distribution fallback fires.
+        let w = p.observe(&ev(110, 2, false));
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].kind, RuleKind::Distribution);
+    }
+
+    #[test]
+    fn warm_up_builds_state_silently() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        p.warm_up(&[ev(0, 1, false)]);
+        // Antecedent half-filled during warm-up; completion fires now.
+        let w = p.observe(&ev(50, 2, false));
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn observe_all_collects_in_order() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let warnings = p.observe_all(&[
+            ev(0, 1, false),
+            ev(10, 2, false),
+            ev(500, 1, false),
+            ev(510, 2, false),
+        ]);
+        assert_eq!(warnings.len(), 2);
+        assert!(warnings[0].issued_at < warnings[1].issued_at);
+    }
+}

@@ -1,0 +1,151 @@
+//! The reviser (Algorithm 1).
+//!
+//! For each candidate rule, replay the training set with that rule alone,
+//! count its true positives, false positives and false negatives, compute
+//! `ROC(r) = sqrt(m1(r)² + m2(r)²)` and keep the rule iff
+//! `ROC(r) > MinROC`. Association rules are judged against occurrences of
+//! their own target fatal type; statistical and distribution rules against
+//! all failures.
+//!
+//! The candidate rules come from base learners whose thresholds were
+//! deliberately set low "for the purpose of capturing infrequent events",
+//! so a non-trivial fraction of candidates is noise — the reviser is what
+//! makes those low thresholds safe (Fig. 11).
+
+use crate::config::FrameworkConfig;
+use crate::evaluation::{revision_target, run_predictor, score_with_target, Accuracy};
+use crate::knowledge::KnowledgeRepository;
+use crate::rules::Rule;
+use raslog::CleanEvent;
+use rayon::prelude::*;
+
+/// The outcome of one revision pass.
+#[derive(Debug, Clone)]
+pub struct RevisionOutcome {
+    /// Rules that cleared `MinROC`, with their training accuracy.
+    pub kept: Vec<(Rule, Accuracy)>,
+    /// Number of candidates discarded.
+    pub removed: usize,
+}
+
+/// Scores one rule alone on the training set.
+pub fn score_rule(rule: &Rule, events: &[CleanEvent], config: &FrameworkConfig) -> Accuracy {
+    let repo = KnowledgeRepository::new(vec![rule.clone()]);
+    let warnings = run_predictor(&repo, config.window, events);
+    score_with_target(&warnings, events, revision_target(rule))
+}
+
+/// Runs Algorithm 1 over the candidate rules.
+pub fn revise(
+    candidates: Vec<Rule>,
+    events: &[CleanEvent],
+    config: &FrameworkConfig,
+) -> RevisionOutcome {
+    let scored: Vec<(Rule, Accuracy)> = candidates
+        .into_par_iter()
+        .map(|rule| {
+            let acc = score_rule(&rule, events, config);
+            (rule, acc)
+        })
+        .collect();
+    let total = scored.len();
+    let kept: Vec<(Rule, Accuracy)> = scored
+        .into_iter()
+        .filter(|(_, acc)| acc.roc() > config.min_roc)
+        .collect();
+    RevisionOutcome {
+        removed: total - kept.len(),
+        kept,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::AssociationRule;
+    use raslog::{EventTypeId, Timestamp};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    fn assoc(items: &[u16], fatal: u16) -> Rule {
+        Rule::Association(AssociationRule {
+            antecedent: items.iter().map(|&i| EventTypeId(i)).collect(),
+            fatal: EventTypeId(fatal),
+            support: 0.1,
+            confidence: 0.9,
+        })
+    }
+
+    /// Training set where {1} → 100 is reliable but {2} → 101 never pans
+    /// out (type 2 appears, fatal 101 never follows).
+    fn training_log() -> Vec<CleanEvent> {
+        let mut events = Vec::new();
+        for i in 0..20 {
+            let base = i as i64 * 10_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 100, 100, true));
+            events.push(ev(base + 5_000, 2, false));
+            // fatal 101 occurs, but far from type 2's window
+            events.push(ev(base + 9_000, 101, true));
+        }
+        events
+    }
+
+    #[test]
+    fn keeps_good_rule_discards_bad() {
+        let config = FrameworkConfig::default();
+        let outcome = revise(
+            vec![assoc(&[1], 100), assoc(&[2], 101)],
+            &training_log(),
+            &config,
+        );
+        assert_eq!(outcome.kept.len(), 1);
+        assert_eq!(outcome.removed, 1);
+        let (rule, acc) = &outcome.kept[0];
+        assert_eq!(rule.identity(), assoc(&[1], 100).identity());
+        assert!(acc.precision() > 0.9);
+        assert!(acc.recall() > 0.9);
+    }
+
+    #[test]
+    fn good_rule_scores_high() {
+        let config = FrameworkConfig::default();
+        let acc = score_rule(&assoc(&[1], 100), &training_log(), &config);
+        // Every type-1 arrival is followed by fatal 100 within 100 s.
+        assert_eq!(acc.false_warnings, 0);
+        assert_eq!(acc.missed_fatals, 0);
+        assert!(acc.roc() > 1.4);
+    }
+
+    #[test]
+    fn bad_rule_scores_low() {
+        let config = FrameworkConfig::default();
+        let acc = score_rule(&assoc(&[2], 101), &training_log(), &config);
+        assert_eq!(
+            acc.true_warnings, 0,
+            "type 2 never precedes a fatal within W_P"
+        );
+        assert!(acc.roc() < config.min_roc);
+    }
+
+    #[test]
+    fn empty_candidates_are_fine() {
+        let outcome = revise(Vec::new(), &training_log(), &FrameworkConfig::default());
+        assert!(outcome.kept.is_empty());
+        assert_eq!(outcome.removed, 0);
+    }
+
+    #[test]
+    fn min_roc_boundary_is_strict() {
+        // A rule must *exceed* MinROC; craft a config where the good rule
+        // fails because MinROC is absurdly high.
+        let config = FrameworkConfig {
+            min_roc: 1.5,
+            ..FrameworkConfig::default()
+        };
+        let outcome = revise(vec![assoc(&[1], 100)], &training_log(), &config);
+        assert!(outcome.kept.is_empty(), "sqrt(2) cannot exceed 1.5");
+    }
+}

@@ -1,0 +1,253 @@
+//! The rule shapes produced by the base learners.
+
+use dml_stats::{ContinuousDistribution, FittedModel};
+use raslog::{Duration, EventTypeId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a rule inside one knowledge repository.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct RuleId(pub u32);
+
+/// Which base learner produces a rule — also the mixture-of-experts
+/// consultation order (association first, distribution last).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RuleKind {
+    /// `{non-fatal events} → fatal event` causal correlation.
+    Association,
+    /// "`k` failures within `W_P` ⇒ another failure" temporal correlation.
+    Statistical,
+    /// "`k` failures on the same midplane within `W_P` ⇒ another there"
+    /// spatial correlation (extension learner; see
+    /// [`LocationRule`]).
+    Location,
+    /// Long-term inter-arrival distribution ("a failure is due").
+    Distribution,
+}
+
+impl core::fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            RuleKind::Association => "association",
+            RuleKind::Statistical => "statistical",
+            RuleKind::Location => "location",
+            RuleKind::Distribution => "distribution",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An association rule `{e1, …, ek} → f` with its mined measures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssociationRule {
+    /// Sorted non-fatal antecedent types.
+    pub antecedent: Vec<EventTypeId>,
+    /// The predicted fatal type.
+    pub fatal: EventTypeId,
+    /// Mined support.
+    pub support: f64,
+    /// Mined confidence.
+    pub confidence: f64,
+}
+
+/// A statistical rule: once `k` fatal events have occurred within `W_P`,
+/// another follows with the given empirical probability.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StatisticalRule {
+    /// Trigger count within the window.
+    pub k: usize,
+    /// Empirical probability measured on the training set.
+    pub probability: f64,
+}
+
+/// A location-recurrence rule: once `k` fatal events have struck the same
+/// midplane within `W_P`, another failure follows there with the given
+/// empirical probability. This is the repository's extension point in
+/// action — the paper's "other predictive methods can be easily
+/// incorporated" — exploiting the spatial correlation of failures
+/// (failing hardware keeps failing until it is serviced).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocationRule {
+    /// Trigger count of same-midplane fatals within the window.
+    pub k: usize,
+    /// Empirical probability measured on the training set.
+    pub probability: f64,
+}
+
+/// A probability-distribution rule: warn when the elapsed time since the
+/// last failure reaches the CDF threshold; the warning expires (a false
+/// alarm) if the elapsed time passes the expiry quantile with no failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistributionRule {
+    /// The fitted inter-arrival model (time unit: seconds).
+    pub model: FittedModel,
+    /// CDF threshold that triggers the warning.
+    pub threshold: f64,
+    /// CDF quantile at which an un-fulfilled warning expires.
+    pub expire_quantile: f64,
+}
+
+impl DistributionRule {
+    /// Elapsed time at which the warning triggers (`F⁻¹(threshold)`).
+    pub fn trigger_elapsed(&self) -> Duration {
+        Duration::from_secs(self.model.quantile(self.threshold) as i64)
+    }
+
+    /// Elapsed time at which an active warning expires
+    /// (`F⁻¹(expire_quantile)`).
+    pub fn expire_elapsed(&self) -> Duration {
+        Duration::from_secs(self.model.quantile(self.expire_quantile) as i64)
+    }
+}
+
+/// Any rule in the knowledge repository.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Rule {
+    /// See [`AssociationRule`].
+    Association(AssociationRule),
+    /// See [`StatisticalRule`].
+    Statistical(StatisticalRule),
+    /// See [`LocationRule`].
+    Location(LocationRule),
+    /// See [`DistributionRule`].
+    Distribution(DistributionRule),
+}
+
+impl Rule {
+    /// The producing learner / consultation class.
+    pub fn kind(&self) -> RuleKind {
+        match self {
+            Rule::Association(_) => RuleKind::Association,
+            Rule::Statistical(_) => RuleKind::Statistical,
+            Rule::Location(_) => RuleKind::Location,
+            Rule::Distribution(_) => RuleKind::Distribution,
+        }
+    }
+
+    /// Structural identity for churn accounting: two repository snapshots
+    /// contain "the same rule" when the identities match, even if the
+    /// mined measures moved a little between retrainings.
+    pub fn identity(&self) -> RuleIdentity {
+        match self {
+            Rule::Association(r) => RuleIdentity::Association {
+                antecedent: r.antecedent.clone(),
+                fatal: r.fatal,
+            },
+            Rule::Statistical(r) => RuleIdentity::Statistical { k: r.k },
+            Rule::Location(r) => RuleIdentity::Location { k: r.k },
+            Rule::Distribution(r) => RuleIdentity::Distribution {
+                family: format!("{}", r.model.family()),
+            },
+        }
+    }
+}
+
+/// Hashable structural identity of a rule (see [`Rule::identity`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuleIdentity {
+    /// Association rules are identified by their antecedent and target.
+    Association {
+        /// Sorted antecedent types.
+        antecedent: Vec<EventTypeId>,
+        /// Target fatal type.
+        fatal: EventTypeId,
+    },
+    /// Statistical rules are identified by their trigger count.
+    Statistical {
+        /// Trigger count.
+        k: usize,
+    },
+    /// Location rules are identified by their trigger count.
+    Location {
+        /// Trigger count.
+        k: usize,
+    },
+    /// Distribution rules are identified by the fitted family.
+    Distribution {
+        /// Family name.
+        family: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dml_stats::Weibull;
+
+    fn dist_rule() -> DistributionRule {
+        DistributionRule {
+            model: FittedModel::Weibull(Weibull::new(0.507936, 19_984.8)),
+            threshold: 0.6,
+            expire_quantile: 0.98,
+        }
+    }
+
+    #[test]
+    fn paper_example_trigger_time() {
+        // F(20000) ≈ 0.63 > 0.60 for the SDSC fit, so the trigger elapsed
+        // time must be slightly below 20 000 s.
+        let t = dist_rule().trigger_elapsed();
+        assert!(t < Duration::from_secs(20_000), "trigger {t}");
+        assert!(t > Duration::from_secs(15_000), "trigger {t}");
+        assert!(dist_rule().expire_elapsed() > dist_rule().trigger_elapsed());
+    }
+
+    #[test]
+    fn identities_ignore_measures() {
+        let a1 = Rule::Association(AssociationRule {
+            antecedent: vec![EventTypeId(1), EventTypeId(2)],
+            fatal: EventTypeId(100),
+            support: 0.5,
+            confidence: 0.9,
+        });
+        let a2 = Rule::Association(AssociationRule {
+            antecedent: vec![EventTypeId(1), EventTypeId(2)],
+            fatal: EventTypeId(100),
+            support: 0.1,
+            confidence: 0.2,
+        });
+        assert_eq!(a1.identity(), a2.identity());
+        let a3 = Rule::Association(AssociationRule {
+            antecedent: vec![EventTypeId(1)],
+            fatal: EventTypeId(100),
+            support: 0.5,
+            confidence: 0.9,
+        });
+        assert_ne!(a1.identity(), a3.identity());
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(
+            Rule::Statistical(StatisticalRule {
+                k: 4,
+                probability: 0.99
+            })
+            .kind(),
+            RuleKind::Statistical
+        );
+        assert_eq!(
+            Rule::Distribution(dist_rule()).kind(),
+            RuleKind::Distribution
+        );
+        assert_eq!(RuleKind::Association.to_string(), "association");
+    }
+
+    #[test]
+    fn statistical_identity_by_k() {
+        let s1 = Rule::Statistical(StatisticalRule {
+            k: 4,
+            probability: 0.99,
+        });
+        let s2 = Rule::Statistical(StatisticalRule {
+            k: 4,
+            probability: 0.85,
+        });
+        let s3 = Rule::Statistical(StatisticalRule {
+            k: 5,
+            probability: 0.99,
+        });
+        assert_eq!(s1.identity(), s2.identity());
+        assert_ne!(s1.identity(), s3.identity());
+    }
+}

@@ -1,0 +1,233 @@
+//! Online accuracy tracking.
+//!
+//! The framework "dynamically extract[s] effective rules by actively
+//! monitoring prediction accuracy at runtime": this module provides the
+//! monitor — a streaming tracker that consumes warnings and events as they
+//! happen and maintains rolling precision/recall over a sliding horizon,
+//! without ever re-scanning history. The adaptive-window controller
+//! ([`crate::adaptive`]) and operational dashboards consume it.
+
+use crate::evaluation::Accuracy;
+use crate::predictor::Warning;
+use raslog::{CleanEvent, Duration, Timestamp};
+use std::collections::VecDeque;
+
+/// A pending or resolved warning inside the tracker.
+#[derive(Debug, Clone, Copy)]
+struct TrackedWarning {
+    issued_at: Timestamp,
+    deadline: Timestamp,
+    hit: bool,
+}
+
+/// A fatal event inside the tracker.
+#[derive(Debug, Clone, Copy)]
+struct TrackedFatal {
+    time: Timestamp,
+    covered: bool,
+}
+
+/// Streaming precision/recall monitor over a sliding horizon.
+///
+/// Feed every warning with [`AccuracyTracker::on_warning`] and every
+/// observed event with [`AccuracyTracker::on_event`] *in time order*; read
+/// the rolling numbers with [`AccuracyTracker::rolling`]. A warning is
+/// resolved (true or false) once its deadline passes or a fatal lands in
+/// its interval; a fatal is covered when a pending warning's interval
+/// contains it.
+#[derive(Debug)]
+pub struct AccuracyTracker {
+    horizon: Duration,
+    warnings: VecDeque<TrackedWarning>,
+    fatals: VecDeque<TrackedFatal>,
+    now: Timestamp,
+}
+
+impl AccuracyTracker {
+    /// Creates a tracker that reports over the trailing `horizon`.
+    pub fn new(horizon: Duration) -> Self {
+        assert!(horizon > Duration::ZERO, "horizon must be positive");
+        AccuracyTracker {
+            horizon,
+            warnings: VecDeque::new(),
+            fatals: VecDeque::new(),
+            now: Timestamp(i64::MIN),
+        }
+    }
+
+    /// Ingests a warning (call in issue-time order).
+    pub fn on_warning(&mut self, warning: &Warning) {
+        self.advance(warning.issued_at);
+        self.warnings.push_back(TrackedWarning {
+            issued_at: warning.issued_at,
+            deadline: warning.deadline,
+            hit: false,
+        });
+    }
+
+    /// Ingests an observed event (call in time order).
+    pub fn on_event(&mut self, event: &CleanEvent) {
+        self.advance(event.time);
+        if !event.fatal {
+            return;
+        }
+        let mut covered = false;
+        for w in self.warnings.iter_mut() {
+            if w.issued_at < event.time && event.time <= w.deadline {
+                w.hit = true;
+                covered = true;
+            }
+        }
+        self.fatals.push_back(TrackedFatal {
+            time: event.time,
+            covered,
+        });
+    }
+
+    /// The rolling accuracy over the trailing horizon. Unresolved warnings
+    /// (deadline still in the future) are not counted against precision.
+    pub fn rolling(&self) -> Accuracy {
+        let mut acc = Accuracy::default();
+        for w in &self.warnings {
+            if w.deadline >= self.now && !w.hit {
+                continue; // still pending
+            }
+            if w.hit {
+                acc.true_warnings += 1;
+            } else {
+                acc.false_warnings += 1;
+            }
+        }
+        for f in &self.fatals {
+            if f.covered {
+                acc.covered_fatals += 1;
+            } else {
+                acc.missed_fatals += 1;
+            }
+        }
+        acc
+    }
+
+    /// The current clock (max time seen).
+    pub fn now(&self) -> Timestamp {
+        self.now
+    }
+
+    fn advance(&mut self, t: Timestamp) {
+        if t > self.now {
+            self.now = t;
+        }
+        let cutoff = self.now - self.horizon;
+        while self
+            .warnings
+            .front()
+            .is_some_and(|w| w.issued_at < cutoff)
+        {
+            self.warnings.pop_front();
+        }
+        while self.fatals.front().is_some_and(|f| f.time < cutoff) {
+            self.fatals.pop_front();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RuleId, RuleKind};
+    use raslog::EventTypeId;
+
+    fn warn(issued: i64, deadline: i64) -> Warning {
+        Warning {
+            issued_at: Timestamp::from_secs(issued),
+            deadline: Timestamp::from_secs(deadline),
+            rule: RuleId(0),
+            kind: RuleKind::Association,
+            predicted: None,
+        }
+    }
+
+    fn fatal(secs: i64) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(0), true)
+    }
+
+    fn nonfatal(secs: i64) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(1), false)
+    }
+
+    #[test]
+    fn warning_resolution_lifecycle() {
+        let mut t = AccuracyTracker::new(Duration::from_hours(10));
+        t.on_warning(&warn(0, 300));
+        // Pending: not yet counted.
+        t.on_event(&nonfatal(100));
+        assert_eq!(t.rolling(), Accuracy::default());
+        // Fatal lands inside the interval: true warning + covered fatal.
+        t.on_event(&fatal(200));
+        let acc = t.rolling();
+        assert_eq!(acc.true_warnings, 1);
+        assert_eq!(acc.covered_fatals, 1);
+        assert_eq!(acc.false_warnings, 0);
+    }
+
+    #[test]
+    fn unfulfilled_warning_becomes_false_after_deadline() {
+        let mut t = AccuracyTracker::new(Duration::from_hours(10));
+        t.on_warning(&warn(0, 300));
+        t.on_event(&nonfatal(200));
+        assert_eq!(t.rolling().false_warnings, 0, "still pending");
+        t.on_event(&nonfatal(301));
+        assert_eq!(t.rolling().false_warnings, 1, "deadline passed");
+    }
+
+    #[test]
+    fn uncovered_fatal_counts_as_miss() {
+        let mut t = AccuracyTracker::new(Duration::from_hours(10));
+        t.on_event(&fatal(50));
+        let acc = t.rolling();
+        assert_eq!(acc.missed_fatals, 1);
+        assert_eq!(acc.covered_fatals, 0);
+    }
+
+    #[test]
+    fn horizon_evicts_old_entries() {
+        let mut t = AccuracyTracker::new(Duration::from_secs(1_000));
+        t.on_warning(&warn(0, 300));
+        t.on_event(&fatal(100));
+        assert_eq!(t.rolling().true_warnings, 1);
+        // Move far beyond the horizon: everything evicted.
+        t.on_event(&nonfatal(10_000));
+        assert_eq!(t.rolling(), Accuracy::default());
+    }
+
+    #[test]
+    fn matches_offline_scoring_on_a_stream() {
+        // Interleave warnings and events; rolling (with a huge horizon)
+        // must agree with the offline scorer once everything resolves.
+        let warnings = vec![warn(0, 300), warn(1_000, 1_300), warn(5_000, 5_300)];
+        let events = vec![
+            nonfatal(10),
+            fatal(200),
+            nonfatal(1_400),
+            fatal(2_000),
+            nonfatal(6_000),
+        ];
+        let mut t = AccuracyTracker::new(Duration::from_weeks(52));
+        let mut wi = 0;
+        for e in &events {
+            while wi < warnings.len() && warnings[wi].issued_at <= e.time {
+                t.on_warning(&warnings[wi]);
+                wi += 1;
+            }
+            t.on_event(e);
+        }
+        let offline = crate::evaluation::score(&warnings, &events);
+        assert_eq!(t.rolling(), offline);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_horizon_panics() {
+        AccuracyTracker::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,138 @@
+//! Base-learner coverage overlap (the paper's Fig. 8 Venn diagram).
+//!
+//! For a test window, each base learner runs standalone and every fatal
+//! event is labeled with the subset of learners whose warnings covered it.
+//! The paper's SDSC weeks 44–48 example: 156 fatals, 67 captured by more
+//! than one learner, per-learner coverage 23.7 % (association), 37.2 %
+//! (statistical) and 56.4 % (distribution) — no single method captures
+//! all failures alone (Observation #1).
+
+use crate::evaluation::coverage_counts;
+use crate::predictor::Warning;
+use raslog::{CleanEvent, Timestamp};
+use serde::{Deserialize, Serialize};
+
+/// Coverage overlap counts for up to eight learners.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VennCounts {
+    /// Learner names, index = bit position.
+    pub learners: Vec<String>,
+    /// `region_counts[mask]` = fatals covered by exactly the learner set
+    /// `mask` (bit `i` ⇒ learner `i`). `region_counts[0]` = uncovered.
+    pub region_counts: Vec<usize>,
+    /// Total fatal events in the window.
+    pub total_fatals: usize,
+}
+
+impl VennCounts {
+    /// Fatals covered by learner `i` (alone or together with others).
+    pub fn covered_by(&self, learner: usize) -> usize {
+        self.region_counts
+            .iter()
+            .enumerate()
+            .filter(|(mask, _)| mask & (1 << learner) != 0)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Fatals covered by two or more learners.
+    pub fn multi_covered(&self) -> usize {
+        self.region_counts
+            .iter()
+            .enumerate()
+            .filter(|(mask, _)| mask.count_ones() >= 2)
+            .map(|(_, &c)| c)
+            .sum()
+    }
+
+    /// Fatals covered by nobody.
+    pub fn uncovered(&self) -> usize {
+        self.region_counts[0]
+    }
+}
+
+/// Computes the overlap from per-learner warning streams over the same
+/// events.
+///
+/// # Panics
+/// Panics with more than 8 learners (region masks are `u8`-sized).
+pub fn venn_counts(events: &[CleanEvent], per_learner: &[(String, Vec<Warning>)]) -> VennCounts {
+    assert!(per_learner.len() <= 8, "at most 8 learners");
+    let fatal_times: Vec<Timestamp> = events.iter().filter(|e| e.fatal).map(|e| e.time).collect();
+    let coverage: Vec<Vec<bool>> = per_learner
+        .iter()
+        .map(|(_, warnings)| coverage_counts(warnings, &fatal_times))
+        .collect();
+
+    let mut region_counts = vec![0usize; 1 << per_learner.len()];
+    for f in 0..fatal_times.len() {
+        let mut mask = 0usize;
+        for (i, cov) in coverage.iter().enumerate() {
+            if cov[f] {
+                mask |= 1 << i;
+            }
+        }
+        region_counts[mask] += 1;
+    }
+    VennCounts {
+        learners: per_learner.iter().map(|(n, _)| n.clone()).collect(),
+        region_counts,
+        total_fatals: fatal_times.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{RuleId, RuleKind};
+    use raslog::EventTypeId;
+
+    fn warn(issued: i64, deadline: i64) -> Warning {
+        Warning {
+            issued_at: Timestamp::from_secs(issued),
+            deadline: Timestamp::from_secs(deadline),
+            rule: RuleId(0),
+            kind: RuleKind::Association,
+            predicted: None,
+        }
+    }
+
+    fn fatal(secs: i64) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(0), true)
+    }
+
+    #[test]
+    fn regions_partition_fatals() {
+        let events = vec![fatal(100), fatal(200), fatal(300), fatal(400)];
+        let per_learner = vec![
+            ("A".to_string(), vec![warn(50, 150), warn(150, 250)]), // covers 100, 200
+            ("B".to_string(), vec![warn(150, 350)]),                // covers 200, 300
+        ];
+        let v = venn_counts(&events, &per_learner);
+        assert_eq!(v.total_fatals, 4);
+        assert_eq!(v.region_counts.iter().sum::<usize>(), 4);
+        assert_eq!(v.region_counts[0b00], 1); // 400 uncovered
+        assert_eq!(v.region_counts[0b01], 1); // 100 by A only
+        assert_eq!(v.region_counts[0b10], 1); // 300 by B only
+        assert_eq!(v.region_counts[0b11], 1); // 200 by both
+        assert_eq!(v.covered_by(0), 2);
+        assert_eq!(v.covered_by(1), 2);
+        assert_eq!(v.multi_covered(), 1);
+        assert_eq!(v.uncovered(), 1);
+    }
+
+    #[test]
+    fn empty_learners_and_events() {
+        let v = venn_counts(&[], &[]);
+        assert_eq!(v.total_fatals, 0);
+        assert_eq!(v.region_counts, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 8")]
+    fn too_many_learners_panic() {
+        let per: Vec<(String, Vec<Warning>)> =
+            (0..9).map(|i| (format!("L{i}"), Vec::new())).collect();
+        venn_counts(&[], &per);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property tests for the predictor and the evaluation machinery.
+
+use dml_core::evaluation::{coverage_counts, score, warning_hits};
+use dml_core::rules::{AssociationRule, StatisticalRule};
+use dml_core::{KnowledgeRepository, Predictor, Rule, RuleKind};
+use proptest::prelude::*;
+use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
+
+fn arb_events() -> impl Strategy<Value = Vec<CleanEvent>> {
+    prop::collection::vec((0i64..20_000, 0u16..6, any::<bool>()), 0..150).prop_map(|raw| {
+        let mut events: Vec<CleanEvent> = raw
+            .into_iter()
+            .map(|(secs, ty, fatal)| {
+                CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+            })
+            .collect();
+        events.sort_by_key(|e| e.time);
+        events
+    })
+}
+
+fn arb_repo() -> impl Strategy<Value = KnowledgeRepository> {
+    (
+        prop::collection::vec((prop::collection::vec(0u16..6, 1..3), 0u16..6), 0..4),
+        prop::collection::vec(1usize..5, 0..3),
+    )
+        .prop_map(|(assocs, stats)| {
+            let mut rules: Vec<Rule> = assocs
+                .into_iter()
+                .map(|(items, fatal)| {
+                    let mut antecedent: Vec<EventTypeId> =
+                        items.into_iter().map(EventTypeId).collect();
+                    antecedent.sort_unstable();
+                    antecedent.dedup();
+                    Rule::Association(AssociationRule {
+                        antecedent,
+                        fatal: EventTypeId(fatal),
+                        support: 0.1,
+                        confidence: 0.5,
+                    })
+                })
+                .collect();
+            rules.extend(stats.into_iter().map(|k| {
+                Rule::Statistical(StatisticalRule {
+                    k,
+                    probability: 0.9,
+                })
+            }));
+            KnowledgeRepository::new(rules)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn warnings_are_time_ordered_with_valid_deadlines(
+        events in arb_events(),
+        repo in arb_repo(),
+        window_secs in 10i64..3600,
+    ) {
+        let window = Duration::from_secs(window_secs);
+        let warnings = Predictor::new(&repo, window).observe_all(&events);
+        for w in warnings.windows(2) {
+            prop_assert!(w[0].issued_at <= w[1].issued_at);
+        }
+        for w in &warnings {
+            prop_assert!(w.deadline > w.issued_at);
+            match w.kind {
+                RuleKind::Association => {
+                    prop_assert!(w.predicted.is_some());
+                    // Association warnings expire exactly one window later.
+                    prop_assert_eq!(w.deadline, w.issued_at + window);
+                }
+                RuleKind::Statistical | RuleKind::Location => {
+                    prop_assert_eq!(w.deadline, w.issued_at + window)
+                }
+                RuleKind::Distribution => {}
+            }
+        }
+    }
+
+    #[test]
+    fn per_rule_rate_limit_holds(
+        events in arb_events(),
+        repo in arb_repo(),
+        window_secs in 10i64..3600,
+    ) {
+        let window = Duration::from_secs(window_secs);
+        let warnings = Predictor::new(&repo, window).observe_all(&events);
+        // No rule issues a second warning while the first is pending.
+        let mut last_deadline: std::collections::HashMap<_, Timestamp> = Default::default();
+        for w in &warnings {
+            if let Some(&d) = last_deadline.get(&w.rule) {
+                prop_assert!(w.issued_at >= d, "rule {:?} re-fired while pending", w.rule);
+            }
+            last_deadline.insert(w.rule, w.deadline);
+        }
+    }
+
+    #[test]
+    fn score_is_consistent_with_hit_and_coverage_vectors(
+        events in arb_events(),
+        repo in arb_repo(),
+    ) {
+        let window = Duration::from_secs(300);
+        let warnings = Predictor::new(&repo, window).observe_all(&events);
+        let fatal_times: Vec<Timestamp> =
+            events.iter().filter(|e| e.fatal).map(|e| e.time).collect();
+        let acc = score(&warnings, &events);
+        let hits = warning_hits(&warnings, &fatal_times);
+        let covered = coverage_counts(&warnings, &fatal_times);
+        prop_assert_eq!(acc.true_warnings as usize, hits.iter().filter(|&&h| h).count());
+        prop_assert_eq!(acc.false_warnings as usize, hits.iter().filter(|&&h| !h).count());
+        prop_assert_eq!(acc.covered_fatals as usize, covered.iter().filter(|&&c| c).count());
+        prop_assert_eq!(
+            (acc.covered_fatals + acc.missed_fatals) as usize,
+            fatal_times.len()
+        );
+        prop_assert!((0.0..=1.0).contains(&acc.precision()));
+        prop_assert!((0.0..=1.0).contains(&acc.recall()));
+    }
+
+    #[test]
+    fn coverage_agrees_with_brute_force(
+        events in arb_events(),
+        repo in arb_repo(),
+    ) {
+        let window = Duration::from_secs(300);
+        let warnings = Predictor::new(&repo, window).observe_all(&events);
+        let fatal_times: Vec<Timestamp> =
+            events.iter().filter(|e| e.fatal).map(|e| e.time).collect();
+        let covered = coverage_counts(&warnings, &fatal_times);
+        for (&t, &cov) in fatal_times.iter().zip(&covered) {
+            let brute = warnings.iter().any(|w| w.issued_at < t && t <= w.deadline);
+            prop_assert_eq!(cov, brute, "coverage mismatch at {}", t);
+        }
+    }
+
+    #[test]
+    fn statistical_rules_fire_only_with_enough_fatals(
+        events in arb_events(),
+        k in 2usize..5,
+    ) {
+        let repo = KnowledgeRepository::new(vec![Rule::Statistical(StatisticalRule {
+            k,
+            probability: 0.9,
+        })]);
+        let window = Duration::from_secs(300);
+        let warnings = Predictor::new(&repo, window).observe_all(&events);
+        // Brute-force check: at each warning, at least k fatals in window.
+        for w in &warnings {
+            let count = events
+                .iter()
+                .filter(|e| {
+                    e.fatal && e.time <= w.issued_at && w.issued_at - e.time <= window
+                })
+                .count();
+            prop_assert!(count >= k, "warning with only {count} fatals in window");
+        }
+    }
+
+    #[test]
+    fn churn_diff_is_symmetric_in_size(repo_a in arb_repo(), repo_b in arb_repo()) {
+        let ab = KnowledgeRepository::churn(&repo_a, &repo_b);
+        let ba = KnowledgeRepository::churn(&repo_b, &repo_a);
+        prop_assert_eq!(ab.unchanged, ba.unchanged);
+        prop_assert_eq!(ab.added, ba.removed);
+        prop_assert_eq!(ab.removed, ba.added);
+        prop_assert_eq!(ab.unchanged + ab.added, repo_b.identities().len());
+    }
+}

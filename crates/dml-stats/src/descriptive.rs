@@ -1,0 +1,101 @@
+//! Descriptive statistics over `f64` samples.
+
+/// Arithmetic mean. Returns `NaN` for empty input.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Unbiased sample variance (n−1 denominator). Returns `NaN` when the
+/// sample has fewer than two points.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(data);
+    data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (data.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Population variance (n denominator). Returns `NaN` for empty input.
+pub fn population_variance(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(data);
+    data.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Quantile by linear interpolation on the sorted sample,
+/// `q ∈ [0, 1]`. Returns `NaN` for empty input.
+///
+/// # Panics
+/// Panics when `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    if data.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in sample"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Median (the 0.5 quantile).
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        let d = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&d), 5.0);
+        assert!((population_variance(&d) - 4.0).abs() < 1e-12);
+        assert!((variance(&d) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_dev(&d) - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+        assert!(quantile(&[], 0.5).is_nan());
+        assert_eq!(mean(&[3.0]), 3.0);
+        assert_eq!(median(&[3.0]), 3.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&d, 0.0), 1.0);
+        assert_eq!(quantile(&d, 1.0), 4.0);
+        assert_eq!(median(&d), 2.5);
+        assert!((quantile(&d, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_handles_unsorted_input() {
+        let d = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(median(&d), 2.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_bad_q() {
+        quantile(&[1.0], 1.5);
+    }
+}

@@ -1,0 +1,92 @@
+//! The exponential distribution and its maximum-likelihood fit.
+
+use super::{positive_sample, ContinuousDistribution, FitError};
+use serde::{Deserialize, Serialize};
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    /// Rate parameter (> 0), inverse of the mean.
+    pub rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution.
+    ///
+    /// # Panics
+    /// Panics when `rate` is not strictly positive and finite.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0 && rate.is_finite(), "bad rate {rate}");
+        Exponential { rate }
+    }
+
+    /// Maximum-likelihood fit: `λ = 1 / mean(x)` over the positive sample.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, FitError> {
+        let xs = positive_sample(data);
+        if xs.is_empty() {
+            return Err(FitError::new("need at least 1 positive observation"));
+        }
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        Ok(Exponential::new(1.0 / mean))
+    }
+}
+
+impl ContinuousDistribution for Exponential {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mle_is_inverse_mean() {
+        let e = Exponential::fit_mle(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert!((e.rate - 1.0 / 2.5).abs() < 1e-12);
+        assert!((e.mean() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_pdf_consistency() {
+        let e = Exponential::new(0.5);
+        assert_eq!(e.cdf(0.0), 0.0);
+        assert!((e.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // pdf is the derivative of cdf (finite-difference check)
+        let h = 1e-6;
+        let approx = (e.cdf(2.0 + h) - e.cdf(2.0 - h)) / (2.0 * h);
+        assert!((approx - e.pdf(2.0)).abs() < 1e-6);
+        assert!((e.ln_pdf(2.0) - e.pdf(2.0).ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        assert!(Exponential::fit_mle(&[]).is_err());
+        assert!(Exponential::fit_mle(&[-1.0, 0.0]).is_err());
+    }
+}

@@ -1,0 +1,152 @@
+//! The log-normal distribution and its maximum-likelihood fit.
+
+use super::{positive_sample, ContinuousDistribution, FitError};
+use serde::{Deserialize, Serialize};
+
+/// Log-normal distribution: `ln X ~ Normal(mu, sigma²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    /// Mean of `ln X`.
+    pub mu: f64,
+    /// Standard deviation of `ln X` (> 0).
+    pub sigma: f64,
+}
+
+/// Error function approximation (Abramowitz & Stegun 7.1.26,
+/// |error| < 1.5e-7), extended to negative arguments by oddness.
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal CDF.
+fn phi(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution.
+    ///
+    /// # Panics
+    /// Panics when `sigma` is not strictly positive and finite or `mu` is
+    /// not finite.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(mu.is_finite(), "bad mu {mu}");
+        assert!(sigma > 0.0 && sigma.is_finite(), "bad sigma {sigma}");
+        LogNormal { mu, sigma }
+    }
+
+    /// Maximum-likelihood fit: `mu = mean(ln x)`,
+    /// `sigma² = population variance of ln x`.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, FitError> {
+        let xs = positive_sample(data);
+        if xs.len() < 2 {
+            return Err(FitError::new("need at least 2 positive observations"));
+        }
+        let logs: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+        let mu = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|&l| (l - mu) * (l - mu)).sum::<f64>() / logs.len() as f64;
+        if var <= 0.0 {
+            return Err(FitError::new("degenerate sample (all values equal)"));
+        }
+        Ok(LogNormal::new(mu, var.sqrt()))
+    }
+}
+
+impl ContinuousDistribution for LogNormal {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            phi((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            self.ln_pdf(x).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            let z = (x.ln() - self.mu) / self.sigma;
+            -x.ln() - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln() - 0.5 * z * z
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + 0.5 * self.sigma * self.sigma).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_reference_values() {
+        assert!(erf(0.0).abs() < 1e-6);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+        assert!((erf(3.0) - 0.999_977_91).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cdf_median_at_exp_mu() {
+        let ln = LogNormal::new(2.0, 0.7);
+        assert!((ln.cdf(2.0f64.exp()) - 0.5).abs() < 1e-6);
+        assert_eq!(ln.cdf(0.0), 0.0);
+        assert_eq!(ln.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    fn mle_recovers_log_moments() {
+        // Sample whose logs are {0, 1, 2, 3}: mu = 1.5, var = 1.25.
+        let data: Vec<f64> = [0.0f64, 1.0, 2.0, 3.0].iter().map(|&l| l.exp()).collect();
+        let fit = LogNormal::fit_mle(&data).unwrap();
+        assert!((fit.mu - 1.5).abs() < 1e-12);
+        assert!((fit.sigma - 1.25f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf() {
+        let ln = LogNormal::new(0.0, 1.0);
+        // Trapezoid integral of pdf over (0, 10] ≈ cdf(10).
+        let n = 20_000;
+        let h = 10.0 / n as f64;
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = i as f64 * h;
+            let b = a + h;
+            acc += 0.5 * (ln.pdf(a) + ln.pdf(b)) * h;
+        }
+        assert!(
+            (acc - ln.cdf(10.0)).abs() < 1e-4,
+            "{acc} vs {}",
+            ln.cdf(10.0)
+        );
+    }
+
+    #[test]
+    fn mean_formula() {
+        let ln = LogNormal::new(1.0, 0.5);
+        assert!((ln.mean() - (1.0f64 + 0.125).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_rejects_degenerate() {
+        assert!(LogNormal::fit_mle(&[5.0]).is_err());
+        assert!(LogNormal::fit_mle(&[5.0, 5.0]).is_err());
+    }
+}

@@ -1,0 +1,149 @@
+//! Continuous distributions with maximum-likelihood fitting.
+
+mod exponential;
+mod lognormal;
+mod weibull;
+
+pub use exponential::Exponential;
+pub use lognormal::LogNormal;
+pub use weibull::Weibull;
+
+/// A continuous probability distribution on positive reals.
+pub trait ContinuousDistribution {
+    /// Cumulative distribution function `P[X ≤ x]`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Log-density at `x` (`-inf` outside the support).
+    fn ln_pdf(&self, x: f64) -> f64;
+
+    /// Distribution mean.
+    fn mean(&self) -> f64;
+
+    /// Log-likelihood of an i.i.d. sample.
+    fn ln_likelihood(&self, data: &[f64]) -> f64 {
+        data.iter().map(|&x| self.ln_pdf(x)).sum()
+    }
+
+    /// Conditional probability of an arrival in the next `dt`, given that
+    /// `elapsed` time has already passed without one:
+    /// `P[X ≤ elapsed+dt | X > elapsed]`.
+    ///
+    /// Returns 1.0 when essentially all mass lies below `elapsed`.
+    fn conditional_cdf(&self, elapsed: f64, dt: f64) -> f64 {
+        let survival = 1.0 - self.cdf(elapsed);
+        if survival <= f64::EPSILON {
+            return 1.0;
+        }
+        ((self.cdf(elapsed + dt) - self.cdf(elapsed)) / survival).clamp(0.0, 1.0)
+    }
+
+    /// Quantile function `F⁻¹(q)` by bisection (positive support assumed).
+    ///
+    /// # Panics
+    /// Panics when `q` is outside `(0, 1)`.
+    fn quantile(&self, q: f64) -> f64 {
+        assert!(q > 0.0 && q < 1.0, "quantile {q} outside (0,1)");
+        // Bracket the root.
+        let mut lo = 0.0f64;
+        let mut hi = 1.0f64;
+        while self.cdf(hi) < q && hi < 1e300 {
+            hi *= 2.0;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < q {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if (hi - lo) <= 1e-9 * hi.max(1.0) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+}
+
+/// Cleans a sample for positive-support MLE: drops non-finite and
+/// non-positive values. The paper's inter-arrival samples can contain zeros
+/// after temporal compression; those carry no information for a continuous
+/// positive model.
+pub(crate) fn positive_sample(data: &[f64]) -> Vec<f64> {
+    data.iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect()
+}
+
+/// Error returned when a sample cannot support a fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitError {
+    reason: String,
+}
+
+impl FitError {
+    pub(crate) fn new(reason: impl Into<String>) -> Self {
+        FitError {
+            reason: reason.into(),
+        }
+    }
+
+    /// Human-readable failure reason.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+impl core::fmt::Display for FitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "fit error: {}", self.reason)
+    }
+}
+
+impl std::error::Error for FitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positive_sample_filters() {
+        let cleaned = positive_sample(&[1.0, 0.0, -3.0, f64::NAN, 2.5, f64::INFINITY]);
+        assert_eq!(cleaned, vec![1.0, 2.5]);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let w = Weibull::new(0.51, 20_000.0);
+        for &q in &[0.05, 0.3, 0.6, 0.95, 0.999] {
+            let x = w.quantile(q);
+            assert!(
+                (w.cdf(x) - q).abs() < 1e-6,
+                "q={q}: cdf({x}) = {}",
+                w.cdf(x)
+            );
+        }
+        let e = Exponential::new(0.01);
+        assert!((e.quantile(0.5) - (2.0f64.ln() / 0.01)).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn quantile_rejects_extremes() {
+        Exponential::new(1.0).quantile(1.0);
+    }
+
+    #[test]
+    fn conditional_cdf_sane() {
+        let e = Exponential::new(1.0 / 100.0);
+        // Memorylessness: P[X ≤ t+dt | X>t] == P[X ≤ dt]
+        let a = e.conditional_cdf(500.0, 50.0);
+        let b = e.cdf(50.0);
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        // Deep in the tail the conditional saturates to 1.
+        assert_eq!(e.conditional_cdf(1e9, 1.0), 1.0);
+    }
+}

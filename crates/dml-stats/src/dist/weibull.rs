@@ -1,0 +1,264 @@
+//! The Weibull distribution and its maximum-likelihood fit.
+//!
+//! The paper (Fig. 5) fits `F(t) = 1 − exp(−(t/λ)^k)` to the inter-arrival
+//! times between adjacent fatal events; on an SDSC training set the fit was
+//! `λ = 19 984.8 s, k = 0.507936` — a heavy-tailed, bursty process
+//! (`k < 1`).
+
+use super::{positive_sample, ContinuousDistribution, FitError};
+use crate::special::ln_gamma;
+use serde::{Deserialize, Serialize};
+
+/// Weibull distribution with shape `k` and scale `lambda`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    /// Shape parameter `k` (> 0). `k < 1` ⇒ decreasing hazard (bursty).
+    pub shape: f64,
+    /// Scale parameter `λ` (> 0), in the sample's time unit.
+    pub scale: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull distribution.
+    ///
+    /// # Panics
+    /// Panics when either parameter is not strictly positive and finite.
+    pub fn new(shape: f64, scale: f64) -> Self {
+        assert!(shape > 0.0 && shape.is_finite(), "bad shape {shape}");
+        assert!(scale > 0.0 && scale.is_finite(), "bad scale {scale}");
+        Weibull { shape, scale }
+    }
+
+    /// Maximum-likelihood fit.
+    ///
+    /// Solves the profile-likelihood shape equation
+    /// `Σ xᵢᵏ ln xᵢ / Σ xᵢᵏ − 1/k − mean(ln x) = 0` by Newton–Raphson with
+    /// a bisection fallback, then sets `λ = (mean(xᵏ))^{1/k}`.
+    ///
+    /// Non-positive and non-finite sample values are dropped; at least two
+    /// distinct positive values are required.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, FitError> {
+        let xs = positive_sample(data);
+        if xs.len() < 2 {
+            return Err(FitError::new("need at least 2 positive observations"));
+        }
+        let first = xs[0];
+        if xs.iter().all(|&x| x == first) {
+            return Err(FitError::new("degenerate sample (all values equal)"));
+        }
+
+        let n = xs.len() as f64;
+        let mean_ln: f64 = xs.iter().map(|&x| x.ln()).sum::<f64>() / n;
+
+        // g(k) = A(k) − 1/k − mean_ln,  A(k) = Σ x^k ln x / Σ x^k.
+        // Work with x scaled by its geometric mean so x^k stays in range.
+        let gm = mean_ln.exp();
+        let zs: Vec<f64> = xs.iter().map(|&x| x / gm).collect();
+        let mean_ln_z = 0.0; // by construction
+
+        let g = |k: f64| -> f64 {
+            let mut sk = 0.0;
+            let mut skl = 0.0;
+            for &z in &zs {
+                let zk = z.powf(k);
+                sk += zk;
+                skl += zk * z.ln();
+            }
+            skl / sk - 1.0 / k - mean_ln_z
+        };
+        let g_prime = |k: f64| -> f64 {
+            let mut sk = 0.0;
+            let mut skl = 0.0;
+            let mut skl2 = 0.0;
+            for &z in &zs {
+                let zk = z.powf(k);
+                let lz = z.ln();
+                sk += zk;
+                skl += zk * lz;
+                skl2 += zk * lz * lz;
+            }
+            (skl2 * sk - skl * skl) / (sk * sk) + 1.0 / (k * k)
+        };
+
+        // g is increasing in k; bracket the root.
+        let (mut lo, mut hi) = (1e-3, 1.0);
+        while g(hi) < 0.0 && hi < 1e3 {
+            hi *= 2.0;
+        }
+        if g(hi) < 0.0 {
+            return Err(FitError::new("shape equation has no root below 1000"));
+        }
+        while g(lo) > 0.0 && lo > 1e-9 {
+            lo /= 2.0;
+        }
+
+        // Newton from the midpoint, guarded by the bracket.
+        let mut k = 0.5 * (lo + hi);
+        for _ in 0..100 {
+            let gv = g(k);
+            if gv.abs() < 1e-12 {
+                break;
+            }
+            if gv > 0.0 {
+                hi = k;
+            } else {
+                lo = k;
+            }
+            let step = gv / g_prime(k);
+            let mut next = k - step;
+            if !(lo..=hi).contains(&next) || !next.is_finite() {
+                next = 0.5 * (lo + hi); // bisection fallback
+            }
+            if (next - k).abs() < 1e-14 * k.max(1.0) {
+                k = next;
+                break;
+            }
+            k = next;
+        }
+
+        // λ on the z-scale, then undo the geometric-mean scaling.
+        let lambda_z = (zs.iter().map(|&z| z.powf(k)).sum::<f64>() / n).powf(1.0 / k);
+        Ok(Weibull::new(k, lambda_z * gm))
+    }
+}
+
+impl ContinuousDistribution for Weibull {
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(x / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            let z = x / self.scale;
+            (self.shape / self.scale) * z.powf(self.shape - 1.0) * (-z.powf(self.shape)).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            let z = x / self.scale;
+            (self.shape / self.scale).ln() + (self.shape - 1.0) * z.ln() - z.powf(self.shape)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.scale * ln_gamma(1.0 + 1.0 / self.shape).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn cdf_basics() {
+        let w = Weibull::new(1.0, 10.0); // == Exponential(1/10)
+        assert_eq!(w.cdf(0.0), 0.0);
+        assert!((w.cdf(10.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        assert!(w.cdf(1e9) > 0.999_999);
+        assert_eq!(w.cdf(-5.0), 0.0);
+        assert_eq!(w.pdf(-5.0), 0.0);
+        assert_eq!(w.ln_pdf(-5.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn paper_example_threshold() {
+        // SDSC fit from the paper: F(20000) ≈ 0.63 for λ=19984.8, k=0.507936.
+        let w = Weibull::new(0.507_936, 19_984.8);
+        let f = w.cdf(20_000.0);
+        assert!((f - 0.63).abs() < 0.01, "F(20000) = {f}");
+    }
+
+    #[test]
+    fn mean_matches_gamma_formula() {
+        let w = Weibull::new(2.0, 3.0);
+        // E[X] = λ Γ(1 + 1/k) = 3 Γ(1.5) = 3·0.8862269…
+        assert!((w.mean() - 3.0 * 0.886_226_925_452_758).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mle_recovers_exponential_special_case() {
+        // For k = 1 the MLE of λ is the sample mean.
+        let data = [5.0, 10.0, 15.0, 20.0];
+        let w = Weibull::fit_mle(&data).unwrap();
+        assert!(w.shape > 0.5 && w.shape < 5.0);
+    }
+
+    #[test]
+    fn mle_recovers_known_parameters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let truth = Weibull::new(0.51, 20_000.0);
+        // Inverse-CDF sampling: x = λ (−ln U)^{1/k}
+        let data: Vec<f64> = (0..20_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                truth.scale * (-(u.ln())).powf(1.0 / truth.shape)
+            })
+            .collect();
+        let fit = Weibull::fit_mle(&data).unwrap();
+        assert!(
+            (fit.shape - truth.shape).abs() / truth.shape < 0.05,
+            "shape {} vs {}",
+            fit.shape,
+            truth.shape
+        );
+        assert!(
+            (fit.scale - truth.scale).abs() / truth.scale < 0.10,
+            "scale {} vs {}",
+            fit.scale,
+            truth.scale
+        );
+    }
+
+    #[test]
+    fn mle_rejects_degenerate_samples() {
+        assert!(Weibull::fit_mle(&[]).is_err());
+        assert!(Weibull::fit_mle(&[3.0]).is_err());
+        assert!(Weibull::fit_mle(&[3.0, 3.0, 3.0]).is_err());
+        assert!(Weibull::fit_mle(&[0.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn mle_ignores_zeros_and_nans() {
+        let data = [0.0, f64::NAN, 5.0, 10.0, 15.0, 20.0, 25.0];
+        let fit = Weibull::fit_mle(&data).unwrap();
+        assert!(fit.scale > 0.0 && fit.shape > 0.0);
+    }
+
+    #[test]
+    fn fitted_likelihood_beats_perturbed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let truth = Weibull::new(1.7, 50.0);
+        let data: Vec<f64> = (0..5_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                truth.scale * (-(u.ln())).powf(1.0 / truth.shape)
+            })
+            .collect();
+        let fit = Weibull::fit_mle(&data).unwrap();
+        let ll = fit.ln_likelihood(&data);
+        for (ds, dl) in [(0.2, 0.0), (-0.2, 0.0), (0.0, 10.0), (0.0, -10.0)] {
+            let other = Weibull::new(fit.shape + ds, fit.scale + dl);
+            assert!(
+                ll >= other.ln_likelihood(&data),
+                "perturbation ({ds},{dl}) beat MLE"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad shape")]
+    fn new_rejects_bad_shape() {
+        Weibull::new(0.0, 1.0);
+    }
+}

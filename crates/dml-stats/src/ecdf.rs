@@ -1,0 +1,103 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over an `f64` sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds the ECDF. Non-finite values are dropped.
+    pub fn new(data: &[f64]) -> Self {
+        let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
+        Ecdf { sorted }
+    }
+
+    /// Number of retained observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// `true` when no observations were retained.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F̂(x)` — fraction of observations `≤ x`. Returns `NaN` on an empty
+    /// sample.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// The sorted sample.
+    pub fn sample(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evenly spaced `(x, F̂(x))` points for plotting, `n ≥ 2` points
+    /// spanning the sample range.
+    pub fn curve(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n < 2 {
+            return Vec::new();
+        }
+        let lo = *self.sorted.first().unwrap();
+        let hi = *self.sorted.last().unwrap();
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.eval(x))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_values() {
+        let e = Ecdf::new(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(e.len(), 4);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(2.5), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let e = Ecdf::new(&[1.0, f64::NAN, f64::INFINITY, 2.0]);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let e = Ecdf::new(&[]);
+        assert!(e.is_empty());
+        assert!(e.eval(1.0).is_nan());
+        assert!(e.curve(10).is_empty());
+    }
+
+    #[test]
+    fn curve_spans_range_and_is_monotone() {
+        let e = Ecdf::new(&[0.0, 5.0, 10.0, 20.0]);
+        let c = e.curve(11);
+        assert_eq!(c.len(), 11);
+        assert_eq!(c[0].0, 0.0);
+        assert_eq!(c[10].0, 20.0);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(c[10].1, 1.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Model selection: fit several candidate families and keep the best CDF.
+//!
+//! The probability-distribution base learner "calculates inter-arrival
+//! times between adjacent fatal events and uses maximum likelihood
+//! estimation to fit a mathematical model to these data. Distributions like
+//! Weibull, exponential, and log-normal are examined" (Section 4.1). We
+//! select by maximum log-likelihood and also report the KS statistic of the
+//! winner.
+
+use crate::dist::{ContinuousDistribution, Exponential, LogNormal, Weibull};
+use crate::ks::ks_statistic;
+use serde::{Deserialize, Serialize};
+
+/// The candidate distribution families.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributionFamily {
+    /// Weibull (the usual winner on BG/L fatal inter-arrivals).
+    Weibull,
+    /// Exponential.
+    Exponential,
+    /// Log-normal.
+    LogNormal,
+}
+
+impl core::fmt::Display for DistributionFamily {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            DistributionFamily::Weibull => "Weibull",
+            DistributionFamily::Exponential => "Exponential",
+            DistributionFamily::LogNormal => "LogNormal",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A fitted model of one family.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FittedModel {
+    /// Fitted Weibull.
+    Weibull(Weibull),
+    /// Fitted exponential.
+    Exponential(Exponential),
+    /// Fitted log-normal.
+    LogNormal(LogNormal),
+}
+
+impl FittedModel {
+    /// The family of this model.
+    pub fn family(&self) -> DistributionFamily {
+        match self {
+            FittedModel::Weibull(_) => DistributionFamily::Weibull,
+            FittedModel::Exponential(_) => DistributionFamily::Exponential,
+            FittedModel::LogNormal(_) => DistributionFamily::LogNormal,
+        }
+    }
+}
+
+impl ContinuousDistribution for FittedModel {
+    fn cdf(&self, x: f64) -> f64 {
+        match self {
+            FittedModel::Weibull(d) => d.cdf(x),
+            FittedModel::Exponential(d) => d.cdf(x),
+            FittedModel::LogNormal(d) => d.cdf(x),
+        }
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        match self {
+            FittedModel::Weibull(d) => d.pdf(x),
+            FittedModel::Exponential(d) => d.pdf(x),
+            FittedModel::LogNormal(d) => d.pdf(x),
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        match self {
+            FittedModel::Weibull(d) => d.ln_pdf(x),
+            FittedModel::Exponential(d) => d.ln_pdf(x),
+            FittedModel::LogNormal(d) => d.ln_pdf(x),
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        match self {
+            FittedModel::Weibull(d) => d.mean(),
+            FittedModel::Exponential(d) => d.mean(),
+            FittedModel::LogNormal(d) => d.mean(),
+        }
+    }
+}
+
+/// The outcome of [`fit_best`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BestFit {
+    /// The winning model.
+    pub model: FittedModel,
+    /// Its log-likelihood on the (positive) sample.
+    pub ln_likelihood: f64,
+    /// Its KS statistic against the sample.
+    pub ks: f64,
+}
+
+/// Fits Weibull, exponential and log-normal by MLE and returns the model
+/// with the highest log-likelihood on the positive part of the sample,
+/// or `None` when no family can be fitted (fewer than two distinct
+/// positive observations).
+pub fn fit_best(data: &[f64]) -> Option<BestFit> {
+    let positive: Vec<f64> = data
+        .iter()
+        .copied()
+        .filter(|x| x.is_finite() && *x > 0.0)
+        .collect();
+    let mut candidates: Vec<FittedModel> = Vec::with_capacity(3);
+    if let Ok(w) = Weibull::fit_mle(&positive) {
+        candidates.push(FittedModel::Weibull(w));
+    }
+    if let Ok(e) = Exponential::fit_mle(&positive) {
+        candidates.push(FittedModel::Exponential(e));
+    }
+    if let Ok(l) = LogNormal::fit_mle(&positive) {
+        candidates.push(FittedModel::LogNormal(l));
+    }
+    // Compare likelihoods on the same cleaned sample.
+    candidates
+        .into_iter()
+        .map(|m| {
+            let ll = m.ln_likelihood(&positive);
+            (m, ll)
+        })
+        .filter(|(_, ll)| ll.is_finite())
+        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("filtered non-finite"))
+        .map(|(model, ln_likelihood)| BestFit {
+            model,
+            ln_likelihood,
+            ks: ks_statistic(&positive, &model),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    fn weibull_sample(shape: f64, scale: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                scale * (-(u.ln())).powf(1.0 / shape)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn picks_weibull_for_bursty_data() {
+        let data = weibull_sample(0.5, 20_000.0, 8_000, 42);
+        let best = fit_best(&data).unwrap();
+        assert_eq!(best.model.family(), DistributionFamily::Weibull);
+        assert!(best.ks < 0.05, "KS = {}", best.ks);
+    }
+
+    #[test]
+    fn exponential_data_not_misfit() {
+        // Exponential is Weibull with k=1 so either family may win the
+        // likelihood race, but the winner must fit well.
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<f64> = (0..5_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                -(u.ln()) * 300.0
+            })
+            .collect();
+        let best = fit_best(&data).unwrap();
+        assert!(best.ks < 0.03, "KS = {}", best.ks);
+        assert!(matches!(
+            best.model.family(),
+            DistributionFamily::Weibull | DistributionFamily::Exponential
+        ));
+    }
+
+    #[test]
+    fn lognormal_data_picks_lognormal() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Box–Muller normal, exponentiated; sigma chosen far from any
+        // Weibull shape.
+        let data: Vec<f64> = (0..6_000)
+            .map(|_| {
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (3.0 + 2.5 * z).exp()
+            })
+            .collect();
+        let best = fit_best(&data).unwrap();
+        assert_eq!(best.model.family(), DistributionFamily::LogNormal);
+    }
+
+    #[test]
+    fn degenerate_sample_gives_none_or_exponential() {
+        assert!(fit_best(&[]).is_none());
+        // A single positive point: only the exponential can fit.
+        let best = fit_best(&[5.0]).unwrap();
+        assert_eq!(best.model.family(), DistributionFamily::Exponential);
+    }
+
+    #[test]
+    fn family_display() {
+        assert_eq!(DistributionFamily::Weibull.to_string(), "Weibull");
+        assert_eq!(DistributionFamily::LogNormal.to_string(), "LogNormal");
+    }
+}

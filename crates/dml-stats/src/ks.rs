@@ -1,0 +1,102 @@
+//! Kolmogorov–Smirnov goodness-of-fit statistics.
+
+use crate::dist::ContinuousDistribution;
+
+/// One-sample KS statistic: `sup_x |F̂(x) − F(x)|` computed exactly at the
+/// sample's jump points. Returns `NaN` for an empty sample.
+pub fn ks_statistic<D: ContinuousDistribution>(data: &[f64], dist: &D) -> f64 {
+    let mut sorted: Vec<f64> = data.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("non-finite filtered"));
+    let n = sorted.len() as f64;
+    let mut d = 0.0f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        // ECDF jumps from i/n to (i+1)/n at x; check both sides.
+        let below = (f - i as f64 / n).abs();
+        let above = ((i as f64 + 1.0) / n - f).abs();
+        d = d.max(below).max(above);
+    }
+    d
+}
+
+/// Approximate p-value for the KS statistic via the asymptotic Kolmogorov
+/// distribution: `Q(λ) = 2 Σ (−1)^{j−1} exp(−2 j² λ²)` with
+/// `λ = (√n + 0.12 + 0.11/√n)·D` (Numerical Recipes form).
+pub fn ks_p_value(d: f64, n: usize) -> f64 {
+    if n == 0 || !d.is_finite() {
+        return f64::NAN;
+    }
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = sign * (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += term;
+        if term.abs() < 1e-12 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{Exponential, Weibull};
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+
+    #[test]
+    fn perfect_fit_has_small_statistic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = Exponential::new(0.01);
+        let data: Vec<f64> = (0..10_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                -(u.ln()) / e.rate
+            })
+            .collect();
+        let d = ks_statistic(&data, &e);
+        assert!(d < 0.02, "D = {d}");
+        assert!(ks_p_value(d, data.len()) > 0.01);
+    }
+
+    #[test]
+    fn wrong_model_has_large_statistic() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<f64> = (0..5_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                20_000.0 * (-(u.ln())).powf(1.0 / 0.5) // Weibull k=0.5
+            })
+            .collect();
+        let right = Weibull::new(0.5, 20_000.0);
+        let wrong = Exponential::new(1.0 / 20_000.0);
+        let d_right = ks_statistic(&data, &right);
+        let d_wrong = ks_statistic(&data, &wrong);
+        assert!(d_right < d_wrong, "{d_right} !< {d_wrong}");
+        assert!(d_wrong > 0.1);
+        assert!(ks_p_value(d_wrong, data.len()) < 1e-6);
+    }
+
+    #[test]
+    fn empty_sample_is_nan() {
+        let e = Exponential::new(1.0);
+        assert!(ks_statistic(&[], &e).is_nan());
+        assert!(ks_p_value(f64::NAN, 10).is_nan());
+        assert!(ks_p_value(0.5, 0).is_nan());
+    }
+
+    #[test]
+    fn p_value_monotone_in_d() {
+        let p1 = ks_p_value(0.01, 1000);
+        let p2 = ks_p_value(0.05, 1000);
+        let p3 = ks_p_value(0.2, 1000);
+        assert!(p1 > p2 && p2 > p3);
+    }
+}

@@ -1,0 +1,49 @@
+//! # dml-stats — statistics substrate for failure prediction
+//!
+//! Numerical building blocks used by the probability-distribution base
+//! learner and the reviser of the dynamic meta-learning framework:
+//!
+//! * [`special`] — log-gamma and related special functions,
+//! * [`descriptive`] — means, variances, quantiles,
+//! * [`ecdf`] — empirical cumulative distribution functions,
+//! * [`histogram`] — fixed-width binning,
+//! * [`dist`] — Weibull, exponential and log-normal distributions with
+//!   maximum-likelihood fitting (Newton–Raphson with bisection fallback for
+//!   the Weibull shape),
+//! * [`ks`] — Kolmogorov–Smirnov goodness-of-fit statistics,
+//! * [`fit`] — model selection across candidate families (the paper fits
+//!   Weibull, exponential and log-normal to fatal-event inter-arrival times
+//!   and keeps the best CDF),
+//! * [`roc`] — the reviser's ROC score `sqrt(precision² + recall²)` and
+//!   prediction-count bookkeeping.
+//!
+//! All routines are pure and deterministic; no global state.
+//!
+//! # Example
+//!
+//! The paper's worked example: for the SDSC fit
+//! `F(t) = 1 − e^{−(t/19984.8)^0.507936}` and threshold 0.60, a warning
+//! triggers once 20 000 s have elapsed, because `F(20000) ≈ 0.63`:
+//!
+//! ```
+//! use dml_stats::{ContinuousDistribution, Weibull};
+//!
+//! let fit = Weibull::new(0.507936, 19_984.8);
+//! let p = fit.cdf(20_000.0);
+//! assert!((p - 0.63).abs() < 0.01);
+//! assert!(p > 0.60, "warning triggers");
+//! ```
+
+pub mod descriptive;
+pub mod dist;
+pub mod ecdf;
+pub mod fit;
+pub mod histogram;
+pub mod ks;
+pub mod roc;
+pub mod special;
+
+pub use dist::{ContinuousDistribution, Exponential, LogNormal, Weibull};
+pub use ecdf::Ecdf;
+pub use fit::{fit_best, DistributionFamily, FittedModel};
+pub use roc::{roc_score, PredictionCounts};

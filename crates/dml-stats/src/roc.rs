@@ -1,0 +1,130 @@
+//! Prediction-accuracy bookkeeping and the reviser's ROC score.
+//!
+//! The paper's reviser (Algorithm 1) scores every candidate rule on the
+//! training set with
+//! `ROC(r) = sqrt(m1(r)² + m2(r)²)` where `m1 = TP/(TP+FP)` (precision) and
+//! `m2 = TP/(TP+FN)` (recall), keeping the rule iff `ROC(r) > MinROC`.
+
+use serde::{Deserialize, Serialize};
+
+/// True-positive / false-positive / false-negative counts for a rule or a
+/// whole predictor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PredictionCounts {
+    /// Correct predictions.
+    pub tp: u64,
+    /// False alarms.
+    pub fp: u64,
+    /// Missed failures.
+    pub fn_: u64,
+}
+
+impl PredictionCounts {
+    /// Creates counts.
+    pub fn new(tp: u64, fp: u64, fn_: u64) -> Self {
+        PredictionCounts { tp, fp, fn_ }
+    }
+
+    /// `precision = TP / (TP + FP)`; 0 when no predictions were made.
+    pub fn precision(&self) -> f64 {
+        let denom = self.tp + self.fp;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// `recall = TP / (TP + FN)`; 0 when there were no failures.
+    pub fn recall(&self) -> f64 {
+        let denom = self.tp + self.fn_;
+        if denom == 0 {
+            0.0
+        } else {
+            self.tp as f64 / denom as f64
+        }
+    }
+
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// The reviser's score `sqrt(precision² + recall²)` (∈ [0, √2]).
+    pub fn roc(&self) -> f64 {
+        roc_score(self.precision(), self.recall())
+    }
+
+    /// Accumulates another set of counts.
+    pub fn merge(&mut self, other: PredictionCounts) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.fn_ += other.fn_;
+    }
+}
+
+impl core::ops::Add for PredictionCounts {
+    type Output = PredictionCounts;
+    fn add(mut self, rhs: PredictionCounts) -> PredictionCounts {
+        self.merge(rhs);
+        self
+    }
+}
+
+/// `sqrt(m1² + m2²)` — Algorithm 1's rule score.
+pub fn roc_score(precision: f64, recall: f64) -> f64 {
+    (precision * precision + recall * recall).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_recall_basics() {
+        let c = PredictionCounts::new(8, 2, 4);
+        assert!((c.precision() - 0.8).abs() < 1e-12);
+        assert!((c.recall() - 8.0 / 12.0).abs() < 1e-12);
+        let expected = (0.8f64 * 0.8 + (8.0f64 / 12.0) * (8.0 / 12.0)).sqrt();
+        assert!((c.roc() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_counts() {
+        let c = PredictionCounts::default();
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+        assert_eq!(c.roc(), 0.0);
+    }
+
+    #[test]
+    fn perfect_rule_scores_sqrt2() {
+        let c = PredictionCounts::new(10, 0, 0);
+        assert!((c.roc() - std::f64::consts::SQRT_2).abs() < 1e-12);
+        assert_eq!(c.f1(), 1.0);
+    }
+
+    #[test]
+    fn merge_and_add() {
+        let a = PredictionCounts::new(1, 2, 3);
+        let b = PredictionCounts::new(10, 20, 30);
+        let c = a + b;
+        assert_eq!(c, PredictionCounts::new(11, 22, 33));
+    }
+
+    #[test]
+    fn min_roc_0_7_semantics() {
+        // A rule with precision 0.5 and recall 0.5 has ROC ≈ 0.707 > 0.7 —
+        // right at the paper's default threshold boundary.
+        assert!(roc_score(0.5, 0.5) > 0.7);
+        assert!(roc_score(0.5, 0.49) < std::f64::consts::FRAC_1_SQRT_2);
+        assert!(roc_score(0.7, 0.0) < 0.7 + 1e-9);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests for the statistics substrate.
+
+use dml_stats::{
+    descriptive, fit_best, roc_score, ContinuousDistribution, Ecdf, Exponential, LogNormal,
+    PredictionCounts, Weibull,
+};
+use proptest::prelude::*;
+
+fn arb_positive_sample() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1e6, 8..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ecdf_is_monotone_and_bounded(data in arb_positive_sample(), xs in prop::collection::vec(-1e6f64..2e6, 2..20)) {
+        let ecdf = Ecdf::new(&data);
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev = 0.0;
+        for &x in &xs {
+            let f = ecdf.eval(x);
+            prop_assert!((0.0..=1.0).contains(&f));
+            prop_assert!(f + 1e-12 >= prev);
+            prev = f;
+        }
+        prop_assert_eq!(ecdf.eval(2e6), 1.0);
+    }
+
+    #[test]
+    fn cdfs_are_monotone_and_bounded(
+        shape in 0.2f64..5.0,
+        scale in 1.0f64..1e6,
+        xs in prop::collection::vec(0.0f64..2e6, 2..20),
+    ) {
+        let dists: Vec<Box<dyn ContinuousDistribution>> = vec![
+            Box::new(Weibull::new(shape, scale)),
+            Box::new(Exponential::new(1.0 / scale)),
+            Box::new(LogNormal::new(scale.ln(), shape.max(0.3))),
+        ];
+        let mut xs = xs;
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for d in &dists {
+            let mut prev = -1e-9;
+            for &x in &xs {
+                let f = d.cdf(x);
+                prop_assert!((0.0..=1.0).contains(&f), "cdf({x}) = {f}");
+                prop_assert!(f + 1e-9 >= prev);
+                prev = f;
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf_for_weibull(shape in 0.3f64..4.0, scale in 10.0f64..1e6, q in 0.01f64..0.99) {
+        let w = Weibull::new(shape, scale);
+        let x = w.quantile(q);
+        prop_assert!((w.cdf(x) - q).abs() < 1e-6, "cdf({x}) = {} vs q {q}", w.cdf(x));
+    }
+
+    #[test]
+    fn exponential_mle_matches_mean(data in arb_positive_sample()) {
+        let fit = Exponential::fit_mle(&data).unwrap();
+        let mean = descriptive::mean(&data);
+        prop_assert!((fit.mean() - mean).abs() / mean < 1e-9);
+    }
+
+    #[test]
+    fn best_fit_beats_or_ties_each_family(data in arb_positive_sample()) {
+        if let Some(best) = fit_best(&data) {
+            let ll = best.ln_likelihood;
+            if let Ok(w) = Weibull::fit_mle(&data) {
+                prop_assert!(ll + 1e-6 >= w.ln_likelihood(&data));
+            }
+            if let Ok(e) = Exponential::fit_mle(&data) {
+                prop_assert!(ll + 1e-6 >= e.ln_likelihood(&data));
+            }
+            if let Ok(l) = LogNormal::fit_mle(&data) {
+                prop_assert!(ll + 1e-6 >= l.ln_likelihood(&data));
+            }
+            prop_assert!((0.0..=1.0).contains(&best.ks));
+        }
+    }
+
+    #[test]
+    fn conditional_cdf_is_probability(
+        shape in 0.3f64..4.0,
+        scale in 10.0f64..1e5,
+        elapsed in 0.0f64..1e6,
+        dt in 0.0f64..1e6,
+    ) {
+        let w = Weibull::new(shape, scale);
+        let p = w.conditional_cdf(elapsed, dt);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn roc_score_bounds_and_monotonicity(p1 in 0.0f64..1.0, r1 in 0.0f64..1.0, dp in 0.0f64..0.5) {
+        let base = roc_score(p1, r1);
+        prop_assert!((0.0..=std::f64::consts::SQRT_2 + 1e-12).contains(&base));
+        prop_assert!(roc_score((p1 + dp).min(1.0), r1) + 1e-12 >= base);
+        prop_assert!(roc_score(p1, (r1 + dp).min(1.0)) + 1e-12 >= base);
+    }
+
+    #[test]
+    fn prediction_counts_metrics_bounded(tp in 0u64..1000, fp in 0u64..1000, fn_ in 0u64..1000) {
+        let c = PredictionCounts::new(tp, fp, fn_);
+        prop_assert!((0.0..=1.0).contains(&c.precision()));
+        prop_assert!((0.0..=1.0).contains(&c.recall()));
+        prop_assert!((0.0..=1.0).contains(&c.f1()));
+        prop_assert!(c.roc() <= std::f64::consts::SQRT_2 + 1e-12);
+    }
+
+    #[test]
+    fn quantile_brackets_sample(data in arb_positive_sample(), q in 0.0f64..=1.0) {
+        let v = descriptive::quantile(&data, q);
+        let min = data.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = data.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+}
+
+#[test]
+fn weibull_mle_recovers_parameters_prop_style() {
+    // A deterministic heavier check kept out of the proptest loop.
+    use rand::prelude::*;
+    use rand::rngs::StdRng;
+    for (seed, shape, scale) in [(1u64, 0.6, 5_000.0), (2, 1.5, 40_000.0), (3, 2.5, 100.0)] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data: Vec<f64> = (0..10_000)
+            .map(|_| {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                scale * (-(u.ln())).powf(1.0 / shape)
+            })
+            .collect();
+        let fit = Weibull::fit_mle(&data).unwrap();
+        assert!(
+            (fit.shape - shape).abs() / shape < 0.06,
+            "shape {} vs {shape}",
+            fit.shape
+        );
+        assert!(
+            (fit.scale - scale).abs() / scale < 0.06,
+            "scale {} vs {scale}",
+            fit.scale
+        );
+    }
+}

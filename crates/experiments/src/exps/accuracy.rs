@@ -1,0 +1,353 @@
+//! Figures 7–13 (prediction accuracy experiments, Q1–Q3).
+
+use crate::Opts;
+use dml_core::venn::venn_counts;
+use dml_core::{DriverReport, RuleKind, TrainingPolicy};
+use experiments::data::Dataset;
+use experiments::output::{append_json_line, f2, render_table};
+use experiments::runs;
+use raslog::store::window;
+use raslog::{Duration, Timestamp, WEEK_MS};
+
+/// Emits machine-readable results for a set of labelled reports when
+/// `--json` was given.
+fn emit_json(opts: &Opts, experiment: &str, reports: &[(&str, &DriverReport)]) {
+    let Some(path) = &opts.json else { return };
+    for (name, r) in reports {
+        append_json_line(
+            path,
+            &format!("{experiment}/{name}"),
+            serde_json::json!({
+                "mean_precision": r.mean_precision(),
+                "mean_recall": r.mean_recall(),
+                "overall_precision": r.overall.precision(),
+                "overall_recall": r.overall.recall(),
+                "weekly": r.weekly,
+                "churn": r.churn,
+            }),
+        );
+    }
+}
+
+/// Prints one accuracy series every `step` weeks.
+fn print_series(label: &str, reports: &[(&str, &DriverReport)], step: i64) {
+    println!("\n{label}");
+    let weeks: Vec<i64> = reports[0].1.weekly.iter().map(|w| w.week).collect();
+    let mut rows = Vec::new();
+    for &w in weeks.iter().step_by(step as usize) {
+        let mut row = vec![w.to_string()];
+        for (_, r) in reports {
+            let wa = r.weekly.iter().find(|x| x.week == w).expect("week");
+            row.push(format!(
+                "{}/{}",
+                f2(wa.accuracy.precision()),
+                f2(wa.accuracy.recall())
+            ));
+        }
+        rows.push(row);
+    }
+    let mut row = vec!["MEAN".to_string()];
+    for (_, r) in reports {
+        row.push(format!(
+            "{}/{}",
+            f2(r.mean_precision()),
+            f2(r.mean_recall())
+        ));
+    }
+    rows.push(row);
+    let header: Vec<String> = std::iter::once("week (P/R)".to_string())
+        .chain(reports.iter().map(|(n, _)| n.to_string()))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    println!("{}", render_table(&header_refs, &rows));
+}
+
+/// Fig. 7 (Q1): base learners vs static meta-learner.
+pub fn fig7(opts: &Opts) {
+    println!("\n== Figure 7 (Q1): Meta-learning versus base predictive methods ==");
+    for ds in opts.accuracy_datasets() {
+        let assoc = runs::run_static_single(&ds, RuleKind::Association);
+        let stat = runs::run_static_single(&ds, RuleKind::Statistical);
+        let dist = runs::run_static_single(&ds, RuleKind::Distribution);
+        let meta = runs::run_static_meta(&ds);
+        emit_json(
+            opts,
+            &format!("fig7/{}", ds.name),
+            &[
+                ("assoc", &assoc),
+                ("stat", &stat),
+                ("dist", &dist),
+                ("meta", &meta),
+            ],
+        );
+        print_series(
+            &format!("-- {} (static training, first 26 weeks) --", ds.name),
+            &[
+                ("assoc", &assoc),
+                ("stat", &stat),
+                ("dist", &dist),
+                ("meta", &meta),
+            ],
+            8,
+        );
+        println!(
+            "meta recall {} vs best base {} — meta ≥ every base: {}",
+            f2(meta.overall.recall()),
+            f2(assoc
+                .overall
+                .recall()
+                .max(stat.overall.recall())
+                .max(dist.overall.recall())),
+            meta.overall.recall() + 1e-9
+                >= assoc
+                    .overall
+                    .recall()
+                    .max(stat.overall.recall())
+                    .max(dist.overall.recall())
+        );
+    }
+}
+
+/// Fig. 8 (Q1): Venn diagram of base-learner coverage (SDSC weeks 44–48).
+pub fn fig8(opts: &Opts) {
+    println!("\n== Figure 8 (Q1): Base-learner coverage overlap ==");
+    println!("(paper, SDSC weeks 44–48: 156 fatals; AR 23.7 %, SR 37.2 %, PD 56.4 %;");
+    println!(" 67 captured by multiple learners)\n");
+    for ds in opts.accuracy_datasets() {
+        let (lo, hi) = (44i64.min(ds.weeks - 5), 48i64.min(ds.weeks - 1));
+        let kinds = [
+            ("AR", RuleKind::Association),
+            ("SR", RuleKind::Statistical),
+            ("PD", RuleKind::Distribution),
+        ];
+        let mut per_learner = Vec::new();
+        for (name, kind) in kinds {
+            let report = runs::run_static_single(&ds, kind);
+            let warnings: Vec<_> = report
+                .warnings
+                .iter()
+                .filter(|w| w.issued_at.week_index() >= lo && w.issued_at.week_index() <= hi)
+                .copied()
+                .collect();
+            per_learner.push((name.to_string(), warnings));
+        }
+        let events = window(
+            &ds.clean,
+            Timestamp(lo * WEEK_MS),
+            Timestamp((hi + 1) * WEEK_MS),
+        );
+        let venn = venn_counts(events, &per_learner);
+        println!(
+            "-- {} (weeks {lo}–{hi}) -- {} fatals",
+            ds.name, venn.total_fatals
+        );
+        let names = [
+            "none",
+            "AR",
+            "SR",
+            "AR∩SR",
+            "PD",
+            "AR∩PD",
+            "SR∩PD",
+            "AR∩SR∩PD",
+        ];
+        let rows: Vec<Vec<String>> = names
+            .iter()
+            .enumerate()
+            .map(|(mask, name)| vec![name.to_string(), venn.region_counts[mask].to_string()])
+            .collect();
+        println!("{}", render_table(&["region", "fatals"], &rows));
+        for (i, (name, _)) in per_learner.iter().enumerate() {
+            println!(
+                "{name} coverage: {:.1} %",
+                100.0 * venn.covered_by(i) as f64 / venn.total_fatals.max(1) as f64
+            );
+        }
+        println!(
+            "covered by multiple learners: {} — no single learner captures all ({} uncovered)\n",
+            venn.multi_covered(),
+            venn.uncovered()
+        );
+    }
+}
+
+/// Fig. 9 (Q2): training-window policies.
+pub fn fig9(opts: &Opts) {
+    println!("\n== Figure 9 (Q2): What is the appropriate size for the training set? ==");
+    for ds in opts.accuracy_datasets() {
+        let whole = runs::run_policy(&ds, TrainingPolicy::Growing);
+        let six = runs::run_policy(&ds, TrainingPolicy::SlidingWeeks(26));
+        let three = runs::run_policy(&ds, TrainingPolicy::SlidingWeeks(13));
+        let stat = runs::run_policy(&ds, TrainingPolicy::Static);
+        emit_json(
+            opts,
+            &format!("fig9/{}", ds.name),
+            &[
+                ("dynamic-whole", &whole),
+                ("dynamic-6mo", &six),
+                ("dynamic-3mo", &three),
+                ("static", &stat),
+            ],
+        );
+        print_series(
+            &format!("-- {} --", ds.name),
+            &[
+                ("dynamic-whole", &whole),
+                ("dynamic-6mo", &six),
+                ("dynamic-3mo", &three),
+                ("static", &stat),
+            ],
+            8,
+        );
+        println!(
+            "whole vs 6mo gap: precision {:+.3}, recall {:+.3} (paper: < 0.08)",
+            whole.mean_precision() - six.mean_precision(),
+            whole.mean_recall() - six.mean_recall()
+        );
+    }
+}
+
+/// Fig. 10 (Q2): retraining frequency and the SDSC reconfiguration.
+pub fn fig10(opts: &Opts) {
+    println!("\n== Figure 10 (Q2): How often to trigger relearning? ==");
+    for ds in opts.accuracy_datasets() {
+        let wr2 = runs::run_with_retrain_weeks(&ds, 2);
+        let wr4 = runs::run_with_retrain_weeks(&ds, 4);
+        let wr8 = runs::run_with_retrain_weeks(&ds, 8);
+        emit_json(
+            opts,
+            &format!("fig10/{}", ds.name),
+            &[("WR=2", &wr2), ("WR=4", &wr4), ("WR=8", &wr8)],
+        );
+        print_series(
+            &format!("-- {} --", ds.name),
+            &[("WR=2", &wr2), ("WR=4", &wr4), ("WR=8", &wr8)],
+            8,
+        );
+        if ds.name == "SDSC" && ds.weeks > 70 {
+            // The reconfiguration dip around week 62.
+            let dip = |r: &DriverReport, lo: i64, hi: i64| {
+                let xs: Vec<f64> = r
+                    .weekly
+                    .iter()
+                    .filter(|w| w.week >= lo && w.week < hi)
+                    .map(|w| w.accuracy.recall())
+                    .collect();
+                xs.iter().sum::<f64>() / xs.len().max(1) as f64
+            };
+            for (name, r) in [("WR=2", &wr2), ("WR=4", &wr4), ("WR=8", &wr8)] {
+                println!(
+                    "{name}: recall before wk 54–62 {}, during wk 62–66 {}, after wk 68–80 {}",
+                    f2(dip(r, 54, 62)),
+                    f2(dip(r, 62, 66)),
+                    f2(dip(r, 68, 80))
+                );
+            }
+        }
+    }
+}
+
+/// Fig. 11 (Q2): is dynamic revising necessary?
+pub fn fig11(opts: &Opts) {
+    println!("\n== Figure 11 (Q2): Is it necessary to conduct dynamic revising? ==");
+    for ds in opts.accuracy_datasets() {
+        let with = runs::run_with_reviser(&ds, true);
+        let without = runs::run_with_reviser(&ds, false);
+        emit_json(
+            opts,
+            &format!("fig11/{}", ds.name),
+            &[("with-reviser", &with), ("without-reviser", &without)],
+        );
+        print_series(
+            &format!("-- {} --", ds.name),
+            &[("with reviser", &with), ("without reviser", &without)],
+            8,
+        );
+        println!(
+            "reviser gain: precision {:+.3}, recall {:+.3} (paper: up to +0.06)",
+            with.mean_precision() - without.mean_precision(),
+            with.mean_recall() - without.mean_recall()
+        );
+    }
+}
+
+/// Fig. 12 (Q2): rule churn at every retraining.
+pub fn fig12(opts: &Opts) {
+    println!("\n== Figure 12 (Q2): Number of Rules Changed ==");
+    for ds in opts.accuracy_datasets() {
+        let report = runs::run_policy(&ds, TrainingPolicy::SlidingWeeks(26));
+        println!("\n-- {} --", ds.name);
+        let rows: Vec<Vec<String>> = report
+            .churn
+            .iter()
+            .map(|c| {
+                vec![
+                    c.week.to_string(),
+                    c.unchanged.to_string(),
+                    c.added.to_string(),
+                    c.removed_by_learner.to_string(),
+                    c.removed_by_reviser.to_string(),
+                    c.total.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "week",
+                    "unchanged",
+                    "added",
+                    "removed(learner)",
+                    "removed(reviser)",
+                    "total"
+                ],
+                &rows
+            )
+        );
+        let changed: usize = report
+            .churn
+            .iter()
+            .skip(1)
+            .map(|c| c.added + c.removed_by_learner)
+            .sum();
+        let unchanged: usize = report.churn.iter().skip(1).map(|c| c.unchanged).sum();
+        println!(
+            "aggregate change rate (changed/unchanged): {:.0} % (paper: 44–212 %)",
+            100.0 * changed as f64 / unchanged.max(1) as f64
+        );
+    }
+}
+
+/// Fig. 13 (Q3): sensitivity to the prediction window.
+pub fn fig13(opts: &Opts) {
+    println!("\n== Figure 13 (Q3): Impact of Prediction Window ==");
+    for ds in opts.accuracy_datasets() {
+        println!("\n-- {} --", ds.name);
+        let mut rows = Vec::new();
+        for mins in [5i64, 15, 30, 45, 60, 90, 120] {
+            let report = runs::run_with_window(&ds, Duration::from_mins(mins));
+            emit_json(
+                opts,
+                &format!("fig13/{}/{mins}min", ds.name),
+                &[("run", &report)],
+            );
+            rows.push(vec![
+                format!("{mins} min"),
+                f2(report.overall.precision()),
+                f2(report.overall.recall()),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&["window", "precision", "recall"], &rows)
+        );
+        println!("(paper: larger window ⇒ higher recall, lower precision; recall up to 0.82)");
+    }
+}
+
+/// Helper used by fig8 to keep datasets immutable.
+#[allow(dead_code)]
+fn restrict(ds: &Dataset, lo: i64, hi: i64) -> Vec<raslog::CleanEvent> {
+    window(&ds.clean, Timestamp(lo * WEEK_MS), Timestamp(hi * WEEK_MS)).to_vec()
+}

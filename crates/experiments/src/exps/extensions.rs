@@ -1,0 +1,163 @@
+//! Extension experiments beyond the paper: the adaptive prediction window
+//! and the location-recurrence learner (both flagged as future work /
+//! open extension points in Section 7).
+
+use crate::Opts;
+use dml_core::learners::{extended_learners, standard_learners};
+use dml_core::{
+    evaluation, run_adaptive_driver, AdaptiveWindowConfig, MetaLearner, Predictor, RuleKind,
+};
+use experiments::output::{f2, render_table};
+use experiments::runs::default_driver_config;
+use raslog::store::window;
+use raslog::{Timestamp, WEEK_MS};
+
+/// Extension 1: adaptive prediction-window controller vs the fixed
+/// windows of Fig. 13.
+pub fn ext_adaptive(opts: &Opts) {
+    println!("\n== Extension: adaptive prediction window (paper future work #1) ==");
+    for ds in opts.accuracy_datasets() {
+        let base = default_driver_config();
+        let out = run_adaptive_driver(&ds.clean, ds.weeks, &base, &AdaptiveWindowConfig::default());
+        println!(
+            "\n-- {} -- adaptive: precision {} recall {} over {} cycles",
+            ds.name,
+            f2(out.report.overall.precision()),
+            f2(out.report.overall.recall()),
+            out.trajectory.len()
+        );
+        let rows: Vec<Vec<String>> = out
+            .trajectory
+            .iter()
+            .step_by(2)
+            .map(|s| {
+                vec![
+                    s.week.to_string(),
+                    format!("{:.1} min", s.window.millis() as f64 / 60_000.0),
+                    format!("{}/{}", f2(s.accuracy.precision()), f2(s.accuracy.recall())),
+                ]
+            })
+            .collect();
+        println!("{}", render_table(&["week", "window", "cycle P/R"], &rows));
+    }
+}
+
+/// Robustness: the headline comparisons re-run across seeds, reported as
+/// mean ± standard deviation, to show the conclusions are not seed luck.
+pub fn robustness(opts: &Opts) {
+    println!("\n== Robustness: headline results across seeds ==");
+    let seeds: Vec<u64> = (0..5).map(|i| opts.seed + i * 1000).collect();
+    let weeks = opts.weeks.unwrap_or(60);
+    for preset_name in ["ANL", "SDSC"] {
+        let mut meta_recall = Vec::new();
+        let mut meta_precision = Vec::new();
+        let mut best_base_recall = Vec::new();
+        let mut dynamic_recall = Vec::new();
+        let mut static_recall = Vec::new();
+        for &seed in &seeds {
+            let preset = if preset_name == "ANL" {
+                bgl_sim::SystemPreset::anl()
+            } else {
+                bgl_sim::SystemPreset::sdsc()
+            };
+            let ds = experiments::data::build_dataset(
+                preset.with_weeks(weeks).with_volume_scale(0.1),
+                seed,
+            );
+            let meta = experiments::runs::run_static_meta(&ds);
+            meta_recall.push(meta.overall.recall());
+            meta_precision.push(meta.overall.precision());
+            let mut best = 0.0f64;
+            for kind in [
+                RuleKind::Association,
+                RuleKind::Statistical,
+                RuleKind::Distribution,
+            ] {
+                best = best.max(
+                    experiments::runs::run_static_single(&ds, kind)
+                        .overall
+                        .recall(),
+                );
+            }
+            best_base_recall.push(best);
+            dynamic_recall.push(
+                experiments::runs::run_policy(&ds, dml_core::TrainingPolicy::SlidingWeeks(26))
+                    .overall
+                    .recall(),
+            );
+            static_recall.push(
+                experiments::runs::run_policy(&ds, dml_core::TrainingPolicy::Static)
+                    .overall
+                    .recall(),
+            );
+        }
+        let stats = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+            format!("{m:.2} ± {:.2}", v.sqrt())
+        };
+        println!(
+            "\n-- {preset_name} ({} seeds × {weeks} weeks) --",
+            seeds.len()
+        );
+        println!("meta precision        : {}", stats(&meta_precision));
+        println!("meta recall           : {}", stats(&meta_recall));
+        println!("best base recall      : {}", stats(&best_base_recall));
+        println!("dynamic-6mo recall    : {}", stats(&dynamic_recall));
+        println!("static recall         : {}", stats(&static_recall));
+        let meta_wins = meta_recall
+            .iter()
+            .zip(&best_base_recall)
+            .filter(|(m, b)| m >= b)
+            .count();
+        let dynamic_wins = dynamic_recall
+            .iter()
+            .zip(&static_recall)
+            .filter(|(d, s)| **d + 0.02 >= **s)
+            .count();
+        println!(
+            "meta ≥ best base on {meta_wins}/{} seeds; dynamic ≥ static (±0.02) on {dynamic_wins}/{}",
+            seeds.len(),
+            seeds.len()
+        );
+    }
+}
+
+/// Extension 2: the four-learner ensemble (adds location recurrence).
+pub fn ext_location(opts: &Opts) {
+    println!("\n== Extension: location-recurrence learner (4-learner ensemble) ==");
+    for ds in opts.accuracy_datasets() {
+        let config = dml_core::FrameworkConfig::default();
+        let train = window(&ds.clean, Timestamp::ZERO, Timestamp(26 * WEEK_MS));
+        let test = window(
+            &ds.clean,
+            Timestamp(26 * WEEK_MS),
+            Timestamp(ds.weeks * WEEK_MS),
+        );
+        let mut rows = Vec::new();
+        for (name, learners) in [
+            ("paper's 3 learners", standard_learners()),
+            ("with location learner", extended_learners()),
+        ] {
+            let meta = MetaLearner::with_learners(config, learners);
+            let outcome = meta.train(train);
+            let warnings = Predictor::new(&outcome.repo, config.window).observe_all(test);
+            let acc = evaluation::score(&warnings, test);
+            rows.push(vec![
+                name.to_string(),
+                outcome.repo.len().to_string(),
+                outcome.repo.count_by_kind(RuleKind::Location).to_string(),
+                f2(acc.precision()),
+                f2(acc.recall()),
+            ]);
+        }
+        println!("\n-- {} --", ds.name);
+        println!(
+            "{}",
+            render_table(
+                &["ensemble", "rules", "location rules", "precision", "recall"],
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment implementations, grouped by output kind.
+
+pub mod accuracy;
+pub mod extensions;
+pub mod figures;
+pub mod tables;

@@ -1,0 +1,213 @@
+//! Tables 2–5.
+
+use crate::Opts;
+use bgl_sim::Generator;
+use dml_core::{FrameworkConfig, MetaLearner, Predictor};
+use experiments::data::build_dataset;
+use experiments::output::render_table;
+use preprocess::{Categorizer, FilterConfig};
+use raslog::store::window;
+use raslog::{Duration, Facility, Timestamp, WEEK_MS};
+use std::time::Instant;
+
+/// Table 2: log description (weeks, record counts, sizes).
+pub fn table2(opts: &Opts) {
+    println!("\n== Table 2: Log Description ==");
+    println!("(paper: ANL 112 wk / 5,887,771 events / 2.27 GB;");
+    println!("        SDSC 132 wk / 517,247 events / 463 MB)\n");
+    let mut rows = Vec::new();
+    for ds in opts.volume_datasets() {
+        rows.push(vec![
+            ds.name.clone(),
+            ds.weeks.to_string(),
+            ds.raw_events.to_string(),
+            format!("{:.2} MB", ds.raw_bytes as f64 / 1e6),
+            ds.clean.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Log", "Weeks", "Raw events", "Raw size", "Unique events"],
+            &rows
+        )
+    );
+}
+
+/// Table 3: event categories per facility.
+pub fn table3(opts: &Opts) {
+    println!("\n== Table 3: Event Categories in Blue Gene/L ==");
+    let paper: [(Facility, usize, usize); 10] = [
+        (Facility::App, 10, 7),
+        (Facility::BglMaster, 2, 2),
+        (Facility::Cmcs, 0, 4),
+        (Facility::Discovery, 0, 24),
+        (Facility::Hardware, 1, 12),
+        (Facility::Kernel, 46, 90),
+        (Facility::LinkCard, 1, 0),
+        (Facility::Mmcs, 0, 5),
+        (Facility::Monitor, 9, 5),
+        (Facility::ServNet, 0, 1),
+    ];
+    let catalog = bgl_sim::standard_catalog();
+    let mut rows = Vec::new();
+    let mut fatal_total = 0;
+    let mut nonfatal_total = 0;
+    for (fac, p_fatal, p_nonfatal) in paper {
+        let (fatal, nonfatal) = catalog.facility_counts(fac);
+        fatal_total += fatal;
+        nonfatal_total += nonfatal;
+        rows.push(vec![
+            fac.to_string(),
+            fatal.to_string(),
+            nonfatal.to_string(),
+            p_fatal.to_string(),
+            p_nonfatal.to_string(),
+        ]);
+    }
+    rows.push(vec![
+        "TOTAL".into(),
+        fatal_total.to_string(),
+        nonfatal_total.to_string(),
+        "69".into(),
+        "150".into(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Facility",
+                "Fatal",
+                "Non-fatal",
+                "Paper fatal",
+                "Paper non-fatal"
+            ],
+            &rows
+        )
+    );
+    let _ = opts; // catalog is preset-independent
+}
+
+/// Table 4: surviving events per facility for each filtering threshold.
+pub fn table4(opts: &Opts) {
+    println!("\n== Table 4: Number of Events with Different Filtering Thresholds ==");
+    let thresholds: Vec<i64> = vec![0, 10, 60, 120, 200, 300, 400];
+    for preset in opts.presets(1.0) {
+        let name = preset.name.clone();
+        let generator = Generator::new(preset, opts.seed);
+        let categorizer = Categorizer::new(generator.catalog().clone());
+        // counts[facility][threshold]
+        let mut counts = vec![vec![0usize; thresholds.len()]; 10];
+        for w in 0..generator.preset().weeks {
+            let (raw, _) = generator.week_events(w);
+            let (typed, _) = categorizer.categorize_log(&raw);
+            for (ti, &t) in thresholds.iter().enumerate() {
+                let config = FilterConfig::with_threshold(Duration::from_secs(t));
+                let (kept, _) = preprocess::filter_events(&typed, &config);
+                for e in &kept {
+                    let fac = generator.catalog().def(e.type_id).facility;
+                    counts[fac.index()][ti] += 1;
+                }
+            }
+        }
+        println!("\n-- {name} --");
+        let mut rows = Vec::new();
+        for fac in Facility::ALL {
+            let mut row = vec![fac.to_string()];
+            row.extend(counts[fac.index()].iter().map(|c| c.to_string()));
+            rows.push(row);
+        }
+        let totals: Vec<usize> = (0..thresholds.len())
+            .map(|ti| counts.iter().map(|c| c[ti]).sum())
+            .collect();
+        let mut row = vec!["TOTAL".to_string()];
+        row.extend(totals.iter().map(|c| c.to_string()));
+        rows.push(row);
+        let header: Vec<String> = std::iter::once("Facility".to_string())
+            .chain(thresholds.iter().map(|t| format!("{t}s")))
+            .collect();
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        println!("{}", render_table(&header_refs, &rows));
+        let compression = 1.0 - totals[5] as f64 / totals[0] as f64;
+        println!(
+            "compression at 300 s: {:.1} % (paper: ≥ 98 % on raw logs)",
+            compression * 100.0
+        );
+    }
+}
+
+/// Table 5: rule-generation and rule-matching overhead as a function of
+/// training-set size.
+pub fn table5(opts: &Opts) {
+    println!("\n== Table 5: Operation Overhead as a Function of Training Size ==");
+    println!("(paper, on a 2005-era 1.6 GHz PC, in minutes: assoc rule grows 1→6 min");
+    println!(" from 3 to 30 months; matching < 1 min. Shapes, not absolute times,");
+    println!(" are expected to reproduce.)\n");
+    // Use the longer (SDSC-like) log so a 30-month window exists.
+    let preset = opts
+        .presets(0.15)
+        .into_iter()
+        .find(|p| p.name == "SDSC")
+        .expect("SDSC preset");
+    let ds = build_dataset(preset, opts.seed);
+    let months = [3i64, 6, 12, 18, 24, 30];
+    let mut rows = Vec::new();
+    for &m in &months {
+        let weeks = (m as f64 * 52.0 / 12.0).round() as i64;
+        if weeks > ds.weeks {
+            continue;
+        }
+        let slice = window(&ds.clean, Timestamp::ZERO, Timestamp(weeks * WEEK_MS));
+        let meta = MetaLearner::new(FrameworkConfig::default());
+        let outcome = meta.train(slice);
+        let mut stat_ms = 0.0;
+        let mut assoc_ms = 0.0;
+        let mut dist_ms = 0.0;
+        for (name, d) in &outcome.timings.learners {
+            let ms = d.as_secs_f64() * 1e3;
+            match *name {
+                "statistical rule" => stat_ms += ms,
+                "association rule" => assoc_ms += ms,
+                "probability distribution" => dist_ms += ms,
+                _ => {}
+            }
+        }
+        let revise_ms = outcome.timings.ensemble_and_revise.as_secs_f64() * 1e3;
+
+        // Rule matching over one week of unseen events.
+        let test = window(
+            &ds.clean,
+            Timestamp(weeks * WEEK_MS),
+            Timestamp((weeks + 1).min(ds.weeks) * WEEK_MS),
+        );
+        let start = Instant::now();
+        let mut predictor = Predictor::new(&outcome.repo, FrameworkConfig::default().window);
+        let _ = predictor.observe_all(test);
+        let match_ms = start.elapsed().as_secs_f64() * 1e3;
+
+        rows.push(vec![
+            format!("{m} mo"),
+            format!("{stat_ms:.1}"),
+            format!("{assoc_ms:.1}"),
+            format!("{dist_ms:.1}"),
+            format!("{revise_ms:.1}"),
+            format!("{match_ms:.2}"),
+            outcome.repo.len().to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "Training",
+                "Stat (ms)",
+                "Assoc (ms)",
+                "ProbDist (ms)",
+                "Ensemble+Revise (ms)",
+                "Matching/wk (ms)",
+                "Rules",
+            ],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,10 @@
+//! # experiments — the paper-reproduction harness
+//!
+//! One module per concern; the `repro` binary exposes one subcommand per
+//! table and figure of the paper (see DESIGN.md's experiment index).
+
+pub mod data;
+pub mod output;
+pub mod runs;
+
+pub use data::{build_dataset, Dataset};

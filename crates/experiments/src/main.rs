@@ -1,0 +1,193 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE]
+//!
+//! experiments: table2 table3 table4 table5
+//!              fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
+//!              ext-adaptive ext-location robustness smoke all
+//! ```
+
+use bgl_sim::SystemPreset;
+use experiments::data::{build_dataset, Dataset};
+use experiments::output::{f2, render_table};
+use experiments::runs;
+
+mod exps;
+
+/// Parsed command-line options.
+pub struct Opts {
+    /// RNG seed for the generators.
+    pub seed: u64,
+    /// Volume scale (duplication intensity); accuracy figures default to a
+    /// reduced scale because volume does not affect them.
+    pub scale: Option<f64>,
+    /// Truncate logs to this many weeks.
+    pub weeks: Option<i64>,
+    /// Append machine-readable results (JSON lines) to this file.
+    pub json: Option<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Opts {
+        let mut opts = Opts {
+            seed: 42,
+            scale: None,
+            weeks: None,
+            json: None,
+        };
+        let mut i = 0;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--seed" => {
+                    opts.seed = args[i + 1].parse().expect("--seed N");
+                    i += 2;
+                }
+                "--scale" => {
+                    opts.scale = Some(args[i + 1].parse().expect("--scale X"));
+                    i += 2;
+                }
+                "--weeks" => {
+                    opts.weeks = Some(args[i + 1].parse().expect("--weeks N"));
+                    i += 2;
+                }
+                "--json" => {
+                    opts.json = Some(args[i + 1].clone());
+                    i += 2;
+                }
+                other => panic!("unknown option {other}"),
+            }
+        }
+        opts
+    }
+
+    /// Builds both presets with this run's scale/week overrides.
+    pub fn presets(&self, default_scale: f64) -> Vec<SystemPreset> {
+        let scale = self.scale.unwrap_or(default_scale);
+        [SystemPreset::anl(), SystemPreset::sdsc()]
+            .into_iter()
+            .map(|p| {
+                let p = p.with_volume_scale(scale);
+                match self.weeks {
+                    Some(w) => p.with_weeks(w),
+                    None => p,
+                }
+            })
+            .collect()
+    }
+
+    /// Datasets for accuracy experiments (volume scaled down — see
+    /// `SystemPreset::with_volume_scale`: accuracy is volume-insensitive).
+    pub fn accuracy_datasets(&self) -> Vec<Dataset> {
+        self.presets(0.15)
+            .into_iter()
+            .map(|p| build_dataset(p, self.seed))
+            .collect()
+    }
+
+    /// Datasets for volume experiments (full duplication).
+    pub fn volume_datasets(&self) -> Vec<Dataset> {
+        self.presets(1.0)
+            .into_iter()
+            .map(|p| build_dataset(p, self.seed))
+            .collect()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.clone(), r.to_vec()),
+        None => {
+            eprintln!("usage: repro <experiment> [--seed N] [--scale X] [--weeks N]");
+            std::process::exit(2);
+        }
+    };
+    let opts = Opts::parse(&rest);
+    match cmd.as_str() {
+        "table2" => exps::tables::table2(&opts),
+        "table3" => exps::tables::table3(&opts),
+        "table4" => exps::tables::table4(&opts),
+        "table5" => exps::tables::table5(&opts),
+        "fig4" => exps::figures::fig4(&opts),
+        "fig5" => exps::figures::fig5(&opts),
+        "fig7" => exps::accuracy::fig7(&opts),
+        "fig8" => exps::accuracy::fig8(&opts),
+        "fig9" => exps::accuracy::fig9(&opts),
+        "fig10" => exps::accuracy::fig10(&opts),
+        "fig11" => exps::accuracy::fig11(&opts),
+        "fig12" => exps::accuracy::fig12(&opts),
+        "fig13" => exps::accuracy::fig13(&opts),
+        "ext-adaptive" => exps::extensions::ext_adaptive(&opts),
+        "robustness" => exps::extensions::robustness(&opts),
+        "ext-location" => exps::extensions::ext_location(&opts),
+        "smoke" => smoke(&opts),
+        "all" => {
+            exps::tables::table2(&opts);
+            exps::tables::table3(&opts);
+            exps::tables::table4(&opts);
+            exps::figures::fig4(&opts);
+            exps::figures::fig5(&opts);
+            exps::accuracy::fig7(&opts);
+            exps::accuracy::fig8(&opts);
+            exps::accuracy::fig9(&opts);
+            exps::accuracy::fig10(&opts);
+            exps::accuracy::fig11(&opts);
+            exps::accuracy::fig12(&opts);
+            exps::accuracy::fig13(&opts);
+            exps::tables::table5(&opts);
+            exps::extensions::ext_adaptive(&opts);
+            exps::extensions::ext_location(&opts);
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Quick end-to-end sanity run on truncated logs.
+fn smoke(opts: &Opts) {
+    for preset in opts.presets(0.15) {
+        let preset = preset.with_weeks(opts.weeks.unwrap_or(40));
+        let ds = build_dataset(preset, opts.seed);
+        println!(
+            "{}: {} weeks, raw {} events → clean {} ({} fatal), cued {}/{}",
+            ds.name,
+            ds.weeks,
+            ds.raw_events,
+            ds.clean.len(),
+            ds.clean.iter().filter(|e| e.fatal).count(),
+            ds.truth_cued,
+            ds.truth_fatals
+        );
+        let report = runs::run_policy(&ds, dml_core::TrainingPolicy::SlidingWeeks(26));
+        println!(
+            "  dynamic-6mo meta: precision {} recall {} ({} warnings, {} rules churn records)",
+            f2(report.overall.precision()),
+            f2(report.overall.recall()),
+            report.warnings.len(),
+            report.churn.len(),
+        );
+        for kind in [
+            dml_core::RuleKind::Association,
+            dml_core::RuleKind::Statistical,
+            dml_core::RuleKind::Distribution,
+        ] {
+            let r = runs::run_static_single(&ds, kind);
+            println!(
+                "  static {kind}: precision {} recall {} ({} warnings)",
+                f2(r.overall.precision()),
+                f2(r.overall.recall()),
+                r.warnings.len()
+            );
+        }
+        let m = runs::run_static_meta(&ds);
+        println!(
+            "  static meta: precision {} recall {}",
+            f2(m.overall.precision()),
+            f2(m.overall.recall())
+        );
+        let _ = render_table(&["x"], &[]);
+    }
+}

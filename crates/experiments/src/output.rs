@@ -1,0 +1,104 @@
+//! Plain-text table rendering and JSON-lines output for the `repro`
+//! binary.
+
+use std::io::Write;
+
+/// Appends one JSON line `{"experiment": name, ...value}` to `path`.
+/// Errors are reported to stderr but never abort an experiment.
+pub fn append_json_line(path: &str, experiment: &str, value: serde_json::Value) {
+    let record = serde_json::json!({ "experiment": experiment, "result": value });
+    let line = match serde_json::to_string(&record) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("json encode failed for {experiment}: {e}");
+            return;
+        }
+    };
+    let open = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path);
+    match open {
+        Ok(mut f) => {
+            if let Err(e) = writeln!(f, "{line}") {
+                eprintln!("json write failed for {experiment}: {e}");
+            }
+        }
+        Err(e) => eprintln!("cannot open {path}: {e}"),
+    }
+}
+
+/// Renders an aligned text table: header row plus data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let parts: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        parts.join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a ratio as e.g. `0.73`.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a ratio as e.g. `0.731`.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let t = render_table(
+            &["name", "count"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("long-name"));
+        // All rows equal width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_jagged_rows() {
+        render_table(&["a", "b"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f2(0.7312), "0.73");
+        assert_eq!(f3(0.7316), "0.732");
+    }
+}

@@ -1,0 +1,67 @@
+//! Shared driver-run helpers for the figure experiments.
+
+use crate::data::Dataset;
+use dml_core::{run_driver, DriverConfig, DriverReport, FrameworkConfig, RuleKind, TrainingPolicy};
+use raslog::Duration;
+
+/// The paper's default experimental frame: six-month (26-week) initial
+/// training, `W_R = 4`, `W_P = 300 s`.
+pub fn default_driver_config() -> DriverConfig {
+    DriverConfig {
+        framework: FrameworkConfig::default(),
+        policy: TrainingPolicy::SlidingWeeks(26),
+        initial_training_weeks: 26,
+        only_kind: None,
+    }
+}
+
+/// Runs the full meta-learner with the given policy.
+pub fn run_policy(ds: &Dataset, policy: TrainingPolicy) -> DriverReport {
+    let config = DriverConfig {
+        policy,
+        ..default_driver_config()
+    };
+    run_driver(&ds.clean, ds.weeks, &config)
+}
+
+/// Runs a single base learner, statically trained (Fig. 7 baselines).
+pub fn run_static_single(ds: &Dataset, kind: RuleKind) -> DriverReport {
+    let config = DriverConfig {
+        policy: TrainingPolicy::Static,
+        only_kind: Some(kind),
+        ..default_driver_config()
+    };
+    run_driver(&ds.clean, ds.weeks, &config)
+}
+
+/// Runs the static meta-learner (Fig. 7's fourth curve).
+pub fn run_static_meta(ds: &Dataset) -> DriverReport {
+    let config = DriverConfig {
+        policy: TrainingPolicy::Static,
+        ..default_driver_config()
+    };
+    run_driver(&ds.clean, ds.weeks, &config)
+}
+
+/// Runs the dynamic meta-learner with a custom retraining window
+/// (Fig. 10).
+pub fn run_with_retrain_weeks(ds: &Dataset, wr: i64) -> DriverReport {
+    let mut config = default_driver_config();
+    config.framework.retrain_weeks = wr;
+    run_driver(&ds.clean, ds.weeks, &config)
+}
+
+/// Runs the dynamic meta-learner with a custom prediction window
+/// (Fig. 13).
+pub fn run_with_window(ds: &Dataset, window: Duration) -> DriverReport {
+    let mut config = default_driver_config();
+    config.framework.window = window;
+    run_driver(&ds.clean, ds.weeks, &config)
+}
+
+/// Runs with the reviser toggled (Fig. 11).
+pub fn run_with_reviser(ds: &Dataset, use_reviser: bool) -> DriverReport {
+    let mut config = default_driver_config();
+    config.framework.use_reviser = use_reviser;
+    run_driver(&ds.clean, ds.weeks, &config)
+}

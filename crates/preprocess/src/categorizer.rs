@@ -1,0 +1,144 @@
+//! The event categorizer.
+//!
+//! Maps each raw record to its low-level event type via the catalog's
+//! `(Facility, Entry Data)` key — the hierarchical scheme of Section 3.1 —
+//! and applies the *corrected* fatal/non-fatal classing, overriding logged
+//! severities (some logged `FATAL` events are not truly fatal; conversely
+//! the classing is what administrators agreed on, not the raw field).
+
+use raslog::{CleanEvent, EventCatalog, EventTypeId, RasEvent};
+use serde::{Deserialize, Serialize};
+
+/// Counters describing one categorization pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategorizeStats {
+    /// Records successfully mapped to a catalog type.
+    pub categorized: usize,
+    /// Records whose `(facility, entry_data)` pair is not in the catalog.
+    pub unknown: usize,
+    /// Records logged FATAL/FAILURE but classed non-fatal ("fake fatals").
+    pub fake_fatals: usize,
+    /// Records classed fatal.
+    pub fatal: usize,
+}
+
+/// Categorizes raw records against an event catalog.
+#[derive(Debug, Clone)]
+pub struct Categorizer {
+    catalog: EventCatalog,
+}
+
+impl Categorizer {
+    /// Creates a categorizer over `catalog`.
+    pub fn new(catalog: EventCatalog) -> Self {
+        Categorizer { catalog }
+    }
+
+    /// The catalog in use.
+    pub fn catalog(&self) -> &EventCatalog {
+        &self.catalog
+    }
+
+    /// Maps one record to its type id, or `None` for unknown entry data.
+    pub fn categorize(&self, ev: &RasEvent) -> Option<EventTypeId> {
+        self.catalog.lookup(ev.facility, &ev.entry_data)
+    }
+
+    /// Categorizes a whole log, dropping unknown records and attaching the
+    /// corrected fatality classing. Input order is preserved.
+    pub fn categorize_log(&self, events: &[RasEvent]) -> (Vec<CleanEvent>, CategorizeStats) {
+        let mut out = Vec::with_capacity(events.len());
+        let mut stats = CategorizeStats::default();
+        for ev in events {
+            match self.categorize(ev) {
+                None => stats.unknown += 1,
+                Some(type_id) => {
+                    stats.categorized += 1;
+                    let fatal = self.catalog.is_fatal(type_id);
+                    if fatal {
+                        stats.fatal += 1;
+                    }
+                    if ev.is_fatal_as_logged() && !fatal {
+                        stats.fake_fatals += 1;
+                    }
+                    out.push(CleanEvent {
+                        time: ev.time,
+                        type_id,
+                        location: ev.location,
+                        job_id: ev.job_id,
+                        fatal,
+                    });
+                }
+            }
+        }
+        (out, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{Facility, JobId, Location, RecordSource, Severity, Timestamp};
+
+    fn catalog() -> EventCatalog {
+        let mut c = EventCatalog::new();
+        c.add(Facility::Kernel, "torus failure", Severity::Fatal, true);
+        c.add(Facility::Kernel, "parity warning", Severity::Warning, false);
+        c.add(Facility::Monitor, "temp warning", Severity::Fatal, false); // fake fatal
+        c
+    }
+
+    fn ev(facility: Facility, entry: &str, severity: Severity, secs: i64) -> RasEvent {
+        RasEvent {
+            record_id: 0,
+            source: RecordSource::Ras,
+            time: Timestamp::from_secs(secs),
+            job_id: Some(JobId(1)),
+            location: Location::System,
+            entry_data: entry.to_string(),
+            facility,
+            severity,
+        }
+    }
+
+    #[test]
+    fn categorizes_and_corrects_fatality() {
+        let cat = Categorizer::new(catalog());
+        let events = vec![
+            ev(Facility::Kernel, "torus failure", Severity::Fatal, 1),
+            ev(Facility::Kernel, "parity warning", Severity::Warning, 2),
+            ev(Facility::Monitor, "temp warning", Severity::Fatal, 3),
+            ev(Facility::Kernel, "unknown thing", Severity::Info, 4),
+        ];
+        let (clean, stats) = cat.categorize_log(&events);
+        assert_eq!(clean.len(), 3);
+        assert_eq!(stats.categorized, 3);
+        assert_eq!(stats.unknown, 1);
+        assert_eq!(stats.fatal, 1);
+        assert_eq!(stats.fake_fatals, 1);
+        assert!(clean[0].fatal);
+        assert!(!clean[1].fatal);
+        assert!(!clean[2].fatal, "fake fatal must be corrected to non-fatal");
+    }
+
+    #[test]
+    fn facility_scopes_lookup() {
+        let cat = Categorizer::new(catalog());
+        // Same entry data under the wrong facility is unknown.
+        let wrong = ev(Facility::App, "torus failure", Severity::Fatal, 1);
+        assert_eq!(cat.categorize(&wrong), None);
+    }
+
+    #[test]
+    fn preserves_order_time_and_attributes() {
+        let cat = Categorizer::new(catalog());
+        let events = vec![
+            ev(Facility::Kernel, "parity warning", Severity::Warning, 10),
+            ev(Facility::Kernel, "torus failure", Severity::Fatal, 5),
+        ];
+        let (clean, _) = cat.categorize_log(&events);
+        assert_eq!(clean[0].time, Timestamp::from_secs(10));
+        assert_eq!(clean[1].time, Timestamp::from_secs(5));
+        assert_eq!(clean[0].job_id, Some(JobId(1)));
+    }
+}

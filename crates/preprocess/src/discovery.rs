@@ -1,0 +1,191 @@
+//! Catalog discovery for systems without a curated event catalog.
+//!
+//! The Blue Gene catalog took expert effort ("close collaboration with
+//! system administrators is essential"), but the paper argues the
+//! framework extends to any system with an event repository. This module
+//! bootstraps a catalog directly from a raw log: event types are the
+//! distinct `(facility, entry data)` pairs, each typed with its modal
+//! logged severity and — absent administrator corrections — classed fatal
+//! iff that severity is `FATAL`/`FAILURE`. The result can then be refined
+//! by hand (the curated path) or used as-is for a first prediction pass.
+
+use raslog::{EventCatalog, Facility, RasEvent, Severity};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Discovery parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Drop types observed fewer times than this (log garbage, truncated
+    /// lines). 1 keeps everything.
+    pub min_occurrences: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig { min_occurrences: 1 }
+    }
+}
+
+/// Counters describing one discovery pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiscoveryStats {
+    /// Distinct `(facility, entry data)` pairs seen.
+    pub types_seen: usize,
+    /// Types admitted to the catalog.
+    pub types_kept: usize,
+    /// Records covered by the admitted types.
+    pub records_covered: usize,
+    /// Types with inconsistent logged severities (the modal one wins).
+    pub severity_conflicts: usize,
+}
+
+/// Builds a catalog from a raw log.
+pub fn discover_catalog(
+    events: &[RasEvent],
+    config: &DiscoveryConfig,
+) -> (EventCatalog, DiscoveryStats) {
+    // (facility, entry) → severity histogram.
+    let mut seen: HashMap<(Facility, &str), [usize; 6]> = HashMap::new();
+    for ev in events {
+        let hist = seen
+            .entry((ev.facility, ev.entry_data.as_str()))
+            .or_default();
+        hist[ev.severity as usize] += 1;
+    }
+
+    let mut stats = DiscoveryStats {
+        types_seen: seen.len(),
+        ..DiscoveryStats::default()
+    };
+    // Deterministic catalog order: by facility, then entry data.
+    let mut entries: Vec<((Facility, &str), [usize; 6])> = seen.into_iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut catalog = EventCatalog::new();
+    for ((facility, entry), hist) in entries {
+        let total: usize = hist.iter().sum();
+        if total < config.min_occurrences {
+            continue;
+        }
+        let modal_idx = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &count)| count)
+            .map(|(i, _)| i)
+            .expect("non-empty histogram");
+        let modal = Severity::ALL[modal_idx];
+        if hist.iter().filter(|&&c| c > 0).count() > 1 {
+            stats.severity_conflicts += 1;
+        }
+        catalog.add(facility, entry, modal, modal.is_fatal_as_logged());
+        stats.types_kept += 1;
+        stats.records_covered += total;
+    }
+    (catalog, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{JobId, Location, RecordSource, Timestamp};
+
+    fn ev(facility: Facility, entry: &str, severity: Severity) -> RasEvent {
+        RasEvent {
+            record_id: 0,
+            source: RecordSource::Ras,
+            time: Timestamp::from_secs(0),
+            job_id: Some(JobId(1)),
+            location: Location::System,
+            entry_data: entry.to_string(),
+            facility,
+            severity,
+        }
+    }
+
+    #[test]
+    fn discovers_types_with_modal_severity() {
+        let events = vec![
+            ev(Facility::Kernel, "torus failure", Severity::Fatal),
+            ev(Facility::Kernel, "torus failure", Severity::Fatal),
+            ev(Facility::Kernel, "torus failure", Severity::Warning), // glitch
+            ev(Facility::App, "load info", Severity::Info),
+        ];
+        let (catalog, stats) = discover_catalog(&events, &DiscoveryConfig::default());
+        assert_eq!(catalog.len(), 2);
+        assert_eq!(stats.types_seen, 2);
+        assert_eq!(stats.severity_conflicts, 1);
+        assert_eq!(stats.records_covered, 4);
+        let id = catalog.lookup(Facility::Kernel, "torus failure").unwrap();
+        assert_eq!(catalog.def(id).logged_severity, Severity::Fatal);
+        assert!(
+            catalog.is_fatal(id),
+            "modal FATAL ⇒ classed fatal without corrections"
+        );
+        let id = catalog.lookup(Facility::App, "load info").unwrap();
+        assert!(!catalog.is_fatal(id));
+    }
+
+    #[test]
+    fn min_occurrences_prunes_rare_garbage() {
+        let mut events = vec![ev(Facility::Kernel, "one-off garbage", Severity::Info)];
+        for _ in 0..5 {
+            events.push(ev(Facility::Kernel, "common warning", Severity::Warning));
+        }
+        let (catalog, stats) = discover_catalog(&events, &DiscoveryConfig { min_occurrences: 2 });
+        assert_eq!(catalog.len(), 1);
+        assert_eq!(stats.types_seen, 2);
+        assert_eq!(stats.types_kept, 1);
+        assert!(catalog
+            .lookup(Facility::Kernel, "one-off garbage")
+            .is_none());
+    }
+
+    #[test]
+    fn deterministic_ordering() {
+        let events = vec![
+            ev(Facility::Monitor, "b", Severity::Info),
+            ev(Facility::App, "z", Severity::Info),
+            ev(Facility::App, "a", Severity::Info),
+        ];
+        let (c1, _) = discover_catalog(&events, &DiscoveryConfig::default());
+        let mut shuffled = events.clone();
+        shuffled.reverse();
+        let (c2, _) = discover_catalog(&shuffled, &DiscoveryConfig::default());
+        for (a, b) in c1.iter().zip(c2.iter()) {
+            assert_eq!(a, b, "catalog must not depend on record order");
+        }
+    }
+
+    #[test]
+    fn discovered_catalog_matches_generator_vocabulary() {
+        use bgl_sim::{Generator, SystemPreset};
+        let generator =
+            Generator::new(SystemPreset::sdsc().with_weeks(4).with_volume_scale(0.1), 5);
+        let mut events = Vec::new();
+        for w in 0..4 {
+            events.extend(generator.week_events(w).0);
+        }
+        let (catalog, stats) = discover_catalog(&events, &DiscoveryConfig::default());
+        assert_eq!(stats.records_covered, events.len());
+        // Every discovered type also exists in the curated catalog, with
+        // the same logged severity.
+        let curated = generator.catalog();
+        for def in catalog.iter() {
+            let id = curated
+                .lookup(def.facility, &def.name)
+                .expect("discovered type unknown to the curated catalog");
+            assert_eq!(curated.def(id).logged_severity, def.logged_severity);
+        }
+        // Fake fatals are the price of no administrator input: discovery
+        // classes some non-fatal types as fatal.
+        let over_classed = catalog
+            .iter()
+            .filter(|d| {
+                let curated_id = curated.lookup(d.facility, &d.name).unwrap();
+                d.fatal && !curated.is_fatal(curated_id)
+            })
+            .count();
+        assert!(over_classed > 0, "expected fake fatals without corrections");
+    }
+}

@@ -1,0 +1,137 @@
+//! Iterative filtering-threshold search.
+//!
+//! "How to decide an optimal threshold for filtering is still an open
+//! question. … We first set the threshold to a very small number, and then
+//! gradually increase the number. The search stops when there is no
+//! significant change with respect to compression rate." (Section 3.2,
+//! after Hansen & Siewiorek's tupling studies.) The case-study logs settle
+//! at 300 s, which compresses ≥ 98 % of records.
+
+use crate::filter::{filter_events, FilterConfig};
+use raslog::{CleanEvent, Duration};
+use serde::{Deserialize, Serialize};
+
+/// The default candidate ladder (seconds) — the columns of Table 4.
+pub const DEFAULT_CANDIDATES_SECS: [i64; 7] = [0, 10, 60, 120, 200, 300, 400];
+
+/// The outcome of a threshold sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThresholdSearch {
+    /// `(threshold, surviving event count)` for every candidate tried, in
+    /// increasing threshold order.
+    pub sweep: Vec<(Duration, usize)>,
+    /// The chosen threshold.
+    pub chosen: Duration,
+}
+
+/// Sweeps `candidates` (must be increasing) and returns the first
+/// threshold at which the surviving-count improvement over the previous
+/// candidate falls below `tolerance` (relative), or the last candidate if
+/// the counts keep moving.
+///
+/// # Panics
+/// Panics when `candidates` is empty or not strictly increasing.
+pub fn find_threshold(
+    events: &[CleanEvent],
+    candidates: &[Duration],
+    tolerance: f64,
+) -> ThresholdSearch {
+    assert!(!candidates.is_empty(), "need at least one candidate");
+    assert!(
+        candidates.windows(2).all(|w| w[0] < w[1]),
+        "candidates must be strictly increasing"
+    );
+    let mut sweep = Vec::with_capacity(candidates.len());
+    for &t in candidates {
+        let (kept, _) = filter_events(events, &FilterConfig::with_threshold(t));
+        sweep.push((t, kept.len()));
+    }
+    let mut chosen = *candidates.last().expect("non-empty");
+    for w in sweep.windows(2) {
+        let (_, prev) = w[0];
+        let (t, cur) = w[1];
+        let improvement = if prev == 0 {
+            0.0
+        } else {
+            (prev - cur) as f64 / prev as f64
+        };
+        if improvement < tolerance {
+            chosen = t;
+            break;
+        }
+    }
+    ThresholdSearch { sweep, chosen }
+}
+
+/// Convenience: the default ladder as [`Duration`]s.
+pub fn default_candidates() -> Vec<Duration> {
+    DEFAULT_CANDIDATES_SECS
+        .iter()
+        .map(|&s| Duration::from_secs(s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{EventTypeId, Location, Timestamp};
+
+    fn ev(secs: i64) -> CleanEvent {
+        CleanEvent {
+            time: Timestamp::from_secs(secs),
+            type_id: EventTypeId(1),
+            location: Location::System,
+            job_id: None,
+            fatal: false,
+        }
+    }
+
+    /// A storm of re-reports every 5 s for 1000 s, then quiet single events
+    /// every hour.
+    fn storm_log() -> Vec<CleanEvent> {
+        let mut events: Vec<CleanEvent> = (0..200).map(|i| ev(i * 5)).collect();
+        for h in 1..10 {
+            events.push(ev(3600 * h));
+        }
+        events
+    }
+
+    #[test]
+    fn sweep_counts_decrease() {
+        let search = find_threshold(&storm_log(), &default_candidates(), 0.02);
+        for w in search.sweep.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+        }
+        assert_eq!(
+            search.sweep[0].1,
+            storm_log().len(),
+            "threshold 0 keeps all"
+        );
+    }
+
+    #[test]
+    fn stops_when_improvement_stalls() {
+        // The storm collapses completely at 10 s already, so 60 s brings no
+        // further improvement and the search should stop at 60 s.
+        let search = find_threshold(&storm_log(), &default_candidates(), 0.02);
+        assert_eq!(search.chosen, Duration::from_secs(60));
+    }
+
+    #[test]
+    fn keeps_last_candidate_when_always_improving() {
+        // Gaps of 5, 40, 100, 150, 250, 350 s: every threshold step of the
+        // ladder removes one more event.
+        let events: Vec<CleanEvent> = [0i64, 5, 45, 145, 295, 545, 895, 1895]
+            .iter()
+            .map(|&s| ev(s))
+            .collect();
+        let search = find_threshold(&events, &default_candidates(), 0.05);
+        assert_eq!(search.chosen, Duration::from_secs(400));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_candidates() {
+        find_threshold(&[], &[Duration::from_secs(10), Duration::from_secs(5)], 0.1);
+    }
+}

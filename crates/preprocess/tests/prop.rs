@@ -1,0 +1,111 @@
+//! Property tests for the compression filter.
+
+use preprocess::{filter_events, FilterConfig};
+use proptest::prelude::*;
+use raslog::{CleanEvent, Duration, EventTypeId, JobId, Location, Timestamp};
+
+fn arb_events() -> impl Strategy<Value = Vec<CleanEvent>> {
+    prop::collection::vec(
+        (
+            0i64..5_000, // seconds
+            0u16..5,     // type
+            prop::option::of(0u32..3),
+            0u8..4, // chip index (location)
+            any::<bool>(),
+        ),
+        0..120,
+    )
+    .prop_map(|raw| {
+        let mut events: Vec<CleanEvent> = raw
+            .into_iter()
+            .map(|(secs, ty, job, chip, fatal)| CleanEvent {
+                time: Timestamp::from_secs(secs),
+                type_id: EventTypeId(ty),
+                location: Location::chip(0, 0, 0, chip, 0),
+                job_id: job.map(JobId),
+                fatal,
+            })
+            .collect();
+        events.sort_by_key(|e| e.time);
+        events
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn kept_is_subsequence_of_input(events in arb_events(), secs in 0i64..1000) {
+        let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+        let (kept, stats) = filter_events(&events, &config);
+        prop_assert_eq!(stats.input, events.len());
+        prop_assert_eq!(stats.kept, kept.len());
+        prop_assert_eq!(
+            stats.kept + stats.temporal_dropped + stats.spatial_dropped,
+            stats.input
+        );
+        // kept is a subsequence: every kept event appears in order.
+        let mut idx = 0;
+        for k in &kept {
+            while idx < events.len() && &events[idx] != k {
+                idx += 1;
+            }
+            prop_assert!(idx < events.len(), "kept event not found in order");
+            idx += 1;
+        }
+    }
+
+    #[test]
+    fn monotone_in_threshold(events in arb_events()) {
+        let mut prev = usize::MAX;
+        for secs in [0i64, 10, 60, 120, 200, 300, 400, 1000] {
+            let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+            let (kept, _) = filter_events(&events, &config);
+            prop_assert!(kept.len() <= prev, "threshold {secs}s kept more events");
+            prev = kept.len();
+        }
+    }
+
+    #[test]
+    fn idempotent(events in arb_events(), secs in 1i64..600) {
+        let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+        let (once, _) = filter_events(&events, &config);
+        let (twice, stats) = filter_events(&once, &config);
+        prop_assert_eq!(&twice, &once, "second pass changed the output");
+        prop_assert_eq!(stats.temporal_dropped + stats.spatial_dropped, 0);
+    }
+
+    #[test]
+    fn first_event_of_each_key_survives(events in arb_events(), secs in 1i64..600) {
+        let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+        let (kept, _) = filter_events(&events, &config);
+        // The first occurrence of every (type, job) pair is always kept.
+        let mut seen = std::collections::HashSet::new();
+        for e in &events {
+            if seen.insert((e.type_id, e.job_id)) {
+                prop_assert!(
+                    kept.contains(e),
+                    "first occurrence of {:?} was dropped",
+                    (e.type_id, e.job_id)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threshold_keeps_everything(events in arb_events()) {
+        let (kept, stats) = filter_events(&events, &FilterConfig::with_threshold(Duration::ZERO));
+        prop_assert_eq!(kept.len(), events.len());
+        prop_assert_eq!(stats.compression_rate(), 0.0);
+    }
+
+    #[test]
+    fn fatal_flags_preserved(events in arb_events(), secs in 1i64..600) {
+        let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+        let (kept, _) = filter_events(&events, &config);
+        for k in &kept {
+            // The kept record is one of the input records, flag intact.
+            prop_assert!(events.iter().any(|e| e == k));
+        }
+    }
+}

@@ -1,0 +1,273 @@
+//! The event-type catalog: the vocabulary of low-level event categories.
+//!
+//! Event categorization (Section 3.1 of the paper) is hierarchical: events
+//! are first divided by [`Facility`] and then into low-level event types by
+//! severity and entry data. For Blue Gene/L this yields 219 low-level types,
+//! of which 69 are fatal — after correcting, together with system
+//! administrators, the "fake fatal" entries whose logged severity says
+//! `FATAL` but which are not truly fatal (Oliner & Stearley, DSN'07).
+//!
+//! The catalog is the shared vocabulary between the synthetic log generator
+//! (`bgl-sim`), the preprocessing categorizer and the learners: every event
+//! type has a stable dense [`EventTypeId`] usable as an array index.
+
+use crate::facility::Facility;
+use crate::severity::Severity;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Dense identifier of a low-level event type; indexes into the catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct EventTypeId(pub u16);
+
+impl EventTypeId {
+    /// The id as an array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl core::fmt::Display for EventTypeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "T{:03}", self.0)
+    }
+}
+
+/// Definition of one low-level event type.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventTypeDef {
+    /// Dense id (equals the position in the catalog).
+    pub id: EventTypeId,
+    /// High-level category.
+    pub facility: Facility,
+    /// Canonical entry-data text for the type (e.g. `"cache failure"`).
+    pub name: String,
+    /// The severity this type is *logged* with.
+    pub logged_severity: Severity,
+    /// Corrected classing: does this event really lead to system or
+    /// application crashes? (May disagree with `logged_severity` for the
+    /// "fake fatal" types.)
+    pub fatal: bool,
+}
+
+impl EventTypeDef {
+    /// `true` when the log claims fatality but administrators classed the
+    /// type as non-fatal.
+    pub fn is_fake_fatal(&self) -> bool {
+        self.logged_severity.is_fatal_as_logged() && !self.fatal
+    }
+}
+
+/// An immutable, indexable set of event-type definitions.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EventCatalog {
+    defs: Vec<EventTypeDef>,
+    #[serde(skip)]
+    by_name: HashMap<(Facility, String), EventTypeId>,
+}
+
+impl EventCatalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        EventCatalog::default()
+    }
+
+    /// Adds an event type and returns its id.
+    ///
+    /// # Panics
+    /// Panics if a type with the same `(facility, name)` pair already
+    /// exists, or if the catalog would exceed `u16::MAX` types.
+    pub fn add(
+        &mut self,
+        facility: Facility,
+        name: impl Into<String>,
+        logged_severity: Severity,
+        fatal: bool,
+    ) -> EventTypeId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&(facility, name.clone())),
+            "duplicate event type {facility}/{name}"
+        );
+        let id = EventTypeId(u16::try_from(self.defs.len()).expect("catalog too large"));
+        self.by_name.insert((facility, name.clone()), id);
+        self.defs.push(EventTypeDef {
+            id,
+            facility,
+            name,
+            logged_severity,
+            fatal,
+        });
+        id
+    }
+
+    /// Number of event types.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// `true` when the catalog holds no types.
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// The definition for `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` is not in the catalog.
+    #[inline]
+    pub fn def(&self, id: EventTypeId) -> &EventTypeDef {
+        &self.defs[id.index()]
+    }
+
+    /// Looks up a type by facility and canonical entry-data text.
+    pub fn lookup(&self, facility: Facility, name: &str) -> Option<EventTypeId> {
+        // Rebuilt lazily after deserialization (the map is `serde(skip)`).
+        if self.by_name.is_empty() && !self.defs.is_empty() {
+            return self
+                .defs
+                .iter()
+                .find(|d| d.facility == facility && d.name == name)
+                .map(|d| d.id);
+        }
+        self.by_name.get(&(facility, name.to_owned())).copied()
+    }
+
+    /// Restores the name index after deserialization.
+    pub fn rebuild_index(&mut self) {
+        self.by_name = self
+            .defs
+            .iter()
+            .map(|d| ((d.facility, d.name.clone()), d.id))
+            .collect();
+    }
+
+    /// Corrected fatality of `id`.
+    #[inline]
+    pub fn is_fatal(&self, id: EventTypeId) -> bool {
+        self.defs[id.index()].fatal
+    }
+
+    /// Iterates over all definitions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &EventTypeDef> {
+        self.defs.iter()
+    }
+
+    /// Ids of all fatal types.
+    pub fn fatal_ids(&self) -> Vec<EventTypeId> {
+        self.defs.iter().filter(|d| d.fatal).map(|d| d.id).collect()
+    }
+
+    /// Ids of all non-fatal types.
+    pub fn nonfatal_ids(&self) -> Vec<EventTypeId> {
+        self.defs
+            .iter()
+            .filter(|d| !d.fatal)
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// Number of fatal types.
+    pub fn fatal_count(&self) -> usize {
+        self.defs.iter().filter(|d| d.fatal).count()
+    }
+
+    /// `(fatal, non_fatal)` type counts for one facility — one row of the
+    /// paper's Table 3.
+    pub fn facility_counts(&self, facility: Facility) -> (usize, usize) {
+        let mut fatal = 0;
+        let mut nonfatal = 0;
+        for d in self.defs.iter().filter(|d| d.facility == facility) {
+            if d.fatal {
+                fatal += 1;
+            } else {
+                nonfatal += 1;
+            }
+        }
+        (fatal, nonfatal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_catalog() -> EventCatalog {
+        let mut c = EventCatalog::new();
+        c.add(Facility::Kernel, "cache failure", Severity::Fatal, true);
+        c.add(Facility::Kernel, "cache warning", Severity::Warning, false);
+        c.add(
+            Facility::App,
+            "load program failure",
+            Severity::Failure,
+            true,
+        );
+        c.add(
+            Facility::Monitor,
+            "node card temperature info",
+            Severity::Fatal,
+            false,
+        );
+        c
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let c = small_catalog();
+        assert_eq!(c.len(), 4);
+        let id = c.lookup(Facility::Kernel, "cache failure").unwrap();
+        assert_eq!(c.def(id).name, "cache failure");
+        assert!(c.is_fatal(id));
+        assert_eq!(c.lookup(Facility::App, "cache failure"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate event type")]
+    fn duplicate_panics() {
+        let mut c = small_catalog();
+        c.add(Facility::Kernel, "cache failure", Severity::Fatal, true);
+    }
+
+    #[test]
+    fn fake_fatal_detection() {
+        let c = small_catalog();
+        let id = c
+            .lookup(Facility::Monitor, "node card temperature info")
+            .unwrap();
+        assert!(c.def(id).is_fake_fatal());
+        assert!(!c.is_fatal(id));
+        let real = c.lookup(Facility::Kernel, "cache failure").unwrap();
+        assert!(!c.def(real).is_fake_fatal());
+    }
+
+    #[test]
+    fn counts() {
+        let c = small_catalog();
+        assert_eq!(c.fatal_count(), 2);
+        assert_eq!(c.fatal_ids().len(), 2);
+        assert_eq!(c.nonfatal_ids().len(), 2);
+        assert_eq!(c.facility_counts(Facility::Kernel), (1, 1));
+        assert_eq!(c.facility_counts(Facility::Monitor), (0, 1));
+        assert_eq!(c.facility_counts(Facility::Cmcs), (0, 0));
+    }
+
+    #[test]
+    fn serde_round_trip_with_index_rebuild() {
+        let c = small_catalog();
+        let json = serde_json::to_string(&c).unwrap();
+        let mut back: EventCatalog = serde_json::from_str(&json).unwrap();
+        // lookup works even before the index is rebuilt (linear fallback)…
+        assert_eq!(
+            back.lookup(Facility::Kernel, "cache warning"),
+            c.lookup(Facility::Kernel, "cache warning")
+        );
+        // …and after rebuilding.
+        back.rebuild_index();
+        assert_eq!(
+            back.lookup(Facility::App, "load program failure"),
+            c.lookup(Facility::App, "load program failure")
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for parsing log records.
+
+use serde::{Deserialize, Serialize};
+
+/// An error produced while parsing a textual log record or one of its
+/// attribute tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParseError {
+    message: String,
+    /// 1-based line number in the source, when known.
+    line: Option<usize>,
+}
+
+impl ParseError {
+    /// Creates a parse error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        ParseError {
+            message: message.into(),
+            line: None,
+        }
+    }
+
+    /// Attaches a 1-based source line number.
+    pub fn at_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
+        self
+    }
+
+    /// The human-readable message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+
+    /// The 1-based source line, when known.
+    pub fn line(&self) -> Option<usize> {
+        self.line
+    }
+}
+
+impl core::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_and_without_line() {
+        let e = ParseError::new("bad token");
+        assert_eq!(e.to_string(), "bad token");
+        let e = e.at_line(7);
+        assert_eq!(e.to_string(), "line 7: bad token");
+        assert_eq!(e.line(), Some(7));
+        assert_eq!(e.message(), "bad token");
+    }
+}

@@ -1,0 +1,160 @@
+//! RAS event records.
+
+use crate::catalog::EventTypeId;
+use crate::facility::Facility;
+use crate::location::Location;
+use crate::severity::Severity;
+use crate::time::Timestamp;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of the job that detected an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct JobId(pub u32);
+
+impl core::fmt::Display for JobId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "J{}", self.0)
+    }
+}
+
+/// The `Event Type` attribute of Table 1: the mechanism through which the
+/// event was recorded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RecordSource {
+    /// Recorded by the regular RAS polling agents.
+    Ras,
+    /// Recorded by the machine-check interrupt handler.
+    MachineCheck,
+    /// Recorded by an administrator-initiated diagnostic run.
+    Diagnostic,
+}
+
+impl RecordSource {
+    /// Canonical log token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RecordSource::Ras => "RAS",
+            RecordSource::MachineCheck => "MCHK",
+            RecordSource::Diagnostic => "DIAG",
+        }
+    }
+}
+
+impl core::str::FromStr for RecordSource {
+    type Err = crate::error::ParseError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "RAS" => Ok(RecordSource::Ras),
+            "MCHK" => Ok(RecordSource::MachineCheck),
+            "DIAG" => Ok(RecordSource::Diagnostic),
+            other => Err(crate::error::ParseError::new(format!(
+                "unknown record source `{other}`"
+            ))),
+        }
+    }
+}
+
+/// A raw RAS log record with the eight attributes of Table 1.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RasEvent {
+    /// Integer event sequence number.
+    pub record_id: u64,
+    /// Mechanism through which the event is recorded.
+    pub source: RecordSource,
+    /// Timestamp associated with the reported event.
+    pub time: Timestamp,
+    /// Job that detects the event, when any.
+    pub job_id: Option<JobId>,
+    /// Place of the event.
+    pub location: Location,
+    /// Short description of the event.
+    pub entry_data: String,
+    /// Service/hardware component experiencing the event.
+    pub facility: Facility,
+    /// Logged severity level (not authoritative — see the catalog).
+    pub severity: Severity,
+}
+
+impl RasEvent {
+    /// `true` when the *log* claims the event is fatal. The corrected
+    /// classing lives in the catalog and is applied by the categorizer.
+    #[inline]
+    pub fn is_fatal_as_logged(&self) -> bool {
+        self.severity.is_fatal_as_logged()
+    }
+}
+
+/// A preprocessed (categorized + filtered) event: the compact unit consumed
+/// by the learners and the predictor.
+///
+/// `fatal` carries the *corrected* classing from the catalog, so downstream
+/// components never consult raw severities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CleanEvent {
+    /// Event time.
+    pub time: Timestamp,
+    /// Low-level event type from the catalog.
+    pub type_id: EventTypeId,
+    /// Place of the event (representative location after compression).
+    pub location: Location,
+    /// Job that detected the event, when any.
+    pub job_id: Option<JobId>,
+    /// Corrected fatality classing.
+    pub fatal: bool,
+}
+
+impl CleanEvent {
+    /// Convenience constructor for tests and generators.
+    pub fn new(time: Timestamp, type_id: EventTypeId, fatal: bool) -> Self {
+        CleanEvent {
+            time,
+            type_id,
+            location: Location::System,
+            job_id: None,
+            fatal,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_source_round_trip() {
+        for s in [
+            RecordSource::Ras,
+            RecordSource::MachineCheck,
+            RecordSource::Diagnostic,
+        ] {
+            assert_eq!(s.as_str().parse::<RecordSource>().unwrap(), s);
+        }
+        assert!("ras".parse::<RecordSource>().is_err());
+    }
+
+    #[test]
+    fn fatal_as_logged_follows_severity() {
+        let mut ev = RasEvent {
+            record_id: 1,
+            source: RecordSource::Ras,
+            time: Timestamp::from_secs(10),
+            job_id: Some(JobId(7)),
+            location: Location::System,
+            entry_data: "socket read failure".into(),
+            facility: Facility::Kernel,
+            severity: Severity::Fatal,
+        };
+        assert!(ev.is_fatal_as_logged());
+        ev.severity = Severity::Warning;
+        assert!(!ev.is_fatal_as_logged());
+    }
+
+    #[test]
+    fn clean_event_constructor_defaults() {
+        let e = CleanEvent::new(Timestamp::from_secs(5), EventTypeId(3), true);
+        assert_eq!(e.location, Location::System);
+        assert_eq!(e.job_id, None);
+        assert!(e.fatal);
+    }
+}

@@ -1,0 +1,116 @@
+//! The `Facility` attribute: which service or hardware component
+//! experienced the event.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+
+/// High-level event category, identified from the Blue Gene/L `Facility`
+/// field (Table 3 of the paper lists the ten facilities and their fatal /
+/// non-fatal sub-category counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Facility {
+    /// Application-level events (load program failures, function call failures).
+    App,
+    /// BGLMaster control process (segmentation failures, restarts).
+    BglMaster,
+    /// Cluster Monitoring and Control System service.
+    Cmcs,
+    /// Hardware discovery (node-card communication, service-card reads).
+    Discovery,
+    /// Midplane and other hardware service events.
+    Hardware,
+    /// Compute-node kernel events (cache, CPU, broadcast, node map...).
+    Kernel,
+    /// Link card events.
+    LinkCard,
+    /// Control-network MMCS events.
+    Mmcs,
+    /// Environmental monitoring (e.g. node-card temperature).
+    Monitor,
+    /// Service network operations.
+    ServNet,
+}
+
+impl Facility {
+    /// All facilities in the Table 3 ordering.
+    pub const ALL: [Facility; 10] = [
+        Facility::App,
+        Facility::BglMaster,
+        Facility::Cmcs,
+        Facility::Discovery,
+        Facility::Hardware,
+        Facility::Kernel,
+        Facility::LinkCard,
+        Facility::Mmcs,
+        Facility::Monitor,
+        Facility::ServNet,
+    ];
+
+    /// Canonical upper-case log token (e.g. `"KERNEL"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Facility::App => "APP",
+            Facility::BglMaster => "BGLMASTER",
+            Facility::Cmcs => "CMCS",
+            Facility::Discovery => "DISCOVERY",
+            Facility::Hardware => "HARDWARE",
+            Facility::Kernel => "KERNEL",
+            Facility::LinkCard => "LINKCARD",
+            Facility::Mmcs => "MMCS",
+            Facility::Monitor => "MONITOR",
+            Facility::ServNet => "SERV_NET",
+        }
+    }
+
+    /// Stable dense index (0..10) for table building.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl core::fmt::Display for Facility {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl core::str::FromStr for Facility {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "APP" => Ok(Facility::App),
+            "BGLMASTER" => Ok(Facility::BglMaster),
+            "CMCS" => Ok(Facility::Cmcs),
+            "DISCOVERY" => Ok(Facility::Discovery),
+            "HARDWARE" => Ok(Facility::Hardware),
+            "KERNEL" => Ok(Facility::Kernel),
+            "LINKCARD" => Ok(Facility::LinkCard),
+            "MMCS" => Ok(Facility::Mmcs),
+            "MONITOR" => Ok(Facility::Monitor),
+            "SERV_NET" => Ok(Facility::ServNet),
+            other => Err(ParseError::new(format!("unknown facility `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_strings() {
+        for fac in Facility::ALL {
+            assert_eq!(fac.as_str().parse::<Facility>().unwrap(), fac);
+        }
+        assert!("KERNEL2".parse::<Facility>().is_err());
+    }
+
+    #[test]
+    fn indices_are_dense_and_ordered() {
+        for (i, fac) in Facility::ALL.iter().enumerate() {
+            assert_eq!(fac.index(), i);
+        }
+    }
+}

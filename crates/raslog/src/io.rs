@@ -1,0 +1,333 @@
+//! Line-oriented text serialization of RAS logs.
+//!
+//! One record per line, pipe-separated, mirroring the attribute order of
+//! Table 1:
+//!
+//! ```text
+//! record_id|source|time_ms|job|location|facility|severity|entry_data
+//! 42|RAS|1234567|J17|R01-M0-N04-C07-J01|KERNEL|FATAL|cache failure
+//! ```
+//!
+//! A missing job id is written as `-`. `entry_data` is the trailing field
+//! and may contain any character except a newline (including `|`).
+
+use crate::error::ParseError;
+use crate::event::{JobId, RasEvent, RecordSource};
+use crate::time::Timestamp;
+use std::io::{BufRead, Write};
+
+/// Formats one record as a log line (no trailing newline).
+pub fn format_line(ev: &RasEvent) -> String {
+    let job = match ev.job_id {
+        Some(JobId(j)) => format!("J{j}"),
+        None => "-".to_string(),
+    };
+    format!(
+        "{}|{}|{}|{}|{}|{}|{}|{}",
+        ev.record_id,
+        ev.source.as_str(),
+        ev.time.millis(),
+        job,
+        ev.location,
+        ev.facility,
+        ev.severity,
+        ev.entry_data
+    )
+}
+
+/// Approximate byte length of the formatted line, including the newline.
+pub fn line_len(ev: &RasEvent) -> usize {
+    format_line(ev).len() + 1
+}
+
+/// Parses one log line.
+pub fn parse_line(line: &str) -> Result<RasEvent, ParseError> {
+    let mut parts = line.splitn(8, '|');
+    let mut next = |what: &str| {
+        parts
+            .next()
+            .ok_or_else(|| ParseError::new(format!("missing field `{what}` in `{line}`")))
+    };
+    let record_id = next("record_id")?
+        .parse::<u64>()
+        .map_err(|e| ParseError::new(format!("bad record id: {e}")))?;
+    let source: RecordSource = next("source")?.parse()?;
+    let time = Timestamp(
+        next("time")?
+            .parse::<i64>()
+            .map_err(|e| ParseError::new(format!("bad time: {e}")))?,
+    );
+    let job_tok = next("job")?;
+    let job_id = if job_tok == "-" {
+        None
+    } else {
+        let n = job_tok
+            .strip_prefix('J')
+            .ok_or_else(|| ParseError::new(format!("bad job token `{job_tok}`")))?;
+        Some(JobId(
+            n.parse::<u32>()
+                .map_err(|e| ParseError::new(format!("bad job id: {e}")))?,
+        ))
+    };
+    let location = next("location")?.parse()?;
+    let facility = next("facility")?.parse()?;
+    let severity = next("severity")?.parse()?;
+    let entry_data = next("entry_data")?.to_string();
+    Ok(RasEvent {
+        record_id,
+        source,
+        time,
+        job_id,
+        location,
+        entry_data,
+        facility,
+        severity,
+    })
+}
+
+/// Writes all records to `w`, one line each.
+pub fn write_log<W: Write>(events: &[RasEvent], mut w: W) -> std::io::Result<()> {
+    for ev in events {
+        writeln!(w, "{}", format_line(ev))?;
+    }
+    Ok(())
+}
+
+/// Reads a whole log from `r`, reusing one line buffer to avoid per-line
+/// allocation. Blank lines and lines starting with `#` are skipped.
+pub fn read_log<R: BufRead>(mut r: R) -> Result<Vec<RasEvent>, ParseError> {
+    let mut events = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let n = r
+            .read_line(&mut line)
+            .map_err(|e| ParseError::new(format!("io error: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        events.push(parse_line(trimmed).map_err(|e| e.at_line(lineno))?);
+    }
+    Ok(events)
+}
+
+/// Formats one preprocessed event as a line:
+/// `time_ms|type_id|location|job|fatal`.
+pub fn format_clean_line(ev: &crate::event::CleanEvent) -> String {
+    let job = match ev.job_id {
+        Some(JobId(j)) => format!("J{j}"),
+        None => "-".to_string(),
+    };
+    format!(
+        "{}|{}|{}|{}|{}",
+        ev.time.millis(),
+        ev.type_id.0,
+        ev.location,
+        job,
+        if ev.fatal { "F" } else { "-" }
+    )
+}
+
+/// Parses one preprocessed-event line.
+pub fn parse_clean_line(line: &str) -> Result<crate::event::CleanEvent, ParseError> {
+    let mut parts = line.splitn(5, '|');
+    let mut next = |what: &str| {
+        parts
+            .next()
+            .ok_or_else(|| ParseError::new(format!("missing field `{what}` in `{line}`")))
+    };
+    let time = Timestamp(
+        next("time")?
+            .parse::<i64>()
+            .map_err(|e| ParseError::new(format!("bad time: {e}")))?,
+    );
+    let type_id = crate::catalog::EventTypeId(
+        next("type")?
+            .parse::<u16>()
+            .map_err(|e| ParseError::new(format!("bad type id: {e}")))?,
+    );
+    let location = next("location")?.parse()?;
+    let job_tok = next("job")?;
+    let job_id = if job_tok == "-" {
+        None
+    } else {
+        let n = job_tok
+            .strip_prefix('J')
+            .ok_or_else(|| ParseError::new(format!("bad job token `{job_tok}`")))?;
+        Some(JobId(
+            n.parse::<u32>()
+                .map_err(|e| ParseError::new(format!("bad job id: {e}")))?,
+        ))
+    };
+    let fatal = match next("fatal")? {
+        "F" => true,
+        "-" => false,
+        other => return Err(ParseError::new(format!("bad fatal flag `{other}`"))),
+    };
+    Ok(crate::event::CleanEvent {
+        time,
+        type_id,
+        location,
+        job_id,
+        fatal,
+    })
+}
+
+/// Writes preprocessed events, one line each.
+pub fn write_clean_log<W: Write>(
+    events: &[crate::event::CleanEvent],
+    mut w: W,
+) -> std::io::Result<()> {
+    for ev in events {
+        writeln!(w, "{}", format_clean_line(ev))?;
+    }
+    Ok(())
+}
+
+/// Reads a preprocessed log. Blank lines and `#` comments are skipped.
+pub fn read_clean_log<R: BufRead>(mut r: R) -> Result<Vec<crate::event::CleanEvent>, ParseError> {
+    let mut events = Vec::new();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let n = r
+            .read_line(&mut line)
+            .map_err(|e| ParseError::new(format!("io error: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim_end_matches(['\n', '\r']);
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        events.push(parse_clean_line(trimmed).map_err(|e| e.at_line(lineno))?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::facility::Facility;
+    use crate::location::Location;
+    use crate::severity::Severity;
+
+    fn sample() -> RasEvent {
+        RasEvent {
+            record_id: 42,
+            source: RecordSource::Ras,
+            time: Timestamp(1_234_567),
+            job_id: Some(JobId(17)),
+            location: Location::chip(1, 0, 4, 7, 1),
+            entry_data: "cache failure".into(),
+            facility: Facility::Kernel,
+            severity: Severity::Fatal,
+        }
+    }
+
+    #[test]
+    fn format_matches_documented_example() {
+        assert_eq!(
+            format_line(&sample()),
+            "42|RAS|1234567|J17|R01-M0-N04-C07-J01|KERNEL|FATAL|cache failure"
+        );
+    }
+
+    #[test]
+    fn round_trip_single() {
+        let ev = sample();
+        assert_eq!(parse_line(&format_line(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn round_trip_missing_job_and_pipes_in_entry() {
+        let mut ev = sample();
+        ev.job_id = None;
+        ev.entry_data = "weird|entry|with pipes".into();
+        assert_eq!(parse_line(&format_line(&ev)).unwrap(), ev);
+    }
+
+    #[test]
+    fn read_write_log_with_comments() {
+        let mut ev2 = sample();
+        ev2.record_id = 43;
+        ev2.job_id = None;
+        let events = vec![sample(), ev2];
+        let mut buf = Vec::new();
+        write_log(&events, &mut buf).unwrap();
+        let text = format!("# header comment\n\n{}", String::from_utf8(buf).unwrap());
+        let back = read_log(text.as_bytes()).unwrap();
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "42|RAS|1234567|J17|R01-M0|KERNEL|FATAL|ok\nbogus line\n";
+        let err = read_log(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn line_len_counts_newline() {
+        let ev = sample();
+        assert_eq!(line_len(&ev), format_line(&ev).len() + 1);
+    }
+
+    #[test]
+    fn clean_line_round_trip() {
+        use crate::catalog::EventTypeId;
+        use crate::event::CleanEvent;
+        let cases = [
+            CleanEvent {
+                time: Timestamp(12_345),
+                type_id: EventTypeId(17),
+                location: Location::chip(1, 0, 4, 7, 1),
+                job_id: Some(JobId(9)),
+                fatal: true,
+            },
+            CleanEvent::new(Timestamp(0), EventTypeId(0), false),
+        ];
+        for ev in cases {
+            let line = format_clean_line(&ev);
+            assert_eq!(parse_clean_line(&line).unwrap(), ev, "via `{line}`");
+        }
+        assert_eq!(
+            format_clean_line(&cases_example()),
+            "12345|17|R01-M0-N04-C07-J01|J9|F"
+        );
+    }
+
+    fn cases_example() -> crate::event::CleanEvent {
+        crate::event::CleanEvent {
+            time: Timestamp(12_345),
+            type_id: crate::catalog::EventTypeId(17),
+            location: Location::chip(1, 0, 4, 7, 1),
+            job_id: Some(JobId(9)),
+            fatal: true,
+        }
+    }
+
+    #[test]
+    fn clean_log_round_trip_with_errors() {
+        use crate::catalog::EventTypeId;
+        use crate::event::CleanEvent;
+        let events = vec![
+            CleanEvent::new(Timestamp(5), EventTypeId(1), false),
+            CleanEvent::new(Timestamp(9), EventTypeId(2), true),
+        ];
+        let mut buf = Vec::new();
+        write_clean_log(&events, &mut buf).unwrap();
+        let text = format!("# comment\n{}", String::from_utf8(buf).unwrap());
+        assert_eq!(read_clean_log(text.as_bytes()).unwrap(), events);
+        let err = read_clean_log("1|2|SYS|-|X\n".as_bytes()).unwrap_err();
+        assert!(err.message().contains("fatal flag"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # raslog — RAS event-log data model
+//!
+//! This crate defines the data model for RAS (Reliability, Availability and
+//! Serviceability) event logs of Blue Gene/L-class systems, following the
+//! schema described in Table 1 of *"Dynamic Meta-Learning for Failure
+//! Prediction in Large-Scale Systems"* (ICPP'08):
+//!
+//! | Attribute  | Description                                              |
+//! |------------|----------------------------------------------------------|
+//! | Record ID  | integer event sequence number                            |
+//! | Event Type | mechanism through which the event is recorded            |
+//! | Event Time | timestamp associated with the reported event             |
+//! | Job ID     | job that detects the event                               |
+//! | Location   | place of the event (chip / node card / service card / …) |
+//! | Entry Data | short description of the event                           |
+//! | Facility   | service or hardware component experiencing the event     |
+//! | Severity   | INFO … FAILURE                                           |
+//!
+//! Besides the record type ([`RasEvent`]), the crate provides:
+//!
+//! * [`Severity`] and [`Facility`] enumerations,
+//! * the Blue Gene packaging [`Location`] hierarchy
+//!   (rack → midplane → node card → compute card → chip),
+//! * a shared [`catalog::EventCatalog`] vocabulary of low-level event types
+//!   (219 types for Blue Gene/L, 69 of them fatal),
+//! * a time-sorted [`LogStore`] with window and weekly iteration, and
+//! * a line-oriented text format plus `serde` support in [`io`].
+//!
+//! # Example
+//!
+//! ```
+//! use raslog::{Facility, JobId, Location, RasEvent, RecordSource, Severity, Timestamp};
+//!
+//! let event = RasEvent {
+//!     record_id: 42,
+//!     source: RecordSource::Ras,
+//!     time: Timestamp::from_secs(1234),
+//!     job_id: Some(JobId(17)),
+//!     location: Location::chip(1, 0, 4, 7, 1),
+//!     entry_data: "torus failure".into(),
+//!     facility: Facility::Kernel,
+//!     severity: Severity::Fatal,
+//! };
+//! let line = raslog::io::format_line(&event);
+//! assert_eq!(line, "42|RAS|1234000|J17|R01-M0-N04-C07-J01|KERNEL|FATAL|torus failure");
+//! assert_eq!(raslog::io::parse_line(&line).unwrap(), event);
+//! ```
+
+pub mod catalog;
+pub mod error;
+pub mod event;
+pub mod facility;
+pub mod io;
+pub mod location;
+pub mod severity;
+pub mod store;
+pub mod time;
+
+pub use catalog::{EventCatalog, EventTypeDef, EventTypeId};
+pub use error::ParseError;
+pub use event::{CleanEvent, JobId, RasEvent, RecordSource};
+pub use facility::Facility;
+pub use location::Location;
+pub use severity::Severity;
+pub use store::LogStore;
+pub use time::{Duration, Timestamp, DAY_MS, HOUR_MS, MINUTE_MS, SECOND_MS, WEEK_MS};

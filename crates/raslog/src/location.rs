@@ -1,0 +1,380 @@
+//! The Blue Gene packaging hierarchy and location codes.
+//!
+//! Packaging (Section 2.1 of the paper): the basic building block is a
+//! *compute chip* (two PPC 440 cores); a *compute card* holds two chips, a
+//! *node card* holds 16 compute cards, and a *midplane* holds 16 node cards
+//! (1,024 processors). Midplanes additionally host I/O nodes, link cards and
+//! one service card. A rack holds two midplanes.
+//!
+//! Locations are rendered in the conventional Blue Gene notation, e.g.
+//! `R01-M0-N04-C07-J01` (rack 1, midplane 0, node card 4, compute card 7,
+//! chip 1), `R01-M1-S` (service card), `R01-M0-L2` (link card) and
+//! `R01-M0-I03` (I/O node).
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+
+/// A place in the machine at which an event was reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Location {
+    /// The machine as a whole (service-network / master events).
+    System,
+    /// A full rack.
+    Rack { rack: u8 },
+    /// A midplane within a rack.
+    Midplane { rack: u8, midplane: u8 },
+    /// The service card of a midplane (one per midplane).
+    ServiceCard { rack: u8, midplane: u8 },
+    /// A link card within a midplane.
+    LinkCard { rack: u8, midplane: u8, link: u8 },
+    /// An I/O node within a midplane.
+    IoNode { rack: u8, midplane: u8, io: u8 },
+    /// A node card within a midplane.
+    NodeCard {
+        rack: u8,
+        midplane: u8,
+        node_card: u8,
+    },
+    /// A compute card on a node card.
+    ComputeCard {
+        rack: u8,
+        midplane: u8,
+        node_card: u8,
+        compute_card: u8,
+    },
+    /// A compute chip on a compute card.
+    Chip {
+        rack: u8,
+        midplane: u8,
+        node_card: u8,
+        compute_card: u8,
+        chip: u8,
+    },
+}
+
+impl Location {
+    /// Builds the chip location `R<rack>-M<mp>-N<nc>-C<cc>-J<chip>`.
+    pub fn chip(rack: u8, midplane: u8, node_card: u8, compute_card: u8, chip: u8) -> Self {
+        Location::Chip {
+            rack,
+            midplane,
+            node_card,
+            compute_card,
+            chip,
+        }
+    }
+
+    /// The rack this location belongs to, unless it is [`Location::System`].
+    pub fn rack(&self) -> Option<u8> {
+        match *self {
+            Location::System => None,
+            Location::Rack { rack }
+            | Location::Midplane { rack, .. }
+            | Location::ServiceCard { rack, .. }
+            | Location::LinkCard { rack, .. }
+            | Location::IoNode { rack, .. }
+            | Location::NodeCard { rack, .. }
+            | Location::ComputeCard { rack, .. }
+            | Location::Chip { rack, .. } => Some(rack),
+        }
+    }
+
+    /// The `(rack, midplane)` pair, when the location is at midplane depth
+    /// or below.
+    pub fn midplane(&self) -> Option<(u8, u8)> {
+        match *self {
+            Location::System | Location::Rack { .. } => None,
+            Location::Midplane { rack, midplane }
+            | Location::ServiceCard { rack, midplane }
+            | Location::LinkCard { rack, midplane, .. }
+            | Location::IoNode { rack, midplane, .. }
+            | Location::NodeCard { rack, midplane, .. }
+            | Location::ComputeCard { rack, midplane, .. }
+            | Location::Chip { rack, midplane, .. } => Some((rack, midplane)),
+        }
+    }
+
+    /// `true` when `self` physically contains (or equals) `other`.
+    ///
+    /// Containment follows the packaging hierarchy: the system contains
+    /// everything, a rack contains its midplanes, a midplane contains its
+    /// cards and nodes, a node card contains its compute cards, and a
+    /// compute card contains its chips. Sibling card types (service, link,
+    /// I/O) are contained by their midplane only.
+    pub fn contains(&self, other: &Location) -> bool {
+        if self == other {
+            return true;
+        }
+        match *self {
+            Location::System => true,
+            Location::Rack { rack } => other.rack() == Some(rack),
+            Location::Midplane { rack, midplane } => other.midplane() == Some((rack, midplane)),
+            Location::NodeCard {
+                rack,
+                midplane,
+                node_card,
+            } => match *other {
+                Location::ComputeCard {
+                    rack: r,
+                    midplane: m,
+                    node_card: n,
+                    ..
+                }
+                | Location::Chip {
+                    rack: r,
+                    midplane: m,
+                    node_card: n,
+                    ..
+                } => (r, m, n) == (rack, midplane, node_card),
+                _ => false,
+            },
+            Location::ComputeCard {
+                rack,
+                midplane,
+                node_card,
+                compute_card,
+            } => match *other {
+                Location::Chip {
+                    rack: r,
+                    midplane: m,
+                    node_card: n,
+                    compute_card: c,
+                    ..
+                } => (r, m, n, c) == (rack, midplane, node_card, compute_card),
+                _ => false,
+            },
+            _ => false,
+        }
+    }
+}
+
+impl core::fmt::Display for Location {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match *self {
+            Location::System => write!(f, "SYS"),
+            Location::Rack { rack } => write!(f, "R{rack:02}"),
+            Location::Midplane { rack, midplane } => write!(f, "R{rack:02}-M{midplane}"),
+            Location::ServiceCard { rack, midplane } => write!(f, "R{rack:02}-M{midplane}-S"),
+            Location::LinkCard {
+                rack,
+                midplane,
+                link,
+            } => {
+                write!(f, "R{rack:02}-M{midplane}-L{link}")
+            }
+            Location::IoNode { rack, midplane, io } => {
+                write!(f, "R{rack:02}-M{midplane}-I{io:02}")
+            }
+            Location::NodeCard {
+                rack,
+                midplane,
+                node_card,
+            } => {
+                write!(f, "R{rack:02}-M{midplane}-N{node_card:02}")
+            }
+            Location::ComputeCard {
+                rack,
+                midplane,
+                node_card,
+                compute_card,
+            } => {
+                write!(
+                    f,
+                    "R{rack:02}-M{midplane}-N{node_card:02}-C{compute_card:02}"
+                )
+            }
+            Location::Chip {
+                rack,
+                midplane,
+                node_card,
+                compute_card,
+                chip,
+            } => write!(
+                f,
+                "R{rack:02}-M{midplane}-N{node_card:02}-C{compute_card:02}-J{chip:02}"
+            ),
+        }
+    }
+}
+
+impl core::str::FromStr for Location {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        fn num(part: &str, prefix: char) -> Result<u8, ParseError> {
+            part.strip_prefix(prefix)
+                .ok_or_else(|| ParseError::new(format!("expected `{prefix}…` in `{part}`")))?
+                .parse::<u8>()
+                .map_err(|e| ParseError::new(format!("bad number in `{part}`: {e}")))
+        }
+
+        if s == "SYS" {
+            return Ok(Location::System);
+        }
+        let parts: Vec<&str> = s.split('-').collect();
+        let rack = num(parts[0], 'R')?;
+        match parts.len() {
+            1 => Ok(Location::Rack { rack }),
+            2 => Ok(Location::Midplane {
+                rack,
+                midplane: num(parts[1], 'M')?,
+            }),
+            3 => {
+                let midplane = num(parts[1], 'M')?;
+                let p = parts[2];
+                if p == "S" {
+                    Ok(Location::ServiceCard { rack, midplane })
+                } else if p.starts_with('L') {
+                    Ok(Location::LinkCard {
+                        rack,
+                        midplane,
+                        link: num(p, 'L')?,
+                    })
+                } else if p.starts_with('I') {
+                    Ok(Location::IoNode {
+                        rack,
+                        midplane,
+                        io: num(p, 'I')?,
+                    })
+                } else {
+                    Ok(Location::NodeCard {
+                        rack,
+                        midplane,
+                        node_card: num(p, 'N')?,
+                    })
+                }
+            }
+            4 => Ok(Location::ComputeCard {
+                rack,
+                midplane: num(parts[1], 'M')?,
+                node_card: num(parts[2], 'N')?,
+                compute_card: num(parts[3], 'C')?,
+            }),
+            5 => Ok(Location::Chip {
+                rack,
+                midplane: num(parts[1], 'M')?,
+                node_card: num(parts[2], 'N')?,
+                compute_card: num(parts[3], 'C')?,
+                chip: num(parts[4], 'J')?,
+            }),
+            _ => Err(ParseError::new(format!("malformed location `{s}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(loc: Location) {
+        let s = loc.to_string();
+        assert_eq!(s.parse::<Location>().unwrap(), loc, "via `{s}`");
+    }
+
+    #[test]
+    fn display_matches_bgl_convention() {
+        assert_eq!(
+            Location::chip(1, 0, 4, 7, 1).to_string(),
+            "R01-M0-N04-C07-J01"
+        );
+        assert_eq!(
+            Location::ServiceCard {
+                rack: 1,
+                midplane: 1
+            }
+            .to_string(),
+            "R01-M1-S"
+        );
+        assert_eq!(
+            Location::IoNode {
+                rack: 0,
+                midplane: 0,
+                io: 3
+            }
+            .to_string(),
+            "R00-M0-I03"
+        );
+        assert_eq!(Location::System.to_string(), "SYS");
+    }
+
+    #[test]
+    fn round_trips_all_variants() {
+        roundtrip(Location::System);
+        roundtrip(Location::Rack { rack: 2 });
+        roundtrip(Location::Midplane {
+            rack: 2,
+            midplane: 1,
+        });
+        roundtrip(Location::ServiceCard {
+            rack: 0,
+            midplane: 0,
+        });
+        roundtrip(Location::LinkCard {
+            rack: 1,
+            midplane: 0,
+            link: 3,
+        });
+        roundtrip(Location::IoNode {
+            rack: 1,
+            midplane: 1,
+            io: 12,
+        });
+        roundtrip(Location::NodeCard {
+            rack: 0,
+            midplane: 1,
+            node_card: 15,
+        });
+        roundtrip(Location::ComputeCard {
+            rack: 0,
+            midplane: 0,
+            node_card: 3,
+            compute_card: 9,
+        });
+        roundtrip(Location::chip(2, 1, 15, 15, 1));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("".parse::<Location>().is_err());
+        assert!("X01".parse::<Location>().is_err());
+        assert!("R01-M0-N04-C07-J01-Z9".parse::<Location>().is_err());
+        assert!("R01-Mx".parse::<Location>().is_err());
+    }
+
+    #[test]
+    fn containment_follows_hierarchy() {
+        let chip = Location::chip(1, 0, 4, 7, 1);
+        let card = Location::ComputeCard {
+            rack: 1,
+            midplane: 0,
+            node_card: 4,
+            compute_card: 7,
+        };
+        let ncard = Location::NodeCard {
+            rack: 1,
+            midplane: 0,
+            node_card: 4,
+        };
+        let mp = Location::Midplane {
+            rack: 1,
+            midplane: 0,
+        };
+        let rack = Location::Rack { rack: 1 };
+
+        for outer in [Location::System, rack, mp, ncard, card] {
+            assert!(outer.contains(&chip), "{outer} should contain {chip}");
+        }
+        assert!(chip.contains(&chip));
+        assert!(!chip.contains(&card));
+        assert!(!ncard.contains(&Location::chip(1, 0, 5, 7, 1)));
+        assert!(!Location::Rack { rack: 0 }.contains(&chip));
+        assert!(mp.contains(&Location::ServiceCard {
+            rack: 1,
+            midplane: 0
+        }));
+        assert!(!ncard.contains(&Location::ServiceCard {
+            rack: 1,
+            midplane: 0
+        }));
+    }
+}

@@ -1,0 +1,121 @@
+//! Event severity levels.
+
+use crate::error::ParseError;
+use serde::{Deserialize, Serialize};
+
+/// Severity of a RAS event, in increasing order of severity.
+///
+/// An event with severity below [`Severity::Fatal`] is informative or
+/// configuration-related and largely transparent to applications; `FATAL`
+/// and `FAILURE` events usually lead to system or application crashes and
+/// are the prediction targets.
+///
+/// Note that the logged severity is *not* authoritative: as observed by
+/// Oliner & Stearley (DSN'07) and in the paper, some events logged as
+/// `FATAL`/`FAILURE` are not truly fatal. The
+/// [`EventCatalog`](crate::catalog::EventCatalog) carries the corrected
+/// fatal/non-fatal classing produced together with system administrators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// General reliability information for administrators.
+    Info,
+    /// Unusual events in node cards, link cards, service cards or services.
+    Warning,
+    /// More information about causes of problems in node/service cards.
+    Severe,
+    /// Problems that require further attention of administrators.
+    Error,
+    /// Events that usually lead to system or application crashes.
+    Fatal,
+    /// The most severe class of crash-inducing events.
+    Failure,
+}
+
+impl Severity {
+    /// All severities, in increasing order.
+    pub const ALL: [Severity; 6] = [
+        Severity::Info,
+        Severity::Warning,
+        Severity::Severe,
+        Severity::Error,
+        Severity::Fatal,
+        Severity::Failure,
+    ];
+
+    /// `true` for the `FATAL` and `FAILURE` levels *as logged*.
+    ///
+    /// Prefer the catalog's corrected classing for training and evaluation.
+    #[inline]
+    pub fn is_fatal_as_logged(self) -> bool {
+        matches!(self, Severity::Fatal | Severity::Failure)
+    }
+
+    /// Canonical upper-case log token (e.g. `"FATAL"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "INFO",
+            Severity::Warning => "WARNING",
+            Severity::Severe => "SEVERE",
+            Severity::Error => "ERROR",
+            Severity::Fatal => "FATAL",
+            Severity::Failure => "FAILURE",
+        }
+    }
+}
+
+impl core::fmt::Display for Severity {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl core::str::FromStr for Severity {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "INFO" => Ok(Severity::Info),
+            "WARNING" => Ok(Severity::Warning),
+            "SEVERE" => Ok(Severity::Severe),
+            "ERROR" => Ok(Severity::Error),
+            "FATAL" => Ok(Severity::Fatal),
+            "FAILURE" => Ok(Severity::Failure),
+            other => Err(ParseError::new(format!("unknown severity `{other}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_increasing_severity() {
+        for w in Severity::ALL.windows(2) {
+            assert!(w[0] < w[1], "{:?} should be < {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn fatal_as_logged() {
+        assert!(Severity::Fatal.is_fatal_as_logged());
+        assert!(Severity::Failure.is_fatal_as_logged());
+        for s in [
+            Severity::Info,
+            Severity::Warning,
+            Severity::Severe,
+            Severity::Error,
+        ] {
+            assert!(!s.is_fatal_as_logged());
+        }
+    }
+
+    #[test]
+    fn round_trip_strings() {
+        for s in Severity::ALL {
+            assert_eq!(s.as_str().parse::<Severity>().unwrap(), s);
+        }
+        assert!("fatal".parse::<Severity>().is_err());
+        assert!("".parse::<Severity>().is_err());
+    }
+}

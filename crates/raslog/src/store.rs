@@ -1,0 +1,265 @@
+//! Time-sorted log containers with window and weekly slicing.
+
+use crate::event::{CleanEvent, RasEvent};
+use crate::facility::Facility;
+use crate::severity::Severity;
+use crate::time::{Timestamp, WEEK_MS};
+use serde::{Deserialize, Serialize};
+
+/// Anything that carries an event time. Implemented for both raw and clean
+/// events so the slicing helpers are shared.
+pub trait Timed {
+    /// The event time.
+    fn time(&self) -> Timestamp;
+}
+
+impl Timed for RasEvent {
+    #[inline]
+    fn time(&self) -> Timestamp {
+        self.time
+    }
+}
+
+impl Timed for CleanEvent {
+    #[inline]
+    fn time(&self) -> Timestamp {
+        self.time
+    }
+}
+
+/// Returns the contiguous subslice of `events` (sorted by time) with times
+/// in `[from, to)`.
+pub fn window<T: Timed>(events: &[T], from: Timestamp, to: Timestamp) -> &[T] {
+    let lo = events.partition_point(|e| e.time() < from);
+    let hi = events.partition_point(|e| e.time() < to);
+    &events[lo..hi]
+}
+
+/// Returns the subslice for zero-based week `w` (times in
+/// `[w·WEEK, (w+1)·WEEK)`).
+pub fn week_slice<T: Timed>(events: &[T], w: i64) -> &[T] {
+    window(events, Timestamp(w * WEEK_MS), Timestamp((w + 1) * WEEK_MS))
+}
+
+/// A time-sorted store of raw RAS events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LogStore {
+    events: Vec<RasEvent>,
+}
+
+impl LogStore {
+    /// Builds a store, sorting the records by `(time, record_id)`.
+    pub fn from_events(mut events: Vec<RasEvent>) -> Self {
+        events.sort_by_key(|e| (e.time, e.record_id));
+        LogStore { events }
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[RasEvent] {
+        &self.events
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events with times in `[from, to)`.
+    pub fn window(&self, from: Timestamp, to: Timestamp) -> &[RasEvent] {
+        window(&self.events, from, to)
+    }
+
+    /// Events of zero-based week `w`.
+    pub fn week(&self, w: i64) -> &[RasEvent] {
+        week_slice(&self.events, w)
+    }
+
+    /// Number of whole-or-partial weeks spanned, assuming the log starts at
+    /// the epoch (week 0). Empty stores span zero weeks.
+    pub fn weeks(&self) -> i64 {
+        match self.events.last() {
+            None => 0,
+            Some(last) => last.time.week_index() + 1,
+        }
+    }
+
+    /// Record counts per facility (Table 4 rows, threshold 0).
+    pub fn counts_by_facility(&self) -> [usize; 10] {
+        let mut counts = [0usize; 10];
+        for e in &self.events {
+            counts[e.facility.index()] += 1;
+        }
+        counts
+    }
+
+    /// Record count for one facility.
+    pub fn facility_count(&self, facility: Facility) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.facility == facility)
+            .count()
+    }
+
+    /// Record counts per logged severity.
+    pub fn counts_by_severity(&self) -> Vec<(Severity, usize)> {
+        Severity::ALL
+            .iter()
+            .map(|&s| (s, self.events.iter().filter(|e| e.severity == s).count()))
+            .collect()
+    }
+
+    /// Approximate serialized size in bytes of the plain-text log (used to
+    /// report the "Log Size" column of Table 2).
+    pub fn approx_text_size(&self) -> usize {
+        self.events.iter().map(crate::io::line_len).sum()
+    }
+}
+
+/// Helpers over preprocessed event streams.
+pub mod clean {
+    use super::*;
+
+    /// Times of all fatal events, in order.
+    pub fn fatal_times(events: &[CleanEvent]) -> Vec<Timestamp> {
+        events.iter().filter(|e| e.fatal).map(|e| e.time).collect()
+    }
+
+    /// Number of fatal events.
+    pub fn fatal_count(events: &[CleanEvent]) -> usize {
+        events.iter().filter(|e| e.fatal).count()
+    }
+
+    /// Inter-arrival times (in seconds) between adjacent fatal events.
+    pub fn fatal_interarrivals_secs(events: &[CleanEvent]) -> Vec<f64> {
+        let times = fatal_times(events);
+        times
+            .windows(2)
+            .map(|w| (w[1] - w[0]).as_secs_f64())
+            .collect()
+    }
+
+    /// Fatal events per day, as `(day_index, count)` for every day in the
+    /// span of `events` (days with zero fatals included).
+    pub fn fatals_per_day(events: &[CleanEvent]) -> Vec<(i64, usize)> {
+        if events.is_empty() {
+            return Vec::new();
+        }
+        let first = events.first().unwrap().time.day_index();
+        let last = events.last().unwrap().time.day_index();
+        let mut counts = vec![0usize; (last - first + 1) as usize];
+        for e in events.iter().filter(|e| e.fatal) {
+            counts[(e.time.day_index() - first) as usize] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (first + i as i64, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::EventTypeId;
+    use crate::event::RecordSource;
+    use crate::location::Location;
+
+    fn ev(id: u64, secs: i64) -> RasEvent {
+        RasEvent {
+            record_id: id,
+            source: RecordSource::Ras,
+            time: Timestamp::from_secs(secs),
+            job_id: None,
+            location: Location::System,
+            entry_data: "x".into(),
+            facility: if id.is_multiple_of(2) {
+                Facility::Kernel
+            } else {
+                Facility::App
+            },
+            severity: Severity::Info,
+        }
+    }
+
+    #[test]
+    fn from_events_sorts() {
+        let store = LogStore::from_events(vec![ev(2, 30), ev(1, 10), ev(3, 20)]);
+        let times: Vec<i64> = store.events().iter().map(|e| e.time.as_secs()).collect();
+        assert_eq!(times, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn window_half_open() {
+        let store = LogStore::from_events((0..10).map(|i| ev(i, i as i64 * 10)).collect());
+        let w = store.window(Timestamp::from_secs(20), Timestamp::from_secs(50));
+        assert_eq!(w.len(), 3); // 20, 30, 40 — 50 excluded
+        assert_eq!(w[0].time.as_secs(), 20);
+        assert_eq!(w.last().unwrap().time.as_secs(), 40);
+        assert!(store
+            .window(Timestamp::from_secs(500), Timestamp::from_secs(600))
+            .is_empty());
+        assert!(store
+            .window(Timestamp::from_secs(50), Timestamp::from_secs(50))
+            .is_empty());
+    }
+
+    #[test]
+    fn weeks_and_week_slices() {
+        let week_secs = WEEK_MS / 1000;
+        let store = LogStore::from_events(vec![
+            ev(0, 5),
+            ev(1, week_secs + 5),
+            ev(2, week_secs * 2 + 5),
+        ]);
+        assert_eq!(store.weeks(), 3);
+        assert_eq!(store.week(0).len(), 1);
+        assert_eq!(store.week(1).len(), 1);
+        assert_eq!(store.week(5).len(), 0);
+        assert_eq!(LogStore::default().weeks(), 0);
+    }
+
+    #[test]
+    fn facility_counts() {
+        let store = LogStore::from_events((0..5).map(|i| ev(i, i as i64)).collect());
+        let counts = store.counts_by_facility();
+        assert_eq!(counts[Facility::Kernel.index()], 3);
+        assert_eq!(counts[Facility::App.index()], 2);
+        assert_eq!(store.facility_count(Facility::Kernel), 3);
+        assert_eq!(counts.iter().sum::<usize>(), store.len());
+    }
+
+    #[test]
+    fn clean_helpers() {
+        use super::clean::*;
+        let mk = |secs: i64, fatal: bool| {
+            CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(0), fatal)
+        };
+        let events = vec![mk(0, false), mk(100, true), mk(400, true), mk(1000, true)];
+        assert_eq!(fatal_count(&events), 3);
+        assert_eq!(fatal_interarrivals_secs(&events), vec![300.0, 600.0]);
+        let per_day = fatals_per_day(&events);
+        assert_eq!(per_day, vec![(0, 3)]);
+        assert!(fatals_per_day(&[]).is_empty());
+    }
+
+    #[test]
+    fn fatals_per_day_spans_gaps() {
+        let day = 86_400;
+        let mk = |secs: i64, fatal: bool| {
+            CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(0), fatal)
+        };
+        let events = vec![
+            mk(10, true),
+            mk(day * 2 + 10, true),
+            mk(day * 2 + 20, false),
+        ];
+        let per_day = super::clean::fatals_per_day(&events);
+        assert_eq!(per_day, vec![(0, 1), (1, 0), (2, 1)]);
+    }
+}

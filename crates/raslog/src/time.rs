@@ -1,0 +1,226 @@
+//! Timestamps and durations.
+//!
+//! The Blue Gene logging facility records events at sub-second granularity
+//! but reports timestamps in seconds or minutes; we store milliseconds since
+//! an arbitrary epoch (the start of the log) so that temporal compression,
+//! window arithmetic and week slicing are exact integer operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Milliseconds in one second.
+pub const SECOND_MS: i64 = 1_000;
+/// Milliseconds in one minute.
+pub const MINUTE_MS: i64 = 60 * SECOND_MS;
+/// Milliseconds in one hour.
+pub const HOUR_MS: i64 = 60 * MINUTE_MS;
+/// Milliseconds in one day.
+pub const DAY_MS: i64 = 24 * HOUR_MS;
+/// Milliseconds in one week.
+pub const WEEK_MS: i64 = 7 * DAY_MS;
+
+/// A point in time, in milliseconds since the log epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Timestamp(pub i64);
+
+/// A span of time, in milliseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Duration(pub i64);
+
+impl Timestamp {
+    /// The log epoch (time zero).
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Builds a timestamp from whole seconds.
+    pub fn from_secs(secs: i64) -> Self {
+        Timestamp(secs * SECOND_MS)
+    }
+
+    /// Milliseconds since the epoch.
+    #[inline]
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    #[inline]
+    pub fn as_secs(self) -> i64 {
+        self.0 / SECOND_MS
+    }
+
+    /// Zero-based index of the week containing this instant.
+    ///
+    /// Negative times belong to week `-1`, `-2`, … (flooring division), so
+    /// a training window that starts before the epoch still maps sensibly.
+    #[inline]
+    pub fn week_index(self) -> i64 {
+        self.0.div_euclid(WEEK_MS)
+    }
+
+    /// Zero-based index of the day containing this instant.
+    #[inline]
+    pub fn day_index(self) -> i64 {
+        self.0.div_euclid(DAY_MS)
+    }
+
+    /// Elapsed time from `earlier` to `self` (may be negative).
+    #[inline]
+    pub fn since(self, earlier: Timestamp) -> Duration {
+        Duration(self.0 - earlier.0)
+    }
+}
+
+impl Duration {
+    /// The zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Builds a duration from whole seconds.
+    pub const fn from_secs(secs: i64) -> Self {
+        Duration(secs * SECOND_MS)
+    }
+
+    /// Builds a duration from whole minutes.
+    pub const fn from_mins(mins: i64) -> Self {
+        Duration(mins * MINUTE_MS)
+    }
+
+    /// Builds a duration from whole hours.
+    pub const fn from_hours(hours: i64) -> Self {
+        Duration(hours * HOUR_MS)
+    }
+
+    /// Builds a duration from whole weeks.
+    pub const fn from_weeks(weeks: i64) -> Self {
+        Duration(weeks * WEEK_MS)
+    }
+
+    /// Length in milliseconds.
+    #[inline]
+    pub fn millis(self) -> i64 {
+        self.0
+    }
+
+    /// Length in (possibly fractional) seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / SECOND_MS as f64
+    }
+
+    /// Length in whole seconds (truncating).
+    #[inline]
+    pub fn as_secs(self) -> i64 {
+        self.0 / SECOND_MS
+    }
+
+    /// `true` when the duration is negative.
+    #[inline]
+    pub fn is_negative(self) -> bool {
+        self.0 < 0
+    }
+}
+
+impl core::ops::Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn add(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Sub<Duration> for Timestamp {
+    type Output = Timestamp;
+    #[inline]
+    fn sub(self, rhs: Duration) -> Timestamp {
+        Timestamp(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    #[inline]
+    fn sub(self, rhs: Timestamp) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl core::ops::Add<Duration> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+impl core::ops::Mul<i64> for Duration {
+    type Output = Duration;
+    #[inline]
+    fn mul(self, rhs: i64) -> Duration {
+        Duration(self.0 * rhs)
+    }
+}
+
+impl core::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl core::fmt::Display for Duration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        if self.0 % SECOND_MS == 0 {
+            write!(f, "{}s", self.0 / SECOND_MS)
+        } else {
+            write!(f, "{}ms", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn week_index_boundaries() {
+        assert_eq!(Timestamp(0).week_index(), 0);
+        assert_eq!(Timestamp(WEEK_MS - 1).week_index(), 0);
+        assert_eq!(Timestamp(WEEK_MS).week_index(), 1);
+        assert_eq!(Timestamp(-1).week_index(), -1);
+        assert_eq!(Timestamp(-WEEK_MS).week_index(), -1);
+        assert_eq!(Timestamp(-WEEK_MS - 1).week_index(), -2);
+    }
+
+    #[test]
+    fn arithmetic_round_trips() {
+        let t = Timestamp::from_secs(1000);
+        let d = Duration::from_secs(300);
+        assert_eq!((t + d) - d, t);
+        assert_eq!((t + d) - t, d);
+        assert_eq!(t.since(t + d), Duration::from_secs(-300));
+        assert!(t.since(t + d).is_negative());
+    }
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Duration::from_mins(5), Duration::from_secs(300));
+        assert_eq!(Duration::from_hours(2), Duration::from_mins(120));
+        assert_eq!(Duration::from_weeks(1).millis(), WEEK_MS);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Duration::from_secs(300).to_string(), "300s");
+        assert_eq!(Duration(1500).to_string(), "1500ms");
+        assert_eq!(Timestamp(42).to_string(), "42ms");
+    }
+
+    #[test]
+    fn day_index() {
+        assert_eq!(Timestamp(DAY_MS * 3 + 5).day_index(), 3);
+        assert_eq!(Timestamp(-1).day_index(), -1);
+    }
+}

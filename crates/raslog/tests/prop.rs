@@ -1,0 +1,161 @@
+//! Property-based tests for the RAS log data model.
+
+use proptest::prelude::*;
+use raslog::store::{week_slice, window, Timed};
+use raslog::{
+    CleanEvent, Duration, EventTypeId, Facility, JobId, Location, RasEvent, RecordSource, Severity,
+    Timestamp,
+};
+
+fn arb_location() -> impl Strategy<Value = Location> {
+    prop_oneof![
+        Just(Location::System),
+        (0u8..64).prop_map(|rack| Location::Rack { rack }),
+        (0u8..64, 0u8..2).prop_map(|(rack, midplane)| Location::Midplane { rack, midplane }),
+        (0u8..64, 0u8..2).prop_map(|(rack, midplane)| Location::ServiceCard { rack, midplane }),
+        (0u8..64, 0u8..2, 0u8..4).prop_map(|(rack, midplane, link)| Location::LinkCard {
+            rack,
+            midplane,
+            link
+        }),
+        (0u8..64, 0u8..2, 0u8..64).prop_map(|(rack, midplane, io)| Location::IoNode {
+            rack,
+            midplane,
+            io
+        }),
+        (0u8..64, 0u8..2, 0u8..16).prop_map(|(rack, midplane, node_card)| Location::NodeCard {
+            rack,
+            midplane,
+            node_card
+        }),
+        (0u8..64, 0u8..2, 0u8..16, 0u8..16).prop_map(
+            |(rack, midplane, node_card, compute_card)| {
+                Location::ComputeCard {
+                    rack,
+                    midplane,
+                    node_card,
+                    compute_card,
+                }
+            }
+        ),
+        (0u8..64, 0u8..2, 0u8..16, 0u8..16, 0u8..2).prop_map(
+            |(rack, midplane, node_card, compute_card, chip)| Location::Chip {
+                rack,
+                midplane,
+                node_card,
+                compute_card,
+                chip
+            }
+        ),
+    ]
+}
+
+fn arb_severity() -> impl Strategy<Value = Severity> {
+    prop::sample::select(Severity::ALL.to_vec())
+}
+
+fn arb_facility() -> impl Strategy<Value = Facility> {
+    prop::sample::select(Facility::ALL.to_vec())
+}
+
+fn arb_event() -> impl Strategy<Value = RasEvent> {
+    (
+        any::<u64>(),
+        prop::sample::select(vec![
+            RecordSource::Ras,
+            RecordSource::MachineCheck,
+            RecordSource::Diagnostic,
+        ]),
+        0i64..10_000_000_000,
+        prop::option::of(any::<u32>()),
+        arb_location(),
+        // Entry data: printable, no newlines (pipes allowed by format).
+        "[ -~]{0,40}",
+        arb_facility(),
+        arb_severity(),
+    )
+        .prop_map(
+            |(record_id, source, t, job, location, entry_data, facility, severity)| RasEvent {
+                record_id,
+                source,
+                time: Timestamp(t),
+                job_id: job.map(JobId),
+                location,
+                entry_data,
+                facility,
+                severity,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn location_display_parse_round_trip(loc in arb_location()) {
+        let s = loc.to_string();
+        prop_assert_eq!(s.parse::<Location>().unwrap(), loc);
+    }
+
+    #[test]
+    fn containment_is_reflexive_and_antisymmetric_ish(a in arb_location(), b in arb_location()) {
+        prop_assert!(a.contains(&a));
+        if a != b && a.contains(&b) {
+            prop_assert!(!b.contains(&a), "{} and {} contain each other", a, b);
+        }
+    }
+
+    #[test]
+    fn log_line_round_trip(ev in arb_event()) {
+        let line = raslog::io::format_line(&ev);
+        let back = raslog::io::parse_line(&line).unwrap();
+        prop_assert_eq!(back, ev);
+    }
+
+    #[test]
+    fn whole_log_round_trip(events in prop::collection::vec(arb_event(), 0..50)) {
+        let mut buf = Vec::new();
+        raslog::io::write_log(&events, &mut buf).unwrap();
+        let back = raslog::io::read_log(buf.as_slice()).unwrap();
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn window_matches_brute_force(
+        times in prop::collection::vec(0i64..1000, 0..100),
+        from in 0i64..1000,
+        len in 0i64..1000,
+    ) {
+        let mut events: Vec<CleanEvent> = times
+            .iter()
+            .map(|&t| CleanEvent::new(Timestamp(t), EventTypeId(0), false))
+            .collect();
+        events.sort_by_key(|e| e.time);
+        let to = from + len;
+        let got = window(&events, Timestamp(from), Timestamp(to));
+        let expected: Vec<&CleanEvent> = events
+            .iter()
+            .filter(|e| e.time.millis() >= from && e.time.millis() < to)
+            .collect();
+        prop_assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(expected) {
+            prop_assert_eq!(g.time(), e.time());
+        }
+    }
+
+    #[test]
+    fn week_slices_partition_the_log(times in prop::collection::vec(0i64..(4 * 7 * 24 * 3600 * 1000), 0..100)) {
+        let mut events: Vec<CleanEvent> = times
+            .iter()
+            .map(|&t| CleanEvent::new(Timestamp(t), EventTypeId(0), false))
+            .collect();
+        events.sort_by_key(|e| e.time);
+        let total: usize = (0..4).map(|w| week_slice(&events, w).len()).sum();
+        prop_assert_eq!(total, events.len());
+    }
+
+    #[test]
+    fn timestamp_week_index_consistent_with_arithmetic(t in -10i64..10_000_000_000, w in 1i64..100) {
+        let ts = Timestamp(t);
+        let shifted = ts + Duration::from_weeks(w);
+        prop_assert_eq!(shifted.week_index(), ts.week_index() + w);
+    }
+}

@@ -1,0 +1,21 @@
+//! # dynamic-meta-learning — umbrella crate
+//!
+//! Re-exports the public API of the dynamic meta-learning failure-prediction
+//! framework so applications can depend on a single crate:
+//!
+//! * [`raslog`] — RAS event model and log containers,
+//! * [`bgl_sim`] — synthetic Blue Gene/L log generator,
+//! * [`preprocess`] — event categorizer and compression filter,
+//! * [`apriori`] — association-rule mining,
+//! * [`dml_stats`] — distribution fitting and accuracy math,
+//! * [`dml_core`] — base learners, meta-learner, reviser, predictor and the
+//!   dynamic retraining driver.
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough.
+
+pub use apriori;
+pub use bgl_sim;
+pub use dml_core;
+pub use dml_stats;
+pub use preprocess;
+pub use raslog;

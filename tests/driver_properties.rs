@@ -1,0 +1,166 @@
+//! Cross-crate driver-level invariants on realistic synthetic data.
+
+use dynamic_meta_learning::bgl_sim::{Generator, SystemPreset};
+use dynamic_meta_learning::dml_core::{
+    run_driver, DriverConfig, FrameworkConfig, RuleKind, TrainingPolicy,
+};
+use dynamic_meta_learning::preprocess::{clean_log, Categorizer, FilterConfig};
+use raslog::Duration;
+
+const WEEKS: i64 = 24;
+
+fn dataset(seed: u64) -> Vec<raslog::CleanEvent> {
+    let generator = Generator::new(
+        SystemPreset::sdsc()
+            .with_weeks(WEEKS)
+            .with_volume_scale(0.08),
+        seed,
+    );
+    let categorizer = Categorizer::new(generator.catalog().clone());
+    let mut clean = Vec::new();
+    for week in 0..WEEKS {
+        let (raw, _) = generator.week_events(week);
+        let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+        clean.append(&mut c);
+    }
+    clean
+}
+
+fn config(policy: TrainingPolicy) -> DriverConfig {
+    DriverConfig {
+        framework: FrameworkConfig {
+            retrain_weeks: 4,
+            ..FrameworkConfig::default()
+        },
+        policy,
+        initial_training_weeks: 12,
+        only_kind: None,
+    }
+}
+
+#[test]
+fn meta_recall_at_least_each_base_learner() {
+    let clean = dataset(3);
+    let meta = run_driver(&clean, WEEKS, &config(TrainingPolicy::Static));
+    for kind in [
+        RuleKind::Association,
+        RuleKind::Statistical,
+        RuleKind::Distribution,
+    ] {
+        let base = run_driver(
+            &clean,
+            WEEKS,
+            &DriverConfig {
+                only_kind: Some(kind),
+                ..config(TrainingPolicy::Static)
+            },
+        );
+        assert!(
+            meta.overall.recall() + 1e-9 >= base.overall.recall(),
+            "meta {} < {kind:?} {}",
+            meta.overall.recall(),
+            base.overall.recall()
+        );
+    }
+}
+
+#[test]
+fn warnings_are_ordered_and_well_formed() {
+    let clean = dataset(5);
+    let report = run_driver(&clean, WEEKS, &config(TrainingPolicy::SlidingWeeks(12)));
+    assert!(!report.warnings.is_empty());
+    for w in report.warnings.windows(2) {
+        assert!(w[0].issued_at <= w[1].issued_at);
+    }
+    for w in &report.warnings {
+        assert!(w.deadline > w.issued_at);
+        match w.kind {
+            RuleKind::Association => assert!(w.predicted.is_some()),
+            _ => assert!(w.predicted.is_none()),
+        }
+    }
+}
+
+#[test]
+fn churn_bookkeeping_is_consistent() {
+    let clean = dataset(7);
+    let report = run_driver(&clean, WEEKS, &config(TrainingPolicy::SlidingWeeks(12)));
+    assert!(report.churn.len() >= 2);
+    // unchanged + added == total of the new repository at every step.
+    for c in &report.churn {
+        assert_eq!(c.unchanged + c.added, c.total, "at week {}", c.week);
+    }
+    // unchanged + removed_by_learner == total of the previous repository.
+    for pair in report.churn.windows(2) {
+        assert_eq!(
+            pair[1].unchanged + pair[1].removed_by_learner,
+            pair[0].total,
+            "between weeks {} and {}",
+            pair[0].week,
+            pair[1].week
+        );
+    }
+}
+
+#[test]
+fn larger_window_increases_recall() {
+    let clean = dataset(9);
+    let run_window = |mins: i64| {
+        let mut cfg = config(TrainingPolicy::SlidingWeeks(12));
+        cfg.framework.window = Duration::from_mins(mins);
+        run_driver(&clean, WEEKS, &cfg).overall
+    };
+    let small = run_window(5);
+    let large = run_window(120);
+    assert!(
+        large.recall() >= small.recall() - 0.02,
+        "recall should not shrink with the window: {} vs {}",
+        large.recall(),
+        small.recall()
+    );
+}
+
+#[test]
+fn reviser_never_underperforms_badly() {
+    let clean = dataset(11);
+    let with = run_driver(
+        &clean,
+        WEEKS,
+        &DriverConfig {
+            framework: FrameworkConfig {
+                use_reviser: true,
+                ..FrameworkConfig::default()
+            },
+            ..config(TrainingPolicy::SlidingWeeks(12))
+        },
+    );
+    let without = run_driver(
+        &clean,
+        WEEKS,
+        &DriverConfig {
+            framework: FrameworkConfig {
+                use_reviser: false,
+                ..FrameworkConfig::default()
+            },
+            ..config(TrainingPolicy::SlidingWeeks(12))
+        },
+    );
+    // The reviser prunes bad rules: precision must not regress.
+    assert!(
+        with.overall.precision() + 0.05 >= without.overall.precision(),
+        "reviser hurt precision: {} vs {}",
+        with.overall.precision(),
+        without.overall.precision()
+    );
+}
+
+#[test]
+fn deterministic_given_seed() {
+    let a = dataset(13);
+    let b = dataset(13);
+    assert_eq!(a, b);
+    let ra = run_driver(&a, WEEKS, &config(TrainingPolicy::SlidingWeeks(12)));
+    let rb = run_driver(&b, WEEKS, &config(TrainingPolicy::SlidingWeeks(12)));
+    assert_eq!(ra.warnings, rb.warnings);
+    assert_eq!(ra.overall, rb.overall);
+}

@@ -1,0 +1,128 @@
+//! Integration tests for the beyond-the-paper extensions: the adaptive
+//! window controller, the extended (4-learner) ensemble, persistence and
+//! the streaming accuracy tracker — all on realistic synthetic data.
+
+use dynamic_meta_learning::bgl_sim::{Generator, SystemPreset};
+use dynamic_meta_learning::dml_core::{
+    evaluation, learners::extended_learners, load_repository, run_adaptive_driver, save_repository,
+    AccuracyTracker, AdaptiveWindowConfig, DriverConfig, FrameworkConfig, MetaLearner, Predictor,
+    TrainingPolicy,
+};
+use dynamic_meta_learning::preprocess::{clean_log, Categorizer, FilterConfig};
+use raslog::store::window;
+use raslog::{Duration, Timestamp, WEEK_MS};
+
+const WEEKS: i64 = 24;
+
+fn dataset(seed: u64) -> Vec<raslog::CleanEvent> {
+    let generator = Generator::new(
+        SystemPreset::sdsc()
+            .with_weeks(WEEKS)
+            .with_volume_scale(0.08),
+        seed,
+    );
+    let categorizer = Categorizer::new(generator.catalog().clone());
+    let mut clean = Vec::new();
+    for week in 0..WEEKS {
+        let (raw, _) = generator.week_events(week);
+        let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+        clean.append(&mut c);
+    }
+    clean
+}
+
+#[test]
+fn adaptive_driver_stays_within_bounds_and_predicts() {
+    let clean = dataset(31);
+    let base = DriverConfig {
+        framework: FrameworkConfig {
+            retrain_weeks: 4,
+            ..FrameworkConfig::default()
+        },
+        policy: TrainingPolicy::SlidingWeeks(12),
+        initial_training_weeks: 12,
+        only_kind: None,
+    };
+    let adaptive = AdaptiveWindowConfig::default();
+    let out = run_adaptive_driver(&clean, WEEKS, &base, &adaptive);
+    assert!(!out.trajectory.is_empty());
+    for step in &out.trajectory {
+        assert!(step.window >= adaptive.min_window && step.window <= adaptive.max_window);
+    }
+    assert!(
+        out.report.overall.recall() > 0.3,
+        "recall {}",
+        out.report.overall.recall()
+    );
+    // The report is internally consistent like the fixed driver's.
+    let fatals = window(&clean, Timestamp(12 * WEEK_MS), Timestamp(WEEKS * WEEK_MS))
+        .iter()
+        .filter(|e| e.fatal)
+        .count();
+    assert_eq!(
+        (out.report.overall.covered_fatals + out.report.overall.missed_fatals) as usize,
+        fatals
+    );
+}
+
+#[test]
+fn extended_ensemble_round_trips_through_persistence() {
+    let clean = dataset(33);
+    let config = FrameworkConfig::default();
+    let meta = MetaLearner::with_learners(config, extended_learners());
+    let train = window(&clean, Timestamp::ZERO, Timestamp(16 * WEEK_MS));
+    let test = window(&clean, Timestamp(16 * WEEK_MS), Timestamp(WEEKS * WEEK_MS));
+    let outcome = meta.train(train);
+
+    // Serialize, reload, and verify the reloaded repository predicts
+    // identically.
+    let mut buf = Vec::new();
+    save_repository(&outcome.repo, &mut buf).unwrap();
+    let reloaded = load_repository(buf.as_slice()).unwrap();
+    let w1 = Predictor::new(&outcome.repo, config.window).observe_all(test);
+    let w2 = Predictor::new(&reloaded, config.window).observe_all(test);
+    assert_eq!(w1, w2);
+    assert!(!w1.is_empty());
+}
+
+#[test]
+fn tracker_matches_offline_score_on_real_stream() {
+    let clean = dataset(35);
+    let config = FrameworkConfig::default();
+    let train = window(&clean, Timestamp::ZERO, Timestamp(16 * WEEK_MS));
+    let test = window(&clean, Timestamp(16 * WEEK_MS), Timestamp(WEEKS * WEEK_MS));
+    let outcome = MetaLearner::new(config).train(train);
+
+    let mut predictor = Predictor::new(&outcome.repo, config.window);
+    let mut tracker = AccuracyTracker::new(Duration::from_weeks(52));
+    let mut warnings = Vec::new();
+    for ev in test {
+        for w in predictor.observe(ev) {
+            tracker.on_warning(&w);
+            warnings.push(w);
+        }
+        tracker.on_event(ev);
+    }
+    let offline = evaluation::score(&warnings, test);
+    let rolling = tracker.rolling();
+    // Warnings still pending at stream end are unresolved in the tracker
+    // but count as false alarms offline; everything else must agree.
+    assert_eq!(rolling.covered_fatals, offline.covered_fatals);
+    assert_eq!(rolling.missed_fatals, offline.missed_fatals);
+    assert_eq!(rolling.true_warnings, offline.true_warnings);
+    assert!(rolling.false_warnings <= offline.false_warnings);
+    let pending = offline.false_warnings - rolling.false_warnings;
+    let last_time = test.last().unwrap().time;
+    let actually_pending = warnings
+        .iter()
+        .filter(|w| {
+            w.deadline >= last_time && {
+                // pending = no fatal inside the interval so far
+                !test
+                    .iter()
+                    .any(|e| e.fatal && w.issued_at < e.time && e.time <= w.deadline)
+            }
+        })
+        .count() as u64;
+    assert_eq!(pending, actually_pending);
+}

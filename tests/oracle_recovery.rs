@@ -1,0 +1,131 @@
+//! Oracle tests: the learners must rediscover what the generator planted.
+
+use dynamic_meta_learning::bgl_sim::{Generator, SystemPreset};
+use dynamic_meta_learning::dml_core::{FrameworkConfig, MetaLearner, Rule, RuleKind};
+use dynamic_meta_learning::preprocess::{clean_log, Categorizer, FilterConfig};
+use std::collections::HashSet;
+
+fn clean_weeks(generator: &Generator, weeks: i64) -> Vec<raslog::CleanEvent> {
+    let categorizer = Categorizer::new(generator.catalog().clone());
+    let mut clean = Vec::new();
+    for week in 0..weeks {
+        let (raw, _) = generator.week_events(week);
+        let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+        clean.append(&mut c);
+    }
+    clean
+}
+
+#[test]
+fn association_learner_rediscovers_planted_cascades() {
+    let generator = Generator::new(
+        SystemPreset::sdsc().with_weeks(26).with_volume_scale(0.08),
+        17,
+    );
+    let clean = clean_weeks(&generator, 26);
+    let outcome = MetaLearner::new(FrameworkConfig::default()).train(&clean);
+
+    // Ground truth: the cascade rules in force over the training span
+    // (drift is slow; take week 13's regime as representative).
+    let regime = generator.regime(13);
+    let mined_targets: HashSet<_> = outcome
+        .repo
+        .rules()
+        .iter()
+        .filter_map(|r| match &r.rule {
+            Rule::Association(a) => Some(a.fatal),
+            _ => None,
+        })
+        .collect();
+
+    // At least one of the planted heavy cascade targets must be mined with
+    // its exact precursor set.
+    let mut exact_hits = 0;
+    for planted in &regime.rules {
+        let found_exact = outcome.repo.rules().iter().any(|r| match &r.rule {
+            Rule::Association(a) => a.fatal == planted.fatal && a.antecedent == planted.precursors,
+            _ => false,
+        });
+        if found_exact {
+            exact_hits += 1;
+        }
+    }
+    assert!(
+        exact_hits >= 1,
+        "no planted cascade mined exactly; mined targets: {mined_targets:?}, planted: {:?}",
+        regime.rules.iter().map(|r| r.fatal).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn statistical_learner_matches_burst_structure() {
+    let generator = Generator::new(
+        SystemPreset::sdsc().with_weeks(26).with_volume_scale(0.08),
+        19,
+    );
+    let clean = clean_weeks(&generator, 26);
+    let outcome = MetaLearner::new(FrameworkConfig::default().with_reviser(false)).train(&clean);
+    let stat_rules: Vec<_> = outcome
+        .repo
+        .rules()
+        .iter()
+        .filter_map(|r| match &r.rule {
+            Rule::Statistical(s) => Some(*s),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !stat_rules.is_empty(),
+        "deep Zipf bursts must yield statistical rules"
+    );
+    for s in &stat_rules {
+        assert!(s.probability >= 0.8, "rule below threshold: {s:?}");
+        assert!(s.k >= 2, "k=1 cannot clear 0.8 on this workload");
+    }
+}
+
+#[test]
+fn distribution_learner_fits_the_renewal_body() {
+    let generator = Generator::new(
+        SystemPreset::sdsc().with_weeks(26).with_volume_scale(0.08),
+        21,
+    );
+    let clean = clean_weeks(&generator, 26);
+    let outcome = MetaLearner::new(FrameworkConfig::default().with_reviser(false)).train(&clean);
+    let dist: Vec<_> = outcome
+        .repo
+        .rules()
+        .iter()
+        .filter(|r| r.rule.kind() == RuleKind::Distribution)
+        .collect();
+    assert_eq!(dist.len(), 1);
+    let Rule::Distribution(d) = &dist[0].rule else {
+        unreachable!()
+    };
+    // The body is Weibull(shape 1.5, scale 46_000 · drifting multiplier);
+    // the trigger elapsed time must be in the hours range, not seconds.
+    let trigger = d.trigger_elapsed().as_secs();
+    assert!(
+        (3_600..250_000).contains(&trigger),
+        "implausible trigger {trigger}s"
+    );
+}
+
+#[test]
+fn cued_share_respects_no_precursor_majority() {
+    // The paper observes up to 75 % of fatals arrive with no precursor;
+    // the generator must keep the cued share well below half.
+    let generator = Generator::new(
+        SystemPreset::anl().with_weeks(20).with_volume_scale(0.08),
+        23,
+    );
+    let mut fatals = 0usize;
+    let mut cued = 0usize;
+    for week in 0..20 {
+        let (_, truth) = generator.week_events(week);
+        fatals += truth.fatals.len();
+        cued += truth.cued_fatals;
+    }
+    let share = cued as f64 / fatals as f64;
+    assert!(share > 0.05 && share < 0.45, "cued share {share}");
+}
