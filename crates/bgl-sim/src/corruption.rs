@@ -1,0 +1,382 @@
+//! Deterministic fault injection for generated log streams.
+//!
+//! Production RAS streams are hostile input: collector crashes truncate
+//! lines mid-record, flaky transports garble bytes and drop fields, node
+//! clocks skew, delivery reorders events, and polling agents flood
+//! duplicates. This module corrupts a generated week into the *delivery*
+//! stream an ingest pipeline would actually see, so the resilient reader
+//! and reorder buffer can be exercised under controlled, reproducible
+//! damage.
+//!
+//! Corruption happens in two composable stages, each rate-parameterized by
+//! a [`CorruptionPlan`]:
+//!
+//! * **event stage** (before serialization): clock skew, bounded
+//!   out-of-order delivery, duplicate floods;
+//! * **line stage** (after serialization): truncated lines, garbled bytes,
+//!   dropped fields, injected garbage lines.
+//!
+//! Everything is deterministic in `(plan.seed, week)`, mirroring
+//! [`Generator::week_events`](crate::generator::Generator::week_events).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use raslog::{Duration, RasEvent, Timestamp};
+
+/// Rates and bounds for every corruptor. All rates are probabilities in
+/// `[0, 1]`; a rate of zero disables that corruptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorruptionPlan {
+    /// Seed for the corruption RNG (independent of the generator seed).
+    pub seed: u64,
+    /// Chance a line is chopped at a random offset (collector crash).
+    pub truncate_rate: f64,
+    /// Chance a line has a run of bytes overwritten with garbage.
+    pub garble_rate: f64,
+    /// Chance a line loses one of its leading fields (transport bug).
+    pub drop_field_rate: f64,
+    /// Chance an unparseable junk line is injected after a record.
+    pub garbage_rate: f64,
+    /// Chance a record's timestamp is skewed by up to ±[`max_skew`].
+    ///
+    /// [`max_skew`]: CorruptionPlan::max_skew
+    pub clock_skew_rate: f64,
+    /// Largest clock skew in either direction.
+    pub max_skew: Duration,
+    /// Chance a record is delivered late, displaced forward in the stream.
+    pub reorder_rate: f64,
+    /// Largest delivery delay for a reordered record.
+    pub reorder_horizon: Duration,
+    /// Chance a record is re-delivered one or more extra times.
+    pub duplicate_rate: f64,
+    /// Largest number of extra copies per duplicated record.
+    pub max_duplicates: usize,
+}
+
+impl CorruptionPlan {
+    /// A plan that corrupts nothing (the identity transport).
+    pub fn clean(seed: u64) -> Self {
+        CorruptionPlan {
+            seed,
+            truncate_rate: 0.0,
+            garble_rate: 0.0,
+            drop_field_rate: 0.0,
+            garbage_rate: 0.0,
+            clock_skew_rate: 0.0,
+            max_skew: Duration::from_secs(30),
+            reorder_rate: 0.0,
+            reorder_horizon: Duration::from_secs(120),
+            duplicate_rate: 0.0,
+            max_duplicates: 3,
+        }
+    }
+
+    /// A plan applying every corruptor at the same `rate`, with default
+    /// bounds (30 s skew, 120 s reorder horizon, ≤ 3 extra duplicates).
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        CorruptionPlan {
+            truncate_rate: rate,
+            garble_rate: rate,
+            drop_field_rate: rate,
+            garbage_rate: rate,
+            clock_skew_rate: rate,
+            reorder_rate: rate,
+            duplicate_rate: rate,
+            ..CorruptionPlan::clean(seed)
+        }
+    }
+
+    /// The widest time displacement the plan can introduce: late delivery
+    /// plus clock skew. An ingest reorder horizon at least this wide
+    /// re-sequences every surviving record.
+    pub fn max_displacement(&self) -> Duration {
+        Duration(self.reorder_horizon.millis() + self.max_skew.millis())
+    }
+}
+
+/// Counters describing what one corruption pass actually did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CorruptionReport {
+    /// Records fed in.
+    pub input_events: usize,
+    /// Lines chopped short.
+    pub truncated: usize,
+    /// Lines with garbled bytes.
+    pub garbled: usize,
+    /// Lines that lost a field.
+    pub dropped_fields: usize,
+    /// Junk lines injected.
+    pub garbage_lines: usize,
+    /// Records with a skewed timestamp.
+    pub skewed: usize,
+    /// Records displaced in delivery order.
+    pub reordered: usize,
+    /// Extra duplicate copies injected.
+    pub duplicated: usize,
+    /// Total lines emitted.
+    pub output_lines: usize,
+}
+
+impl CorruptionReport {
+    /// Accumulates another pass (for multi-week sweeps).
+    pub fn merge(&mut self, other: &CorruptionReport) {
+        self.input_events += other.input_events;
+        self.truncated += other.truncated;
+        self.garbled += other.garbled;
+        self.dropped_fields += other.dropped_fields;
+        self.garbage_lines += other.garbage_lines;
+        self.skewed += other.skewed;
+        self.reordered += other.reordered;
+        self.duplicated += other.duplicated;
+        self.output_lines += other.output_lines;
+    }
+
+    /// Lines damaged at the text layer (candidates for parse failure).
+    pub fn damaged_lines(&self) -> usize {
+        self.truncated + self.garbled + self.dropped_fields + self.garbage_lines
+    }
+}
+
+/// One record queued for delivery: the delivery key orders the output
+/// stream, independently of the (possibly skewed) record timestamp.
+struct Delivery {
+    deliver_at: Timestamp,
+    seq: u64,
+    event: RasEvent,
+}
+
+/// Corrupts one week of generated records into delivery-order log lines.
+///
+/// Deterministic in `(plan.seed, week)`: the same plan applied to the same
+/// week always produces the same byte stream, so chaos experiments are
+/// exactly reproducible.
+pub fn corrupt_week(
+    events: &[RasEvent],
+    plan: &CorruptionPlan,
+    week: i64,
+) -> (Vec<String>, CorruptionReport) {
+    let mut rng =
+        StdRng::seed_from_u64(plan.seed ^ (week as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut report = CorruptionReport {
+        input_events: events.len(),
+        ..CorruptionReport::default()
+    };
+
+    // Event stage: skew clocks, delay deliveries, flood duplicates.
+    let mut queue: Vec<Delivery> = Vec::with_capacity(events.len());
+    let mut seq = 0u64;
+    for ev in events {
+        let mut ev = ev.clone();
+        if plan.clock_skew_rate > 0.0 && rng.gen_bool(plan.clock_skew_rate) {
+            let skew = rng.gen_range(-plan.max_skew.millis()..=plan.max_skew.millis());
+            ev.time = Timestamp((ev.time.millis() + skew).max(0));
+            report.skewed += 1;
+        }
+        let mut deliver_at = ev.time;
+        if plan.reorder_rate > 0.0 && rng.gen_bool(plan.reorder_rate) {
+            deliver_at = deliver_at + Duration(rng.gen_range(0..=plan.reorder_horizon.millis()));
+            report.reordered += 1;
+        }
+        if plan.duplicate_rate > 0.0 && plan.max_duplicates > 0 && rng.gen_bool(plan.duplicate_rate)
+        {
+            let copies = rng.gen_range(1..=plan.max_duplicates);
+            for _ in 0..copies {
+                let lag = Duration(rng.gen_range(0..=plan.reorder_horizon.millis()));
+                queue.push(Delivery {
+                    deliver_at: deliver_at + lag,
+                    seq: {
+                        seq += 1;
+                        seq
+                    },
+                    event: ev.clone(),
+                });
+            }
+            report.duplicated += copies;
+        }
+        queue.push(Delivery {
+            deliver_at,
+            seq: {
+                seq += 1;
+                seq
+            },
+            event: ev,
+        });
+    }
+    queue.sort_by_key(|d| (d.deliver_at, d.seq));
+
+    // Line stage: serialize in delivery order, then damage the text.
+    let mut lines = Vec::with_capacity(queue.len());
+    for d in &queue {
+        let mut line = raslog::io::format_line(&d.event);
+        if plan.drop_field_rate > 0.0 && rng.gen_bool(plan.drop_field_rate) {
+            line = drop_field(&line, &mut rng);
+            report.dropped_fields += 1;
+        }
+        if plan.truncate_rate > 0.0 && rng.gen_bool(plan.truncate_rate) && line.len() > 1 {
+            let cut = rng.gen_range(1..line.len());
+            line = line.chars().take(cut).collect();
+            report.truncated += 1;
+        }
+        if plan.garble_rate > 0.0 && rng.gen_bool(plan.garble_rate) && !line.is_empty() {
+            line = garble(&line, &mut rng);
+            report.garbled += 1;
+        }
+        lines.push(line);
+        if plan.garbage_rate > 0.0 && rng.gen_bool(plan.garbage_rate) {
+            lines.push(garbage_line(&mut rng));
+            report.garbage_lines += 1;
+        }
+    }
+    report.output_lines = lines.len();
+    (lines, report)
+}
+
+/// Removes one of the leading pipe-separated fields (never the trailing
+/// entry data, which legitimately contains pipes).
+fn drop_field(line: &str, rng: &mut StdRng) -> String {
+    let fields: Vec<&str> = line.splitn(8, '|').collect();
+    if fields.len() < 2 {
+        return line.to_string();
+    }
+    let victim = rng.gen_range(0..fields.len() - 1);
+    fields
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != victim)
+        .map(|(_, f)| *f)
+        .collect::<Vec<_>>()
+        .join("|")
+}
+
+/// Overwrites a short run of characters with random printable bytes.
+fn garble(line: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = line.chars().collect();
+    let run = rng.gen_range(1..=8.min(chars.len()));
+    let start = rng.gen_range(0..=chars.len() - run);
+    for c in chars.iter_mut().skip(start).take(run) {
+        *c = rng.gen_range(33u8..127) as char;
+    }
+    chars.into_iter().collect()
+}
+
+/// An unparseable junk line, as left behind by a crashed writer.
+fn garbage_line(rng: &mut StdRng) -> String {
+    let len = rng.gen_range(1..60usize);
+    (0..len)
+        .map(|_| rng.gen_range(32u8..127) as char)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::Generator;
+    use crate::presets::SystemPreset;
+    use raslog::io::parse_line;
+
+    fn sample_week() -> Vec<RasEvent> {
+        let g = Generator::new(
+            SystemPreset::anl().with_weeks(1).with_volume_scale(0.02),
+            5,
+        );
+        g.week_events(0).0
+    }
+
+    #[test]
+    fn clean_plan_is_identity() {
+        let events = sample_week();
+        let (lines, report) = corrupt_week(&events, &CorruptionPlan::clean(1), 0);
+        assert_eq!(lines.len(), events.len());
+        assert_eq!(report.damaged_lines(), 0);
+        assert_eq!(report.duplicated, 0);
+        for (line, ev) in lines.iter().zip(&events) {
+            assert_eq!(&parse_line(line).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn corruption_is_deterministic() {
+        let events = sample_week();
+        let plan = CorruptionPlan::uniform(9, 0.1);
+        let (a, ra) = corrupt_week(&events, &plan, 0);
+        let (b, rb) = corrupt_week(&events, &plan, 0);
+        assert_eq!(a, b);
+        assert_eq!(ra, rb);
+        // A different seed produces different damage.
+        let (c, _) = corrupt_week(&events, &CorruptionPlan::uniform(10, 0.1), 0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_plan_exercises_every_corruptor() {
+        let events = sample_week();
+        let (lines, report) = corrupt_week(&events, &CorruptionPlan::uniform(3, 0.2), 0);
+        assert!(report.truncated > 0, "{report:?}");
+        assert!(report.garbled > 0, "{report:?}");
+        assert!(report.dropped_fields > 0, "{report:?}");
+        assert!(report.garbage_lines > 0, "{report:?}");
+        assert!(report.skewed > 0, "{report:?}");
+        assert!(report.reordered > 0, "{report:?}");
+        assert!(report.duplicated > 0, "{report:?}");
+        assert_eq!(lines.len(), report.output_lines);
+        assert_eq!(
+            lines.len(),
+            events.len() + report.duplicated + report.garbage_lines
+        );
+        // Some lines must now fail to parse…
+        let bad = lines.iter().filter(|l| parse_line(l).is_err()).count();
+        assert!(bad > 0);
+        // …but most survive at a 20 % per-corruptor rate.
+        assert!(bad < lines.len());
+    }
+
+    #[test]
+    fn reorder_displacement_is_bounded() {
+        let events = sample_week();
+        let plan = CorruptionPlan {
+            reorder_rate: 0.3,
+            ..CorruptionPlan::clean(4)
+        };
+        let (lines, report) = corrupt_week(&events, &plan, 0);
+        assert!(report.reordered > 0);
+        let bound = plan.max_displacement().millis();
+        let mut running_max = i64::MIN;
+        for line in &lines {
+            let t = parse_line(line).unwrap().time.millis();
+            running_max = running_max.max(t);
+            assert!(
+                running_max - t <= bound,
+                "record {}ms behind the stream head exceeds the {}ms bound",
+                running_max - t,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn duplicates_are_exact_copies() {
+        let events = sample_week();
+        let plan = CorruptionPlan {
+            duplicate_rate: 0.5,
+            ..CorruptionPlan::clean(8)
+        };
+        let (lines, report) = corrupt_week(&events, &plan, 0);
+        assert!(report.duplicated > 0);
+        let mut parsed: Vec<RasEvent> = lines.iter().map(|l| parse_line(l).unwrap()).collect();
+        parsed.sort_by_key(|e| (e.time, e.record_id));
+        parsed.dedup();
+        assert_eq!(parsed.len(), events.len(), "dedup recovers the original");
+    }
+
+    #[test]
+    fn reports_merge() {
+        let events = sample_week();
+        let plan = CorruptionPlan::uniform(2, 0.1);
+        let (_, a) = corrupt_week(&events, &plan, 0);
+        let mut total = a;
+        total.merge(&a);
+        assert_eq!(total.input_events, 2 * a.input_events);
+        assert_eq!(total.output_lines, 2 * a.output_lines);
+    }
+}

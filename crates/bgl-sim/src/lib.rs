@@ -32,6 +32,7 @@
 
 pub mod cascade;
 pub mod catalog;
+pub mod corruption;
 pub mod faults;
 pub mod generator;
 pub mod jobs;
@@ -42,6 +43,7 @@ pub mod reporting;
 pub mod topology;
 
 pub use catalog::standard_catalog;
+pub use corruption::{corrupt_week, CorruptionPlan, CorruptionReport};
 pub use generator::{GeneratedLog, Generator, GroundTruth};
 pub use presets::SystemPreset;
 pub use topology::Topology;

@@ -28,8 +28,10 @@
 //! Extensions beyond the paper: [`tracker`] (streaming accuracy monitor),
 //! [`adaptive`] (the adaptive prediction-window controller sketched as
 //! future work), [`learners::LocationLearner`] (a fourth, spatial base
-//! learner) and [`persist`] (rule hand-off between trainer and predictor
-//! processes).
+//! learner), [`persist`] (rule hand-off between trainer and predictor
+//! processes, plus crash-recovery checkpoints) and [`resilience`]
+//! (degraded-mode retraining with panic isolation and the hardened
+//! driver).
 //!
 //! # Example
 //!
@@ -68,6 +70,7 @@ pub mod learners;
 pub mod meta;
 pub mod persist;
 pub mod predictor;
+pub mod resilience;
 pub mod reviser;
 pub mod rules;
 pub mod tracker;
@@ -84,7 +87,14 @@ pub use learners::{
     AssociationLearner, BaseLearner, DistributionLearner, LocationLearner, StatisticalLearner,
 };
 pub use meta::{MetaLearner, TrainingOutcome};
-pub use persist::{load_repository, load_repository_file, save_repository, save_repository_file};
-pub use predictor::{Predictor, Warning};
+pub use persist::{
+    load_checkpoint, load_checkpoint_file, load_repository, load_repository_file, save_checkpoint,
+    save_checkpoint_file, save_repository, save_repository_file, Checkpoint, PersistError,
+};
+pub use predictor::{Predictor, PredictorState, Warning};
+pub use resilience::{
+    run_hardened_driver, run_hardened_driver_with, HardenedConfig, HardenedReport, IngestHealth,
+    LearnerHealth, LearnerOutcome, PipelineHealth, ResilienceConfig, ResilientTrainer,
+};
 pub use rules::{Rule, RuleId, RuleIdentity, RuleKind};
 pub use tracker::AccuracyTracker;

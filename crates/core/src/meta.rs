@@ -76,6 +76,12 @@ impl MetaLearner {
         &self.config
     }
 
+    /// The base learners, in ensemble order (for the resilient trainer,
+    /// which drives them individually with panic isolation).
+    pub(crate) fn learners(&self) -> &[Box<dyn BaseLearner>] {
+        &self.learners
+    }
+
     /// Trains on a time-sorted window of preprocessed events.
     pub fn train(&self, events: &[CleanEvent]) -> TrainingOutcome {
         let mut candidates: Vec<Rule> = Vec::new();

@@ -5,8 +5,17 @@
 //! system is in operation") and hand the resulting rules to the online
 //! predictor — which may live in another process or survive restarts.
 //! The repository serializes to a JSON document for that hand-off.
+//!
+//! Crash recovery goes further: a [`Checkpoint`] bundles the repository
+//! with the predictor's mutable state ([`PredictorState`]) and a rule-set
+//! version, so a restarted predictor resumes with its sliding window and
+//! pending warnings intact instead of going blind for a whole window.
+//! Checkpoint files are written atomically (temp file + rename) so a crash
+//! mid-write can never leave a half-written checkpoint behind.
 
 use crate::knowledge::KnowledgeRepository;
+use crate::predictor::PredictorState;
+use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -17,6 +26,13 @@ pub enum PersistError {
     Io(std::io::Error),
     /// JSON encoding/decoding failure.
     Json(String),
+    /// A checkpoint written by an incompatible format version.
+    IncompatibleVersion {
+        /// Version found in the file.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
 }
 
 impl core::fmt::Display for PersistError {
@@ -24,6 +40,10 @@ impl core::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Json(e) => write!(f, "json error: {e}"),
+            PersistError::IncompatibleVersion { found, expected } => write!(
+                f,
+                "incompatible checkpoint format {found} (this build reads {expected})"
+            ),
         }
     }
 }
@@ -59,6 +79,82 @@ pub fn save_repository_file(
 pub fn load_repository_file(path: impl AsRef<Path>) -> Result<KnowledgeRepository, PersistError> {
     let file = std::fs::File::open(path)?;
     load_repository(std::io::BufReader::new(file))
+}
+
+/// The checkpoint format this build reads and writes.
+pub const CHECKPOINT_FORMAT_VERSION: u32 = 1;
+
+/// A crash-recovery snapshot of the online predictor.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Format version gate (see [`CHECKPOINT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// Monotone counter identifying the rule set in force (bumped at every
+    /// retraining), so operators can tell which repository a restarted
+    /// predictor resumed under.
+    pub rule_set_version: u64,
+    /// The knowledge repository in force at snapshot time.
+    pub repo: KnowledgeRepository,
+    /// The predictor's sliding window and pending warnings.
+    pub predictor: PredictorState,
+}
+
+impl Checkpoint {
+    /// Bundles a snapshot under the current format version.
+    pub fn new(rule_set_version: u64, repo: KnowledgeRepository, predictor: PredictorState) -> Self {
+        Checkpoint {
+            format_version: CHECKPOINT_FORMAT_VERSION,
+            rule_set_version,
+            repo,
+            predictor,
+        }
+    }
+}
+
+/// Writes a checkpoint as JSON.
+pub fn save_checkpoint<W: Write>(checkpoint: &Checkpoint, w: W) -> Result<(), PersistError> {
+    serde_json::to_writer(w, checkpoint).map_err(|e| PersistError::Json(e.to_string()))
+}
+
+/// Reads a checkpoint back, rejecting incompatible format versions.
+pub fn load_checkpoint<R: Read>(r: R) -> Result<Checkpoint, PersistError> {
+    let cp: Checkpoint =
+        serde_json::from_reader(r).map_err(|e| PersistError::Json(e.to_string()))?;
+    if cp.format_version != CHECKPOINT_FORMAT_VERSION {
+        return Err(PersistError::IncompatibleVersion {
+            found: cp.format_version,
+            expected: CHECKPOINT_FORMAT_VERSION,
+        });
+    }
+    Ok(cp)
+}
+
+/// Saves a checkpoint to `path` atomically: the bytes land in a sibling
+/// temporary file first and are `rename`d into place, so readers (and
+/// recovery after a crash mid-write) only ever see a complete checkpoint.
+pub fn save_checkpoint_file(
+    checkpoint: &Checkpoint,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        save_checkpoint(checkpoint, &mut w)?;
+        let file = w.into_inner().map_err(|e| PersistError::Io(e.into_error()))?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint from a file path.
+pub fn load_checkpoint_file(path: impl AsRef<Path>) -> Result<Checkpoint, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load_checkpoint(std::io::BufReader::new(file))
 }
 
 #[cfg(test)]
@@ -159,5 +255,61 @@ mod tests {
     fn load_rejects_garbage() {
         assert!(load_repository("not json".as_bytes()).is_err());
         assert!(load_repository_file("/nonexistent/path.json").is_err());
+    }
+
+    fn sample_checkpoint() -> Checkpoint {
+        use crate::predictor::Predictor;
+        use raslog::{CleanEvent, Timestamp};
+        let repo = sample_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe_all(&[
+            CleanEvent::new(Timestamp::from_secs(0), EventTypeId(3), false),
+            CleanEvent::new(Timestamp::from_secs(10), EventTypeId(9), false),
+        ]);
+        let state = p.snapshot();
+        Checkpoint::new(7, repo, state)
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let cp = sample_checkpoint();
+        let mut buf = Vec::new();
+        save_checkpoint(&cp, &mut buf).unwrap();
+        let back = load_checkpoint(buf.as_slice()).unwrap();
+        assert_eq!(back.rule_set_version, 7);
+        assert_eq!(back.predictor, cp.predictor);
+        assert_eq!(back.repo.identities(), cp.repo.identities());
+        assert!(!back.predictor.active.is_empty(), "pending warning survives");
+    }
+
+    #[test]
+    fn checkpoint_file_write_is_atomic() {
+        let cp = sample_checkpoint();
+        let path = std::env::temp_dir().join("dml_checkpoint_atomic.json");
+        save_checkpoint_file(&cp, &path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "temp file must not linger"
+        );
+        let back = load_checkpoint_file(&path).unwrap();
+        assert_eq!(back.predictor, cp.predictor);
+        assert_eq!(back.repo.identities(), cp.repo.identities());
+        // Overwriting an existing checkpoint also goes through the rename.
+        save_checkpoint_file(&cp, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn incompatible_version_is_rejected() {
+        let mut cp = sample_checkpoint();
+        cp.format_version = 99;
+        let mut buf = Vec::new();
+        save_checkpoint(&cp, &mut buf).unwrap();
+        match load_checkpoint(buf.as_slice()) {
+            Err(PersistError::IncompatibleVersion { found: 99, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
     }
 }

@@ -38,6 +38,28 @@ pub struct Warning {
     pub predicted: Option<EventTypeId>,
 }
 
+/// The predictor's mutable state, detached from the repository borrow so
+/// it can be checkpointed and restored across process restarts.
+///
+/// Maps are serialized as pair vectors (JSON objects only take string
+/// keys); `present` is derived from `recent`, and the distribution
+/// thresholds are derived from the repository, so neither is stored.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PredictorState {
+    /// Non-fatal events within the window.
+    pub recent: Vec<(Timestamp, EventTypeId)>,
+    /// Fatal events within the window.
+    pub recent_fatals: Vec<(Timestamp, Option<(u8, u8)>)>,
+    /// Time of the most recent fatal event, if any.
+    pub last_fatal: Option<Timestamp>,
+    /// Pending warnings: rule → deadline.
+    pub active: Vec<(RuleId, Timestamp)>,
+    /// Pending warnings: predicted fatal type → deadline.
+    pub active_targets: Vec<(EventTypeId, Timestamp)>,
+    /// Whether the distribution rule may still fire this failure gap.
+    pub dist_armed: bool,
+}
+
 /// The online matcher.
 pub struct Predictor<'r> {
     repo: &'r KnowledgeRepository,
@@ -89,6 +111,51 @@ impl<'r> Predictor<'r> {
             dist_armed: false,
             dist_thresholds,
         }
+    }
+
+    /// Captures the mutable state for checkpointing.
+    pub fn snapshot(&self) -> PredictorState {
+        PredictorState {
+            recent: self.recent.iter().copied().collect(),
+            recent_fatals: self.recent_fatals.iter().copied().collect(),
+            last_fatal: self.last_fatal,
+            active: {
+                let mut v: Vec<_> = self.active.iter().map(|(&k, &d)| (k, d)).collect();
+                v.sort();
+                v
+            },
+            active_targets: {
+                let mut v: Vec<_> = self.active_targets.iter().map(|(&k, &d)| (k, d)).collect();
+                v.sort();
+                v
+            },
+            dist_armed: self.dist_armed,
+        }
+    }
+
+    /// Rebuilds a predictor from a checkpointed state.
+    ///
+    /// Behaves identically to the predictor the snapshot was taken from:
+    /// the sliding windows resume where they left off and pending warnings
+    /// keep rate-limiting their rules and targets. Stale rule ids (from a
+    /// repository that no longer contains them) are harmless — they can
+    /// never match again.
+    pub fn restore(
+        repo: &'r KnowledgeRepository,
+        window: Duration,
+        state: PredictorState,
+    ) -> Self {
+        let mut p = Predictor::new(repo, window);
+        for &(_, ty) in &state.recent {
+            *p.present.entry(ty).or_insert(0) += 1;
+        }
+        p.recent = state.recent.into();
+        p.recent_fatals = state.recent_fatals.into();
+        p.last_fatal = state.last_fatal;
+        p.active = state.active.into_iter().collect();
+        p.active_targets = state.active_targets.into_iter().collect();
+        p.dist_armed = state.dist_armed;
+        p
     }
 
     /// Feeds one event; returns the warnings it triggers.
@@ -424,6 +491,58 @@ mod tests {
         // Antecedent half-filled during warm-up; completion fires now.
         let w = p.observe(&ev(50, 2, false));
         assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        let repo = assoc_repo();
+        // A stream that leaves a half-filled antecedent AND a pending
+        // warning in flight at the cut point.
+        let prefix = [ev(0, 1, false), ev(10, 2, false), ev(60, 1, false)];
+        let suffix = [
+            ev(80, 2, false),  // re-completes while pending → rate-limited
+            ev(400, 1, false), // pending expired by now
+            ev(420, 2, false), // fresh completion → warns again
+        ];
+
+        let mut continuous = Predictor::new(&repo, Duration::from_secs(300));
+        let mut before = Vec::new();
+        for e in &prefix {
+            before.extend(continuous.observe(e));
+        }
+        assert_eq!(before.len(), 1, "warning pending at the cut");
+
+        let state = continuous.snapshot();
+        let mut restored = Predictor::restore(&repo, Duration::from_secs(300), state.clone());
+        assert_eq!(restored.snapshot(), state, "restore is lossless");
+
+        let after_continuous = continuous.observe_all(&suffix);
+        let after_restored = restored.observe_all(&suffix);
+        assert_eq!(after_continuous, after_restored);
+        assert_eq!(after_restored.len(), 1, "rate limit survived the restart");
+    }
+
+    #[test]
+    fn snapshot_restores_fatal_state_too() {
+        let model = FittedModel::Weibull(Weibull::new(1.0, 1000.0));
+        let repo = KnowledgeRepository::new(vec![
+            Rule::Statistical(StatisticalRule {
+                k: 3,
+                probability: 0.95,
+            }),
+            Rule::Distribution(DistributionRule {
+                model,
+                threshold: 0.6,
+                expire_quantile: 0.98,
+            }),
+        ]);
+        let mut a = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = a.observe_all(&[ev(0, 9, true), ev(100, 9, true)]);
+        let mut b = Predictor::restore(&repo, Duration::from_secs(300), a.snapshot());
+        // The third fatal within the window fires the statistical rule in
+        // both; the gap clock and armed flag also survive.
+        let suffix = [ev(200, 9, true), ev(1300, 1, false), ev(1400, 1, false)];
+        assert_eq!(a.observe_all(&suffix), b.observe_all(&suffix));
     }
 
     #[test]

@@ -1,0 +1,832 @@
+//! Degraded-mode retraining and the hardened driver.
+//!
+//! A production retraining pass can fail in ways the clean
+//! [`MetaLearner`] does not tolerate: a base learner panics on a
+//! malformed window, or blows through its time budget. Because the
+//! meta-learner is a mixture of experts, one failed expert should not
+//! take the whole pipeline down — the ensemble continues with the
+//! surviving learners and, where possible, the failed learner's
+//! *previous* rules stand in until it recovers:
+//!
+//! * every learner runs under [`std::panic::catch_unwind`] and a soft
+//!   wall-clock deadline (checked after the fact — learners cannot be
+//!   preempted mid-borrow, but an overrun is treated exactly like a
+//!   crash so operators see one failure path);
+//! * on failure the learner's most recent successful rule set is
+//!   substituted, up to [`ResilienceConfig::max_stale_retrains`]
+//!   consecutive times; past the staleness cap the stale rules are
+//!   dropped and the ensemble shrinks to the surviving experts;
+//! * the reviser is wrapped the same way — if it panics, candidates are
+//!   installed unrevised rather than losing the retraining.
+//!
+//! [`run_hardened_driver`] mirrors [`run_driver`](crate::driver::run_driver)
+//! with the resilient trainer, periodic [`Checkpoint`] writes, and a
+//! [`PipelineHealth`] report aggregating learner outcomes and ingest
+//! counters.
+
+use crate::config::FrameworkConfig;
+use crate::driver::{ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
+use crate::knowledge::KnowledgeRepository;
+use crate::learners::BaseLearner;
+use crate::meta::MetaLearner;
+use crate::persist::{save_checkpoint_file, Checkpoint};
+use crate::predictor::Predictor;
+use crate::reviser::revise;
+use crate::rules::{Rule, RuleKind};
+use raslog::store::window;
+use raslog::{CleanEvent, Timestamp, WEEK_MS};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::time::{Duration as StdDuration, Instant};
+
+/// Degraded-mode parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Soft per-learner deadline; a learner that takes longer is treated
+    /// as failed (its result is discarded in favor of the fallback).
+    /// `None` disables the deadline.
+    pub learner_deadline: Option<StdDuration>,
+    /// How many consecutive retrainings a failed learner's previous rule
+    /// set may stand in before it is dropped from the ensemble.
+    pub max_stale_retrains: usize,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        ResilienceConfig {
+            learner_deadline: None,
+            max_stale_retrains: 2,
+        }
+    }
+}
+
+/// Why a learner's fresh result was unusable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum FailureCause {
+    /// The learner panicked.
+    Panic,
+    /// The learner exceeded its deadline.
+    Deadline,
+}
+
+/// What one learner contributed to one retraining.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum LearnerOutcome {
+    /// Trained successfully; rules are fresh.
+    Fresh,
+    /// Failed; its previous rule set stood in, `age` retrainings stale.
+    Fallback {
+        /// What went wrong this retraining.
+        cause: FailureCause,
+        /// Retrainings since the substituted rules were fresh.
+        age: usize,
+    },
+    /// Failed with no usable fallback (never succeeded, or past the
+    /// staleness cap); contributed nothing.
+    Dropped {
+        /// What went wrong this retraining.
+        cause: FailureCause,
+    },
+}
+
+impl LearnerOutcome {
+    /// Whether the learner failed this retraining (fallback or dropped).
+    pub fn failed(&self) -> bool {
+        !matches!(self, LearnerOutcome::Fresh)
+    }
+}
+
+/// One learner's health record for one retraining.
+#[derive(Debug, Clone, Serialize)]
+pub struct LearnerHealth {
+    /// The learner's name.
+    pub name: &'static str,
+    /// What happened.
+    pub outcome: LearnerOutcome,
+    /// Wall-clock time the learner ran (including a panicking run).
+    #[serde(skip)]
+    pub elapsed: StdDuration,
+    /// Rules contributed (fresh or stale).
+    pub rules: usize,
+}
+
+/// The result of one resilient retraining.
+#[derive(Debug, Clone)]
+pub struct ResilientOutcome {
+    /// The new knowledge repository (possibly from a partial ensemble).
+    pub repo: KnowledgeRepository,
+    /// Candidate rules entering the reviser.
+    pub candidates: usize,
+    /// Candidates discarded by the reviser.
+    pub removed_by_reviser: usize,
+    /// Per-learner health, in ensemble order.
+    pub learners: Vec<LearnerHealth>,
+    /// Whether the reviser panicked (candidates installed unrevised).
+    pub reviser_failed: bool,
+}
+
+impl ResilientOutcome {
+    /// Learners that failed this retraining.
+    pub fn failed_learners(&self) -> usize {
+        self.learners.iter().filter(|l| l.outcome.failed()).count()
+    }
+}
+
+struct FallbackEntry {
+    rules: Vec<Rule>,
+    /// Retrainings since these rules were fresh (0 right after success).
+    age: usize,
+}
+
+/// A [`MetaLearner`] wrapper that isolates per-learner failures.
+pub struct ResilientTrainer {
+    meta: MetaLearner,
+    resilience: ResilienceConfig,
+    fallback: HashMap<&'static str, FallbackEntry>,
+}
+
+impl ResilientTrainer {
+    /// A resilient trainer over the paper's standard learners.
+    pub fn new(config: FrameworkConfig, resilience: ResilienceConfig) -> Self {
+        ResilientTrainer {
+            meta: MetaLearner::new(config),
+            resilience,
+            fallback: HashMap::new(),
+        }
+    }
+
+    /// A resilient trainer over a custom learner set.
+    pub fn with_learners(
+        config: FrameworkConfig,
+        learners: Vec<Box<dyn BaseLearner>>,
+        resilience: ResilienceConfig,
+    ) -> Self {
+        ResilientTrainer {
+            meta: MetaLearner::with_learners(config, learners),
+            resilience,
+            fallback: HashMap::new(),
+        }
+    }
+
+    /// The framework configuration in force.
+    pub fn config(&self) -> &FrameworkConfig {
+        self.meta.config()
+    }
+
+    /// Trains on a time-sorted window, isolating learner failures.
+    pub fn train(&mut self, events: &[CleanEvent]) -> ResilientOutcome {
+        self.train_kind(events, None)
+    }
+
+    /// Like [`train`](Self::train), optionally restricted to one rule
+    /// kind (the driver's `only_kind` baselines).
+    pub fn train_kind(
+        &mut self,
+        events: &[CleanEvent],
+        only: Option<RuleKind>,
+    ) -> ResilientOutcome {
+        let mut candidates: Vec<Rule> = Vec::new();
+        let mut health = Vec::new();
+
+        for learner in self.meta.learners() {
+            if only.is_some_and(|k| learner.kind() != k) {
+                continue;
+            }
+            let name = learner.name();
+            let start = Instant::now();
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                learner.learn(events, self.meta.config())
+            }));
+            let elapsed = start.elapsed();
+            let over_deadline = self
+                .resilience
+                .learner_deadline
+                .is_some_and(|d| elapsed > d);
+
+            let (outcome, rules) = match result {
+                Ok(rules) if !over_deadline => {
+                    self.fallback.insert(
+                        name,
+                        FallbackEntry {
+                            rules: rules.clone(),
+                            age: 0,
+                        },
+                    );
+                    (LearnerOutcome::Fresh, rules)
+                }
+                failed => {
+                    let cause = if failed.is_err() {
+                        FailureCause::Panic
+                    } else {
+                        FailureCause::Deadline
+                    };
+                    match self.fallback.get_mut(name) {
+                        Some(entry) if entry.age < self.resilience.max_stale_retrains => {
+                            entry.age += 1;
+                            (
+                                LearnerOutcome::Fallback {
+                                    cause,
+                                    age: entry.age,
+                                },
+                                entry.rules.clone(),
+                            )
+                        }
+                        _ => (LearnerOutcome::Dropped { cause }, Vec::new()),
+                    }
+                }
+            };
+            health.push(LearnerHealth {
+                name,
+                outcome,
+                elapsed,
+                rules: rules.len(),
+            });
+            candidates.extend(rules);
+        }
+
+        // Ensemble ordering: association → statistical → distribution.
+        candidates.sort_by_key(|r| r.kind());
+        let n_candidates = candidates.len();
+
+        let (repo, removed, reviser_failed) = if self.meta.config().use_reviser {
+            let config = *self.meta.config();
+            let cloned = candidates.clone();
+            match catch_unwind(AssertUnwindSafe(move || revise(cloned, events, &config))) {
+                Ok(outcome) => (
+                    KnowledgeRepository::with_counts(
+                        outcome
+                            .kept
+                            .into_iter()
+                            .map(|(r, a)| (r, Some(a)))
+                            .collect(),
+                    ),
+                    outcome.removed,
+                    false,
+                ),
+                Err(_) => (KnowledgeRepository::new(candidates), 0, true),
+            }
+        } else {
+            (KnowledgeRepository::new(candidates), 0, false)
+        };
+
+        ResilientOutcome {
+            repo,
+            candidates: n_candidates,
+            removed_by_reviser: removed,
+            learners: health,
+            reviser_failed,
+        }
+    }
+}
+
+/// Ingest-side counters, filled in by whoever feeds the driver (the
+/// chaos harness threads its lenient-parse and reorder statistics
+/// through here).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct IngestHealth {
+    /// Non-blank input lines seen.
+    pub lines: usize,
+    /// Lines the lenient parser had to skip.
+    pub parse_skipped: usize,
+    /// Events past the reordering horizon, dropped at ingest.
+    pub late_dropped: usize,
+    /// Events released by the reordering buffer.
+    pub resequenced: usize,
+}
+
+impl IngestHealth {
+    /// Fraction of input lines skipped at parse time.
+    pub fn skip_rate(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.parse_skipped as f64 / self.lines as f64
+        }
+    }
+}
+
+/// End-to-end health of one hardened pipeline run.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct PipelineHealth {
+    /// Ingest counters (zeroed when the caller feeds clean events).
+    pub ingest: IngestHealth,
+    /// Retrainings performed (including the initial training).
+    pub retrainings: usize,
+    /// Learner outcomes summed over all retrainings.
+    pub fresh: usize,
+    /// Fallback substitutions over all retrainings.
+    pub fallbacks: usize,
+    /// Learner drops (no usable fallback) over all retrainings.
+    pub dropped: usize,
+    /// Retrainings in which the reviser panicked.
+    pub reviser_failures: usize,
+    /// Checkpoints written.
+    pub checkpoints_written: usize,
+    /// Per-learner health of the most recent retraining.
+    pub last_retraining: Vec<LearnerHealth>,
+}
+
+impl PipelineHealth {
+    fn absorb(&mut self, outcome: &ResilientOutcome) {
+        self.retrainings += 1;
+        for l in &outcome.learners {
+            match l.outcome {
+                LearnerOutcome::Fresh => self.fresh += 1,
+                LearnerOutcome::Fallback { .. } => self.fallbacks += 1,
+                LearnerOutcome::Dropped { .. } => self.dropped += 1,
+            }
+        }
+        if outcome.reviser_failed {
+            self.reviser_failures += 1;
+        }
+        self.last_retraining = outcome.learners.clone();
+    }
+
+    /// Whether every retraining completed with every learner fresh and
+    /// no ingest losses.
+    pub fn is_pristine(&self) -> bool {
+        self.fallbacks == 0
+            && self.dropped == 0
+            && self.reviser_failures == 0
+            && self.ingest.parse_skipped == 0
+            && self.ingest.late_dropped == 0
+    }
+}
+
+impl core::fmt::Display for PipelineHealth {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "ingest: {} lines, {} skipped ({:.2}%), {} late-dropped, {} resequenced",
+            self.ingest.lines,
+            self.ingest.parse_skipped,
+            self.ingest.skip_rate() * 100.0,
+            self.ingest.late_dropped,
+            self.ingest.resequenced,
+        )?;
+        writeln!(
+            f,
+            "retrainings: {} ({} fresh, {} fallback, {} dropped, {} reviser failures)",
+            self.retrainings, self.fresh, self.fallbacks, self.dropped, self.reviser_failures,
+        )?;
+        write!(f, "checkpoints written: {}", self.checkpoints_written)?;
+        for l in &self.last_retraining {
+            write!(
+                f,
+                "\n  {}: {:?} ({} rules, {:.0} ms)",
+                l.name,
+                l.outcome,
+                l.rules,
+                l.elapsed.as_secs_f64() * 1000.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the hardened driver.
+#[derive(Debug, Clone)]
+pub struct HardenedConfig {
+    /// The underlying driver parameters.
+    pub driver: DriverConfig,
+    /// Degraded-mode parameters.
+    pub resilience: ResilienceConfig,
+    /// Where to write checkpoints (one file, atomically overwritten at
+    /// every block boundary). `None` disables checkpointing.
+    pub checkpoint_path: Option<PathBuf>,
+}
+
+impl Default for HardenedConfig {
+    fn default() -> Self {
+        HardenedConfig {
+            driver: DriverConfig::default(),
+            resilience: ResilienceConfig::default(),
+            checkpoint_path: None,
+        }
+    }
+}
+
+/// A [`DriverReport`] plus robustness accounting.
+#[derive(Debug, Clone)]
+pub struct HardenedReport {
+    /// The accuracy/churn report, as from the clean driver.
+    pub report: DriverReport,
+    /// Health counters for the whole run.
+    pub health: PipelineHealth,
+    /// Version of the rule set in force at the end (bumped per
+    /// retraining; the initial training is version 1).
+    pub rule_set_version: u64,
+}
+
+/// [`run_driver`](crate::driver::run_driver) with degraded-mode
+/// retraining and periodic checkpoints, over the standard learners.
+pub fn run_hardened_driver(
+    events: &[CleanEvent],
+    total_weeks: i64,
+    config: &HardenedConfig,
+) -> HardenedReport {
+    let trainer = ResilientTrainer::new(config.driver.framework, config.resilience);
+    run_hardened_driver_with(trainer, events, total_weeks, config)
+}
+
+/// The hardened driver over a caller-supplied trainer (tests and the
+/// chaos harness inject failing learners here).
+pub fn run_hardened_driver_with(
+    mut trainer: ResilientTrainer,
+    events: &[CleanEvent],
+    total_weeks: i64,
+    config: &HardenedConfig,
+) -> HardenedReport {
+    let dc = &config.driver;
+    assert!(
+        dc.initial_training_weeks > 0 && dc.initial_training_weeks < total_weeks,
+        "initial training window must leave room for testing"
+    );
+    let mut health = PipelineHealth::default();
+    let mut rule_set_version: u64 = 1;
+
+    let first_test_week = dc.initial_training_weeks;
+    let slice_of = |from_week: i64, to_week: i64| {
+        window(
+            events,
+            Timestamp(from_week * WEEK_MS),
+            Timestamp(to_week * WEEK_MS),
+        )
+    };
+    let mut outcome = trainer.train_kind(slice_of(0, first_test_week), dc.only_kind);
+    health.absorb(&outcome);
+
+    let mut report = DriverReport::default();
+    report.churn.push(ChurnRecord {
+        week: first_test_week,
+        unchanged: 0,
+        added: outcome.repo.len(),
+        removed_by_learner: 0,
+        removed_by_reviser: outcome.removed_by_reviser,
+        total: outcome.repo.len(),
+    });
+
+    let retrain_every = dc.framework.retrain_weeks.max(1);
+    let mut week = first_test_week;
+    while week < total_weeks {
+        let block_end = (week + retrain_every).min(total_weeks);
+
+        let mut predictor = Predictor::new(&outcome.repo, dc.framework.window);
+        predictor.warm_up(slice_of((week - 1).max(0), week));
+        report
+            .warnings
+            .extend(predictor.observe_all(slice_of(week, block_end)));
+
+        // Checkpoint the boundary state: the rule set in force plus the
+        // predictor's window and pending warnings. A process restarted
+        // from this file resumes block `block_end` exactly.
+        if let Some(path) = &config.checkpoint_path {
+            let cp = Checkpoint::new(rule_set_version, outcome.repo.clone(), predictor.snapshot());
+            match save_checkpoint_file(&cp, path) {
+                Ok(()) => health.checkpoints_written += 1,
+                Err(e) => eprintln!("checkpoint write failed (continuing): {e}"),
+            }
+        }
+
+        if block_end < total_weeks && dc.policy != TrainingPolicy::Static {
+            let (from, to) = match dc.policy {
+                TrainingPolicy::Static => unreachable!(),
+                TrainingPolicy::SlidingWeeks(n) => ((block_end - n).max(0), block_end),
+                TrainingPolicy::Growing => (0, block_end),
+            };
+            let next = trainer.train_kind(slice_of(from, to), dc.only_kind);
+            health.absorb(&next);
+            rule_set_version += 1;
+            let diff = KnowledgeRepository::churn(&outcome.repo, &next.repo);
+            report.churn.push(ChurnRecord {
+                week: block_end,
+                unchanged: diff.unchanged,
+                added: diff.added,
+                removed_by_learner: diff.removed,
+                removed_by_reviser: next.removed_by_reviser,
+                total: next.repo.len(),
+            });
+            outcome = next;
+        }
+        week = block_end;
+    }
+
+    let test_events = slice_of(first_test_week, total_weeks);
+    report.weekly = crate::evaluation::weekly_series(
+        &report.warnings,
+        test_events,
+        first_test_week,
+        total_weeks - 1,
+    );
+    report.overall = crate::evaluation::score(&report.warnings, test_events);
+
+    HardenedReport {
+        report,
+        health,
+        rule_set_version,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::learners::{AssociationLearner, StatisticalLearner};
+    use raslog::{Duration, EventTypeId};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    fn stable_log(weeks: i64) -> Vec<CleanEvent> {
+        let week_secs = WEEK_MS / 1000;
+        let mut events = Vec::new();
+        for w in 0..weeks {
+            for i in 0..12 {
+                let base = w * week_secs + i * 50_000;
+                events.push(ev(base, 1, false));
+                events.push(ev(base + 60, 2, false));
+                events.push(ev(base + 200, 100, true));
+            }
+        }
+        events
+    }
+
+    fn quick_config() -> HardenedConfig {
+        HardenedConfig {
+            driver: DriverConfig {
+                framework: FrameworkConfig {
+                    window: Duration::from_secs(300),
+                    retrain_weeks: 2,
+                    ..FrameworkConfig::default()
+                },
+                policy: TrainingPolicy::SlidingWeeks(4),
+                initial_training_weeks: 4,
+                only_kind: None,
+            },
+            resilience: ResilienceConfig::default(),
+            checkpoint_path: None,
+        }
+    }
+
+    /// A learner that panics on every call after the first `ok_calls`.
+    struct FlakyLearner {
+        ok_calls: std::sync::atomic::AtomicUsize,
+    }
+    impl FlakyLearner {
+        fn new(ok_calls: usize) -> Self {
+            FlakyLearner {
+                ok_calls: std::sync::atomic::AtomicUsize::new(ok_calls),
+            }
+        }
+    }
+    impl BaseLearner for FlakyLearner {
+        fn name(&self) -> &'static str {
+            "flaky"
+        }
+        fn kind(&self) -> RuleKind {
+            RuleKind::Statistical
+        }
+        fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+            use std::sync::atomic::Ordering;
+            if self.ok_calls.load(Ordering::SeqCst) == 0 {
+                panic!("flaky learner down");
+            }
+            self.ok_calls.fetch_sub(1, Ordering::SeqCst);
+            StatisticalLearner.learn(events, config)
+        }
+    }
+
+    struct SlowLearner;
+    impl BaseLearner for SlowLearner {
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+        fn kind(&self) -> RuleKind {
+            RuleKind::Statistical
+        }
+        fn learn(&self, _: &[CleanEvent], _: &FrameworkConfig) -> Vec<Rule> {
+            std::thread::sleep(StdDuration::from_millis(25));
+            Vec::new()
+        }
+    }
+
+    /// A log where both the association cascade {1,2}→100 and a deep
+    /// fatal burst (statistical signal) are present.
+    fn rich_log() -> Vec<CleanEvent> {
+        let mut events = Vec::new();
+        for i in 0..40 {
+            let base = i as i64 * 50_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 60, 2, false));
+            events.push(ev(base + 200, 100, true));
+            for j in 0..6 {
+                events.push(ev(base + 20_000 + j * 40, 101, true));
+            }
+        }
+        events.sort_by_key(|e| e.time);
+        events
+    }
+
+    #[test]
+    fn healthy_trainer_matches_meta_learner() {
+        let log = rich_log();
+        let clean = MetaLearner::new(FrameworkConfig::default()).train(&log);
+        let mut trainer =
+            ResilientTrainer::new(FrameworkConfig::default(), ResilienceConfig::default());
+        let hard = trainer.train(&log);
+        assert_eq!(hard.repo.identities(), clean.repo.identities());
+        assert_eq!(hard.candidates, clean.candidates);
+        assert_eq!(hard.removed_by_reviser, clean.removed_by_reviser);
+        assert!(hard.learners.iter().all(|l| l.outcome == LearnerOutcome::Fresh));
+        assert!(!hard.reviser_failed);
+    }
+
+    #[test]
+    fn panicking_learner_is_isolated() {
+        let mut trainer = ResilientTrainer::with_learners(
+            FrameworkConfig::default(),
+            vec![Box::new(AssociationLearner), Box::new(FlakyLearner::new(0))],
+            ResilienceConfig::default(),
+        );
+        let outcome = trainer.train(&rich_log());
+        // First retraining: no fallback cached yet, so the flaky learner
+        // is dropped — but the association expert still delivers.
+        let flaky = outcome.learners.iter().find(|l| l.name == "flaky").unwrap();
+        assert_eq!(
+            flaky.outcome,
+            LearnerOutcome::Dropped {
+                cause: FailureCause::Panic
+            }
+        );
+        assert!(outcome.repo.count_by_kind(RuleKind::Association) > 0);
+        assert_eq!(outcome.repo.count_by_kind(RuleKind::Statistical), 0);
+    }
+
+    #[test]
+    fn fallback_serves_previous_rules_until_staleness_cap() {
+        let log = rich_log();
+        let mut trainer = ResilientTrainer::with_learners(
+            FrameworkConfig::default(),
+            vec![Box::new(FlakyLearner::new(1))],
+            ResilienceConfig {
+                max_stale_retrains: 2,
+                ..ResilienceConfig::default()
+            },
+        );
+        let first = trainer.train(&log);
+        assert_eq!(first.learners[0].outcome, LearnerOutcome::Fresh);
+        let fresh_rules = first.repo.identities();
+        assert!(!fresh_rules.is_empty());
+
+        // Retraining 2 and 3: panic, but the cached rules stand in.
+        for age in 1..=2usize {
+            let again = trainer.train(&log);
+            assert_eq!(
+                again.learners[0].outcome,
+                LearnerOutcome::Fallback {
+                    cause: FailureCause::Panic,
+                    age
+                }
+            );
+            assert_eq!(again.repo.identities(), fresh_rules, "stale rules identical");
+        }
+
+        // Retraining 4: past the cap — dropped, repository empties.
+        let dead = trainer.train(&log);
+        assert_eq!(
+            dead.learners[0].outcome,
+            LearnerOutcome::Dropped {
+                cause: FailureCause::Panic
+            }
+        );
+        assert!(dead.repo.is_empty());
+    }
+
+    #[test]
+    fn deadline_overrun_counts_as_failure() {
+        let mut trainer = ResilientTrainer::with_learners(
+            FrameworkConfig::default(),
+            vec![Box::new(AssociationLearner), Box::new(SlowLearner)],
+            ResilienceConfig {
+                learner_deadline: Some(StdDuration::from_millis(1)),
+                ..ResilienceConfig::default()
+            },
+        );
+        let outcome = trainer.train(&rich_log());
+        let slow = outcome.learners.iter().find(|l| l.name == "slow").unwrap();
+        assert_eq!(
+            slow.outcome,
+            LearnerOutcome::Dropped {
+                cause: FailureCause::Deadline
+            }
+        );
+        // The fast expert is unaffected.
+        let assoc = outcome
+            .learners
+            .iter()
+            .find(|l| l.name == AssociationLearner.name())
+            .unwrap();
+        assert_eq!(assoc.outcome, LearnerOutcome::Fresh);
+    }
+
+    #[test]
+    fn hardened_driver_matches_clean_driver_when_healthy() {
+        let log = stable_log(12);
+        let config = quick_config();
+        let clean = crate::driver::run_driver(&log, 12, &config.driver);
+        let hard = run_hardened_driver(&log, 12, &config);
+        assert_eq!(hard.report.warnings, clean.warnings);
+        assert_eq!(hard.report.churn, clean.churn);
+        assert_eq!(hard.health.fallbacks, 0);
+        assert_eq!(hard.health.dropped, 0);
+        assert!(hard.health.retrainings > 1);
+        assert_eq!(hard.rule_set_version, hard.health.retrainings as u64);
+    }
+
+    #[test]
+    fn hardened_driver_survives_a_mid_run_learner_crash() {
+        let log = stable_log(12);
+        let config = quick_config();
+        // Association succeeds twice then panics forever; statistical-kind
+        // flaky learner gives the ensemble a second (empty-ish) expert.
+        struct DyingAssociation {
+            ok_calls: std::sync::atomic::AtomicUsize,
+        }
+        impl BaseLearner for DyingAssociation {
+            fn name(&self) -> &'static str {
+                "dying-association"
+            }
+            fn kind(&self) -> RuleKind {
+                RuleKind::Association
+            }
+            fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+                use std::sync::atomic::Ordering;
+                if self.ok_calls.load(Ordering::SeqCst) == 0 {
+                    panic!("association learner down");
+                }
+                self.ok_calls.fetch_sub(1, Ordering::SeqCst);
+                AssociationLearner.learn(events, config)
+            }
+        }
+        let trainer = ResilientTrainer::with_learners(
+            config.driver.framework,
+            vec![
+                Box::new(DyingAssociation {
+                    ok_calls: std::sync::atomic::AtomicUsize::new(2),
+                }),
+                Box::new(StatisticalLearner),
+            ],
+            ResilienceConfig {
+                max_stale_retrains: 100,
+                ..ResilienceConfig::default()
+            },
+        );
+        let hard = run_hardened_driver_with(trainer, &log, 12, &config);
+        // The run completes, later blocks still predict from the stale
+        // association rules, and health records the fallbacks.
+        assert!(hard.health.fallbacks > 0, "{}", hard.health);
+        assert!(
+            hard.report.overall.recall() > 0.9,
+            "stale rules keep predicting a stable pattern: {:?}",
+            hard.report.overall
+        );
+    }
+
+    #[test]
+    fn hardened_driver_writes_loadable_checkpoints() {
+        let log = stable_log(12);
+        let path = std::env::temp_dir().join("dml_hardened_checkpoint.json");
+        let config = HardenedConfig {
+            checkpoint_path: Some(path.clone()),
+            ..quick_config()
+        };
+        let hard = run_hardened_driver(&log, 12, &config);
+        assert!(hard.health.checkpoints_written > 0);
+        let cp = crate::persist::load_checkpoint_file(&path).unwrap();
+        assert_eq!(cp.rule_set_version, hard.rule_set_version);
+        assert!(!cp.predictor.recent.is_empty(), "window state captured");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipeline_health_display_is_complete() {
+        let mut trainer = ResilientTrainer::with_learners(
+            FrameworkConfig::default(),
+            vec![Box::new(AssociationLearner), Box::new(FlakyLearner::new(0))],
+            ResilienceConfig::default(),
+        );
+        let outcome = trainer.train(&rich_log());
+        let mut health = PipelineHealth::default();
+        health.absorb(&outcome);
+        health.ingest.lines = 100;
+        health.ingest.parse_skipped = 3;
+        let text = health.to_string();
+        assert!(text.contains("3 skipped (3.00%)"));
+        assert!(text.contains("1 dropped"));
+        assert!(text.contains("flaky"));
+        assert!(!health.is_pristine());
+        assert!(PipelineHealth::default().is_pristine());
+    }
+}

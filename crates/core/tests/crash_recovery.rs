@@ -1,0 +1,167 @@
+//! Kill-and-resume: predictor state survives a process restart.
+//!
+//! The online predictor is killed mid-stream (simulated by dropping it),
+//! its last checkpoint is reloaded from disk in a "new process" scope,
+//! and the resumed predictor must issue exactly the warnings the
+//! uninterrupted run issues — including a warning whose precursors
+//! straddle the kill point.
+
+use dml_core::{
+    load_checkpoint_file, run_hardened_driver, save_checkpoint_file, Checkpoint, FrameworkConfig,
+    HardenedConfig, MetaLearner, Predictor, Warning,
+};
+use raslog::{CleanEvent, Duration, EventTypeId, Timestamp, WEEK_MS};
+
+fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+    CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+}
+
+/// A training log planting the cascade {1,2} → 100.
+fn training_log() -> Vec<CleanEvent> {
+    let mut events = Vec::new();
+    for i in 0..40i64 {
+        let base = i * 10_000;
+        events.push(ev(base, 1, false));
+        events.push(ev(base + 50, 2, false));
+        events.push(ev(base + 200, 100, true));
+    }
+    events
+}
+
+/// The live stream: two full cascades, cut between the precursors of the
+/// second cascade and its fatal.
+fn live_stream() -> (Vec<CleanEvent>, usize) {
+    let events = vec![
+        ev(1_000_000, 1, false),
+        ev(1_000_050, 2, false), // first warning issued here
+        ev(1_000_200, 100, true),
+        ev(1_002_000, 1, false),
+        ev(1_002_050, 2, false), // second warning pending at the cut
+        // ---- kill point ----
+        ev(1_002_200, 100, true),
+        ev(1_004_000, 1, false),
+        ev(1_004_050, 2, false),
+        ev(1_004_200, 100, true),
+    ];
+    (events, 5) // cut index: first five events happen before the crash
+}
+
+#[test]
+fn predictor_resumes_identically_after_restart() {
+    let config = FrameworkConfig::default();
+    let outcome = MetaLearner::new(config).train(&training_log());
+    assert!(!outcome.repo.is_empty(), "training must produce rules");
+    let (stream, cut) = live_stream();
+
+    // Reference: the run that never crashes.
+    let mut uninterrupted = Predictor::new(&outcome.repo, config.window);
+    let reference: Vec<Warning> = uninterrupted.observe_all(&stream);
+    assert!(reference.len() >= 3, "every cascade fires: {reference:?}");
+
+    // Crashing run: observe the prefix, checkpoint, "die".
+    let path = std::env::temp_dir().join("dml_crash_recovery_test.json");
+    let warnings_before: Vec<Warning> = {
+        let mut predictor = Predictor::new(&outcome.repo, config.window);
+        let before = predictor.observe_all(&stream[..cut]);
+        let cp = Checkpoint::new(1, outcome.repo.clone(), predictor.snapshot());
+        save_checkpoint_file(&cp, &path).expect("checkpoint written");
+        before
+        // predictor dropped here — the process is gone.
+    };
+    assert!(
+        !warnings_before.is_empty(),
+        "a warning is pending at the kill point"
+    );
+
+    // "New process": reload everything from the checkpoint file.
+    let cp = load_checkpoint_file(&path).expect("checkpoint readable");
+    assert_eq!(cp.rule_set_version, 1);
+    let mut resumed = Predictor::restore(&cp.repo, config.window, cp.predictor);
+    let warnings_after = resumed.observe_all(&stream[cut..]);
+
+    let mut replayed = warnings_before;
+    replayed.extend(warnings_after);
+    assert_eq!(
+        replayed, reference,
+        "resumed run must match the uninterrupted run warning-for-warning"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn pending_warning_rate_limit_survives_restart() {
+    let config = FrameworkConfig::default();
+    let outcome = MetaLearner::new(config).train(&training_log());
+    let (stream, cut) = live_stream();
+    let path = std::env::temp_dir().join("dml_crash_recovery_ratelimit.json");
+
+    let mut predictor = Predictor::new(&outcome.repo, config.window);
+    predictor.observe_all(&stream[..cut]);
+    let pending = predictor.snapshot().active.len();
+    assert!(pending > 0, "warning pending at the cut");
+    save_checkpoint_file(
+        &Checkpoint::new(1, outcome.repo.clone(), predictor.snapshot()),
+        &path,
+    )
+    .unwrap();
+    drop(predictor);
+
+    let cp = load_checkpoint_file(&path).unwrap();
+    let mut resumed = Predictor::restore(&cp.repo, config.window, cp.predictor);
+    // Re-delivering the precursors just before the pending deadline must
+    // NOT re-fire the rule: the restored rate-limit state suppresses it.
+    let again = resumed.observe_all(&[ev(1_002_060, 1, false), ev(1_002_070, 2, false)]);
+    assert!(
+        again.is_empty(),
+        "restored predictor re-fired a pending rule: {again:?}"
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn hardened_driver_checkpoint_restores_mid_run() {
+    // Run the hardened driver with checkpointing on a stable pattern,
+    // then prove the final checkpoint file reconstructs a predictor that
+    // keeps predicting the pattern.
+    let week_secs = WEEK_MS / 1000;
+    let mut events = Vec::new();
+    for w in 0..10i64 {
+        for i in 0..12 {
+            let base = w * week_secs + i * 50_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 60, 2, false));
+            events.push(ev(base + 200, 100, true));
+        }
+    }
+    let path = std::env::temp_dir().join("dml_crash_recovery_driver.json");
+    let config = HardenedConfig {
+        driver: dml_core::DriverConfig {
+            framework: FrameworkConfig {
+                window: Duration::from_secs(300),
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            initial_training_weeks: 4,
+            ..dml_core::DriverConfig::default()
+        },
+        checkpoint_path: Some(path.clone()),
+        ..HardenedConfig::default()
+    };
+    let hard = run_hardened_driver(&events, 10, &config);
+    assert!(hard.health.checkpoints_written >= 3);
+
+    let cp = load_checkpoint_file(&path).unwrap();
+    let mut resumed = Predictor::restore(&cp.repo, Duration::from_secs(300), cp.predictor);
+    // The next cascade after the end of the log is still predicted.
+    let next = 10 * week_secs;
+    let warnings = resumed.observe_all(&[
+        ev(next, 1, false),
+        ev(next + 60, 2, false),
+        ev(next + 200, 100, true),
+    ]);
+    assert!(
+        !warnings.is_empty(),
+        "restored rule set predicts the ongoing pattern"
+    );
+    std::fs::remove_file(&path).ok();
+}

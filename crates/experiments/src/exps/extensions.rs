@@ -42,12 +42,83 @@ pub fn ext_adaptive(opts: &Opts) {
     }
 }
 
+/// Chaos sweep: the full hostile-ingest pipeline (corrupt → lenient
+/// parse → re-sequence → preprocess → hardened driver) at increasing
+/// corruption rates. The pass criterion is *graceful* degradation: no
+/// panic at any rate, and recall eroding smoothly rather than cliffing.
+pub fn chaos(opts: &Opts) {
+    println!("\n== Chaos sweep: hostile ingest at increasing corruption rates ==");
+    let weeks = opts.weeks.unwrap_or(12);
+    let scale = opts.scale.unwrap_or(0.05);
+    let rates = [0.0, 0.01, 0.05, 0.10];
+    let mut cliffs = Vec::new();
+    for preset_name in ["ANL", "SDSC"] {
+        println!("\n-- {preset_name} ({weeks} weeks, scale {scale}) --");
+        let mut recall_at: Vec<(f64, f64)> = Vec::new();
+        for &rate in &rates {
+            let preset = if preset_name == "ANL" {
+                bgl_sim::SystemPreset::anl()
+            } else {
+                bgl_sim::SystemPreset::sdsc()
+            }
+            .with_weeks(weeks)
+            .with_volume_scale(scale);
+            let plan = bgl_sim::CorruptionPlan::uniform(opts.seed ^ 0xc0de, rate);
+            let (ds, ingest) =
+                experiments::data::build_corrupted_dataset(preset, opts.seed, &plan);
+            let config = dml_core::HardenedConfig {
+                driver: dml_core::DriverConfig {
+                    policy: dml_core::TrainingPolicy::SlidingWeeks(8),
+                    initial_training_weeks: (weeks / 3).max(2),
+                    ..experiments::runs::default_driver_config()
+                },
+                ..dml_core::HardenedConfig::default()
+            };
+            let mut hard = dml_core::run_hardened_driver(&ds.clean, ds.weeks, &config);
+            hard.health.ingest = ingest;
+            let acc = &hard.report.overall;
+            println!(
+                "\ncorruption {:>4.1}%: precision {} recall {} ({} warnings)",
+                rate * 100.0,
+                f2(acc.precision()),
+                f2(acc.recall()),
+                hard.report.warnings.len()
+            );
+            println!("{}", hard.health);
+            recall_at.push((rate, acc.recall()));
+        }
+        // A "cliff" is a single corruption step wiping out more than half
+        // of the remaining recall while recall was still meaningful.
+        for pair in recall_at.windows(2) {
+            let ((r0, a), (r1, b)) = (pair[0], pair[1]);
+            if a > 0.2 && b < a * 0.5 {
+                cliffs.push(format!(
+                    "{preset_name}: recall fell {a:.2} → {b:.2} between {:.0}% and {:.0}%",
+                    r0 * 100.0,
+                    r1 * 100.0
+                ));
+            }
+        }
+    }
+    if cliffs.is_empty() {
+        println!("\nchaos sweep: degradation is graceful at every step");
+    } else {
+        for c in &cliffs {
+            eprintln!("chaos sweep CLIFF: {c}");
+        }
+        std::process::exit(1);
+    }
+}
+
 /// Robustness: the headline comparisons re-run across seeds, reported as
 /// mean ± standard deviation, to show the conclusions are not seed luck.
+/// With `--min-recall T`, exits nonzero if mean meta recall falls below
+/// `T` on either preset (the CI regression gate).
 pub fn robustness(opts: &Opts) {
     println!("\n== Robustness: headline results across seeds ==");
     let seeds: Vec<u64> = (0..5).map(|i| opts.seed + i * 1000).collect();
     let weeks = opts.weeks.unwrap_or(60);
+    let mut gate_failures = Vec::new();
     for preset_name in ["ANL", "SDSC"] {
         let mut meta_recall = Vec::new();
         let mut meta_precision = Vec::new();
@@ -120,6 +191,20 @@ pub fn robustness(opts: &Opts) {
             seeds.len(),
             seeds.len()
         );
+        if let Some(threshold) = opts.min_recall {
+            let mean = meta_recall.iter().sum::<f64>() / meta_recall.len() as f64;
+            if mean < threshold {
+                gate_failures.push(format!(
+                    "{preset_name}: mean meta recall {mean:.3} < required {threshold:.3}"
+                ));
+            }
+        }
+    }
+    if !gate_failures.is_empty() {
+        for f in &gate_failures {
+            eprintln!("recall gate FAILED: {f}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE]
+//!                    [--chaos] [--min-recall T]
 //!
 //! experiments: table2 table3 table4 table5
 //!              fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//!              ext-adaptive ext-location robustness smoke all
+//!              ext-adaptive ext-location robustness chaos smoke all
 //! ```
 
 use bgl_sim::SystemPreset;
@@ -26,39 +27,55 @@ pub struct Opts {
     pub weeks: Option<i64>,
     /// Append machine-readable results (JSON lines) to this file.
     pub json: Option<String>,
+    /// Run the corruption-rate chaos sweep (with `robustness`).
+    pub chaos: bool,
+    /// Fail `robustness` when mean meta recall drops below this.
+    pub min_recall: Option<f64>,
 }
 
 impl Opts {
-    fn parse(args: &[String]) -> Opts {
+    fn parse(args: &[String]) -> Result<Opts, String> {
         let mut opts = Opts {
             seed: 42,
             scale: None,
             weeks: None,
             json: None,
+            chaos: false,
+            min_recall: None,
         };
+        fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
+            *i += 1;
+            args.get(*i)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        }
+        fn number<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T, String> {
+            raw.parse()
+                .map_err(|_| format!("{flag}: cannot parse `{raw}`"))
+        }
         let mut i = 0;
         while i < args.len() {
             match args[i].as_str() {
-                "--seed" => {
-                    opts.seed = args[i + 1].parse().expect("--seed N");
-                    i += 2;
-                }
+                "--seed" => opts.seed = number(value(args, &mut i, "--seed")?, "--seed")?,
                 "--scale" => {
-                    opts.scale = Some(args[i + 1].parse().expect("--scale X"));
-                    i += 2;
+                    opts.scale = Some(number(value(args, &mut i, "--scale")?, "--scale")?)
                 }
                 "--weeks" => {
-                    opts.weeks = Some(args[i + 1].parse().expect("--weeks N"));
-                    i += 2;
+                    opts.weeks = Some(number(value(args, &mut i, "--weeks")?, "--weeks")?)
                 }
-                "--json" => {
-                    opts.json = Some(args[i + 1].clone());
-                    i += 2;
+                "--json" => opts.json = Some(value(args, &mut i, "--json")?.to_string()),
+                "--chaos" => opts.chaos = true,
+                "--min-recall" => {
+                    opts.min_recall = Some(number(
+                        value(args, &mut i, "--min-recall")?,
+                        "--min-recall",
+                    )?)
                 }
-                other => panic!("unknown option {other}"),
+                other => return Err(format!("unknown option `{other}`")),
             }
+            i += 1;
         }
-        opts
+        Ok(opts)
     }
 
     /// Builds both presets with this run's scale/week overrides.
@@ -94,16 +111,28 @@ impl Opts {
     }
 }
 
+const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE] \
+[--chaos] [--min-recall T]\n\
+experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
+ext-adaptive ext-location robustness chaos smoke all";
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => {
-            eprintln!("usage: repro <experiment> [--seed N] [--scale X] [--weeks N]");
+            eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
-    let opts = Opts::parse(&rest);
+    let opts = match Opts::parse(&rest) {
+        Ok(opts) => opts,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
     match cmd.as_str() {
         "table2" => exps::tables::table2(&opts),
         "table3" => exps::tables::table3(&opts),
@@ -119,7 +148,14 @@ fn main() {
         "fig12" => exps::accuracy::fig12(&opts),
         "fig13" => exps::accuracy::fig13(&opts),
         "ext-adaptive" => exps::extensions::ext_adaptive(&opts),
-        "robustness" => exps::extensions::robustness(&opts),
+        "robustness" => {
+            if opts.chaos {
+                exps::extensions::chaos(&opts)
+            } else {
+                exps::extensions::robustness(&opts)
+            }
+        }
+        "chaos" => exps::extensions::chaos(&opts),
         "ext-location" => exps::extensions::ext_location(&opts),
         "smoke" => smoke(&opts),
         "all" => {

@@ -13,10 +13,12 @@ pub mod categorizer;
 pub mod discovery;
 pub mod filter;
 pub mod pipeline;
+pub mod reorder;
 pub mod threshold;
 
 pub use categorizer::{CategorizeStats, Categorizer};
 pub use discovery::{discover_catalog, DiscoveryConfig, DiscoveryStats};
 pub use filter::{filter_events, FilterConfig, FilterStats};
 pub use pipeline::{clean_log, PipelineStats};
+pub use reorder::{resequence, ReorderBuffer, ReorderStats};
 pub use threshold::{find_threshold, ThresholdSearch};

@@ -1,0 +1,270 @@
+//! Bounded watermark-based re-sequencing of out-of-order event streams.
+//!
+//! Real transports deliver events late: a record's delivery position can
+//! trail its timestamp by network lag, retry storms or skewed clocks. The
+//! downstream pipeline (the filter's gap tupling, the predictor's sliding
+//! window) assumes time-sorted input, so ingest re-sequences deliveries
+//! through a [`ReorderBuffer`]:
+//!
+//! * events are buffered in a min-heap keyed by timestamp;
+//! * the **watermark** trails the largest timestamp seen by a configurable
+//!   **horizon** — the longest lateness the pipeline tolerates;
+//! * an event is *released* (in time order) once the watermark passes it,
+//!   and an arrival already behind the watermark is dropped and counted
+//!   rather than emitted out of order.
+//!
+//! The buffer is generic over anything [`Timed`], so it re-sequences both
+//! raw [`RasEvent`](raslog::RasEvent) deliveries before categorization and
+//! [`CleanEvent`](raslog::CleanEvent) streams in front of the predictor.
+//! Output order is deterministic: ties on the timestamp release in arrival
+//! order.
+
+use raslog::store::Timed;
+use raslog::{Duration, Timestamp};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Counters describing one buffer's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReorderStats {
+    /// Events accepted into the buffer.
+    pub accepted: usize,
+    /// Events released in time order.
+    pub released: usize,
+    /// Events that arrived later than the horizon and were dropped.
+    pub late_dropped: usize,
+    /// Largest number of events buffered at once.
+    pub peak_buffered: usize,
+}
+
+struct Pending<T> {
+    time: Timestamp,
+    seq: u64,
+    event: T,
+}
+
+impl<T> PartialEq for Pending<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<T> Eq for Pending<T> {}
+impl<T> PartialOrd for Pending<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Pending<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// Re-sequences a bounded-lateness stream into time order.
+pub struct ReorderBuffer<T> {
+    horizon: Duration,
+    heap: BinaryHeap<Reverse<Pending<T>>>,
+    /// Largest timestamp seen so far; the watermark trails it by `horizon`.
+    max_seen: Option<Timestamp>,
+    seq: u64,
+    stats: ReorderStats,
+}
+
+impl<T: Timed> ReorderBuffer<T> {
+    /// A buffer tolerating lateness up to `horizon`.
+    pub fn new(horizon: Duration) -> Self {
+        assert!(!horizon.is_negative(), "horizon must be non-negative");
+        ReorderBuffer {
+            horizon,
+            heap: BinaryHeap::new(),
+            max_seen: None,
+            seq: 0,
+            stats: ReorderStats::default(),
+        }
+    }
+
+    /// The watermark: everything at or before it has been released, so an
+    /// arrival behind it can no longer be re-sequenced.
+    pub fn watermark(&self) -> Option<Timestamp> {
+        self.max_seen.map(|m| m - self.horizon)
+    }
+
+    /// Offers one delivery; releasable events are appended to `out` in
+    /// time order. Returns `false` when the event was too late and had to
+    /// be dropped.
+    pub fn push(&mut self, event: T, out: &mut Vec<T>) -> bool {
+        let t = event.time();
+        if let Some(w) = self.watermark() {
+            if t < w {
+                self.stats.late_dropped += 1;
+                return false;
+            }
+        }
+        self.stats.accepted += 1;
+        self.seq += 1;
+        self.heap.push(Reverse(Pending {
+            time: t,
+            seq: self.seq,
+            event,
+        }));
+        self.max_seen = Some(self.max_seen.map_or(t, |m| m.max(t)));
+        self.stats.peak_buffered = self.stats.peak_buffered.max(self.heap.len());
+        self.drain_to(self.watermark().expect("max_seen set"), out);
+        true
+    }
+
+    /// Releases everything still buffered (end of stream).
+    pub fn flush(&mut self, out: &mut Vec<T>) {
+        while let Some(Reverse(p)) = self.heap.pop() {
+            out.push(p.event);
+            self.stats.released += 1;
+        }
+    }
+
+    /// Events currently buffered.
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ReorderStats {
+        self.stats
+    }
+
+    fn drain_to(&mut self, watermark: Timestamp, out: &mut Vec<T>) {
+        while let Some(Reverse(p)) = self.heap.peek() {
+            if p.time > watermark {
+                break;
+            }
+            let Reverse(p) = self.heap.pop().expect("peeked");
+            out.push(p.event);
+            self.stats.released += 1;
+        }
+    }
+}
+
+/// Convenience: re-sequences a whole delivery stream at once.
+pub fn resequence<T: Timed>(
+    deliveries: impl IntoIterator<Item = T>,
+    horizon: Duration,
+) -> (Vec<T>, ReorderStats) {
+    let mut buffer = ReorderBuffer::new(horizon);
+    let mut out = Vec::new();
+    for ev in deliveries {
+        buffer.push(ev, &mut out);
+    }
+    buffer.flush(&mut out);
+    (out, buffer.stats())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{CleanEvent, EventTypeId};
+
+    fn ev(secs: i64) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(1), false)
+    }
+
+    fn times(events: &[CleanEvent]) -> Vec<i64> {
+        events.iter().map(|e| e.time.as_secs()).collect()
+    }
+
+    #[test]
+    fn sorted_input_passes_through() {
+        let input: Vec<CleanEvent> = (0..10).map(|s| ev(s * 10)).collect();
+        let (out, stats) = resequence(input.clone(), Duration::from_secs(60));
+        assert_eq!(out, input);
+        assert_eq!(stats.late_dropped, 0);
+        assert_eq!(stats.released, 10);
+    }
+
+    #[test]
+    fn bounded_lateness_is_resequenced() {
+        // 50 arrives after 70 but only 20 s late — inside the horizon.
+        let input = vec![ev(0), ev(70), ev(50), ev(120), ev(200)];
+        let (out, stats) = resequence(input, Duration::from_secs(60));
+        assert_eq!(times(&out), vec![0, 50, 70, 120, 200]);
+        assert_eq!(stats.late_dropped, 0);
+    }
+
+    #[test]
+    fn hopelessly_late_events_are_dropped() {
+        let input = vec![ev(0), ev(500), ev(10)]; // 10 is 490 s late
+        let (out, stats) = resequence(input, Duration::from_secs(60));
+        assert_eq!(times(&out), vec![0, 500]);
+        assert_eq!(stats.late_dropped, 1);
+    }
+
+    #[test]
+    fn output_is_always_nondecreasing() {
+        // Deterministic pseudo-random jitter within the horizon.
+        let mut deliveries = Vec::new();
+        let mut x = 12345u64;
+        for i in 0..500i64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let jitter = (x >> 33) as i64 % 50;
+            deliveries.push(ev(i * 10 + jitter));
+        }
+        let (out, stats) = resequence(deliveries, Duration::from_secs(60));
+        assert!(out.windows(2).all(|w| w[0].time <= w[1].time));
+        assert_eq!(stats.released + stats.late_dropped, 500);
+    }
+
+    #[test]
+    fn ties_release_in_arrival_order() {
+        let mut a = ev(10);
+        a.type_id = EventTypeId(1);
+        let mut b = ev(10);
+        b.type_id = EventTypeId(2);
+        let (out, _) = resequence(vec![a, b], Duration::from_secs(60));
+        assert_eq!(out[0].type_id, EventTypeId(1));
+        assert_eq!(out[1].type_id, EventTypeId(2));
+    }
+
+    #[test]
+    fn zero_horizon_releases_immediately() {
+        let input = vec![ev(5), ev(3), ev(7)];
+        let (out, stats) = resequence(input, Duration::ZERO);
+        // 3 arrives strictly behind the watermark (5) and is dropped.
+        assert_eq!(times(&out), vec![5, 7]);
+        assert_eq!(stats.late_dropped, 1);
+    }
+
+    #[test]
+    fn watermark_trails_by_horizon() {
+        let mut buf: ReorderBuffer<CleanEvent> = ReorderBuffer::new(Duration::from_secs(60));
+        assert_eq!(buf.watermark(), None);
+        let mut out = Vec::new();
+        assert!(buf.push(ev(100), &mut out));
+        assert_eq!(buf.watermark(), Some(Timestamp::from_secs(40)));
+        assert_eq!(buf.pending(), 1, "100 not yet released");
+        assert!(buf.push(ev(200), &mut out));
+        assert_eq!(times(&out), vec![100], "watermark 140 released 100");
+        buf.flush(&mut out);
+        assert_eq!(times(&out), vec![100, 200]);
+        assert_eq!(buf.stats().peak_buffered, 2);
+    }
+
+    #[test]
+    fn works_for_raw_events_too() {
+        use raslog::{Facility, Location, RasEvent, RecordSource, Severity};
+        let raw = |secs: i64, id: u64| RasEvent {
+            record_id: id,
+            source: RecordSource::Ras,
+            time: Timestamp::from_secs(secs),
+            job_id: None,
+            location: Location::System,
+            entry_data: "x".into(),
+            facility: Facility::Kernel,
+            severity: Severity::Info,
+        };
+        let (out, _) = resequence(
+            vec![raw(30, 1), raw(10, 2), raw(20, 3)],
+            Duration::from_secs(60),
+        );
+        let ids: Vec<u64> = out.iter().map(|e| e.record_id).collect();
+        assert_eq!(ids, vec![2, 3, 1]);
+    }
+}

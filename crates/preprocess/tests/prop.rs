@@ -1,8 +1,13 @@
-//! Property tests for the compression filter.
+//! Property tests for the compression filter and the reordering buffer.
 
-use preprocess::{filter_events, FilterConfig};
+use preprocess::{filter_events, resequence, FilterConfig};
 use proptest::prelude::*;
 use raslog::{CleanEvent, Duration, EventTypeId, JobId, Location, Timestamp};
+
+fn lcg(x: u64) -> u64 {
+    x.wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407)
+}
 
 fn arb_events() -> impl Strategy<Value = Vec<CleanEvent>> {
     prop::collection::vec(
@@ -107,5 +112,63 @@ proptest! {
             // The kept record is one of the input records, flag intact.
             prop_assert!(events.iter().any(|e| e == k));
         }
+    }
+
+    #[test]
+    fn filter_invariant_under_duplicate_injection(
+        events in arb_events(),
+        secs in 1i64..600,
+        seed in any::<u64>(),
+    ) {
+        // A duplicate flood (each record re-delivered up to 2 extra
+        // times, immediately after the original) must not change what
+        // the filter keeps: the gap-based tupling absorbs exact copies.
+        let mut x = seed;
+        let mut flooded = Vec::new();
+        for e in &events {
+            flooded.push(*e);
+            x = lcg(x);
+            for _ in 0..(x >> 33) % 3 {
+                flooded.push(*e);
+            }
+        }
+        let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+        let (clean_kept, _) = filter_events(&events, &config);
+        let (flooded_kept, _) = filter_events(&flooded, &config);
+        prop_assert_eq!(flooded_kept, clean_kept);
+    }
+
+    #[test]
+    fn filter_invariant_under_bounded_reordering(
+        events in arb_events(),
+        secs in 1i64..600,
+        seed in any::<u64>(),
+    ) {
+        // Distinct timestamps so the restored order is unambiguous.
+        let mut events = events;
+        events.dedup_by_key(|e| e.time);
+        // Deliver out of order: each event is displaced by a jitter no
+        // larger than the reordering horizon.
+        let horizon = Duration::from_secs(120);
+        let mut x = seed;
+        let mut keyed: Vec<(i64, usize)> = events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                x = lcg(x);
+                (e.time.millis() + (x >> 33) as i64 % (horizon.millis() + 1), i)
+            })
+            .collect();
+        keyed.sort_by_key(|&(k, i)| (k, i));
+        let deliveries = keyed.iter().map(|&(_, i)| events[i]);
+
+        let (restored, stats) = resequence(deliveries, horizon);
+        prop_assert_eq!(stats.late_dropped, 0, "bounded lateness never drops");
+        prop_assert_eq!(&restored, &events, "resequencing restores the stream");
+
+        let config = FilterConfig::with_threshold(Duration::from_secs(secs));
+        let (direct, _) = filter_events(&events, &config);
+        let (via_buffer, _) = filter_events(&restored, &config);
+        prop_assert_eq!(via_buffer, direct);
     }
 }

@@ -10,6 +10,13 @@
 //!
 //! A missing job id is written as `-`. `entry_data` is the trailing field
 //! and may contain any character except a newline (including `|`).
+//!
+//! Reading is policy-driven ([`ParsePolicy`]): `Strict` aborts on the
+//! first malformed line, while `Lenient` and `Quarantine` recover — they
+//! skip damaged lines, keep bounded diagnostics ([`MAX_DIAGNOSTICS`]) and
+//! count what was lost, so a hostile production stream degrades the
+//! outcome instead of killing the reader. [`LogLines`] exposes the same
+//! recovery as a streaming iterator.
 
 use crate::error::ParseError;
 use crate::event::{JobId, RasEvent, RecordSource};
@@ -93,28 +100,199 @@ pub fn write_log<W: Write>(events: &[RasEvent], mut w: W) -> std::io::Result<()>
     Ok(())
 }
 
-/// Reads a whole log from `r`, reusing one line buffer to avoid per-line
-/// allocation. Blank lines and lines starting with `#` are skipped.
-pub fn read_log<R: BufRead>(mut r: R) -> Result<Vec<RasEvent>, ParseError> {
-    let mut events = Vec::new();
-    let mut line = String::new();
-    let mut lineno = 0usize;
-    loop {
-        line.clear();
-        let n = r
-            .read_line(&mut line)
-            .map_err(|e| ParseError::new(format!("io error: {e}")))?;
-        if n == 0 {
-            break;
+/// How a reader treats malformed lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParsePolicy {
+    /// Abort on the first malformed line (the historical behavior; right
+    /// for logs this process wrote itself).
+    #[default]
+    Strict,
+    /// Skip malformed lines, recording bounded diagnostics and a skip
+    /// counter — production ingest over a hostile transport.
+    Lenient,
+    /// Like [`ParsePolicy::Lenient`], but additionally retain the raw text
+    /// of every rejected line for offline inspection.
+    Quarantine,
+}
+
+/// Cap on retained per-line diagnostics, so a fully garbled multi-gigabyte
+/// stream cannot exhaust memory through its error report.
+pub const MAX_DIAGNOSTICS: usize = 64;
+
+/// What a policy-driven read produced.
+#[derive(Debug, Clone)]
+pub struct ReadOutcome<T> {
+    /// Successfully parsed records, in input order.
+    pub events: Vec<T>,
+    /// Non-blank, non-comment lines seen.
+    pub lines: usize,
+    /// Malformed lines skipped (`Lenient` / `Quarantine` only).
+    pub skipped: usize,
+    /// The first [`MAX_DIAGNOSTICS`] parse errors, with line numbers.
+    pub diagnostics: Vec<ParseError>,
+    /// Raw text of rejected lines (`Quarantine` only, same cap).
+    pub quarantined: Vec<String>,
+}
+
+impl<T> Default for ReadOutcome<T> {
+    fn default() -> Self {
+        ReadOutcome {
+            events: Vec::new(),
+            lines: 0,
+            skipped: 0,
+            diagnostics: Vec::new(),
+            quarantined: Vec::new(),
         }
-        lineno += 1;
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        events.push(parse_line(trimmed).map_err(|e| e.at_line(lineno))?);
     }
-    Ok(events)
+}
+
+impl<T> ReadOutcome<T> {
+    /// Fraction of candidate lines that were rejected.
+    pub fn skip_rate(&self) -> f64 {
+        if self.lines == 0 {
+            0.0
+        } else {
+            self.skipped as f64 / self.lines as f64
+        }
+    }
+}
+
+/// A line that failed to parse, carried alongside its raw text so
+/// quarantining callers can retain it.
+#[derive(Debug, Clone)]
+pub struct BadLine {
+    /// The offending line, newline stripped.
+    pub raw: String,
+    /// Why it was rejected (line number attached).
+    pub error: ParseError,
+}
+
+/// An error-recovering streaming reader: yields one parse result per
+/// non-blank, non-comment line and keeps going after failures, so callers
+/// choose their own policy without buffering the log.
+///
+/// I/O errors are reported once as an [`Err`] and end the stream.
+pub struct LogLines<R, T> {
+    reader: R,
+    parse: fn(&str) -> Result<T, ParseError>,
+    buf: String,
+    lineno: usize,
+    done: bool,
+}
+
+impl<R: BufRead, T> LogLines<R, T> {
+    fn new(reader: R, parse: fn(&str) -> Result<T, ParseError>) -> Self {
+        LogLines {
+            reader,
+            parse,
+            buf: String::new(),
+            lineno: 0,
+            done: false,
+        }
+    }
+
+    /// 1-based number of the line most recently yielded.
+    pub fn lineno(&self) -> usize {
+        self.lineno
+    }
+}
+
+impl<R: BufRead, T> Iterator for LogLines<R, T> {
+    type Item = Result<T, BadLine>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            self.buf.clear();
+            match self.reader.read_line(&mut self.buf) {
+                Ok(0) => return None,
+                Ok(_) => {}
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(BadLine {
+                        raw: String::new(),
+                        error: ParseError::new(format!("io error: {e}")),
+                    }));
+                }
+            }
+            self.lineno += 1;
+            let trimmed = self.buf.trim_end_matches(['\n', '\r']);
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            return Some(match (self.parse)(trimmed) {
+                Ok(ev) => Ok(ev),
+                Err(e) => Err(BadLine {
+                    raw: trimmed.to_string(),
+                    error: e.at_line(self.lineno),
+                }),
+            });
+        }
+    }
+}
+
+/// Streams raw RAS records from `r`, one parse result per line.
+pub fn raw_lines<R: BufRead>(r: R) -> LogLines<R, RasEvent> {
+    LogLines::new(r, parse_line)
+}
+
+/// Streams preprocessed records from `r`, one parse result per line.
+pub fn clean_lines<R: BufRead>(r: R) -> LogLines<R, crate::event::CleanEvent> {
+    LogLines::new(r, parse_clean_line)
+}
+
+fn drain_with_policy<R: BufRead, T>(
+    stream: LogLines<R, T>,
+    policy: ParsePolicy,
+) -> Result<ReadOutcome<T>, ParseError> {
+    let mut out = ReadOutcome::default();
+    for item in stream {
+        out.lines += 1;
+        match item {
+            Ok(ev) => out.events.push(ev),
+            Err(bad) => match policy {
+                ParsePolicy::Strict => return Err(bad.error),
+                ParsePolicy::Lenient | ParsePolicy::Quarantine => {
+                    out.skipped += 1;
+                    if out.diagnostics.len() < MAX_DIAGNOSTICS {
+                        out.diagnostics.push(bad.error);
+                    }
+                    if policy == ParsePolicy::Quarantine && out.quarantined.len() < MAX_DIAGNOSTICS
+                    {
+                        out.quarantined.push(bad.raw);
+                    }
+                }
+            },
+        }
+    }
+    Ok(out)
+}
+
+/// Reads a whole raw log under the given [`ParsePolicy`].
+///
+/// Only `Strict` can return `Err`; the recovering policies always produce
+/// an outcome, however damaged the input.
+pub fn read_log_with_policy<R: BufRead>(
+    r: R,
+    policy: ParsePolicy,
+) -> Result<ReadOutcome<RasEvent>, ParseError> {
+    drain_with_policy(raw_lines(r), policy)
+}
+
+/// Reads a whole preprocessed log under the given [`ParsePolicy`].
+pub fn read_clean_log_with_policy<R: BufRead>(
+    r: R,
+    policy: ParsePolicy,
+) -> Result<ReadOutcome<crate::event::CleanEvent>, ParseError> {
+    drain_with_policy(clean_lines(r), policy)
+}
+
+/// Reads a whole log from `r`, aborting on the first malformed line.
+/// Blank lines and lines starting with `#` are skipped.
+pub fn read_log<R: BufRead>(r: R) -> Result<Vec<RasEvent>, ParseError> {
+    read_log_with_policy(r, ParsePolicy::Strict).map(|o| o.events)
 }
 
 /// Formats one preprocessed event as a line:
@@ -190,27 +368,10 @@ pub fn write_clean_log<W: Write>(
     Ok(())
 }
 
-/// Reads a preprocessed log. Blank lines and `#` comments are skipped.
-pub fn read_clean_log<R: BufRead>(mut r: R) -> Result<Vec<crate::event::CleanEvent>, ParseError> {
-    let mut events = Vec::new();
-    let mut line = String::new();
-    let mut lineno = 0usize;
-    loop {
-        line.clear();
-        let n = r
-            .read_line(&mut line)
-            .map_err(|e| ParseError::new(format!("io error: {e}")))?;
-        if n == 0 {
-            break;
-        }
-        lineno += 1;
-        let trimmed = line.trim_end_matches(['\n', '\r']);
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        events.push(parse_clean_line(trimmed).map_err(|e| e.at_line(lineno))?);
-    }
-    Ok(events)
+/// Reads a preprocessed log, aborting on the first malformed line. Blank
+/// lines and `#` comments are skipped.
+pub fn read_clean_log<R: BufRead>(r: R) -> Result<Vec<crate::event::CleanEvent>, ParseError> {
+    read_clean_log_with_policy(r, ParsePolicy::Strict).map(|o| o.events)
 }
 
 #[cfg(test)]
@@ -273,6 +434,64 @@ mod tests {
         let text = "42|RAS|1234567|J17|R01-M0|KERNEL|FATAL|ok\nbogus line\n";
         let err = read_log(text.as_bytes()).unwrap_err();
         assert_eq!(err.line(), Some(2));
+    }
+
+    #[test]
+    fn lenient_policy_skips_and_diagnoses() {
+        let good = format_line(&sample());
+        let text = format!("# header\n{good}\nbogus\n\n{good}\nworse|line\n");
+        let out = read_log_with_policy(text.as_bytes(), ParsePolicy::Lenient).unwrap();
+        assert_eq!(out.events.len(), 2);
+        assert_eq!(out.lines, 4);
+        assert_eq!(out.skipped, 2);
+        assert_eq!(out.diagnostics.len(), 2);
+        assert_eq!(out.diagnostics[0].line(), Some(3));
+        assert_eq!(out.diagnostics[1].line(), Some(6));
+        assert!(out.quarantined.is_empty());
+        assert!((out.skip_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quarantine_policy_retains_raw_lines() {
+        let good = format_line(&sample());
+        let text = format!("{good}\nbroken record here\n");
+        let out = read_log_with_policy(text.as_bytes(), ParsePolicy::Quarantine).unwrap();
+        assert_eq!(out.events.len(), 1);
+        assert_eq!(out.quarantined, vec!["broken record here".to_string()]);
+    }
+
+    #[test]
+    fn diagnostics_are_bounded() {
+        let mut text = String::new();
+        for i in 0..(MAX_DIAGNOSTICS + 40) {
+            text.push_str(&format!("junk {i}\n"));
+        }
+        let out = read_log_with_policy(text.as_bytes(), ParsePolicy::Quarantine).unwrap();
+        assert_eq!(out.skipped, MAX_DIAGNOSTICS + 40);
+        assert_eq!(out.diagnostics.len(), MAX_DIAGNOSTICS);
+        assert_eq!(out.quarantined.len(), MAX_DIAGNOSTICS);
+    }
+
+    #[test]
+    fn streaming_reader_recovers_after_errors() {
+        let good = format_line(&sample());
+        let text = format!("oops\n{good}\n");
+        let items: Vec<_> = raw_lines(text.as_bytes()).collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_err());
+        assert_eq!(items[1].as_ref().unwrap(), &sample());
+        let bad = items[0].as_ref().unwrap_err();
+        assert_eq!(bad.raw, "oops");
+        assert_eq!(bad.error.line(), Some(1));
+    }
+
+    #[test]
+    fn clean_policy_reader_works() {
+        let ev = cases_example();
+        let text = format!("{}\nnot clean\n", format_clean_line(&ev));
+        let out = read_clean_log_with_policy(text.as_bytes(), ParsePolicy::Lenient).unwrap();
+        assert_eq!(out.events, vec![ev]);
+        assert_eq!(out.skipped, 1);
     }
 
     #[test]

@@ -158,4 +158,40 @@ proptest! {
         let shifted = ts + Duration::from_weeks(w);
         prop_assert_eq!(shifted.week_index(), ts.week_index() + w);
     }
+
+    #[test]
+    fn lenient_reader_is_total_on_arbitrary_bytes(bytes in prop::collection::vec(any::<u8>(), 0..2048)) {
+        // Whatever the transport delivers — binary junk, invalid UTF-8,
+        // no newlines — the lenient reader returns an outcome instead of
+        // panicking or erroring out.
+        let out = raslog::io::read_log_with_policy(bytes.as_slice(), raslog::ParsePolicy::Lenient)
+            .expect("lenient reads cannot fail");
+        prop_assert_eq!(out.events.len() + out.skipped, out.lines);
+        prop_assert!(out.diagnostics.len() <= raslog::io::MAX_DIAGNOSTICS);
+        prop_assert!((0.0..=1.0).contains(&out.skip_rate()));
+    }
+
+    #[test]
+    fn lenient_reader_recovers_around_mangled_lines(
+        events in prop::collection::vec(arb_event(), 1..30),
+        mangle in prop::collection::vec((any::<u16>(), any::<u8>()), 0..30),
+    ) {
+        // Serialized lines are ASCII, so byte-indexed mangling is safe.
+        let mut lines: Vec<String> = events.iter().map(raslog::io::format_line).collect();
+        for &(pos, byte) in &mangle {
+            let line = &mut lines[pos as usize % events.len()];
+            if !line.is_empty() {
+                let j = byte as usize % line.len();
+                let c = (byte % 94 + 33) as char;
+                line.replace_range(j..=j, &c.to_string());
+            }
+        }
+        let text = lines.join("\n");
+        let out = raslog::io::read_log_with_policy(text.as_bytes(), raslog::ParsePolicy::Quarantine)
+            .expect("recovering reads cannot fail");
+        // Every input line is accounted for: parsed or skipped, never lost.
+        prop_assert_eq!(out.lines, events.len());
+        prop_assert_eq!(out.events.len() + out.skipped, events.len());
+        prop_assert_eq!(out.quarantined.len(), out.skipped.min(raslog::io::MAX_DIAGNOSTICS));
+    }
 }

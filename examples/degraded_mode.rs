@@ -1,0 +1,121 @@
+//! Degraded-mode operation: a base learner starts crashing mid-run and
+//! the hardened pipeline keeps predicting.
+//!
+//! The resilient trainer isolates each learner behind a panic boundary.
+//! When a learner fails, its previous rule set is served for up to
+//! `max_stale_retrains` retrainings (`Fallback`), after which the expert
+//! is dropped from the ensemble (`Dropped`) — and picked straight back up
+//! the moment it learns successfully again. The rest of the ensemble is
+//! never disturbed.
+//!
+//! ```sh
+//! cargo run --release --example degraded_mode
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use dynamic_meta_learning::bgl_sim::{Generator, SystemPreset};
+use dynamic_meta_learning::dml_core::{
+    learners::{AssociationLearner, DistributionLearner, StatisticalLearner},
+    run_hardened_driver, run_hardened_driver_with, BaseLearner, DriverConfig, FrameworkConfig,
+    HardenedConfig, ResilienceConfig, ResilientTrainer, Rule, RuleKind, TrainingPolicy,
+};
+use dynamic_meta_learning::preprocess::{clean_log, Categorizer, FilterConfig};
+use raslog::CleanEvent;
+
+const WEEKS: i64 = 18;
+
+/// A statistical learner that crashes on its 3rd through 6th training
+/// call — long enough to exhaust the fallback budget — then recovers.
+struct FlakyStatistical {
+    calls: AtomicUsize,
+}
+
+impl BaseLearner for FlakyStatistical {
+    fn name(&self) -> &'static str {
+        "statistical rule"
+    }
+
+    fn kind(&self) -> RuleKind {
+        RuleKind::Statistical
+    }
+
+    fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+        let call = self.calls.fetch_add(1, Ordering::SeqCst) + 1;
+        if (3..=6).contains(&call) {
+            panic!("simulated learner crash on training call {call}");
+        }
+        StatisticalLearner.learn(events, config)
+    }
+}
+
+fn main() {
+    let preset = SystemPreset::sdsc().with_weeks(WEEKS).with_volume_scale(0.05);
+    let generator = Generator::new(preset, 7);
+    let categorizer = Categorizer::new(generator.catalog().clone());
+    let mut clean = Vec::new();
+    for week in 0..WEEKS {
+        let (raw, _) = generator.week_events(week);
+        let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+        clean.append(&mut c);
+    }
+
+    let config = HardenedConfig {
+        driver: DriverConfig {
+            framework: FrameworkConfig {
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            policy: TrainingPolicy::SlidingWeeks(6),
+            initial_training_weeks: 4,
+            only_kind: None,
+        },
+        resilience: ResilienceConfig::default(),
+        checkpoint_path: None,
+    };
+
+    // Reference: the healthy ensemble under the same driver.
+    let healthy = run_hardened_driver(&clean, WEEKS, &config);
+
+    // The same ensemble, except the statistical learner starts crashing.
+    let trainer = ResilientTrainer::with_learners(
+        config.driver.framework,
+        vec![
+            Box::new(AssociationLearner),
+            Box::new(FlakyStatistical {
+                calls: AtomicUsize::new(0),
+            }),
+            Box::new(DistributionLearner),
+        ],
+        config.resilience,
+    );
+    let flaky = run_hardened_driver_with(trainer, &clean, WEEKS, &config);
+
+    println!("healthy ensemble:");
+    println!("{}", healthy.health);
+    println!(
+        "precision {:.2} recall {:.2} ({} warnings)\n",
+        healthy.report.overall.precision(),
+        healthy.report.overall.recall(),
+        healthy.report.warnings.len()
+    );
+
+    println!("statistical learner crashing on training calls 3–6:");
+    println!("{}", flaky.health);
+    println!(
+        "precision {:.2} recall {:.2} ({} warnings)",
+        flaky.report.overall.precision(),
+        flaky.report.overall.recall(),
+        flaky.report.warnings.len()
+    );
+
+    println!(
+        "\n(the crash is absorbed: {} retrainings served stale statistical rules,",
+        flaky.health.fallbacks
+    );
+    println!(
+        " {} dropped the expert entirely, and the ensemble kept predicting —",
+        flaky.health.dropped
+    );
+    println!(" no panic ever reached the driver)");
+}

@@ -17,6 +17,7 @@ fn clean_weeks(generator: &Generator, weeks: i64) -> Vec<raslog::CleanEvent> {
 }
 
 #[test]
+#[ignore = "long-running: regenerates a multi-week synthetic log per test; run with --ignored (tracked in CHANGES.md)"]
 fn association_learner_rediscovers_planted_cascades() {
     let generator = Generator::new(
         SystemPreset::sdsc().with_weeks(26).with_volume_scale(0.08),
@@ -58,6 +59,7 @@ fn association_learner_rediscovers_planted_cascades() {
 }
 
 #[test]
+#[ignore = "long-running: regenerates a multi-week synthetic log per test; run with --ignored (tracked in CHANGES.md)"]
 fn statistical_learner_matches_burst_structure() {
     let generator = Generator::new(
         SystemPreset::sdsc().with_weeks(26).with_volume_scale(0.08),
@@ -85,6 +87,7 @@ fn statistical_learner_matches_burst_structure() {
 }
 
 #[test]
+#[ignore = "long-running: regenerates a multi-week synthetic log per test; run with --ignored (tracked in CHANGES.md)"]
 fn distribution_learner_fits_the_renewal_body() {
     let generator = Generator::new(
         SystemPreset::sdsc().with_weeks(26).with_volume_scale(0.08),
@@ -112,6 +115,7 @@ fn distribution_learner_fits_the_renewal_body() {
 }
 
 #[test]
+#[ignore = "long-running: regenerates a multi-week synthetic log per test; run with --ignored (tracked in CHANGES.md)"]
 fn cued_share_respects_no_precursor_majority() {
     // The paper observes up to 75 % of fatals arrive with no precursor;
     // the generator must keep the cued share well below half.

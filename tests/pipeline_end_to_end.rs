@@ -40,6 +40,7 @@ fn preprocessing_compresses_and_keeps_fatals() {
 }
 
 #[test]
+#[ignore = "long-running: regenerates a multi-week synthetic log per test; run with --ignored (tracked in CHANGES.md)"]
 fn full_pipeline_reaches_usable_accuracy() {
     let generator = generator();
     let categorizer = Categorizer::new(generator.catalog().clone());
@@ -79,6 +80,7 @@ fn full_pipeline_reaches_usable_accuracy() {
 }
 
 #[test]
+#[ignore = "long-running: regenerates a multi-week synthetic log per test; run with --ignored (tracked in CHANGES.md)"]
 fn logstore_and_streaming_weeks_agree() {
     let generator = generator();
     // Materialize via generate() and via week streaming: same records.
@@ -93,6 +95,7 @@ fn logstore_and_streaming_weeks_agree() {
 }
 
 #[test]
+#[ignore = "long-running: regenerates a multi-week synthetic log per test; run with --ignored (tracked in CHANGES.md)"]
 fn weekly_series_sums_to_overall() {
     let generator = generator();
     let categorizer = Categorizer::new(generator.catalog().clone());
