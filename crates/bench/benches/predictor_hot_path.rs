@@ -1,0 +1,106 @@
+//! Predictor hot path: per-event observe() cost with metrics on.
+//!
+//! Two configurations bound the cost of the PR-2 instrumentation: the
+//! default (counters inline, latency `Instant` pairs every 64th event)
+//! versus latency sampling disabled (counters only). The acceptance
+//! budget is < 5 % overhead on the instrumented path.
+//!
+//! Besides the criterion groups, the bench writes `BENCH_predictor.json`
+//! (events/sec for both configurations, the measured overhead, and the
+//! sampled match-latency percentiles) to seed the perf trajectory.
+
+use criterion::{criterion_group, Criterion, Throughput};
+use dml_bench::fixtures;
+use dml_core::{
+    FrameworkConfig, MetaLearner, Predictor, PredictorMetrics, DEFAULT_LATENCY_SAMPLE_EVERY,
+};
+use std::time::Instant;
+
+fn bench_predictor_hot_path(c: &mut Criterion) {
+    let config = FrameworkConfig::default();
+    let outcome = MetaLearner::new(config).train(fixtures::training_slice(26));
+    let test = fixtures::test_week(26);
+    let mut group = c.benchmark_group("predictor_hot_path");
+    group.throughput(Throughput::Elements(test.len() as u64));
+    for (label, every) in [
+        ("sampled_metrics", DEFAULT_LATENCY_SAMPLE_EVERY),
+        ("counters_only", 0),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut p = Predictor::new(&outcome.repo, config.window);
+                p.set_latency_sampling(every);
+                std::hint::black_box(p.observe_all(test))
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Best-of-`reps` wall time for one configuration, plus its metrics.
+fn events_per_sec(
+    repo: &dml_core::KnowledgeRepository,
+    config: &FrameworkConfig,
+    test: &[raslog::CleanEvent],
+    every: u32,
+    reps: usize,
+) -> (f64, PredictorMetrics) {
+    let mut best = f64::INFINITY;
+    let mut metrics = PredictorMetrics::default();
+    for _ in 0..reps {
+        let mut p = Predictor::new(repo, config.window);
+        p.set_latency_sampling(every);
+        let t = Instant::now();
+        std::hint::black_box(p.observe_all(test));
+        best = best.min(t.elapsed().as_secs_f64());
+        metrics = p.metrics().clone();
+    }
+    (test.len() as f64 / best.max(1e-9), metrics)
+}
+
+/// Writes the machine-readable summary the perf harness tracks.
+fn write_bench_json() -> std::io::Result<&'static str> {
+    let config = FrameworkConfig::default();
+    let outcome = MetaLearner::new(config).train(fixtures::training_slice(26));
+    let test = fixtures::test_week(26);
+    let reps = 15;
+    let (instr, m) = events_per_sec(
+        &outcome.repo,
+        &config,
+        test,
+        DEFAULT_LATENCY_SAMPLE_EVERY,
+        reps,
+    );
+    let (base, _) = events_per_sec(&outcome.repo, &config, test, 0, reps);
+    let overhead_pct = 100.0 * (base / instr - 1.0);
+    let h = &m.match_latency_us;
+    let json = format!(
+        "{{\n  \"bench\": \"predictor_hot_path\",\n  \"events\": {},\n  \"rules\": {},\n  \
+         \"instrumented_events_per_sec\": {:.0},\n  \"baseline_events_per_sec\": {:.0},\n  \
+         \"instrumentation_overhead_pct\": {:.2},\n  \"match_latency_us\": {{ \"p50\": {:.2}, \
+         \"p95\": {:.2}, \"p99\": {:.2}, \"samples\": {} }}\n}}\n",
+        test.len(),
+        outcome.repo.len(),
+        instr,
+        base,
+        overhead_pct,
+        h.p50(),
+        h.p95(),
+        h.p99(),
+        h.count(),
+    );
+    let path = "BENCH_predictor.json";
+    std::fs::write(path, json)?;
+    Ok(path)
+}
+
+criterion_group!(benches, bench_predictor_hot_path);
+
+fn main() {
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+    match write_bench_json() {
+        Ok(path) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("BENCH_predictor.json not written: {e}"),
+    }
+}

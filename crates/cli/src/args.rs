@@ -1,23 +1,36 @@
 //! A minimal `--flag value` argument parser (no external dependencies).
 
 use crate::CliError;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed `--flag value` pairs.
+/// Parsed `--flag value` pairs plus bare `--switch` flags.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     values: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
 impl Args {
     /// Parses alternating `--flag value` tokens.
     pub fn parse(tokens: &[String]) -> Result<Args, CliError> {
+        Self::parse_with_switches(tokens, &[])
+    }
+
+    /// Parses `--flag value` pairs, treating any flag named in `switches`
+    /// as a bare boolean switch that takes no value.
+    pub fn parse_with_switches(tokens: &[String], switches: &[&str]) -> Result<Args, CliError> {
         let mut values = HashMap::new();
+        let mut seen = HashSet::new();
         let mut i = 0;
         while i < tokens.len() {
             let flag = tokens[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected `--flag`, got `{}`", tokens[i]))?;
+            if switches.contains(&flag) {
+                seen.insert(flag.to_string());
+                i += 1;
+                continue;
+            }
             let value = tokens
                 .get(i + 1)
                 .ok_or_else(|| format!("flag `--{flag}` needs a value"))?;
@@ -26,7 +39,16 @@ impl Args {
             }
             i += 2;
         }
-        Ok(Args { values })
+        Ok(Args {
+            values,
+            switches: seen,
+        })
+    }
+
+    /// Whether a bare switch (declared via [`Args::parse_with_switches`])
+    /// was present.
+    pub fn switch(&self, flag: &str) -> bool {
+        self.switches.contains(flag)
     }
 
     /// A required string flag.
@@ -85,5 +107,18 @@ mod tests {
         let a = Args::parse(&toks("--weeks thirty")).unwrap();
         assert!(a.parsed::<i64>("weeks").is_err());
         assert!(a.required("out").is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = Args::parse_with_switches(&toks("--quiet --weeks 30"), &["quiet"]).unwrap();
+        assert!(a.switch("quiet"));
+        assert_eq!(a.parsed::<i64>("weeks").unwrap(), 30);
+        // An undeclared bare flag still demands a value.
+        assert!(Args::parse_with_switches(&toks("--weeks 30 --quiet"), &[]).is_err());
+        // A trailing declared switch parses fine.
+        let b = Args::parse_with_switches(&toks("--weeks 30 --quiet"), &["quiet"]).unwrap();
+        assert!(b.switch("quiet"));
+        assert!(!b.switch("verbose"));
     }
 }

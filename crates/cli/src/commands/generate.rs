@@ -28,6 +28,6 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         total += events.len();
         raslog::io::write_log(&events, &mut writer).map_err(|e| format!("write {out}: {e}"))?;
     }
-    eprintln!("generated {total} records over {weeks} weeks → {out}");
+    dml_obs::info!("generated {total} records over {weeks} weeks → {out}");
     Ok(())
 }

@@ -30,3 +30,19 @@ pub fn create(path: &str) -> Result<BufWriter<std::fs::File>, CliError> {
         std::fs::File::create(Path::new(path)).map_err(|e| format!("cannot create {path}: {e}"))?;
     Ok(BufWriter::new(file))
 }
+
+/// If `--metrics-json FILE` was given, dumps `registry` as a versioned
+/// snapshot (the same schema `repro --metrics-json` writes).
+pub fn write_metrics_if_asked(
+    args: &crate::args::Args,
+    registry: &dml_obs::Registry,
+) -> Result<(), CliError> {
+    if let Some(path) = args.optional("metrics-json") {
+        registry
+            .snapshot()
+            .write_file(path)
+            .map_err(|e| format!("write {path}: {e}"))?;
+        dml_obs::info!("metrics snapshot → {path}");
+    }
+    Ok(())
+}

@@ -8,7 +8,7 @@ use raslog::{Duration, Timestamp, WEEK_MS};
 use std::io::Write;
 
 /// `--in CLEAN --rules RULES.json --out WARNINGS.jsonl
-///  [--from-week A] [--window SECS]`
+///  [--from-week A] [--window SECS] [--metrics-json FILE]`
 pub fn run(args: &Args) -> Result<(), CliError> {
     let input = args.required("in")?;
     let rules = args.required("rules")?;
@@ -24,12 +24,14 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         Timestamp(i64::MAX / 2),
     );
     let mut predictor = Predictor::new(&repo, Duration::from_secs(window_secs));
-    // Warm up on the events before the prediction span.
+    // Warm up on the events before the prediction span, then reset the
+    // counters so the metrics describe only the prediction span.
     predictor.warm_up(window(
         &events,
         Timestamp(i64::MIN / 2),
         Timestamp(from_week * WEEK_MS),
     ));
+    predictor.reset_metrics();
     let warnings = predictor.observe_all(test);
 
     let mut writer = crate::commands::create(out)?;
@@ -37,10 +39,13 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         let line = serde_json::to_string(w).map_err(|e| format!("encode warning: {e}"))?;
         writeln!(writer, "{line}").map_err(|e| format!("write {out}: {e}"))?;
     }
-    eprintln!(
+    dml_obs::info!(
         "{} warnings over {} events → {out}",
         warnings.len(),
         test.len()
     );
+    let mut registry = dml_obs::Registry::new();
+    registry.collect(predictor.metrics());
+    crate::commands::write_metrics_if_asked(args, &registry)?;
     Ok(())
 }

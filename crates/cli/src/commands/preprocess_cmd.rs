@@ -5,7 +5,8 @@ use crate::CliError;
 use preprocess::{clean_log, discover_catalog, Categorizer, DiscoveryConfig, FilterConfig};
 use raslog::Duration;
 
-/// `--in RAW --out CLEAN [--threshold SECS] [--catalog standard|discover]`
+/// `--in RAW --out CLEAN [--threshold SECS] [--catalog standard|discover]
+///  [--metrics-json FILE]`
 pub fn run(args: &Args) -> Result<(), CliError> {
     let input = args.required("in")?;
     let out = args.required("out")?;
@@ -17,9 +18,10 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         "standard" => bgl_sim::standard_catalog(),
         "discover" => {
             let (catalog, stats) = discover_catalog(&events, &DiscoveryConfig::default());
-            eprintln!(
+            dml_obs::info!(
                 "discovered {} event types ({} severity conflicts)",
-                stats.types_kept, stats.severity_conflicts
+                stats.types_kept,
+                stats.severity_conflicts
             );
             catalog
         }
@@ -35,7 +37,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
 
     let mut writer = crate::commands::create(out)?;
     raslog::io::write_clean_log(&clean, &mut writer).map_err(|e| format!("write {out}: {e}"))?;
-    eprintln!(
+    dml_obs::info!(
         "{} → {} events ({:.1} % compression; {} unknown records dropped, {} fake fatals corrected)",
         events.len(),
         clean.len(),
@@ -43,5 +45,8 @@ pub fn run(args: &Args) -> Result<(), CliError> {
         stats.categorize.unknown,
         stats.categorize.fake_fatals
     );
+    let mut registry = dml_obs::Registry::new();
+    registry.collect(&stats);
+    crate::commands::write_metrics_if_asked(args, &registry)?;
     Ok(())
 }

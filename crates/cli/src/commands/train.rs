@@ -35,7 +35,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     };
     let outcome = meta.train(slice);
     save_repository_file(&outcome.repo, rules_out).map_err(|e| e.to_string())?;
-    eprintln!(
+    dml_obs::info!(
         "trained on {} events: {} rules kept of {} candidates ({} removed by reviser) → {rules_out}",
         slice.len(),
         outcome.repo.len(),
@@ -50,7 +50,7 @@ pub fn run(args: &Args) -> Result<(), CliError> {
     ] {
         let n = outcome.repo.count_by_kind(kind);
         if n > 0 {
-            eprintln!("  {kind}: {n}");
+            dml_obs::info!("  {kind}: {n}");
         }
     }
     Ok(())

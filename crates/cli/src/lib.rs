@@ -27,7 +27,10 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| format!("no command given\n{}", usage()))?;
-    let args = args::Args::parse(rest)?;
+    let args = args::Args::parse_with_switches(rest, &["quiet"])?;
+    if args.switch("quiet") {
+        dml_obs::log::set_level(dml_obs::log::Level::Error);
+    }
     match cmd.as_str() {
         "generate" => commands::generate::run(&args),
         "stats" => commands::stats::run(&args),
@@ -41,6 +44,8 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
 
 /// The usage string.
 pub fn usage() -> &'static str {
-    "usage: dml <generate|stats|preprocess|train|predict|evaluate> [--flag value]...\n\
-     run `dml <command>` with missing flags to see what it needs"
+    "usage: dml <generate|stats|preprocess|train|predict|evaluate> [--flag value]... [--quiet]\n\
+     run `dml <command>` with missing flags to see what it needs\n\
+     --quiet (or DML_LOG=error) silences progress output; \
+     --metrics-json FILE dumps stage metrics where supported"
 }

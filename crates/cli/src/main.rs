@@ -3,7 +3,7 @@
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if let Err(message) = dml_cli::run(&argv) {
-        eprintln!("error: {message}");
+        dml_obs::error!("{message}");
         std::process::exit(1);
     }
 }

@@ -17,7 +17,7 @@ use crate::config::FrameworkConfig;
 use crate::evaluation::{weekly_series, Accuracy, WeekAccuracy};
 use crate::knowledge::KnowledgeRepository;
 use crate::meta::MetaLearner;
-use crate::predictor::{Predictor, Warning};
+use crate::predictor::{Predictor, PredictorMetrics, Warning};
 use crate::rules::RuleKind;
 use raslog::store::window;
 use raslog::{CleanEvent, Timestamp, WEEK_MS};
@@ -88,6 +88,9 @@ pub struct DriverReport {
     pub warnings: Vec<Warning>,
     /// Aggregate accuracy over the whole test span.
     pub overall: Accuracy,
+    /// Predictor hot-path counters summed over all test blocks
+    /// (warm-up excluded).
+    pub predictor_metrics: PredictorMetrics,
 }
 
 impl DriverReport {
@@ -104,6 +107,28 @@ impl DriverReport {
         mean_of(&self.weekly, |a| {
             (a.covered_fatals + a.missed_fatals > 0).then(|| a.recall())
         })
+    }
+}
+
+impl dml_obs::MetricSource for DriverReport {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("driver.retrainings", self.churn.len() as u64);
+        registry.counter_add("driver.warnings", self.warnings.len() as u64);
+        registry.counter_add("driver.test_weeks", self.weekly.len() as u64);
+        registry.gauge_set("driver.precision", self.overall.precision());
+        registry.gauge_set("driver.recall", self.overall.recall());
+        registry.gauge_set("driver.mean_weekly_precision", self.mean_precision());
+        registry.gauge_set("driver.mean_weekly_recall", self.mean_recall());
+        if let Some(last) = self.churn.last() {
+            registry.gauge_set("driver.rules_installed", last.total as f64);
+        }
+        for c in &self.churn {
+            registry.trace(format!(
+                "retrain week={} +{} -{} kept={} total={}",
+                c.week, c.added, c.removed_by_learner, c.unchanged, c.total
+            ));
+        }
+        self.predictor_metrics.export(registry);
     }
 }
 
@@ -165,12 +190,14 @@ pub fn run_driver(events: &[CleanEvent], total_weeks: i64, config: &DriverConfig
             Timestamp(week * WEEK_MS),
         );
         predictor.warm_up(warm);
+        predictor.reset_metrics();
         let block = window(
             events,
             Timestamp(week * WEEK_MS),
             Timestamp(block_end * WEEK_MS),
         );
         report.warnings.extend(predictor.observe_all(block));
+        report.predictor_metrics.merge(predictor.metrics());
 
         // Retrain for the next block.
         if block_end < total_weeks && config.policy != TrainingPolicy::Static {

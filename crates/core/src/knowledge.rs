@@ -140,6 +140,17 @@ impl KnowledgeRepository {
         self.f_list.get(&fatal).map(Vec::as_slice).unwrap_or(&[])
     }
 
+    /// Total `E-List` index entries (type → rule pairs), a proxy for the
+    /// matcher's fan-out on non-fatal events.
+    pub fn e_list_entries(&self) -> usize {
+        self.e_list.values().map(Vec::len).sum()
+    }
+
+    /// Total `F-List` index entries (fatal type → rule pairs).
+    pub fn f_list_entries(&self) -> usize {
+        self.f_list.values().map(Vec::len).sum()
+    }
+
     /// Statistical rules in ascending `k` order.
     pub fn statistical_rules(&self) -> &[RuleId] {
         &self.statistical

@@ -91,7 +91,9 @@ pub use persist::{
     load_checkpoint, load_checkpoint_file, load_repository, load_repository_file, save_checkpoint,
     save_checkpoint_file, save_repository, save_repository_file, Checkpoint, PersistError,
 };
-pub use predictor::{Predictor, PredictorState, Warning};
+pub use predictor::{
+    Predictor, PredictorMetrics, PredictorState, Warning, DEFAULT_LATENCY_SAMPLE_EVERY,
+};
 pub use resilience::{
     run_hardened_driver, run_hardened_driver_with, HardenedConfig, HardenedReport, IngestHealth,
     LearnerHealth, LearnerOutcome, PipelineHealth, ResilienceConfig, ResilientTrainer,

@@ -19,9 +19,97 @@
 
 use crate::knowledge::KnowledgeRepository;
 use crate::rules::{Rule, RuleId, RuleKind};
+use dml_obs::Histogram;
 use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// How often the hot path samples its own match latency: every Nth
+/// [`Predictor::observe`] call pays for one `Instant` pair. At the
+/// default every-64 the instrumentation overhead stays well under the
+/// 5% budget measured by the `predictor_hot_path` bench.
+pub const DEFAULT_LATENCY_SAMPLE_EVERY: u32 = 64;
+
+/// Hot-path counters of one predictor. Plain integers bumped inline (no
+/// atomics, no map lookups), so [`Predictor::observe`] stays cheap; the
+/// match-latency histogram is fed by sampled `Instant` pairs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictorMetrics {
+    /// Events fed through [`Predictor::observe`] (warm-up included).
+    pub events_observed: u64,
+    /// Fatal events among them.
+    pub fatals_observed: u64,
+    /// Warnings returned to the caller.
+    pub warnings_issued: u64,
+    /// Warnings withheld because the rule or target already had one
+    /// pending (per-rule rate limiting).
+    pub warnings_suppressed: u64,
+    /// Re-fires where the previous warning's deadline had already
+    /// passed unfulfilled.
+    pub warnings_expired: u64,
+    /// Peak sliding-window occupancy (non-fatal + fatal events held).
+    pub window_peak: u64,
+    /// Sampled per-event match latency, microseconds.
+    pub match_latency_us: Histogram,
+    /// Rules in the repository this predictor matches against.
+    pub rules: u64,
+    /// E-List index entries (type → association rule).
+    pub e_list_entries: u64,
+    /// F-List index entries (fatal type → association rule).
+    pub f_list_entries: u64,
+}
+
+impl Default for PredictorMetrics {
+    fn default() -> Self {
+        PredictorMetrics {
+            events_observed: 0,
+            fatals_observed: 0,
+            warnings_issued: 0,
+            warnings_suppressed: 0,
+            warnings_expired: 0,
+            window_peak: 0,
+            match_latency_us: Histogram::latency_us(),
+            rules: 0,
+            e_list_entries: 0,
+            f_list_entries: 0,
+        }
+    }
+}
+
+impl PredictorMetrics {
+    /// Folds another predictor's counters into this one (driver blocks
+    /// each run their own predictor; the report wants the run total).
+    /// Repository-size gauges take the other's values — blocks arrive in
+    /// time order, so the latest rule set wins.
+    pub fn merge(&mut self, other: &PredictorMetrics) {
+        self.events_observed += other.events_observed;
+        self.fatals_observed += other.fatals_observed;
+        self.warnings_issued += other.warnings_issued;
+        self.warnings_suppressed += other.warnings_suppressed;
+        self.warnings_expired += other.warnings_expired;
+        self.window_peak = self.window_peak.max(other.window_peak);
+        self.match_latency_us.merge(&other.match_latency_us);
+        self.rules = other.rules;
+        self.e_list_entries = other.e_list_entries;
+        self.f_list_entries = other.f_list_entries;
+    }
+}
+
+impl dml_obs::MetricSource for PredictorMetrics {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("predict.events_observed", self.events_observed);
+        registry.counter_add("predict.fatals_observed", self.fatals_observed);
+        registry.counter_add("predict.warnings_issued", self.warnings_issued);
+        registry.counter_add("predict.warnings_suppressed", self.warnings_suppressed);
+        registry.counter_add("predict.warnings_expired", self.warnings_expired);
+        registry.gauge_set("predict.window_peak", self.window_peak as f64);
+        registry.gauge_set("predict.rules", self.rules as f64);
+        registry.gauge_set("predict.e_list_entries", self.e_list_entries as f64);
+        registry.gauge_set("predict.f_list_entries", self.f_list_entries as f64);
+        registry.merge_histogram("predict.match_latency_us", &self.match_latency_us);
+    }
+}
 
 /// A failure warning: "a failure may occur in `(issued_at, deadline]`".
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -83,6 +171,10 @@ pub struct Predictor<'r> {
     dist_armed: bool,
     /// Precomputed (rule, trigger elapsed, expire elapsed).
     dist_thresholds: Vec<(RuleId, Duration, Duration)>,
+    /// Hot-path counters and sampled latency.
+    metrics: PredictorMetrics,
+    /// Sample the match latency every Nth event (0 disables timing).
+    latency_sample_every: u32,
 }
 
 impl<'r> Predictor<'r> {
@@ -99,6 +191,12 @@ impl<'r> Predictor<'r> {
                 (id, d.trigger_elapsed(), d.expire_elapsed())
             })
             .collect();
+        let metrics = PredictorMetrics {
+            rules: repo.len() as u64,
+            e_list_entries: repo.e_list_entries() as u64,
+            f_list_entries: repo.f_list_entries() as u64,
+            ..PredictorMetrics::default()
+        };
         Predictor {
             repo,
             window,
@@ -110,7 +208,32 @@ impl<'r> Predictor<'r> {
             active_targets: HashMap::new(),
             dist_armed: false,
             dist_thresholds,
+            metrics,
+            latency_sample_every: DEFAULT_LATENCY_SAMPLE_EVERY,
         }
+    }
+
+    /// The hot-path counters accumulated so far.
+    pub fn metrics(&self) -> &PredictorMetrics {
+        &self.metrics
+    }
+
+    /// Resets the counters (repository-size gauges are kept). The driver
+    /// calls this after warm-up so reports only count the test stream.
+    pub fn reset_metrics(&mut self) {
+        self.metrics = PredictorMetrics {
+            rules: self.metrics.rules,
+            e_list_entries: self.metrics.e_list_entries,
+            f_list_entries: self.metrics.f_list_entries,
+            ..PredictorMetrics::default()
+        };
+    }
+
+    /// Overrides how often the match latency is sampled (every Nth
+    /// event; 0 disables the `Instant` reads entirely — the bench
+    /// baseline).
+    pub fn set_latency_sampling(&mut self, every: u32) {
+        self.latency_sample_every = every;
     }
 
     /// Captures the mutable state for checkpointing.
@@ -160,6 +283,34 @@ impl<'r> Predictor<'r> {
 
     /// Feeds one event; returns the warnings it triggers.
     pub fn observe(&mut self, ev: &CleanEvent) -> Vec<Warning> {
+        let timed = self.latency_sample_every != 0
+            && self
+                .metrics
+                .events_observed
+                .is_multiple_of(self.latency_sample_every as u64);
+        let start = timed.then(Instant::now);
+        self.metrics.events_observed += 1;
+        if ev.fatal {
+            self.metrics.fatals_observed += 1;
+        }
+
+        let warnings = self.match_event(ev);
+
+        self.metrics.warnings_issued += warnings.len() as u64;
+        let occupancy = (self.recent.len() + self.recent_fatals.len()) as u64;
+        if occupancy > self.metrics.window_peak {
+            self.metrics.window_peak = occupancy;
+        }
+        if let Some(t) = start {
+            self.metrics
+                .match_latency_us
+                .record(t.elapsed().as_secs_f64() * 1e6);
+        }
+        warnings
+    }
+
+    /// The matching core of Algorithm 2 (uninstrumented).
+    fn match_event(&mut self, ev: &CleanEvent) -> Vec<Warning> {
         self.evict(ev.time);
         let mut warnings = Vec::new();
 
@@ -295,12 +446,17 @@ impl<'r> Predictor<'r> {
     ) {
         if let Some(&pending) = self.active.get(&rule) {
             if pending > now {
+                self.metrics.warnings_suppressed += 1;
                 return; // previous warning from this rule still pending
             }
+            // The previous warning's deadline passed without this rule
+            // being re-triggered in time: it lapsed unfulfilled.
+            self.metrics.warnings_expired += 1;
         }
         if let Some(target) = predicted {
             if let Some(&pending) = self.active_targets.get(&target) {
                 if pending > now {
+                    self.metrics.warnings_suppressed += 1;
                     return; // this failure is already being warned about
                 }
             }
@@ -543,6 +699,65 @@ mod tests {
         // both; the gap clock and armed flag also survive.
         let suffix = [ev(200, 9, true), ev(1300, 1, false), ev(1400, 1, false)];
         assert_eq!(a.observe_all(&suffix), b.observe_all(&suffix));
+    }
+
+    #[test]
+    fn metrics_count_the_hot_path() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        p.set_latency_sampling(1); // time every event
+        assert_eq!(p.metrics().rules, 1);
+        assert_eq!(p.metrics().e_list_entries, 2, "antecedent {{1, 2}}");
+        assert_eq!(p.metrics().f_list_entries, 1);
+
+        let _ = p.observe_all(&[
+            ev(0, 1, false),
+            ev(10, 2, false), // fires
+            ev(20, 2, false), // suppressed: warning pending
+            ev(30, 9, true),
+            ev(400, 1, false),
+            ev(410, 2, false), // previous warning expired; fires again
+        ]);
+        let m = p.metrics().clone();
+        assert_eq!(m.events_observed, 6);
+        assert_eq!(m.fatals_observed, 1);
+        assert_eq!(m.warnings_issued, 2);
+        assert_eq!(m.warnings_suppressed, 1);
+        assert_eq!(m.warnings_expired, 1);
+        assert!(m.window_peak >= 3, "peak {}", m.window_peak);
+        assert_eq!(m.match_latency_us.count(), 6);
+
+        // Reset clears counters but keeps the repository gauges.
+        p.reset_metrics();
+        assert_eq!(p.metrics().events_observed, 0);
+        assert_eq!(p.metrics().rules, 1);
+
+        // Merge folds block counters and keeps the latest rule gauges.
+        let mut total = PredictorMetrics::default();
+        total.merge(&m);
+        total.merge(&m);
+        assert_eq!(total.events_observed, 12);
+        assert_eq!(total.match_latency_us.count(), 12);
+        assert_eq!(total.rules, 1);
+        let mut q = Predictor::new(&repo, Duration::from_secs(300));
+        q.set_latency_sampling(0); // timing off: no histogram samples
+        let _ = q.observe_all(&[ev(0, 1, false), ev(10, 2, false)]);
+        assert_eq!(q.metrics().match_latency_us.count(), 0);
+        assert_eq!(q.metrics().warnings_issued, 1);
+    }
+
+    #[test]
+    fn metrics_export_covers_the_predict_namespace() {
+        use dml_obs::MetricSource;
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe_all(&[ev(0, 1, false), ev(10, 2, false)]);
+        let mut r = dml_obs::Registry::new();
+        p.metrics().export(&mut r);
+        assert_eq!(r.counter("predict.events_observed"), Some(2));
+        assert_eq!(r.counter("predict.warnings_issued"), Some(1));
+        assert_eq!(r.gauge("predict.rules"), Some(1.0));
+        assert!(r.histogram("predict.match_latency_us").is_some());
     }
 
     #[test]

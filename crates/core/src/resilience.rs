@@ -307,6 +307,16 @@ impl IngestHealth {
     }
 }
 
+impl dml_obs::MetricSource for IngestHealth {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("ingest.lines", self.lines as u64);
+        registry.counter_add("ingest.parse_skipped", self.parse_skipped as u64);
+        registry.counter_add("ingest.late_dropped", self.late_dropped as u64);
+        registry.counter_add("ingest.resequenced", self.resequenced as u64);
+        registry.gauge_set("ingest.skip_rate", self.skip_rate());
+    }
+}
+
 /// End-to-end health of one hardened pipeline run.
 #[derive(Debug, Clone, Default, Serialize)]
 pub struct PipelineHealth {
@@ -324,6 +334,12 @@ pub struct PipelineHealth {
     pub reviser_failures: usize,
     /// Checkpoints written.
     pub checkpoints_written: usize,
+    /// Candidate rules entering the reviser, over all retrainings.
+    pub candidates: usize,
+    /// Candidates the reviser discarded, over all retrainings.
+    pub reviser_removed: usize,
+    /// Per-learner retrain wall time, milliseconds.
+    pub learner_wall_ms: dml_obs::Histogram,
     /// Per-learner health of the most recent retraining.
     pub last_retraining: Vec<LearnerHealth>,
 }
@@ -337,10 +353,13 @@ impl PipelineHealth {
                 LearnerOutcome::Fallback { .. } => self.fallbacks += 1,
                 LearnerOutcome::Dropped { .. } => self.dropped += 1,
             }
+            self.learner_wall_ms.record(l.elapsed.as_secs_f64() * 1000.0);
         }
         if outcome.reviser_failed {
             self.reviser_failures += 1;
         }
+        self.candidates += outcome.candidates;
+        self.reviser_removed += outcome.removed_by_reviser;
         self.last_retraining = outcome.learners.clone();
     }
 
@@ -352,6 +371,25 @@ impl PipelineHealth {
             && self.reviser_failures == 0
             && self.ingest.parse_skipped == 0
             && self.ingest.late_dropped == 0
+    }
+}
+
+impl dml_obs::MetricSource for PipelineHealth {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        self.ingest.export(registry);
+        registry.counter_add("train.retrainings", self.retrainings as u64);
+        registry.counter_add("train.learner_fresh", self.fresh as u64);
+        registry.counter_add("train.learner_fallbacks", self.fallbacks as u64);
+        registry.counter_add("train.learner_dropped", self.dropped as u64);
+        registry.counter_add("train.checkpoints_written", self.checkpoints_written as u64);
+        registry.merge_histogram("train.learner_wall_ms", &self.learner_wall_ms);
+        registry.counter_add("revise.candidates", self.candidates as u64);
+        registry.counter_add("revise.removed", self.reviser_removed as u64);
+        registry.counter_add(
+            "revise.kept",
+            self.candidates.saturating_sub(self.reviser_removed) as u64,
+        );
+        registry.counter_add("revise.failures", self.reviser_failures as u64);
     }
 }
 
@@ -387,7 +425,7 @@ impl core::fmt::Display for PipelineHealth {
 }
 
 /// Parameters of the hardened driver.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct HardenedConfig {
     /// The underlying driver parameters.
     pub driver: DriverConfig,
@@ -396,16 +434,6 @@ pub struct HardenedConfig {
     /// Where to write checkpoints (one file, atomically overwritten at
     /// every block boundary). `None` disables checkpointing.
     pub checkpoint_path: Option<PathBuf>,
-}
-
-impl Default for HardenedConfig {
-    fn default() -> Self {
-        HardenedConfig {
-            driver: DriverConfig::default(),
-            resilience: ResilienceConfig::default(),
-            checkpoint_path: None,
-        }
-    }
 }
 
 /// A [`DriverReport`] plus robustness accounting.
@@ -418,6 +446,14 @@ pub struct HardenedReport {
     /// Version of the rule set in force at the end (bumped per
     /// retraining; the initial training is version 1).
     pub rule_set_version: u64,
+}
+
+impl dml_obs::MetricSource for HardenedReport {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        self.report.export(registry);
+        self.health.export(registry);
+        registry.gauge_set("driver.rule_set_version", self.rule_set_version as f64);
+    }
 }
 
 /// [`run_driver`](crate::driver::run_driver) with degraded-mode
@@ -475,9 +511,11 @@ pub fn run_hardened_driver_with(
 
         let mut predictor = Predictor::new(&outcome.repo, dc.framework.window);
         predictor.warm_up(slice_of((week - 1).max(0), week));
+        predictor.reset_metrics();
         report
             .warnings
             .extend(predictor.observe_all(slice_of(week, block_end)));
+        report.predictor_metrics.merge(predictor.metrics());
 
         // Checkpoint the boundary state: the rule set in force plus the
         // predictor's window and pending warnings. A process restarted
@@ -486,7 +524,7 @@ pub fn run_hardened_driver_with(
             let cp = Checkpoint::new(rule_set_version, outcome.repo.clone(), predictor.snapshot());
             match save_checkpoint_file(&cp, path) {
                 Ok(()) => health.checkpoints_written += 1,
-                Err(e) => eprintln!("checkpoint write failed (continuing): {e}"),
+                Err(e) => dml_obs::warn!("checkpoint write failed (continuing): {e}"),
             }
         }
 

@@ -113,6 +113,16 @@ impl AccuracyTracker {
         self.now
     }
 
+    /// Warnings currently inside the horizon.
+    pub fn tracked_warnings(&self) -> usize {
+        self.warnings.len()
+    }
+
+    /// Fatal events currently inside the horizon.
+    pub fn tracked_fatals(&self) -> usize {
+        self.fatals.len()
+    }
+
     fn advance(&mut self, t: Timestamp) {
         if t > self.now {
             self.now = t;
@@ -128,6 +138,20 @@ impl AccuracyTracker {
         while self.fatals.front().is_some_and(|f| f.time < cutoff) {
             self.fatals.pop_front();
         }
+    }
+}
+
+impl dml_obs::MetricSource for AccuracyTracker {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        let acc = self.rolling();
+        registry.gauge_set("accuracy.rolling_precision", acc.precision());
+        registry.gauge_set("accuracy.rolling_recall", acc.recall());
+        registry.gauge_set("accuracy.tracked_warnings", self.warnings.len() as f64);
+        registry.gauge_set("accuracy.tracked_fatals", self.fatals.len() as f64);
+        registry.counter_add("accuracy.true_warnings", acc.true_warnings);
+        registry.counter_add("accuracy.false_warnings", acc.false_warnings);
+        registry.counter_add("accuracy.covered_fatals", acc.covered_fatals);
+        registry.counter_add("accuracy.missed_fatals", acc.missed_fatals);
     }
 }
 

@@ -52,6 +52,13 @@ pub fn build_dataset(preset: SystemPreset, seed: u64) -> Dataset {
         stats.merge(&week_stats);
         clean.append(&mut week_clean);
     }
+    crate::telemetry::with_registry(|r| {
+        r.collect(&stats);
+        // Synthetic generation bypasses the text reader; one record is
+        // one would-be log line.
+        r.counter_add("ingest.lines", raw_events as u64);
+        r.counter_add("ingest.events_parsed", raw_events as u64);
+    });
     Dataset {
         name,
         clean,
@@ -115,6 +122,9 @@ pub fn build_corrupted_dataset(
     // global ordering the driver requires (stable, so ties keep their
     // filter-chosen representatives' order).
     clean.sort_by_key(|e| e.time);
+    // Ingest counters are exported by the caller (they land in
+    // `PipelineHealth`), so only the preprocess stats publish here.
+    crate::telemetry::export(&stats);
     (
         Dataset {
             name,

@@ -104,7 +104,7 @@ pub fn chaos(opts: &Opts) {
         println!("\nchaos sweep: degradation is graceful at every step");
     } else {
         for c in &cliffs {
-            eprintln!("chaos sweep CLIFF: {c}");
+            dml_obs::error!("chaos sweep CLIFF: {c}");
         }
         std::process::exit(1);
     }
@@ -202,7 +202,7 @@ pub fn robustness(opts: &Opts) {
     }
     if !gate_failures.is_empty() {
         for f in &gate_failures {
-            eprintln!("recall gate FAILED: {f}");
+            dml_obs::error!("recall gate FAILED: {f}");
         }
         std::process::exit(1);
     }

@@ -3,4 +3,5 @@
 pub mod accuracy;
 pub mod extensions;
 pub mod figures;
+pub mod obs;
 pub mod tables;

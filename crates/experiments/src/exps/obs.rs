@@ -1,0 +1,70 @@
+//! Observability commands: the instrumented end-to-end run
+//! (`repro experiments`) and the telemetry dashboard (`repro health`).
+
+use crate::Opts;
+use experiments::telemetry;
+
+/// `repro experiments` — one fully instrumented pipeline run per preset:
+/// text ingest → preprocess → hardened driver → accuracy tracker, every
+/// stage reporting into the telemetry registry (dump it with
+/// `--metrics-json`).
+pub fn experiments_cmd(opts: &Opts) {
+    println!("\n== Instrumented end-to-end pipeline runs ==");
+    for preset in opts.presets(0.05) {
+        if preset.weeks < 3 {
+            dml_obs::error!("--weeks must be >= 3 for the instrumented run");
+            std::process::exit(2);
+        }
+        let run = telemetry::run_instrumented(preset, opts.seed);
+        println!(
+            "{}: precision {:.3} recall {:.3}, {} warnings, {} retrainings{}",
+            run.name,
+            run.report.report.overall.precision(),
+            run.report.report.overall.recall(),
+            run.report.report.warnings.len(),
+            run.report.health.retrainings,
+            if run.report.health.is_pristine() {
+                ""
+            } else {
+                " (degraded)"
+            },
+        );
+    }
+    let snap = telemetry::snapshot();
+    match telemetry::validate(&snap) {
+        Ok(()) => println!("telemetry: all required stage metrics present"),
+        Err(missing) => {
+            dml_obs::error!("telemetry: missing stage metrics: {}", missing.join(", "));
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `repro health [--from FILE]` — renders the one-screen dashboard. With
+/// `--from` it reads a `--metrics-json` dump and validates its schema
+/// (exit 1 on missing stage metrics — the CI gate); without it, a short
+/// instrumented run produces the snapshot first.
+pub fn health(opts: &Opts) {
+    let snap = match &opts.from {
+        Some(path) => match dml_obs::MetricsSnapshot::read_file(path) {
+            Ok(snap) => snap,
+            Err(e) => {
+                dml_obs::error!("{e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            let weeks = opts.weeks.unwrap_or(8);
+            for preset in opts.presets(0.05) {
+                let _ = telemetry::run_instrumented(preset.with_weeks(weeks), opts.seed);
+            }
+            telemetry::snapshot()
+        }
+    };
+    print!("{}", telemetry::render_health(&snap));
+    if let Err(missing) = telemetry::validate(&snap) {
+        dml_obs::error!("missing stage metrics: {}", missing.join(", "));
+        std::process::exit(1);
+    }
+    println!("all {} required stage metrics present", telemetry::REQUIRED_STAGE_METRICS.len());
+}

@@ -6,5 +6,6 @@
 pub mod data;
 pub mod output;
 pub mod runs;
+pub mod telemetry;
 
 pub use data::{build_dataset, Dataset};

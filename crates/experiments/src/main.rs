@@ -31,6 +31,12 @@ pub struct Opts {
     pub chaos: bool,
     /// Fail `robustness` when mean meta recall drops below this.
     pub min_recall: Option<f64>,
+    /// Dump a versioned metrics snapshot of everything the command ran.
+    pub metrics_json: Option<String>,
+    /// Only errors on stderr (sets the log level).
+    pub quiet: bool,
+    /// `health`: render a previously dumped snapshot instead of running.
+    pub from: Option<String>,
 }
 
 impl Opts {
@@ -42,6 +48,9 @@ impl Opts {
             json: None,
             chaos: false,
             min_recall: None,
+            metrics_json: None,
+            quiet: false,
+            from: None,
         };
         fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
             *i += 1;
@@ -64,6 +73,11 @@ impl Opts {
                     opts.weeks = Some(number(value(args, &mut i, "--weeks")?, "--weeks")?)
                 }
                 "--json" => opts.json = Some(value(args, &mut i, "--json")?.to_string()),
+                "--metrics-json" => {
+                    opts.metrics_json = Some(value(args, &mut i, "--metrics-json")?.to_string())
+                }
+                "--from" => opts.from = Some(value(args, &mut i, "--from")?.to_string()),
+                "--quiet" => opts.quiet = true,
                 "--chaos" => opts.chaos = true,
                 "--min-recall" => {
                     opts.min_recall = Some(number(
@@ -112,9 +126,10 @@ impl Opts {
 }
 
 const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE] \
-[--chaos] [--min-recall T]\n\
+[--metrics-json FILE] [--quiet] [--chaos] [--min-recall T]\n\
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
-ext-adaptive ext-location robustness chaos smoke all";
+ext-adaptive ext-location robustness chaos experiments smoke all\n\
+telemetry:   health [--from SNAPSHOT.json]  renders the pipeline dashboard";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -133,6 +148,9 @@ fn main() {
             std::process::exit(2);
         }
     };
+    if opts.quiet {
+        dml_obs::log::set_level(dml_obs::log::Level::Error);
+    }
     match cmd.as_str() {
         "table2" => exps::tables::table2(&opts),
         "table3" => exps::tables::table3(&opts),
@@ -157,6 +175,8 @@ fn main() {
         }
         "chaos" => exps::extensions::chaos(&opts),
         "ext-location" => exps::extensions::ext_location(&opts),
+        "experiments" => exps::obs::experiments_cmd(&opts),
+        "health" => exps::obs::health(&opts),
         "smoke" => smoke(&opts),
         "all" => {
             exps::tables::table2(&opts);
@@ -178,6 +198,15 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             std::process::exit(2);
+        }
+    }
+    if let Some(path) = &opts.metrics_json {
+        match experiments::telemetry::write_snapshot(path) {
+            Ok(()) => dml_obs::info!("metrics snapshot written to {path}"),
+            Err(e) => {
+                dml_obs::error!("{e}");
+                std::process::exit(1);
+            }
         }
     }
 }

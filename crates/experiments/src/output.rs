@@ -10,7 +10,7 @@ pub fn append_json_line(path: &str, experiment: &str, value: serde_json::Value) 
     let line = match serde_json::to_string(&record) {
         Ok(l) => l,
         Err(e) => {
-            eprintln!("json encode failed for {experiment}: {e}");
+            dml_obs::error!("json encode failed for {experiment}: {e}");
             return;
         }
     };
@@ -21,10 +21,10 @@ pub fn append_json_line(path: &str, experiment: &str, value: serde_json::Value) 
     match open {
         Ok(mut f) => {
             if let Err(e) = writeln!(f, "{line}") {
-                eprintln!("json write failed for {experiment}: {e}");
+                dml_obs::error!("json write failed for {experiment}: {e}");
             }
         }
-        Err(e) => eprintln!("cannot open {path}: {e}"),
+        Err(e) => dml_obs::error!("cannot open {path}: {e}"),
     }
 }
 

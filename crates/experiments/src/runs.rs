@@ -4,6 +4,21 @@ use crate::data::Dataset;
 use dml_core::{run_driver, DriverConfig, DriverReport, FrameworkConfig, RuleKind, TrainingPolicy};
 use raslog::Duration;
 
+/// Publishes a finished run into the global telemetry registry, so any
+/// figure command dumped with `--metrics-json` carries driver and
+/// predictor metrics.
+fn publish(label: &str, ds: &Dataset, report: &DriverReport) {
+    crate::telemetry::with_registry(|r| {
+        r.collect(report);
+        r.trace(format!(
+            "run {label} {} precision={:.3} recall={:.3}",
+            ds.name,
+            report.overall.precision(),
+            report.overall.recall()
+        ));
+    });
+}
+
 /// The paper's default experimental frame: six-month (26-week) initial
 /// training, `W_R = 4`, `W_P = 300 s`.
 pub fn default_driver_config() -> DriverConfig {
@@ -21,7 +36,9 @@ pub fn run_policy(ds: &Dataset, policy: TrainingPolicy) -> DriverReport {
         policy,
         ..default_driver_config()
     };
-    run_driver(&ds.clean, ds.weeks, &config)
+    let report = run_driver(&ds.clean, ds.weeks, &config);
+    publish("dynamic", ds, &report);
+    report
 }
 
 /// Runs a single base learner, statically trained (Fig. 7 baselines).
@@ -31,7 +48,9 @@ pub fn run_static_single(ds: &Dataset, kind: RuleKind) -> DriverReport {
         only_kind: Some(kind),
         ..default_driver_config()
     };
-    run_driver(&ds.clean, ds.weeks, &config)
+    let report = run_driver(&ds.clean, ds.weeks, &config);
+    publish("static-single", ds, &report);
+    report
 }
 
 /// Runs the static meta-learner (Fig. 7's fourth curve).
@@ -40,7 +59,9 @@ pub fn run_static_meta(ds: &Dataset) -> DriverReport {
         policy: TrainingPolicy::Static,
         ..default_driver_config()
     };
-    run_driver(&ds.clean, ds.weeks, &config)
+    let report = run_driver(&ds.clean, ds.weeks, &config);
+    publish("static-meta", ds, &report);
+    report
 }
 
 /// Runs the dynamic meta-learner with a custom retraining window
@@ -48,7 +69,9 @@ pub fn run_static_meta(ds: &Dataset) -> DriverReport {
 pub fn run_with_retrain_weeks(ds: &Dataset, wr: i64) -> DriverReport {
     let mut config = default_driver_config();
     config.framework.retrain_weeks = wr;
-    run_driver(&ds.clean, ds.weeks, &config)
+    let report = run_driver(&ds.clean, ds.weeks, &config);
+    publish("retrain-weeks", ds, &report);
+    report
 }
 
 /// Runs the dynamic meta-learner with a custom prediction window
@@ -56,12 +79,16 @@ pub fn run_with_retrain_weeks(ds: &Dataset, wr: i64) -> DriverReport {
 pub fn run_with_window(ds: &Dataset, window: Duration) -> DriverReport {
     let mut config = default_driver_config();
     config.framework.window = window;
-    run_driver(&ds.clean, ds.weeks, &config)
+    let report = run_driver(&ds.clean, ds.weeks, &config);
+    publish("window", ds, &report);
+    report
 }
 
 /// Runs with the reviser toggled (Fig. 11).
 pub fn run_with_reviser(ds: &Dataset, use_reviser: bool) -> DriverReport {
     let mut config = default_driver_config();
     config.framework.use_reviser = use_reviser;
-    run_driver(&ds.clean, ds.weeks, &config)
+    let report = run_driver(&ds.clean, ds.weeks, &config);
+    publish("reviser", ds, &report);
+    report
 }

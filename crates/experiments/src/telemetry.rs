@@ -1,0 +1,265 @@
+//! Process-wide pipeline telemetry for the `repro` harness.
+//!
+//! One global [`Registry`] accumulates metrics from every stage an
+//! experiment touches (ingest, preprocess, train, revise, predict,
+//! driver, accuracy). `repro <cmd> --metrics-json FILE` freezes it into
+//! a versioned [`MetricsSnapshot`]; `repro health` renders the dashboard
+//! and validates that every stage reported ([`REQUIRED_STAGE_METRICS`]).
+
+use crate::data::build_corrupted_dataset;
+use bgl_sim::{CorruptionPlan, SystemPreset};
+use dml_core::{
+    run_hardened_driver, AccuracyTracker, DriverConfig, FrameworkConfig, HardenedConfig,
+    HardenedReport, TrainingPolicy,
+};
+use dml_obs::{MetricSource, MetricsSnapshot, Registry, SpanTimer};
+use raslog::{Duration, Timestamp, WEEK_MS};
+use std::sync::{Mutex, OnceLock};
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+/// Runs `f` with the process-wide registry locked.
+pub fn with_registry<R>(f: impl FnOnce(&mut Registry) -> R) -> R {
+    let mut guard = registry().lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut guard)
+}
+
+/// Publishes one stage's stats into the global registry.
+pub fn export(source: &dyn MetricSource) {
+    with_registry(|r| r.collect(source));
+}
+
+/// Freezes the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| r.snapshot())
+}
+
+/// Clears the global registry (tests and `repro all` between phases).
+pub fn reset() {
+    with_registry(|r| *r = Registry::new());
+}
+
+/// Writes the global registry's snapshot to `path`.
+pub fn write_snapshot(path: &str) -> Result<(), String> {
+    snapshot()
+        .write_file(path)
+        .map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Metric names an instrumented end-to-end run must report — at least
+/// one per pipeline stage. `repro health` (and the CI schema gate) fails
+/// when any is missing from a snapshot.
+pub const REQUIRED_STAGE_METRICS: &[&str] = &[
+    // ingest
+    "ingest.lines",
+    "ingest.parse_skipped",
+    // preprocess
+    "preprocess.filter_input",
+    "preprocess.filter_kept",
+    "preprocess.compression_ratio",
+    // train
+    "train.retrainings",
+    "train.learner_wall_ms",
+    // revise
+    "revise.candidates",
+    "revise.kept",
+    // predict
+    "predict.events_observed",
+    "predict.warnings_issued",
+    "predict.match_latency_us",
+    // driver + accuracy monitor
+    "driver.recall",
+    "accuracy.rolling_recall",
+];
+
+/// Checks a snapshot against [`REQUIRED_STAGE_METRICS`].
+pub fn validate(snap: &MetricsSnapshot) -> Result<(), Vec<String>> {
+    let missing = snap.missing(REQUIRED_STAGE_METRICS);
+    if missing.is_empty() {
+        Ok(())
+    } else {
+        Err(missing)
+    }
+}
+
+/// What [`run_instrumented`] produced (the metrics themselves land in
+/// the global registry).
+pub struct InstrumentedRun {
+    /// Preset name.
+    pub name: String,
+    /// The hardened driver's report + health.
+    pub report: HardenedReport,
+}
+
+/// Runs one preset end-to-end with every stage instrumented: generated
+/// weeks are serialized to log text, re-parsed leniently (real ingest
+/// counters), preprocessed, driven through the hardened driver, and
+/// replayed through the streaming accuracy tracker. Requires at least
+/// three weeks of log.
+pub fn run_instrumented(preset: SystemPreset, seed: u64) -> InstrumentedRun {
+    let weeks = preset.weeks;
+    assert!(weeks >= 3, "instrumented run needs >= 3 weeks, got {weeks}");
+    let span = SpanTimer::start("driver.wall_ms");
+
+    // The lossless corruption plan sends every record through the text
+    // serialize → lenient-parse → resequence path, so ingest counters
+    // reflect a real parse, not synthetic events.
+    // (`build_corrupted_dataset` exports the preprocess stats itself.)
+    let (ds, ingest) = build_corrupted_dataset(preset, seed, &CorruptionPlan::clean(seed));
+    with_registry(|r| {
+        r.trace(format!(
+            "dataset {} weeks={} raw={} clean={}",
+            ds.name,
+            ds.weeks,
+            ds.raw_events,
+            ds.clean.len()
+        ));
+    });
+
+    let initial_weeks = (weeks / 3).clamp(2, 26).min(weeks - 1);
+    let config = HardenedConfig {
+        driver: DriverConfig {
+            framework: FrameworkConfig::default(),
+            policy: TrainingPolicy::SlidingWeeks(26),
+            initial_training_weeks: initial_weeks,
+            only_kind: None,
+        },
+        ..HardenedConfig::default()
+    };
+    let mut hardened = run_hardened_driver(&ds.clean, ds.weeks, &config);
+    hardened.health.ingest = ingest;
+    export(&hardened);
+
+    // Replay the test span through the streaming monitor, interleaving
+    // warnings and events in time order.
+    let mut tracker = AccuracyTracker::new(Duration::from_secs(28 * 86_400));
+    let test_start = Timestamp(initial_weeks * WEEK_MS);
+    let warnings = &hardened.report.warnings;
+    let mut wi = 0;
+    for ev in ds.clean.iter().filter(|e| e.time >= test_start) {
+        while wi < warnings.len() && warnings[wi].issued_at <= ev.time {
+            tracker.on_warning(&warnings[wi]);
+            wi += 1;
+        }
+        tracker.on_event(ev);
+    }
+    for w in &warnings[wi..] {
+        tracker.on_warning(w);
+    }
+    export(&tracker);
+
+    with_registry(|r| {
+        let ms = span.stop(r);
+        r.trace(format!(
+            "driver {} precision={:.3} recall={:.3} wall_ms={:.0}",
+            ds.name,
+            hardened.report.overall.precision(),
+            hardened.report.overall.recall(),
+            ms
+        ));
+    });
+
+    InstrumentedRun {
+        name: ds.name.clone(),
+        report: hardened,
+    }
+}
+
+fn hist_line(snap: &MetricsSnapshot, name: &str) -> String {
+    match snap.histograms.get(name) {
+        Some(h) => format!(
+            "n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            h.count,
+            h.mean(),
+            h.p50,
+            h.p95,
+            h.p99,
+            h.max
+        ),
+        None => "(not recorded)".to_string(),
+    }
+}
+
+/// Renders the one-screen `repro health` dashboard.
+pub fn render_health(snap: &MetricsSnapshot) -> String {
+    let c = |n: &str| snap.counter(n);
+    let g = |n: &str| snap.gauge(n);
+    let mut out = String::new();
+    out.push_str(&format!("pipeline health (snapshot v{})\n", snap.version));
+    out.push_str(&format!(
+        "  ingest      {} lines, {} parsed, {} skipped ({:.2}% skip), {} late-dropped\n",
+        c("ingest.lines"),
+        c("ingest.events_parsed") + c("ingest.resequenced"),
+        c("ingest.parse_skipped"),
+        g("ingest.skip_rate") * 100.0,
+        c("ingest.late_dropped"),
+    ));
+    out.push_str(&format!(
+        "  preprocess  kept {} of {} ({:.1}% compression), {} unknown-type, {} fake fatals\n",
+        c("preprocess.filter_kept"),
+        c("preprocess.filter_input"),
+        g("preprocess.compression_ratio") * 100.0,
+        c("preprocess.unknown_type"),
+        c("preprocess.fake_fatals"),
+    ));
+    out.push_str(&format!(
+        "  train       {} retrainings ({} fresh / {} fallback / {} dropped learners)\n",
+        c("train.retrainings"),
+        c("train.learner_fresh"),
+        c("train.learner_fallbacks"),
+        c("train.learner_dropped"),
+    ));
+    out.push_str(&format!(
+        "              learner wall ms: {}\n",
+        hist_line(snap, "train.learner_wall_ms")
+    ));
+    out.push_str(&format!(
+        "  revise      {} candidates -> {} kept, {} removed, {} reviser failures\n",
+        c("revise.candidates"),
+        c("revise.kept"),
+        c("revise.removed"),
+        c("revise.failures"),
+    ));
+    out.push_str(&format!(
+        "  predict     {} events ({} fatal), {} warnings ({} suppressed, {} expired), window peak {}\n",
+        c("predict.events_observed"),
+        c("predict.fatals_observed"),
+        c("predict.warnings_issued"),
+        c("predict.warnings_suppressed"),
+        c("predict.warnings_expired"),
+        g("predict.window_peak"),
+    ));
+    out.push_str(&format!(
+        "              rules {} (E-List {}, F-List {}), match us: {}\n",
+        g("predict.rules"),
+        g("predict.e_list_entries"),
+        g("predict.f_list_entries"),
+        hist_line(snap, "predict.match_latency_us")
+    ));
+    out.push_str(&format!(
+        "  driver      precision {:.3} recall {:.3}, {} warnings over {} test weeks, rule set v{}\n",
+        g("driver.precision"),
+        g("driver.recall"),
+        c("driver.warnings"),
+        c("driver.test_weeks"),
+        g("driver.rule_set_version"),
+    ));
+    out.push_str(&format!(
+        "  accuracy    rolling precision {:.3} recall {:.3} ({} warnings, {} fatals in horizon)\n",
+        g("accuracy.rolling_precision"),
+        g("accuracy.rolling_recall"),
+        g("accuracy.tracked_warnings"),
+        g("accuracy.tracked_fatals"),
+    ));
+    if !snap.traces.is_empty() {
+        out.push_str("  recent milestones:\n");
+        let tail = snap.traces.len().saturating_sub(6);
+        for t in &snap.traces[tail..] {
+            out.push_str(&format!("    #{} {}\n", t.seq, t.label));
+        }
+    }
+    out
+}

@@ -1,0 +1,75 @@
+//! End-to-end telemetry: one instrumented run must report every pipeline
+//! stage, render the health dashboard, and produce a snapshot that is
+//! deterministic for a fixed seed (modulo the wall-clock histograms).
+//!
+//! Everything lives in one `#[test]` because the telemetry registry is
+//! process-global and the harness runs tests concurrently.
+
+use bgl_sim::SystemPreset;
+use dml_obs::MetricsSnapshot;
+use experiments::telemetry;
+
+fn run_once() -> MetricsSnapshot {
+    telemetry::reset();
+    let preset = SystemPreset::sdsc().with_weeks(5).with_volume_scale(0.05);
+    let run = telemetry::run_instrumented(preset, 7);
+    assert!(!run.name.is_empty());
+    assert!(!run.report.report.weekly.is_empty());
+    telemetry::snapshot()
+}
+
+/// The wall-clock bits a fixed seed cannot pin down: every histogram in
+/// the instrumented run measures elapsed time, and the final driver trace
+/// embeds its wall time.
+fn deterministic_part(snap: &MetricsSnapshot) -> MetricsSnapshot {
+    let mut d = snap.clone();
+    d.histograms.clear();
+    d.traces.retain(|t| !t.label.contains("wall_ms"));
+    d
+}
+
+#[test]
+fn instrumented_run_reports_every_stage_deterministically() {
+    let first = run_once();
+
+    // Schema gate: every required stage metric is present.
+    if let Err(missing) = telemetry::validate(&first) {
+        panic!("missing stage metrics: {}", missing.join(", "));
+    }
+    for prefix in ["ingest.", "preprocess.", "train.", "revise.", "predict."] {
+        assert!(
+            first.counters.keys().any(|k| k.starts_with(prefix))
+                || first.gauges.keys().any(|k| k.starts_with(prefix))
+                || first.histograms.keys().any(|k| k.starts_with(prefix)),
+            "no metrics from stage {prefix}"
+        );
+    }
+    assert!(first.counter("predict.events_observed") > 0);
+    assert!(first.histograms.contains_key("predict.match_latency_us"));
+    assert!(first.histograms.contains_key("train.learner_wall_ms"));
+    assert!(!first.traces.is_empty(), "milestone traces recorded");
+
+    // The dashboard renders from the snapshot alone.
+    let health = telemetry::render_health(&first);
+    assert!(health.contains("pipeline health"));
+    for stage in ["ingest", "preprocess", "train", "revise", "predict", "driver", "accuracy"] {
+        assert!(health.contains(stage), "dashboard misses {stage} row");
+    }
+
+    // Snapshots survive the JSON round trip byte-identically.
+    let reparsed = MetricsSnapshot::from_json(&first.to_json()).expect("snapshot parses back");
+    assert_eq!(reparsed.to_json(), first.to_json());
+
+    // Same seed → byte-identical snapshot, once wall-clock content is
+    // set aside (histograms all measure elapsed time here).
+    let second = run_once();
+    assert_eq!(
+        deterministic_part(&first).to_json(),
+        deterministic_part(&second).to_json()
+    );
+    assert_eq!(
+        first.histograms.keys().collect::<Vec<_>>(),
+        second.histograms.keys().collect::<Vec<_>>(),
+        "histogram set itself is deterministic"
+    );
+}

@@ -1,0 +1,276 @@
+//! Fixed-bucket histograms with percentile estimation.
+//!
+//! Buckets are defined by strictly increasing upper bounds; a value `v`
+//! lands in the first bucket whose bound satisfies `v <= bound`, and
+//! values above the last bound fall into an implicit overflow bucket.
+//! Quantiles interpolate linearly inside the containing bucket (the
+//! overflow bucket reports the observed maximum), which keeps the math
+//! exact at bucket boundaries and monotone in between.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bucket histogram: counts per bucket plus count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Strictly increasing upper bounds; the overflow bucket is implicit.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    /// Defaults to the millisecond wall-clock buckets.
+    fn default() -> Self {
+        Histogram::wall_ms()
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given strictly increasing upper bounds.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "bounds must be strictly increasing"
+        );
+        let n = bounds.len() + 1;
+        Histogram {
+            bounds,
+            counts: vec![0; n],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Microsecond buckets for sub-millisecond hot paths (the predictor's
+    /// per-event match): 0.1 µs – 25 ms.
+    pub fn latency_us() -> Self {
+        Histogram::new(vec![
+            0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1_000.0,
+            5_000.0, 25_000.0,
+        ])
+    }
+
+    /// Millisecond buckets for coarse wall-clock spans (retraining,
+    /// preprocessing a week): 0.25 ms – 64 s.
+    pub fn wall_ms() -> Self {
+        Histogram::new(vec![
+            0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1_024.0,
+            2_048.0, 4_096.0, 8_192.0, 16_384.0, 32_768.0, 65_536.0,
+        ])
+    }
+
+    /// Linear buckets: `n` bounds starting at `start`, spaced by `step`.
+    pub fn linear(start: f64, step: f64, n: usize) -> Self {
+        assert!(step > 0.0 && n > 0);
+        Histogram::new((0..n).map(|i| start + step * i as f64).collect())
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another histogram with identical bounds into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merging mismatched buckets");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last entry is the overflow bucket).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The `q`-quantile (`0 < q <= 1`) by linear interpolation inside the
+    /// containing bucket; 0 when empty. The overflow bucket reports the
+    /// observed maximum, and results are clamped to `[min, max]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().clamp(1.0, self.count as f64) as u64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                if i == self.bounds.len() {
+                    return self.max; // overflow bucket
+                }
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let hi = self.bounds[i];
+                let frac = (rank - cum) as f64 / c as f64;
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            cum += c;
+        }
+        self.max
+    }
+
+    /// The median.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 95th percentile.
+    pub fn p95(&self) -> f64 {
+        self.quantile(0.95)
+    }
+
+    /// The 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_values_fall_in_lower_bucket() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        h.record(1.0); // exactly on the first bound → bucket 0
+        h.record(1.5);
+        h.record(2.0); // exactly on the second bound → bucket 1
+        h.record(4.0);
+        h.record(4.0001); // past the last bound → overflow
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0001);
+    }
+
+    #[test]
+    fn percentiles_interpolate_within_buckets() {
+        // 100 observations uniformly in (0, 10]: one per 0.1 step.
+        let mut h = Histogram::linear(1.0, 1.0, 10);
+        for i in 1..=100 {
+            h.record(i as f64 / 10.0);
+        }
+        // Every bucket holds 10 observations; quantiles land on the value
+        // grid to within a bucket-interpolation error.
+        assert!((h.p50() - 5.0).abs() < 0.11, "p50 {}", h.p50());
+        assert!((h.p95() - 9.5).abs() < 0.11, "p95 {}", h.p95());
+        assert!((h.p99() - 9.9).abs() < 0.11, "p99 {}", h.p99());
+        assert!((h.mean() - 5.05).abs() < 1e-9);
+        assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_is_monotone_and_clamped() {
+        let mut h = Histogram::new(vec![10.0, 20.0]);
+        h.record(3.0);
+        h.record(4.0);
+        h.record(15.0);
+        let qs: Vec<f64> = (1..=20).map(|i| h.quantile(i as f64 / 20.0)).collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(qs.iter().all(|&q| (3.0..=15.0).contains(&q)), "{qs:?}");
+    }
+
+    #[test]
+    fn overflow_quantile_reports_max() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.record(100.0);
+        h.record(200.0);
+        assert_eq!(h.p99(), 200.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::latency_us();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Histogram::new(vec![1.0, 2.0]);
+        a.record(0.5);
+        let mut b = Histogram::new(vec![1.0, 2.0]);
+        b.record(1.5);
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.counts(), &[1, 1, 1]);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 5.0);
+        assert_eq!(a.min(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_rejected() {
+        Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched buckets")]
+    fn merge_rejects_different_buckets() {
+        let mut a = Histogram::new(vec![1.0]);
+        a.merge(&Histogram::new(vec![2.0]));
+    }
+}

@@ -1,0 +1,49 @@
+//! # dml-obs — the unified observability layer
+//!
+//! The paper's framework is explicitly *dynamic*: it "actively monitor[s]
+//! prediction accuracy at runtime" to revise rules. That monitoring needs
+//! somewhere to live — this crate is it, a dependency-light (serde only)
+//! telemetry kit shared by every stage of the pipeline:
+//!
+//! * [`Registry`] — a deterministic metrics registry holding monotonic
+//!   **counters**, **gauges** and fixed-bucket latency **histograms**
+//!   (p50/p95/p99 by in-bucket interpolation), plus a bounded
+//!   [`TraceRing`] of pipeline milestones;
+//! * [`MetricSource`] — the one-method trait that unifies the per-stage
+//!   stat structs (`PipelineStats`, `PipelineHealth`, `ReorderStats`, …)
+//!   behind a common `export(&self, &mut Registry)`;
+//! * [`MetricsSnapshot`] — a versioned, byte-deterministic JSON export
+//!   (same inputs → identical bytes) and a generic text renderer;
+//! * [`SpanTimer`] / [`time`] — scoped wall-clock spans recorded into a
+//!   histogram;
+//! * [`log`] — a leveled stderr logger (macros [`error!`], [`warn!`],
+//!   [`info!`], [`debug!`]) honoring the `DML_LOG` environment variable
+//!   and the CLIs' `--quiet`.
+//!
+//! ## Overhead budget
+//!
+//! Hot paths (the predictor's per-event match) must stay within a 5 %
+//! instrumentation budget, so the design rules are: plain integer
+//! counters inline (no atomics — each pipeline stage owns its metrics),
+//! wall-clock sampling (one `Instant` pair every N events, not every
+//! event), and a [`Registry::disabled`] mode in which every recording
+//! call is a no-op that allocates nothing.
+//!
+//! ## Determinism
+//!
+//! Snapshots serialize through `BTreeMap`s, so key order is stable, and
+//! the trace ring records a logical sequence number instead of wall-clock
+//! time. A registry fed the same values twice produces byte-identical
+//! JSON; wall-clock histograms are the only nondeterministic inputs and
+//! are clearly namespaced (`*_ms` / `*_us`).
+
+pub mod hist;
+pub mod log;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use hist::Histogram;
+pub use registry::{MetricSource, Registry, TraceEntry, TraceRing};
+pub use snapshot::{render_text, HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
+pub use span::{time, SpanTimer};

@@ -1,0 +1,158 @@
+//! A small leveled stderr logger shared by the CLIs.
+//!
+//! The level comes from, in priority order: an explicit
+//! [`set_level`] call (the CLIs' `--quiet` maps to [`Level::Error`]), the
+//! `DML_LOG` environment variable (`off|error|warn|info|debug|trace`),
+//! then the default [`Level::Info`]. Progress output that used to be
+//! ad-hoc `eprintln!` goes through the [`error!`](crate::error!),
+//! [`warn!`](crate::warn!), [`info!`](crate::info!) and
+//! [`debug!`](crate::debug!) macros so one switch silences it all.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Log verbosity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Nothing is emitted.
+    Off = 0,
+    /// Failures the user must see.
+    Error = 1,
+    /// Degraded-but-continuing conditions.
+    Warn = 2,
+    /// Progress output (the default).
+    Info = 3,
+    /// Diagnostic detail.
+    Debug = 4,
+    /// Per-event firehose.
+    Trace = 5,
+}
+
+impl Level {
+    fn from_u8(v: u8) -> Level {
+        match v {
+            0 => Level::Off,
+            1 => Level::Error,
+            2 => Level::Warn,
+            3 => Level::Info,
+            4 => Level::Debug,
+            _ => Level::Trace,
+        }
+    }
+
+    /// Parses a `DML_LOG` value (case-insensitive).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "off" | "none" | "quiet" => Some(Level::Off),
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// The tag printed in front of each line.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+fn state() -> &'static AtomicU8 {
+    static STATE: OnceLock<AtomicU8> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let initial = std::env::var("DML_LOG")
+            .ok()
+            .and_then(|v| Level::parse(&v))
+            .unwrap_or(Level::Info);
+        AtomicU8::new(initial as u8)
+    })
+}
+
+/// The level currently in force.
+pub fn level() -> Level {
+    Level::from_u8(state().load(Ordering::Relaxed))
+}
+
+/// Overrides the level (e.g. `--quiet` → [`Level::Error`]).
+pub fn set_level(level: Level) {
+    state().store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether a message at `l` would be emitted.
+pub fn enabled(l: Level) -> bool {
+    l <= level() && l != Level::Off
+}
+
+/// Emits one line to stderr if `l` is enabled. Prefer the macros.
+pub fn emit(l: Level, args: std::fmt::Arguments<'_>) {
+    if enabled(l) {
+        if l == Level::Info {
+            // Progress output stays untagged, matching the historical
+            // eprintln! look.
+            eprintln!("{args}");
+        } else {
+            eprintln!("[{}] {args}", l.tag());
+        }
+    }
+}
+
+/// Logs at [`Level::Error`].
+#[macro_export]
+macro_rules! error {
+    ($($arg:tt)*) => { $crate::log::emit($crate::log::Level::Error, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Warn`].
+#[macro_export]
+macro_rules! warn {
+    ($($arg:tt)*) => { $crate::log::emit($crate::log::Level::Warn, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Info`].
+#[macro_export]
+macro_rules! info {
+    ($($arg:tt)*) => { $crate::log::emit($crate::log::Level::Info, format_args!($($arg)*)) };
+}
+
+/// Logs at [`Level::Debug`].
+#[macro_export]
+macro_rules! debug {
+    ($($arg:tt)*) => { $crate::log::emit($crate::log::Level::Debug, format_args!($($arg)*)) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Info);
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("off"), Some(Level::Off));
+        assert_eq!(Level::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // Note: level state is process-global; restore what we found.
+        let before = level();
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Off);
+        assert!(!enabled(Level::Error));
+        crate::info!("never shown at Off: {}", 1);
+        set_level(before);
+    }
+}

@@ -1,0 +1,332 @@
+//! The metrics registry and the [`MetricSource`] unification trait.
+
+use crate::hist::Histogram;
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+
+/// One milestone in the [`TraceRing`], ordered by logical sequence number
+/// (no wall clock, so traces stay deterministic across runs).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEntry {
+    /// Monotonic sequence number (process-local).
+    pub seq: u64,
+    /// What happened, e.g. `retrain week=12 rules=87`.
+    pub label: String,
+}
+
+/// A bounded ring buffer of pipeline milestones: pushing past the
+/// capacity evicts the oldest entry, so a multi-year run cannot grow the
+/// trace without bound.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRing {
+    capacity: usize,
+    next_seq: u64,
+    entries: VecDeque<TraceEntry>,
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        TraceRing {
+            capacity,
+            next_seq: 0,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Appends a milestone, evicting the oldest past capacity.
+    pub fn push(&mut self, label: impl Into<String>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.len() == self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(TraceEntry {
+            seq: self.next_seq,
+            label: label.into(),
+        });
+        self.next_seq += 1;
+    }
+
+    /// The retained entries, oldest first.
+    pub fn entries(&self) -> impl Iterator<Item = &TraceEntry> {
+        self.entries.iter()
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total entries ever pushed (including evicted ones).
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+}
+
+/// Default trace-ring capacity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+
+/// A deterministic metrics registry: monotonic counters, gauges and
+/// fixed-bucket histograms keyed by dotted names (`stage.metric`), plus a
+/// bounded [`TraceRing`].
+///
+/// A disabled registry ([`Registry::disabled`]) turns every recording
+/// call into a no-op that allocates nothing, so instrumented code needs
+/// no `if metrics_enabled` branches of its own.
+#[derive(Debug, Clone)]
+pub struct Registry {
+    enabled: bool,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    trace: TraceRing,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled, empty registry.
+    pub fn new() -> Self {
+        Registry {
+            enabled: true,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            trace: TraceRing::new(DEFAULT_TRACE_CAPACITY),
+        }
+    }
+
+    /// A registry on which every recording call is a no-op.
+    pub fn disabled() -> Self {
+        let mut r = Registry::new();
+        r.enabled = false;
+        r.trace = TraceRing::new(0);
+        r
+    }
+
+    /// Whether recording calls take effect.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `delta` to the named monotonic counter (creating it at 0).
+    pub fn counter_add(&mut self, name: &str, delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        match self.counters.get_mut(name) {
+            Some(c) => *c += delta,
+            None => {
+                self.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    /// Sets the named gauge to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records `value` into the named histogram, creating it with
+    /// `buckets()` on first use.
+    pub fn record_into(&mut self, name: &str, buckets: impl FnOnce() -> Histogram, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(buckets)
+            .record(value);
+    }
+
+    /// Records into a millisecond wall-clock histogram.
+    pub fn record_ms(&mut self, name: &str, value_ms: f64) {
+        self.record_into(name, Histogram::wall_ms, value_ms);
+    }
+
+    /// Records into a microsecond latency histogram.
+    pub fn record_us(&mut self, name: &str, value_us: f64) {
+        self.record_into(name, Histogram::latency_us, value_us);
+    }
+
+    /// Folds an externally accumulated histogram into the named slot.
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        if !self.enabled {
+            return;
+        }
+        match self.histograms.get_mut(name) {
+            Some(existing) => existing.merge(h),
+            None => {
+                self.histograms.insert(name.to_string(), h.clone());
+            }
+        }
+    }
+
+    /// Appends a milestone to the trace ring.
+    pub fn trace(&mut self, label: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        self.trace.push(label);
+    }
+
+    /// The current value of a counter, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// The current value of a gauge, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// The trace ring.
+    pub fn traces(&self) -> &TraceRing {
+        &self.trace
+    }
+
+    /// Number of distinct metrics recorded (counters + gauges +
+    /// histograms).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pulls everything a [`MetricSource`] has to offer.
+    pub fn collect(&mut self, source: &dyn MetricSource) {
+        if !self.enabled {
+            return;
+        }
+        source.export(self);
+    }
+
+    /// Freezes the registry into a versioned, serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            version: SNAPSHOT_VERSION,
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .collect(),
+            traces: self.trace.entries().cloned().collect(),
+        }
+    }
+}
+
+/// Anything that can publish its state into a [`Registry`] — the common
+/// face of the per-stage stat structs (`PipelineStats`, `ReorderStats`,
+/// `PipelineHealth`, the predictor's counters, …), so exporters need one
+/// loop instead of one bespoke formatter per struct.
+pub trait MetricSource {
+    /// Publishes this source's counters/gauges/histograms, namespaced by
+    /// stage (e.g. `ingest.lines`, `predict.match_latency_us`).
+    fn export(&self, registry: &mut Registry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut r = Registry::new();
+        r.counter_add("a.count", 2);
+        r.counter_add("a.count", 3);
+        r.gauge_set("a.level", 1.0);
+        r.gauge_set("a.level", 2.5);
+        assert_eq!(r.counter("a.count"), Some(5));
+        assert_eq!(r.gauge("a.level"), Some(2.5));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let mut r = Registry::disabled();
+        r.counter_add("a", 1);
+        r.gauge_set("b", 1.0);
+        r.record_ms("c", 5.0);
+        r.merge_histogram("d", &Histogram::latency_us());
+        r.trace("event");
+        struct S;
+        impl MetricSource for S {
+            fn export(&self, registry: &mut Registry) {
+                registry.counter_add("from_source", 1);
+            }
+        }
+        r.collect(&S);
+        // Nothing was stored — no keys were even allocated.
+        assert!(r.is_empty());
+        assert!(r.traces().is_empty());
+        assert_eq!(r.traces().total_pushed(), 0);
+        let snap = r.snapshot();
+        assert!(snap.counters.is_empty() && snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty() && snap.traces.is_empty());
+    }
+
+    #[test]
+    fn trace_ring_is_bounded() {
+        let mut t = TraceRing::new(3);
+        for i in 0..10 {
+            t.push(format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_pushed(), 10);
+        let labels: Vec<&str> = t.entries().map(|e| e.label.as_str()).collect();
+        assert_eq!(labels, ["e7", "e8", "e9"]);
+        let seqs: Vec<u64> = t.entries().map(|e| e.seq).collect();
+        assert_eq!(seqs, [7, 8, 9]);
+    }
+
+    #[test]
+    fn collect_pulls_from_sources() {
+        struct Stage {
+            seen: usize,
+        }
+        impl MetricSource for Stage {
+            fn export(&self, registry: &mut Registry) {
+                registry.counter_add("stage.seen", self.seen as u64);
+            }
+        }
+        let mut r = Registry::new();
+        r.collect(&Stage { seen: 7 });
+        r.collect(&Stage { seen: 3 });
+        assert_eq!(r.counter("stage.seen"), Some(10));
+    }
+
+    #[test]
+    fn merge_histogram_creates_then_folds() {
+        let mut h = Histogram::latency_us();
+        h.record(1.0);
+        let mut r = Registry::new();
+        r.merge_histogram("x", &h);
+        r.merge_histogram("x", &h);
+        assert_eq!(r.histogram("x").unwrap().count(), 2);
+    }
+}

@@ -1,0 +1,280 @@
+//! Versioned, machine-readable snapshots of a [`Registry`](crate::Registry).
+//!
+//! The JSON schema (version [`SNAPSHOT_VERSION`]):
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "counters":   { "ingest.lines": 12345, ... },
+//!   "gauges":     { "driver.recall": 0.91, ... },
+//!   "histograms": {
+//!     "predict.match_latency_us": {
+//!       "bounds": [0.1, ...], "counts": [0, ...],
+//!       "count": 100, "sum": 42.0, "min": 0.2, "max": 3.1,
+//!       "p50": 0.4, "p95": 1.2, "p99": 2.8
+//!     }
+//!   },
+//!   "traces": [ { "seq": 0, "label": "retrain week=26 rules=87" }, ... ]
+//! }
+//! ```
+//!
+//! All maps are `BTreeMap`s, so serialization order is deterministic and
+//! a snapshot round-trips byte-identically through
+//! [`MetricsSnapshot::from_json`] → [`MetricsSnapshot::to_json`].
+
+use crate::hist::Histogram;
+use crate::registry::TraceEntry;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Current snapshot schema version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// A frozen histogram with its percentiles precomputed, so consumers of
+/// the JSON need no bucket math.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts (trailing overflow bucket included).
+    pub counts: Vec<u64>,
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl HistogramSnapshot {
+    /// Freezes a live histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistogramSnapshot {
+            bounds: h.bounds().to_vec(),
+            counts: h.counts().to_vec(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            p50: h.p50(),
+            p95: h.p95(),
+            p99: h.p99(),
+        }
+    }
+
+    /// Mean observation (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The versioned, deterministic export of one registry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Schema version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Monotonic counters by dotted name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges by dotted name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histograms by dotted name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Trace-ring milestones, oldest first.
+    pub traces: Vec<TraceEntry>,
+}
+
+impl MetricsSnapshot {
+    /// Serializes to pretty JSON (deterministic byte-for-byte for equal
+    /// snapshots).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// Parses a snapshot, rejecting unknown schema versions.
+    pub fn from_json(json: &str) -> Result<MetricsSnapshot, String> {
+        let snap: MetricsSnapshot =
+            serde_json::from_str(json).map_err(|e| format!("malformed snapshot: {e}"))?;
+        if snap.version != SNAPSHOT_VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (expected {SNAPSHOT_VERSION})",
+                snap.version
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn write_file(&self, path: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads and validates a snapshot file.
+    pub fn read_file(path: &str) -> Result<MetricsSnapshot, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+        MetricsSnapshot::from_json(&text)
+    }
+
+    /// A counter's value, defaulting to 0.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, defaulting to 0.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// The required metric names (counters, gauges or histograms) missing
+    /// from this snapshot — schema validation for CI gates.
+    pub fn missing(&self, required: &[&str]) -> Vec<String> {
+        required
+            .iter()
+            .filter(|name| {
+                !self.counters.contains_key(**name)
+                    && !self.gauges.contains_key(**name)
+                    && !self.histograms.contains_key(**name)
+            })
+            .map(|s| s.to_string())
+            .collect()
+    }
+}
+
+/// Renders a snapshot as grouped human-readable text: metrics grouped by
+/// their dotted prefix, histograms as `count/mean/p50/p95/p99`.
+pub fn render_text(snap: &MetricsSnapshot) -> String {
+    let mut groups: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    let prefix = |name: &str| -> String {
+        name.split_once('.')
+            .map(|(p, _)| p.to_string())
+            .unwrap_or_default()
+    };
+    for (name, v) in &snap.counters {
+        groups
+            .entry(name.split('.').next().unwrap_or(""))
+            .or_default()
+            .push(format!("  {name} = {v}"));
+    }
+    for (name, v) in &snap.gauges {
+        groups
+            .entry(name.split('.').next().unwrap_or(""))
+            .or_default()
+            .push(format!("  {name} = {v:.4}"));
+    }
+    for (name, h) in &snap.histograms {
+        groups
+            .entry(name.split('.').next().unwrap_or(""))
+            .or_default()
+            .push(format!(
+                "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            ));
+    }
+    let _ = prefix; // group key computed inline above
+    let mut out = format!("metrics snapshot v{}\n", snap.version);
+    for (group, lines) in &groups {
+        out.push_str(&format!("[{group}]\n"));
+        for line in lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    if !snap.traces.is_empty() {
+        out.push_str("[trace]\n");
+        for t in &snap.traces {
+            out.push_str(&format!("  #{} {}\n", t.seq, t.label));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.counter_add("ingest.lines", 100);
+        r.counter_add("predict.events_observed", 42);
+        r.gauge_set("driver.recall", 0.875);
+        r.record_us("predict.match_latency_us", 0.7);
+        r.record_us("predict.match_latency_us", 2.2);
+        r.trace("retrain week=4 rules=10");
+        r
+    }
+
+    #[test]
+    fn same_inputs_produce_byte_identical_json() {
+        let a = sample_registry().snapshot().to_json();
+        let b = sample_registry().snapshot().to_json();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn json_round_trip_is_byte_identical() {
+        let json = sample_registry().snapshot().to_json();
+        let parsed = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(parsed.to_json(), json);
+        assert_eq!(parsed, sample_registry().snapshot());
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut snap = sample_registry().snapshot();
+        snap.version = 99;
+        let json = serde_json::to_string(&snap).unwrap();
+        let err = MetricsSnapshot::from_json(&json).unwrap_err();
+        assert!(err.contains("version 99"), "{err}");
+        assert!(MetricsSnapshot::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn missing_reports_absent_metrics_only() {
+        let snap = sample_registry().snapshot();
+        let missing = snap.missing(&[
+            "ingest.lines",
+            "predict.match_latency_us",
+            "driver.recall",
+            "train.retrainings",
+        ]);
+        assert_eq!(missing, vec!["train.retrainings".to_string()]);
+    }
+
+    #[test]
+    fn render_text_groups_by_stage() {
+        let text = render_text(&sample_registry().snapshot());
+        assert!(text.contains("[ingest]"));
+        assert!(text.contains("[predict]"));
+        assert!(text.contains("ingest.lines = 100"));
+        assert!(text.contains("p95="));
+        assert!(text.contains("#0 retrain week=4 rules=10"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let path = std::env::temp_dir().join("dml_obs_snapshot_test.json");
+        let path = path.to_str().unwrap().to_string();
+        let snap = sample_registry().snapshot();
+        snap.write_file(&path).unwrap();
+        let back = MetricsSnapshot::read_file(&path).unwrap();
+        assert_eq!(back, snap);
+        std::fs::remove_file(&path).ok();
+    }
+}

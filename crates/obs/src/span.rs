@@ -1,0 +1,70 @@
+//! Scoped wall-clock span timers.
+
+use crate::hist::Histogram;
+use crate::registry::Registry;
+use std::time::Instant;
+
+/// A started span: stop it to record its elapsed milliseconds into a
+/// registry histogram (created with [`Histogram::wall_ms`] buckets on
+/// first use).
+///
+/// The timer is detached from the registry borrow, so a span can cover
+/// code that itself records metrics.
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: &'static str,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Starts timing the named span.
+    pub fn start(name: &'static str) -> Self {
+        SpanTimer {
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed milliseconds so far.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.start.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// Stops the span, recording its duration; returns the elapsed ms.
+    pub fn stop(self, registry: &mut Registry) -> f64 {
+        let ms = self.elapsed_ms();
+        registry.record_into(self.name, Histogram::wall_ms, ms);
+        ms
+    }
+}
+
+/// Times `f`, recording its wall-clock milliseconds into the named
+/// histogram.
+pub fn time<T>(registry: &mut Registry, name: &'static str, f: impl FnOnce() -> T) -> T {
+    let span = SpanTimer::start(name);
+    let out = f();
+    span.stop(registry);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_histogram() {
+        let mut r = Registry::new();
+        let value = time(&mut r, "stage.span_ms", || 7);
+        assert_eq!(value, 7);
+        let h = r.histogram("stage.span_ms").unwrap();
+        assert_eq!(h.count(), 1);
+        assert!(h.max() >= 0.0);
+    }
+
+    #[test]
+    fn span_on_disabled_registry_records_nothing() {
+        let mut r = Registry::disabled();
+        time(&mut r, "stage.span_ms", || ());
+        assert!(r.histogram("stage.span_ms").is_none());
+    }
+}

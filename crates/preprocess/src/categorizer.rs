@@ -22,6 +22,15 @@ pub struct CategorizeStats {
     pub fatal: usize,
 }
 
+impl dml_obs::MetricSource for CategorizeStats {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("preprocess.categorized", self.categorized as u64);
+        registry.counter_add("preprocess.unknown_type", self.unknown as u64);
+        registry.counter_add("preprocess.fake_fatals", self.fake_fatals as u64);
+        registry.counter_add("preprocess.fatal_events", self.fatal as u64);
+    }
+}
+
 /// Categorizes raw records against an event catalog.
 #[derive(Debug, Clone)]
 pub struct Categorizer {

@@ -71,6 +71,16 @@ impl FilterStats {
     }
 }
 
+impl dml_obs::MetricSource for FilterStats {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("preprocess.filter_input", self.input as u64);
+        registry.counter_add("preprocess.filter_kept", self.kept as u64);
+        registry.counter_add("preprocess.temporal_dropped", self.temporal_dropped as u64);
+        registry.counter_add("preprocess.spatial_dropped", self.spatial_dropped as u64);
+        registry.gauge_set("preprocess.filter_compression", self.compression_rate());
+    }
+}
+
 type TemporalKey = (EventTypeId, Option<JobId>, Location);
 type SpatialKey = (EventTypeId, Option<JobId>);
 

@@ -39,6 +39,14 @@ impl PipelineStats {
     }
 }
 
+impl dml_obs::MetricSource for PipelineStats {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        self.categorize.export(registry);
+        self.filter.export(registry);
+        registry.gauge_set("preprocess.compression_ratio", self.overall_compression());
+    }
+}
+
 /// Runs categorizer + filter over a time-sorted raw log and returns the
 /// unique-event stream the learners consume.
 pub fn clean_log(

@@ -38,6 +38,15 @@ pub struct ReorderStats {
     pub peak_buffered: usize,
 }
 
+impl dml_obs::MetricSource for ReorderStats {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("preprocess.reorder_accepted", self.accepted as u64);
+        registry.counter_add("preprocess.reorder_released", self.released as u64);
+        registry.counter_add("preprocess.late_dropped", self.late_dropped as u64);
+        registry.gauge_set("preprocess.reorder_peak_buffered", self.peak_buffered as f64);
+    }
+}
+
 struct Pending<T> {
     time: Timestamp,
     seq: u64,

@@ -157,6 +157,16 @@ impl<T> ReadOutcome<T> {
     }
 }
 
+impl<T> dml_obs::MetricSource for ReadOutcome<T> {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("ingest.lines", self.lines as u64);
+        registry.counter_add("ingest.events_parsed", self.events.len() as u64);
+        registry.counter_add("ingest.parse_skipped", self.skipped as u64);
+        registry.counter_add("ingest.quarantined", self.quarantined.len() as u64);
+        registry.gauge_set("ingest.skip_rate", self.skip_rate());
+    }
+}
+
 /// A line that failed to parse, carried alongside its raw text so
 /// quarantining callers can retain it.
 #[derive(Debug, Clone)]

@@ -9,13 +9,16 @@
 //! * [`apriori`] — association-rule mining,
 //! * [`dml_stats`] — distribution fitting and accuracy math,
 //! * [`dml_core`] — base learners, meta-learner, reviser, predictor and the
-//!   dynamic retraining driver.
+//!   dynamic retraining driver,
+//! * [`dml_obs`] — metrics registry, span timers, trace ring, snapshot
+//!   export and the leveled logger behind every stage's telemetry.
 //!
 //! See `examples/quickstart.rs` for an end-to-end walkthrough.
 
 pub use apriori;
 pub use bgl_sim;
 pub use dml_core;
+pub use dml_obs;
 pub use dml_stats;
 pub use preprocess;
 pub use raslog;
