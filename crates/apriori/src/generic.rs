@@ -1,8 +1,9 @@
 //! Classic Apriori: frequent itemsets and all-rules induction.
 
-use crate::itemset::{is_subset_sorted, join_step, normalize, Itemset};
+use crate::itemset::{is_normalized, is_subset_sorted, join_step, normalize, Itemset};
 use crate::Item;
 use rayon::prelude::*;
+use std::borrow::Cow;
 use std::collections::HashMap;
 
 /// Parallelize support counting only past this many candidate itemsets;
@@ -42,7 +43,7 @@ pub struct AssociationRule<I> {
     pub confidence: f64,
 }
 
-fn count_candidates<I: Item>(candidates: &[Itemset<I>], transactions: &[Itemset<I>]) -> Vec<usize> {
+fn count_candidates<I: Item>(candidates: &[Itemset<I>], transactions: &[Cow<'_, [I]>]) -> Vec<usize> {
     let count_one = |cand: &Itemset<I>| {
         transactions
             .iter()
@@ -76,14 +77,25 @@ pub fn frequent_itemsets<I: Item>(
     if transactions.is_empty() {
         return Vec::new();
     }
-    let txs: Vec<Itemset<I>> = transactions.iter().map(|t| normalize(t.clone())).collect();
+    // Fast path: retraining windows arrive pre-sorted and deduplicated,
+    // so borrow those slices instead of cloning + re-sorting every one.
+    let txs: Vec<Cow<'_, [I]>> = transactions
+        .iter()
+        .map(|t| {
+            if is_normalized(t) {
+                Cow::Borrowed(t.as_slice())
+            } else {
+                Cow::Owned(normalize(t.clone()))
+            }
+        })
+        .collect();
     let n = txs.len();
     let min_count = (min_support * n as f64).ceil().max(1.0) as usize;
 
     // L1 from single-pass counting.
     let mut item_counts: HashMap<I, usize> = HashMap::new();
     for t in &txs {
-        for &i in t {
+        for &i in t.iter() {
             *item_counts.entry(i).or_insert(0) += 1;
         }
     }
@@ -241,6 +253,29 @@ mod tests {
         assert!(freq.iter().all(|f| f.items.len() <= 2));
         let freq3 = frequent_itemsets(&txs, 0.2, 3);
         assert!(freq3.iter().any(|f| f.items.len() == 3));
+    }
+
+    #[test]
+    fn prenormalized_and_messy_transactions_agree() {
+        // Same transactions, one copy pre-normalized (borrow fast path),
+        // one shuffled with duplicates (clone + normalize path): the
+        // mined itemsets must be identical.
+        let messy: Vec<Vec<u32>> = vec![
+            vec![3, 1, 2, 1],
+            vec![2, 1],
+            vec![3, 1, 3],
+            vec![3, 2],
+            vec![4, 3, 2, 1],
+            vec![4, 4],
+        ];
+        let clean: Vec<Vec<u32>> = messy.iter().map(|t| normalize(t.clone())).collect();
+        for &ms in &[0.2, 0.5] {
+            let mut a = frequent_itemsets(&messy, ms, 4);
+            let mut b = frequent_itemsets(&clean, ms, 4);
+            a.sort_by(|x, y| x.items.cmp(&y.items));
+            b.sort_by(|x, y| x.items.cmp(&y.items));
+            assert_eq!(a, b, "min_support = {ms}");
+        }
     }
 
     #[test]

@@ -12,6 +12,13 @@ pub fn normalize<I: Item>(mut items: Vec<I>) -> Itemset<I> {
     items
 }
 
+/// `true` when the slice is already a valid itemset (strictly increasing,
+/// hence sorted and deduplicated). Lets callers skip the clone + sort in
+/// [`normalize`] for pre-normalized transaction windows.
+pub fn is_normalized<I: Item>(items: &[I]) -> bool {
+    items.windows(2).all(|w| w[0] < w[1])
+}
+
 /// `true` when sorted slice `needle` is a subset of sorted slice `haystack`
 /// (two-pointer merge; O(|haystack|)).
 pub fn is_subset_sorted<I: Item>(needle: &[I], haystack: &[I]) -> bool {
@@ -105,6 +112,20 @@ mod tests {
     fn normalize_sorts_and_dedups() {
         assert_eq!(normalize(vec![3, 1, 2, 1, 3]), vec![1, 2, 3]);
         assert_eq!(normalize(Vec::<u32>::new()), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn is_normalized_detects_sorted_deduped_slices() {
+        assert!(is_normalized::<u32>(&[]));
+        assert!(is_normalized(&[7u32]));
+        assert!(is_normalized(&[1u32, 2, 5]));
+        assert!(!is_normalized(&[2u32, 1])); // unsorted
+        assert!(!is_normalized(&[1u32, 1, 2])); // duplicate
+        // Agreement with normalize: a slice is normalized iff normalize
+        // leaves it unchanged.
+        for v in [vec![3u32, 1, 2], vec![1, 2, 3], vec![1, 1], vec![]] {
+            assert_eq!(is_normalized(&v), normalize(v.clone()) == v);
+        }
     }
 
     #[test]

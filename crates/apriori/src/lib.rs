@@ -44,7 +44,7 @@ mod itemset;
 
 pub use classrules::{mine_class_rules, ClassRule, ClassTransaction};
 pub use generic::{frequent_itemsets, generate_rules, AssociationRule, FrequentItemset};
-pub use itemset::{is_subset_sorted, join_step, Itemset};
+pub use itemset::{is_normalized, is_subset_sorted, join_step, Itemset};
 
 /// Bound on item types usable by the miners.
 pub trait Item: Copy + Eq + Ord + core::hash::Hash + core::fmt::Debug + Send + Sync {}

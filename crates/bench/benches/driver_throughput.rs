@@ -1,0 +1,161 @@
+//! End-to-end driver throughput: serial vs overlapped retraining.
+//!
+//! The serial driver stalls the event stream for every retraining, so
+//! its wall-clock is `predict + retrain`; the overlapped driver hides
+//! retraining behind serving and approaches `max(predict, retrain)`.
+//! This bench replays a fixed-seed multi-block workload through both and
+//! writes `BENCH_driver.json` at the workspace root: events/sec for each
+//! mode, the wall-clock breakdown, and the staleness the overlap paid.
+//!
+//! `DML_BENCH_QUICK=1` shrinks the workload to a CI-smoke size (same
+//! schema, fewer weeks and repetitions).
+
+use bgl_sim::{Generator, SystemPreset};
+use criterion::{criterion_group, Criterion, Throughput};
+use dml_bench::fixtures;
+use dml_core::{
+    run_driver, run_overlapped_driver, DriverConfig, DriverReport, FrameworkConfig, SwapMode,
+    TrainingPolicy,
+};
+use preprocess::{clean_log, Categorizer, FilterConfig};
+use raslog::CleanEvent;
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// The replay workload: `(events, weeks, config)`.
+struct Workload {
+    events: Vec<CleanEvent>,
+    weeks: i64,
+    config: DriverConfig,
+    mode: &'static str,
+}
+
+fn build_workload() -> Workload {
+    let quick = fixtures::quick_mode();
+    // Full mode: 26 weeks of initial training and a >6-month replay with
+    // a retraining every 4 weeks — the paper's dynamic schedule at bench
+    // scale. Quick mode keeps the same shape at CI-smoke size.
+    let (weeks, scale, initial, window, retrain_every) = if quick {
+        (12i64, 0.05, 4i64, 4i64, 2i64)
+    } else {
+        (56i64, 0.2, 26i64, 26i64, 4i64)
+    };
+    let generator = Generator::new(
+        SystemPreset::sdsc().with_weeks(weeks).with_volume_scale(scale),
+        42,
+    );
+    let categorizer = Categorizer::new(generator.catalog().clone());
+    let mut events = Vec::new();
+    for week in 0..weeks {
+        let (raw, _) = generator.week_events(week);
+        let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+        events.append(&mut c);
+    }
+    Workload {
+        events,
+        weeks,
+        config: DriverConfig {
+            framework: FrameworkConfig {
+                retrain_weeks: retrain_every,
+                ..FrameworkConfig::default()
+            },
+            policy: TrainingPolicy::SlidingWeeks(window),
+            initial_training_weeks: initial,
+            only_kind: None,
+        },
+        mode: if quick { "quick" } else { "full" },
+    }
+}
+
+fn workload() -> &'static Workload {
+    static WORKLOAD: OnceLock<Workload> = OnceLock::new();
+    WORKLOAD.get_or_init(build_workload)
+}
+
+fn bench_driver_throughput(c: &mut Criterion) {
+    let w = workload();
+    let mut group = c.benchmark_group("driver_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(w.events.len() as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| std::hint::black_box(run_driver(&w.events, w.weeks, &w.config)));
+    });
+    group.bench_function("overlapped", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_overlapped_driver(
+                &w.events,
+                w.weeks,
+                &w.config,
+                SwapMode::overlapped(),
+            ))
+        });
+    });
+    group.finish();
+}
+
+/// Best-of-`reps` wall seconds plus the last report.
+fn best_wall(reps: usize, run: impl Fn() -> DriverReport) -> (f64, DriverReport) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let report = run();
+        best = best.min(t.elapsed().as_secs_f64());
+        last = Some(report);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn write_bench_json() -> std::io::Result<()> {
+    let w = workload();
+    let reps = if fixtures::quick_mode() { 2 } else { 4 };
+    let n = w.events.len() as f64;
+
+    let (serial_wall, _) = best_wall(reps, || run_driver(&w.events, w.weeks, &w.config));
+    let (over_wall, over_report) = best_wall(reps, || {
+        run_overlapped_driver(&w.events, w.weeks, &w.config, SwapMode::overlapped())
+    });
+    let stats = over_report.overlap.expect("overlapped run records stats");
+
+    let json = format!(
+        "{{\n  \"bench\": \"driver_throughput\",\n  \"mode\": \"{}\",\n  \"weeks\": {},\n  \
+         \"events\": {},\n  \"serial\": {{ \"wall_ms\": {:.1}, \"events_per_sec\": {:.0} }},\n  \
+         \"overlapped\": {{ \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \
+         \"retrain_wall_ms\": {:.1}, \"retrain_overlap_ms\": {:.1}, \"blocked_wait_ms\": {:.1}, \
+         \"swap_staleness_events\": {}, \"swaps_mid_block\": {}, \"swaps_at_boundary\": {} }},\n  \
+         \"speedup\": {:.3}\n}}\n",
+        w.mode,
+        w.weeks,
+        w.events.len(),
+        serial_wall * 1e3,
+        n / serial_wall.max(1e-9),
+        over_wall * 1e3,
+        n / over_wall.max(1e-9),
+        stats.retrain_wall_ms,
+        stats.retrain_overlap_ms(),
+        stats.blocked_wait_ms,
+        stats.swap_staleness_events,
+        stats.swaps_mid_block,
+        stats.swaps_at_boundary,
+        serial_wall / over_wall.max(1e-9),
+    );
+    let path = fixtures::bench_output_path("BENCH_driver.json");
+    std::fs::write(&path, json)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+criterion_group!(benches, bench_driver_throughput);
+
+fn main() {
+    // Quick mode skips the criterion groups entirely — CI only needs the
+    // JSON artifact, produced from the small workload.
+    if !fixtures::quick_mode() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
+    if let Err(e) = write_bench_json() {
+        eprintln!("BENCH_driver.json not written: {e}");
+        std::process::exit(1);
+    }
+}

@@ -89,9 +89,9 @@ fn write_bench_json() -> std::io::Result<&'static str> {
         h.p99(),
         h.count(),
     );
-    let path = "BENCH_predictor.json";
-    std::fs::write(path, json)?;
-    Ok(path)
+    let path = fixtures::bench_output_path("BENCH_predictor.json");
+    std::fs::write(&path, json)?;
+    Ok("BENCH_predictor.json")
 }
 
 criterion_group!(benches, bench_predictor_hot_path);

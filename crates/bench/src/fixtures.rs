@@ -12,6 +12,21 @@ use std::sync::OnceLock;
 /// Weeks in the shared clean dataset.
 pub const WEEKS: i64 = 30;
 
+/// Where a checked-in bench artifact goes: the workspace root, so the
+/// perf trajectory (`BENCH_*.json`) is visible across PRs regardless of
+/// the directory the bench was invoked from.
+pub fn bench_output_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join(name)
+}
+
+/// `true` when `DML_BENCH_QUICK` asks for the small CI-smoke workload.
+pub fn quick_mode() -> bool {
+    std::env::var("DML_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 /// The shared generator (SDSC-like, reduced duplication).
 pub fn generator() -> Generator {
     Generator::new(

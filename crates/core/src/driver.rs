@@ -91,6 +91,9 @@ pub struct DriverReport {
     /// Predictor hot-path counters summed over all test blocks
     /// (warm-up excluded).
     pub predictor_metrics: PredictorMetrics,
+    /// Staleness/overlap accounting when the run came from the
+    /// overlapped driver (`None` for the serial driver).
+    pub overlap: Option<crate::overlap::OverlapStats>,
 }
 
 impl DriverReport {
@@ -127,6 +130,14 @@ impl dml_obs::MetricSource for DriverReport {
                 "retrain week={} +{} -{} kept={} total={}",
                 c.week, c.added, c.removed_by_learner, c.unchanged, c.total
             ));
+        }
+        if let Some(o) = &self.overlap {
+            registry.counter_add("driver.swap_staleness_events", o.swap_staleness_events);
+            registry.counter_add("driver.swaps_mid_block", o.swaps_mid_block as u64);
+            registry.counter_add("driver.swaps_at_boundary", o.swaps_at_boundary as u64);
+            registry.gauge_set("driver.retrain_overlap_ms", o.retrain_overlap_ms());
+            registry.gauge_set("driver.retrain_wall_ms", o.retrain_wall_ms);
+            registry.gauge_set("driver.blocked_wait_ms", o.blocked_wait_ms);
         }
         self.predictor_metrics.export(registry);
     }

@@ -7,6 +7,11 @@
 //!   antecedent contains it (consulted on non-fatal arrivals);
 //! * `F-List` — for each fatal type, the association rules predicting it.
 //!
+//! Both lists are **dense tables indexed by the raw event-type id**: the
+//! catalog space is small (219 low-level types for Blue Gene/L, `u16`
+//! ids), so `lists[type_id]` replaces a `HashMap` probe with one bounds
+//! check and an indexed load on the predictor's per-event hot path.
+//!
 //! The repository also supports the churn accounting of Fig. 12: diffing
 //! two snapshots by structural rule identity.
 
@@ -14,7 +19,7 @@ use crate::evaluation::Accuracy;
 use crate::rules::{Rule, RuleId, RuleIdentity, RuleKind};
 use raslog::EventTypeId;
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
 /// A rule plus its bookkeeping.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -38,20 +43,75 @@ pub struct RuleChurn {
     pub removed: usize,
 }
 
+/// A dense `event type id → rule ids` index. Slot `t` holds the rules
+/// for `EventTypeId(t)`; types past the table end simply have no rules.
+#[derive(Debug, Clone, Default)]
+struct TypeIndex {
+    lists: Vec<Vec<RuleId>>,
+    entries: usize,
+}
+
+impl TypeIndex {
+    fn push(&mut self, ty: EventTypeId, id: RuleId) {
+        let slot = ty.0 as usize;
+        if slot >= self.lists.len() {
+            self.lists.resize_with(slot + 1, Vec::new);
+        }
+        self.lists[slot].push(id);
+        self.entries += 1;
+    }
+
+    #[inline]
+    fn get(&self, ty: EventTypeId) -> &[RuleId] {
+        self.lists
+            .get(ty.0 as usize)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+}
+
 /// The rule store consulted by the predictor.
+///
+/// Serialized as just the rule list; the dense indices are rebuilt on
+/// deserialization, so the wire format is independent of the index
+/// layout.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[serde(from = "RepoWire", into = "RepoWire")]
 pub struct KnowledgeRepository {
     rules: Vec<StoredRule>,
-    /// Association rules indexed by antecedent item.
-    e_list: HashMap<EventTypeId, Vec<RuleId>>,
-    /// Association rules indexed by predicted fatal type.
-    f_list: HashMap<EventTypeId, Vec<RuleId>>,
+    /// Association rules indexed by antecedent item (dense `E-List`).
+    e_list: TypeIndex,
+    /// Association rules indexed by predicted fatal type (dense `F-List`).
+    f_list: TypeIndex,
     /// Statistical rules, ascending `k`.
     statistical: Vec<RuleId>,
     /// Location-recurrence rules, ascending `k`.
     location: Vec<RuleId>,
     /// Distribution rules.
     distribution: Vec<RuleId>,
+}
+
+/// The serialized shape of a repository: rules only.
+#[derive(Serialize, Deserialize)]
+struct RepoWire {
+    rules: Vec<StoredRule>,
+}
+
+impl From<RepoWire> for KnowledgeRepository {
+    fn from(wire: RepoWire) -> Self {
+        KnowledgeRepository::with_counts(
+            wire.rules
+                .into_iter()
+                .map(|r| (r.rule, r.training_counts))
+                .collect(),
+        )
+    }
+}
+
+impl From<KnowledgeRepository> for RepoWire {
+    fn from(repo: KnowledgeRepository) -> Self {
+        RepoWire { rules: repo.rules }
+    }
 }
 
 impl KnowledgeRepository {
@@ -61,6 +121,7 @@ impl KnowledgeRepository {
         for rule in rules {
             repo.insert(rule, None);
         }
+        repo.finish();
         repo
     }
 
@@ -70,6 +131,7 @@ impl KnowledgeRepository {
         for (rule, counts) in rules {
             repo.insert(rule, counts);
         }
+        repo.finish();
         repo
     }
 
@@ -78,9 +140,9 @@ impl KnowledgeRepository {
         match &rule {
             Rule::Association(a) => {
                 for &item in &a.antecedent {
-                    self.e_list.entry(item).or_default().push(id);
+                    self.e_list.push(item, id);
                 }
-                self.f_list.entry(a.fatal).or_default().push(id);
+                self.f_list.push(a.fatal, id);
             }
             Rule::Statistical(_) => self.statistical.push(id),
             Rule::Location(_) => self.location.push(id),
@@ -91,8 +153,11 @@ impl KnowledgeRepository {
             rule,
             training_counts,
         });
-        // Keep count-triggered rules sorted by k so the predictor can stop
-        // at the first non-matching one.
+    }
+
+    /// Sorts the count-triggered indices by `k` so the predictor can stop
+    /// at the first non-matching rule.
+    fn finish(&mut self) {
         self.statistical
             .sort_by_key(|&id| match &self.rules[id.0 as usize].rule {
                 Rule::Statistical(s) => s.k,
@@ -131,24 +196,32 @@ impl KnowledgeRepository {
     }
 
     /// Association rules containing `item` in their antecedent.
+    #[inline]
     pub fn rules_triggered_by(&self, item: EventTypeId) -> &[RuleId] {
-        self.e_list.get(&item).map(Vec::as_slice).unwrap_or(&[])
+        self.e_list.get(item)
     }
 
     /// Association rules predicting `fatal`.
+    #[inline]
     pub fn rules_predicting(&self, fatal: EventTypeId) -> &[RuleId] {
-        self.f_list.get(&fatal).map(Vec::as_slice).unwrap_or(&[])
+        self.f_list.get(fatal)
     }
 
     /// Total `E-List` index entries (type → rule pairs), a proxy for the
     /// matcher's fan-out on non-fatal events.
     pub fn e_list_entries(&self) -> usize {
-        self.e_list.values().map(Vec::len).sum()
+        self.e_list.entries
     }
 
     /// Total `F-List` index entries (fatal type → rule pairs).
     pub fn f_list_entries(&self) -> usize {
-        self.f_list.values().map(Vec::len).sum()
+        self.f_list.entries
+    }
+
+    /// One past the largest event-type id indexed by either list (the
+    /// size a dense per-type table must have to cover every rule).
+    pub fn type_table_len(&self) -> usize {
+        self.e_list.lists.len().max(self.f_list.lists.len())
     }
 
     /// Statistical rules in ascending `k` order.
@@ -227,6 +300,38 @@ mod tests {
             })
             .collect();
         assert_eq!(ks, vec![2, 4]);
+    }
+
+    #[test]
+    fn dense_tables_cover_the_type_range() {
+        let repo = KnowledgeRepository::new(vec![assoc(&[1, 7], 100), assoc(&[3], 218)]);
+        assert_eq!(repo.e_list_entries(), 3);
+        assert_eq!(repo.f_list_entries(), 2);
+        // F-List reaches type 218 → table covers 219 slots.
+        assert_eq!(repo.type_table_len(), 219);
+        // Lookups far past the table end are empty, not a panic.
+        assert!(repo.rules_triggered_by(EventTypeId(u16::MAX)).is_empty());
+        assert!(repo.rules_predicting(EventTypeId(u16::MAX)).is_empty());
+    }
+
+    #[test]
+    fn serde_round_trip_rebuilds_indices() {
+        let repo = KnowledgeRepository::new(vec![
+            assoc(&[1, 2], 100),
+            assoc(&[2, 3], 101),
+            stat(4),
+            stat(2),
+        ]);
+        let json = serde_json::to_string(&repo).unwrap();
+        let back: KnowledgeRepository = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rules(), repo.rules());
+        assert_eq!(
+            back.rules_triggered_by(EventTypeId(2)),
+            repo.rules_triggered_by(EventTypeId(2))
+        );
+        assert_eq!(back.statistical_rules(), repo.statistical_rules());
+        assert_eq!(back.e_list_entries(), repo.e_list_entries());
+        assert_eq!(back.f_list_entries(), repo.f_list_entries());
     }
 
     #[test]

@@ -68,6 +68,7 @@ pub mod evaluation;
 pub mod knowledge;
 pub mod learners;
 pub mod meta;
+pub mod overlap;
 pub mod persist;
 pub mod predictor;
 pub mod resilience;
@@ -87,6 +88,7 @@ pub use learners::{
     AssociationLearner, BaseLearner, DistributionLearner, LocationLearner, StatisticalLearner,
 };
 pub use meta::{MetaLearner, TrainingOutcome};
+pub use overlap::{run_overlapped_driver, OverlapStats, RetrainRequest, SwapMode};
 pub use persist::{
     load_checkpoint, load_checkpoint_file, load_repository, load_repository_file, save_checkpoint,
     save_checkpoint_file, save_repository, save_repository_file, Checkpoint, PersistError,
@@ -95,7 +97,8 @@ pub use predictor::{
     Predictor, PredictorMetrics, PredictorState, Warning, DEFAULT_LATENCY_SAMPLE_EVERY,
 };
 pub use resilience::{
-    run_hardened_driver, run_hardened_driver_with, HardenedConfig, HardenedReport, IngestHealth,
+    run_hardened_driver, run_hardened_driver_with, run_overlapped_hardened_driver,
+    run_overlapped_hardened_driver_with, HardenedConfig, HardenedReport, IngestHealth,
     LearnerHealth, LearnerOutcome, PipelineHealth, ResilienceConfig, ResilientTrainer,
 };
 pub use rules::{Rule, RuleId, RuleIdentity, RuleKind};

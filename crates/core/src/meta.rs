@@ -19,6 +19,36 @@ use crate::rules::{Rule, RuleKind};
 use raslog::CleanEvent;
 use std::time::{Duration as StdDuration, Instant};
 
+/// Runs every learner on the same window concurrently via recursive
+/// `rayon::join` splits, preserving the input order of the results so
+/// the ensemble stays deterministic. Each entry is
+/// `(name, rules, wall-clock)`; the wall-clock is the learner's own
+/// time on its worker thread, so summed phase timings can exceed the
+/// elapsed wall time (that is the point of the overlap).
+fn learn_parallel(
+    learners: &[&dyn BaseLearner],
+    events: &[CleanEvent],
+    config: &FrameworkConfig,
+) -> Vec<(&'static str, Vec<Rule>, StdDuration)> {
+    match learners {
+        [] => Vec::new(),
+        [only] => {
+            let start = Instant::now();
+            let rules = only.learn(events, config);
+            vec![(only.name(), rules, start.elapsed())]
+        }
+        _ => {
+            let (left, right) = learners.split_at(learners.len() / 2);
+            let (mut a, b) = rayon::join(
+                || learn_parallel(left, events, config),
+                || learn_parallel(right, events, config),
+            );
+            a.extend(b);
+            a
+        }
+    }
+}
+
 /// Wall-clock cost of one training pass, split by phase (Table 5's
 /// columns).
 #[derive(Debug, Clone, Default)]
@@ -86,10 +116,9 @@ impl MetaLearner {
     pub fn train(&self, events: &[CleanEvent]) -> TrainingOutcome {
         let mut candidates: Vec<Rule> = Vec::new();
         let mut timings = PhaseTimings::default();
-        for learner in &self.learners {
-            let start = Instant::now();
-            let mut rules = learner.learn(events, &self.config);
-            timings.learners.push((learner.name(), start.elapsed()));
+        let refs: Vec<&dyn BaseLearner> = self.learners.iter().map(|l| l.as_ref()).collect();
+        for (name, mut rules, elapsed) in learn_parallel(&refs, events, &self.config) {
+            timings.learners.push((name, elapsed));
             candidates.append(&mut rules);
         }
         // Ensemble ordering: association → statistical → distribution.
@@ -128,10 +157,15 @@ impl MetaLearner {
     pub fn train_single_kind(&self, events: &[CleanEvent], kind: RuleKind) -> TrainingOutcome {
         let mut candidates: Vec<Rule> = Vec::new();
         let mut timings = PhaseTimings::default();
-        for learner in self.learners.iter().filter(|l| l.kind() == kind) {
-            let start = Instant::now();
-            candidates.extend(learner.learn(events, &self.config));
-            timings.learners.push((learner.name(), start.elapsed()));
+        let refs: Vec<&dyn BaseLearner> = self
+            .learners
+            .iter()
+            .filter(|l| l.kind() == kind)
+            .map(|l| l.as_ref())
+            .collect();
+        for (name, rules, elapsed) in learn_parallel(&refs, events, &self.config) {
+            candidates.extend(rules);
+            timings.learners.push((name, elapsed));
         }
         let n_candidates = candidates.len();
         let start = Instant::now();

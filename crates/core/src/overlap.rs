@@ -1,0 +1,482 @@
+//! Overlapped online serving: background retraining with hot-swapped
+//! rule repositories.
+//!
+//! [`run_driver`](crate::driver::run_driver) retrains inline, so the
+//! event stream stalls for the full meta-learn + revise pass at every
+//! block boundary and end-to-end wall-clock is
+//! `predict_time + retrain_time`. The overlapped driver moves retraining
+//! to a dedicated worker thread: at each block boundary it posts a
+//! [`RetrainRequest`] over a bounded crossbeam channel and keeps
+//! predicting the next block with the current rules. When the worker
+//! finishes, the new [`KnowledgeRepository`] is installed by swapping an
+//! [`Arc`] (double-buffering — in-flight readers keep the old buffer
+//! alive) and the predictor's sliding-window state is carried across via
+//! [`Predictor::snapshot`] / [`Predictor::restore`], so no events are
+//! dropped or replayed at the swap.
+//!
+//! The price of the overlap is *staleness*: events served between the
+//! boundary and the swap are matched against the previous rule set.
+//! [`OverlapStats`] accounts for it — events served on outdated rules,
+//! swaps that landed mid-block vs. retrains that outran the block — and
+//! is exported as `driver.swap_staleness_events` /
+//! `driver.retrain_overlap_ms`.
+//!
+//! [`SwapMode::Synchronous`] degenerates to the serial schedule (post,
+//! then immediately wait), which must produce a report identical to
+//! `run_driver` — the determinism tests pin that equivalence.
+
+use crate::driver::{ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
+use crate::knowledge::KnowledgeRepository;
+use crate::meta::MetaLearner;
+use crate::predictor::{Predictor, PredictorState};
+use crossbeam::channel::{bounded, Receiver, TryRecvError};
+use raslog::store::window;
+use raslog::{CleanEvent, Timestamp, WEEK_MS};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+/// How a finished retraining is folded into the serving path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapMode {
+    /// Wait for every retraining at the block boundary before serving
+    /// the next block. Bit-identical to the serial driver; the worker
+    /// thread buys nothing but exercises the same machinery.
+    Synchronous,
+    /// Keep serving with the current rules while the worker retrains;
+    /// check for a finished retraining every `poll_every` events and
+    /// hot-swap the repository the moment it lands.
+    Overlapped {
+        /// Events served between polls of the result channel.
+        poll_every: usize,
+    },
+}
+
+impl SwapMode {
+    /// Overlapped with the default poll cadence.
+    pub fn overlapped() -> Self {
+        SwapMode::Overlapped { poll_every: 256 }
+    }
+}
+
+/// Staleness and overlap accounting for one overlapped run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct OverlapStats {
+    /// Trainings performed by the worker (initial training included).
+    pub retrainings: usize,
+    /// Retrainings whose result landed while its block was being served
+    /// (the repository was hot-swapped mid-block).
+    pub swaps_mid_block: usize,
+    /// Retrainings that outran their whole block; the driver blocked for
+    /// them at the next boundary.
+    pub swaps_at_boundary: usize,
+    /// Events served against an outdated rule set (from the boundary
+    /// that scheduled the retraining until its swap).
+    pub swap_staleness_events: u64,
+    /// Total worker wall-clock spent training, milliseconds.
+    pub retrain_wall_ms: f64,
+    /// Main-thread wall-clock spent blocked waiting on the worker,
+    /// milliseconds (initial training is always fully blocked).
+    pub blocked_wait_ms: f64,
+}
+
+impl OverlapStats {
+    /// Training wall-clock hidden behind serving: total worker time
+    /// minus the time the serving thread spent blocked on it.
+    pub fn retrain_overlap_ms(&self) -> f64 {
+        (self.retrain_wall_ms - self.blocked_wait_ms).max(0.0)
+    }
+}
+
+/// One unit of work for the retraining worker: train on weeks
+/// `from..to` for the block starting at `week`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetrainRequest {
+    /// The block-boundary week this retraining is for (churn is recorded
+    /// against it, matching the serial driver).
+    pub week: i64,
+    /// Training window start, in weeks.
+    pub from: i64,
+    /// Training window end (exclusive), in weeks.
+    pub to: i64,
+}
+
+/// What the worker sends back.
+pub(crate) struct RetrainDone<E> {
+    week: i64,
+    repo: KnowledgeRepository,
+    removed_by_reviser: usize,
+    train_wall: StdDuration,
+    extra: E,
+}
+
+fn recv_result<E>(rx: &Receiver<RetrainDone<E>>, stats: &mut OverlapStats) -> RetrainDone<E> {
+    let start = Instant::now();
+    let done = rx.recv().expect("retraining worker died");
+    stats.blocked_wait_ms += start.elapsed().as_secs_f64() * 1000.0;
+    done
+}
+
+/// Installs a finished retraining: records churn against the boundary
+/// week, lets the caller absorb its payload, then swaps the double
+/// buffer. Old readers (an in-flight predictor epoch) keep the previous
+/// `Arc` alive until they finish.
+fn install<E>(
+    report: &mut DriverReport,
+    repo: &mut Arc<KnowledgeRepository>,
+    done: RetrainDone<E>,
+    stats: &mut OverlapStats,
+    on_install: &mut impl FnMut(&E),
+) {
+    stats.retrainings += 1;
+    stats.retrain_wall_ms += done.train_wall.as_secs_f64() * 1000.0;
+    let diff = KnowledgeRepository::churn(repo, &done.repo);
+    report.churn.push(ChurnRecord {
+        week: done.week,
+        unchanged: diff.unchanged,
+        added: diff.added,
+        removed_by_learner: diff.removed,
+        removed_by_reviser: done.removed_by_reviser,
+        total: done.repo.len(),
+    });
+    on_install(&done.extra);
+    *repo = Arc::new(done.repo);
+}
+
+/// The overlapped block loop, generic over the training backend.
+///
+/// `train` runs on the worker thread (it owns the trainer); `on_install`
+/// runs on the serving thread when a retraining is folded in (health /
+/// version accounting); `on_boundary` runs after each block with the
+/// repository currently in force and the predictor's state (checkpoint
+/// writes). The serial schedule — initial training, warm-up with the
+/// preceding week, churn per boundary, weekly scoring — is exactly
+/// [`run_driver`](crate::driver::run_driver)'s.
+pub(crate) fn run_overlapped_engine<E, T>(
+    events: &[CleanEvent],
+    total_weeks: i64,
+    dc: &DriverConfig,
+    swap: SwapMode,
+    train: T,
+    mut on_install: impl FnMut(&E),
+    mut on_boundary: impl FnMut(&KnowledgeRepository, PredictorState),
+) -> DriverReport
+where
+    E: Send,
+    T: FnMut(&RetrainRequest) -> (KnowledgeRepository, usize, E) + Send,
+{
+    assert!(
+        dc.initial_training_weeks > 0 && dc.initial_training_weeks < total_weeks,
+        "initial training window must leave room for testing"
+    );
+    let first_test_week = dc.initial_training_weeks;
+    let retrain_every = dc.framework.retrain_weeks.max(1);
+    let slice_of = |from_week: i64, to_week: i64| {
+        window(
+            events,
+            Timestamp(from_week * WEEK_MS),
+            Timestamp(to_week * WEEK_MS),
+        )
+    };
+
+    let mut report = DriverReport::default();
+    let mut stats = OverlapStats::default();
+
+    let (req_tx, req_rx) = bounded::<RetrainRequest>(1);
+    let (res_tx, res_rx) = bounded::<RetrainDone<E>>(1);
+
+    std::thread::scope(|s| {
+        let mut train = train;
+        s.spawn(move || {
+            while let Ok(req) = req_rx.recv() {
+                let start = Instant::now();
+                let (repo, removed_by_reviser, extra) = train(&req);
+                let done = RetrainDone {
+                    week: req.week,
+                    repo,
+                    removed_by_reviser,
+                    train_wall: start.elapsed(),
+                    extra,
+                };
+                if res_tx.send(done).is_err() {
+                    break; // driver gone; nothing left to retrain for
+                }
+            }
+        });
+
+        // Initial training goes through the worker too (it owns the
+        // trainer); nothing can overlap it. Installing against the empty
+        // repository yields the same all-added churn record as serial.
+        let mut repo = Arc::new(KnowledgeRepository::default());
+        req_tx
+            .send(RetrainRequest {
+                week: first_test_week,
+                from: 0,
+                to: first_test_week,
+            })
+            .expect("retraining worker died");
+        let done = recv_result(&res_rx, &mut stats);
+        install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+
+        let mut pending = false;
+        let mut week = first_test_week;
+        while week < total_weeks {
+            let block_end = (week + retrain_every).min(total_weeks);
+            let warm = slice_of((week - 1).max(0), week);
+            let block = slice_of(week, block_end);
+
+            // Serve the block in repository epochs: each iteration serves
+            // with one rule set until either the block is exhausted or a
+            // pending retraining lands and the repository is hot-swapped.
+            let mut carry: Option<PredictorState> = None;
+            let mut served = 0usize;
+            loop {
+                let cur = Arc::clone(&repo);
+                let mut predictor = match carry.take() {
+                    None => {
+                        // Warm the predictor with the preceding week so
+                        // windows and the last-failure clock are primed
+                        // at the block boundary.
+                        let mut p = Predictor::new(&cur, dc.framework.window);
+                        p.warm_up(warm);
+                        p.reset_metrics();
+                        p
+                    }
+                    // Mid-block swap: resume the sliding windows and
+                    // pending warnings on the new rules.
+                    Some(state) => Predictor::restore(&cur, dc.framework.window, state),
+                };
+
+                let mut landed: Option<RetrainDone<E>> = None;
+                if pending {
+                    let poll_every = match swap {
+                        SwapMode::Synchronous => unreachable!("sync mode never leaves a pending retrain"),
+                        SwapMode::Overlapped { poll_every } => poll_every.max(1),
+                    };
+                    // Serve a chunk, then poll: a mid-block swap therefore
+                    // always has at least one stale chunk behind it, and a
+                    // worker that finishes instantly still cannot make the
+                    // overlapped schedule diverge from "serve, then check".
+                    while served < block.len() {
+                        let upto = (served + poll_every).min(block.len());
+                        report.warnings.extend(predictor.observe_all(&block[served..upto]));
+                        served = upto;
+                        match res_rx.try_recv() {
+                            Ok(done) => {
+                                landed = Some(done);
+                                break;
+                            }
+                            Err(TryRecvError::Empty) => {}
+                            Err(TryRecvError::Disconnected) => {
+                                panic!("retraining worker died")
+                            }
+                        }
+                    }
+                } else {
+                    report.warnings.extend(predictor.observe_all(&block[served..]));
+                    served = block.len();
+                }
+
+                match landed {
+                    Some(done) => {
+                        pending = false;
+                        stats.swaps_mid_block += 1;
+                        stats.swap_staleness_events += served as u64;
+                        report.predictor_metrics.merge(predictor.metrics());
+                        let state = predictor.snapshot();
+                        drop(predictor);
+                        install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+                        carry = Some(state);
+                        // Next epoch restores onto the fresh rules.
+                    }
+                    None => {
+                        // Block exhausted. A retraining that outran the
+                        // whole block is folded in now (the entire block
+                        // was served stale).
+                        if pending {
+                            let done = recv_result(&res_rx, &mut stats);
+                            pending = false;
+                            stats.swaps_at_boundary += 1;
+                            stats.swap_staleness_events += block.len() as u64;
+                            install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+                        }
+                        report.predictor_metrics.merge(predictor.metrics());
+                        on_boundary(&repo, predictor.snapshot());
+                        break;
+                    }
+                }
+            }
+
+            // Schedule the retraining for the next block.
+            if block_end < total_weeks && dc.policy != TrainingPolicy::Static {
+                let (from, to) = match dc.policy {
+                    TrainingPolicy::Static => unreachable!(),
+                    TrainingPolicy::SlidingWeeks(n) => ((block_end - n).max(0), block_end),
+                    TrainingPolicy::Growing => (0, block_end),
+                };
+                req_tx
+                    .send(RetrainRequest {
+                        week: block_end,
+                        from,
+                        to,
+                    })
+                    .expect("retraining worker died");
+                match swap {
+                    SwapMode::Synchronous => {
+                        let done = recv_result(&res_rx, &mut stats);
+                        install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+                    }
+                    SwapMode::Overlapped { .. } => pending = true,
+                }
+            }
+            week = block_end;
+        }
+        drop(req_tx); // worker's recv loop ends; scope joins it
+    });
+
+    let test_events = slice_of(first_test_week, total_weeks);
+    report.weekly = crate::evaluation::weekly_series(
+        &report.warnings,
+        test_events,
+        first_test_week,
+        total_weeks - 1,
+    );
+    report.overall = crate::evaluation::score(&report.warnings, test_events);
+    report.overlap = Some(stats);
+    report
+}
+
+/// [`run_driver`](crate::driver::run_driver) with retraining on a
+/// background worker and hot-swapped repositories.
+///
+/// With [`SwapMode::Synchronous`] the report is identical to the serial
+/// driver's (modulo the `overlap` stats); with [`SwapMode::Overlapped`]
+/// blocks start on the previous rules and swap when the worker delivers,
+/// trading bounded staleness for `max(predict, retrain)` wall-clock.
+pub fn run_overlapped_driver(
+    events: &[CleanEvent],
+    total_weeks: i64,
+    config: &DriverConfig,
+    swap: SwapMode,
+) -> DriverReport {
+    let meta = MetaLearner::new(config.framework);
+    let only = config.only_kind;
+    let train = move |req: &RetrainRequest| {
+        let slice = window(
+            events,
+            Timestamp(req.from * WEEK_MS),
+            Timestamp(req.to * WEEK_MS),
+        );
+        let outcome = match only {
+            None => meta.train(slice),
+            Some(kind) => meta.train_single_kind(slice, kind),
+        };
+        (outcome.repo, outcome.removed_by_reviser, ())
+    };
+    run_overlapped_engine(events, total_weeks, config, swap, train, |_: &()| {}, |_, _| {})
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FrameworkConfig;
+    use raslog::{Duration, EventTypeId};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    fn stable_log(weeks: i64) -> Vec<CleanEvent> {
+        let week_secs = WEEK_MS / 1000;
+        let mut events = Vec::new();
+        for w in 0..weeks {
+            for i in 0..12 {
+                let base = w * week_secs + i * 50_000;
+                events.push(ev(base, 1, false));
+                events.push(ev(base + 60, 2, false));
+                events.push(ev(base + 200, 100, true));
+            }
+        }
+        events
+    }
+
+    fn quick_config(policy: TrainingPolicy) -> DriverConfig {
+        DriverConfig {
+            framework: FrameworkConfig {
+                window: Duration::from_secs(300),
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            policy,
+            initial_training_weeks: 4,
+            only_kind: None,
+        }
+    }
+
+    #[test]
+    fn synchronous_swap_matches_serial_driver() {
+        let log = stable_log(12);
+        for policy in [
+            TrainingPolicy::Growing,
+            TrainingPolicy::SlidingWeeks(4),
+            TrainingPolicy::Static,
+        ] {
+            let config = quick_config(policy);
+            let serial = crate::driver::run_driver(&log, 12, &config);
+            let overlapped = run_overlapped_driver(&log, 12, &config, SwapMode::Synchronous);
+            assert_eq!(overlapped.warnings, serial.warnings, "{policy:?}");
+            assert_eq!(overlapped.churn, serial.churn, "{policy:?}");
+            assert_eq!(overlapped.weekly, serial.weekly, "{policy:?}");
+            assert_eq!(overlapped.overall, serial.overall, "{policy:?}");
+            let stats = overlapped.overlap.expect("overlap stats recorded");
+            assert_eq!(stats.swap_staleness_events, 0, "sync serves nothing stale");
+            assert_eq!(stats.swaps_mid_block + stats.swaps_at_boundary, 0);
+            assert_eq!(stats.retrainings, serial.churn.len());
+        }
+    }
+
+    #[test]
+    fn overlapped_swap_stays_accurate_and_records_staleness() {
+        let log = stable_log(12);
+        let config = quick_config(TrainingPolicy::SlidingWeeks(4));
+        let serial = crate::driver::run_driver(&log, 12, &config);
+        let overlapped =
+            run_overlapped_driver(&log, 12, &config, SwapMode::Overlapped { poll_every: 1 });
+
+        let stats = overlapped.overlap.expect("overlap stats recorded");
+        assert_eq!(stats.retrainings, overlapped.churn.len());
+        assert!(
+            stats.swap_staleness_events > 0,
+            "overlap must serve some events on old rules: {stats:?}"
+        );
+        // A stable pattern survives bounded staleness: the old rules
+        // predict it just as well, so accuracy stays near serial.
+        assert!(
+            (overlapped.overall.recall() - serial.overall.recall()).abs() < 0.05,
+            "recall {} vs serial {}",
+            overlapped.overall.recall(),
+            serial.overall.recall()
+        );
+        assert!(
+            (overlapped.overall.precision() - serial.overall.precision()).abs() < 0.05,
+            "precision {} vs serial {}",
+            overlapped.overall.precision(),
+            serial.overall.precision()
+        );
+        // Same retraining schedule, staleness or not.
+        let weeks: Vec<i64> = overlapped.churn.iter().map(|c| c.week).collect();
+        let serial_weeks: Vec<i64> = serial.churn.iter().map(|c| c.week).collect();
+        assert_eq!(weeks, serial_weeks);
+    }
+
+    #[test]
+    fn static_policy_never_posts_background_work() {
+        let log = stable_log(12);
+        let config = quick_config(TrainingPolicy::Static);
+        let report = run_overlapped_driver(&log, 12, &config, SwapMode::overlapped());
+        let stats = report.overlap.unwrap();
+        assert_eq!(report.churn.len(), 1, "only the initial training");
+        assert_eq!(stats.retrainings, 1);
+        assert_eq!(stats.swap_staleness_events, 0);
+    }
+}

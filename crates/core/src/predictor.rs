@@ -22,8 +22,91 @@ use crate::rules::{Rule, RuleId, RuleKind};
 use dml_obs::Histogram;
 use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
+
+/// Dense `small integer key → pending deadline` table (rule ids and
+/// event-type ids are small sequential integers, so a bounds-checked
+/// indexed load replaces a hash probe on the per-event hot path). Keys
+/// past the end of the table read as "no deadline"; `set` grows the
+/// table on demand, which keeps stale checkpoint ids harmless.
+#[derive(Debug, Clone, Default)]
+struct DeadlineTable {
+    slots: Vec<Option<Timestamp>>,
+}
+
+impl DeadlineTable {
+    fn with_capacity(n: usize) -> Self {
+        DeadlineTable {
+            slots: vec![None; n],
+        }
+    }
+
+    #[inline]
+    fn get(&self, key: usize) -> Option<Timestamp> {
+        self.slots.get(key).copied().flatten()
+    }
+
+    #[inline]
+    fn set(&mut self, key: usize, deadline: Timestamp) {
+        if key >= self.slots.len() {
+            self.slots.resize(key + 1, None);
+        }
+        self.slots[key] = Some(deadline);
+    }
+
+    #[inline]
+    fn clear(&mut self, key: usize) {
+        if let Some(slot) = self.slots.get_mut(key) {
+            *slot = None;
+        }
+    }
+
+    /// Occupied entries in ascending key order.
+    fn pairs(&self) -> Vec<(usize, Timestamp)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(k, d)| d.map(|d| (k, d)))
+            .collect()
+    }
+}
+
+/// Dense multiplicity table of the event types currently inside the
+/// sliding window (the `present` set of Algorithm 2).
+#[derive(Debug, Clone, Default)]
+struct TypeCounts {
+    counts: Vec<u32>,
+}
+
+impl TypeCounts {
+    fn with_capacity(n: usize) -> Self {
+        TypeCounts {
+            counts: vec![0; n],
+        }
+    }
+
+    #[inline]
+    fn contains(&self, ty: EventTypeId) -> bool {
+        self.counts.get(ty.0 as usize).is_some_and(|&c| c > 0)
+    }
+
+    #[inline]
+    fn add(&mut self, ty: EventTypeId) {
+        let slot = ty.0 as usize;
+        if slot >= self.counts.len() {
+            self.counts.resize(slot + 1, 0);
+        }
+        self.counts[slot] += 1;
+    }
+
+    #[inline]
+    fn remove(&mut self, ty: EventTypeId) {
+        if let Some(c) = self.counts.get_mut(ty.0 as usize) {
+            *c = c.saturating_sub(1);
+        }
+    }
+}
 
 /// How often the hot path samples its own match latency: every Nth
 /// [`Predictor::observe`] call pays for one `Instant` pair. At the
@@ -154,19 +237,20 @@ pub struct Predictor<'r> {
     window: Duration,
     /// Non-fatal events within the window (time, type).
     recent: VecDeque<(Timestamp, EventTypeId)>,
-    /// Multiplicity of each type currently in `recent`.
-    present: HashMap<EventTypeId, usize>,
+    /// Multiplicity of each type currently in `recent` (dense table).
+    present: TypeCounts,
     /// Fatal events within the window: `(time, midplane)`.
     recent_fatals: VecDeque<(Timestamp, Option<(u8, u8)>)>,
     /// Time of the most recent fatal event, if any.
     last_fatal: Option<Timestamp>,
-    /// Rule → deadline of its currently pending warning.
-    active: HashMap<RuleId, Timestamp>,
+    /// Rule → deadline of its currently pending warning (dense by rule
+    /// id — repository ids are sequential).
+    active: DeadlineTable,
     /// Predicted fatal type → deadline of the pending warning about it.
     /// Algorithm 2 warns that "failure fᵢ may occur within `W_P`": many
     /// association rules (antecedent subsets) predict the same failure, so
     /// warnings are deduplicated per predicted type, not only per rule.
-    active_targets: HashMap<EventTypeId, Timestamp>,
+    active_targets: DeadlineTable,
     /// One distribution warning per failure gap.
     dist_armed: bool,
     /// Precomputed (rule, trigger elapsed, expire elapsed).
@@ -201,11 +285,11 @@ impl<'r> Predictor<'r> {
             repo,
             window,
             recent: VecDeque::new(),
-            present: HashMap::new(),
+            present: TypeCounts::with_capacity(repo.type_table_len()),
             recent_fatals: VecDeque::new(),
             last_fatal: None,
-            active: HashMap::new(),
-            active_targets: HashMap::new(),
+            active: DeadlineTable::with_capacity(repo.len()),
+            active_targets: DeadlineTable::with_capacity(repo.type_table_len()),
             dist_armed: false,
             dist_thresholds,
             metrics,
@@ -242,16 +326,20 @@ impl<'r> Predictor<'r> {
             recent: self.recent.iter().copied().collect(),
             recent_fatals: self.recent_fatals.iter().copied().collect(),
             last_fatal: self.last_fatal,
-            active: {
-                let mut v: Vec<_> = self.active.iter().map(|(&k, &d)| (k, d)).collect();
-                v.sort();
-                v
-            },
-            active_targets: {
-                let mut v: Vec<_> = self.active_targets.iter().map(|(&k, &d)| (k, d)).collect();
-                v.sort();
-                v
-            },
+            // Dense-table iteration is already ascending by key, matching
+            // the sorted pair-vector format of earlier checkpoints.
+            active: self
+                .active
+                .pairs()
+                .into_iter()
+                .map(|(k, d)| (RuleId(k as u32), d))
+                .collect(),
+            active_targets: self
+                .active_targets
+                .pairs()
+                .into_iter()
+                .map(|(k, d)| (EventTypeId(k as u16), d))
+                .collect(),
             dist_armed: self.dist_armed,
         }
     }
@@ -270,13 +358,17 @@ impl<'r> Predictor<'r> {
     ) -> Self {
         let mut p = Predictor::new(repo, window);
         for &(_, ty) in &state.recent {
-            *p.present.entry(ty).or_insert(0) += 1;
+            p.present.add(ty);
         }
         p.recent = state.recent.into();
         p.recent_fatals = state.recent_fatals.into();
         p.last_fatal = state.last_fatal;
-        p.active = state.active.into_iter().collect();
-        p.active_targets = state.active_targets.into_iter().collect();
+        for (rule, deadline) in state.active {
+            p.active.set(rule.0 as usize, deadline);
+        }
+        for (ty, deadline) in state.active_targets {
+            p.active_targets.set(ty.0 as usize, deadline);
+        }
         p.dist_armed = state.dist_armed;
         p
     }
@@ -366,22 +458,19 @@ impl<'r> Predictor<'r> {
             self.dist_armed = true;
             for i in 0..self.dist_thresholds.len() {
                 let id = self.dist_thresholds[i].0;
-                self.active.remove(&id);
+                self.active.clear(id.0 as usize);
             }
         } else {
             // Insert first so single-item antecedents match their own
             // arrival.
             self.recent.push_back((ev.time, ev.type_id));
-            *self.present.entry(ev.type_id).or_insert(0) += 1;
+            self.present.add(ev.type_id);
 
             for &id in self.repo.rules_triggered_by(ev.type_id) {
                 let Rule::Association(a) = &self.repo.get(id).rule else {
                     unreachable!()
                 };
-                if a.antecedent
-                    .iter()
-                    .all(|item| self.present.contains_key(item))
-                {
+                if a.antecedent.iter().all(|&item| self.present.contains(item)) {
                     self.try_warn(
                         &mut warnings,
                         ev.time,
@@ -444,7 +533,7 @@ impl<'r> Predictor<'r> {
         predicted: Option<EventTypeId>,
         deadline: Timestamp,
     ) {
-        if let Some(&pending) = self.active.get(&rule) {
+        if let Some(pending) = self.active.get(rule.0 as usize) {
             if pending > now {
                 self.metrics.warnings_suppressed += 1;
                 return; // previous warning from this rule still pending
@@ -454,15 +543,15 @@ impl<'r> Predictor<'r> {
             self.metrics.warnings_expired += 1;
         }
         if let Some(target) = predicted {
-            if let Some(&pending) = self.active_targets.get(&target) {
+            if let Some(pending) = self.active_targets.get(target.0 as usize) {
                 if pending > now {
                     self.metrics.warnings_suppressed += 1;
                     return; // this failure is already being warned about
                 }
             }
-            self.active_targets.insert(target, deadline);
+            self.active_targets.set(target.0 as usize, deadline);
         }
-        self.active.insert(rule, deadline);
+        self.active.set(rule.0 as usize, deadline);
         warnings.push(Warning {
             issued_at: now,
             deadline,
@@ -477,12 +566,7 @@ impl<'r> Predictor<'r> {
         while let Some(&(t, ty)) = self.recent.front() {
             if t < cutoff {
                 self.recent.pop_front();
-                match self.present.get_mut(&ty) {
-                    Some(n) if *n > 1 => *n -= 1,
-                    _ => {
-                        self.present.remove(&ty);
-                    }
-                }
+                self.present.remove(ty);
             } else {
                 break;
             }

@@ -345,7 +345,7 @@ pub struct PipelineHealth {
 }
 
 impl PipelineHealth {
-    fn absorb(&mut self, outcome: &ResilientOutcome) {
+    pub(crate) fn absorb(&mut self, outcome: &ResilientOutcome) {
         self.retrainings += 1;
         for l in &outcome.learners {
             match l.outcome {
@@ -564,6 +564,88 @@ pub fn run_hardened_driver_with(
         report,
         health,
         rule_set_version,
+    }
+}
+
+/// [`run_overlapped_driver`](crate::overlap::run_overlapped_driver) with
+/// the resilient trainer: retraining runs on the background worker under
+/// the same catch-unwind + deadline + fallback semantics, health and the
+/// rule-set version are folded in at each hot swap, and checkpoints are
+/// written at every block boundary with the repository in force at that
+/// moment (after a mid-block swap, that is already the new rule set).
+pub fn run_overlapped_hardened_driver(
+    events: &[CleanEvent],
+    total_weeks: i64,
+    config: &HardenedConfig,
+    swap: crate::overlap::SwapMode,
+) -> HardenedReport {
+    let trainer = ResilientTrainer::new(config.driver.framework, config.resilience);
+    run_overlapped_hardened_driver_with(trainer, events, total_weeks, config, swap)
+}
+
+/// The overlapped hardened driver over a caller-supplied trainer (tests
+/// and the chaos harness inject failing learners here).
+pub fn run_overlapped_hardened_driver_with(
+    mut trainer: ResilientTrainer,
+    events: &[CleanEvent],
+    total_weeks: i64,
+    config: &HardenedConfig,
+    swap: crate::overlap::SwapMode,
+) -> HardenedReport {
+    use std::cell::{Cell, RefCell};
+
+    let dc = &config.driver;
+    let only = dc.only_kind;
+    // The engine's install/boundary hooks both run on the serving thread;
+    // interior mutability lets them share the accounting.
+    let health = RefCell::new(PipelineHealth::default());
+    let version = Cell::new(0u64);
+    let checkpoints = Cell::new(0usize);
+
+    // Worker side: the trainer moves onto the background thread. The
+    // repository travels as the payload proper; the rest of the outcome
+    // (learner health, reviser verdicts) rides along for `absorb`.
+    let train = move |req: &crate::overlap::RetrainRequest| {
+        let slice = window(
+            events,
+            Timestamp(req.from * WEEK_MS),
+            Timestamp(req.to * WEEK_MS),
+        );
+        let mut outcome = trainer.train_kind(slice, only);
+        let repo = std::mem::take(&mut outcome.repo);
+        let removed = outcome.removed_by_reviser;
+        (repo, removed, outcome)
+    };
+    let on_install = |extra: &ResilientOutcome| {
+        health.borrow_mut().absorb(extra);
+        version.set(version.get() + 1);
+    };
+    let on_boundary = |repo: &KnowledgeRepository, state: crate::predictor::PredictorState| {
+        if let Some(path) = &config.checkpoint_path {
+            let cp = Checkpoint::new(version.get(), repo.clone(), state);
+            match save_checkpoint_file(&cp, path) {
+                Ok(()) => checkpoints.set(checkpoints.get() + 1),
+                Err(e) => dml_obs::warn!("checkpoint write failed (continuing): {e}"),
+            }
+        }
+    };
+
+    let report = crate::overlap::run_overlapped_engine(
+        events,
+        total_weeks,
+        dc,
+        swap,
+        train,
+        on_install,
+        on_boundary,
+    );
+
+    let mut health = health.into_inner();
+    health.checkpoints_written = checkpoints.get();
+    HardenedReport {
+        report,
+        health,
+        rule_set_version: version.get(),
     }
 }
 
@@ -830,6 +912,77 @@ mod tests {
             "stale rules keep predicting a stable pattern: {:?}",
             hard.report.overall
         );
+    }
+
+    #[test]
+    fn overlapped_hardened_sync_matches_serial_hardened() {
+        let log = stable_log(12);
+        let config = quick_config();
+        let serial = run_hardened_driver(&log, 12, &config);
+        let overlapped = run_overlapped_hardened_driver(
+            &log,
+            12,
+            &config,
+            crate::overlap::SwapMode::Synchronous,
+        );
+        assert_eq!(overlapped.report.warnings, serial.report.warnings);
+        assert_eq!(overlapped.report.churn, serial.report.churn);
+        assert_eq!(overlapped.rule_set_version, serial.rule_set_version);
+        assert_eq!(overlapped.health.retrainings, serial.health.retrainings);
+        assert_eq!(overlapped.health.fresh, serial.health.fresh);
+        let stats = overlapped.report.overlap.unwrap();
+        assert_eq!(stats.swap_staleness_events, 0);
+    }
+
+    #[test]
+    fn overlapped_hardened_isolates_learner_failures() {
+        let log = stable_log(12);
+        let config = quick_config();
+        let trainer = ResilientTrainer::with_learners(
+            config.driver.framework,
+            vec![Box::new(AssociationLearner), Box::new(FlakyLearner::new(2))],
+            ResilienceConfig {
+                max_stale_retrains: 100,
+                ..ResilienceConfig::default()
+            },
+        );
+        let hard = run_overlapped_hardened_driver_with(
+            trainer,
+            &log,
+            12,
+            &config,
+            crate::overlap::SwapMode::Overlapped { poll_every: 8 },
+        );
+        assert!(hard.health.fallbacks > 0, "{}", hard.health);
+        assert!(
+            hard.report.overall.recall() > 0.9,
+            "stable pattern survives background fallbacks: {:?}",
+            hard.report.overall
+        );
+        let stats = hard.report.overlap.unwrap();
+        assert!(stats.swap_staleness_events > 0, "{stats:?}");
+        assert_eq!(hard.rule_set_version, hard.health.retrainings as u64);
+    }
+
+    #[test]
+    fn overlapped_hardened_writes_loadable_checkpoints() {
+        let log = stable_log(12);
+        let path = std::env::temp_dir().join("dml_overlapped_checkpoint.json");
+        let config = HardenedConfig {
+            checkpoint_path: Some(path.clone()),
+            ..quick_config()
+        };
+        let hard = run_overlapped_hardened_driver(
+            &log,
+            12,
+            &config,
+            crate::overlap::SwapMode::overlapped(),
+        );
+        assert!(hard.health.checkpoints_written > 0);
+        let cp = crate::persist::load_checkpoint_file(&path).unwrap();
+        assert!(cp.rule_set_version <= hard.rule_set_version);
+        assert!(!cp.predictor.recent.is_empty(), "window state captured");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -15,7 +15,7 @@ pub fn experiments_cmd(opts: &Opts) {
             dml_obs::error!("--weeks must be >= 3 for the instrumented run");
             std::process::exit(2);
         }
-        let run = telemetry::run_instrumented(preset, opts.seed);
+        let run = telemetry::run_instrumented_with(preset, opts.seed, opts.overlap);
         println!(
             "{}: precision {:.3} recall {:.3}, {} warnings, {} retrainings{}",
             run.name,
@@ -29,6 +29,17 @@ pub fn experiments_cmd(opts: &Opts) {
                 " (degraded)"
             },
         );
+        if let Some(stats) = &run.report.report.overlap {
+            println!(
+                "  overlap: retrain wall {:.0} ms, {:.0} ms hidden behind serving, \
+{} stale-serve events ({} mid-block / {} boundary swaps)",
+                stats.retrain_wall_ms,
+                stats.retrain_overlap_ms(),
+                stats.swap_staleness_events,
+                stats.swaps_mid_block,
+                stats.swaps_at_boundary,
+            );
+        }
     }
     let snap = telemetry::snapshot();
     match telemetry::validate(&snap) {
@@ -56,7 +67,8 @@ pub fn health(opts: &Opts) {
         None => {
             let weeks = opts.weeks.unwrap_or(8);
             for preset in opts.presets(0.05) {
-                let _ = telemetry::run_instrumented(preset.with_weeks(weeks), opts.seed);
+                let _ =
+                    telemetry::run_instrumented_with(preset.with_weeks(weeks), opts.seed, opts.overlap);
             }
             telemetry::snapshot()
         }

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE]
-//!                    [--chaos] [--min-recall T]
+//!                    [--chaos] [--min-recall T] [--overlap on|off]
 //!
 //! experiments: table2 table3 table4 table5
 //!              fig4 fig5 fig7 fig8 fig9 fig10 fig11 fig12 fig13
@@ -37,6 +37,9 @@ pub struct Opts {
     pub quiet: bool,
     /// `health`: render a previously dumped snapshot instead of running.
     pub from: Option<String>,
+    /// Serve with the overlapped driver (background retraining, hot
+    /// swaps). Off by default for exact paper reproduction.
+    pub overlap: bool,
 }
 
 impl Opts {
@@ -51,6 +54,7 @@ impl Opts {
             metrics_json: None,
             quiet: false,
             from: None,
+            overlap: false,
         };
         fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
             *i += 1;
@@ -77,6 +81,15 @@ impl Opts {
                     opts.metrics_json = Some(value(args, &mut i, "--metrics-json")?.to_string())
                 }
                 "--from" => opts.from = Some(value(args, &mut i, "--from")?.to_string()),
+                "--overlap" => {
+                    opts.overlap = match value(args, &mut i, "--overlap")? {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(format!("--overlap: expected on|off, got `{other}`"))
+                        }
+                    }
+                }
                 "--quiet" => opts.quiet = true,
                 "--chaos" => opts.chaos = true,
                 "--min-recall" => {
@@ -126,7 +139,7 @@ impl Opts {
 }
 
 const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE] \
-[--metrics-json FILE] [--quiet] [--chaos] [--min-recall T]\n\
+[--metrics-json FILE] [--quiet] [--chaos] [--min-recall T] [--overlap on|off]\n\
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
 ext-adaptive ext-location robustness chaos experiments smoke all\n\
 telemetry:   health [--from SNAPSHOT.json]  renders the pipeline dashboard";
@@ -151,6 +164,7 @@ fn main() {
     if opts.quiet {
         dml_obs::log::set_level(dml_obs::log::Level::Error);
     }
+    runs::set_overlap_mode(opts.overlap);
     match cmd.as_str() {
         "table2" => exps::tables::table2(&opts),
         "table3" => exps::tables::table3(&opts),

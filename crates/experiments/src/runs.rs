@@ -1,8 +1,36 @@
 //! Shared driver-run helpers for the figure experiments.
 
 use crate::data::Dataset;
-use dml_core::{run_driver, DriverConfig, DriverReport, FrameworkConfig, RuleKind, TrainingPolicy};
+use dml_core::{
+    run_driver, run_overlapped_driver, DriverConfig, DriverReport, FrameworkConfig, RuleKind,
+    SwapMode, TrainingPolicy,
+};
 use raslog::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Whether run helpers use the overlapped driver (`repro ... --overlap on`).
+/// Off by default: exact paper reproduction retrains inline.
+static OVERLAP: AtomicBool = AtomicBool::new(false);
+
+/// Routes every subsequent run helper through the overlapped driver
+/// (background retraining, hot-swapped repositories) instead of the
+/// serial one.
+pub fn set_overlap_mode(on: bool) {
+    OVERLAP.store(on, Ordering::Relaxed);
+}
+
+/// Whether overlapped serving is currently selected.
+pub fn overlap_mode() -> bool {
+    OVERLAP.load(Ordering::Relaxed)
+}
+
+fn drive(ds: &Dataset, config: &DriverConfig) -> DriverReport {
+    if overlap_mode() {
+        run_overlapped_driver(&ds.clean, ds.weeks, config, SwapMode::overlapped())
+    } else {
+        run_driver(&ds.clean, ds.weeks, config)
+    }
+}
 
 /// Publishes a finished run into the global telemetry registry, so any
 /// figure command dumped with `--metrics-json` carries driver and
@@ -36,7 +64,7 @@ pub fn run_policy(ds: &Dataset, policy: TrainingPolicy) -> DriverReport {
         policy,
         ..default_driver_config()
     };
-    let report = run_driver(&ds.clean, ds.weeks, &config);
+    let report = drive(ds, &config);
     publish("dynamic", ds, &report);
     report
 }
@@ -48,7 +76,7 @@ pub fn run_static_single(ds: &Dataset, kind: RuleKind) -> DriverReport {
         only_kind: Some(kind),
         ..default_driver_config()
     };
-    let report = run_driver(&ds.clean, ds.weeks, &config);
+    let report = drive(ds, &config);
     publish("static-single", ds, &report);
     report
 }
@@ -59,7 +87,7 @@ pub fn run_static_meta(ds: &Dataset) -> DriverReport {
         policy: TrainingPolicy::Static,
         ..default_driver_config()
     };
-    let report = run_driver(&ds.clean, ds.weeks, &config);
+    let report = drive(ds, &config);
     publish("static-meta", ds, &report);
     report
 }
@@ -69,7 +97,7 @@ pub fn run_static_meta(ds: &Dataset) -> DriverReport {
 pub fn run_with_retrain_weeks(ds: &Dataset, wr: i64) -> DriverReport {
     let mut config = default_driver_config();
     config.framework.retrain_weeks = wr;
-    let report = run_driver(&ds.clean, ds.weeks, &config);
+    let report = drive(ds, &config);
     publish("retrain-weeks", ds, &report);
     report
 }
@@ -79,7 +107,7 @@ pub fn run_with_retrain_weeks(ds: &Dataset, wr: i64) -> DriverReport {
 pub fn run_with_window(ds: &Dataset, window: Duration) -> DriverReport {
     let mut config = default_driver_config();
     config.framework.window = window;
-    let report = run_driver(&ds.clean, ds.weeks, &config);
+    let report = drive(ds, &config);
     publish("window", ds, &report);
     report
 }
@@ -88,7 +116,7 @@ pub fn run_with_window(ds: &Dataset, window: Duration) -> DriverReport {
 pub fn run_with_reviser(ds: &Dataset, use_reviser: bool) -> DriverReport {
     let mut config = default_driver_config();
     config.framework.use_reviser = use_reviser;
-    let report = run_driver(&ds.clean, ds.weeks, &config);
+    let report = drive(ds, &config);
     publish("reviser", ds, &report);
     report
 }

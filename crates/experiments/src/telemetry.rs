@@ -9,8 +9,8 @@
 use crate::data::build_corrupted_dataset;
 use bgl_sim::{CorruptionPlan, SystemPreset};
 use dml_core::{
-    run_hardened_driver, AccuracyTracker, DriverConfig, FrameworkConfig, HardenedConfig,
-    HardenedReport, TrainingPolicy,
+    run_hardened_driver, run_overlapped_hardened_driver, AccuracyTracker, DriverConfig,
+    FrameworkConfig, HardenedConfig, HardenedReport, SwapMode, TrainingPolicy,
 };
 use dml_obs::{MetricSource, MetricsSnapshot, Registry, SpanTimer};
 use raslog::{Duration, Timestamp, WEEK_MS};
@@ -100,6 +100,13 @@ pub struct InstrumentedRun {
 /// replayed through the streaming accuracy tracker. Requires at least
 /// three weeks of log.
 pub fn run_instrumented(preset: SystemPreset, seed: u64) -> InstrumentedRun {
+    run_instrumented_with(preset, seed, false)
+}
+
+/// [`run_instrumented`] with an explicit serving mode: `overlap = true`
+/// retrains in a background worker and hot-swaps rule repositories
+/// (`repro ... --overlap on`); `false` is the paper's serial schedule.
+pub fn run_instrumented_with(preset: SystemPreset, seed: u64, overlap: bool) -> InstrumentedRun {
     let weeks = preset.weeks;
     assert!(weeks >= 3, "instrumented run needs >= 3 weeks, got {weeks}");
     let span = SpanTimer::start("driver.wall_ms");
@@ -129,7 +136,11 @@ pub fn run_instrumented(preset: SystemPreset, seed: u64) -> InstrumentedRun {
         },
         ..HardenedConfig::default()
     };
-    let mut hardened = run_hardened_driver(&ds.clean, ds.weeks, &config);
+    let mut hardened = if overlap {
+        run_overlapped_hardened_driver(&ds.clean, ds.weeks, &config, SwapMode::overlapped())
+    } else {
+        run_hardened_driver(&ds.clean, ds.weeks, &config)
+    };
     hardened.health.ingest = ingest;
     export(&hardened);
 
@@ -246,6 +257,16 @@ pub fn render_health(snap: &MetricsSnapshot) -> String {
         c("driver.warnings"),
         c("driver.test_weeks"),
         g("driver.rule_set_version"),
+    ));
+    out.push_str(&format!(
+        "  overlap     retrain wall {:.0} ms ({:.0} ms overlapped with serving, {:.0} ms blocking), \
+{} stale-serve events, {} mid-block / {} boundary swaps\n",
+        g("driver.retrain_wall_ms"),
+        g("driver.retrain_overlap_ms"),
+        g("driver.blocked_wait_ms"),
+        c("driver.swap_staleness_events"),
+        c("driver.swaps_mid_block"),
+        c("driver.swaps_at_boundary"),
     ));
     out.push_str(&format!(
         "  accuracy    rolling precision {:.3} recall {:.3} ({} warnings, {} fatals in horizon)\n",
