@@ -32,7 +32,9 @@ pub fn create(path: &str) -> Result<BufWriter<std::fs::File>, CliError> {
 }
 
 /// If `--metrics-json FILE` was given, dumps `registry` as a versioned
-/// snapshot (the same schema `repro --metrics-json` writes).
+/// snapshot (the same schema `repro --metrics-json` writes); if
+/// `--metrics-openmetrics FILE`, as OpenMetrics/Prometheus exposition
+/// text.
 pub fn write_metrics_if_asked(
     args: &crate::args::Args,
     registry: &dml_obs::Registry,
@@ -43,6 +45,11 @@ pub fn write_metrics_if_asked(
             .write_file(path)
             .map_err(|e| format!("write {path}: {e}"))?;
         dml_obs::info!("metrics snapshot → {path}");
+    }
+    if let Some(path) = args.optional("metrics-openmetrics") {
+        let text = dml_obs::render_openmetrics(&registry.snapshot());
+        std::fs::write(path, text).map_err(|e| format!("write {path}: {e}"))?;
+        dml_obs::info!("OpenMetrics exposition → {path}");
     }
     Ok(())
 }

@@ -8,7 +8,8 @@ use raslog::{Duration, Timestamp, WEEK_MS};
 use std::io::Write;
 
 /// `--in CLEAN --rules RULES.json --out WARNINGS.jsonl
-///  [--from-week A] [--window SECS] [--metrics-json FILE]`
+///  [--from-week A] [--window SECS] [--metrics-json FILE]
+///  [--metrics-openmetrics FILE]`
 pub fn run(args: &Args) -> Result<(), CliError> {
     let input = args.required("in")?;
     let rules = args.required("rules")?;

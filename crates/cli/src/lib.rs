@@ -47,5 +47,6 @@ pub fn usage() -> &'static str {
     "usage: dml <generate|stats|preprocess|train|predict|evaluate> [--flag value]... [--quiet]\n\
      run `dml <command>` with missing flags to see what it needs\n\
      --quiet (or DML_LOG=error) silences progress output; \
-     --metrics-json FILE dumps stage metrics where supported"
+     --metrics-json FILE dumps stage metrics where supported \
+     (--metrics-openmetrics FILE for Prometheus exposition text)"
 }

@@ -177,6 +177,9 @@ pub fn run_driver(events: &[CleanEvent], total_weeks: i64, config: &DriverConfig
 
     let first_test_week = config.initial_training_weeks;
     let mut outcome = train(0, first_test_week);
+    // Repositories are numbered by training count (1 = initial training),
+    // so warnings can name the exact rule set that issued them.
+    outcome.repo.set_version(1);
     let mut report = DriverReport::default();
     report.churn.push(ChurnRecord {
         week: first_test_week,
@@ -217,8 +220,9 @@ pub fn run_driver(events: &[CleanEvent], total_weeks: i64, config: &DriverConfig
                 TrainingPolicy::SlidingWeeks(n) => ((block_end - n).max(0), block_end),
                 TrainingPolicy::Growing => (0, block_end),
             };
-            let next = train(from, to);
+            let mut next = train(from, to);
             let diff = KnowledgeRepository::churn(&outcome.repo, &next.repo);
+            next.repo.set_version(report.churn.len() as u64 + 1);
             report.churn.push(ChurnRecord {
                 week: block_end,
                 unchanged: diff.unchanged,
@@ -244,7 +248,17 @@ pub fn run_driver(events: &[CleanEvent], total_weeks: i64, config: &DriverConfig
         total_weeks - 1,
     );
     report.overall = crate::evaluation::score(&report.warnings, test_events);
+    record_lead_times(&mut report, test_events);
     report
+}
+
+/// Fills the report's lead-time histogram from its scored warnings. All
+/// drivers call this after scoring, so `predict.lead_time_ms` is
+/// measured identically in serial, hardened and overlapped runs.
+pub(crate) fn record_lead_times(report: &mut DriverReport, test_events: &[CleanEvent]) {
+    for lead in crate::evaluation::lead_times_ms(&report.warnings, test_events) {
+        report.predictor_metrics.lead_time_ms.record(lead as f64);
+    }
 }
 
 #[cfg(test)]
@@ -392,5 +406,46 @@ mod tests {
     #[should_panic(expected = "room for testing")]
     fn initial_window_must_leave_test_weeks() {
         run_driver(&stable_log(4), 4, &quick_config(TrainingPolicy::Growing));
+    }
+
+    #[test]
+    fn warnings_carry_repo_versions_matching_the_churn_trace() {
+        let report = run_driver(
+            &stable_log(12),
+            12,
+            &quick_config(TrainingPolicy::SlidingWeeks(4)),
+        );
+        assert!(!report.warnings.is_empty());
+        let trainings = report.churn.len() as u64;
+        for w in &report.warnings {
+            assert!(w.id.repo_version >= 1 && w.id.repo_version <= trainings);
+            assert_eq!(w.id.repo_version, w.provenance.repo_version);
+            assert_eq!(w.id, crate::predictor::WarningId::new(
+                w.provenance.repo_version,
+                w.rule,
+                w.issued_at,
+            ));
+        }
+        // Warnings from a later block carry a later version.
+        let first = report.warnings.first().unwrap();
+        let last = report.warnings.last().unwrap();
+        assert_eq!(first.id.repo_version, 1);
+        assert!(last.id.repo_version > 1, "retrained repos get new versions");
+        // Ids are unique across the run.
+        let mut ids: Vec<_> = report.warnings.iter().map(|w| w.id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), report.warnings.len());
+    }
+
+    #[test]
+    fn lead_time_histogram_measures_the_planted_cascade() {
+        let report = run_driver(&stable_log(12), 12, &quick_config(TrainingPolicy::Growing));
+        let h = &report.predictor_metrics.lead_time_ms;
+        assert!(h.count() > 0, "hits must record lead times");
+        // The cascade plants the fatal 140–200 s after the antecedent
+        // completes, so every lead falls inside the 300 s window.
+        assert!(h.min() > 0.0);
+        assert!(h.max() <= 300_000.0, "max lead {}", h.max());
     }
 }

@@ -122,6 +122,22 @@ pub fn coverage_counts(warnings: &[Warning], fatal_times: &[Timestamp]) -> Vec<b
         .collect()
 }
 
+/// Lead times in milliseconds (warning issue → first covered fatal) for
+/// each warning that hit — the paper's headline "prediction window"
+/// quantity, measured instead of assumed. Deterministic in stream time,
+/// so serial and synchronous-overlap runs report identical values.
+pub fn lead_times_ms(warnings: &[Warning], events: &[CleanEvent]) -> Vec<i64> {
+    let fatals = fatal_times(events, None);
+    warnings
+        .iter()
+        .filter_map(|w| {
+            let idx = fatals.partition_point(|&t| t <= w.issued_at);
+            let t = *fatals.get(idx)?;
+            (t <= w.deadline).then(|| (t - w.issued_at).millis())
+        })
+        .collect()
+}
+
 /// Scores warnings against the failures in `events`. When `target` is set,
 /// only failures of that type count toward coverage (per-rule revision of
 /// association rules); warning hits still count any failure.
@@ -217,11 +233,13 @@ mod tests {
 
     fn warn(issued: i64, deadline: i64) -> Warning {
         Warning {
+            id: Default::default(),
             issued_at: Timestamp::from_secs(issued),
             deadline: Timestamp::from_secs(deadline),
             rule: RuleId(0),
             kind: RuleKind::Association,
             predicted: None,
+            provenance: Default::default(),
         }
     }
 
@@ -310,6 +328,17 @@ mod tests {
             "fatal counted in week 1"
         );
         assert_eq!(series[1].accuracy.true_warnings, 0);
+    }
+
+    #[test]
+    fn lead_times_measure_issue_to_first_covered_fatal() {
+        let warnings = vec![warn(0, 100), warn(200, 250), warn(260, 400)];
+        let events = vec![fatal(40, 1), fatal(300, 1)];
+        // warn(0,100) hits the fatal at 40 → 40 s lead; warn(200,250)
+        // misses; warn(260,400) hits the fatal at 300 → 40 s lead.
+        assert_eq!(lead_times_ms(&warnings, &events), vec![40_000, 40_000]);
+        assert!(lead_times_ms(&[], &events).is_empty());
+        assert!(lead_times_ms(&warnings, &[]).is_empty());
     }
 
     #[test]

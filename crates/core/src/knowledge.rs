@@ -79,6 +79,11 @@ impl TypeIndex {
 #[serde(from = "RepoWire", into = "RepoWire")]
 pub struct KnowledgeRepository {
     rules: Vec<StoredRule>,
+    /// Monotonic rule-set version stamped by the drivers (the number of
+    /// trainings that produced this repository; 0 = unstamped). Warnings
+    /// carry it as provenance, so a repository hot-swapped mid-run can
+    /// still be matched to the warnings it issued.
+    version: u64,
     /// Association rules indexed by antecedent item (dense `E-List`).
     e_list: TypeIndex,
     /// Association rules indexed by predicted fatal type (dense `F-List`).
@@ -91,26 +96,34 @@ pub struct KnowledgeRepository {
     distribution: Vec<RuleId>,
 }
 
-/// The serialized shape of a repository: rules only.
+/// The serialized shape of a repository: rules plus version stamp.
 #[derive(Serialize, Deserialize)]
 struct RepoWire {
     rules: Vec<StoredRule>,
+    /// Absent in repositories persisted before versioning → 0.
+    #[serde(default)]
+    version: u64,
 }
 
 impl From<RepoWire> for KnowledgeRepository {
     fn from(wire: RepoWire) -> Self {
-        KnowledgeRepository::with_counts(
+        let mut repo = KnowledgeRepository::with_counts(
             wire.rules
                 .into_iter()
                 .map(|r| (r.rule, r.training_counts))
                 .collect(),
-        )
+        );
+        repo.version = wire.version;
+        repo
     }
 }
 
 impl From<KnowledgeRepository> for RepoWire {
     fn from(repo: KnowledgeRepository) -> Self {
-        RepoWire { rules: repo.rules }
+        RepoWire {
+            rules: repo.rules,
+            version: repo.version,
+        }
     }
 }
 
@@ -168,6 +181,17 @@ impl KnowledgeRepository {
                 Rule::Location(l) => l.k,
                 _ => usize::MAX,
             });
+    }
+
+    /// The rule-set version stamped by the driver (0 = unstamped).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Stamps the rule-set version. The drivers number repositories by
+    /// training count, so versions match the churn-trace index.
+    pub fn set_version(&mut self, version: u64) {
+        self.version = version;
     }
 
     /// The stored rule for `id`.
@@ -325,6 +349,7 @@ mod tests {
         let json = serde_json::to_string(&repo).unwrap();
         let back: KnowledgeRepository = serde_json::from_str(&json).unwrap();
         assert_eq!(back.rules(), repo.rules());
+        assert_eq!(back.version(), repo.version());
         assert_eq!(
             back.rules_triggered_by(EventTypeId(2)),
             repo.rules_triggered_by(EventTypeId(2))
@@ -372,6 +397,19 @@ mod tests {
         let churn = KnowledgeRepository::churn(&old, &new);
         assert_eq!(churn.unchanged, 1);
         assert_eq!(churn.added, 0);
+    }
+
+    #[test]
+    fn version_round_trips_and_defaults_to_zero() {
+        let mut repo = KnowledgeRepository::new(vec![stat(2)]);
+        assert_eq!(repo.version(), 0);
+        repo.set_version(5);
+        let json = serde_json::to_string(&repo).unwrap();
+        let back: KnowledgeRepository = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.version(), 5);
+        // Pre-versioning wire format (no `version` key) still loads.
+        let legacy: KnowledgeRepository = serde_json::from_str(r#"{"rules":[]}"#).unwrap();
+        assert_eq!(legacy.version(), 0);
     }
 
     #[test]

@@ -81,25 +81,27 @@ pub use adaptive::{next_window, run_adaptive_driver, AdaptiveReport, AdaptiveWin
 pub use config::FrameworkConfig;
 pub use driver::{run_driver, ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
 pub use evaluation::{
-    coverage_counts, run_predictor, score, weekly_series, Accuracy, WeekAccuracy,
+    coverage_counts, lead_times_ms, run_predictor, score, weekly_series, Accuracy, WeekAccuracy,
 };
 pub use knowledge::{KnowledgeRepository, RuleChurn, StoredRule};
 pub use learners::{
     AssociationLearner, BaseLearner, DistributionLearner, LocationLearner, StatisticalLearner,
 };
 pub use meta::{MetaLearner, TrainingOutcome};
-pub use overlap::{run_overlapped_driver, OverlapStats, RetrainRequest, SwapMode};
+pub use overlap::{run_overlapped_driver, OverlapStats, RetrainRequest, SwapContext, SwapMode};
 pub use persist::{
     load_checkpoint, load_checkpoint_file, load_repository, load_repository_file, save_checkpoint,
     save_checkpoint_file, save_repository, save_repository_file, Checkpoint, PersistError,
 };
 pub use predictor::{
-    Predictor, PredictorMetrics, PredictorState, Warning, DEFAULT_LATENCY_SAMPLE_EVERY,
+    Precursor, Predictor, PredictorMetrics, PredictorState, Provenance, Warning, WarningId,
+    DEFAULT_LATENCY_SAMPLE_EVERY, MAX_PRECURSORS,
 };
 pub use resilience::{
     run_hardened_driver, run_hardened_driver_with, run_overlapped_hardened_driver,
     run_overlapped_hardened_driver_with, HardenedConfig, HardenedReport, IngestHealth,
     LearnerHealth, LearnerOutcome, PipelineHealth, ResilienceConfig, ResilientTrainer,
+    SharedFlightRecorder,
 };
 pub use rules::{Rule, RuleId, RuleIdentity, RuleKind};
-pub use tracker::AccuracyTracker;
+pub use tracker::{AccuracyTracker, WarningOutcome};

@@ -28,7 +28,7 @@
 use crate::driver::{ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
 use crate::knowledge::KnowledgeRepository;
 use crate::meta::MetaLearner;
-use crate::predictor::{Predictor, PredictorState};
+use crate::predictor::{Predictor, PredictorState, Warning};
 use crossbeam::channel::{bounded, Receiver, TryRecvError};
 use raslog::store::window;
 use raslog::{CleanEvent, Timestamp, WEEK_MS};
@@ -101,6 +101,20 @@ pub struct RetrainRequest {
     pub to: i64,
 }
 
+/// Where in the serving schedule a repository install landed — handed to
+/// the engine's install hook so callers can write swap records with the
+/// right context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwapContext {
+    /// The block-boundary week the retraining was scheduled for.
+    pub week: i64,
+    /// Version stamped on the installed repository.
+    pub repo_version: u64,
+    /// `true` when the install interrupted a block in flight (a
+    /// mid-block hot swap), `false` at boundaries and in sync mode.
+    pub mid_block: bool,
+}
+
 /// What the worker sends back.
 pub(crate) struct RetrainDone<E> {
     week: i64,
@@ -124,9 +138,10 @@ fn recv_result<E>(rx: &Receiver<RetrainDone<E>>, stats: &mut OverlapStats) -> Re
 fn install<E>(
     report: &mut DriverReport,
     repo: &mut Arc<KnowledgeRepository>,
-    done: RetrainDone<E>,
+    mut done: RetrainDone<E>,
     stats: &mut OverlapStats,
-    on_install: &mut impl FnMut(&E),
+    mid_block: bool,
+    on_install: &mut impl FnMut(&KnowledgeRepository, SwapContext, &E),
 ) {
     stats.retrainings += 1;
     stats.retrain_wall_ms += done.train_wall.as_secs_f64() * 1000.0;
@@ -139,7 +154,19 @@ fn install<E>(
         removed_by_reviser: done.removed_by_reviser,
         total: done.repo.len(),
     });
-    on_install(&done.extra);
+    // Same numbering as the serial driver: version = trainings so far,
+    // so synchronous-overlap warnings carry identical provenance.
+    let version = report.churn.len() as u64;
+    done.repo.set_version(version);
+    on_install(
+        &done.repo,
+        SwapContext {
+            week: done.week,
+            repo_version: version,
+            mid_block,
+        },
+        &done.extra,
+    );
     *repo = Arc::new(done.repo);
 }
 
@@ -147,18 +174,21 @@ fn install<E>(
 ///
 /// `train` runs on the worker thread (it owns the trainer); `on_install`
 /// runs on the serving thread when a retraining is folded in (health /
-/// version accounting); `on_boundary` runs after each block with the
-/// repository currently in force and the predictor's state (checkpoint
-/// writes). The serial schedule — initial training, warm-up with the
-/// preceding week, churn per boundary, weekly scoring — is exactly
-/// [`run_driver`](crate::driver::run_driver)'s.
+/// version accounting, swap records — it sees the installed repository
+/// and a [`SwapContext`]); `on_warnings` runs after each served chunk
+/// with the warnings it produced (flight recording); `on_boundary` runs
+/// after each block with the repository currently in force and the
+/// predictor's state (checkpoint writes). The serial schedule — initial
+/// training, warm-up with the preceding week, churn per boundary, weekly
+/// scoring — is exactly [`run_driver`](crate::driver::run_driver)'s.
 pub(crate) fn run_overlapped_engine<E, T>(
     events: &[CleanEvent],
     total_weeks: i64,
     dc: &DriverConfig,
     swap: SwapMode,
     train: T,
-    mut on_install: impl FnMut(&E),
+    mut on_install: impl FnMut(&KnowledgeRepository, SwapContext, &E),
+    mut on_warnings: impl FnMut(&[Warning]),
     mut on_boundary: impl FnMut(&KnowledgeRepository, PredictorState),
 ) -> DriverReport
 where
@@ -216,7 +246,7 @@ where
             })
             .expect("retraining worker died");
         let done = recv_result(&res_rx, &mut stats);
-        install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+        install(&mut report, &mut repo, done, &mut stats, false, &mut on_install);
 
         let mut pending = false;
         let mut week = first_test_week;
@@ -259,7 +289,9 @@ where
                     // overlapped schedule diverge from "serve, then check".
                     while served < block.len() {
                         let upto = (served + poll_every).min(block.len());
+                        let before = report.warnings.len();
                         report.warnings.extend(predictor.observe_all(&block[served..upto]));
+                        on_warnings(&report.warnings[before..]);
                         served = upto;
                         match res_rx.try_recv() {
                             Ok(done) => {
@@ -273,7 +305,9 @@ where
                         }
                     }
                 } else {
+                    let before = report.warnings.len();
                     report.warnings.extend(predictor.observe_all(&block[served..]));
+                    on_warnings(&report.warnings[before..]);
                     served = block.len();
                 }
 
@@ -285,7 +319,7 @@ where
                         report.predictor_metrics.merge(predictor.metrics());
                         let state = predictor.snapshot();
                         drop(predictor);
-                        install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+                        install(&mut report, &mut repo, done, &mut stats, true, &mut on_install);
                         carry = Some(state);
                         // Next epoch restores onto the fresh rules.
                     }
@@ -298,7 +332,7 @@ where
                             pending = false;
                             stats.swaps_at_boundary += 1;
                             stats.swap_staleness_events += block.len() as u64;
-                            install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+                            install(&mut report, &mut repo, done, &mut stats, false, &mut on_install);
                         }
                         report.predictor_metrics.merge(predictor.metrics());
                         on_boundary(&repo, predictor.snapshot());
@@ -324,7 +358,7 @@ where
                 match swap {
                     SwapMode::Synchronous => {
                         let done = recv_result(&res_rx, &mut stats);
-                        install(&mut report, &mut repo, done, &mut stats, &mut on_install);
+                        install(&mut report, &mut repo, done, &mut stats, false, &mut on_install);
                     }
                     SwapMode::Overlapped { .. } => pending = true,
                 }
@@ -342,6 +376,7 @@ where
         total_weeks - 1,
     );
     report.overall = crate::evaluation::score(&report.warnings, test_events);
+    crate::driver::record_lead_times(&mut report, test_events);
     report.overlap = Some(stats);
     report
 }
@@ -373,7 +408,16 @@ pub fn run_overlapped_driver(
         };
         (outcome.repo, outcome.removed_by_reviser, ())
     };
-    run_overlapped_engine(events, total_weeks, config, swap, train, |_: &()| {}, |_, _| {})
+    run_overlapped_engine(
+        events,
+        total_weeks,
+        config,
+        swap,
+        train,
+        |_, _, _: &()| {},
+        |_| {},
+        |_, _| {},
+    )
 }
 
 #[cfg(test)]
@@ -424,7 +468,14 @@ mod tests {
             let config = quick_config(policy);
             let serial = crate::driver::run_driver(&log, 12, &config);
             let overlapped = run_overlapped_driver(&log, 12, &config, SwapMode::Synchronous);
+            // Full-struct equality covers ids and provenance: the
+            // synchronous overlap must attribute every warning to the
+            // same rule, repository version and precursor evidence.
             assert_eq!(overlapped.warnings, serial.warnings, "{policy:?}");
+            for (o, s) in overlapped.warnings.iter().zip(&serial.warnings) {
+                assert_eq!(o.id, s.id, "{policy:?}");
+                assert_eq!(o.provenance, s.provenance, "{policy:?}");
+            }
             assert_eq!(overlapped.churn, serial.churn, "{policy:?}");
             assert_eq!(overlapped.weekly, serial.weekly, "{policy:?}");
             assert_eq!(overlapped.overall, serial.overall, "{policy:?}");
@@ -467,6 +518,45 @@ mod tests {
         let weeks: Vec<i64> = overlapped.churn.iter().map(|c| c.week).collect();
         let serial_weeks: Vec<i64> = serial.churn.iter().map(|c| c.week).collect();
         assert_eq!(weeks, serial_weeks);
+    }
+
+    #[test]
+    fn install_hook_sees_versions_and_swap_context() {
+        let log = stable_log(12);
+        let config = quick_config(TrainingPolicy::SlidingWeeks(4));
+        let meta = MetaLearner::new(config.framework);
+        let train = |req: &RetrainRequest| {
+            let slice = window(
+                &log,
+                Timestamp(req.from * WEEK_MS),
+                Timestamp(req.to * WEEK_MS),
+            );
+            let outcome = meta.train(slice);
+            (outcome.repo, outcome.removed_by_reviser, ())
+        };
+        let mut installs: Vec<SwapContext> = Vec::new();
+        let report = run_overlapped_engine(
+            &log,
+            12,
+            &config,
+            SwapMode::Overlapped { poll_every: 1 },
+            train,
+            |repo, ctx, _: &()| {
+                assert_eq!(repo.version(), ctx.repo_version);
+                installs.push(ctx);
+            },
+            |_| {},
+            |_, _| {},
+        );
+        assert_eq!(installs.len(), report.churn.len());
+        let versions: Vec<u64> = installs.iter().map(|c| c.repo_version).collect();
+        assert_eq!(versions, (1..=installs.len() as u64).collect::<Vec<_>>());
+        assert!(!installs[0].mid_block, "initial install is never mid-block");
+        let stats = report.overlap.unwrap();
+        assert_eq!(
+            installs.iter().filter(|c| c.mid_block).count(),
+            stats.swaps_mid_block
+        );
     }
 
     #[test]

@@ -17,12 +17,15 @@
 //! pending (per-rule rate limiting), which keeps the false-alarm
 //! accounting honest.
 
+use crate::evaluation::Accuracy;
 use crate::knowledge::KnowledgeRepository;
 use crate::rules::{Rule, RuleId, RuleKind};
 use dml_obs::Histogram;
 use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::fmt;
+use std::str::FromStr;
 use std::time::Instant;
 
 /// Dense `small integer key → pending deadline` table (rule ids and
@@ -135,6 +138,11 @@ pub struct PredictorMetrics {
     pub window_peak: u64,
     /// Sampled per-event match latency, microseconds.
     pub match_latency_us: Histogram,
+    /// Lead times (warning issue → the covered fatal), milliseconds.
+    /// Filled in by the drivers after scoring — the predictor itself
+    /// cannot know a warning hit until the failure arrives.
+    #[serde(default = "Histogram::lead_time_ms")]
+    pub lead_time_ms: Histogram,
     /// Rules in the repository this predictor matches against.
     pub rules: u64,
     /// E-List index entries (type → association rule).
@@ -153,6 +161,7 @@ impl Default for PredictorMetrics {
             warnings_expired: 0,
             window_peak: 0,
             match_latency_us: Histogram::latency_us(),
+            lead_time_ms: Histogram::lead_time_ms(),
             rules: 0,
             e_list_entries: 0,
             f_list_entries: 0,
@@ -173,6 +182,7 @@ impl PredictorMetrics {
         self.warnings_expired += other.warnings_expired;
         self.window_peak = self.window_peak.max(other.window_peak);
         self.match_latency_us.merge(&other.match_latency_us);
+        self.lead_time_ms.merge(&other.lead_time_ms);
         self.rules = other.rules;
         self.e_list_entries = other.e_list_entries;
         self.f_list_entries = other.f_list_entries;
@@ -191,12 +201,136 @@ impl dml_obs::MetricSource for PredictorMetrics {
         registry.gauge_set("predict.e_list_entries", self.e_list_entries as f64);
         registry.gauge_set("predict.f_list_entries", self.f_list_entries as f64);
         registry.merge_histogram("predict.match_latency_us", &self.match_latency_us);
+        registry.merge_histogram("predict.lead_time_ms", &self.lead_time_ms);
     }
 }
 
-/// A failure warning: "a failure may occur in `(issued_at, deadline]`".
+/// Most precursors a warning records (association antecedents and the
+/// window's fatal history are both far smaller in practice; the cap only
+/// bounds a pathological repository).
+pub const MAX_PRECURSORS: usize = 16;
+
+/// The stable identity of one warning: the repository version it was
+/// issued under, the issuing rule, and the issue timestamp. Per-rule
+/// rate limiting guarantees a rule cannot fire twice at one timestamp,
+/// so the triple is unique within a run — and every component is derived
+/// from stream state alone, so the serial driver and a
+/// `SwapMode::Synchronous` overlapped run assign identical ids.
+///
+/// Rendered (and serialized) as `w{version}-r{rule}-{issued_ms}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(into = "String", try_from = "String")]
+pub struct WarningId {
+    /// [`KnowledgeRepository::version`] the rule was matched against.
+    pub repo_version: u64,
+    /// The issuing rule.
+    pub rule: RuleId,
+    /// Issue time, milliseconds since the log epoch.
+    pub issued_ms: i64,
+}
+
+impl WarningId {
+    /// The id of a warning issued by `rule` at `issued_at` under
+    /// repository version `repo_version`.
+    pub fn new(repo_version: u64, rule: RuleId, issued_at: Timestamp) -> Self {
+        WarningId {
+            repo_version,
+            rule,
+            issued_ms: issued_at.0,
+        }
+    }
+}
+
+impl Default for WarningId {
+    fn default() -> Self {
+        WarningId {
+            repo_version: 0,
+            rule: RuleId(0),
+            issued_ms: 0,
+        }
+    }
+}
+
+impl fmt::Display for WarningId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}-r{}-{}", self.repo_version, self.rule.0, self.issued_ms)
+    }
+}
+
+impl FromStr for WarningId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || format!("invalid warning id {s:?} (expected w<version>-r<rule>-<ms>)");
+        let rest = s.strip_prefix('w').ok_or_else(bad)?;
+        let (version, rest) = rest.split_once("-r").ok_or_else(bad)?;
+        let (rule, ms) = rest.split_once('-').ok_or_else(bad)?;
+        Ok(WarningId {
+            repo_version: version.parse().map_err(|_| bad())?,
+            rule: RuleId(rule.parse().map_err(|_| bad())?),
+            issued_ms: ms.parse().map_err(|_| bad())?,
+        })
+    }
+}
+
+impl From<WarningId> for String {
+    fn from(id: WarningId) -> String {
+        id.to_string()
+    }
+}
+
+impl TryFrom<String> for WarningId {
+    type Error = String;
+
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        s.parse()
+    }
+}
+
+/// One sliding-window event that contributed to a warning firing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Precursor {
+    /// When the precursor event arrived.
+    pub time: Timestamp,
+    /// Its event type; `None` for fatal-history precursors, where the
+    /// window only retains arrival time and midplane.
+    pub event_type: Option<EventTypeId>,
+}
+
+/// Why a warning fired: the issuing rule's training-time measures and the
+/// matched sliding-window evidence. Built only when a warning is actually
+/// issued (suppressed candidates allocate nothing), so the hot-path
+/// overhead budget is untouched.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Provenance {
+    /// [`KnowledgeRepository::version`] the rule was matched against
+    /// (correct across `overlap` hot-swaps — the predictor caches the
+    /// version of the repository it was built over).
+    pub repo_version: u64,
+    /// Training-time support (association rules).
+    pub support: Option<f64>,
+    /// Training-time confidence (association rules).
+    pub confidence: Option<f64>,
+    /// Trigger probability: the statistical/location rule's estimate, or
+    /// the distribution rule's CDF trigger threshold.
+    pub probability: Option<f64>,
+    /// The reviser's training-window accuracy counts for the rule
+    /// (precision/recall/ROC derivable), when the reviser scored it.
+    pub training: Option<Accuracy>,
+    /// Matched precursor events, oldest first, capped at
+    /// [`MAX_PRECURSORS`].
+    pub precursors: Vec<Precursor>,
+}
+
+/// A failure warning: "a failure may occur in `(issued_at, deadline]`".
+///
+/// The `id` and `provenance` fields default when absent so warning JSONL
+/// written before this schema still deserializes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Warning {
+    /// Stable identity (see [`WarningId`]).
+    #[serde(default)]
+    pub id: WarningId,
     /// When the warning was produced.
     pub issued_at: Timestamp,
     /// End of the validity interval.
@@ -207,6 +341,36 @@ pub struct Warning {
     pub kind: RuleKind,
     /// The specific fatal type predicted (association rules only).
     pub predicted: Option<EventTypeId>,
+    /// Why the rule fired.
+    #[serde(default)]
+    pub provenance: Provenance,
+}
+
+impl Warning {
+    /// The flight-recorder record for this warning's issuance.
+    pub fn flight_event(&self) -> dml_obs::FlightEvent {
+        dml_obs::FlightEvent::WarningIssued {
+            id: self.id.to_string(),
+            rule: self.rule.0,
+            learner: self.kind.to_string(),
+            repo_version: self.provenance.repo_version,
+            deadline_ms: self.deadline.0,
+            predicted: self.predicted.map(|t| t.0),
+            support: self.provenance.support,
+            confidence: self.provenance.confidence,
+            probability: self.provenance.probability,
+            training_roc: self.provenance.training.map(|a| a.roc()),
+            precursors: self
+                .provenance
+                .precursors
+                .iter()
+                .map(|p| dml_obs::FlightPrecursor {
+                    t_ms: p.time.0,
+                    event_type: p.event_type.map(|t| t.0),
+                })
+                .collect(),
+        }
+    }
 }
 
 /// The predictor's mutable state, detached from the repository borrow so
@@ -234,6 +398,10 @@ pub struct PredictorState {
 /// The online matcher.
 pub struct Predictor<'r> {
     repo: &'r KnowledgeRepository,
+    /// Cached [`KnowledgeRepository::version`] — stamped into every
+    /// warning id/provenance, so a hot-swap mid-run cannot misattribute
+    /// warnings issued by the previous rule set.
+    repo_version: u64,
     window: Duration,
     /// Non-fatal events within the window (time, type).
     recent: VecDeque<(Timestamp, EventTypeId)>,
@@ -283,6 +451,7 @@ impl<'r> Predictor<'r> {
         };
         Predictor {
             repo,
+            repo_version: repo.version(),
             window,
             recent: VecDeque::new(),
             present: TypeCounts::with_capacity(repo.type_table_len()),
@@ -417,14 +586,24 @@ impl<'r> Predictor<'r> {
                 if s.k > count {
                     break; // ascending k: no further rule can match
                 }
-                self.try_warn(
-                    &mut warnings,
-                    ev.time,
-                    id,
-                    RuleKind::Statistical,
-                    None,
-                    ev.time + self.window,
-                );
+                if self.warn_allowed(ev.time, id, None) {
+                    let provenance = Provenance {
+                        repo_version: self.repo_version,
+                        probability: Some(s.probability),
+                        training: self.repo.get(id).training_counts,
+                        precursors: self.fatal_precursors(),
+                        ..Provenance::default()
+                    };
+                    self.issue(
+                        &mut warnings,
+                        ev.time,
+                        id,
+                        RuleKind::Statistical,
+                        None,
+                        ev.time + self.window,
+                        provenance,
+                    );
+                }
             }
             // Location-recurrence rules: same-midplane fatal count.
             if !self.repo.location_rules().is_empty() {
@@ -441,14 +620,24 @@ impl<'r> Predictor<'r> {
                         if l.k > same_mp {
                             break; // ascending k
                         }
-                        self.try_warn(
-                            &mut warnings,
-                            ev.time,
-                            id,
-                            RuleKind::Location,
-                            None,
-                            ev.time + self.window,
-                        );
+                        if self.warn_allowed(ev.time, id, None) {
+                            let provenance = Provenance {
+                                repo_version: self.repo_version,
+                                probability: Some(l.probability),
+                                training: self.repo.get(id).training_counts,
+                                precursors: self.location_precursors(mp),
+                                ..Provenance::default()
+                            };
+                            self.issue(
+                                &mut warnings,
+                                ev.time,
+                                id,
+                                RuleKind::Location,
+                                None,
+                                ev.time + self.window,
+                                provenance,
+                            );
+                        }
                     }
                 }
             }
@@ -470,14 +659,25 @@ impl<'r> Predictor<'r> {
                 let Rule::Association(a) = &self.repo.get(id).rule else {
                     unreachable!()
                 };
-                if a.antecedent.iter().all(|&item| self.present.contains(item)) {
-                    self.try_warn(
+                if a.antecedent.iter().all(|&item| self.present.contains(item))
+                    && self.warn_allowed(ev.time, id, Some(a.fatal))
+                {
+                    let provenance = Provenance {
+                        repo_version: self.repo_version,
+                        support: Some(a.support),
+                        confidence: Some(a.confidence),
+                        training: self.repo.get(id).training_counts,
+                        precursors: self.assoc_precursors(&a.antecedent),
+                        ..Provenance::default()
+                    };
+                    self.issue(
                         &mut warnings,
                         ev.time,
                         id,
                         RuleKind::Association,
                         Some(a.fatal),
                         ev.time + self.window,
+                        provenance,
                     );
                 }
             }
@@ -486,17 +686,34 @@ impl<'r> Predictor<'r> {
             if warnings.is_empty() && self.dist_armed {
                 if let Some(last) = self.last_fatal {
                     let elapsed = ev.time - last;
-                    for &(id, trigger, expire) in &self.dist_thresholds {
+                    for i in 0..self.dist_thresholds.len() {
+                        let (id, trigger, expire) = self.dist_thresholds[i];
                         if elapsed >= trigger {
                             let deadline = (last + expire).max(ev.time + self.window);
-                            self.try_warn(
-                                &mut warnings,
-                                ev.time,
-                                id,
-                                RuleKind::Distribution,
-                                None,
-                                deadline,
-                            );
+                            if self.warn_allowed(ev.time, id, None) {
+                                let Rule::Distribution(d) = &self.repo.get(id).rule else {
+                                    unreachable!()
+                                };
+                                let provenance = Provenance {
+                                    repo_version: self.repo_version,
+                                    probability: Some(d.threshold),
+                                    training: self.repo.get(id).training_counts,
+                                    precursors: vec![Precursor {
+                                        time: last,
+                                        event_type: None,
+                                    }],
+                                    ..Provenance::default()
+                                };
+                                self.issue(
+                                    &mut warnings,
+                                    ev.time,
+                                    id,
+                                    RuleKind::Distribution,
+                                    None,
+                                    deadline,
+                                    provenance,
+                                );
+                            }
                             self.dist_armed = false;
                             break;
                         }
@@ -524,19 +741,15 @@ impl<'r> Predictor<'r> {
         }
     }
 
-    fn try_warn(
-        &mut self,
-        warnings: &mut Vec<Warning>,
-        now: Timestamp,
-        rule: RuleId,
-        kind: RuleKind,
-        predicted: Option<EventTypeId>,
-        deadline: Timestamp,
-    ) {
+    /// The rate-limiting gate: whether `rule` (and its predicted target,
+    /// if any) may issue a warning at `now`. Counts suppressed and
+    /// expired candidates; callers only build provenance — the one
+    /// allocation of the warn path — after this returns `true`.
+    fn warn_allowed(&mut self, now: Timestamp, rule: RuleId, predicted: Option<EventTypeId>) -> bool {
         if let Some(pending) = self.active.get(rule.0 as usize) {
             if pending > now {
                 self.metrics.warnings_suppressed += 1;
-                return; // previous warning from this rule still pending
+                return false; // previous warning from this rule still pending
             }
             // The previous warning's deadline passed without this rule
             // being re-triggered in time: it lapsed unfulfilled.
@@ -546,19 +759,85 @@ impl<'r> Predictor<'r> {
             if let Some(pending) = self.active_targets.get(target.0 as usize) {
                 if pending > now {
                     self.metrics.warnings_suppressed += 1;
-                    return; // this failure is already being warned about
+                    return false; // this failure is already being warned about
                 }
             }
+        }
+        true
+    }
+
+    /// Issues a warning (the caller already passed [`Self::warn_allowed`]).
+    #[allow(clippy::too_many_arguments)]
+    fn issue(
+        &mut self,
+        warnings: &mut Vec<Warning>,
+        now: Timestamp,
+        rule: RuleId,
+        kind: RuleKind,
+        predicted: Option<EventTypeId>,
+        deadline: Timestamp,
+        provenance: Provenance,
+    ) {
+        if let Some(target) = predicted {
             self.active_targets.set(target.0 as usize, deadline);
         }
         self.active.set(rule.0 as usize, deadline);
         warnings.push(Warning {
+            id: WarningId::new(self.repo_version, rule, now),
             issued_at: now,
             deadline,
             rule,
             kind,
             predicted,
+            provenance,
         });
+    }
+
+    /// The latest in-window occurrence of each antecedent item — the
+    /// evidence an association rule fired on.
+    fn assoc_precursors(&self, antecedent: &[EventTypeId]) -> Vec<Precursor> {
+        let mut out = Vec::with_capacity(antecedent.len().min(MAX_PRECURSORS));
+        for &item in antecedent.iter().take(MAX_PRECURSORS) {
+            if let Some(&(time, _)) = self.recent.iter().rev().find(|&&(_, ty)| ty == item) {
+                out.push(Precursor {
+                    time,
+                    event_type: Some(item),
+                });
+            }
+        }
+        out.sort_by_key(|p| p.time);
+        out
+    }
+
+    /// The in-window fatal arrivals a statistical rule counted, oldest
+    /// first.
+    fn fatal_precursors(&self) -> Vec<Precursor> {
+        let skip = self.recent_fatals.len().saturating_sub(MAX_PRECURSORS);
+        self.recent_fatals
+            .iter()
+            .skip(skip)
+            .map(|&(time, _)| Precursor {
+                time,
+                event_type: None,
+            })
+            .collect()
+    }
+
+    /// The in-window same-midplane fatal arrivals a location rule
+    /// counted, oldest first.
+    fn location_precursors(&self, mp: (u8, u8)) -> Vec<Precursor> {
+        let mut out: Vec<Precursor> = self
+            .recent_fatals
+            .iter()
+            .filter(|&&(_, m)| m == Some(mp))
+            .map(|&(time, _)| Precursor {
+                time,
+                event_type: None,
+            })
+            .collect();
+        let skip = out.len().saturating_sub(MAX_PRECURSORS);
+        out.drain(..skip);
+        out
     }
 
     fn evict(&mut self, now: Timestamp) {
@@ -842,6 +1121,120 @@ mod tests {
         assert_eq!(r.counter("predict.warnings_issued"), Some(1));
         assert_eq!(r.gauge("predict.rules"), Some(1.0));
         assert!(r.histogram("predict.match_latency_us").is_some());
+    }
+
+    #[test]
+    fn warning_ids_render_parse_and_serialize_round_trip() {
+        let id = WarningId::new(3, RuleId(17), Timestamp::from_secs(42));
+        assert_eq!(id.to_string(), "w3-r17-42000");
+        assert_eq!("w3-r17-42000".parse::<WarningId>().unwrap(), id);
+        // Negative timestamps (pre-epoch warm-up) survive the format.
+        let neg = WarningId::new(1, RuleId(0), Timestamp(-5));
+        assert_eq!(neg.to_string().parse::<WarningId>().unwrap(), neg);
+        // Serialized as the readable string, not a struct.
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "\"w3-r17-42000\"");
+        assert_eq!(serde_json::from_str::<WarningId>(&json).unwrap(), id);
+        assert!("r17-42000".parse::<WarningId>().is_err());
+        assert!("w3-r17".parse::<WarningId>().is_err());
+    }
+
+    #[test]
+    fn association_warning_carries_provenance() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe(&ev(0, 1, false));
+        let w = p.observe(&ev(50, 2, false));
+        assert_eq!(w.len(), 1);
+        let prov = &w[0].provenance;
+        assert_eq!(prov.repo_version, repo.version());
+        assert_eq!(prov.support, Some(0.1));
+        assert_eq!(prov.confidence, Some(0.9));
+        assert_eq!(prov.probability, None);
+        // Both antecedent items appear as precursors, oldest first.
+        assert_eq!(
+            prov.precursors,
+            vec![
+                Precursor {
+                    time: Timestamp::from_secs(0),
+                    event_type: Some(EventTypeId(1)),
+                },
+                Precursor {
+                    time: Timestamp::from_secs(50),
+                    event_type: Some(EventTypeId(2)),
+                },
+            ]
+        );
+        assert_eq!(w[0].id, WarningId::new(repo.version(), w[0].rule, w[0].issued_at));
+    }
+
+    #[test]
+    fn statistical_warning_lists_counted_fatals() {
+        let repo = KnowledgeRepository::new(vec![Rule::Statistical(StatisticalRule {
+            k: 2,
+            probability: 0.75,
+        })]);
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe(&ev(0, 9, true));
+        let w = p.observe(&ev(100, 9, true));
+        assert_eq!(w.len(), 1);
+        let prov = &w[0].provenance;
+        assert_eq!(prov.probability, Some(0.75));
+        assert_eq!(prov.support, None);
+        let times: Vec<i64> = prov.precursors.iter().map(|p| p.time.as_secs()).collect();
+        assert_eq!(times, [0, 100]);
+        assert!(prov.precursors.iter().all(|p| p.event_type.is_none()));
+    }
+
+    #[test]
+    fn pre_provenance_warning_json_still_deserializes() {
+        // Warning JSONL written before the provenance schema carries
+        // neither `id` nor `provenance`; both must default.
+        let json = r#"{"issued_at":1000,"deadline":301000,"rule":0,
+                       "kind":"Association","predicted":100}"#;
+        let w: Warning = serde_json::from_str(json).unwrap();
+        assert_eq!(w.id, WarningId::default());
+        assert_eq!(w.provenance, Provenance::default());
+        assert_eq!(w.rule, RuleId(0));
+    }
+
+    #[test]
+    fn repo_version_flows_into_ids_and_provenance() {
+        let mut repo = assoc_repo();
+        repo.set_version(7);
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe(&ev(0, 1, false));
+        let w = p.observe(&ev(50, 2, false));
+        assert_eq!(w[0].id.repo_version, 7);
+        assert_eq!(w[0].provenance.repo_version, 7);
+    }
+
+    #[test]
+    fn warning_flight_event_matches_fields() {
+        let repo = assoc_repo();
+        let mut p = Predictor::new(&repo, Duration::from_secs(300));
+        let _ = p.observe(&ev(0, 1, false));
+        let w = p.observe(&ev(50, 2, false)).remove(0);
+        let dml_obs::FlightEvent::WarningIssued {
+            id,
+            rule,
+            learner,
+            deadline_ms,
+            predicted,
+            support,
+            precursors,
+            ..
+        } = w.flight_event()
+        else {
+            panic!("expected a WarningIssued record")
+        };
+        assert_eq!(id, w.id.to_string());
+        assert_eq!(rule, w.rule.0);
+        assert_eq!(learner, "association");
+        assert_eq!(deadline_ms, w.deadline.0);
+        assert_eq!(predicted, Some(100));
+        assert_eq!(support, Some(0.1));
+        assert_eq!(precursors.len(), 2);
     }
 
     #[test]

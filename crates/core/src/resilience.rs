@@ -30,16 +30,72 @@ use crate::knowledge::KnowledgeRepository;
 use crate::learners::BaseLearner;
 use crate::meta::MetaLearner;
 use crate::persist::{save_checkpoint_file, Checkpoint};
-use crate::predictor::Predictor;
+use crate::predictor::{Predictor, Warning};
 use crate::reviser::revise;
 use crate::rules::{Rule, RuleKind};
 use raslog::store::window;
 use raslog::{CleanEvent, Timestamp, WEEK_MS};
 use serde::Serialize;
+use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration as StdDuration, Instant};
+
+/// The flight-recorder handle threaded through the hardened drivers: the
+/// serving loop and its hooks append records through one shared recorder.
+pub type SharedFlightRecorder = Arc<Mutex<dml_obs::FlightRecorder>>;
+
+/// Appends one record to a shared flight recorder, if one is attached.
+/// A poisoned lock (a panicking learner thread cannot hold it, but be
+/// safe) is recovered rather than propagated — telemetry must never take
+/// the pipeline down.
+fn record_flight(flight: &Option<SharedFlightRecorder>, t_ms: i64, event: dml_obs::FlightEvent) {
+    if let Some(rec) = flight {
+        let mut rec = rec.lock().unwrap_or_else(|p| p.into_inner());
+        rec.record(t_ms, event);
+    }
+}
+
+/// One line describing what is (or is no longer) degraded.
+fn degraded_detail(outcome: &ResilientOutcome) -> String {
+    let failed = outcome.failed_learners();
+    let mut parts = Vec::new();
+    if failed > 0 {
+        parts.push(format!("{failed} learner(s) on fallback or dropped"));
+    }
+    if outcome.reviser_failed {
+        parts.push("reviser failed".to_string());
+    }
+    if parts.is_empty() {
+        "recovered: all learners fresh".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+/// Emits a `degraded_mode` flight record when the pipeline's degraded
+/// state flips (healthy ↔ degraded) at a retraining.
+fn note_degraded_transition(
+    flight: &Option<SharedFlightRecorder>,
+    t_ms: i64,
+    was: &Cell<bool>,
+    outcome: &ResilientOutcome,
+) {
+    let now = outcome.failed_learners() > 0 || outcome.reviser_failed;
+    if now != was.get() {
+        was.set(now);
+        record_flight(
+            flight,
+            t_ms,
+            dml_obs::FlightEvent::DegradedMode {
+                degraded: now,
+                detail: degraded_detail(outcome),
+            },
+        );
+    }
+}
 
 /// Degraded-mode parameters.
 #[derive(Debug, Clone, Copy)]
@@ -434,6 +490,10 @@ pub struct HardenedConfig {
     /// Where to write checkpoints (one file, atomically overwritten at
     /// every block boundary). `None` disables checkpointing.
     pub checkpoint_path: Option<PathBuf>,
+    /// Flight recorder receiving warning-issued, retrain, swap,
+    /// checkpoint and degraded-mode records. `None` (the default) records
+    /// nothing and costs nothing on the hot path.
+    pub flight: Option<SharedFlightRecorder>,
 }
 
 /// A [`DriverReport`] plus robustness accounting.
@@ -493,6 +553,28 @@ pub fn run_hardened_driver_with(
     };
     let mut outcome = trainer.train_kind(slice_of(0, first_test_week), dc.only_kind);
     health.absorb(&outcome);
+    // Same stamping as the clean driver: version = trainings so far, so
+    // warning provenance is identical when every learner is healthy.
+    outcome.repo.set_version(rule_set_version);
+    let degraded = Cell::new(false);
+    record_flight(
+        &config.flight,
+        first_test_week * WEEK_MS,
+        dml_obs::FlightEvent::Retrain {
+            week: first_test_week,
+            repo_version: rule_set_version,
+            rules: outcome.repo.len() as u64,
+            added: outcome.repo.len() as u64,
+            removed: outcome.removed_by_reviser as u64,
+            degraded: outcome.failed_learners() > 0 || outcome.reviser_failed,
+        },
+    );
+    note_degraded_transition(
+        &config.flight,
+        first_test_week * WEEK_MS,
+        &degraded,
+        &outcome,
+    );
 
     let mut report = DriverReport::default();
     report.churn.push(ChurnRecord {
@@ -512,9 +594,15 @@ pub fn run_hardened_driver_with(
         let mut predictor = Predictor::new(&outcome.repo, dc.framework.window);
         predictor.warm_up(slice_of((week - 1).max(0), week));
         predictor.reset_metrics();
+        let before = report.warnings.len();
         report
             .warnings
             .extend(predictor.observe_all(slice_of(week, block_end)));
+        if config.flight.is_some() {
+            for w in &report.warnings[before..] {
+                record_flight(&config.flight, w.issued_at.0, w.flight_event());
+            }
+        }
         report.predictor_metrics.merge(predictor.metrics());
 
         // Checkpoint the boundary state: the rule set in force plus the
@@ -523,7 +611,16 @@ pub fn run_hardened_driver_with(
         if let Some(path) = &config.checkpoint_path {
             let cp = Checkpoint::new(rule_set_version, outcome.repo.clone(), predictor.snapshot());
             match save_checkpoint_file(&cp, path) {
-                Ok(()) => health.checkpoints_written += 1,
+                Ok(()) => {
+                    health.checkpoints_written += 1;
+                    record_flight(
+                        &config.flight,
+                        block_end * WEEK_MS,
+                        dml_obs::FlightEvent::Checkpoint {
+                            repo_version: rule_set_version,
+                        },
+                    );
+                }
                 Err(e) => dml_obs::warn!("checkpoint write failed (continuing): {e}"),
             }
         }
@@ -534,9 +631,10 @@ pub fn run_hardened_driver_with(
                 TrainingPolicy::SlidingWeeks(n) => ((block_end - n).max(0), block_end),
                 TrainingPolicy::Growing => (0, block_end),
             };
-            let next = trainer.train_kind(slice_of(from, to), dc.only_kind);
+            let mut next = trainer.train_kind(slice_of(from, to), dc.only_kind);
             health.absorb(&next);
             rule_set_version += 1;
+            next.repo.set_version(rule_set_version);
             let diff = KnowledgeRepository::churn(&outcome.repo, &next.repo);
             report.churn.push(ChurnRecord {
                 week: block_end,
@@ -546,6 +644,19 @@ pub fn run_hardened_driver_with(
                 removed_by_reviser: next.removed_by_reviser,
                 total: next.repo.len(),
             });
+            record_flight(
+                &config.flight,
+                block_end * WEEK_MS,
+                dml_obs::FlightEvent::Retrain {
+                    week: block_end,
+                    repo_version: rule_set_version,
+                    rules: next.repo.len() as u64,
+                    added: diff.added as u64,
+                    removed: (diff.removed + next.removed_by_reviser) as u64,
+                    degraded: next.failed_learners() > 0 || next.reviser_failed,
+                },
+            );
+            note_degraded_transition(&config.flight, block_end * WEEK_MS, &degraded, &next);
             outcome = next;
         }
         week = block_end;
@@ -559,6 +670,7 @@ pub fn run_hardened_driver_with(
         total_weeks - 1,
     );
     report.overall = crate::evaluation::score(&report.warnings, test_events);
+    crate::driver::record_lead_times(&mut report, test_events);
 
     HardenedReport {
         report,
@@ -592,15 +704,22 @@ pub fn run_overlapped_hardened_driver_with(
     config: &HardenedConfig,
     swap: crate::overlap::SwapMode,
 ) -> HardenedReport {
-    use std::cell::{Cell, RefCell};
+    use std::cell::RefCell;
 
     let dc = &config.driver;
     let only = dc.only_kind;
-    // The engine's install/boundary hooks both run on the serving thread;
-    // interior mutability lets them share the accounting.
+    // The engine's install/warning/boundary hooks all run on the serving
+    // thread; interior mutability lets them share the accounting.
     let health = RefCell::new(PipelineHealth::default());
     let version = Cell::new(0u64);
     let checkpoints = Cell::new(0usize);
+    let degraded = Cell::new(false);
+    // Previous installed repository, kept only for flight-record churn
+    // accounting (the engine owns the real churn trace in its report).
+    let prev_repo: RefCell<Option<KnowledgeRepository>> = RefCell::new(None);
+    // `on_boundary` carries no week; replicate the engine's block walk.
+    let retrain_every = dc.framework.retrain_weeks.max(1);
+    let boundary_week = Cell::new(dc.initial_training_weeks);
 
     // Worker side: the trainer moves onto the background thread. The
     // repository travels as the payload proper; the rest of the outcome
@@ -616,15 +735,65 @@ pub fn run_overlapped_hardened_driver_with(
         let removed = outcome.removed_by_reviser;
         (repo, removed, outcome)
     };
-    let on_install = |extra: &ResilientOutcome| {
+    let on_install = |repo: &KnowledgeRepository,
+                      ctx: crate::overlap::SwapContext,
+                      extra: &ResilientOutcome| {
         health.borrow_mut().absorb(extra);
-        version.set(version.get() + 1);
+        version.set(ctx.repo_version);
+        if config.flight.is_some() {
+            let t_ms = ctx.week * WEEK_MS;
+            let mut prev = prev_repo.borrow_mut();
+            let diff = match prev.as_ref() {
+                Some(p) => KnowledgeRepository::churn(p, repo),
+                None => KnowledgeRepository::churn(&KnowledgeRepository::new(Vec::new()), repo),
+            };
+            record_flight(
+                &config.flight,
+                t_ms,
+                dml_obs::FlightEvent::Retrain {
+                    week: ctx.week,
+                    repo_version: ctx.repo_version,
+                    rules: repo.len() as u64,
+                    added: diff.added as u64,
+                    removed: (diff.removed + extra.removed_by_reviser) as u64,
+                    degraded: extra.failed_learners() > 0 || extra.reviser_failed,
+                },
+            );
+            record_flight(
+                &config.flight,
+                t_ms,
+                dml_obs::FlightEvent::Swap {
+                    repo_version: ctx.repo_version,
+                    mid_block: ctx.mid_block,
+                },
+            );
+            note_degraded_transition(&config.flight, t_ms, &degraded, extra);
+            *prev = Some(repo.clone());
+        }
+    };
+    let on_warnings = |warnings: &[Warning]| {
+        if config.flight.is_some() {
+            for w in warnings {
+                record_flight(&config.flight, w.issued_at.0, w.flight_event());
+            }
+        }
     };
     let on_boundary = |repo: &KnowledgeRepository, state: crate::predictor::PredictorState| {
+        let week = (boundary_week.get() + retrain_every).min(total_weeks);
+        boundary_week.set(week);
         if let Some(path) = &config.checkpoint_path {
             let cp = Checkpoint::new(version.get(), repo.clone(), state);
             match save_checkpoint_file(&cp, path) {
-                Ok(()) => checkpoints.set(checkpoints.get() + 1),
+                Ok(()) => {
+                    checkpoints.set(checkpoints.get() + 1);
+                    record_flight(
+                        &config.flight,
+                        week * WEEK_MS,
+                        dml_obs::FlightEvent::Checkpoint {
+                            repo_version: version.get(),
+                        },
+                    );
+                }
                 Err(e) => dml_obs::warn!("checkpoint write failed (continuing): {e}"),
             }
         }
@@ -637,6 +806,7 @@ pub fn run_overlapped_hardened_driver_with(
         swap,
         train,
         on_install,
+        on_warnings,
         on_boundary,
     );
 
@@ -687,6 +857,7 @@ mod tests {
             },
             resilience: ResilienceConfig::default(),
             checkpoint_path: None,
+            flight: None,
         }
     }
 
@@ -999,6 +1170,106 @@ mod tests {
         assert_eq!(cp.rule_set_version, hard.rule_set_version);
         assert!(!cp.predictor.recent.is_empty(), "window state captured");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hardened_driver_records_flight_events() {
+        let log = stable_log(12);
+        let flight_path = std::env::temp_dir().join("dml_resilience_flight.jsonl");
+        let cp_path = std::env::temp_dir().join("dml_resilience_flight_cp.json");
+        std::fs::remove_file(&flight_path).ok();
+        let recorder =
+            dml_obs::FlightRecorder::create(&flight_path, dml_obs::FlightConfig::default())
+                .unwrap();
+        let config = HardenedConfig {
+            checkpoint_path: Some(cp_path.clone()),
+            flight: Some(Arc::new(Mutex::new(recorder))),
+            ..quick_config()
+        };
+        let hard = run_hardened_driver(&log, 12, &config);
+        config.flight.as_ref().unwrap().lock().unwrap().flush();
+
+        let (records, skipped) = dml_obs::read_flight_log(&flight_path).unwrap();
+        assert_eq!(skipped, 0, "every line parses");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r.seq, i as u64, "sequence numbers are contiguous");
+            assert_eq!(r.v, dml_obs::FLIGHT_SCHEMA_VERSION);
+        }
+        let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+        assert_eq!(count("retrain"), hard.health.retrainings);
+        assert_eq!(count("warning_issued"), hard.report.warnings.len());
+        assert_eq!(count("checkpoint"), hard.health.checkpoints_written);
+        assert_eq!(count("degraded_mode"), 0, "healthy run never degrades");
+        // Warning records carry the warning's own id and repo version.
+        let issued: Vec<_> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                dml_obs::FlightEvent::WarningIssued {
+                    id, repo_version, ..
+                } => Some((id.clone(), *repo_version)),
+                _ => None,
+            })
+            .collect();
+        for (w, (id, version)) in hard.report.warnings.iter().zip(&issued) {
+            assert_eq!(&w.id.to_string(), id);
+            assert_eq!(w.provenance.repo_version, *version);
+        }
+        std::fs::remove_file(&flight_path).ok();
+        std::fs::remove_file(&cp_path).ok();
+    }
+
+    #[test]
+    fn overlapped_hardened_records_swaps_and_degradation() {
+        let log = stable_log(12);
+        let flight_path = std::env::temp_dir().join("dml_resilience_overlap_flight.jsonl");
+        std::fs::remove_file(&flight_path).ok();
+        let recorder =
+            dml_obs::FlightRecorder::create(&flight_path, dml_obs::FlightConfig::default())
+                .unwrap();
+        let config = HardenedConfig {
+            flight: Some(Arc::new(Mutex::new(recorder))),
+            ..quick_config()
+        };
+        let trainer = ResilientTrainer::with_learners(
+            config.driver.framework,
+            vec![Box::new(AssociationLearner), Box::new(FlakyLearner::new(2))],
+            ResilienceConfig {
+                max_stale_retrains: 100,
+                ..ResilienceConfig::default()
+            },
+        );
+        let hard = run_overlapped_hardened_driver_with(
+            trainer,
+            &log,
+            12,
+            &config,
+            crate::overlap::SwapMode::Synchronous,
+        );
+        config.flight.as_ref().unwrap().lock().unwrap().flush();
+
+        let (records, skipped) = dml_obs::read_flight_log(&flight_path).unwrap();
+        assert_eq!(skipped, 0);
+        let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+        assert_eq!(count("retrain"), hard.health.retrainings);
+        assert_eq!(count("swap"), hard.health.retrainings, "one swap per install");
+        assert_eq!(count("warning_issued"), hard.report.warnings.len());
+        assert!(
+            count("degraded_mode") >= 1,
+            "the flaky learner's first failure flips the pipeline degraded"
+        );
+        // Swap records carry the engine's version numbering, 1..=n.
+        let versions: Vec<u64> = records
+            .iter()
+            .filter_map(|r| match &r.event {
+                dml_obs::FlightEvent::Swap { repo_version, .. } => Some(*repo_version),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            versions,
+            (1..=hard.health.retrainings as u64).collect::<Vec<_>>()
+        );
+        std::fs::remove_file(&flight_path).ok();
     }
 
     #[test]

@@ -8,16 +8,46 @@
 //! ([`crate::adaptive`]) and operational dashboards consume it.
 
 use crate::evaluation::Accuracy;
-use crate::predictor::Warning;
+use crate::predictor::{Warning, WarningId};
 use raslog::{CleanEvent, Duration, Timestamp};
 use std::collections::VecDeque;
 
 /// A pending or resolved warning inside the tracker.
 #[derive(Debug, Clone, Copy)]
 struct TrackedWarning {
+    id: WarningId,
     issued_at: Timestamp,
     deadline: Timestamp,
     hit: bool,
+    /// Already reported through [`AccuracyTracker::drain_resolutions`].
+    reported: bool,
+}
+
+/// A warning or failure outcome, resolved by the streaming tracker —
+/// the join partner for a warning's provenance record in the flight log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarningOutcome {
+    /// A fatal landed inside the warning's interval.
+    Hit {
+        /// The warning that hit.
+        id: WarningId,
+        /// When the covered fatal struck.
+        time: Timestamp,
+        /// Issue → fatal, milliseconds (the achieved lead time).
+        lead_ms: i64,
+    },
+    /// The warning's deadline passed with no fatal inside.
+    FalseAlarm {
+        /// The warning that lapsed.
+        id: WarningId,
+        /// Its deadline.
+        time: Timestamp,
+    },
+    /// A fatal struck with no warning pending.
+    Miss {
+        /// When the uncovered fatal struck.
+        time: Timestamp,
+    },
 }
 
 /// A fatal event inside the tracker.
@@ -41,6 +71,8 @@ pub struct AccuracyTracker {
     warnings: VecDeque<TrackedWarning>,
     fatals: VecDeque<TrackedFatal>,
     now: Timestamp,
+    /// Outcomes resolved since the last [`Self::drain_resolutions`].
+    resolutions: Vec<WarningOutcome>,
 }
 
 impl AccuracyTracker {
@@ -52,6 +84,7 @@ impl AccuracyTracker {
             warnings: VecDeque::new(),
             fatals: VecDeque::new(),
             now: Timestamp(i64::MIN),
+            resolutions: Vec::new(),
         }
     }
 
@@ -59,9 +92,11 @@ impl AccuracyTracker {
     pub fn on_warning(&mut self, warning: &Warning) {
         self.advance(warning.issued_at);
         self.warnings.push_back(TrackedWarning {
+            id: warning.id,
             issued_at: warning.issued_at,
             deadline: warning.deadline,
             hit: false,
+            reported: false,
         });
     }
 
@@ -74,14 +109,42 @@ impl AccuracyTracker {
         let mut covered = false;
         for w in self.warnings.iter_mut() {
             if w.issued_at < event.time && event.time <= w.deadline {
-                w.hit = true;
+                if !w.hit {
+                    w.hit = true;
+                    w.reported = true;
+                    self.resolutions.push(WarningOutcome::Hit {
+                        id: w.id,
+                        time: event.time,
+                        lead_ms: (event.time - w.issued_at).millis(),
+                    });
+                }
                 covered = true;
             }
+        }
+        if !covered {
+            self.resolutions.push(WarningOutcome::Miss { time: event.time });
         }
         self.fatals.push_back(TrackedFatal {
             time: event.time,
             covered,
         });
+    }
+
+    /// Drains the outcomes resolved since the previous call: hits as they
+    /// land, false alarms once their deadline passes the current clock,
+    /// misses as the uncovered fatal strikes. Feed these to the flight
+    /// recorder as `warning_resolved` records.
+    pub fn drain_resolutions(&mut self) -> Vec<WarningOutcome> {
+        for w in self.warnings.iter_mut() {
+            if !w.reported && !w.hit && w.deadline < self.now {
+                w.reported = true;
+                self.resolutions.push(WarningOutcome::FalseAlarm {
+                    id: w.id,
+                    time: w.deadline,
+                });
+            }
+        }
+        std::mem::take(&mut self.resolutions)
     }
 
     /// The rolling accuracy over the trailing horizon. Unresolved warnings
@@ -133,7 +196,15 @@ impl AccuracyTracker {
             .front()
             .is_some_and(|w| w.issued_at < cutoff)
         {
-            self.warnings.pop_front();
+            let w = self.warnings.pop_front().expect("front checked");
+            // A warning can age out of the horizon between drains; its
+            // outcome is still owed to the flight log.
+            if !w.reported && !w.hit && w.deadline < self.now {
+                self.resolutions.push(WarningOutcome::FalseAlarm {
+                    id: w.id,
+                    time: w.deadline,
+                });
+            }
         }
         while self.fatals.front().is_some_and(|f| f.time < cutoff) {
             self.fatals.pop_front();
@@ -163,11 +234,13 @@ mod tests {
 
     fn warn(issued: i64, deadline: i64) -> Warning {
         Warning {
+            id: WarningId::new(1, RuleId(0), Timestamp::from_secs(issued)),
             issued_at: Timestamp::from_secs(issued),
             deadline: Timestamp::from_secs(deadline),
             rule: RuleId(0),
             kind: RuleKind::Association,
             predicted: None,
+            provenance: Default::default(),
         }
     }
 
@@ -247,6 +320,73 @@ mod tests {
         }
         let offline = crate::evaluation::score(&warnings, &events);
         assert_eq!(t.rolling(), offline);
+    }
+
+    #[test]
+    fn resolutions_drain_hits_false_alarms_and_misses() {
+        let mut t = AccuracyTracker::new(Duration::from_hours(10));
+        let w_hit = warn(0, 300);
+        let w_miss = warn(1_000, 1_300);
+        t.on_warning(&w_hit);
+        t.on_event(&fatal(200)); // hit, 200 s lead
+        t.on_warning(&w_miss);
+        t.on_event(&fatal(2_000)); // uncovered → miss; w_miss lapsed
+        let out = t.drain_resolutions();
+        assert_eq!(
+            out,
+            vec![
+                WarningOutcome::Hit {
+                    id: w_hit.id,
+                    time: Timestamp::from_secs(200),
+                    lead_ms: 200_000,
+                },
+                WarningOutcome::Miss {
+                    time: Timestamp::from_secs(2_000),
+                },
+                WarningOutcome::FalseAlarm {
+                    id: w_miss.id,
+                    time: Timestamp::from_secs(1_300),
+                },
+            ]
+        );
+        // Nothing is reported twice.
+        assert!(t.drain_resolutions().is_empty());
+        t.on_event(&nonfatal(3_000));
+        assert!(t.drain_resolutions().is_empty());
+    }
+
+    #[test]
+    fn eviction_still_reports_unresolved_false_alarms() {
+        let mut t = AccuracyTracker::new(Duration::from_secs(1_000));
+        let w = warn(0, 300);
+        t.on_warning(&w);
+        // Jump far past the horizon without draining in between: the
+        // warning is evicted but its false alarm is still owed.
+        t.on_event(&nonfatal(10_000));
+        assert_eq!(t.tracked_warnings(), 0);
+        let out = t.drain_resolutions();
+        assert_eq!(
+            out,
+            vec![WarningOutcome::FalseAlarm {
+                id: w.id,
+                time: Timestamp::from_secs(300),
+            }]
+        );
+    }
+
+    #[test]
+    fn repeated_hits_resolve_once() {
+        let mut t = AccuracyTracker::new(Duration::from_hours(10));
+        t.on_warning(&warn(0, 300));
+        t.on_event(&fatal(100));
+        t.on_event(&fatal(200)); // same warning covers a second fatal
+        let hits = t
+            .drain_resolutions()
+            .into_iter()
+            .filter(|o| matches!(o, WarningOutcome::Hit { .. }))
+            .count();
+        assert_eq!(hits, 1, "a warning resolves at most once");
+        assert_eq!(t.rolling().covered_fatals, 2);
     }
 
     #[test]

@@ -89,11 +89,13 @@ mod tests {
 
     fn warn(issued: i64, deadline: i64) -> Warning {
         Warning {
+            id: Default::default(),
             issued_at: Timestamp::from_secs(issued),
             deadline: Timestamp::from_secs(deadline),
             rule: RuleId(0),
             kind: RuleKind::Association,
             predicted: None,
+            provenance: Default::default(),
         }
     }
 

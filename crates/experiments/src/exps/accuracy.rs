@@ -127,7 +127,7 @@ pub fn fig8(opts: &Opts) {
                 .warnings
                 .iter()
                 .filter(|w| w.issued_at.week_index() >= lo && w.issued_at.week_index() <= hi)
-                .copied()
+                .cloned()
                 .collect();
             per_learner.push((name.to_string(), warnings));
         }

@@ -1,21 +1,53 @@
 //! Observability commands: the instrumented end-to-end run
-//! (`repro experiments`) and the telemetry dashboard (`repro health`).
+//! (`repro experiments`), the telemetry dashboard (`repro health`), and
+//! the flight-recorder readers (`repro trace`, `repro explain`).
 
 use crate::Opts;
-use experiments::telemetry;
+use dml_obs::FlightEvent;
+use experiments::slo::SloConfig;
+use experiments::telemetry::{self, InstrumentOptions};
+
+/// Builds the instrumented-run options from the command line: flight
+/// recorder (if `--flight`) and SLO floors (`--slo-precision`,
+/// `--slo-recall`).
+fn instrument_options(opts: &Opts) -> InstrumentOptions {
+    let flight = opts.flight.as_ref().map(|path| {
+        match dml_obs::FlightRecorder::create(path, dml_obs::FlightConfig::default()) {
+            Ok(rec) => std::sync::Arc::new(std::sync::Mutex::new(rec)),
+            Err(e) => {
+                dml_obs::error!("flight recorder {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let mut slo = SloConfig::default();
+    if let Some(p) = opts.slo_precision {
+        slo.min_precision = p;
+    }
+    if let Some(r) = opts.slo_recall {
+        slo.min_recall = r;
+    }
+    InstrumentOptions {
+        overlap: opts.overlap,
+        flight,
+        slo: Some(slo),
+    }
+}
 
 /// `repro experiments` — one fully instrumented pipeline run per preset:
 /// text ingest → preprocess → hardened driver → accuracy tracker, every
 /// stage reporting into the telemetry registry (dump it with
-/// `--metrics-json`).
+/// `--metrics-json` / `--metrics-openmetrics`, record provenance with
+/// `--flight`).
 pub fn experiments_cmd(opts: &Opts) {
     println!("\n== Instrumented end-to-end pipeline runs ==");
+    let options = instrument_options(opts);
     for preset in opts.presets(0.05) {
         if preset.weeks < 3 {
             dml_obs::error!("--weeks must be >= 3 for the instrumented run");
             std::process::exit(2);
         }
-        let run = telemetry::run_instrumented_with(preset, opts.seed, opts.overlap);
+        let run = telemetry::run_instrumented_opts(preset, opts.seed, &options);
         println!(
             "{}: precision {:.3} recall {:.3}, {} warnings, {} retrainings{}",
             run.name,
@@ -40,6 +72,22 @@ pub fn experiments_cmd(opts: &Opts) {
                 stats.swaps_at_boundary,
             );
         }
+        for alert in &run.slo_alerts {
+            println!(
+                "  SLO {}: {} {:.3} below floor {:.2} at week {} \
+(burn {:.2} short / {:.2} long)",
+                alert.severity.as_str(),
+                alert.slo,
+                alert.observed,
+                alert.floor,
+                alert.week,
+                alert.burn_short,
+                alert.burn_long,
+            );
+        }
+    }
+    if let Some(path) = &opts.flight {
+        println!("flight log written to {path}");
     }
     let snap = telemetry::snapshot();
     match telemetry::validate(&snap) {
@@ -57,18 +105,35 @@ pub fn experiments_cmd(opts: &Opts) {
 /// instrumented run produces the snapshot first.
 pub fn health(opts: &Opts) {
     let snap = match &opts.from {
-        Some(path) => match dml_obs::MetricsSnapshot::read_file(path) {
-            Ok(snap) => snap,
-            Err(e) => {
-                dml_obs::error!("{e}");
-                std::process::exit(2);
+        Some(path) => {
+            // A flight-recorder log is also JSON-per-line; catch the
+            // mix-up before serde produces an inscrutable type error.
+            if let Ok(text) = std::fs::read_to_string(path) {
+                if dml_obs::looks_like_flight_log(&text) {
+                    dml_obs::error!(
+                        "{path} is a flight-recorder log, not a metrics snapshot; \
+inspect it with `repro trace --flight {path}`"
+                    );
+                    std::process::exit(2);
+                }
             }
-        },
+            match dml_obs::MetricsSnapshot::read_file(path) {
+                Ok(snap) => snap,
+                Err(e) => {
+                    dml_obs::error!("{e}");
+                    std::process::exit(2);
+                }
+            }
+        }
         None => {
             let weeks = opts.weeks.unwrap_or(8);
+            let options = instrument_options(opts);
             for preset in opts.presets(0.05) {
-                let _ =
-                    telemetry::run_instrumented_with(preset.with_weeks(weeks), opts.seed, opts.overlap);
+                let _ = telemetry::run_instrumented_opts(
+                    preset.with_weeks(weeks),
+                    opts.seed,
+                    &options,
+                );
             }
             telemetry::snapshot()
         }
@@ -79,4 +144,201 @@ pub fn health(opts: &Opts) {
         std::process::exit(1);
     }
     println!("all {} required stage metrics present", telemetry::REQUIRED_STAGE_METRICS.len());
+}
+
+fn read_flight_or_exit(opts: &Opts, cmd: &str) -> Vec<dml_obs::FlightRecord> {
+    let Some(path) = &opts.flight else {
+        dml_obs::error!("{cmd} requires --flight LOG.jsonl (written by `repro experiments --flight`)");
+        std::process::exit(2);
+    };
+    match dml_obs::read_flight_log(path) {
+        Ok((records, skipped)) => {
+            if skipped > 0 {
+                dml_obs::warn!("{skipped} malformed line(s) skipped in {path}");
+            }
+            records
+        }
+        Err(e) => {
+            dml_obs::error!("{e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn fmt_event(e: &FlightEvent) -> String {
+    match e {
+        FlightEvent::RunMeta { label, seed } => format!("run start: {label} seed={seed}"),
+        FlightEvent::WarningIssued {
+            id,
+            rule,
+            learner,
+            repo_version,
+            deadline_ms,
+            precursors,
+            ..
+        } => format!(
+            "warning {id} issued by rule #{rule} ({learner}, repo v{repo_version}), \
+deadline +{deadline_ms} ms, {} precursor(s)",
+            precursors.len()
+        ),
+        FlightEvent::WarningResolved { id, outcome, lead_ms } => match (id, lead_ms) {
+            (Some(id), Some(lead)) => format!("warning {id} resolved: {outcome}, lead {lead} ms"),
+            (Some(id), None) => format!("warning {id} resolved: {outcome}"),
+            _ => format!("failure with no warning: {outcome}"),
+        },
+        FlightEvent::Retrain {
+            week,
+            repo_version,
+            rules,
+            added,
+            removed,
+            degraded,
+        } => format!(
+            "retrain week {week}: repo v{repo_version}, {rules} rules (+{added}/-{removed}){}",
+            if *degraded { " DEGRADED" } else { "" }
+        ),
+        FlightEvent::Swap {
+            repo_version,
+            mid_block,
+        } => format!(
+            "swap: repo v{repo_version} installed{}",
+            if *mid_block { " mid-block" } else { " at boundary" }
+        ),
+        FlightEvent::Checkpoint { repo_version } => {
+            format!("checkpoint written (repo v{repo_version})")
+        }
+        FlightEvent::DegradedMode { degraded, detail } => format!(
+            "{} degraded mode: {detail}",
+            if *degraded { "entered" } else { "left" }
+        ),
+        FlightEvent::SloAlert {
+            slo,
+            severity,
+            observed,
+            floor,
+            burn_short,
+            burn_long,
+            week,
+        } => format!(
+            "SLO {severity}: {slo} {observed:.3} below floor {floor:.2} at week {week} \
+(burn {burn_short:.2}/{burn_long:.2})"
+        ),
+    }
+}
+
+/// `repro trace --flight LOG.jsonl` — prints a flight-recorder log as
+/// one human-readable line per record, with per-kind totals.
+pub fn trace(opts: &Opts) {
+    let records = read_flight_or_exit(opts, "trace");
+    let mut by_kind: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
+    for r in &records {
+        *by_kind.entry(r.event.kind()).or_default() += 1;
+    }
+    println!(
+        "{} records ({})",
+        records.len(),
+        by_kind
+            .iter()
+            .map(|(k, n)| format!("{n} {k}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    for r in &records {
+        println!("#{:<6} t=+{:<12} {}", r.seq, format!("{}ms", r.t_ms), fmt_event(&r.event));
+    }
+}
+
+/// `repro explain <warning-id> --flight LOG.jsonl` — everything the
+/// flight log knows about one warning: the issuing rule, its learner
+/// kind and training-time quality, the repository version it matched
+/// against, the precursor events that fired it, and how it resolved.
+pub fn explain(opts: &Opts, target: Option<&str>) {
+    let Some(target) = target else {
+        dml_obs::error!("explain requires a warning id, e.g. `repro explain w3-r7-123456 --flight LOG.jsonl`");
+        std::process::exit(2);
+    };
+    if target.parse::<dml_core::WarningId>().is_err() {
+        dml_obs::error!("`{target}` is not a warning id (expected w<version>-r<rule>-<ms>)");
+        std::process::exit(2);
+    }
+    let records = read_flight_or_exit(opts, "explain");
+
+    let issued = records.iter().find_map(|r| match &r.event {
+        FlightEvent::WarningIssued { id, .. } if id == target => Some(r),
+        _ => None,
+    });
+    let Some(issued) = issued else {
+        dml_obs::error!("warning {target} not found in this flight log");
+        std::process::exit(1);
+    };
+    let FlightEvent::WarningIssued {
+        id,
+        rule,
+        learner,
+        repo_version,
+        deadline_ms,
+        predicted,
+        support,
+        confidence,
+        probability,
+        training_roc,
+        precursors,
+    } = &issued.event
+    else {
+        unreachable!()
+    };
+
+    println!("warning {id}");
+    println!(
+        "  issued      t=+{} ms, deadline t=+{deadline_ms} ms (window {} ms)",
+        issued.t_ms,
+        deadline_ms - issued.t_ms
+    );
+    println!("  rule        #{rule} ({learner} learner)");
+    println!("  repository  v{repo_version}");
+    if let Some(p) = predicted {
+        println!("  predicts    fatal event type {p}");
+    }
+    let mut training = Vec::new();
+    if let Some(s) = support {
+        training.push(format!("support {s:.4}"));
+    }
+    if let Some(c) = confidence {
+        training.push(format!("confidence {c:.3}"));
+    }
+    if let Some(p) = probability {
+        training.push(format!("probability {p:.3}"));
+    }
+    if let Some(roc) = training_roc {
+        training.push(format!("ROC {roc:.3}"));
+    }
+    if !training.is_empty() {
+        println!("  training    {}", training.join(", "));
+    }
+    if precursors.is_empty() {
+        println!("  precursors  (none captured)");
+    } else {
+        println!("  precursors  {} event(s):", precursors.len());
+        for p in precursors {
+            match p.event_type {
+                Some(t) => println!("    type {t:<6} @ t=+{} ms", p.t_ms),
+                None => println!("    (fatal)     @ t=+{} ms", p.t_ms),
+            }
+        }
+    }
+    let resolved = records.iter().find_map(|r| match &r.event {
+        FlightEvent::WarningResolved {
+            id: Some(rid),
+            outcome,
+            lead_ms,
+        } if rid == target => Some((r.t_ms, outcome.clone(), *lead_ms)),
+        _ => None,
+    });
+    match resolved {
+        Some((t, outcome, Some(lead))) => {
+            println!("  outcome     {outcome} at t=+{t} ms (lead {lead} ms)")
+        }
+        Some((t, outcome, None)) => println!("  outcome     {outcome} at t=+{t} ms"),
+        None => println!("  outcome     unresolved in this log"),
+    }
 }

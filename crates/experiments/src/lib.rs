@@ -6,6 +6,7 @@
 pub mod data;
 pub mod output;
 pub mod runs;
+pub mod slo;
 pub mod telemetry;
 
 pub use data::{build_dataset, Dataset};

@@ -33,6 +33,15 @@ pub struct Opts {
     pub min_recall: Option<f64>,
     /// Dump a versioned metrics snapshot of everything the command ran.
     pub metrics_json: Option<String>,
+    /// Dump the snapshot as OpenMetrics/Prometheus exposition text.
+    pub metrics_openmetrics: Option<String>,
+    /// Record the run's provenance stream (flight recorder JSONL); for
+    /// `trace`/`explain`, the log to read instead.
+    pub flight: Option<String>,
+    /// Accuracy-SLO precision floor override (default 0.4).
+    pub slo_precision: Option<f64>,
+    /// Accuracy-SLO recall floor override (default 0.4).
+    pub slo_recall: Option<f64>,
     /// Only errors on stderr (sets the log level).
     pub quiet: bool,
     /// `health`: render a previously dumped snapshot instead of running.
@@ -52,6 +61,10 @@ impl Opts {
             chaos: false,
             min_recall: None,
             metrics_json: None,
+            metrics_openmetrics: None,
+            flight: None,
+            slo_precision: None,
+            slo_recall: None,
             quiet: false,
             from: None,
             overlap: false,
@@ -79,6 +92,23 @@ impl Opts {
                 "--json" => opts.json = Some(value(args, &mut i, "--json")?.to_string()),
                 "--metrics-json" => {
                     opts.metrics_json = Some(value(args, &mut i, "--metrics-json")?.to_string())
+                }
+                "--metrics-openmetrics" => {
+                    opts.metrics_openmetrics =
+                        Some(value(args, &mut i, "--metrics-openmetrics")?.to_string())
+                }
+                "--flight" => opts.flight = Some(value(args, &mut i, "--flight")?.to_string()),
+                "--slo-precision" => {
+                    opts.slo_precision = Some(number(
+                        value(args, &mut i, "--slo-precision")?,
+                        "--slo-precision",
+                    )?)
+                }
+                "--slo-recall" => {
+                    opts.slo_recall = Some(number(
+                        value(args, &mut i, "--slo-recall")?,
+                        "--slo-recall",
+                    )?)
                 }
                 "--from" => opts.from = Some(value(args, &mut i, "--from")?.to_string()),
                 "--overlap" => {
@@ -139,20 +169,28 @@ impl Opts {
 }
 
 const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE] \
-[--metrics-json FILE] [--quiet] [--chaos] [--min-recall T] [--overlap on|off]\n\
+[--metrics-json FILE] [--metrics-openmetrics FILE] [--flight FILE] \
+[--slo-precision T] [--slo-recall T] [--quiet] [--chaos] [--min-recall T] [--overlap on|off]\n\
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
 ext-adaptive ext-location robustness chaos experiments smoke all\n\
-telemetry:   health [--from SNAPSHOT.json]  renders the pipeline dashboard";
+telemetry:   health [--from SNAPSHOT.json]    renders the pipeline dashboard\n\
+             trace --flight LOG.jsonl         prints a flight-recorder log\n\
+             explain <warning-id> --flight LOG.jsonl  full provenance of one warning";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (cmd, rest) = match args.split_first() {
+    let (cmd, mut rest) = match args.split_first() {
         Some((c, r)) => (c.clone(), r.to_vec()),
         None => {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
     };
+    // `explain` takes the warning id as a positional argument.
+    let mut explain_id: Option<String> = None;
+    if cmd == "explain" && rest.first().is_some_and(|a| !a.starts_with('-')) {
+        explain_id = Some(rest.remove(0));
+    }
     let opts = match Opts::parse(&rest) {
         Ok(opts) => opts,
         Err(e) => {
@@ -191,6 +229,8 @@ fn main() {
         "ext-location" => exps::extensions::ext_location(&opts),
         "experiments" => exps::obs::experiments_cmd(&opts),
         "health" => exps::obs::health(&opts),
+        "trace" => exps::obs::trace(&opts),
+        "explain" => exps::obs::explain(&opts, explain_id.as_deref()),
         "smoke" => smoke(&opts),
         "all" => {
             exps::tables::table2(&opts);
@@ -219,6 +259,16 @@ fn main() {
             Ok(()) => dml_obs::info!("metrics snapshot written to {path}"),
             Err(e) => {
                 dml_obs::error!("{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics_openmetrics {
+        let text = dml_obs::render_openmetrics(&experiments::telemetry::snapshot());
+        match std::fs::write(path, text) {
+            Ok(()) => dml_obs::info!("OpenMetrics exposition written to {path}"),
+            Err(e) => {
+                dml_obs::error!("write {path}: {e}");
                 std::process::exit(1);
             }
         }

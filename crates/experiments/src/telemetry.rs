@@ -7,12 +7,14 @@
 //! and validates that every stage reported ([`REQUIRED_STAGE_METRICS`]).
 
 use crate::data::build_corrupted_dataset;
+use crate::slo::{run_watchdog, SloAlert, SloConfig};
 use bgl_sim::{CorruptionPlan, SystemPreset};
 use dml_core::{
     run_hardened_driver, run_overlapped_hardened_driver, AccuracyTracker, DriverConfig,
-    FrameworkConfig, HardenedConfig, HardenedReport, SwapMode, TrainingPolicy,
+    FrameworkConfig, HardenedConfig, HardenedReport, SharedFlightRecorder, SwapMode,
+    TrainingPolicy, WarningOutcome,
 };
-use dml_obs::{MetricSource, MetricsSnapshot, Registry, SpanTimer};
+use dml_obs::{FlightEvent, MetricSource, MetricsSnapshot, Registry, SpanTimer};
 use raslog::{Duration, Timestamp, WEEK_MS};
 use std::sync::{Mutex, OnceLock};
 
@@ -70,9 +72,12 @@ pub const REQUIRED_STAGE_METRICS: &[&str] = &[
     "predict.events_observed",
     "predict.warnings_issued",
     "predict.match_latency_us",
+    "predict.lead_time_ms",
     // driver + accuracy monitor
     "driver.recall",
     "accuracy.rolling_recall",
+    // accuracy-SLO watchdog
+    "slo.cycles",
 ];
 
 /// Checks a snapshot against [`REQUIRED_STAGE_METRICS`].
@@ -92,6 +97,29 @@ pub struct InstrumentedRun {
     pub name: String,
     /// The hardened driver's report + health.
     pub report: HardenedReport,
+    /// Alerts the accuracy-SLO watchdog raised over the run.
+    pub slo_alerts: Vec<SloAlert>,
+}
+
+/// Knobs of the instrumented run beyond the preset itself.
+#[derive(Debug, Clone, Default)]
+pub struct InstrumentOptions {
+    /// Serve with the overlapped driver (background retraining, hot
+    /// swaps); `false` is the paper's serial schedule.
+    pub overlap: bool,
+    /// Flight recorder receiving the run's provenance stream
+    /// (warning-issued/resolved, retrain, swap, checkpoint,
+    /// degraded-mode, SLO alerts). `None` records nothing.
+    pub flight: Option<SharedFlightRecorder>,
+    /// Accuracy-SLO floors and burn windows.
+    pub slo: Option<SloConfig>,
+}
+
+/// Appends one record to the run's flight recorder, if attached.
+fn flight_record(flight: &Option<SharedFlightRecorder>, t_ms: i64, event: FlightEvent) {
+    if let Some(rec) = flight {
+        rec.lock().unwrap_or_else(|p| p.into_inner()).record(t_ms, event);
+    }
 }
 
 /// Runs one preset end-to-end with every stage instrumented: generated
@@ -103,11 +131,28 @@ pub fn run_instrumented(preset: SystemPreset, seed: u64) -> InstrumentedRun {
     run_instrumented_with(preset, seed, false)
 }
 
-/// [`run_instrumented`] with an explicit serving mode: `overlap = true`
-/// retrains in a background worker and hot-swaps rule repositories
-/// (`repro ... --overlap on`); `false` is the paper's serial schedule.
+/// [`run_instrumented`] with an explicit serving mode (`repro ...
+/// --overlap on`), no flight recording.
 pub fn run_instrumented_with(preset: SystemPreset, seed: u64, overlap: bool) -> InstrumentedRun {
+    run_instrumented_opts(
+        preset,
+        seed,
+        &InstrumentOptions {
+            overlap,
+            ..InstrumentOptions::default()
+        },
+    )
+}
+
+/// The fully optioned instrumented run: serving mode, flight recording
+/// and the SLO watchdog (`repro ... --flight FILE --slo-recall T`).
+pub fn run_instrumented_opts(
+    preset: SystemPreset,
+    seed: u64,
+    options: &InstrumentOptions,
+) -> InstrumentedRun {
     let weeks = preset.weeks;
+    let overlap = options.overlap;
     assert!(weeks >= 3, "instrumented run needs >= 3 weeks, got {weeks}");
     let span = SpanTimer::start("driver.wall_ms");
 
@@ -126,6 +171,20 @@ pub fn run_instrumented_with(preset: SystemPreset, seed: u64, overlap: bool) -> 
         ));
     });
 
+    flight_record(
+        &options.flight,
+        0,
+        FlightEvent::RunMeta {
+            label: format!(
+                "{} weeks={} overlap={}",
+                ds.name,
+                ds.weeks,
+                if overlap { "on" } else { "off" }
+            ),
+            seed,
+        },
+    );
+
     let initial_weeks = (weeks / 3).clamp(2, 26).min(weeks - 1);
     let config = HardenedConfig {
         driver: DriverConfig {
@@ -134,6 +193,7 @@ pub fn run_instrumented_with(preset: SystemPreset, seed: u64, overlap: bool) -> 
             initial_training_weeks: initial_weeks,
             only_kind: None,
         },
+        flight: options.flight.clone(),
         ..HardenedConfig::default()
     };
     let mut hardened = if overlap {
@@ -162,6 +222,54 @@ pub fn run_instrumented_with(preset: SystemPreset, seed: u64, overlap: bool) -> 
     }
     export(&tracker);
 
+    // Outcome-resolved records: every hit/false-alarm/miss the monitor
+    // decided during the replay (warnings still inside their prediction
+    // window at end-of-log stay unresolved, as they would live).
+    if options.flight.is_some() {
+        for outcome in tracker.drain_resolutions() {
+            let (t_ms, event) = match outcome {
+                WarningOutcome::Hit { id, time, lead_ms } => (
+                    time.0,
+                    FlightEvent::WarningResolved {
+                        id: Some(id.to_string()),
+                        outcome: "hit".to_string(),
+                        lead_ms: Some(lead_ms),
+                    },
+                ),
+                WarningOutcome::FalseAlarm { id, time } => (
+                    time.0,
+                    FlightEvent::WarningResolved {
+                        id: Some(id.to_string()),
+                        outcome: "false_alarm".to_string(),
+                        lead_ms: None,
+                    },
+                ),
+                WarningOutcome::Miss { time } => (
+                    time.0,
+                    FlightEvent::WarningResolved {
+                        id: None,
+                        outcome: "miss".to_string(),
+                        lead_ms: None,
+                    },
+                ),
+            };
+            flight_record(&options.flight, t_ms, event);
+        }
+    }
+
+    // The accuracy-SLO watchdog over the finished run's retrain cycles.
+    let (slo_alerts, watchdog) = run_watchdog(
+        &hardened.report,
+        options.slo.unwrap_or_default(),
+    );
+    export(&watchdog);
+    for alert in &slo_alerts {
+        flight_record(&options.flight, alert.week * WEEK_MS, alert.flight_event());
+    }
+    if let Some(rec) = &options.flight {
+        rec.lock().unwrap_or_else(|p| p.into_inner()).flush();
+    }
+
     with_registry(|r| {
         let ms = span.stop(r);
         r.trace(format!(
@@ -176,6 +284,7 @@ pub fn run_instrumented_with(preset: SystemPreset, seed: u64, overlap: bool) -> 
     InstrumentedRun {
         name: ds.name.clone(),
         report: hardened,
+        slo_alerts,
     }
 }
 
@@ -251,6 +360,10 @@ pub fn render_health(snap: &MetricsSnapshot) -> String {
         hist_line(snap, "predict.match_latency_us")
     ));
     out.push_str(&format!(
+        "              lead time ms: {}\n",
+        hist_line(snap, "predict.lead_time_ms")
+    ));
+    out.push_str(&format!(
         "  driver      precision {:.3} recall {:.3}, {} warnings over {} test weeks, rule set v{}\n",
         g("driver.precision"),
         g("driver.recall"),
@@ -274,6 +387,19 @@ pub fn render_health(snap: &MetricsSnapshot) -> String {
         g("accuracy.rolling_recall"),
         g("accuracy.tracked_warnings"),
         g("accuracy.tracked_fatals"),
+    ));
+    out.push_str(&format!(
+        "  slo         {} cycles, {} warn / {} page alerts (floors p={:.2} r={:.2}, \
+burn p={:.2}/{:.2} r={:.2}/{:.2} short/long)\n",
+        c("slo.cycles"),
+        c("slo.alerts_warn"),
+        c("slo.alerts_page"),
+        g("slo.precision_floor"),
+        g("slo.recall_floor"),
+        g("slo.precision_burn_short"),
+        g("slo.precision_burn_long"),
+        g("slo.recall_burn_short"),
+        g("slo.recall_burn_long"),
     ));
     if !snap.traces.is_empty() {
         out.push_str("  recent milestones:\n");

@@ -1,0 +1,145 @@
+//! The accuracy-SLO watchdog end to end: a pipeline serving a degraded
+//! (stale) rule set across a workload shift must trip the watchdog, and
+//! the alerts — alongside the degraded retrain records — must land in
+//! the flight recorder.
+
+use dml_core::{
+    run_hardened_driver_with, AssociationLearner, BaseLearner, DriverConfig, FrameworkConfig,
+    HardenedConfig, ResilienceConfig, ResilientTrainer, Rule, RuleKind, TrainingPolicy,
+};
+use dml_obs::{FlightConfig, FlightEvent, FlightRecorder};
+use experiments::slo::{run_watchdog, SloConfig, SloSeverity};
+use raslog::{CleanEvent, EventTypeId, Timestamp, WEEK_MS};
+use std::sync::{Arc, Mutex};
+
+fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+    CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+}
+
+/// Before `shift_week`, the cascade {1,2}→100 repeats; from `shift_week`
+/// on, the workload changes to {7,8}→200 — precursors the stale rules
+/// have never seen, so a non-retraining pipeline stops predicting while
+/// failures keep happening.
+fn shifting_log(weeks: i64, shift_week: i64) -> Vec<CleanEvent> {
+    let week_secs = WEEK_MS / 1000;
+    let mut events = Vec::new();
+    for w in 0..weeks {
+        for i in 0..12 {
+            let base = w * week_secs + i * 50_000;
+            if w < shift_week {
+                events.push(ev(base, 1, false));
+                events.push(ev(base + 60, 2, false));
+                events.push(ev(base + 200, 100, true));
+            } else {
+                events.push(ev(base, 7, false));
+                events.push(ev(base + 60, 8, false));
+                events.push(ev(base + 200, 200, true));
+            }
+        }
+    }
+    events
+}
+
+/// Trains successfully `ok_calls` times, then panics forever — the
+/// resilient trainer serves its stale rules from then on.
+struct DyingAssociation {
+    ok_calls: std::sync::atomic::AtomicUsize,
+}
+
+impl BaseLearner for DyingAssociation {
+    fn name(&self) -> &'static str {
+        "dying-association"
+    }
+    fn kind(&self) -> RuleKind {
+        RuleKind::Association
+    }
+    fn learn(&self, events: &[CleanEvent], config: &FrameworkConfig) -> Vec<Rule> {
+        use std::sync::atomic::Ordering;
+        if self.ok_calls.load(Ordering::SeqCst) == 0 {
+            panic!("association learner down");
+        }
+        self.ok_calls.fetch_sub(1, Ordering::SeqCst);
+        AssociationLearner.learn(events, config)
+    }
+}
+
+#[test]
+fn degraded_rule_set_trips_the_watchdog_into_the_flight_log() {
+    let log = shifting_log(12, 6);
+    let flight_path = std::env::temp_dir().join("dml_slo_watchdog_flight.jsonl");
+    std::fs::remove_file(&flight_path).ok();
+    let recorder = FlightRecorder::create(&flight_path, FlightConfig::default()).unwrap();
+
+    let config = HardenedConfig {
+        driver: DriverConfig {
+            framework: FrameworkConfig {
+                retrain_weeks: 1,
+                ..FrameworkConfig::default()
+            },
+            policy: TrainingPolicy::SlidingWeeks(2),
+            initial_training_weeks: 4,
+            only_kind: None,
+        },
+        resilience: ResilienceConfig {
+            max_stale_retrains: 100,
+            ..ResilienceConfig::default()
+        },
+        checkpoint_path: None,
+        flight: Some(Arc::new(Mutex::new(recorder))),
+    };
+    // The learner survives only the initial training; every retraining
+    // panics, so the initial {1,2}→100 rules serve the whole run — a
+    // degraded rule set meeting a shifted workload.
+    let trainer = ResilientTrainer::with_learners(
+        config.driver.framework,
+        vec![Box::new(DyingAssociation {
+            ok_calls: std::sync::atomic::AtomicUsize::new(1),
+        })],
+        config.resilience,
+    );
+    let hard = run_hardened_driver_with(trainer, &log, 12, &config);
+    assert!(hard.health.fallbacks > 0, "rules must actually be stale");
+    assert!(
+        hard.report.overall.recall() < 0.6,
+        "the stale rules miss the shifted failures: {:?}",
+        hard.report.overall
+    );
+
+    // The watchdog over the run's retrain cycles: healthy before the
+    // shift, burning after it.
+    let (alerts, watchdog) = run_watchdog(&hard.report, SloConfig::default());
+    assert!(watchdog.cycles() >= 6, "cycles: {}", watchdog.cycles());
+    assert!(!alerts.is_empty(), "a collapsed SLO must alert");
+    assert!(
+        alerts.iter().any(|a| a.slo == "recall" && a.week >= 6),
+        "recall alerts fire after the shift: {alerts:?}"
+    );
+    assert!(
+        alerts.iter().any(|a| a.severity == SloSeverity::Page),
+        "a sustained total collapse escalates to page: {alerts:?}"
+    );
+
+    // Alerts and degraded retrains both land in the flight log.
+    {
+        let flight = config.flight.as_ref().unwrap();
+        let mut rec = flight.lock().unwrap();
+        for alert in &alerts {
+            rec.record(alert.week * WEEK_MS, alert.flight_event());
+        }
+        rec.flush();
+    }
+    let (records, skipped) = dml_obs::read_flight_log(&flight_path).unwrap();
+    assert_eq!(skipped, 0);
+    let count = |kind: &str| records.iter().filter(|r| r.event.kind() == kind).count();
+    assert!(count("slo_alert") >= 1);
+    assert!(count("warning_issued") >= 1, "pre-shift weeks still predicted");
+    assert!(count("degraded_mode") >= 1, "the first failed retrain flips degraded");
+    assert!(
+        records.iter().any(|r| matches!(
+            r.event,
+            FlightEvent::Retrain { degraded: true, .. }
+        )),
+        "degraded retrain records present"
+    );
+    std::fs::remove_file(&flight_path).ok();
+}

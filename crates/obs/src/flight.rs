@@ -1,0 +1,601 @@
+//! Bounded, crash-tolerant append-only JSONL flight recorder.
+//!
+//! The flight recorder is the audit trail behind `repro trace` and
+//! `repro explain`: every prediction-lifecycle event (warning issued,
+//! outcome resolved, retrain, repository swap, checkpoint, degraded-mode
+//! transition, SLO alert) is appended as one JSON object per line.
+//!
+//! Design rules, mirroring [`Registry::disabled`](crate::Registry):
+//!
+//! * **No-op when disabled** — [`FlightRecorder::disabled`] carries no
+//!   file handle; every `record` call returns immediately without
+//!   serializing anything, so the predictor hot path pays nothing.
+//! * **Crash-tolerant** — records are self-delimiting JSONL; a process
+//!   killed mid-write loses at most the final partial line, which
+//!   [`read_flight_log`] skips (and counts) instead of failing.
+//! * **Bounded** — [`FlightConfig::max_records`] caps the log; once
+//!   full, further records are counted as dropped, never written, so a
+//!   runaway run cannot fill the disk.
+//! * **Versioned** — every line carries `"v": FLIGHT_SCHEMA_VERSION`;
+//!   readers skip lines from other schema versions.
+//! * **Configurable durability** — [`FsyncPolicy`] trades write
+//!   latency against the number of records an OS crash can lose.
+//!
+//! Timestamps (`t_ms`) are *stream* time — milliseconds in the log's
+//! own clock — so fixed-seed runs produce byte-comparable flight logs.
+
+use crate::registry::{MetricSource, Registry};
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Current flight-record schema version (the `v` field on every line).
+pub const FLIGHT_SCHEMA_VERSION: u32 = 1;
+
+/// How often the recorder forces written records to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// Never fsync; the OS flushes on its own schedule. Fastest, and a
+    /// machine crash may lose the tail of the log.
+    Never,
+    /// Fsync after every record. Maximum durability, highest latency.
+    EveryRecord,
+    /// Fsync after every `n` records (the buffered middle ground).
+    EveryN(u32),
+}
+
+impl Default for FsyncPolicy {
+    fn default() -> Self {
+        FsyncPolicy::EveryN(256)
+    }
+}
+
+/// Flight-recorder tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightConfig {
+    /// Durability policy.
+    pub fsync: FsyncPolicy,
+    /// Maximum records written before the log is considered full and
+    /// further records are dropped (counted). `0` means unbounded.
+    pub max_records: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            fsync: FsyncPolicy::default(),
+            max_records: 1_000_000,
+        }
+    }
+}
+
+/// A matched precursor: one sliding-window event that contributed to a
+/// warning firing (time plus, where known, the event type id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlightPrecursor {
+    /// Stream time of the precursor event (ms).
+    pub t_ms: i64,
+    /// Event type id, when the matching rule keys on one.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub event_type: Option<u16>,
+}
+
+/// One flight-recorder event. Serialized with an internal `"kind"` tag
+/// (`warning_issued`, `warning_resolved`, …) so the JSONL stream is
+/// greppable by record kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FlightEvent {
+    /// Run header: what produced this log.
+    RunMeta {
+        /// Free-form run label (preset, command).
+        label: String,
+        /// Dataset seed.
+        seed: u64,
+    },
+    /// A predictor issued a warning.
+    WarningIssued {
+        /// Stable warning id (`w<version>-r<rule>-<ms>`).
+        id: String,
+        /// Issuing rule id.
+        rule: u32,
+        /// Learner kind: `association` / `statistical` / `location` /
+        /// `distribution`.
+        learner: String,
+        /// Knowledge-repository version the rule matched against.
+        repo_version: u64,
+        /// Prediction-window deadline (stream ms).
+        deadline_ms: i64,
+        /// Predicted fatal event type, when the rule names one.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        predicted: Option<u16>,
+        /// Training-time support (association rules).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        support: Option<f64>,
+        /// Training-time confidence (association rules).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        confidence: Option<f64>,
+        /// Training-time trigger probability (statistical / location /
+        /// distribution rules).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        probability: Option<f64>,
+        /// Reviser-measured ROC over the rule's last training window.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        training_roc: Option<f64>,
+        /// Sliding-window events that matched the rule's antecedent.
+        precursors: Vec<FlightPrecursor>,
+    },
+    /// A tracked warning's outcome is known.
+    WarningResolved {
+        /// The warning's id (`None` for misses — no warning existed).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        id: Option<String>,
+        /// `hit`, `false_alarm`, or `miss`.
+        outcome: String,
+        /// Issue-to-failure lead time, for hits (ms).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        lead_ms: Option<i64>,
+    },
+    /// A retraining completed and produced a rule set.
+    Retrain {
+        /// Test week the retrain landed on.
+        week: i64,
+        /// Version of the repository it produced.
+        repo_version: u64,
+        /// Rules in the new repository.
+        rules: u64,
+        /// Rules newly added.
+        added: u64,
+        /// Rules removed (learner churn + reviser).
+        removed: u64,
+        /// True when any learner fell back or was dropped.
+        degraded: bool,
+    },
+    /// A new repository was installed into the serving path.
+    Swap {
+        /// Repository version installed.
+        repo_version: u64,
+        /// True for a mid-block hot swap (overlapped serving); false at
+        /// block boundaries and in synchronous mode.
+        mid_block: bool,
+    },
+    /// Predictor + repository state checkpointed to disk.
+    Checkpoint {
+        /// Rule-set version the checkpoint captures.
+        repo_version: u64,
+    },
+    /// The pipeline entered or left degraded mode.
+    DegradedMode {
+        /// True when entering degraded mode, false when recovering.
+        degraded: bool,
+        /// What degraded (learner fallbacks/drops, reviser failure).
+        detail: String,
+    },
+    /// The accuracy-SLO watchdog fired.
+    SloAlert {
+        /// Which objective: `precision` or `recall`.
+        slo: String,
+        /// Severity: `warn` or `page`.
+        severity: String,
+        /// Observed value over the short window.
+        observed: f64,
+        /// Configured floor.
+        floor: f64,
+        /// Short-window burn rate.
+        burn_short: f64,
+        /// Long-window burn rate.
+        burn_long: f64,
+        /// Test week the alert fired on.
+        week: i64,
+    },
+}
+
+impl FlightEvent {
+    /// The record kind as it appears in the serialized `kind` field.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FlightEvent::RunMeta { .. } => "run_meta",
+            FlightEvent::WarningIssued { .. } => "warning_issued",
+            FlightEvent::WarningResolved { .. } => "warning_resolved",
+            FlightEvent::Retrain { .. } => "retrain",
+            FlightEvent::Swap { .. } => "swap",
+            FlightEvent::Checkpoint { .. } => "checkpoint",
+            FlightEvent::DegradedMode { .. } => "degraded_mode",
+            FlightEvent::SloAlert { .. } => "slo_alert",
+        }
+    }
+}
+
+/// One line of the flight log: schema version, per-log sequence number,
+/// stream timestamp, and the tagged event payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightRecord {
+    /// Schema version ([`FLIGHT_SCHEMA_VERSION`]).
+    pub v: u32,
+    /// Monotonic per-log sequence number, starting at 0.
+    pub seq: u64,
+    /// Stream time of the event (ms).
+    pub t_ms: i64,
+    /// The event itself (`kind`-tagged).
+    #[serde(flatten)]
+    pub event: FlightEvent,
+}
+
+struct FlightSink {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    config: FlightConfig,
+    since_sync: u32,
+}
+
+impl std::fmt::Debug for FlightSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightSink")
+            .field("path", &self.path)
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The append-only JSONL flight recorder. Construct with
+/// [`FlightRecorder::create`] (live) or [`FlightRecorder::disabled`]
+/// (every call a no-op).
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    sink: Option<FlightSink>,
+    seq: u64,
+    written: u64,
+    dropped: u64,
+    bytes: u64,
+    io_errors: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder that writes nothing: no file handle, no allocation,
+    /// no serialization per record. The hot-path default.
+    pub fn disabled() -> Self {
+        FlightRecorder::default()
+    }
+
+    /// Opens (truncating) `path` and returns a live recorder.
+    pub fn create(path: impl AsRef<Path>, config: FlightConfig) -> std::io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(FlightRecorder {
+            sink: Some(FlightSink {
+                writer: BufWriter::new(file),
+                path,
+                config,
+                since_sync: 0,
+            }),
+            ..FlightRecorder::default()
+        })
+    }
+
+    /// Whether this recorder writes anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The log path (None when disabled).
+    pub fn path(&self) -> Option<&Path> {
+        self.sink.as_ref().map(|s| s.path.as_path())
+    }
+
+    /// Appends one record at stream time `t_ms`. Assigns the sequence
+    /// number, enforces the record cap, and fsyncs per policy. I/O
+    /// errors are counted, never propagated — telemetry must not take
+    /// the pipeline down.
+    pub fn record(&mut self, t_ms: i64, event: FlightEvent) {
+        let Some(sink) = self.sink.as_mut() else {
+            return;
+        };
+        if sink.config.max_records > 0 && self.written >= sink.config.max_records {
+            self.dropped += 1;
+            return;
+        }
+        let record = FlightRecord {
+            v: FLIGHT_SCHEMA_VERSION,
+            seq: self.seq,
+            t_ms,
+            event,
+        };
+        let mut line =
+            serde_json::to_string(&record).expect("flight record serialization cannot fail");
+        line.push('\n');
+        match sink.writer.write_all(line.as_bytes()) {
+            Ok(()) => {
+                self.seq += 1;
+                self.written += 1;
+                self.bytes += line.len() as u64;
+                sink.since_sync += 1;
+                let sync_now = match sink.config.fsync {
+                    FsyncPolicy::Never => false,
+                    FsyncPolicy::EveryRecord => true,
+                    FsyncPolicy::EveryN(n) => sink.since_sync >= n.max(1),
+                };
+                if sync_now {
+                    sink.since_sync = 0;
+                    if sink.writer.flush().is_err() || sink.writer.get_ref().sync_data().is_err() {
+                        self.io_errors += 1;
+                    }
+                }
+            }
+            Err(_) => self.io_errors += 1,
+        }
+    }
+
+    /// Flushes buffered records to the OS (no fsync).
+    pub fn flush(&mut self) {
+        if let Some(sink) = self.sink.as_mut() {
+            if sink.writer.flush().is_err() {
+                self.io_errors += 1;
+            }
+        }
+    }
+
+    /// Records written so far.
+    pub fn records_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Records dropped by the `max_records` cap.
+    pub fn records_dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Bytes appended so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Write/fsync failures swallowed so far.
+    pub fn io_errors(&self) -> u64 {
+        self.io_errors
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+impl MetricSource for FlightRecorder {
+    fn export(&self, registry: &mut Registry) {
+        if !self.is_enabled() {
+            return;
+        }
+        registry.counter_add("flight.records_written", self.written);
+        registry.counter_add("flight.records_dropped", self.dropped);
+        registry.counter_add("flight.bytes_written", self.bytes);
+        registry.counter_add("flight.io_errors", self.io_errors);
+    }
+}
+
+/// Reads a flight log, tolerating a truncated or corrupt tail: returns
+/// the parsed records plus the number of lines skipped (partial final
+/// line after a crash, foreign schema versions, blank lines).
+pub fn read_flight_log(path: impl AsRef<Path>) -> Result<(Vec<FlightRecord>, usize), String> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("read {}: {e}", path.display()))?;
+    let mut records = Vec::new();
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<FlightRecord>(line) {
+            Ok(r) if r.v == FLIGHT_SCHEMA_VERSION => records.push(r),
+            _ => skipped += 1,
+        }
+    }
+    Ok((records, skipped))
+}
+
+/// Whether `text` looks like a flight-recorder JSONL stream rather than
+/// a metrics snapshot: its first non-blank line parses as a flight
+/// record. Used to give `repro health --from` a clear wrong-file-kind
+/// error.
+pub fn looks_like_flight_log(text: &str) -> bool {
+    let Some(first) = text.lines().find(|l| !l.trim().is_empty()) else {
+        return false;
+    };
+    serde_json::from_str::<FlightRecord>(first).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> String {
+        std::env::temp_dir()
+            .join(format!("dml_flight_{name}_{}.jsonl", std::process::id()))
+            .to_str()
+            .unwrap()
+            .to_string()
+    }
+
+    fn sample_warning(id: &str) -> FlightEvent {
+        FlightEvent::WarningIssued {
+            id: id.to_string(),
+            rule: 7,
+            learner: "association".to_string(),
+            repo_version: 2,
+            deadline_ms: 1_300_000,
+            predicted: Some(3),
+            support: Some(0.3),
+            confidence: Some(0.8),
+            probability: None,
+            training_roc: Some(0.55),
+            precursors: vec![FlightPrecursor {
+                t_ms: 999_000,
+                event_type: Some(11),
+            }],
+        }
+    }
+
+    #[test]
+    fn disabled_recorder_writes_and_counts_nothing() {
+        let mut rec = FlightRecorder::disabled();
+        for i in 0..100 {
+            rec.record(i, sample_warning("w1-r7-1000000"));
+        }
+        assert!(!rec.is_enabled());
+        assert_eq!(rec.records_written(), 0);
+        assert_eq!(rec.records_dropped(), 0);
+        assert_eq!(rec.bytes_written(), 0);
+        let mut r = Registry::new();
+        rec.export(&mut r);
+        assert_eq!(r.snapshot().counters.len(), 0);
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_records() {
+        let path = temp_path("round_trip");
+        let mut rec = FlightRecorder::create(&path, FlightConfig::default()).unwrap();
+        rec.record(
+            0,
+            FlightEvent::RunMeta {
+                label: "ANL".to_string(),
+                seed: 42,
+            },
+        );
+        rec.record(1_000_000, sample_warning("w2-r7-1000000"));
+        rec.record(
+            1_100_000,
+            FlightEvent::WarningResolved {
+                id: Some("w2-r7-1000000".to_string()),
+                outcome: "hit".to_string(),
+                lead_ms: Some(100_000),
+            },
+        );
+        rec.flush();
+        assert_eq!(rec.records_written(), 3);
+        drop(rec);
+
+        let (records, skipped) = read_flight_log(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].seq, 0);
+        assert_eq!(records[2].seq, 2);
+        assert_eq!(records[1].event.kind(), "warning_issued");
+        match &records[2].event {
+            FlightEvent::WarningResolved { id, outcome, lead_ms } => {
+                assert_eq!(id.as_deref(), Some("w2-r7-1000000"));
+                assert_eq!(outcome, "hit");
+                assert_eq!(*lead_ms, Some(100_000));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_tail_is_skipped_not_fatal() {
+        let path = temp_path("truncated");
+        let mut rec = FlightRecorder::create(&path, FlightConfig::default()).unwrap();
+        rec.record(0, sample_warning("w1-r7-0"));
+        rec.record(1, sample_warning("w1-r7-1"));
+        rec.flush();
+        drop(rec);
+        // Simulate a crash mid-append: chop the last line in half.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let cut = text.len() - 20;
+        std::fs::write(&path, &text[..cut]).unwrap();
+
+        let (records, skipped) = read_flight_log(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn record_cap_drops_and_counts() {
+        let path = temp_path("cap");
+        let config = FlightConfig {
+            max_records: 2,
+            ..FlightConfig::default()
+        };
+        let mut rec = FlightRecorder::create(&path, config).unwrap();
+        for i in 0..5 {
+            rec.record(i, sample_warning("w1-r7-x"));
+        }
+        assert_eq!(rec.records_written(), 2);
+        assert_eq!(rec.records_dropped(), 3);
+        drop(rec);
+        let (records, _) = read_flight_log(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fsync_every_record_is_durable_without_drop() {
+        let path = temp_path("fsync");
+        let config = FlightConfig {
+            fsync: FsyncPolicy::EveryRecord,
+            ..FlightConfig::default()
+        };
+        let mut rec = FlightRecorder::create(&path, config).unwrap();
+        rec.record(0, sample_warning("w1-r7-0"));
+        // No flush, no drop: the record must already be on disk.
+        let (records, skipped) = read_flight_log(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 0);
+        drop(rec);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_schema_versions_are_skipped() {
+        let path = temp_path("versions");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"v\":99,\"seq\":0,\"t_ms\":0,\"kind\":\"checkpoint\",\"repo_version\":1}\n",
+                "{\"v\":1,\"seq\":1,\"t_ms\":5,\"kind\":\"checkpoint\",\"repo_version\":2}\n",
+            ),
+        )
+        .unwrap();
+        let (records, skipped) = read_flight_log(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 1);
+        assert_eq!(records[0].t_ms, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_flight_logs_vs_snapshots() {
+        let line = serde_json::to_string(&FlightRecord {
+            v: FLIGHT_SCHEMA_VERSION,
+            seq: 0,
+            t_ms: 0,
+            event: FlightEvent::Checkpoint { repo_version: 1 },
+        })
+        .unwrap();
+        assert!(looks_like_flight_log(&line));
+        assert!(!looks_like_flight_log("{\"version\":1,\"counters\":{}}"));
+        assert!(!looks_like_flight_log(""));
+        assert!(!looks_like_flight_log("not json"));
+    }
+
+    #[test]
+    fn metric_source_exports_flight_counters() {
+        let path = temp_path("metrics");
+        let mut rec = FlightRecorder::create(&path, FlightConfig::default()).unwrap();
+        rec.record(0, FlightEvent::Checkpoint { repo_version: 1 });
+        let mut r = Registry::new();
+        rec.export(&mut r);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("flight.records_written"), 1);
+        assert!(snap.counter("flight.bytes_written") > 0);
+        drop(rec);
+        std::fs::remove_file(&path).ok();
+    }
+}

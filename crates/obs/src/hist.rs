@@ -66,6 +66,27 @@ impl Histogram {
         ])
     }
 
+    /// Millisecond buckets for prediction lead times (warning issue →
+    /// actual failure): 1 s – 2 h, dense around the paper's 300 s
+    /// prediction window.
+    pub fn lead_time_ms() -> Self {
+        Histogram::new(vec![
+            1_000.0,
+            5_000.0,
+            15_000.0,
+            30_000.0,
+            60_000.0,
+            120_000.0,
+            180_000.0,
+            240_000.0,
+            300_000.0,
+            600_000.0,
+            1_800_000.0,
+            3_600_000.0,
+            7_200_000.0,
+        ])
+    }
+
     /// Linear buckets: `n` bounds starting at `start`, spaced by `step`.
     pub fn linear(start: f64, step: f64, n: usize) -> Self {
         assert!(step > 0.0 && n > 0);

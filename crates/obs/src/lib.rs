@@ -16,6 +16,10 @@
 //!   (same inputs → identical bytes) and a generic text renderer;
 //! * [`SpanTimer`] / [`time`] — scoped wall-clock spans recorded into a
 //!   histogram;
+//! * [`FlightRecorder`] — a bounded, crash-tolerant append-only JSONL
+//!   audit log of prediction-lifecycle events (see [`flight`]);
+//! * [`render_openmetrics`] — OpenMetrics/Prometheus text exposition of
+//!   a snapshot;
 //! * [`log`] — a leveled stderr logger (macros [`error!`], [`warn!`],
 //!   [`info!`], [`debug!`]) honoring the `DML_LOG` environment variable
 //!   and the CLIs' `--quiet`.
@@ -37,13 +41,20 @@
 //! JSON; wall-clock histograms are the only nondeterministic inputs and
 //! are clearly namespaced (`*_ms` / `*_us`).
 
+pub mod flight;
 pub mod hist;
 pub mod log;
+pub mod openmetrics;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
 
+pub use flight::{
+    looks_like_flight_log, read_flight_log, FlightConfig, FlightEvent, FlightPrecursor,
+    FlightRecord, FlightRecorder, FsyncPolicy, FLIGHT_SCHEMA_VERSION,
+};
 pub use hist::Histogram;
+pub use openmetrics::render_openmetrics;
 pub use registry::{MetricSource, Registry, TraceEntry, TraceRing};
 pub use snapshot::{render_text, HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
 pub use span::{time, SpanTimer};

@@ -1,0 +1,161 @@
+//! OpenMetrics / Prometheus text exposition for [`MetricsSnapshot`].
+//!
+//! Renders the snapshot in the OpenMetrics text format so a node
+//! exporter's textfile collector (or anything Prometheus-compatible) can
+//! scrape a run's metrics: dotted names become `dml_`-prefixed
+//! underscore names, counters gain the `_total` suffix, histograms emit
+//! cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and the
+//! exposition ends with the mandatory `# EOF` terminator.
+//!
+//! The renderer is deterministic (snapshots iterate `BTreeMap`s) and
+//! never emits the same metric family twice — name collisions after
+//! sanitation are skipped, keeping the exposition parseable.
+
+use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
+use std::collections::BTreeSet;
+use std::fmt::Write;
+
+/// Maps a dotted metric name to an OpenMetrics family name:
+/// `predict.match_latency_us` → `dml_predict_match_latency_us`.
+fn family_name(dotted: &str) -> String {
+    let mut out = String::with_capacity(dotted.len() + 4);
+    out.push_str("dml_");
+    for (i, c) in dotted.chars().enumerate() {
+        if c.is_ascii_alphanumeric() || c == '_' || (c == ':' && i > 0) {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Formats a sample value: finite floats as-is, non-finite clamped to 0
+/// (OpenMetrics forbids NaN in counters and we never mean infinity).
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
+    let _ = writeln!(out, "# TYPE {name} histogram");
+    let _ = writeln!(out, "# HELP {name} fixed-bucket histogram");
+    let mut cumulative = 0u64;
+    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+        cumulative += count;
+        let _ = writeln!(
+            out,
+            "{name}_bucket{{le=\"{}\"}} {cumulative}",
+            fmt_value(*bound)
+        );
+    }
+    // The trailing overflow bucket folds into +Inf, which must equal
+    // the total observation count.
+    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+    let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum));
+    let _ = writeln!(out, "{name}_count {}", h.count);
+}
+
+/// Renders a snapshot in the OpenMetrics text exposition format.
+pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut emitted: BTreeSet<String> = BTreeSet::new();
+    for (dotted, v) in &snap.counters {
+        let name = family_name(dotted);
+        if !emitted.insert(name.clone()) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "# HELP {name} counter {dotted}");
+        let _ = writeln!(out, "{name}_total {v}");
+    }
+    for (dotted, v) in &snap.gauges {
+        let name = family_name(dotted);
+        if !emitted.insert(name.clone()) {
+            continue;
+        }
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "# HELP {name} gauge {dotted}");
+        let _ = writeln!(out, "{name} {}", fmt_value(*v));
+    }
+    for (dotted, h) in &snap.histograms {
+        let name = family_name(dotted);
+        if !emitted.insert(name.clone()) {
+            continue;
+        }
+        render_histogram(&mut out, &name, h);
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let mut r = Registry::new();
+        r.counter_add("ingest.lines", 100);
+        r.gauge_set("driver.recall", 0.875);
+        r.record_us("predict.match_latency_us", 0.2);
+        r.record_us("predict.match_latency_us", 90_000.0); // overflow bucket
+        r.snapshot()
+    }
+
+    #[test]
+    fn renders_types_helps_and_eof() {
+        let text = render_openmetrics(&sample());
+        assert!(text.contains("# TYPE dml_ingest_lines counter"));
+        assert!(text.contains("# HELP dml_ingest_lines counter ingest.lines"));
+        assert!(text.contains("dml_ingest_lines_total 100"));
+        assert!(text.contains("# TYPE dml_driver_recall gauge"));
+        assert!(text.contains("dml_driver_recall 0.875"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_with_inf() {
+        let text = render_openmetrics(&sample());
+        assert!(text.contains("# TYPE dml_predict_match_latency_us histogram"));
+        // Both observations fall at or below +Inf.
+        assert!(text.contains("dml_predict_match_latency_us_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("dml_predict_match_latency_us_count 2"));
+        // Cumulative counts never decrease.
+        let mut last = 0u64;
+        for line in text.lines().filter(|l| l.contains("_bucket{le=")) {
+            let v: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(v >= last, "bucket counts must be cumulative: {line}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn no_duplicate_family_or_sample_names() {
+        let text = render_openmetrics(&sample());
+        let mut seen = std::collections::BTreeSet::new();
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let sample_id = line.rsplit_once(' ').unwrap().0.to_string();
+            assert!(seen.insert(sample_id), "duplicate sample: {line}");
+        }
+        let mut families = std::collections::BTreeSet::new();
+        for line in text.lines().filter(|l| l.starts_with("# TYPE ")) {
+            let fam = line.split_whitespace().nth(2).unwrap().to_string();
+            assert!(families.insert(fam), "duplicate family: {line}");
+        }
+    }
+
+    #[test]
+    fn sanitizes_dotted_names() {
+        assert_eq!(family_name("a.b-c.d"), "dml_a_b_c_d");
+        assert_eq!(family_name("predict.lead_time_ms"), "dml_predict_lead_time_ms");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        assert_eq!(render_openmetrics(&sample()), render_openmetrics(&sample()));
+    }
+}

@@ -72,6 +72,7 @@ fn main() {
         },
         resilience: ResilienceConfig::default(),
         checkpoint_path: None,
+        flight: None,
     };
 
     // Reference: the healthy ensemble under the same driver.

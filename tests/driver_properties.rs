@@ -2,10 +2,11 @@
 
 use dynamic_meta_learning::bgl_sim::{Generator, SystemPreset};
 use dynamic_meta_learning::dml_core::{
-    run_driver, DriverConfig, FrameworkConfig, RuleKind, TrainingPolicy,
+    run_driver, DriverConfig, FrameworkConfig, RuleKind, TrainingPolicy, WarningId,
 };
 use dynamic_meta_learning::preprocess::{clean_log, Categorizer, FilterConfig};
 use raslog::Duration;
+use std::sync::OnceLock;
 
 const WEEKS: i64 = 24;
 
@@ -24,6 +25,26 @@ fn dataset(seed: u64) -> Vec<raslog::CleanEvent> {
         clean.append(&mut c);
     }
     clean
+}
+
+/// A 4-week fixed-seed log small enough for the default (non-ignored)
+/// suite, generated once and shared by every smoke test in this binary.
+fn smoke_dataset() -> &'static [raslog::CleanEvent] {
+    static DATA: OnceLock<Vec<raslog::CleanEvent>> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let generator = Generator::new(
+            SystemPreset::sdsc().with_weeks(4).with_volume_scale(0.05),
+            17,
+        );
+        let categorizer = Categorizer::new(generator.catalog().clone());
+        let mut clean = Vec::new();
+        for week in 0..4 {
+            let (raw, _) = generator.week_events(week);
+            let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+            clean.append(&mut c);
+        }
+        clean
+    })
 }
 
 fn config(policy: TrainingPolicy) -> DriverConfig {
@@ -76,6 +97,43 @@ fn warnings_are_ordered_and_well_formed() {
     }
     for w in &report.warnings {
         assert!(w.deadline > w.issued_at);
+        match w.kind {
+            RuleKind::Association => assert!(w.predicted.is_some()),
+            _ => assert!(w.predicted.is_none()),
+        }
+    }
+}
+
+/// Fast variant of `warnings_are_ordered_and_well_formed` on the shared
+/// 4-week smoke log, extended with the provenance invariants: every
+/// warning's id is derived from its provenance and unique run-wide.
+#[test]
+fn smoke_warnings_are_ordered_and_carry_provenance() {
+    let clean = smoke_dataset();
+    let cfg = DriverConfig {
+        framework: FrameworkConfig {
+            retrain_weeks: 1,
+            ..FrameworkConfig::default()
+        },
+        policy: TrainingPolicy::SlidingWeeks(2),
+        initial_training_weeks: 2,
+        only_kind: None,
+    };
+    let report = run_driver(clean, 4, &cfg);
+    assert!(report.churn.len() >= 2, "initial training plus a retrain");
+    for w in report.warnings.windows(2) {
+        assert!(w[0].issued_at <= w[1].issued_at);
+    }
+    let mut seen = std::collections::HashSet::new();
+    for w in &report.warnings {
+        assert!(w.deadline > w.issued_at);
+        assert_eq!(
+            w.id,
+            WarningId::new(w.provenance.repo_version, w.rule, w.issued_at)
+        );
+        assert!(seen.insert(w.id), "duplicate warning id {}", w.id);
+        assert!(w.provenance.repo_version >= 1, "stamped repository version");
+        assert_eq!(w.id, w.id.to_string().parse().unwrap(), "id round-trips");
         match w.kind {
             RuleKind::Association => assert!(w.predicted.is_some()),
             _ => assert!(w.predicted.is_none()),

@@ -1,0 +1,105 @@
+//! Disabled observability must be free: a disabled `Registry` and a
+//! disabled `FlightRecorder` on the predictor hot path record nothing,
+//! allocate nothing, and leave the pipeline's results untouched.
+
+use dynamic_meta_learning::dml_core::{
+    run_hardened_driver, DriverConfig, FrameworkConfig, HardenedConfig, Predictor,
+    ResilienceConfig, TrainingPolicy,
+};
+use dynamic_meta_learning::dml_obs::{FlightRecorder, Registry};
+use raslog::{CleanEvent, EventTypeId, Timestamp};
+use std::sync::{Arc, Mutex};
+
+fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+    CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+}
+
+/// Six weeks of a steady {1,2} → fatal 100 cascade.
+fn cascade_log(weeks: i64) -> Vec<CleanEvent> {
+    let week_secs = raslog::WEEK_MS / 1000;
+    let mut events = Vec::new();
+    for w in 0..weeks {
+        for i in 0..10 {
+            let base = w * week_secs + i * 60_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 60, 2, false));
+            events.push(ev(base + 200, 100, true));
+        }
+    }
+    events
+}
+
+fn config(flight: Option<dynamic_meta_learning::dml_core::SharedFlightRecorder>) -> HardenedConfig {
+    HardenedConfig {
+        driver: DriverConfig {
+            framework: FrameworkConfig {
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            policy: TrainingPolicy::SlidingWeeks(2),
+            initial_training_weeks: 2,
+            only_kind: None,
+        },
+        resilience: ResilienceConfig::default(),
+        checkpoint_path: None,
+        flight,
+    }
+}
+
+#[test]
+fn disabled_flight_recorder_is_a_no_op_on_the_driver_hot_path() {
+    let log = cascade_log(6);
+    let baseline = run_hardened_driver(&log, 6, &config(None));
+    assert!(
+        !baseline.report.warnings.is_empty(),
+        "the cascade must produce warnings for the test to mean anything"
+    );
+
+    let disabled = Arc::new(Mutex::new(FlightRecorder::disabled()));
+    let observed = run_hardened_driver(&log, 6, &config(Some(disabled.clone())));
+
+    // Identical results: the recorder sits outside the prediction path.
+    assert_eq!(observed.report.warnings, baseline.report.warnings);
+    assert_eq!(observed.report.overall, baseline.report.overall);
+
+    // And the disabled recorder touched nothing.
+    let rec = disabled.lock().unwrap();
+    assert!(!rec.is_enabled());
+    assert_eq!(rec.records_written(), 0);
+    assert_eq!(rec.records_dropped(), 0);
+    assert_eq!(rec.bytes_written(), 0);
+    assert_eq!(rec.io_errors(), 0);
+}
+
+#[test]
+fn disabled_registry_collects_nothing_from_the_predictor() {
+    let log = cascade_log(6);
+    let split = Timestamp(3 * raslog::WEEK_MS);
+    let cfg = FrameworkConfig::default();
+    let outcome = dynamic_meta_learning::dml_core::MetaLearner::new(cfg)
+        .train(raslog::store::window(&log, Timestamp::ZERO, split));
+    assert!(!outcome.repo.is_empty());
+
+    let mut predictor = Predictor::new(&outcome.repo, cfg.window);
+    let test = raslog::store::window(&log, split, Timestamp(6 * raslog::WEEK_MS));
+    let warnings = predictor.observe_all(test);
+    assert!(!warnings.is_empty());
+
+    let mut off = Registry::disabled();
+    off.collect(predictor.metrics());
+    assert!(off.is_empty(), "a disabled registry must stay empty");
+    assert!(off.snapshot().counters.is_empty());
+
+    let mut on = Registry::new();
+    on.collect(predictor.metrics());
+    assert!(!on.is_empty(), "the enabled twin sees the same source");
+
+    // Feeding the warning stream into a disabled recorder is equally free.
+    let mut rec = FlightRecorder::disabled();
+    for w in &warnings {
+        rec.record(w.issued_at.0, w.flight_event());
+    }
+    rec.flush();
+    assert_eq!(rec.records_written(), 0);
+    assert_eq!(rec.bytes_written(), 0);
+}

@@ -6,12 +6,34 @@ use dynamic_meta_learning::dml_core::{evaluation, FrameworkConfig, MetaLearner, 
 use dynamic_meta_learning::preprocess::{clean_log, Categorizer, FilterConfig};
 use raslog::store::window;
 use raslog::{LogStore, Timestamp, WEEK_MS};
+use std::sync::OnceLock;
 
 fn generator() -> Generator {
     Generator::new(
         SystemPreset::sdsc().with_weeks(20).with_volume_scale(0.08),
         5,
     )
+}
+
+/// A 4-week fixed-seed clean log small enough for the default
+/// (non-ignored) suite, built once and shared by every smoke test in
+/// this binary.
+fn smoke_clean_log() -> &'static [raslog::CleanEvent] {
+    static DATA: OnceLock<Vec<raslog::CleanEvent>> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let generator = Generator::new(
+            SystemPreset::sdsc().with_weeks(4).with_volume_scale(0.05),
+            5,
+        );
+        let categorizer = Categorizer::new(generator.catalog().clone());
+        let mut clean = Vec::new();
+        for week in 0..4 {
+            let (raw, _) = generator.week_events(week);
+            let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+            clean.append(&mut c);
+        }
+        clean
+    })
 }
 
 #[test]
@@ -77,6 +99,36 @@ fn full_pipeline_reaches_usable_accuracy() {
         (acc.covered_fatals + acc.missed_fatals) as usize,
         fatal_count
     );
+}
+
+/// Fast variant of `full_pipeline_reaches_usable_accuracy` on the shared
+/// 4-week smoke log: train on three weeks, predict the fourth, and hold
+/// the exact bookkeeping identities (which are true at any accuracy).
+#[test]
+fn smoke_pipeline_bookkeeping_holds_on_a_short_log() {
+    let clean = smoke_clean_log();
+    let config = FrameworkConfig::default();
+    let train = window(clean, Timestamp::ZERO, Timestamp(3 * WEEK_MS));
+    let test = window(clean, Timestamp(3 * WEEK_MS), Timestamp(4 * WEEK_MS));
+
+    let outcome = MetaLearner::new(config).train(train);
+    assert!(!outcome.repo.is_empty(), "three weeks must yield some rules");
+
+    let warnings = Predictor::new(&outcome.repo, config.window).observe_all(test);
+    let acc = evaluation::score(&warnings, test);
+    assert_eq!(
+        (acc.true_warnings + acc.false_warnings) as usize,
+        warnings.len()
+    );
+    let fatal_count = test.iter().filter(|e| e.fatal).count();
+    assert_eq!(
+        (acc.covered_fatals + acc.missed_fatals) as usize,
+        fatal_count
+    );
+    // The one-week weekly series carries the same counts.
+    let weekly = evaluation::weekly_series(&warnings, test, 3, 3);
+    assert_eq!(weekly.len(), 1);
+    assert_eq!(weekly[0].accuracy, acc);
 }
 
 #[test]
