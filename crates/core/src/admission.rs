@@ -1,0 +1,295 @@
+//! Event-storm admission control: a bounded ingest queue in front of
+//! the predictor hot path.
+//!
+//! Sustained log bursts (a machine-check storm reporting the same
+//! non-fatal condition from thousands of nodes) would otherwise grow the
+//! serving pipeline's resident set without bound. [`AdmissionQueue`]
+//! caps the number of events resident between arrival and prediction,
+//! and sheds load with an explicit policy when the cap is hit:
+//!
+//! 1. **Duplicates first** — a non-fatal arrival whose event type is
+//!    already queued is the cheapest to drop: the queued copy preserves
+//!    the precursor signal for the sliding window.
+//! 2. **Then other non-fatals** — a non-fatal arrival of a new type is
+//!    shed only when the queue is full of distinct work.
+//! 3. **Never fatals** — a fatal arrival always enters: it evicts the
+//!    oldest queued non-fatal, or (if the whole queue is fatal) is
+//!    admitted over capacity, counted in
+//!    [`AdmissionStats::overflow_admits`].
+//!
+//! Draining is strictly FIFO, so when nothing is shed the event order —
+//! and therefore driver output — is bit-identical to running without
+//! admission control.
+
+use raslog::CleanEvent;
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Admission-control parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct AdmissionConfig {
+    /// Maximum events resident in the ingest queue. Fatal arrivals into
+    /// an all-fatal queue may exceed this transiently (counted).
+    pub capacity: usize,
+}
+
+impl AdmissionConfig {
+    /// Admission control with the given queue capacity.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionConfig {
+            capacity: capacity.max(1),
+        }
+    }
+}
+
+/// Why an event was shed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShedClass {
+    /// A non-fatal whose type was already represented in the queue.
+    Duplicate,
+    /// A non-fatal of a type not otherwise queued.
+    NonFatal,
+}
+
+/// Per-class shed counters and queue gauges, exported as `admission.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct AdmissionStats {
+    /// Configured queue capacity.
+    pub capacity: usize,
+    /// Events admitted into the queue.
+    pub admitted: usize,
+    /// Events handed onward to the predictor.
+    pub drained: usize,
+    /// Non-fatal events shed because their type was already queued.
+    pub shed_duplicate: usize,
+    /// Non-fatal events shed with no queued duplicate.
+    pub shed_nonfatal: usize,
+    /// Fatal events shed — the policy guarantees this stays 0; the
+    /// counter exists so tests and CI can assert it.
+    pub shed_fatal: usize,
+    /// Fatal arrivals admitted over capacity (all-fatal queue).
+    pub overflow_admits: usize,
+    /// Peak resident queue length observed.
+    pub high_watermark: usize,
+}
+
+impl AdmissionStats {
+    /// Total events shed, all classes.
+    pub fn shed_total(&self) -> usize {
+        self.shed_duplicate + self.shed_nonfatal + self.shed_fatal
+    }
+}
+
+impl dml_obs::MetricSource for AdmissionStats {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.gauge_set("admission.capacity", self.capacity as f64);
+        registry.counter_add("admission.admitted", self.admitted as u64);
+        registry.counter_add("admission.drained", self.drained as u64);
+        registry.counter_add("admission.shed_duplicate", self.shed_duplicate as u64);
+        registry.counter_add("admission.shed_nonfatal", self.shed_nonfatal as u64);
+        registry.counter_add("admission.shed_fatal", self.shed_fatal as u64);
+        registry.counter_add("admission.overflow_admits", self.overflow_admits as u64);
+        registry.gauge_set("admission.high_watermark", self.high_watermark as f64);
+    }
+}
+
+/// The bounded ingest queue. Offer a burst of arrivals, then drain in
+/// FIFO order into the predictor.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    config: AdmissionConfig,
+    queue: VecDeque<CleanEvent>,
+    stats: AdmissionStats,
+}
+
+impl AdmissionQueue {
+    /// An empty queue with the given policy.
+    pub fn new(config: AdmissionConfig) -> Self {
+        AdmissionQueue {
+            config,
+            queue: VecDeque::with_capacity(config.capacity.min(4096)),
+            stats: AdmissionStats {
+                capacity: config.capacity,
+                ..AdmissionStats::default()
+            },
+        }
+    }
+
+    fn note_shed(&mut self, class: ShedClass) {
+        match class {
+            ShedClass::Duplicate => self.stats.shed_duplicate += 1,
+            ShedClass::NonFatal => self.stats.shed_nonfatal += 1,
+        }
+    }
+
+    /// How a queued non-fatal at `idx` should be classified if evicted:
+    /// a duplicate if its type appears anywhere else in the queue.
+    fn classify_resident(&self, idx: usize) -> ShedClass {
+        let ty = self.queue[idx].type_id;
+        let duplicated = self
+            .queue
+            .iter()
+            .enumerate()
+            .any(|(i, e)| i != idx && e.type_id == ty);
+        if duplicated {
+            ShedClass::Duplicate
+        } else {
+            ShedClass::NonFatal
+        }
+    }
+
+    /// Offers one arrival. Returns `true` if it was admitted.
+    pub fn offer(&mut self, event: CleanEvent) -> bool {
+        if self.queue.len() < self.config.capacity {
+            self.queue.push_back(event);
+            self.stats.admitted += 1;
+            self.stats.high_watermark = self.stats.high_watermark.max(self.queue.len());
+            return true;
+        }
+        if !event.fatal {
+            let class = if self.queue.iter().any(|e| e.type_id == event.type_id) {
+                ShedClass::Duplicate
+            } else {
+                ShedClass::NonFatal
+            };
+            self.note_shed(class);
+            return false;
+        }
+        // Fatal arrival into a full queue: evict the oldest non-fatal.
+        if let Some(idx) = self.queue.iter().position(|e| !e.fatal) {
+            let class = self.classify_resident(idx);
+            self.queue.remove(idx);
+            self.note_shed(class);
+        } else {
+            // Entirely fatal: admit over capacity rather than shed.
+            self.stats.overflow_admits += 1;
+        }
+        self.queue.push_back(event);
+        self.stats.admitted += 1;
+        self.stats.high_watermark = self.stats.high_watermark.max(self.queue.len());
+        true
+    }
+
+    /// Pops admitted events in FIFO order into `f` until empty.
+    pub fn drain(&mut self, mut f: impl FnMut(CleanEvent)) {
+        while let Some(ev) = self.queue.pop_front() {
+            self.stats.drained += 1;
+            f(ev);
+        }
+    }
+
+    /// Events currently resident.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Counters so far (capacity, sheds, watermark).
+    pub fn stats(&self) -> AdmissionStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{EventTypeId, Timestamp};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    fn drain_all(q: &mut AdmissionQueue) -> Vec<CleanEvent> {
+        let mut out = Vec::new();
+        q.drain(|e| out.push(e));
+        out
+    }
+
+    #[test]
+    fn under_capacity_everything_is_admitted_in_order() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(8));
+        for i in 0..5 {
+            assert!(q.offer(ev(i, i as u16, false)));
+        }
+        let out = drain_all(&mut q);
+        assert_eq!(out.len(), 5);
+        assert!(out.windows(2).all(|w| w[0].time <= w[1].time));
+        let s = q.stats();
+        assert_eq!(s.admitted, 5);
+        assert_eq!(s.drained, 5);
+        assert_eq!(s.shed_total(), 0);
+        assert_eq!(s.high_watermark, 5);
+    }
+
+    #[test]
+    fn full_queue_sheds_duplicates_before_distinct_nonfatals() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(2));
+        assert!(q.offer(ev(0, 1, false)));
+        assert!(q.offer(ev(1, 2, false)));
+        // Type 1 already queued → shed as duplicate.
+        assert!(!q.offer(ev(2, 1, false)));
+        // Type 3 is new → shed as plain non-fatal.
+        assert!(!q.offer(ev(3, 3, false)));
+        let s = q.stats();
+        assert_eq!(s.shed_duplicate, 1);
+        assert_eq!(s.shed_nonfatal, 1);
+        assert_eq!(s.shed_fatal, 0);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn fatal_arrivals_are_never_shed() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(2));
+        assert!(q.offer(ev(0, 1, false)));
+        assert!(q.offer(ev(1, 1, false)));
+        // Fatal into a full queue evicts the oldest non-fatal (a
+        // duplicate here: type 1 appears twice).
+        assert!(q.offer(ev(2, 100, true)));
+        let s = q.stats();
+        assert_eq!(s.shed_duplicate, 1);
+        assert_eq!(s.shed_fatal, 0);
+        let out = drain_all(&mut q);
+        assert!(out.iter().any(|e| e.fatal));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn all_fatal_queue_admits_over_capacity() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(2));
+        assert!(q.offer(ev(0, 100, true)));
+        assert!(q.offer(ev(1, 100, true)));
+        assert!(q.offer(ev(2, 100, true)));
+        let s = q.stats();
+        assert_eq!(s.overflow_admits, 1);
+        assert_eq!(s.shed_fatal, 0);
+        assert_eq!(q.len(), 3, "fatal overflow is resident, not dropped");
+        assert_eq!(s.high_watermark, 3);
+    }
+
+    #[test]
+    fn watermark_tracks_peak_not_current() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(16));
+        for i in 0..10 {
+            q.offer(ev(i, i as u16, false));
+        }
+        drain_all(&mut q);
+        q.offer(ev(100, 1, false));
+        assert_eq!(q.stats().high_watermark, 10);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn evicting_a_distinct_nonfatal_counts_as_nonfatal() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(2));
+        assert!(q.offer(ev(0, 1, false)));
+        assert!(q.offer(ev(1, 2, false)));
+        assert!(q.offer(ev(2, 100, true)));
+        let s = q.stats();
+        assert_eq!(s.shed_nonfatal, 1, "evicted type 1 had no duplicate");
+        assert_eq!(s.shed_duplicate, 0);
+    }
+}

@@ -29,9 +29,11 @@
 //! [`adaptive`] (the adaptive prediction-window controller sketched as
 //! future work), [`learners::LocationLearner`] (a fourth, spatial base
 //! learner), [`persist`] (rule hand-off between trainer and predictor
-//! processes, plus crash-recovery checkpoints) and [`resilience`]
+//! processes, plus crash-recovery checkpoints), [`resilience`]
 //! (degraded-mode retraining with panic isolation and the hardened
-//! driver).
+//! driver), [`slo`] (the burn-rate accuracy watchdog), [`lifecycle`]
+//! (canary-gated installs, last-known-good rollback) and [`admission`]
+//! (bounded ingest queue with never-shed-fatal load shedding).
 //!
 //! # Example
 //!
@@ -62,11 +64,13 @@
 //! ```
 
 pub mod adaptive;
+pub mod admission;
 pub mod config;
 pub mod driver;
 pub mod evaluation;
 pub mod knowledge;
 pub mod learners;
+pub mod lifecycle;
 pub mod meta;
 pub mod overlap;
 pub mod persist;
@@ -74,10 +78,12 @@ pub mod predictor;
 pub mod resilience;
 pub mod reviser;
 pub mod rules;
+pub mod slo;
 pub mod tracker;
 pub mod venn;
 
 pub use adaptive::{next_window, run_adaptive_driver, AdaptiveReport, AdaptiveWindowConfig};
+pub use admission::{AdmissionConfig, AdmissionQueue, AdmissionStats};
 pub use config::FrameworkConfig;
 pub use driver::{run_driver, ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
 pub use evaluation::{
@@ -86,6 +92,10 @@ pub use evaluation::{
 pub use knowledge::{KnowledgeRepository, RuleChurn, StoredRule};
 pub use learners::{
     AssociationLearner, BaseLearner, DistributionLearner, LocationLearner, StatisticalLearner,
+};
+pub use lifecycle::{
+    canary_compare, CanaryVerdict, KnownGoodRing, LifecycleConfig, LifecycleMode,
+    LifecycleOutcome, RetrainBackoff,
 };
 pub use meta::{MetaLearner, TrainingOutcome};
 pub use overlap::{run_overlapped_driver, OverlapStats, RetrainRequest, SwapContext, SwapMode};
@@ -104,4 +114,7 @@ pub use resilience::{
     SharedFlightRecorder,
 };
 pub use rules::{Rule, RuleId, RuleIdentity, RuleKind};
+pub use slo::{
+    per_cycle_accuracy, run_watchdog, CycleAccuracy, SloAlert, SloConfig, SloSeverity, SloWatchdog,
+};
 pub use tracker::{AccuracyTracker, WarningOutcome};

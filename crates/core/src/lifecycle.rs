@@ -1,0 +1,461 @@
+//! Self-healing rule lifecycle: canary-gated installs and last-known-good
+//! rollback.
+//!
+//! The paper's dynamic driver installs every retrained rule set
+//! unconditionally — a retraining over a corrupted or shifted window can
+//! silently replace a good repository with a bad one, and the SLO
+//! watchdog can only page about it afterward. This module closes the
+//! detect→act loop:
+//!
+//! * **Canary gate** ([`canary_compare`]) — before a candidate
+//!   [`KnowledgeRepository`] is installed, shadow-replay both the
+//!   candidate and the incumbent against the tail of the training window
+//!   and compare precision/recall. A candidate that regresses beyond
+//!   [`LifecycleConfig::margin`] on either objective is rejected: the
+//!   incumbent keeps serving and the next scheduled retraining is the
+//!   retry.
+//! * **Known-good ring** ([`KnownGoodRing`]) — a bounded ring of
+//!   canary-accepted repository versions. When the live SLO watchdog
+//!   pages, the driver rolls back to the newest known-good version older
+//!   than the one that degraded, and schedules an early retrain with
+//!   exponential backoff ([`RetrainBackoff`]) instead of waiting the
+//!   full `W_R` weeks.
+//!
+//! Both are off by default ([`LifecycleMode::Off`]) and cost nothing on
+//! the serving hot path when disabled — the hardened drivers are
+//! asserted bit-identical to the lifecycle-free schedule in that case.
+
+use crate::evaluation::{score, Accuracy};
+use crate::knowledge::KnowledgeRepository;
+use crate::predictor::Predictor;
+use raslog::{CleanEvent, Duration};
+use serde::Serialize;
+use std::collections::VecDeque;
+
+/// Which self-healing stages are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum LifecycleMode {
+    /// No gate, no rollback: every retraining installs unconditionally
+    /// (the paper's schedule, and bit-identical to it).
+    #[default]
+    Off,
+    /// Canary-gate installs; no automatic rollback.
+    Canary,
+    /// Canary-gate installs and roll back on SLO pages.
+    CanaryRollback,
+}
+
+impl LifecycleMode {
+    /// Whether any lifecycle machinery is active.
+    pub fn enabled(&self) -> bool {
+        *self != LifecycleMode::Off
+    }
+
+    /// Whether automatic rollback is active.
+    pub fn rollback(&self) -> bool {
+        *self == LifecycleMode::CanaryRollback
+    }
+}
+
+impl std::fmt::Display for LifecycleMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LifecycleMode::Off => "off",
+            LifecycleMode::Canary => "canary",
+            LifecycleMode::CanaryRollback => "canary+rollback",
+        })
+    }
+}
+
+impl std::str::FromStr for LifecycleMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(LifecycleMode::Off),
+            "canary" => Ok(LifecycleMode::Canary),
+            "canary+rollback" => Ok(LifecycleMode::CanaryRollback),
+            other => Err(format!(
+                "expected off|canary|canary+rollback, got `{other}`"
+            )),
+        }
+    }
+}
+
+/// Rule-lifecycle parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleConfig {
+    /// Which stages are active.
+    pub mode: LifecycleMode,
+    /// Weeks of the training-window tail the canary replays (the most
+    /// recent data both candidate and incumbent are judged on).
+    pub canary_tail_weeks: i64,
+    /// How much worse than the incumbent a candidate may score on the
+    /// tail (precision and recall each) before it is rejected.
+    pub margin: f64,
+    /// How many canary-accepted repository versions the known-good ring
+    /// retains for rollback.
+    pub known_good_capacity: usize,
+    /// Weeks until the first early retrain after a rollback.
+    pub backoff_base_weeks: i64,
+    /// Cap on the exponential early-retrain backoff.
+    pub backoff_cap_weeks: i64,
+    /// Floors and burn windows of the live SLO watchdog that triggers
+    /// rollback (only read under [`LifecycleMode::CanaryRollback`]).
+    pub slo: crate::slo::SloConfig,
+}
+
+impl Default for LifecycleConfig {
+    fn default() -> Self {
+        LifecycleConfig {
+            mode: LifecycleMode::Off,
+            canary_tail_weeks: 1,
+            margin: 0.05,
+            known_good_capacity: 4,
+            backoff_base_weeks: 1,
+            backoff_cap_weeks: 8,
+            slo: crate::slo::SloConfig::default(),
+        }
+    }
+}
+
+/// What the canary shadow-replay measured.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CanaryVerdict {
+    /// Whether the candidate may be installed.
+    pub accepted: bool,
+    /// Candidate accuracy over the canary tail.
+    pub candidate: Accuracy,
+    /// Incumbent accuracy over the same tail.
+    pub incumbent: Accuracy,
+}
+
+fn shadow_score(
+    repo: &KnowledgeRepository,
+    warm: &[CleanEvent],
+    tail: &[CleanEvent],
+    window: Duration,
+) -> Accuracy {
+    let mut predictor = Predictor::new(repo, window);
+    predictor.set_latency_sampling(0);
+    predictor.warm_up(warm);
+    let warnings = predictor.observe_all(tail);
+    score(&warnings, tail)
+}
+
+/// Shadow-replays `candidate` and `incumbent` over the canary `tail`
+/// (both warmed up with `warm`, the events immediately preceding it) and
+/// accepts the candidate unless it regresses more than `margin` on
+/// precision or recall.
+///
+/// The replay reuses the production [`Predictor`] so a candidate is
+/// judged by exactly the matcher that would serve it; latency sampling
+/// is disabled so the canary leaves no trace in predictor metrics.
+pub fn canary_compare(
+    candidate: &KnowledgeRepository,
+    incumbent: &KnowledgeRepository,
+    warm: &[CleanEvent],
+    tail: &[CleanEvent],
+    window: Duration,
+    margin: f64,
+) -> CanaryVerdict {
+    let cand = shadow_score(candidate, warm, tail, window);
+    let inc = shadow_score(incumbent, warm, tail, window);
+    let accepted = cand.precision() + margin >= inc.precision()
+        && cand.recall() + margin >= inc.recall();
+    CanaryVerdict {
+        accepted,
+        candidate: cand,
+        incumbent: inc,
+    }
+}
+
+/// A bounded ring of canary-accepted repository versions, newest last.
+///
+/// Eviction never removes the currently-serving version: when the ring
+/// is full, the oldest *non-serving* entry goes. (A rollback marks an
+/// old version as serving again; later installs must not evict it while
+/// it is the thing actually predicting.)
+#[derive(Debug, Clone, Default)]
+pub struct KnownGoodRing {
+    capacity: usize,
+    entries: VecDeque<(u64, KnowledgeRepository)>,
+    serving: u64,
+}
+
+impl KnownGoodRing {
+    /// A ring retaining up to `capacity` known-good versions.
+    pub fn new(capacity: usize) -> Self {
+        KnownGoodRing {
+            capacity: capacity.max(1),
+            entries: VecDeque::new(),
+            serving: 0,
+        }
+    }
+
+    /// Records a canary-accepted install; the new version becomes the
+    /// serving one. When full, the oldest entry *other than the one
+    /// serving right now* is evicted first — so a version a rollback
+    /// just marked as serving survives the next install (the ring may
+    /// transiently hold one extra entry to guarantee that).
+    pub fn push(&mut self, version: u64, repo: KnowledgeRepository) {
+        self.entries.retain(|(v, _)| *v != version);
+        while self.entries.len() >= self.capacity {
+            let Some(idx) = self
+                .entries
+                .iter()
+                .position(|(v, _)| *v != self.serving)
+            else {
+                break; // only the serving version remains; keep it
+            };
+            self.entries.remove(idx);
+        }
+        self.entries.push_back((version, repo));
+        self.serving = version;
+    }
+
+    /// Marks `version` as the one currently serving (a rollback).
+    pub fn mark_serving(&mut self, version: u64) {
+        self.serving = version;
+    }
+
+    /// The version currently marked as serving.
+    pub fn serving(&self) -> u64 {
+        self.serving
+    }
+
+    /// The newest known-good version strictly older than `version`
+    /// (the rollback target when `version` degraded).
+    pub fn newest_before(&self, version: u64) -> Option<(u64, KnowledgeRepository)> {
+        self.entries
+            .iter()
+            .filter(|(v, _)| *v < version)
+            .max_by_key(|(v, _)| *v)
+            .map(|(v, r)| (*v, r.clone()))
+    }
+
+    /// Versions currently retained, oldest first.
+    pub fn versions(&self) -> Vec<u64> {
+        self.entries.iter().map(|(v, _)| *v).collect()
+    }
+
+    /// Entries currently retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ring holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Exponential early-retrain backoff after rollbacks: the first page
+/// schedules a retrain `base` weeks out, each consecutive unhealthy
+/// cycle doubles it up to `cap`, and one healthy cycle resets to the
+/// regular `W_R` cadence.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RetrainBackoff {
+    current: Option<i64>,
+}
+
+impl RetrainBackoff {
+    /// Called when a cycle paged: returns the weeks until the next
+    /// (early) retrain.
+    pub fn on_page(&mut self, base: i64, cap: i64) -> i64 {
+        let next = match self.current {
+            None => base.max(1),
+            Some(b) => (b * 2).min(cap.max(1)),
+        };
+        self.current = Some(next);
+        next
+    }
+
+    /// Called when a cycle was healthy: back to the regular cadence.
+    pub fn on_healthy(&mut self) {
+        self.current = None;
+    }
+
+    /// The backoff in force, if any.
+    pub fn current(&self) -> Option<i64> {
+        self.current
+    }
+}
+
+/// Lifecycle accounting for one driver run, exported as `lifecycle.*`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize)]
+pub struct LifecycleOutcome {
+    /// Canary shadow-replays performed.
+    pub canaries_run: usize,
+    /// Candidates that passed and were installed.
+    pub canaries_accepted: usize,
+    /// Candidates rejected (incumbent kept serving).
+    pub canaries_rejected: usize,
+    /// Rollbacks to a known-good version.
+    pub rollbacks: usize,
+    /// Retrains rescheduled early by the backoff.
+    pub early_retrains: usize,
+    /// Known-good versions retained at end of run.
+    pub known_good: usize,
+    /// SLO pages observed by the live watchdog.
+    pub pages: usize,
+}
+
+impl dml_obs::MetricSource for LifecycleOutcome {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.counter_add("lifecycle.canaries_run", self.canaries_run as u64);
+        registry.counter_add("lifecycle.canaries_accepted", self.canaries_accepted as u64);
+        registry.counter_add("lifecycle.canaries_rejected", self.canaries_rejected as u64);
+        registry.counter_add("lifecycle.rollbacks", self.rollbacks as u64);
+        registry.counter_add("lifecycle.early_retrains", self.early_retrains as u64);
+        registry.counter_add("lifecycle.pages", self.pages as u64);
+        registry.gauge_set("lifecycle.known_good", self.known_good as f64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::{EventTypeId, Timestamp};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    /// {1,2} → fatal 100 at +200 s, repeated.
+    fn patterned(weeks_of: i64) -> Vec<CleanEvent> {
+        let mut events = Vec::new();
+        for i in 0..weeks_of * 12 {
+            let base = i * 50_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 60, 2, false));
+            events.push(ev(base + 200, 100, true));
+        }
+        events
+    }
+
+    fn trained(events: &[CleanEvent]) -> KnowledgeRepository {
+        crate::meta::MetaLearner::new(crate::config::FrameworkConfig {
+            window: Duration::from_secs(300),
+            ..crate::config::FrameworkConfig::default()
+        })
+        .train(events)
+        .repo
+    }
+
+    #[test]
+    fn canary_accepts_an_equivalent_candidate() {
+        let log = patterned(4);
+        let repo = trained(&log[..24]);
+        let verdict = canary_compare(
+            &repo,
+            &repo,
+            &log[..12],
+            &log[12..],
+            Duration::from_secs(300),
+            0.05,
+        );
+        assert!(verdict.accepted, "{verdict:?}");
+        assert_eq!(verdict.candidate, verdict.incumbent);
+    }
+
+    #[test]
+    fn canary_rejects_an_empty_candidate_against_a_working_incumbent() {
+        let log = patterned(4);
+        let incumbent = trained(&log[..24]);
+        assert!(!incumbent.is_empty());
+        let empty = KnowledgeRepository::default();
+        let verdict = canary_compare(
+            &empty,
+            &incumbent,
+            &log[..12],
+            &log[12..],
+            Duration::from_secs(300),
+            0.05,
+        );
+        assert!(!verdict.accepted, "{verdict:?}");
+        assert_eq!(verdict.candidate.recall(), 0.0);
+        assert!(verdict.incumbent.recall() > 0.9);
+    }
+
+    #[test]
+    fn canary_accepts_anything_against_an_empty_incumbent() {
+        let log = patterned(4);
+        let verdict = canary_compare(
+            &KnowledgeRepository::default(),
+            &KnowledgeRepository::default(),
+            &log[..12],
+            &log[12..],
+            Duration::from_secs(300),
+            0.0,
+        );
+        assert!(verdict.accepted, "nothing to regress from: {verdict:?}");
+    }
+
+    #[test]
+    fn ring_evicts_oldest_non_serving() {
+        let mut ring = KnownGoodRing::new(2);
+        let repo = KnowledgeRepository::default();
+        ring.push(1, repo.clone());
+        ring.push(2, repo.clone());
+        ring.push(3, repo.clone());
+        assert_eq!(ring.versions(), vec![2, 3]);
+        assert_eq!(ring.serving(), 3);
+    }
+
+    #[test]
+    fn ring_never_evicts_the_serving_version() {
+        let mut ring = KnownGoodRing::new(2);
+        let repo = KnowledgeRepository::default();
+        ring.push(1, repo.clone());
+        ring.push(2, repo.clone());
+        // Roll back to v1: it is serving and must survive later pushes.
+        ring.mark_serving(1);
+        ring.push(3, repo.clone());
+        assert!(ring.versions().contains(&1), "{:?}", ring.versions());
+        // The push made v3 serving again.
+        assert_eq!(ring.serving(), 3);
+    }
+
+    #[test]
+    fn ring_newest_before_skips_newer_versions() {
+        let mut ring = KnownGoodRing::new(4);
+        let repo = KnowledgeRepository::default();
+        for v in [1, 2, 4] {
+            ring.push(v, repo.clone());
+        }
+        assert_eq!(ring.newest_before(4).map(|(v, _)| v), Some(2));
+        assert_eq!(ring.newest_before(1).map(|(v, _)| v), None);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps_then_resets() {
+        let mut b = RetrainBackoff::default();
+        assert_eq!(b.on_page(1, 8), 1);
+        assert_eq!(b.on_page(1, 8), 2);
+        assert_eq!(b.on_page(1, 8), 4);
+        assert_eq!(b.on_page(1, 8), 8);
+        assert_eq!(b.on_page(1, 8), 8, "capped");
+        b.on_healthy();
+        assert_eq!(b.current(), None);
+        assert_eq!(b.on_page(1, 8), 1, "reset after a healthy cycle");
+    }
+
+    #[test]
+    fn mode_parses_cli_spellings() {
+        assert_eq!("off".parse::<LifecycleMode>().unwrap(), LifecycleMode::Off);
+        assert_eq!(
+            "canary".parse::<LifecycleMode>().unwrap(),
+            LifecycleMode::Canary
+        );
+        assert_eq!(
+            "canary+rollback".parse::<LifecycleMode>().unwrap(),
+            LifecycleMode::CanaryRollback
+        );
+        assert!("rollback".parse::<LifecycleMode>().is_err());
+        assert!(!LifecycleMode::Off.enabled());
+        assert!(LifecycleMode::Canary.enabled());
+        assert!(!LifecycleMode::Canary.rollback());
+        assert!(LifecycleMode::CanaryRollback.rollback());
+    }
+}

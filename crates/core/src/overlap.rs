@@ -25,7 +25,9 @@
 //! then immediately wait), which must produce a report identical to
 //! `run_driver` — the determinism tests pin that equivalence.
 
+use crate::admission::AdmissionQueue;
 use crate::driver::{ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
+use crate::evaluation::Accuracy;
 use crate::knowledge::KnowledgeRepository;
 use crate::meta::MetaLearner;
 use crate::predictor::{Predictor, PredictorState, Warning};
@@ -33,6 +35,7 @@ use crossbeam::channel::{bounded, Receiver, TryRecvError};
 use raslog::store::window;
 use raslog::{CleanEvent, Timestamp, WEEK_MS};
 use serde::Serialize;
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::{Duration as StdDuration, Instant};
 
@@ -115,6 +118,96 @@ pub struct SwapContext {
     pub mid_block: bool,
 }
 
+/// Accuracy of one fully-served block, handed to the engine's
+/// supervisor hook after the boundary drain.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockTelemetry {
+    /// First week of the block just served.
+    pub week: i64,
+    /// Week after the last one served (the boundary reached).
+    pub block_end: i64,
+    /// Warning/failure accuracy over exactly this block.
+    pub accuracy: Accuracy,
+    /// Version of the repository in force when the block ended.
+    pub serving_version: u64,
+}
+
+/// What the supervisor hook asks the engine to do at a boundary.
+#[derive(Default)]
+pub(crate) struct SupervisorVerdict {
+    /// Replace the serving repository (a rollback). The replacement
+    /// keeps its own version stamp — no churn record is written, so
+    /// subsequent warnings carry the rolled-back version's provenance.
+    pub rollback: Option<KnowledgeRepository>,
+    /// Length of the next serving block in weeks (an early retrain);
+    /// `None` returns to the configured `W_R` cadence.
+    pub next_retrain_weeks: Option<i64>,
+}
+
+/// Install gate (the canary): `gate(candidate, incumbent, week, extra)`
+/// — return `false` to reject the candidate.
+pub(crate) type InstallGate<'a, E> =
+    Box<dyn FnMut(&KnowledgeRepository, &KnowledgeRepository, i64, &E) -> bool + 'a>;
+
+/// Post-block supervisor: telemetry in, rollback/reschedule verdict out.
+pub(crate) type BlockSupervisor<'a> = Box<dyn FnMut(&BlockTelemetry) -> SupervisorVerdict + 'a>;
+
+/// Lifecycle hooks threaded through the engine. All default to inert:
+/// a default `EngineControl` leaves the schedule bit-identical to the
+/// plain engine.
+pub(crate) struct EngineControl<'a, E> {
+    /// Install gate (the canary). On rejection the incumbent keeps
+    /// serving and no churn record or version is consumed. Never
+    /// invoked for the initial training (there is no incumbent worth
+    /// keeping).
+    pub gate: Option<InstallGate<'a, E>>,
+    /// Runs after every fully-served block with its accuracy; may roll
+    /// the repository back and shorten the next block.
+    pub supervisor: Option<BlockSupervisor<'a>>,
+    /// Bounded ingest queue on the serving hot path. `None` serves
+    /// directly (zero cost).
+    pub admission: Option<&'a RefCell<AdmissionQueue>>,
+}
+
+impl<E> Default for EngineControl<'_, E> {
+    fn default() -> Self {
+        EngineControl {
+            gate: None,
+            supervisor: None,
+            admission: None,
+        }
+    }
+}
+
+/// Serves `slice` through the optional admission queue. Events arriving
+/// in the same log second form one admission batch (duplicate storms
+/// report in whole-second bursts); the queue is fully drained into the
+/// predictor after each batch, so with nothing shed the serve order —
+/// and thus every warning — is identical to `observe_all`.
+fn serve_slice(
+    predictor: &mut Predictor,
+    slice: &[CleanEvent],
+    admission: Option<&RefCell<AdmissionQueue>>,
+) -> Vec<Warning> {
+    let Some(queue) = admission else {
+        return predictor.observe_all(slice);
+    };
+    let mut q = queue.borrow_mut();
+    let mut warnings = Vec::new();
+    let mut i = 0;
+    while i < slice.len() {
+        let t = slice[i].time;
+        let mut j = i;
+        while j < slice.len() && slice[j].time == t {
+            q.offer(slice[j]);
+            j += 1;
+        }
+        q.drain(|ev| warnings.extend(predictor.observe(&ev)));
+        i = j;
+    }
+    warnings
+}
+
 /// What the worker sends back.
 pub(crate) struct RetrainDone<E> {
     week: i64,
@@ -135,6 +228,11 @@ fn recv_result<E>(rx: &Receiver<RetrainDone<E>>, stats: &mut OverlapStats) -> Re
 /// week, lets the caller absorb its payload, then swaps the double
 /// buffer. Old readers (an in-flight predictor epoch) keep the previous
 /// `Arc` alive until they finish.
+///
+/// When a `gate` is supplied and rejects the candidate, nothing is
+/// installed: no churn record, no version consumed, the incumbent keeps
+/// serving, and the next scheduled retraining is the retry. Returns
+/// whether the repository was actually swapped.
 fn install<E>(
     report: &mut DriverReport,
     repo: &mut Arc<KnowledgeRepository>,
@@ -142,9 +240,15 @@ fn install<E>(
     stats: &mut OverlapStats,
     mid_block: bool,
     on_install: &mut impl FnMut(&KnowledgeRepository, SwapContext, &E),
-) {
+    gate: Option<&mut InstallGate<'_, E>>,
+) -> bool {
     stats.retrainings += 1;
     stats.retrain_wall_ms += done.train_wall.as_secs_f64() * 1000.0;
+    if let Some(gate) = gate {
+        if !gate(&done.repo, repo, done.week, &done.extra) {
+            return false;
+        }
+    }
     let diff = KnowledgeRepository::churn(repo, &done.repo);
     report.churn.push(ChurnRecord {
         week: done.week,
@@ -168,6 +272,7 @@ fn install<E>(
         &done.extra,
     );
     *repo = Arc::new(done.repo);
+    true
 }
 
 /// The overlapped block loop, generic over the training backend.
@@ -177,19 +282,26 @@ fn install<E>(
 /// version accounting, swap records — it sees the installed repository
 /// and a [`SwapContext`]); `on_warnings` runs after each served chunk
 /// with the warnings it produced (flight recording); `on_boundary` runs
-/// after each block with the repository currently in force and the
-/// predictor's state (checkpoint writes). The serial schedule — initial
-/// training, warm-up with the preceding week, churn per boundary, weekly
-/// scoring — is exactly [`run_driver`](crate::driver::run_driver)'s.
+/// after each block with the boundary week reached, the repository in
+/// force for the next block and the predictor's state (checkpoint
+/// writes). `control` carries the optional lifecycle hooks — install
+/// gate, block supervisor, admission queue; the default is inert. The
+/// serial schedule — initial training, warm-up with the preceding week,
+/// churn per boundary, weekly scoring — is exactly
+/// [`run_driver`](crate::driver::run_driver)'s.
+// Three data inputs, three callbacks, the control block: splitting
+// further would only invent structs the one caller unpacks again.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_overlapped_engine<E, T>(
     events: &[CleanEvent],
     total_weeks: i64,
     dc: &DriverConfig,
     swap: SwapMode,
     train: T,
+    control: EngineControl<E>,
     mut on_install: impl FnMut(&KnowledgeRepository, SwapContext, &E),
     mut on_warnings: impl FnMut(&[Warning]),
-    mut on_boundary: impl FnMut(&KnowledgeRepository, PredictorState),
+    mut on_boundary: impl FnMut(i64, &KnowledgeRepository, PredictorState),
 ) -> DriverReport
 where
     E: Send,
@@ -217,6 +329,7 @@ where
 
     std::thread::scope(|s| {
         let mut train = train;
+        let mut control = control;
         s.spawn(move || {
             while let Ok(req) = req_rx.recv() {
                 let start = Instant::now();
@@ -246,21 +359,29 @@ where
             })
             .expect("retraining worker died");
         let done = recv_result(&res_rx, &mut stats);
-        install(&mut report, &mut repo, done, &mut stats, false, &mut on_install);
+        // The initial training never meets the gate: there is no
+        // incumbent worth keeping over it.
+        install(&mut report, &mut repo, done, &mut stats, false, &mut on_install, None);
 
         let mut pending = false;
         let mut week = first_test_week;
+        // The supervisor may shorten individual blocks (early retrains
+        // after a rollback); without one every block is `W_R` long.
+        let mut next_every = retrain_every;
         while week < total_weeks {
-            let block_end = (week + retrain_every).min(total_weeks);
+            let block_end = (week + next_every).min(total_weeks);
             let warm = slice_of((week - 1).max(0), week);
             let block = slice_of(week, block_end);
+            let block_start_wi = report.warnings.len();
 
             // Serve the block in repository epochs: each iteration serves
             // with one rule set until either the block is exhausted or a
             // pending retraining lands and the repository is hot-swapped.
             let mut carry: Option<PredictorState> = None;
             let mut served = 0usize;
-            loop {
+            // The epoch loop breaks with the predictor state at the
+            // boundary (for the checkpoint hook).
+            let boundary_state = loop {
                 let cur = Arc::clone(&repo);
                 let mut predictor = match carry.take() {
                     None => {
@@ -290,7 +411,11 @@ where
                     while served < block.len() {
                         let upto = (served + poll_every).min(block.len());
                         let before = report.warnings.len();
-                        report.warnings.extend(predictor.observe_all(&block[served..upto]));
+                        report.warnings.extend(serve_slice(
+                            &mut predictor,
+                            &block[served..upto],
+                            control.admission,
+                        ));
                         on_warnings(&report.warnings[before..]);
                         served = upto;
                         match res_rx.try_recv() {
@@ -306,7 +431,11 @@ where
                     }
                 } else {
                     let before = report.warnings.len();
-                    report.warnings.extend(predictor.observe_all(&block[served..]));
+                    report.warnings.extend(serve_slice(
+                        &mut predictor,
+                        &block[served..],
+                        control.admission,
+                    ));
                     on_warnings(&report.warnings[before..]);
                     served = block.len();
                 }
@@ -314,12 +443,24 @@ where
                 match landed {
                     Some(done) => {
                         pending = false;
-                        stats.swaps_mid_block += 1;
-                        stats.swap_staleness_events += served as u64;
                         report.predictor_metrics.merge(predictor.metrics());
                         let state = predictor.snapshot();
                         drop(predictor);
-                        install(&mut report, &mut repo, done, &mut stats, true, &mut on_install);
+                        // Staleness is only real when the candidate was
+                        // actually swapped in; a gate-rejected candidate
+                        // leaves the incumbent serving, nothing swapped.
+                        if install(
+                            &mut report,
+                            &mut repo,
+                            done,
+                            &mut stats,
+                            true,
+                            &mut on_install,
+                            control.gate.as_mut(),
+                        ) {
+                            stats.swaps_mid_block += 1;
+                            stats.swap_staleness_events += served as u64;
+                        }
                         carry = Some(state);
                         // Next epoch restores onto the fresh rules.
                     }
@@ -330,16 +471,48 @@ where
                         if pending {
                             let done = recv_result(&res_rx, &mut stats);
                             pending = false;
-                            stats.swaps_at_boundary += 1;
-                            stats.swap_staleness_events += block.len() as u64;
-                            install(&mut report, &mut repo, done, &mut stats, false, &mut on_install);
+                            if install(
+                                &mut report,
+                                &mut repo,
+                                done,
+                                &mut stats,
+                                false,
+                                &mut on_install,
+                                control.gate.as_mut(),
+                            ) {
+                                stats.swaps_at_boundary += 1;
+                                stats.swap_staleness_events += block.len() as u64;
+                            }
                         }
                         report.predictor_metrics.merge(predictor.metrics());
-                        on_boundary(&repo, predictor.snapshot());
-                        break;
+                        break predictor.snapshot();
                     }
                 }
+            };
+
+            // The block is fully served. Let the supervisor judge it —
+            // it may roll the repository back to a known-good version
+            // (kept with its original version stamp, so no churn record)
+            // and pull the next retraining forward.
+            if let Some(supervisor) = control.supervisor.as_mut() {
+                let telemetry = BlockTelemetry {
+                    week,
+                    block_end,
+                    accuracy: crate::evaluation::score(
+                        &report.warnings[block_start_wi..],
+                        block,
+                    ),
+                    serving_version: repo.version(),
+                };
+                let verdict = supervisor(&telemetry);
+                if let Some(rolled_back) = verdict.rollback {
+                    repo = Arc::new(rolled_back);
+                }
+                next_every = verdict.next_retrain_weeks.unwrap_or(retrain_every).max(1);
             }
+            // Checkpoint against whatever will serve next (the
+            // rolled-back repository, after a rollback).
+            on_boundary(block_end, &repo, boundary_state);
 
             // Schedule the retraining for the next block.
             if block_end < total_weeks && dc.policy != TrainingPolicy::Static {
@@ -358,7 +531,15 @@ where
                 match swap {
                     SwapMode::Synchronous => {
                         let done = recv_result(&res_rx, &mut stats);
-                        install(&mut report, &mut repo, done, &mut stats, false, &mut on_install);
+                        install(
+                            &mut report,
+                            &mut repo,
+                            done,
+                            &mut stats,
+                            false,
+                            &mut on_install,
+                            control.gate.as_mut(),
+                        );
                     }
                     SwapMode::Overlapped { .. } => pending = true,
                 }
@@ -414,9 +595,10 @@ pub fn run_overlapped_driver(
         config,
         swap,
         train,
+        EngineControl::default(),
         |_, _, _: &()| {},
         |_| {},
-        |_, _| {},
+        |_, _, _| {},
     )
 }
 
@@ -541,12 +723,13 @@ mod tests {
             &config,
             SwapMode::Overlapped { poll_every: 1 },
             train,
+            EngineControl::default(),
             |repo, ctx, _: &()| {
                 assert_eq!(repo.version(), ctx.repo_version);
                 installs.push(ctx);
             },
             |_| {},
-            |_, _| {},
+            |_, _, _| {},
         );
         assert_eq!(installs.len(), report.churn.len());
         let versions: Vec<u64> = installs.iter().map(|c| c.repo_version).collect();
@@ -557,6 +740,160 @@ mod tests {
             installs.iter().filter(|c| c.mid_block).count(),
             stats.swaps_mid_block
         );
+    }
+
+    #[test]
+    fn gate_rejection_keeps_incumbent_and_consumes_no_version() {
+        let log = stable_log(12);
+        let config = quick_config(TrainingPolicy::SlidingWeeks(4));
+        let meta = MetaLearner::new(config.framework);
+        let train = |req: &RetrainRequest| {
+            let slice = window(
+                &log,
+                Timestamp(req.from * WEEK_MS),
+                Timestamp(req.to * WEEK_MS),
+            );
+            let outcome = meta.train(slice);
+            (outcome.repo, outcome.removed_by_reviser, ())
+        };
+        let rejected = std::cell::Cell::new(0usize);
+        let control = EngineControl {
+            gate: Some(Box::new(|_cand, incumbent: &KnowledgeRepository, _week, _e: &()| {
+                assert_eq!(incumbent.version(), 1, "incumbent never replaced");
+                rejected.set(rejected.get() + 1);
+                false
+            })),
+            ..EngineControl::default()
+        };
+        let report = run_overlapped_engine(
+            &log,
+            12,
+            &config,
+            SwapMode::Synchronous,
+            train,
+            control,
+            |_, _, _: &()| {},
+            |_| {},
+            |_, _, _| {},
+        );
+        // Blocks [4,6) [6,8) [8,10) [10,12): three scheduled retrains,
+        // all rejected. Only the (ungated) initial training is churned.
+        assert_eq!(rejected.get(), 3);
+        assert_eq!(report.churn.len(), 1, "rejections write no churn");
+        let stats = report.overlap.unwrap();
+        assert_eq!(stats.retrainings, 4, "training work still happened");
+        assert!(report
+            .warnings
+            .iter()
+            .all(|w| w.provenance.repo_version == 1));
+        // The stable pattern is in the initial rules; serving quality
+        // survives every rejection.
+        assert!(report.overall.recall() > 0.9);
+    }
+
+    #[test]
+    fn supervisor_rolls_back_and_shortens_blocks() {
+        let log = stable_log(12);
+        // Static: the initial repository serves the whole run, so a
+        // rollback is not immediately papered over by the next install.
+        let config = quick_config(TrainingPolicy::Static);
+        let meta = MetaLearner::new(config.framework);
+        let train = |req: &RetrainRequest| {
+            let slice = window(
+                &log,
+                Timestamp(req.from * WEEK_MS),
+                Timestamp(req.to * WEEK_MS),
+            );
+            let outcome = meta.train(slice);
+            (outcome.repo, outcome.removed_by_reviser, ())
+        };
+        let installed: RefCell<Option<KnowledgeRepository>> = RefCell::new(None);
+        let blocks: RefCell<Vec<(i64, i64)>> = RefCell::new(Vec::new());
+        let control = EngineControl {
+            supervisor: Some(Box::new(|bt: &BlockTelemetry| {
+                blocks.borrow_mut().push((bt.week, bt.block_end));
+                let mut verdict = SupervisorVerdict::default();
+                if bt.block_end == 8 {
+                    // Roll back to a restamped copy of the initial rules
+                    // and pull the next boundary forward.
+                    let mut repo = installed.borrow().clone().unwrap();
+                    repo.set_version(99);
+                    verdict.rollback = Some(repo);
+                    verdict.next_retrain_weeks = Some(1);
+                }
+                verdict
+            })),
+            ..EngineControl::default()
+        };
+        let report = run_overlapped_engine(
+            &log,
+            12,
+            &config,
+            SwapMode::Synchronous,
+            train,
+            control,
+            |repo, _, _: &()| *installed.borrow_mut() = Some(repo.clone()),
+            |_| {},
+            |_, _, _| {},
+        );
+        // Blocks were [4,6) [6,8), then the verdict shortened one block
+        // to a single week before returning to the W_R = 2 cadence.
+        assert_eq!(
+            *blocks.borrow(),
+            vec![(4, 6), (6, 8), (8, 9), (9, 11), (11, 12)]
+        );
+        // Warnings after the rollback carry the rolled-back version.
+        assert!(report
+            .warnings
+            .iter()
+            .any(|w| w.provenance.repo_version == 99));
+        for w in &report.warnings {
+            let version = w.provenance.repo_version;
+            assert_eq!(version, if w.id.issued_ms < 8 * WEEK_MS { 1 } else { 99 });
+        }
+    }
+
+    #[test]
+    fn admission_with_headroom_is_bit_identical() {
+        use crate::admission::{AdmissionConfig, AdmissionQueue};
+        let log = stable_log(12);
+        let config = quick_config(TrainingPolicy::SlidingWeeks(4));
+        let baseline = run_overlapped_driver(&log, 12, &config, SwapMode::Synchronous);
+
+        let meta = MetaLearner::new(config.framework);
+        let train = |req: &RetrainRequest| {
+            let slice = window(
+                &log,
+                Timestamp(req.from * WEEK_MS),
+                Timestamp(req.to * WEEK_MS),
+            );
+            let outcome = meta.train(slice);
+            (outcome.repo, outcome.removed_by_reviser, ())
+        };
+        let queue = RefCell::new(AdmissionQueue::new(AdmissionConfig::new(4096)));
+        let control = EngineControl {
+            admission: Some(&queue),
+            ..EngineControl::default()
+        };
+        let report = run_overlapped_engine(
+            &log,
+            12,
+            &config,
+            SwapMode::Synchronous,
+            train,
+            control,
+            |_, _, _: &()| {},
+            |_| {},
+            |_, _, _| {},
+        );
+        assert_eq!(report.warnings, baseline.warnings);
+        assert_eq!(report.churn, baseline.churn);
+        assert_eq!(report.weekly, baseline.weekly);
+        let stats = queue.borrow().stats();
+        assert_eq!(stats.shed_total(), 0, "headroom sheds nothing");
+        assert_eq!(stats.admitted, stats.drained);
+        assert!(stats.high_watermark >= 1);
+        assert!(stats.high_watermark <= stats.capacity);
     }
 
     #[test]

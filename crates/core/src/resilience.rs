@@ -24,15 +24,18 @@
 //! [`PipelineHealth`] report aggregating learner outcomes and ingest
 //! counters.
 
+use crate::admission::{AdmissionConfig, AdmissionQueue, AdmissionStats};
 use crate::config::FrameworkConfig;
 use crate::driver::{ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
 use crate::knowledge::KnowledgeRepository;
 use crate::learners::BaseLearner;
+use crate::lifecycle::{canary_compare, KnownGoodRing, LifecycleConfig, LifecycleOutcome, RetrainBackoff};
 use crate::meta::MetaLearner;
 use crate::persist::{save_checkpoint_file, Checkpoint};
 use crate::predictor::{Predictor, Warning};
 use crate::reviser::revise;
 use crate::rules::{Rule, RuleKind};
+use crate::slo::{CycleAccuracy, SloSeverity, SloWatchdog};
 use raslog::store::window;
 use raslog::{CleanEvent, Timestamp, WEEK_MS};
 use serde::Serialize;
@@ -494,6 +497,15 @@ pub struct HardenedConfig {
     /// checkpoint and degraded-mode records. `None` (the default) records
     /// nothing and costs nothing on the hot path.
     pub flight: Option<SharedFlightRecorder>,
+    /// Rule-lifecycle policy: canary gate and automatic rollback. The
+    /// default mode is [`crate::lifecycle::LifecycleMode::Off`], which
+    /// leaves the overlapped hardened driver bit-identical to the
+    /// lifecycle-free schedule. Only the overlapped driver honours it.
+    pub lifecycle: LifecycleConfig,
+    /// Event-storm admission control in front of the predictor hot path.
+    /// `None` (the default) serves directly with zero overhead. Only the
+    /// overlapped driver honours it.
+    pub admission: Option<AdmissionConfig>,
 }
 
 /// A [`DriverReport`] plus robustness accounting.
@@ -504,8 +516,13 @@ pub struct HardenedReport {
     /// Health counters for the whole run.
     pub health: PipelineHealth,
     /// Version of the rule set in force at the end (bumped per
-    /// retraining; the initial training is version 1).
+    /// retraining; the initial training is version 1). After a rollback
+    /// this is the rolled-back (known-good) version.
     pub rule_set_version: u64,
+    /// Canary/rollback accounting; `Some` when the lifecycle was on.
+    pub lifecycle: Option<LifecycleOutcome>,
+    /// Admission-queue accounting; `Some` when admission control was on.
+    pub admission: Option<AdmissionStats>,
 }
 
 impl dml_obs::MetricSource for HardenedReport {
@@ -513,6 +530,12 @@ impl dml_obs::MetricSource for HardenedReport {
         self.report.export(registry);
         self.health.export(registry);
         registry.gauge_set("driver.rule_set_version", self.rule_set_version as f64);
+        if let Some(lifecycle) = &self.lifecycle {
+            lifecycle.export(registry);
+        }
+        if let Some(admission) = &self.admission {
+            admission.export(registry);
+        }
     }
 }
 
@@ -676,6 +699,8 @@ pub fn run_hardened_driver_with(
         report,
         health,
         rule_set_version,
+        lifecycle: None,
+        admission: None,
     }
 }
 
@@ -717,9 +742,19 @@ pub fn run_overlapped_hardened_driver_with(
     // Previous installed repository, kept only for flight-record churn
     // accounting (the engine owns the real churn trace in its report).
     let prev_repo: RefCell<Option<KnowledgeRepository>> = RefCell::new(None);
-    // `on_boundary` carries no week; replicate the engine's block walk.
-    let retrain_every = dc.framework.retrain_weeks.max(1);
-    let boundary_week = Cell::new(dc.initial_training_weeks);
+
+    // Lifecycle state (all inert when the mode is Off).
+    let lc = config.lifecycle;
+    let lifecycle_on = lc.mode.enabled();
+    let lstats = RefCell::new(LifecycleOutcome::default());
+    let ring = RefCell::new(KnownGoodRing::new(lc.known_good_capacity));
+    let backoff = RefCell::new(RetrainBackoff::default());
+    let watchdog = RefCell::new(SloWatchdog::new(lc.slo));
+    // Admission queue on the serving hot path, plus the shed count seen
+    // at the previous boundary (degraded-mode transition detection).
+    let admission_queue = config.admission.map(|ac| RefCell::new(AdmissionQueue::new(ac)));
+    let last_shed = Cell::new(0usize);
+    let shedding = Cell::new(false);
 
     // Worker side: the trainer moves onto the background thread. The
     // repository travels as the payload proper; the rest of the outcome
@@ -740,6 +775,11 @@ pub fn run_overlapped_hardened_driver_with(
                       extra: &ResilientOutcome| {
         health.borrow_mut().absorb(extra);
         version.set(ctx.repo_version);
+        if lifecycle_on {
+            // Everything that installs passed its canary (or was the
+            // ungated initial training): remember it for rollback.
+            ring.borrow_mut().push(ctx.repo_version, repo.clone());
+        }
         if config.flight.is_some() {
             let t_ms = ctx.week * WEEK_MS;
             let mut prev = prev_repo.borrow_mut();
@@ -778,9 +818,135 @@ pub fn run_overlapped_hardened_driver_with(
             }
         }
     };
-    let on_boundary = |repo: &KnowledgeRepository, state: crate::predictor::PredictorState| {
-        let week = (boundary_week.get() + retrain_every).min(total_weeks);
-        boundary_week.set(week);
+    // The canary gate: shadow-replay candidate and incumbent over the
+    // most recent `canary_tail_weeks` of data and reject regressions.
+    // Runs on the serving thread between blocks, never on the hot path.
+    let gate = |candidate: &KnowledgeRepository,
+                incumbent: &KnowledgeRepository,
+                week: i64,
+                extra: &ResilientOutcome|
+     -> bool {
+        let tail_from = (week - lc.canary_tail_weeks).max(0);
+        let tail = window(
+            events,
+            Timestamp(tail_from * WEEK_MS),
+            Timestamp(week * WEEK_MS),
+        );
+        let warm = window(
+            events,
+            Timestamp((tail_from - 1).max(0) * WEEK_MS),
+            Timestamp(tail_from * WEEK_MS),
+        );
+        let verdict = canary_compare(
+            candidate,
+            incumbent,
+            warm,
+            tail,
+            dc.framework.window,
+            lc.margin,
+        );
+        let mut ls = lstats.borrow_mut();
+        ls.canaries_run += 1;
+        if verdict.accepted {
+            ls.canaries_accepted += 1;
+            return true;
+        }
+        ls.canaries_rejected += 1;
+        // The training pass still happened (and may have degraded):
+        // absorb its health here, since `on_install` will never see it.
+        health.borrow_mut().absorb(extra);
+        note_degraded_transition(&config.flight, week * WEEK_MS, &degraded, extra);
+        record_flight(
+            &config.flight,
+            week * WEEK_MS,
+            dml_obs::FlightEvent::CanaryRejected {
+                week,
+                incumbent_version: incumbent.version(),
+                candidate_precision: verdict.candidate.precision(),
+                candidate_recall: verdict.candidate.recall(),
+                incumbent_precision: verdict.incumbent.precision(),
+                incumbent_recall: verdict.incumbent.recall(),
+                margin: lc.margin,
+            },
+        );
+        false
+    };
+
+    // The rollback supervisor: feed each served block to the live SLO
+    // watchdog; on a page, roll back to the newest known-good version
+    // older than the one that degraded and pull the next retraining
+    // forward with exponential backoff.
+    let supervisor = |bt: &crate::overlap::BlockTelemetry| {
+        let mut verdict = crate::overlap::SupervisorVerdict::default();
+        let alerts = watchdog.borrow_mut().on_cycle(&CycleAccuracy {
+            week: bt.week,
+            accuracy: bt.accuracy,
+        });
+        let t_ms = bt.block_end * WEEK_MS;
+        for alert in &alerts {
+            record_flight(&config.flight, t_ms, alert.flight_event());
+        }
+        let paged = alerts.iter().any(|a| a.severity == SloSeverity::Page);
+        if !paged {
+            backoff.borrow_mut().on_healthy();
+            return verdict;
+        }
+        let mut ls = lstats.borrow_mut();
+        ls.pages += 1;
+        let next = backoff
+            .borrow_mut()
+            .on_page(lc.backoff_base_weeks, lc.backoff_cap_weeks);
+        ls.early_retrains += 1;
+        verdict.next_retrain_weeks = Some(next);
+        let mut ring = ring.borrow_mut();
+        if let Some((to_version, repo)) = ring.newest_before(bt.serving_version) {
+            record_flight(
+                &config.flight,
+                t_ms,
+                dml_obs::FlightEvent::Rollback {
+                    week: bt.block_end,
+                    from_version: bt.serving_version,
+                    to_version,
+                    next_retrain_weeks: next,
+                },
+            );
+            ring.mark_serving(to_version);
+            version.set(to_version);
+            ls.rollbacks += 1;
+            verdict.rollback = Some(repo);
+        }
+        // No older known-good version: keep serving, but the backed-off
+        // early retrain still replaces the degraded rules sooner.
+        verdict
+    };
+
+    let on_boundary = |week: i64, repo: &KnowledgeRepository, state: crate::predictor::PredictorState| {
+        // Admission degraded-mode transitions: shedding during the block
+        // just served enters degraded mode; a block with no sheds exits.
+        if let Some(queue) = admission_queue.as_ref() {
+            let stats = queue.borrow().stats();
+            let shed_now = stats.shed_total();
+            let active = shed_now > last_shed.get();
+            last_shed.set(shed_now);
+            if active != shedding.get() {
+                shedding.set(active);
+                record_flight(
+                    &config.flight,
+                    week * WEEK_MS,
+                    dml_obs::FlightEvent::DegradedMode {
+                        degraded: active,
+                        detail: if active {
+                            format!(
+                                "admission shedding load ({} shed, high-water {}/{})",
+                                shed_now, stats.high_watermark, stats.capacity
+                            )
+                        } else {
+                            "recovered: admission queue under capacity".to_string()
+                        },
+                    },
+                );
+            }
+        }
         if let Some(path) = &config.checkpoint_path {
             let cp = Checkpoint::new(version.get(), repo.clone(), state);
             match save_checkpoint_file(&cp, path) {
@@ -799,12 +965,23 @@ pub fn run_overlapped_hardened_driver_with(
         }
     };
 
+    let control = crate::overlap::EngineControl {
+        gate: if lifecycle_on { Some(Box::new(gate)) } else { None },
+        supervisor: if lc.mode.rollback() {
+            Some(Box::new(supervisor))
+        } else {
+            None
+        },
+        admission: admission_queue.as_ref(),
+    };
+
     let report = crate::overlap::run_overlapped_engine(
         events,
         total_weeks,
         dc,
         swap,
         train,
+        control,
         on_install,
         on_warnings,
         on_boundary,
@@ -812,10 +989,17 @@ pub fn run_overlapped_hardened_driver_with(
 
     let mut health = health.into_inner();
     health.checkpoints_written = checkpoints.get();
+    let lifecycle = lifecycle_on.then(|| {
+        let mut ls = lstats.into_inner();
+        ls.known_good = ring.borrow().len();
+        ls
+    });
     HardenedReport {
         report,
         health,
         rule_set_version: version.get(),
+        lifecycle,
+        admission: admission_queue.map(|q| q.into_inner().stats()),
     }
 }
 
@@ -858,6 +1042,8 @@ mod tests {
             resilience: ResilienceConfig::default(),
             checkpoint_path: None,
             flight: None,
+            lifecycle: LifecycleConfig::default(),
+            admission: None,
         }
     }
 

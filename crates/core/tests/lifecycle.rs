@@ -1,0 +1,217 @@
+//! End-to-end self-healing tests: a corrupted training window must be
+//! stopped at the canary gate, and a bad repository that slips through
+//! must be rolled back to the last known-good version.
+//!
+//! The log is synthetic and fully deterministic: clean weeks plant the
+//! `{1, 2} → fatal 100` cascade; corrupted weeks plant decoy pairs that
+//! are never followed by a fatal plus uncued, irregularly spaced fatals,
+//! so anything trained on them predicts garbage on clean traffic.
+
+use dml_core::{
+    run_hardened_driver, run_overlapped_hardened_driver, DriverConfig, FrameworkConfig,
+    HardenedConfig, HardenedReport, LifecycleConfig, LifecycleMode, SloConfig, SwapMode,
+    TrainingPolicy,
+};
+use raslog::{CleanEvent, EventTypeId, Timestamp, WEEK_MS};
+
+const PAIRS_PER_WEEK: i64 = 40;
+const STEP_MS: i64 = 10_000_000; // one occurrence every ~2.8 h
+
+fn ev(t_ms: i64, ty: u16, fatal: bool) -> CleanEvent {
+    CleanEvent::new(Timestamp(t_ms), EventTypeId(ty), fatal)
+}
+
+/// The planted cascade: pair `{1, 2}`, fatal 100 within the 300 s window.
+fn push_clean_week(events: &mut Vec<CleanEvent>, week: i64) {
+    for i in 0..PAIRS_PER_WEEK {
+        let t0 = week * WEEK_MS + i * STEP_MS;
+        events.push(ev(t0, 1, false));
+        events.push(ev(t0 + 50_000, 2, false));
+        events.push(ev(t0 + 200_000, 100, true));
+    }
+}
+
+/// Poisoned data: the same pairs with no fatal anywhere near them, and
+/// fatals that nothing cues, at irregular offsets so no inter-arrival
+/// structure survives a distribution fit.
+fn push_corrupted_week(events: &mut Vec<CleanEvent>, week: i64) {
+    for i in 0..PAIRS_PER_WEEK {
+        let t0 = week * WEEK_MS + i * STEP_MS;
+        events.push(ev(t0, 1, false));
+        events.push(ev(t0 + 50_000, 2, false));
+        let jitter = (i * 37 % 23) * 150_000;
+        events.push(ev(t0 + 4_000_000 + jitter, 100, true));
+    }
+}
+
+/// `weeks` total; the weeks listed in `corrupted` are poisoned and the
+/// weeks in `quiet` are empty; everything else is clean.
+fn build_log(weeks: i64, corrupted: &[i64], quiet: &[i64]) -> Vec<CleanEvent> {
+    let mut events = Vec::new();
+    for week in 0..weeks {
+        if quiet.contains(&week) {
+            continue;
+        } else if corrupted.contains(&week) {
+            push_corrupted_week(&mut events, week);
+        } else {
+            push_clean_week(&mut events, week);
+        }
+    }
+    events
+}
+
+fn base_config() -> HardenedConfig {
+    HardenedConfig {
+        driver: DriverConfig {
+            framework: FrameworkConfig::default(), // W_R = 4 weeks
+            policy: TrainingPolicy::SlidingWeeks(4),
+            initial_training_weeks: 4,
+            only_kind: None,
+        },
+        ..HardenedConfig::default()
+    }
+}
+
+fn versions_in(report: &HardenedReport, from_week: i64, to_week: i64) -> Vec<u64> {
+    report
+        .report
+        .warnings
+        .iter()
+        .filter(|w| {
+            w.issued_at >= Timestamp(from_week * WEEK_MS)
+                && w.issued_at < Timestamp(to_week * WEEK_MS)
+        })
+        .map(|w| w.provenance.repo_version)
+        .collect()
+}
+
+/// The week-8 retraining sees three poisoned weeks out of four; the
+/// canary replays both repositories over the clean tail week and must
+/// keep the incumbent. The lifecycle-off driver installs the poisoned
+/// rule set and goes blind for a full block.
+#[test]
+fn canary_rejects_a_poisoned_window_and_the_incumbent_keeps_serving() {
+    let events = build_log(16, &[4, 5, 6], &[]);
+    let off = run_overlapped_hardened_driver(&events, 16, &base_config(), SwapMode::Synchronous);
+    let lc_config = HardenedConfig {
+        lifecycle: LifecycleConfig {
+            mode: LifecycleMode::Canary,
+            ..LifecycleConfig::default()
+        },
+        ..base_config()
+    };
+    let lc = run_overlapped_hardened_driver(&events, 16, &lc_config, SwapMode::Synchronous);
+
+    let outcome = lc.lifecycle.expect("lifecycle outcome recorded");
+    assert_eq!(outcome.canaries_run, 2, "retrains at weeks 8 and 12");
+    assert_eq!(outcome.canaries_rejected, 1, "the poisoned week-8 candidate");
+    assert_eq!(outcome.canaries_accepted, 1, "the clean week-12 candidate");
+    assert_eq!(outcome.rollbacks, 0, "canary mode never rolls back");
+
+    // A rejected candidate consumes no churn record and no version.
+    assert_eq!(lc.report.churn.len(), off.report.churn.len() - 1);
+
+    // Weeks 8..12: the incumbent (v1) keeps serving under the gate.
+    let lc_versions = versions_in(&lc, 8, 12);
+    assert!(!lc_versions.is_empty(), "incumbent still issues warnings");
+    assert!(lc_versions.iter().all(|&v| v == 1), "{lc_versions:?}");
+
+    // Self-healing never scores below the unprotected run, any week.
+    for (l, o) in lc.report.weekly.iter().zip(&off.report.weekly) {
+        assert_eq!(l.week, o.week);
+        assert!(
+            l.accuracy.recall() >= o.accuracy.recall(),
+            "week {}: lifecycle recall {} below baseline {}",
+            l.week,
+            l.accuracy.recall(),
+            o.accuracy.recall()
+        );
+    }
+    assert!(lc.report.overall.recall() > off.report.overall.recall());
+    // The only misses are the 120 uncued fatals inside the poisoned weeks,
+    // which no rule set can cover; every clean-week fatal is caught.
+    assert_eq!(lc.report.overall.missed_fatals, 120, "{:?}", lc.report.overall);
+    assert!(lc.report.overall.recall() >= 0.75, "{:?}", lc.report.overall);
+}
+
+/// A poisoned candidate that passes its canary (the tail week is silent,
+/// so the replay has nothing to judge it on) serves one block, pages the
+/// live SLO watchdog, and is rolled back to the last known-good version;
+/// warnings issued afterwards carry the rolled-back version while the
+/// backoff-scheduled early retrains are still being canary-rejected.
+#[test]
+fn slo_page_rolls_back_to_the_last_known_good_version() {
+    // Weeks 4-6 poisoned, week 7 silent: the week-8 retraining trains on
+    // garbage but its canary tail is empty, so it is accepted.
+    let events = build_log(16, &[4, 5, 6], &[7]);
+    let lc_config = HardenedConfig {
+        lifecycle: LifecycleConfig {
+            mode: LifecycleMode::CanaryRollback,
+            backoff_base_weeks: 1,
+            backoff_cap_weeks: 4,
+            slo: SloConfig {
+                min_precision: 0.0, // recall is the paging objective here
+                min_recall: 0.5,
+                short_cycles: 1,
+                long_cycles: 1,
+                warn_burn: 1.2,
+                page_burn: 1.5,
+            },
+            ..LifecycleConfig::default()
+        },
+        ..base_config()
+    };
+    let lc = run_overlapped_hardened_driver(&events, 16, &lc_config, SwapMode::Synchronous);
+
+    let outcome = lc.lifecycle.expect("lifecycle outcome recorded");
+    assert!(outcome.pages >= 1, "serving the poisoned rules must page");
+    assert_eq!(outcome.rollbacks, 1, "one rollback to v1");
+    assert!(outcome.early_retrains >= 1, "backoff pulls retraining forward");
+    assert!(
+        outcome.canaries_rejected >= 1,
+        "post-rollback retrains over the still-poisoned window are rejected"
+    );
+
+    // The poisoned v2 really was installed (the canary could not see it).
+    assert!(
+        lc.report.churn.iter().any(|c| c.week == 8),
+        "week-8 install missing: {:?}",
+        lc.report.churn
+    );
+
+    // After the rollback the known-good v1 serves again: warnings issued
+    // in weeks 9..11 are stamped with the rolled-back version.
+    let post_rollback = versions_in(&lc, 9, 11);
+    assert!(!post_rollback.is_empty(), "rolled-back repository issues warnings");
+    assert!(
+        post_rollback.iter().all(|&v| v == 1),
+        "post-rollback warnings must carry the rolled-back version: {post_rollback:?}"
+    );
+
+    // The run recovers: once clean training data is available again the
+    // canary accepts a fresh repository and accuracy comes back.
+    assert!(outcome.canaries_accepted >= 1);
+    let last = lc.report.weekly.last().expect("weekly series");
+    assert!(last.accuracy.recall() > 0.8, "{:?}", last);
+}
+
+/// With the lifecycle off and `SwapMode::Synchronous`, the engine with
+/// all its new hooks must remain bit-identical to the serial hardened
+/// driver — on a log with a poisoned stretch, not just a clean one.
+#[test]
+fn lifecycle_off_synchronous_is_bit_identical_to_the_serial_driver() {
+    let events = build_log(12, &[5, 6], &[]);
+    let config = base_config();
+    let serial = run_hardened_driver(&events, 12, &config);
+    let sync = run_overlapped_hardened_driver(&events, 12, &config, SwapMode::Synchronous);
+    assert_eq!(sync.report.warnings, serial.report.warnings);
+    for (o, s) in sync.report.warnings.iter().zip(&serial.report.warnings) {
+        assert_eq!(o.id, s.id);
+        assert_eq!(o.provenance, s.provenance);
+    }
+    assert_eq!(sync.report.churn, serial.report.churn);
+    assert_eq!(sync.report.weekly, serial.report.weekly);
+    assert_eq!(sync.report.overall, serial.report.overall);
+    assert!(sync.lifecycle.is_none(), "no lifecycle outcome when off");
+    assert!(sync.admission.is_none(), "no admission stats when off");
+}

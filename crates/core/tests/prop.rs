@@ -1,8 +1,9 @@
-//! Property tests for the predictor and the evaluation machinery.
+//! Property tests for the predictor, the evaluation machinery and the
+//! rule-lifecycle bookkeeping.
 
 use dml_core::evaluation::{coverage_counts, score, warning_hits};
 use dml_core::rules::{AssociationRule, StatisticalRule};
-use dml_core::{KnowledgeRepository, Predictor, Rule, RuleKind};
+use dml_core::{KnowledgeRepository, KnownGoodRing, Predictor, Rule, RuleKind};
 use proptest::prelude::*;
 use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
 
@@ -157,6 +158,42 @@ proptest! {
                 })
                 .count();
             prop_assert!(count >= k, "warning with only {count} fatals in window");
+        }
+    }
+
+    /// The rollback invariant: no interleaving of installs and
+    /// rollbacks (`mark_serving`) may ever evict the version that is
+    /// currently serving, and the ring never holds more than one entry
+    /// over its capacity (the transient protecting a rolled-back
+    /// serving version from the next install).
+    #[test]
+    fn known_good_ring_never_evicts_the_serving_version(
+        capacity in 1usize..6,
+        ops in prop::collection::vec((any::<bool>(), 0usize..40), 1..80),
+    ) {
+        let mut ring = KnownGoodRing::new(capacity);
+        let mut pushed: Vec<u64> = Vec::new();
+        let mut next_version = 1u64;
+        for (install, pick) in ops {
+            if install || pushed.is_empty() {
+                ring.push(next_version, KnowledgeRepository::default());
+                pushed.push(next_version);
+                next_version += 1;
+            } else {
+                // Roll back to any version still held in the ring.
+                let v = pushed[pick % pushed.len()];
+                if ring.versions().contains(&v) {
+                    ring.mark_serving(v);
+                }
+            }
+            let serving = ring.serving();
+            prop_assert!(
+                ring.versions().contains(&serving),
+                "serving v{} evicted; ring holds {:?}",
+                serving,
+                ring.versions()
+            );
+            prop_assert!(ring.len() <= capacity + 1);
         }
     }
 

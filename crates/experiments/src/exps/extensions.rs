@@ -46,12 +46,30 @@ pub fn ext_adaptive(opts: &Opts) {
 /// parse → re-sequence → preprocess → hardened driver) at increasing
 /// corruption rates. The pass criterion is *graceful* degradation: no
 /// panic at any rate, and recall eroding smoothly rather than cliffing.
+///
+/// With `--lifecycle canary|canary+rollback` every rate is run twice —
+/// lifecycle off (the baseline above) and lifecycle on — and the sweep
+/// additionally fails if, at the harshest corruption rate, the
+/// self-healing run ends below the baseline on precision or recall.
+/// `--flight FILE` records the lifecycle run's provenance stream
+/// (canary rejections, rollbacks included); `--min-recall` /
+/// `--min-precision` gate the clean-log (0 % corruption) accuracy.
 pub fn chaos(opts: &Opts) {
     println!("\n== Chaos sweep: hostile ingest at increasing corruption rates ==");
     let weeks = opts.weeks.unwrap_or(12);
     let scale = opts.scale.unwrap_or(0.05);
     let rates = [0.0, 0.01, 0.05, 0.10];
-    let mut cliffs = Vec::new();
+    let lifecycle_on = opts.lifecycle.enabled();
+    let flight: Option<dml_core::SharedFlightRecorder> = opts.flight.as_ref().map(|path| {
+        match dml_obs::FlightRecorder::create(path, dml_obs::FlightConfig::default()) {
+            Ok(rec) => std::sync::Arc::new(std::sync::Mutex::new(rec)),
+            Err(e) => {
+                dml_obs::error!("flight recorder {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let mut failures = Vec::new();
     for preset_name in ["ANL", "SDSC"] {
         println!("\n-- {preset_name} ({weeks} weeks, scale {scale}) --");
         let mut recall_at: Vec<(f64, f64)> = Vec::new();
@@ -85,6 +103,91 @@ pub fn chaos(opts: &Opts) {
                 hard.report.warnings.len()
             );
             println!("{}", hard.health);
+            let mut gated = (acc.precision(), acc.recall());
+
+            if lifecycle_on {
+                flight_meta(&flight, preset_name, rate, opts);
+                let lc_config = dml_core::HardenedConfig {
+                    lifecycle: dml_core::LifecycleConfig {
+                        mode: opts.lifecycle,
+                        ..dml_core::LifecycleConfig::default()
+                    },
+                    admission: opts.admission.map(dml_core::AdmissionConfig::new),
+                    flight: flight.clone(),
+                    ..config.clone()
+                };
+                let lc = dml_core::run_overlapped_hardened_driver(
+                    &ds.clean,
+                    ds.weeks,
+                    &lc_config,
+                    dml_core::SwapMode::Synchronous,
+                );
+                let lacc = &lc.report.overall;
+                println!(
+                    "  lifecycle {}: precision {} recall {} ({} warnings)",
+                    opts.lifecycle,
+                    f2(lacc.precision()),
+                    f2(lacc.recall()),
+                    lc.report.warnings.len()
+                );
+                if let Some(ls) = &lc.lifecycle {
+                    println!(
+                        "  lifecycle: {} canaries ({} rejected), {} rollbacks, {} pages, \
+{} early retrains",
+                        ls.canaries_run,
+                        ls.canaries_rejected,
+                        ls.rollbacks,
+                        ls.pages,
+                        ls.early_retrains,
+                    );
+                }
+                if let Some(a) = &lc.admission {
+                    println!(
+                        "  admission: peak queue {}/{}, shed {} ({} fatal)",
+                        a.high_watermark,
+                        a.capacity,
+                        a.shed_total(),
+                        a.shed_fatal,
+                    );
+                }
+                // The self-healing promise: at the harshest corruption
+                // rate the lifecycle run must end no worse than baseline.
+                if rate == rates[rates.len() - 1]
+                    && (lacc.recall() < acc.recall() || lacc.precision() < acc.precision())
+                {
+                    failures.push(format!(
+                        "{preset_name}: lifecycle run at {:.0}% corruption ended below \
+the lifecycle-off baseline (p {} vs {}, r {} vs {})",
+                        rate * 100.0,
+                        f2(lacc.precision()),
+                        f2(acc.precision()),
+                        f2(lacc.recall()),
+                        f2(acc.recall()),
+                    ));
+                }
+                gated = (lacc.precision(), lacc.recall());
+            }
+
+            // Accuracy floors apply to the clean-log step only: higher
+            // corruption rates legitimately erode accuracy.
+            if rate == 0.0 {
+                if let Some(t) = opts.min_recall {
+                    if gated.1 < t {
+                        failures.push(format!(
+                            "{preset_name}: clean-log recall {:.3} < required {t:.3}",
+                            gated.1
+                        ));
+                    }
+                }
+                if let Some(t) = opts.min_precision {
+                    if gated.0 < t {
+                        failures.push(format!(
+                            "{preset_name}: clean-log precision {:.3} < required {t:.3}",
+                            gated.0
+                        ));
+                    }
+                }
+            }
             recall_at.push((rate, acc.recall()));
         }
         // A "cliff" is a single corruption step wiping out more than half
@@ -92,21 +195,46 @@ pub fn chaos(opts: &Opts) {
         for pair in recall_at.windows(2) {
             let ((r0, a), (r1, b)) = (pair[0], pair[1]);
             if a > 0.2 && b < a * 0.5 {
-                cliffs.push(format!(
-                    "{preset_name}: recall fell {a:.2} → {b:.2} between {:.0}% and {:.0}%",
+                failures.push(format!(
+                    "{preset_name}: recall cliff {a:.2} → {b:.2} between {:.0}% and {:.0}%",
                     r0 * 100.0,
                     r1 * 100.0
                 ));
             }
         }
     }
-    if cliffs.is_empty() {
+    if let Some(rec) = &flight {
+        rec.lock().unwrap_or_else(|p| p.into_inner()).flush();
+    }
+    if failures.is_empty() {
         println!("\nchaos sweep: degradation is graceful at every step");
     } else {
-        for c in &cliffs {
-            dml_obs::error!("chaos sweep CLIFF: {c}");
+        for f in &failures {
+            dml_obs::error!("chaos sweep FAILED: {f}");
         }
         std::process::exit(1);
+    }
+}
+
+/// Stamps one `RunMeta` record so a chaos flight log is self-describing
+/// about which preset/rate the records that follow belong to.
+fn flight_meta(
+    flight: &Option<dml_core::SharedFlightRecorder>,
+    preset: &str,
+    rate: f64,
+    opts: &Opts,
+) {
+    if let Some(rec) = flight {
+        rec.lock().unwrap_or_else(|p| p.into_inner()).record(
+            0,
+            dml_obs::FlightEvent::RunMeta {
+                label: format!(
+                    "chaos {preset} corruption={:.2} lifecycle={}",
+                    rate, opts.lifecycle
+                ),
+                seed: opts.seed,
+            },
+        );
     }
 }
 
@@ -199,10 +327,18 @@ pub fn robustness(opts: &Opts) {
                 ));
             }
         }
+        if let Some(threshold) = opts.min_precision {
+            let mean = meta_precision.iter().sum::<f64>() / meta_precision.len() as f64;
+            if mean < threshold {
+                gate_failures.push(format!(
+                    "{preset_name}: mean meta precision {mean:.3} < required {threshold:.3}"
+                ));
+            }
+        }
     }
     if !gate_failures.is_empty() {
         for f in &gate_failures {
-            dml_obs::error!("recall gate FAILED: {f}");
+            dml_obs::error!("accuracy gate FAILED: {f}");
         }
         std::process::exit(1);
     }

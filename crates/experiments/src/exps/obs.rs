@@ -27,10 +27,17 @@ fn instrument_options(opts: &Opts) -> InstrumentOptions {
     if let Some(r) = opts.slo_recall {
         slo.min_recall = r;
     }
+    let lifecycle = dml_core::LifecycleConfig {
+        mode: opts.lifecycle,
+        slo,
+        ..dml_core::LifecycleConfig::default()
+    };
     InstrumentOptions {
         overlap: opts.overlap,
         flight,
         slo: Some(slo),
+        lifecycle,
+        admission: opts.admission.map(dml_core::AdmissionConfig::new),
     }
 }
 
@@ -70,6 +77,32 @@ pub fn experiments_cmd(opts: &Opts) {
                 stats.swap_staleness_events,
                 stats.swaps_mid_block,
                 stats.swaps_at_boundary,
+            );
+        }
+        if let Some(ls) = &run.report.lifecycle {
+            println!(
+                "  lifecycle: {} canaries ({} accepted / {} rejected), {} rollbacks, \
+{} pages, {} early retrains, {} known-good versions held",
+                ls.canaries_run,
+                ls.canaries_accepted,
+                ls.canaries_rejected,
+                ls.rollbacks,
+                ls.pages,
+                ls.early_retrains,
+                ls.known_good,
+            );
+        }
+        if let Some(a) = &run.report.admission {
+            println!(
+                "  admission: peak queue {}/{}, {} shed ({} duplicate / {} non-fatal / \
+{} fatal), {} fatal overflow admits",
+                a.high_watermark,
+                a.capacity,
+                a.shed_total(),
+                a.shed_duplicate,
+                a.shed_nonfatal,
+                a.shed_fatal,
+                a.overflow_admits,
             );
         }
         for alert in &run.slo_alerts {
@@ -223,6 +256,28 @@ deadline +{deadline_ms} ms, {} precursor(s)",
             "SLO {severity}: {slo} {observed:.3} below floor {floor:.2} at week {week} \
 (burn {burn_short:.2}/{burn_long:.2})"
         ),
+        FlightEvent::CanaryRejected {
+            week,
+            incumbent_version,
+            candidate_precision,
+            candidate_recall,
+            incumbent_precision,
+            incumbent_recall,
+            margin,
+        } => format!(
+            "canary rejected at week {week}: candidate p={candidate_precision:.3} \
+r={candidate_recall:.3} vs incumbent v{incumbent_version} p={incumbent_precision:.3} \
+r={incumbent_recall:.3} (margin {margin:.2})"
+        ),
+        FlightEvent::Rollback {
+            week,
+            from_version,
+            to_version,
+            next_retrain_weeks,
+        } => format!(
+            "rollback at week {week}: repo v{from_version} -> last-known-good v{to_version}, \
+early retrain in {next_retrain_weeks} week(s)"
+        ),
     }
 }
 
@@ -263,10 +318,9 @@ pub fn explain(opts: &Opts, target: Option<&str>) {
     }
     let records = read_flight_or_exit(opts, "explain");
 
-    let issued = records.iter().find_map(|r| match &r.event {
-        FlightEvent::WarningIssued { id, .. } if id == target => Some(r),
-        _ => None,
-    });
+    let issued = records
+        .iter()
+        .find(|r| matches!(&r.event, FlightEvent::WarningIssued { id, .. } if id == target));
     let Some(issued) = issued else {
         dml_obs::error!("warning {target} not found in this flight log");
         std::process::exit(1);

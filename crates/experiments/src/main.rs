@@ -49,6 +49,15 @@ pub struct Opts {
     /// Serve with the overlapped driver (background retraining, hot
     /// swaps). Off by default for exact paper reproduction.
     pub overlap: bool,
+    /// Rule-lifecycle mode: `off` (default), `canary` (gate installs on
+    /// a shadow replay) or `canary+rollback` (also roll back to the
+    /// last known-good repository when the SLO watchdog pages).
+    pub lifecycle: dml_core::LifecycleMode,
+    /// Ingest-queue capacity for event-storm admission control; `None`
+    /// serves every event unconditionally.
+    pub admission: Option<usize>,
+    /// Fail `robustness` when mean meta precision drops below this.
+    pub min_precision: Option<f64>,
 }
 
 impl Opts {
@@ -68,6 +77,9 @@ impl Opts {
             quiet: false,
             from: None,
             overlap: false,
+            lifecycle: dml_core::LifecycleMode::Off,
+            admission: None,
+            min_precision: None,
         };
         fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
             *i += 1;
@@ -128,6 +140,23 @@ impl Opts {
                         "--min-recall",
                     )?)
                 }
+                "--min-precision" => {
+                    opts.min_precision = Some(number(
+                        value(args, &mut i, "--min-precision")?,
+                        "--min-precision",
+                    )?)
+                }
+                "--lifecycle" => {
+                    opts.lifecycle = value(args, &mut i, "--lifecycle")?
+                        .parse()
+                        .map_err(|e| format!("--lifecycle: {e}"))?
+                }
+                "--admission" => {
+                    opts.admission = Some(number(
+                        value(args, &mut i, "--admission")?,
+                        "--admission",
+                    )?)
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
             i += 1;
@@ -170,7 +199,8 @@ impl Opts {
 
 const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE] \
 [--metrics-json FILE] [--metrics-openmetrics FILE] [--flight FILE] \
-[--slo-precision T] [--slo-recall T] [--quiet] [--chaos] [--min-recall T] [--overlap on|off]\n\
+[--slo-precision T] [--slo-recall T] [--quiet] [--chaos] [--min-recall T] [--min-precision T] \
+[--overlap on|off] [--lifecycle off|canary|canary+rollback] [--admission CAPACITY]\n\
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
 ext-adaptive ext-location robustness chaos experiments smoke all\n\
 telemetry:   health [--from SNAPSHOT.json]    renders the pipeline dashboard\n\

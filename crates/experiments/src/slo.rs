@@ -1,425 +1,8 @@
-//! Accuracy-SLO watchdog: per-retrain-cycle precision/recall floors with
-//! burn-rate alerting.
+//! Accuracy-SLO watchdog — re-exported from [`dml_core::slo`].
 //!
-//! The paper reports accuracy per test week; an operator cares about a
-//! different question — *is the predictor still meeting its objective,
-//! and how fast is it burning through the error budget?* The watchdog
-//! groups the weekly accuracy series into retrain cycles (the spans
-//! between churn boundaries), folds each cycle's counts into one
-//! observation, and evaluates precision and recall against configured
-//! floors over a short and a long trailing window, SRE-style:
-//!
-//! ```text
-//! burn = (1 - observed) / (1 - floor)
-//! ```
-//!
-//! `burn == 1` exactly consumes the budget; a sustained `burn > 1` on
-//! *both* windows raises an alert (`warn`), and past the page threshold
-//! a `page`. Requiring both windows suppresses one-cycle blips while
-//! still catching fast regressions (the short window dominates) and slow
-//! rot (the long window dominates).
-//!
-//! Alerts land in the flight recorder as `slo_alert` records and the
-//! watchdog's counters surface in `repro health` under `slo.*`.
+//! The watchdog moved into `dml-core` so the self-healing rule lifecycle
+//! (canary gate + automatic rollback) can evaluate burn rates *live*
+//! inside the serving loop; this shim keeps the `experiments::slo` paths
+//! every harness and test already uses.
 
-use dml_core::{Accuracy, DriverReport};
-use dml_obs::{MetricSource, Registry};
-
-/// Alert severity, ordered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-pub enum SloSeverity {
-    /// Budget burning faster than planned.
-    Warn,
-    /// Budget burning fast enough to exhaust within the long window.
-    Page,
-}
-
-impl SloSeverity {
-    /// The lowercase label used in flight records.
-    pub fn as_str(&self) -> &'static str {
-        match self {
-            SloSeverity::Warn => "warn",
-            SloSeverity::Page => "page",
-        }
-    }
-}
-
-/// Watchdog parameters.
-#[derive(Debug, Clone, Copy)]
-pub struct SloConfig {
-    /// Precision floor (fraction of warnings that must be true).
-    pub min_precision: f64,
-    /// Recall floor (fraction of failures that must be covered).
-    pub min_recall: f64,
-    /// Trailing cycles in the short window.
-    pub short_cycles: usize,
-    /// Trailing cycles in the long window.
-    pub long_cycles: usize,
-    /// Burn rate at which both windows must sit to `warn`.
-    pub warn_burn: f64,
-    /// Burn rate at which both windows must sit to `page`.
-    pub page_burn: f64,
-}
-
-impl Default for SloConfig {
-    fn default() -> Self {
-        SloConfig {
-            min_precision: 0.4,
-            min_recall: 0.4,
-            short_cycles: 2,
-            long_cycles: 6,
-            warn_burn: 1.0,
-            // With floor f, a page needs observed <= 1 - 1.5(1 - f): for
-            // the 0.4 default floors that is a collapse below 0.1 — rare
-            // enough to wake someone for. (2.0 would be unsatisfiable for
-            // any floor under 0.5.)
-            page_burn: 1.5,
-        }
-    }
-}
-
-/// One retrain cycle's folded accuracy.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct CycleAccuracy {
-    /// First test week of the cycle.
-    pub week: i64,
-    /// Warning/failure counts summed over the cycle's weeks.
-    pub accuracy: Accuracy,
-}
-
-/// One watchdog alert (also serialized into the flight log).
-#[derive(Debug, Clone, PartialEq)]
-pub struct SloAlert {
-    /// Which objective: `"precision"` or `"recall"`.
-    pub slo: &'static str,
-    /// How bad.
-    pub severity: SloSeverity,
-    /// Observed value over the short window.
-    pub observed: f64,
-    /// The configured floor.
-    pub floor: f64,
-    /// Short-window burn rate.
-    pub burn_short: f64,
-    /// Long-window burn rate.
-    pub burn_long: f64,
-    /// Test week the alert fired on (the cycle's first week).
-    pub week: i64,
-}
-
-impl SloAlert {
-    /// The alert as a flight-recorder event.
-    pub fn flight_event(&self) -> dml_obs::FlightEvent {
-        dml_obs::FlightEvent::SloAlert {
-            slo: self.slo.to_string(),
-            severity: self.severity.as_str().to_string(),
-            observed: self.observed,
-            floor: self.floor,
-            burn_short: self.burn_short,
-            burn_long: self.burn_long,
-            week: self.week,
-        }
-    }
-}
-
-/// Groups a driver report's weekly accuracy series into retrain cycles.
-///
-/// Cycle boundaries are the churn record weeks (the first churn record is
-/// the initial training; each later one is a retraining landing). A
-/// report with no churn records yields one cycle covering everything.
-pub fn per_cycle_accuracy(report: &DriverReport) -> Vec<CycleAccuracy> {
-    if report.weekly.is_empty() {
-        return Vec::new();
-    }
-    let mut boundaries: Vec<i64> = report.churn.iter().map(|c| c.week).collect();
-    boundaries.sort_unstable();
-    boundaries.dedup();
-    if boundaries.is_empty() {
-        boundaries.push(report.weekly[0].week);
-    }
-
-    let mut cycles: Vec<CycleAccuracy> = Vec::new();
-    for wa in &report.weekly {
-        // The cycle a week belongs to is the last boundary at or before it.
-        let idx = boundaries.partition_point(|&b| b <= wa.week).max(1) - 1;
-        let week = boundaries[idx];
-        match cycles.last_mut() {
-            Some(c) if c.week == week => {
-                c.accuracy.true_warnings += wa.accuracy.true_warnings;
-                c.accuracy.false_warnings += wa.accuracy.false_warnings;
-                c.accuracy.covered_fatals += wa.accuracy.covered_fatals;
-                c.accuracy.missed_fatals += wa.accuracy.missed_fatals;
-            }
-            _ => cycles.push(CycleAccuracy {
-                week,
-                accuracy: wa.accuracy,
-            }),
-        }
-    }
-    cycles
-}
-
-/// Error-budget burn rate: 1.0 consumes the budget exactly, above 1.0
-/// burns faster than the floor allows.
-fn burn_rate(observed: f64, floor: f64) -> f64 {
-    (1.0 - observed) / (1.0 - floor).max(1e-9)
-}
-
-/// The stateful watchdog: feed it cycles in order, collect alerts.
-#[derive(Debug, Clone)]
-pub struct SloWatchdog {
-    config: SloConfig,
-    /// Per-cycle `(precision, recall)` history, oldest first.
-    history: Vec<(f64, f64)>,
-    cycles: usize,
-    warns: usize,
-    pages: usize,
-    last_burns: [(f64, f64); 2],
-}
-
-impl SloWatchdog {
-    /// A watchdog with the given floors and windows.
-    pub fn new(config: SloConfig) -> Self {
-        SloWatchdog {
-            config,
-            history: Vec::new(),
-            cycles: 0,
-            warns: 0,
-            pages: 0,
-            last_burns: [(0.0, 0.0); 2],
-        }
-    }
-
-    /// The configuration in force.
-    pub fn config(&self) -> &SloConfig {
-        &self.config
-    }
-
-    /// Cycles observed so far.
-    pub fn cycles(&self) -> usize {
-        self.cycles
-    }
-
-    /// Alerts raised so far, `(warns, pages)`.
-    pub fn alerts(&self) -> (usize, usize) {
-        (self.warns, self.pages)
-    }
-
-    /// Mean of the trailing `n` observations of component `i`.
-    fn window_mean(&self, n: usize, i: usize) -> f64 {
-        let n = n.max(1).min(self.history.len());
-        let tail = &self.history[self.history.len() - n..];
-        let sum: f64 = tail.iter().map(|o| if i == 0 { o.0 } else { o.1 }).sum();
-        sum / n as f64
-    }
-
-    /// Feeds one retrain cycle's accuracy; returns any alerts it raises.
-    ///
-    /// Both the short- and long-window burn must exceed a threshold for
-    /// the matching severity to fire; precision and recall are judged
-    /// independently, so one call can return up to two alerts.
-    pub fn on_cycle(&mut self, cycle: &CycleAccuracy) -> Vec<SloAlert> {
-        self.cycles += 1;
-        self.history
-            .push((cycle.accuracy.precision(), cycle.accuracy.recall()));
-
-        let mut alerts = Vec::new();
-        let objectives: [(&'static str, usize, f64); 2] = [
-            ("precision", 0, self.config.min_precision),
-            ("recall", 1, self.config.min_recall),
-        ];
-        for (slo, i, floor) in objectives {
-            let short = self.window_mean(self.config.short_cycles, i);
-            let long = self.window_mean(self.config.long_cycles, i);
-            let burn_short = burn_rate(short, floor);
-            let burn_long = burn_rate(long, floor);
-            self.last_burns[i] = (burn_short, burn_long);
-            let worst = burn_short.min(burn_long);
-            let severity = if worst >= self.config.page_burn {
-                Some(SloSeverity::Page)
-            } else if worst > self.config.warn_burn {
-                Some(SloSeverity::Warn)
-            } else {
-                None
-            };
-            if let Some(severity) = severity {
-                match severity {
-                    SloSeverity::Warn => self.warns += 1,
-                    SloSeverity::Page => self.pages += 1,
-                }
-                alerts.push(SloAlert {
-                    slo,
-                    severity,
-                    observed: short,
-                    floor,
-                    burn_short,
-                    burn_long,
-                    week: cycle.week,
-                });
-            }
-        }
-        alerts
-    }
-}
-
-impl MetricSource for SloWatchdog {
-    fn export(&self, registry: &mut Registry) {
-        registry.counter_add("slo.cycles", self.cycles as u64);
-        registry.counter_add("slo.alerts_warn", self.warns as u64);
-        registry.counter_add("slo.alerts_page", self.pages as u64);
-        registry.gauge_set("slo.precision_floor", self.config.min_precision);
-        registry.gauge_set("slo.recall_floor", self.config.min_recall);
-        registry.gauge_set("slo.precision_burn_short", self.last_burns[0].0);
-        registry.gauge_set("slo.precision_burn_long", self.last_burns[0].1);
-        registry.gauge_set("slo.recall_burn_short", self.last_burns[1].0);
-        registry.gauge_set("slo.recall_burn_long", self.last_burns[1].1);
-    }
-}
-
-/// Runs the watchdog over a finished driver report; returns the alerts
-/// and the watchdog (for metric export).
-pub fn run_watchdog(report: &DriverReport, config: SloConfig) -> (Vec<SloAlert>, SloWatchdog) {
-    let mut watchdog = SloWatchdog::new(config);
-    let mut alerts = Vec::new();
-    for cycle in per_cycle_accuracy(report) {
-        alerts.extend(watchdog.on_cycle(&cycle));
-    }
-    (alerts, watchdog)
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use dml_core::{ChurnRecord, WeekAccuracy};
-
-    fn acc(tw: u64, fw: u64, cf: u64, mf: u64) -> Accuracy {
-        Accuracy {
-            true_warnings: tw,
-            false_warnings: fw,
-            covered_fatals: cf,
-            missed_fatals: mf,
-        }
-    }
-
-    fn cycle(week: i64, a: Accuracy) -> CycleAccuracy {
-        CycleAccuracy { week, accuracy: a }
-    }
-
-    #[test]
-    fn cycles_fold_weeks_between_churn_boundaries() {
-        let mut report = DriverReport::default();
-        for week in [4, 6, 8] {
-            report.churn.push(ChurnRecord {
-                week,
-                unchanged: 0,
-                added: 0,
-                removed_by_learner: 0,
-                removed_by_reviser: 0,
-                total: 0,
-            });
-        }
-        for week in 4..10 {
-            report.weekly.push(WeekAccuracy {
-                week,
-                accuracy: acc(1, 0, 1, 0),
-            });
-        }
-        let cycles = per_cycle_accuracy(&report);
-        assert_eq!(cycles.len(), 3);
-        assert_eq!(cycles[0].week, 4);
-        assert_eq!(cycles[0].accuracy.true_warnings, 2); // weeks 4, 5
-        assert_eq!(cycles[2].week, 8);
-        assert_eq!(cycles[2].accuracy.covered_fatals, 2); // weeks 8, 9
-    }
-
-    #[test]
-    fn healthy_series_raises_no_alerts() {
-        let mut w = SloWatchdog::new(SloConfig::default());
-        for week in 0..8 {
-            let alerts = w.on_cycle(&cycle(week, acc(9, 1, 9, 1))); // 0.9 / 0.9
-            assert!(alerts.is_empty(), "week {week}: {alerts:?}");
-        }
-        assert_eq!(w.alerts(), (0, 0));
-        assert_eq!(w.cycles(), 8);
-    }
-
-    #[test]
-    fn sustained_degradation_escalates_to_page() {
-        let config = SloConfig {
-            min_precision: 0.4,
-            min_recall: 0.4,
-            short_cycles: 2,
-            long_cycles: 4,
-            warn_burn: 1.0,
-            page_burn: 1.4,
-        };
-        let mut w = SloWatchdog::new(config);
-        // Healthy cycles first, then recall collapses to zero.
-        for week in 0..4 {
-            assert!(w.on_cycle(&cycle(week, acc(9, 1, 9, 1))).is_empty());
-        }
-        let mut saw_page = false;
-        for week in 4..10 {
-            for a in w.on_cycle(&cycle(week, acc(0, 5, 0, 10))) {
-                assert!(a.burn_short > 1.0);
-                if a.severity == SloSeverity::Page {
-                    saw_page = true;
-                    assert!(a.burn_long >= config.page_burn);
-                }
-            }
-        }
-        assert!(saw_page, "long window eventually catches up: {:?}", w);
-        let (warns, pages) = w.alerts();
-        assert!(warns + pages > 0);
-        assert!(pages >= 1);
-    }
-
-    #[test]
-    fn one_cycle_blip_is_suppressed_by_the_long_window() {
-        let mut w = SloWatchdog::new(SloConfig {
-            short_cycles: 1,
-            long_cycles: 6,
-            ..SloConfig::default()
-        });
-        for week in 0..6 {
-            assert!(w.on_cycle(&cycle(week, acc(9, 1, 9, 1))).is_empty());
-        }
-        // A single terrible cycle: short window burns, long window absorbs.
-        let alerts = w.on_cycle(&cycle(6, acc(0, 5, 0, 5)));
-        assert!(alerts.is_empty(), "{alerts:?}");
-    }
-
-    #[test]
-    fn alert_converts_to_flight_event() {
-        let alert = SloAlert {
-            slo: "recall",
-            severity: SloSeverity::Page,
-            observed: 0.1,
-            floor: 0.4,
-            burn_short: 1.5,
-            burn_long: 1.5,
-            week: 7,
-        };
-        match alert.flight_event() {
-            dml_obs::FlightEvent::SloAlert {
-                slo,
-                severity,
-                week,
-                ..
-            } => {
-                assert_eq!(slo, "recall");
-                assert_eq!(severity, "page");
-                assert_eq!(week, 7);
-            }
-            other => panic!("wrong event: {other:?}"),
-        }
-    }
-
-    #[test]
-    fn burn_rate_is_budget_relative() {
-        assert!((burn_rate(0.4, 0.4) - 1.0).abs() < 1e-9);
-        assert!(burn_rate(0.1, 0.4) > 1.0);
-        assert!(burn_rate(0.9, 0.4) < 1.0);
-        // A floor of 1.0 must not divide by zero.
-        assert!(burn_rate(0.5, 1.0).is_finite());
-    }
-}
+pub use dml_core::slo::*;

@@ -10,9 +10,9 @@ use crate::data::build_corrupted_dataset;
 use crate::slo::{run_watchdog, SloAlert, SloConfig};
 use bgl_sim::{CorruptionPlan, SystemPreset};
 use dml_core::{
-    run_hardened_driver, run_overlapped_hardened_driver, AccuracyTracker, DriverConfig,
-    FrameworkConfig, HardenedConfig, HardenedReport, SharedFlightRecorder, SwapMode,
-    TrainingPolicy, WarningOutcome,
+    run_hardened_driver, run_overlapped_hardened_driver, AccuracyTracker, AdmissionConfig,
+    DriverConfig, FrameworkConfig, HardenedConfig, HardenedReport, LifecycleConfig,
+    SharedFlightRecorder, SwapMode, TrainingPolicy, WarningOutcome,
 };
 use dml_obs::{FlightEvent, MetricSource, MetricsSnapshot, Registry, SpanTimer};
 use raslog::{Duration, Timestamp, WEEK_MS};
@@ -113,6 +113,12 @@ pub struct InstrumentOptions {
     pub flight: Option<SharedFlightRecorder>,
     /// Accuracy-SLO floors and burn windows.
     pub slo: Option<SloConfig>,
+    /// Rule-lifecycle policy (canary gate, rollback). The default mode
+    /// is `Off`, which leaves the serving path bit-identical.
+    pub lifecycle: LifecycleConfig,
+    /// Event-storm admission control in front of the predictor.
+    /// `None` serves every event unconditionally.
+    pub admission: Option<AdmissionConfig>,
 }
 
 /// Appends one record to the run's flight recorder, if attached.
@@ -194,10 +200,17 @@ pub fn run_instrumented_opts(
             only_kind: None,
         },
         flight: options.flight.clone(),
+        lifecycle: options.lifecycle,
+        admission: options.admission,
         ..HardenedConfig::default()
     };
+    // Lifecycle and admission control live in the overlapped engine;
+    // `SwapMode::Synchronous` keeps the paper's serial schedule (and is
+    // asserted bit-identical to the serial driver when both are off).
     let mut hardened = if overlap {
         run_overlapped_hardened_driver(&ds.clean, ds.weeks, &config, SwapMode::overlapped())
+    } else if config.lifecycle.mode.enabled() || config.admission.is_some() {
+        run_overlapped_hardened_driver(&ds.clean, ds.weeks, &config, SwapMode::Synchronous)
     } else {
         run_hardened_driver(&ds.clean, ds.weeks, &config)
     };
@@ -401,6 +414,35 @@ burn p={:.2}/{:.2} r={:.2}/{:.2} short/long)\n",
         g("slo.recall_burn_short"),
         g("slo.recall_burn_long"),
     ));
+    if snap.counters.contains_key("lifecycle.canaries_run")
+        || snap.counters.contains_key("lifecycle.rollbacks")
+    {
+        out.push_str(&format!(
+            "  lifecycle   {} canaries ({} accepted / {} rejected), {} rollbacks, {} pages, \
+{} early retrains, {} known-good held\n",
+            c("lifecycle.canaries_run"),
+            c("lifecycle.canaries_accepted"),
+            c("lifecycle.canaries_rejected"),
+            c("lifecycle.rollbacks"),
+            c("lifecycle.pages"),
+            c("lifecycle.early_retrains"),
+            g("lifecycle.known_good"),
+        ));
+    }
+    if snap.gauges.contains_key("admission.capacity") {
+        out.push_str(&format!(
+            "  admission   peak queue {}/{}, {} admitted, {} drained, shed {} duplicate / \
+{} non-fatal / {} fatal, {} fatal overflow admits\n",
+            g("admission.high_watermark"),
+            g("admission.capacity"),
+            c("admission.admitted"),
+            c("admission.drained"),
+            c("admission.shed_duplicate"),
+            c("admission.shed_nonfatal"),
+            c("admission.shed_fatal"),
+            c("admission.overflow_admits"),
+        ));
+    }
     if !snap.traces.is_empty() {
         out.push_str("  recent milestones:\n");
         let tail = snap.traces.len().saturating_sub(6);

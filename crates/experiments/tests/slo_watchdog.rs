@@ -86,6 +86,7 @@ fn degraded_rule_set_trips_the_watchdog_into_the_flight_log() {
         },
         checkpoint_path: None,
         flight: Some(Arc::new(Mutex::new(recorder))),
+        ..HardenedConfig::default()
     };
     // The learner survives only the initial training; every retraining
     // panics, so the initial {1,2}→100 rules serve the whole run — a

@@ -172,6 +172,36 @@ pub enum FlightEvent {
         /// What degraded (learner fallbacks/drops, reviser failure).
         detail: String,
     },
+    /// A freshly retrained repository failed its canary shadow-replay
+    /// and was rejected; the incumbent keeps serving.
+    CanaryRejected {
+        /// Block-boundary week the retraining was scheduled for.
+        week: i64,
+        /// Version of the repository that keeps serving.
+        incumbent_version: u64,
+        /// Candidate precision over the canary tail.
+        candidate_precision: f64,
+        /// Candidate recall over the canary tail.
+        candidate_recall: f64,
+        /// Incumbent precision over the same tail.
+        incumbent_precision: f64,
+        /// Incumbent recall over the same tail.
+        incumbent_recall: f64,
+        /// Allowed regression margin the candidate exceeded.
+        margin: f64,
+    },
+    /// The driver rolled the serving repository back to a last-known-good
+    /// version after the live SLO watchdog paged.
+    Rollback {
+        /// Block-boundary week the rollback happened at.
+        week: i64,
+        /// Version that was serving when the watchdog paged.
+        from_version: u64,
+        /// Known-good version rolled back to.
+        to_version: u64,
+        /// Weeks until the rescheduled (backed-off) early retrain.
+        next_retrain_weeks: i64,
+    },
     /// The accuracy-SLO watchdog fired.
     SloAlert {
         /// Which objective: `precision` or `recall`.
@@ -202,6 +232,8 @@ impl FlightEvent {
             FlightEvent::Swap { .. } => "swap",
             FlightEvent::Checkpoint { .. } => "checkpoint",
             FlightEvent::DegradedMode { .. } => "degraded_mode",
+            FlightEvent::CanaryRejected { .. } => "canary_rejected",
+            FlightEvent::Rollback { .. } => "rollback",
             FlightEvent::SloAlert { .. } => "slo_alert",
         }
     }

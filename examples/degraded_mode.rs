@@ -73,6 +73,7 @@ fn main() {
         resilience: ResilienceConfig::default(),
         checkpoint_path: None,
         flight: None,
+        ..HardenedConfig::default()
     };
 
     // Reference: the healthy ensemble under the same driver.

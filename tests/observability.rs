@@ -43,6 +43,7 @@ fn config(flight: Option<dynamic_meta_learning::dml_core::SharedFlightRecorder>)
         resilience: ResilienceConfig::default(),
         checkpoint_path: None,
         flight,
+        ..HardenedConfig::default()
     }
 }
 

@@ -1,9 +1,14 @@
 //! Oracle tests: the learners must rediscover what the generator planted.
+//!
+//! Each learner is covered twice: a fast variant over a short shared log
+//! that runs in the default suite, and the original long multi-week
+//! variant, still `#[ignore]`d, for `--ignored` runs.
 
 use dynamic_meta_learning::bgl_sim::{Generator, SystemPreset};
 use dynamic_meta_learning::dml_core::{FrameworkConfig, MetaLearner, Rule, RuleKind};
 use dynamic_meta_learning::preprocess::{clean_log, Categorizer, FilterConfig};
 use std::collections::HashSet;
+use std::sync::OnceLock;
 
 fn clean_weeks(generator: &Generator, weeks: i64) -> Vec<raslog::CleanEvent> {
     let categorizer = Categorizer::new(generator.catalog().clone());
@@ -14,6 +19,103 @@ fn clean_weeks(generator: &Generator, weeks: i64) -> Vec<raslog::CleanEvent> {
         clean.append(&mut c);
     }
     clean
+}
+
+const FAST_WEEKS: i64 = 8;
+
+fn fast_generator() -> Generator {
+    Generator::new(
+        SystemPreset::sdsc()
+            .with_weeks(FAST_WEEKS)
+            .with_volume_scale(0.05),
+        17,
+    )
+}
+
+/// One short SDSC log, generated once and shared by every fast variant.
+fn fast_log() -> &'static [raslog::CleanEvent] {
+    static LOG: OnceLock<Vec<raslog::CleanEvent>> = OnceLock::new();
+    LOG.get_or_init(|| clean_weeks(&fast_generator(), FAST_WEEKS))
+}
+
+#[test]
+fn fast_association_learner_rediscovers_a_planted_cascade() {
+    let outcome = MetaLearner::new(FrameworkConfig::default()).train(fast_log());
+    let generator = fast_generator();
+    let regime = generator.regime(FAST_WEEKS / 2);
+    let exact_hits = regime
+        .rules
+        .iter()
+        .filter(|planted| {
+            outcome.repo.rules().iter().any(|r| match &r.rule {
+                Rule::Association(a) => {
+                    a.fatal == planted.fatal && a.antecedent == planted.precursors
+                }
+                _ => false,
+            })
+        })
+        .count();
+    assert!(
+        exact_hits >= 1,
+        "no planted cascade mined exactly from the short log; planted: {:?}",
+        regime.rules.iter().map(|r| r.fatal).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn fast_statistical_learner_matches_burst_structure() {
+    let outcome = MetaLearner::new(FrameworkConfig::default().with_reviser(false)).train(fast_log());
+    let stat_rules: Vec<_> = outcome
+        .repo
+        .rules()
+        .iter()
+        .filter_map(|r| match &r.rule {
+            Rule::Statistical(s) => Some(*s),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        !stat_rules.is_empty(),
+        "deep Zipf bursts must yield statistical rules"
+    );
+    for s in &stat_rules {
+        assert!(s.probability >= 0.8, "rule below threshold: {s:?}");
+        assert!(s.k >= 2, "k=1 cannot clear 0.8 on this workload");
+    }
+}
+
+#[test]
+fn fast_distribution_learner_fits_the_renewal_body() {
+    let outcome = MetaLearner::new(FrameworkConfig::default().with_reviser(false)).train(fast_log());
+    let dist: Vec<_> = outcome
+        .repo
+        .rules()
+        .iter()
+        .filter(|r| r.rule.kind() == RuleKind::Distribution)
+        .collect();
+    assert_eq!(dist.len(), 1);
+    let Rule::Distribution(d) = &dist[0].rule else {
+        unreachable!()
+    };
+    let trigger = d.trigger_elapsed().as_secs();
+    assert!(
+        (3_600..250_000).contains(&trigger),
+        "implausible trigger {trigger}s"
+    );
+}
+
+#[test]
+fn fast_cued_share_respects_no_precursor_majority() {
+    let generator = Generator::new(SystemPreset::anl().with_weeks(6).with_volume_scale(0.08), 23);
+    let mut fatals = 0usize;
+    let mut cued = 0usize;
+    for week in 0..6 {
+        let (_, truth) = generator.week_events(week);
+        fatals += truth.fatals.len();
+        cued += truth.cued_fatals;
+    }
+    let share = cued as f64 / fatals as f64;
+    assert!(share > 0.05 && share < 0.45, "cued share {share}");
 }
 
 #[test]
