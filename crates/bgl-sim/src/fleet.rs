@@ -1,0 +1,397 @@
+//! Fleet-scale trace generation: correlated multi-machine event streams
+//! plus a seeded chaos plan for the sharded serving layer.
+//!
+//! The single-system [`crate::Generator`] models one Blue Gene-class
+//! installation in depth (raw log lines, duplication, reporting noise).
+//! The fleet generator instead models *many* machines shallowly: each
+//! machine emits cleaned events directly, with three planted structures
+//! the prediction pipeline can exploit or be stressed by:
+//!
+//! 1. **Per-machine precursor chains** — a nonfatal precursor type is
+//!    followed by a class-specific fatal inside the prediction window,
+//!    so the meta-learner has association/statistical rules to find.
+//! 2. **Isolated fatals** — fatals with no precursor, bounding recall
+//!    away from 1 and keeping accuracy comparisons honest.
+//! 3. **Failure-domain outages** — every machine on a PDU / switch /
+//!    cooling loop fails near-simultaneously, preceded by a domain cue
+//!    event. A low background rate of the same cue→fatal pattern exists
+//!    fleet-wide, so outage fatals are predictable from trained rules.
+//!
+//! Weeks are generated independently and deterministically from
+//! `(seed, week)`, mirroring [`crate::Generator::week_events`].
+
+use crate::topology::{FailureDomain, FleetTopology};
+use rand::prelude::*;
+use rand_distr::{Distribution, Poisson};
+use raslog::{CleanEvent, EventTypeId, MachineEvent, Timestamp, WEEK_MS};
+use serde::{Deserialize, Serialize};
+
+const WEEK_SECS: i64 = WEEK_MS / 1000;
+
+/// Event-type id layout of the fleet trace (documented so tests and
+/// experiments can assert against stable ids).
+pub mod types {
+    use raslog::EventTypeId;
+
+    /// Precursor type for fatal class `k` (`k < FATAL_CLASSES`).
+    pub fn precursor(k: u16) -> EventTypeId {
+        EventTypeId(1 + k)
+    }
+
+    /// Fatal type for class `k`.
+    pub fn fatal(k: u16) -> EventTypeId {
+        EventTypeId(100 + k)
+    }
+
+    /// Routine chatter types, `0 <= i < 20`.
+    pub fn noise(i: u16) -> EventTypeId {
+        EventTypeId(10 + i)
+    }
+
+    /// Domain-outage cue type (0 = PDU, 1 = switch, 2 = cooling).
+    pub fn outage_cue(kind: u16) -> EventTypeId {
+        EventTypeId(50 + kind)
+    }
+
+    /// Domain-outage fatal type (same kind indexing as the cue).
+    pub fn outage_fatal(kind: u16) -> EventTypeId {
+        EventTypeId(110 + kind)
+    }
+
+    /// Number of per-machine fatal classes.
+    pub const FATAL_CLASSES: u16 = 3;
+}
+
+/// Tunables of the fleet trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetPreset {
+    /// Machine-to-domain wiring (and the machine count).
+    pub topology: FleetTopology,
+    /// Weeks of trace to generate.
+    pub weeks: i64,
+    /// Mean precursor→fatal chains per machine-week.
+    pub chains_per_machine_week: f64,
+    /// Mean routine (noise) events per machine-week.
+    pub noise_per_machine_week: f64,
+    /// Probability a machine emits an unheralded fatal in a week.
+    pub isolated_fatal_prob: f64,
+    /// Mean *background* outage-style cue→fatal pairs per machine-week
+    /// (teaches the cue→fatal rule without an actual outage).
+    pub outage_background_per_machine_week: f64,
+}
+
+impl FleetPreset {
+    /// A simulated datacenter of `machines` machines, 12 weeks.
+    pub fn datacenter(machines: u32) -> Self {
+        FleetPreset {
+            topology: FleetTopology::new(machines),
+            weeks: 12,
+            chains_per_machine_week: 2.0,
+            noise_per_machine_week: 4.0,
+            isolated_fatal_prob: 0.05,
+            outage_background_per_machine_week: 0.3,
+        }
+    }
+
+    /// Same preset with a different trace length.
+    pub fn with_weeks(mut self, weeks: i64) -> Self {
+        assert!(weeks > 0, "need at least one week");
+        self.weeks = weeks;
+        self
+    }
+}
+
+/// One scheduled shard-level fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardFault {
+    /// Serving week (block) the fault fires in.
+    pub week: i64,
+    /// Target shard index.
+    pub shard: usize,
+}
+
+/// One scheduled failure-domain outage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DomainOutage {
+    /// Week the outage happens in.
+    pub week: i64,
+    /// The shared dependency that fails.
+    pub domain: FailureDomain,
+    /// Outage onset, seconds into the week.
+    pub onset_secs: i64,
+}
+
+/// A seeded schedule of everything the fleet harness injects: trace-level
+/// domain outages (consumed by the generator) and serving-level shard
+/// faults (consumed by the shard supervisor's fault hook).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FleetChaosPlan {
+    /// Shards killed mid-block (worker panic).
+    pub kills: Vec<ShardFault>,
+    /// Shards stalled past the heartbeat deadline.
+    pub stalls: Vec<ShardFault>,
+    /// Shards whose latest checkpoint is corrupted before restart.
+    pub corruptions: Vec<ShardFault>,
+    /// Failure-domain outages woven into the trace itself.
+    pub outages: Vec<DomainOutage>,
+}
+
+impl FleetChaosPlan {
+    /// Derives a deterministic plan for a run serving weeks
+    /// `[warmup_weeks, weeks)` over `shards` shards of `topology`.
+    /// Faults land only in serving weeks strictly after the first, so
+    /// every shard has at least one checkpoint before its first fault.
+    pub fn seeded(
+        seed: u64,
+        warmup_weeks: i64,
+        weeks: i64,
+        shards: usize,
+        topology: &FleetTopology,
+    ) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let first = warmup_weeks + 1;
+        if first >= weeks {
+            return FleetChaosPlan::default();
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00f1_ee7c_4a05_u64);
+        let serving = weeks - first;
+        let mut pick_faults = |n: i64| -> Vec<ShardFault> {
+            (0..n)
+                .map(|_| ShardFault {
+                    week: rng.gen_range(first..weeks),
+                    shard: rng.gen_range(0..shards),
+                })
+                .collect()
+        };
+        let kills = pick_faults((serving / 3).max(1));
+        let stalls = pick_faults((serving / 6).max(1));
+        let corruptions = pick_faults(1);
+        let domains = topology.domains();
+        let outages = (0..(serving / 4).max(1))
+            .map(|_| DomainOutage {
+                week: rng.gen_range(first..weeks),
+                domain: domains[rng.gen_range(0..domains.len())],
+                onset_secs: rng.gen_range(WEEK_SECS / 4..3 * WEEK_SECS / 4),
+            })
+            .collect();
+        FleetChaosPlan {
+            kills,
+            stalls,
+            corruptions,
+            outages,
+        }
+    }
+
+    /// Total scheduled shard-level faults.
+    pub fn shard_fault_count(&self) -> usize {
+        self.kills.len() + self.stalls.len() + self.corruptions.len()
+    }
+}
+
+/// Deterministic multi-machine trace generator.
+#[derive(Debug, Clone)]
+pub struct FleetGenerator {
+    preset: FleetPreset,
+    seed: u64,
+}
+
+impl FleetGenerator {
+    /// A generator for `preset` seeded with `seed`.
+    pub fn new(preset: FleetPreset, seed: u64) -> Self {
+        FleetGenerator { preset, seed }
+    }
+
+    /// The preset this generator runs.
+    pub fn preset(&self) -> &FleetPreset {
+        &self.preset
+    }
+
+    /// One week of the clean (outage-free) fleet trace, sorted by time.
+    /// Deterministic in `(seed, week)` alone.
+    pub fn week_events(&self, week: i64) -> Vec<MachineEvent> {
+        self.week_events_with(week, &FleetChaosPlan::default())
+    }
+
+    /// One week of the trace with `plan`'s domain outages woven in.
+    /// Shard-level faults in `plan` do not affect the trace.
+    pub fn week_events_with(&self, week: i64, plan: &FleetChaosPlan) -> Vec<MachineEvent> {
+        let mut rng =
+            StdRng::seed_from_u64(self.seed ^ (week as u64).wrapping_mul(0xd129_2e47_91fa_c0de));
+        let base = week * WEEK_SECS;
+        let last = (week + 1) * WEEK_SECS - 1;
+        let p = &self.preset;
+        let mut out = Vec::new();
+        let mut push = |machine: u32, secs: i64, ty: EventTypeId, fatal: bool| {
+            let t = secs.clamp(base, last);
+            out.push(MachineEvent::new(
+                machine,
+                CleanEvent::new(Timestamp::from_secs(t), ty, fatal),
+            ));
+        };
+
+        for machine in 0..p.topology.machines {
+            // Routine chatter.
+            let noise = poisson(&mut rng, p.noise_per_machine_week);
+            for _ in 0..noise {
+                let t = base + rng.gen_range(0..WEEK_SECS);
+                push(machine, t, types::noise(rng.gen_range(0..20)), false);
+            }
+            // Precursor chains: precursor, then the class fatal 150–250 s
+            // later — inside the default 300 s prediction window.
+            let chains = poisson(&mut rng, p.chains_per_machine_week);
+            for _ in 0..chains {
+                let k = rng.gen_range(0..types::FATAL_CLASSES);
+                let t = base + rng.gen_range(0..WEEK_SECS - 300);
+                push(machine, t, types::precursor(k), false);
+                push(machine, t + rng.gen_range(150..250), types::fatal(k), true);
+            }
+            // Unheralded fatals.
+            if rng.gen_bool(p.isolated_fatal_prob) {
+                let k = rng.gen_range(0..types::FATAL_CLASSES);
+                let t = base + rng.gen_range(0..WEEK_SECS);
+                push(machine, t, types::fatal(k), true);
+            }
+            // Background cue→fatal pairs of the outage classes.
+            let bg = poisson(&mut rng, p.outage_background_per_machine_week);
+            for _ in 0..bg {
+                let kind = rng.gen_range(0..3);
+                let t = base + rng.gen_range(0..WEEK_SECS - 300);
+                push(machine, t, types::outage_cue(kind), false);
+                push(
+                    machine,
+                    t + rng.gen_range(120..260),
+                    types::outage_fatal(kind),
+                    true,
+                );
+            }
+        }
+
+        // Scheduled domain outages: one cue per member machine ~2 minutes
+        // before onset, then the whole domain fails within ~40 s.
+        for outage in plan.outages.iter().filter(|o| o.week == week) {
+            let kind = match outage.domain {
+                FailureDomain::Pdu(_) => 0,
+                FailureDomain::Switch(_) => 1,
+                FailureDomain::Cooling(_) => 2,
+            };
+            let onset = base + outage.onset_secs;
+            for machine in p.topology.machines_in(outage.domain) {
+                let cue_jitter = rng.gen_range(0..20);
+                let fail_jitter = rng.gen_range(0..40);
+                push(machine, onset - 130 + cue_jitter, types::outage_cue(kind), false);
+                push(machine, onset + fail_jitter, types::outage_fatal(kind), true);
+            }
+        }
+
+        out.sort_by_key(|me| (me.event.time, me.machine, me.event.type_id));
+        out
+    }
+
+    /// The whole clean trace.
+    pub fn generate(&self) -> Vec<MachineEvent> {
+        self.generate_with(&FleetChaosPlan::default())
+    }
+
+    /// The whole trace with domain outages from `plan`.
+    pub fn generate_with(&self, plan: &FleetChaosPlan) -> Vec<MachineEvent> {
+        (0..self.preset.weeks)
+            .flat_map(|w| self.week_events_with(w, plan))
+            .collect()
+    }
+}
+
+fn poisson(rng: &mut StdRng, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    Poisson::new(mean).expect("positive mean").sample(rng) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetGenerator {
+        FleetGenerator::new(FleetPreset::datacenter(60).with_weeks(4), 11)
+    }
+
+    #[test]
+    fn weeks_are_deterministic_and_addressable() {
+        let g = small();
+        let a = g.week_events(2);
+        let b = g.week_events(2);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // Different weeks differ.
+        assert_ne!(g.week_events(1), a);
+    }
+
+    #[test]
+    fn events_stay_inside_their_week_and_sorted() {
+        let g = small();
+        for week in 0..4 {
+            let evs = g.week_events(week);
+            let lo = Timestamp::from_secs(week * WEEK_SECS);
+            let hi = Timestamp::from_secs((week + 1) * WEEK_SECS);
+            for pair in evs.windows(2) {
+                assert!(pair[0].event.time <= pair[1].event.time);
+            }
+            assert!(evs.iter().all(|e| e.event.time >= lo && e.event.time < hi));
+        }
+    }
+
+    #[test]
+    fn machines_are_in_range_and_fatals_present() {
+        let g = small();
+        let all = g.generate();
+        assert!(all.iter().all(|e| e.machine < 60));
+        let fatals = all.iter().filter(|e| e.event.fatal).count();
+        assert!(fatals > 0, "no fatals in the trace");
+    }
+
+    #[test]
+    fn domain_outage_hits_every_member_machine() {
+        let g = small();
+        let domain = FailureDomain::Pdu(1);
+        let plan = FleetChaosPlan {
+            outages: vec![DomainOutage {
+                week: 2,
+                domain,
+                onset_secs: WEEK_SECS / 2,
+            }],
+            ..FleetChaosPlan::default()
+        };
+        let week = g.week_events_with(2, &plan);
+        let members = g.preset().topology.machines_in(domain);
+        for m in &members {
+            assert!(
+                week.iter().any(|e| e.machine == *m
+                    && e.event.fatal
+                    && e.event.type_id == types::outage_fatal(0)),
+                "machine {m} missing outage fatal"
+            );
+        }
+        // The outage adds fatals over the clean week.
+        let clean = g.week_events(2);
+        let clean_fatals = clean.iter().filter(|e| e.event.fatal).count();
+        let outage_fatals = week.iter().filter(|e| e.event.fatal).count();
+        assert!(outage_fatals >= clean_fatals + members.len());
+    }
+
+    #[test]
+    fn seeded_plan_is_deterministic_and_in_serving_range() {
+        let topo = FleetTopology::new(200);
+        let a = FleetChaosPlan::seeded(7, 4, 12, 8, &topo);
+        let b = FleetChaosPlan::seeded(7, 4, 12, 8, &topo);
+        assert_eq!(a, b);
+        assert!(a.shard_fault_count() > 0);
+        assert!(!a.outages.is_empty());
+        for f in a.kills.iter().chain(&a.stalls).chain(&a.corruptions) {
+            assert!(f.week > 4 && f.week < 12);
+            assert!(f.shard < 8);
+        }
+        // Too-short runs get an empty plan rather than out-of-range faults.
+        let empty = FleetChaosPlan::seeded(7, 11, 12, 8, &topo);
+        assert_eq!(empty.shard_fault_count(), 0);
+    }
+}

@@ -34,6 +34,7 @@ pub mod cascade;
 pub mod catalog;
 pub mod corruption;
 pub mod faults;
+pub mod fleet;
 pub mod generator;
 pub mod jobs;
 pub mod noise;
@@ -44,6 +45,7 @@ pub mod topology;
 
 pub use catalog::standard_catalog;
 pub use corruption::{corrupt_week, CorruptionPlan, CorruptionReport};
+pub use fleet::{DomainOutage, FleetChaosPlan, FleetGenerator, FleetPreset, ShardFault};
 pub use generator::{GeneratedLog, Generator, GroundTruth};
 pub use presets::SystemPreset;
-pub use topology::Topology;
+pub use topology::{FailureDomain, FleetTopology, Topology};

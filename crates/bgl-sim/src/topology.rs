@@ -140,6 +140,114 @@ impl Topology {
     }
 }
 
+/// A datacenter-level shared dependency whose failure takes out every
+/// machine wired to it at once. These are the correlated-failure groups
+/// the fleet generator injects outages against; they sit *above* the
+/// per-machine Blue Gene packaging hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum FailureDomain {
+    /// A power-distribution unit feeding a contiguous group of machines.
+    Pdu(u16),
+    /// A top-of-row network switch.
+    Switch(u16),
+    /// A cooling loop / CRAC unit.
+    Cooling(u16),
+}
+
+impl core::fmt::Display for FailureDomain {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FailureDomain::Pdu(i) => write!(f, "pdu-{i}"),
+            FailureDomain::Switch(i) => write!(f, "switch-{i}"),
+            FailureDomain::Cooling(i) => write!(f, "cooling-{i}"),
+        }
+    }
+}
+
+/// How a fleet of simulated machines maps onto shared failure domains.
+///
+/// Machines are indexed `0..machines`. Each maps to exactly one PDU, one
+/// switch and one cooling loop; the three groupings use different strides
+/// so the domains interleave (neighbours on a PDU are usually not
+/// neighbours on a switch), which is what makes domain outages a
+/// different signal from simple machine-range outages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetTopology {
+    /// Number of simulated machines in the fleet.
+    pub machines: u32,
+    /// Machines per power-distribution unit.
+    pub machines_per_pdu: u32,
+    /// Machines per top-of-row switch.
+    pub machines_per_switch: u32,
+    /// Machines per cooling loop.
+    pub machines_per_cooling: u32,
+}
+
+impl FleetTopology {
+    /// A fleet with the default domain sizes: 20 machines per PDU,
+    /// 48 per switch, 125 per cooling loop.
+    ///
+    /// # Panics
+    /// Panics when `machines == 0`.
+    pub fn new(machines: u32) -> Self {
+        assert!(machines > 0, "need at least one machine");
+        FleetTopology {
+            machines,
+            machines_per_pdu: 20,
+            machines_per_switch: 48,
+            machines_per_cooling: 125,
+        }
+    }
+
+    /// The PDU feeding `machine`.
+    pub fn pdu_of(&self, machine: u32) -> FailureDomain {
+        FailureDomain::Pdu((machine / self.machines_per_pdu) as u16)
+    }
+
+    /// The switch serving `machine`. Offset by a half-group so switch
+    /// membership does not coincide with PDU membership.
+    pub fn switch_of(&self, machine: u32) -> FailureDomain {
+        let shifted = (machine + self.machines_per_switch / 2) % self.machines;
+        FailureDomain::Switch((shifted / self.machines_per_switch) as u16)
+    }
+
+    /// The cooling loop serving `machine`.
+    pub fn cooling_of(&self, machine: u32) -> FailureDomain {
+        FailureDomain::Cooling((machine / self.machines_per_cooling) as u16)
+    }
+
+    /// Whether `machine` belongs to `domain`.
+    pub fn contains(&self, domain: FailureDomain, machine: u32) -> bool {
+        match domain {
+            FailureDomain::Pdu(_) => self.pdu_of(machine) == domain,
+            FailureDomain::Switch(_) => self.switch_of(machine) == domain,
+            FailureDomain::Cooling(_) => self.cooling_of(machine) == domain,
+        }
+    }
+
+    /// Every machine wired to `domain`, in index order.
+    pub fn machines_in(&self, domain: FailureDomain) -> Vec<u32> {
+        (0..self.machines)
+            .filter(|&m| self.contains(domain, m))
+            .collect()
+    }
+
+    /// All domains with at least one member, in a stable order.
+    pub fn domains(&self) -> Vec<FailureDomain> {
+        let mut out = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for m in 0..self.machines {
+            for d in [self.pdu_of(m), self.switch_of(m), self.cooling_of(m)] {
+                if seen.insert(d) {
+                    out.push(d);
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,5 +302,48 @@ mod tests {
     #[should_panic(expected = "at least one rack")]
     fn zero_racks_panics() {
         Topology::new(0, 16);
+    }
+
+    #[test]
+    fn every_machine_has_all_three_domains() {
+        let fleet = FleetTopology::new(1000);
+        for m in 0..fleet.machines {
+            assert!(fleet.contains(fleet.pdu_of(m), m));
+            assert!(fleet.contains(fleet.switch_of(m), m));
+            assert!(fleet.contains(fleet.cooling_of(m), m));
+        }
+    }
+
+    #[test]
+    fn domain_membership_is_a_partition_per_kind() {
+        let fleet = FleetTopology::new(500);
+        for kind in [
+            FailureDomain::Pdu(0),
+            FailureDomain::Switch(0),
+            FailureDomain::Cooling(0),
+        ] {
+            let mut covered = vec![false; fleet.machines as usize];
+            for d in fleet.domains() {
+                if std::mem::discriminant(&d) != std::mem::discriminant(&kind) {
+                    continue;
+                }
+                for m in fleet.machines_in(d) {
+                    assert!(!covered[m as usize], "machine {m} in two {kind:?}-like domains");
+                    covered[m as usize] = true;
+                }
+            }
+            assert!(covered.iter().all(|&c| c), "partition misses machines");
+        }
+    }
+
+    #[test]
+    fn switch_groups_interleave_with_pdu_groups() {
+        let fleet = FleetTopology::new(1000);
+        // Two machines on the same PDU are not all on the same switch.
+        let pdu0 = fleet.machines_in(FailureDomain::Pdu(0));
+        let switches: std::collections::BTreeSet<_> =
+            pdu0.iter().map(|&m| fleet.switch_of(m)).collect();
+        assert!(!pdu0.is_empty());
+        assert!(!switches.is_empty());
     }
 }

@@ -1,0 +1,117 @@
+//! `dml fleet` — serve a simulated machine fleet through the sharded,
+//! supervised pipeline (see `dml_core::fleet`).
+
+use crate::args::Args;
+use crate::CliError;
+use bgl_sim::{FleetChaosPlan, FleetGenerator, FleetPreset};
+use dml_core::fleet::{run_fleet, FaultSchedule, FleetConfig, FleetFault};
+use std::io::Write;
+
+/// `[--machines N] [--shards N] [--weeks N] [--seed N] [--supervise on|off]
+/// [--chaos] [--checkpoint-dir DIR] [--out-warnings FILE]
+/// [--metrics-json FILE]`
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let machines: u32 = args.parsed_or("machines", 256)?;
+    let shards: usize = args.parsed_or("shards", 8)?;
+    let weeks: i64 = args.parsed_or("weeks", 12)?;
+    let seed: u64 = args.parsed_or("seed", 42)?;
+    let warmup = (weeks / 3).max(2);
+    if warmup >= weeks {
+        return Err(format!(
+            "--weeks {weeks} leaves no serving range after the {warmup}-week warm-up; \
+use --weeks {} or more",
+            warmup + 1
+        ));
+    }
+    let supervise = match args.optional("supervise").unwrap_or("on") {
+        "on" => true,
+        "off" => false,
+        other => return Err(format!("--supervise: expected on|off, got `{other}`")),
+    };
+    let chaos = args.switch("chaos");
+
+    let preset = FleetPreset::datacenter(machines).with_weeks(weeks);
+    let generator = FleetGenerator::new(preset, seed);
+    let plan = if chaos {
+        FleetChaosPlan::seeded(seed, warmup, weeks, shards, &preset.topology)
+    } else {
+        FleetChaosPlan::default()
+    };
+    let events = generator.generate_with(&plan);
+
+    let config = FleetConfig {
+        shards,
+        base_training_weeks: warmup,
+        supervise,
+        checkpoint_dir: args.optional("checkpoint-dir").map(Into::into),
+        ..FleetConfig::default()
+    };
+    let mut schedule = FaultSchedule::new();
+    for f in &plan.stalls {
+        schedule.insert((f.week, f.shard % shards), FleetFault::Stall(config.heartbeat * 4));
+    }
+    for f in &plan.kills {
+        schedule.insert((f.week, f.shard % shards), FleetFault::Kill);
+    }
+    for f in &plan.corruptions {
+        schedule.insert((f.week, f.shard % shards), FleetFault::CorruptCheckpoint);
+    }
+
+    let mut flight = dml_obs::FlightRecorder::disabled();
+    let report = run_fleet(&events, weeks, &config, &schedule, &mut flight);
+
+    for s in &report.shards {
+        dml_obs::info!(
+            "shard {}: {} machines, {} events, precision {:.2} recall {:.2}, \
+{} restart(s) ({} cold), {} fallback, {} lost fatal(s)",
+            s.shard,
+            s.machines,
+            s.events_served,
+            s.accuracy.precision(),
+            s.accuracy.recall(),
+            s.restarts,
+            s.cold_restarts,
+            s.fallback_events,
+            s.lost_fatal_events,
+        );
+    }
+    println!(
+        "fleet: {} machines / {} shards, {} events in {:.2}s ({:.0} events/sec), \
+precision {:.2} recall {:.2}, {} restarts, lost {} ({} fatal)",
+        report.machines,
+        report.shards.len(),
+        report.events_served,
+        report.elapsed.as_secs_f64(),
+        report.events_per_sec(),
+        report.overall.precision(),
+        report.overall.recall(),
+        report.restarts,
+        report.lost_events,
+        report.lost_fatal_events,
+    );
+
+    if let Some(out) = args.optional("out-warnings") {
+        let mut writer = crate::commands::create(out)?;
+        let mut total = 0usize;
+        for s in &report.shards {
+            for w in &s.warnings {
+                let line = serde_json::to_string(w).map_err(|e| format!("encode warning: {e}"))?;
+                writeln!(writer, "{line}").map_err(|e| format!("write {out}: {e}"))?;
+                total += 1;
+            }
+        }
+        dml_obs::info!("{total} warnings → {out}");
+    }
+
+    let mut registry = dml_obs::Registry::new();
+    registry.collect(&report);
+    crate::commands::write_metrics_if_asked(args, &registry)?;
+
+    if chaos && supervise && report.lost_fatal_events > 0 {
+        return Err(format!(
+            "{} fatal event(s) lost under supervision",
+            report.lost_fatal_events
+        ));
+    }
+    Ok(())
+}

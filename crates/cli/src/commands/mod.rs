@@ -1,6 +1,7 @@
 //! The subcommand implementations.
 
 pub mod evaluate;
+pub mod fleet;
 pub mod generate;
 pub mod predict;
 pub mod preprocess_cmd;

@@ -27,7 +27,7 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
     let (cmd, rest) = argv
         .split_first()
         .ok_or_else(|| format!("no command given\n{}", usage()))?;
-    let args = args::Args::parse_with_switches(rest, &["quiet"])?;
+    let args = args::Args::parse_with_switches(rest, &["quiet", "chaos"])?;
     if args.switch("quiet") {
         dml_obs::log::set_level(dml_obs::log::Level::Error);
     }
@@ -38,13 +38,14 @@ pub fn run(argv: &[String]) -> Result<(), CliError> {
         "train" => commands::train::run(&args),
         "predict" => commands::predict::run(&args),
         "evaluate" => commands::evaluate::run(&args),
+        "fleet" => commands::fleet::run(&args),
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }
 }
 
 /// The usage string.
 pub fn usage() -> &'static str {
-    "usage: dml <generate|stats|preprocess|train|predict|evaluate> [--flag value]... [--quiet]\n\
+    "usage: dml <generate|stats|preprocess|train|predict|evaluate|fleet> [--flag value]... [--quiet]\n\
      run `dml <command>` with missing flags to see what it needs\n\
      --quiet (or DML_LOG=error) silences progress output; \
      --metrics-json FILE dumps stage metrics where supported \

@@ -271,6 +271,40 @@ mod tests {
     }
 
     #[test]
+    fn stacked_fatal_overflows_stay_resident_and_drain_in_order() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(2));
+        for i in 0..5 {
+            assert!(q.offer(ev(i, 100, true)));
+        }
+        let s = q.stats();
+        assert_eq!(s.overflow_admits, 3, "every arrival past capacity overflowed");
+        assert_eq!(s.shed_total(), 0);
+        assert_eq!(s.high_watermark, 5);
+        assert_eq!(q.len(), 5);
+        let out = drain_all(&mut q);
+        assert!(out.iter().all(|e| e.fatal));
+        let secs: Vec<i64> = out.iter().map(|e| e.time.as_secs()).collect();
+        assert_eq!(secs, vec![0, 1, 2, 3, 4], "FIFO order survives overflow");
+        assert_eq!(q.stats().drained, 5);
+    }
+
+    #[test]
+    fn nonfatal_arrivals_are_still_shed_while_over_capacity() {
+        let mut q = AdmissionQueue::new(AdmissionConfig::new(2));
+        for i in 0..3 {
+            assert!(q.offer(ev(i, 100, true)));
+        }
+        assert_eq!(q.stats().overflow_admits, 1);
+        // The queue is over capacity and all-fatal: a non-fatal arrival
+        // cannot evict anything and must be shed, not admitted.
+        assert!(!q.offer(ev(3, 7, false)));
+        let s = q.stats();
+        assert_eq!(s.shed_nonfatal, 1);
+        assert_eq!(s.shed_fatal, 0);
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
     fn watermark_tracks_peak_not_current() {
         let mut q = AdmissionQueue::new(AdmissionConfig::new(16));
         for i in 0..10 {

@@ -1,0 +1,1031 @@
+//! Fleet-scale sharded serving with shard supervision and degraded-mode
+//! continuity.
+//!
+//! The paper's online pipeline serves one event stream with one predictor.
+//! A production deployment of the same methodology fronts a whole machine
+//! room: thousands of machines whose RAS streams are partitioned across
+//! worker shards, each shard running its own sliding window and predictor
+//! state over a shared base rule repository (optionally specialised by a
+//! per-shard overlay retrain).
+//!
+//! This module adds the serving fabric around that idea:
+//!
+//! * [`run_fleet`] partitions a time-sorted [`MachineEvent`] stream across
+//!   `shards` workers (`machine % shards`), trains a shared base
+//!   repository on the leading weeks, and serves the remaining weeks one
+//!   block at a time on scoped worker threads;
+//! * each shard is a **crash-isolated failure domain**: the worker body
+//!   runs under `catch_unwind`, and the supervisor collects results
+//!   against a per-block heartbeat deadline — a panic or a stall past the
+//!   deadline marks the shard *down* instead of taking the fleet with it;
+//! * a down shard's machines are not dropped: their block is served by a
+//!   fleet-wide **fallback predictor** over the base repository (degraded
+//!   accuracy, continuous coverage), and every event routed to the shard
+//!   since its last checkpoint is retained in a bounded per-shard
+//!   [`Spool`] that prefers shedding stale non-fatal events and *never*
+//!   sheds a fatal;
+//! * at the next block boundary the supervisor restarts the shard from
+//!   its last atomic [`Checkpoint`](crate::persist::Checkpoint) and
+//!   replays the spool (warnings suppressed) to rebuild the sliding
+//!   window — a corrupt or unreadable checkpoint degrades to a *cold*
+//!   restart over the base repository rather than an abort;
+//! * with `supervise` off the same sharded execution runs with no fault
+//!   recovery at all: on a clean trace it is bit-identical to the
+//!   supervised run (the determinism baseline), and under faults it shows
+//!   what supervision buys (a dead shard's events are simply lost).
+//!
+//! Fault injection is first-class: a [`FaultSchedule`] maps
+//! `(week, shard)` to [`FleetFault`]s (kill, stall, checkpoint
+//! corruption), so chaos experiments are reproducible.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration as StdDuration, Instant};
+
+use raslog::store::{week_slice, window};
+use raslog::{CleanEvent, MachineEvent, Timestamp, WEEK_MS};
+
+use crate::config::FrameworkConfig;
+use crate::evaluation::{score, Accuracy};
+use crate::knowledge::KnowledgeRepository;
+use crate::meta::MetaLearner;
+use crate::persist::{load_checkpoint_file, save_checkpoint_file, Checkpoint};
+use crate::predictor::{Predictor, PredictorState, Warning};
+use crate::rules::Rule;
+
+/// Fleet serving parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker shards the machine population is partitioned across.
+    pub shards: usize,
+    /// Core framework parameters (window, thresholds, …) shared by the
+    /// base trainer and every shard predictor.
+    pub framework: FrameworkConfig,
+    /// Leading weeks used to train the shared base repository.
+    pub base_training_weeks: i64,
+    /// Retrain a per-shard overlay every this many serving weeks
+    /// (0 disables overlays; every shard serves the base repository).
+    pub overlay_retrain_weeks: i64,
+    /// Trailing weeks of shard-local history an overlay trains on.
+    pub overlay_window_weeks: i64,
+    /// Run the shard supervisor (restart + spool replay + fallback).
+    /// Off: a dead shard stays dead and its events are lost — useful
+    /// only as the bit-identity baseline on clean traces.
+    pub supervise: bool,
+    /// Per-shard spool capacity before non-fatal shedding starts.
+    pub spool_capacity: usize,
+    /// Wall-clock deadline for a block's workers; a shard that has not
+    /// reported by then is declared down.
+    pub heartbeat: StdDuration,
+    /// Write per-shard checkpoints under this directory (`shard-N.ckpt`)
+    /// and restart from disk; `None` keeps checkpoints in memory.
+    pub checkpoint_dir: Option<PathBuf>,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 8,
+            framework: FrameworkConfig::default(),
+            base_training_weeks: 4,
+            overlay_retrain_weeks: 0,
+            overlay_window_weeks: 4,
+            supervise: true,
+            spool_capacity: 50_000,
+            heartbeat: StdDuration::from_secs(5),
+            checkpoint_dir: None,
+        }
+    }
+}
+
+/// An injected shard fault, applied when the named block starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FleetFault {
+    /// The worker panics immediately (crash).
+    Kill,
+    /// The worker sleeps this long before serving; past the heartbeat
+    /// deadline the supervisor declares it down (gray failure).
+    Stall(StdDuration),
+    /// The shard's stored checkpoint is corrupted *and* the worker is
+    /// killed, so the recovery path must fall back to a cold restart.
+    CorruptCheckpoint,
+}
+
+/// `(week, shard)` → fault. Weeks index the serving range, so the first
+/// servable week is `base_training_weeks`.
+pub type FaultSchedule = BTreeMap<(i64, usize), FleetFault>;
+
+/// Bounded buffer of events routed to a shard since its last checkpoint.
+///
+/// On overflow the oldest *non-fatal* event is shed first; fatal events
+/// are always admitted, over capacity if necessary, so a restart never
+/// silently loses a failure.
+#[derive(Debug, Clone, Default)]
+pub struct Spool {
+    events: VecDeque<CleanEvent>,
+    capacity: usize,
+    dropped_nonfatal: u64,
+    overflow_fatals: u64,
+}
+
+impl Spool {
+    /// An empty spool holding at most `capacity` events (fatal overflow
+    /// excepted).
+    pub fn new(capacity: usize) -> Self {
+        Spool {
+            events: VecDeque::new(),
+            capacity: capacity.max(1),
+            ..Spool::default()
+        }
+    }
+
+    /// Appends one event, shedding the oldest non-fatal on overflow.
+    pub fn push(&mut self, ev: CleanEvent) {
+        if self.events.len() >= self.capacity {
+            if let Some(pos) = self.events.iter().position(|e| !e.fatal) {
+                self.events.remove(pos);
+                self.dropped_nonfatal += 1;
+            } else {
+                // Nothing sheddable: every buffered event is fatal.
+                // Admit over capacity rather than lose one.
+                self.overflow_fatals += 1;
+            }
+        }
+        self.events.push_back(ev);
+    }
+
+    /// Buffered events, oldest first.
+    pub fn events(&self) -> Vec<CleanEvent> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Buffered event count.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Non-fatal events shed on overflow so far.
+    pub fn dropped_nonfatal(&self) -> u64 {
+        self.dropped_nonfatal
+    }
+
+    /// Fatal events admitted past capacity so far.
+    pub fn overflow_fatals(&self) -> u64 {
+        self.overflow_fatals
+    }
+
+    /// Empties the buffer (after a successful checkpoint).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+/// Per-shard slice of a [`FleetReport`].
+#[derive(Debug, Clone)]
+pub struct ShardReport {
+    /// Shard index.
+    pub shard: usize,
+    /// Distinct machines routed to this shard.
+    pub machines: u64,
+    /// Events served (live worker + fallback).
+    pub events_served: u64,
+    /// Accuracy over the shard's serving-period stream.
+    pub accuracy: Accuracy,
+    /// Warnings issued for this shard (live + fallback-attributed).
+    pub warnings: Vec<Warning>,
+    /// Supervisor restarts of this shard.
+    pub restarts: u64,
+    /// Restarts that could not use a checkpoint (corrupt / missing).
+    pub cold_restarts: u64,
+    /// Spooled events replayed across all restarts.
+    pub replayed_events: u64,
+    /// Events served by the fleet-wide fallback while this shard was down.
+    pub fallback_events: u64,
+    /// Events never served (unsupervised dead shard only).
+    pub lost_events: u64,
+    /// Fatal events among [`ShardReport::lost_events`].
+    pub lost_fatal_events: u64,
+    /// Non-fatal events the spool shed on overflow.
+    pub spool_dropped_nonfatal: u64,
+    /// Fatal events the spool admitted past capacity.
+    pub spool_overflow_fatals: u64,
+    /// Corrupt/unreadable checkpoints encountered at restart.
+    pub checkpoint_corruptions: u64,
+    /// Version of the repository the shard finished serving with.
+    pub final_repo_version: u64,
+}
+
+/// What a fleet run did: per-shard accounting plus fleet-wide totals.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Per-shard accounting.
+    pub shards: Vec<ShardReport>,
+    /// Fleet-wide accuracy (per-shard counts summed).
+    pub overall: Accuracy,
+    /// Distinct machines across the fleet.
+    pub machines: u64,
+    /// Serving weeks (total minus base training).
+    pub serving_weeks: i64,
+    /// Events served fleet-wide (live + fallback).
+    pub events_served: u64,
+    /// Wall-clock serving time (training excluded).
+    pub elapsed: StdDuration,
+    /// Supervisor restarts across all shards.
+    pub restarts: u64,
+    /// Cold restarts across all shards.
+    pub cold_restarts: u64,
+    /// Kill faults injected.
+    pub kills_injected: u64,
+    /// Stall faults injected.
+    pub stalls_injected: u64,
+    /// Checkpoint-corruption faults injected.
+    pub corruptions_injected: u64,
+    /// Events never served (unsupervised dead shards).
+    pub lost_events: u64,
+    /// Fatal events among [`FleetReport::lost_events`]. Zero whenever
+    /// the supervisor is on — the continuity guarantee.
+    pub lost_fatal_events: u64,
+    /// Events served by the fleet-wide fallback predictor.
+    pub fallback_events: u64,
+    /// Checkpoints written (initial + per successful shard-block).
+    pub checkpoints_written: u64,
+    /// Per-shard overlay retrains performed.
+    pub overlay_retrains: u64,
+}
+
+impl FleetReport {
+    /// Aggregate serving throughput (events per wall-clock second).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.events_served as f64 / secs
+        }
+    }
+}
+
+impl dml_obs::MetricSource for FleetReport {
+    fn export(&self, registry: &mut dml_obs::Registry) {
+        registry.gauge_set("fleet.shards", self.shards.len() as f64);
+        registry.gauge_set("fleet.machines", self.machines as f64);
+        registry.counter_add("fleet.events_served", self.events_served);
+        registry.gauge_set("fleet.events_per_sec", self.events_per_sec());
+        registry.counter_add("fleet.restarts", self.restarts);
+        registry.counter_add("fleet.cold_restarts", self.cold_restarts);
+        registry.counter_add("fleet.kills_injected", self.kills_injected);
+        registry.counter_add("fleet.stalls_injected", self.stalls_injected);
+        registry.counter_add("fleet.corruptions_injected", self.corruptions_injected);
+        registry.counter_add("fleet.lost_events", self.lost_events);
+        registry.counter_add("fleet.lost_fatal_events", self.lost_fatal_events);
+        registry.counter_add("fleet.fallback_events", self.fallback_events);
+        registry.counter_add("fleet.checkpoints_written", self.checkpoints_written);
+        registry.counter_add("fleet.overlay_retrains", self.overlay_retrains);
+        let dropped: u64 = self.shards.iter().map(|s| s.spool_dropped_nonfatal).sum();
+        let overflow: u64 = self.shards.iter().map(|s| s.spool_overflow_fatals).sum();
+        registry.counter_add("fleet.spool_dropped_nonfatal", dropped);
+        registry.counter_add("fleet.spool_overflow_fatals", overflow);
+        registry.gauge_set("fleet.precision", self.overall.precision());
+        registry.gauge_set("fleet.recall", self.overall.recall());
+    }
+}
+
+/// How a worker's block ended.
+enum WorkerOutcome {
+    Done {
+        state: PredictorState,
+        warnings: Vec<Warning>,
+    },
+    Panicked(String),
+}
+
+/// Supervisor-side live state for one shard.
+struct ShardRuntime {
+    repo: Arc<KnowledgeRepository>,
+    state: PredictorState,
+    spool: Spool,
+    checkpoint: Option<Checkpoint>,
+    checkpoint_corrupt: bool,
+    down: bool,
+    /// Unsupervised only: the shard died and will never serve again.
+    dead: bool,
+    warnings: Vec<Warning>,
+    events_served: u64,
+    restarts: u64,
+    cold_restarts: u64,
+    replayed: u64,
+    fallback_events: u64,
+    lost_events: u64,
+    lost_fatals: u64,
+    checkpoint_corruptions: u64,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".to_string()
+    }
+}
+
+/// Rule-id-indexed predictor state does not survive a repository swap
+/// (ids are positional), so pending per-rule warnings are dropped while
+/// the type-indexed windows and target suppressions carry over.
+fn rebase_state(state: &PredictorState) -> PredictorState {
+    let mut s = state.clone();
+    s.active.clear();
+    s
+}
+
+fn shard_checkpoint_path(dir: &std::path::Path, shard: usize) -> PathBuf {
+    dir.join(format!("shard-{shard}.ckpt"))
+}
+
+/// Runs the sharded fleet pipeline over a time-sorted multi-machine
+/// stream. See the module docs for the execution model.
+///
+/// `faults` may be empty (clean run). `flight` receives `shard_down` /
+/// `shard_restarted` records stamped at block boundaries; pass
+/// [`FlightRecorder::disabled`](dml_obs::FlightRecorder::disabled) to
+/// skip recording.
+///
+/// # Panics
+///
+/// Panics when `weeks` leaves no serving range
+/// (`base_training_weeks >= weeks`) or `shards == 0`.
+pub fn run_fleet(
+    events: &[MachineEvent],
+    weeks: i64,
+    config: &FleetConfig,
+    faults: &FaultSchedule,
+    flight: &mut dml_obs::FlightRecorder,
+) -> FleetReport {
+    assert!(config.shards > 0, "fleet needs at least one shard");
+    assert!(
+        config.base_training_weeks > 0 && config.base_training_weeks < weeks,
+        "base training weeks must leave a serving range"
+    );
+    let shards = config.shards;
+    let window_len = config.framework.window;
+
+    // Partition the stream: machine % shards. Per-shard streams stay
+    // time-sorted because the input is.
+    let mut shard_events: Vec<Vec<CleanEvent>> = vec![Vec::new(); shards];
+    let mut shard_machines: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); shards];
+    for me in events {
+        let s = (me.machine as usize) % shards;
+        shard_events[s].push(me.event);
+        shard_machines[s].insert(me.machine);
+    }
+    for stream in &mut shard_events {
+        stream.sort_by_key(|e| e.time);
+    }
+
+    // Shared base repository from the merged leading weeks.
+    let train_end = Timestamp(config.base_training_weeks * WEEK_MS);
+    let train: Vec<CleanEvent> = window(events, Timestamp(0), train_end)
+        .iter()
+        .map(|m| m.event)
+        .collect();
+    let mut base_repo = MetaLearner::new(config.framework).train(&train).repo;
+    base_repo.set_version(1);
+    let base = Arc::new(base_repo);
+
+    let mut checkpoints_written = 0u64;
+    let mut overlay_retrains = 0u64;
+
+    // Per-shard runtimes: warm each predictor with the shard's own final
+    // training week (the driver's warm-up idiom), then checkpoint so
+    // every shard has a restart point from the first block on.
+    let mut runtimes: Vec<ShardRuntime> = (0..shards)
+        .map(|s| {
+            let mut p = Predictor::new(&base, window_len);
+            let warm = window(
+                &shard_events[s],
+                Timestamp((config.base_training_weeks - 1) * WEEK_MS),
+                train_end,
+            );
+            p.warm_up(warm);
+            p.reset_metrics();
+            let state = p.snapshot();
+            let checkpoint = Checkpoint::new(base.version(), (*base).clone(), state.clone());
+            if let Some(dir) = &config.checkpoint_dir {
+                match save_checkpoint_file(&checkpoint, shard_checkpoint_path(dir, s)) {
+                    Ok(()) => {}
+                    Err(e) => dml_obs::warn!("shard {s} checkpoint write failed (continuing): {e}"),
+                }
+            }
+            checkpoints_written += 1;
+            ShardRuntime {
+                repo: base.clone(),
+                state,
+                spool: Spool::new(config.spool_capacity),
+                checkpoint: Some(checkpoint),
+                checkpoint_corrupt: false,
+                down: false,
+                dead: false,
+                warnings: Vec::new(),
+                events_served: 0,
+                restarts: 0,
+                cold_restarts: 0,
+                replayed: 0,
+                fallback_events: 0,
+                lost_events: 0,
+                lost_fatals: 0,
+                checkpoint_corruptions: 0,
+            }
+        })
+        .collect();
+
+    // The fleet-wide fallback: one predictor over the base repository
+    // that absorbs every down shard's traffic. Persistent across blocks
+    // so repeated incidents keep its sliding window warm.
+    let mut fallback_state = Predictor::new(&base, window_len).snapshot();
+
+    let mut kills_injected = 0u64;
+    let mut stalls_injected = 0u64;
+    let mut corruptions_injected = 0u64;
+    let serving_start = Instant::now();
+
+    for week in config.base_training_weeks..weeks {
+        let t_ms = week * WEEK_MS;
+
+        // 1. Bring back shards that went down last block (supervised).
+        if config.supervise {
+            for (s, rt) in runtimes.iter_mut().enumerate() {
+                if !rt.down {
+                    continue;
+                }
+                let restored = if let Some(dir) = &config.checkpoint_dir {
+                    match load_checkpoint_file(shard_checkpoint_path(dir, s)) {
+                        Ok(cp) => Some(cp),
+                        Err(e) => {
+                            dml_obs::warn!("shard {s} checkpoint unreadable at restart: {e}");
+                            None
+                        }
+                    }
+                } else if rt.checkpoint_corrupt {
+                    None
+                } else {
+                    rt.checkpoint.clone()
+                };
+                let (cold, from_version) = match restored {
+                    Some(cp) => {
+                        rt.repo = Arc::new(cp.repo);
+                        rt.state = cp.predictor;
+                        (false, cp.rule_set_version)
+                    }
+                    None => {
+                        // Corrupt or missing: cold restart over the base
+                        // repository — degraded, never fatal.
+                        rt.checkpoint_corruptions += 1;
+                        rt.repo = base.clone();
+                        rt.state = Predictor::new(&base, window_len).snapshot();
+                        (true, 0)
+                    }
+                };
+                // Replay the spool (everything routed here since the
+                // checkpoint) with warnings suppressed: this rebuilds the
+                // sliding window, it does not re-serve.
+                let replay = rt.spool.events();
+                let mut p = Predictor::restore(&rt.repo, window_len, rt.state.clone());
+                p.warm_up(&replay);
+                rt.state = p.snapshot();
+                rt.replayed += replay.len() as u64;
+                rt.restarts += 1;
+                if cold {
+                    rt.cold_restarts += 1;
+                }
+                rt.down = false;
+                flight.record(
+                    t_ms,
+                    dml_obs::FlightEvent::ShardRestarted {
+                        shard: s as u64,
+                        week,
+                        from_version,
+                        replayed: replay.len() as u64,
+                        cold,
+                    },
+                );
+            }
+        }
+
+        // 2. Per-shard overlay retrain at the configured cadence.
+        if config.overlay_retrain_weeks > 0
+            && week > config.base_training_weeks
+            && (week - config.base_training_weeks) % config.overlay_retrain_weeks == 0
+        {
+            for (s, rt) in runtimes.iter_mut().enumerate() {
+                if rt.dead {
+                    continue;
+                }
+                let from = Timestamp((week - config.overlay_window_weeks).max(0) * WEEK_MS);
+                let recent = window(&shard_events[s], from, Timestamp(week * WEEK_MS));
+                if recent.is_empty() {
+                    continue;
+                }
+                let overlay = MetaLearner::new(config.framework).train(recent).repo;
+                // Base rules first (ids stable across swaps), then
+                // overlay rules the base does not already know.
+                let mut seen = base.identities();
+                let mut rules: Vec<(Rule, Option<Accuracy>)> = base
+                    .rules()
+                    .iter()
+                    .map(|sr| (sr.rule.clone(), sr.training_counts))
+                    .collect();
+                for sr in overlay.rules() {
+                    if seen.insert(sr.rule.identity()) {
+                        rules.push((sr.rule.clone(), sr.training_counts));
+                    }
+                }
+                let mut merged = KnowledgeRepository::with_counts(rules);
+                merged.set_version(((week as u64) << 8) | s as u64);
+                rt.repo = Arc::new(merged);
+                rt.state = rebase_state(&rt.state);
+                overlay_retrains += 1;
+            }
+        }
+
+        // 3. Apply checkpoint-corruption faults for this block: scribble
+        // the stored checkpoint, then kill the worker so recovery has to
+        // take the cold path.
+        for (s, rt) in runtimes.iter_mut().enumerate() {
+            if faults.get(&(week, s)) == Some(&FleetFault::CorruptCheckpoint) {
+                corruptions_injected += 1;
+                rt.checkpoint_corrupt = true;
+                if let Some(dir) = &config.checkpoint_dir {
+                    let path = shard_checkpoint_path(dir, s);
+                    if let Err(e) = std::fs::write(&path, b"\x00corrupt\x00") {
+                        dml_obs::warn!("could not corrupt {}: {e}", path.display());
+                    }
+                }
+            }
+        }
+
+        // 4. Serve the block on scoped worker threads, one per live
+        // shard, each crash-isolated behind catch_unwind.
+        let live: Vec<usize> = (0..shards).filter(|&s| !runtimes[s].dead).collect();
+        let mut outcomes: BTreeMap<usize, WorkerOutcome> = BTreeMap::new();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, WorkerOutcome)>();
+            for &s in &live {
+                let tx = tx.clone();
+                let slice = week_slice(&shard_events[s], week);
+                let repo = runtimes[s].repo.clone();
+                let state = runtimes[s].state.clone();
+                let fault = faults.get(&(week, s)).cloned();
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        match &fault {
+                            Some(FleetFault::Stall(d)) => std::thread::sleep(*d),
+                            Some(FleetFault::Kill) | Some(FleetFault::CorruptCheckpoint) => {
+                                panic!("fleet chaos: injected shard fault")
+                            }
+                            None => {}
+                        }
+                        let mut p = Predictor::restore(&repo, window_len, state);
+                        let mut warnings = Vec::new();
+                        for ev in slice {
+                            warnings.extend(p.observe(ev));
+                        }
+                        (p.snapshot(), warnings)
+                    }));
+                    let outcome = match result {
+                        Ok((state, warnings)) => WorkerOutcome::Done { state, warnings },
+                        Err(payload) => WorkerOutcome::Panicked(panic_message(payload)),
+                    };
+                    let _ = tx.send((s, outcome));
+                });
+            }
+            drop(tx);
+            if config.supervise {
+                let deadline = Instant::now() + config.heartbeat;
+                while outcomes.len() < live.len() {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    if remaining.is_zero() {
+                        break; // stragglers are down: missed heartbeat
+                    }
+                    match rx.recv_timeout(remaining) {
+                        Ok((s, o)) => {
+                            outcomes.insert(s, o);
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => break,
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            } else {
+                while let Ok((s, o)) = rx.recv() {
+                    outcomes.insert(s, o);
+                }
+            }
+        });
+        for f in faults.iter().filter(|((w, _), _)| *w == week) {
+            match f.1 {
+                FleetFault::Kill => kills_injected += 1,
+                FleetFault::Stall(_) => stalls_injected += 1,
+                FleetFault::CorruptCheckpoint => {} // counted in step 3
+            }
+        }
+
+        // 5. Fold results: successful shards advance state and
+        // checkpoint; failed shards go down (supervised) or die
+        // (unsupervised). Down shards' traffic is collected for the
+        // fallback pass below.
+        let mut shed: Vec<usize> = Vec::new();
+        for &s in &live {
+            let slice = week_slice(&shard_events[s], week);
+            let rt = &mut runtimes[s];
+            match outcomes.remove(&s) {
+                Some(WorkerOutcome::Done { state, warnings }) => {
+                    rt.state = state;
+                    rt.warnings.extend(warnings);
+                    rt.events_served += slice.len() as u64;
+                    if config.supervise {
+                        for ev in slice {
+                            rt.spool.push(*ev);
+                        }
+                        let checkpoint = Checkpoint::new(
+                            rt.repo.version(),
+                            (*rt.repo).clone(),
+                            rt.state.clone(),
+                        );
+                        if let Some(dir) = &config.checkpoint_dir {
+                            match save_checkpoint_file(&checkpoint, shard_checkpoint_path(dir, s)) {
+                                Ok(()) => {}
+                                Err(e) => dml_obs::warn!(
+                                    "shard {s} checkpoint write failed (continuing): {e}"
+                                ),
+                            }
+                        }
+                        rt.checkpoint = Some(checkpoint);
+                        rt.checkpoint_corrupt = false;
+                        rt.spool.clear();
+                        checkpoints_written += 1;
+                    }
+                }
+                outcome => {
+                    let cause = match &outcome {
+                        Some(WorkerOutcome::Panicked(msg)) => {
+                            dml_obs::warn!("shard {s} worker panicked: {msg}");
+                            "panic"
+                        }
+                        _ => "heartbeat",
+                    };
+                    if config.supervise {
+                        rt.down = true;
+                        shed.push(s);
+                        flight.record(
+                            t_ms,
+                            dml_obs::FlightEvent::ShardDown {
+                                shard: s as u64,
+                                week,
+                                cause: cause.to_string(),
+                            },
+                        );
+                    } else {
+                        rt.dead = true;
+                        flight.record(
+                            t_ms,
+                            dml_obs::FlightEvent::ShardDown {
+                                shard: s as u64,
+                                week,
+                                cause: "unsupervised".to_string(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+
+        // 6. Degraded-mode continuity: serve every down shard's block
+        // through the fleet-wide fallback predictor over the base
+        // repository, attributing warnings to the event's shard, and
+        // spool the events for replay at restart.
+        if config.supervise && !shed.is_empty() {
+            let mut merged: Vec<(usize, &CleanEvent)> = Vec::new();
+            for &s in &shed {
+                for ev in week_slice(&shard_events[s], week) {
+                    merged.push((s, ev));
+                }
+            }
+            merged.sort_by_key(|(s, ev)| (ev.time, *s, ev.type_id));
+            let mut p = Predictor::restore(&base, window_len, fallback_state);
+            for (s, ev) in &merged {
+                let warnings = p.observe(ev);
+                let rt = &mut runtimes[*s];
+                rt.warnings.extend(warnings);
+                rt.fallback_events += 1;
+                rt.events_served += 1;
+                rt.spool.push(**ev);
+            }
+            fallback_state = p.snapshot();
+        }
+
+        // 7. Unsupervised dead shards lose their block outright.
+        if !config.supervise {
+            for (s, rt) in runtimes.iter_mut().enumerate() {
+                if rt.dead {
+                    let slice = week_slice(&shard_events[s], week);
+                    // A shard that died *this* block already had its
+                    // events routed to the worker; they are lost too.
+                    rt.lost_events += slice.len() as u64;
+                    rt.lost_fatals += slice.iter().filter(|e| e.fatal).count() as u64;
+                }
+            }
+        }
+    }
+    let elapsed = serving_start.elapsed();
+
+    // Score each shard over its serving-period stream.
+    let serve_from = Timestamp(config.base_training_weeks * WEEK_MS);
+    let serve_to = Timestamp(weeks * WEEK_MS);
+    let mut reports = Vec::with_capacity(shards);
+    let mut overall = Accuracy::default();
+    for (s, rt) in runtimes.into_iter().enumerate() {
+        let serving = window(&shard_events[s], serve_from, serve_to);
+        let accuracy = score(&rt.warnings, serving);
+        overall.true_warnings += accuracy.true_warnings;
+        overall.false_warnings += accuracy.false_warnings;
+        overall.covered_fatals += accuracy.covered_fatals;
+        overall.missed_fatals += accuracy.missed_fatals;
+        reports.push(ShardReport {
+            shard: s,
+            machines: shard_machines[s].len() as u64,
+            events_served: rt.events_served,
+            accuracy,
+            warnings: rt.warnings,
+            restarts: rt.restarts,
+            cold_restarts: rt.cold_restarts,
+            replayed_events: rt.replayed,
+            fallback_events: rt.fallback_events,
+            lost_events: rt.lost_events,
+            lost_fatal_events: rt.lost_fatals,
+            spool_dropped_nonfatal: rt.spool.dropped_nonfatal(),
+            spool_overflow_fatals: rt.spool.overflow_fatals(),
+            checkpoint_corruptions: rt.checkpoint_corruptions,
+            final_repo_version: rt.repo.version(),
+        });
+    }
+
+    FleetReport {
+        machines: shard_machines.iter().map(|m| m.len() as u64).sum(),
+        serving_weeks: weeks - config.base_training_weeks,
+        events_served: reports.iter().map(|r| r.events_served).sum(),
+        elapsed,
+        restarts: reports.iter().map(|r| r.restarts).sum(),
+        cold_restarts: reports.iter().map(|r| r.cold_restarts).sum(),
+        kills_injected,
+        stalls_injected,
+        corruptions_injected,
+        lost_events: reports.iter().map(|r| r.lost_events).sum(),
+        lost_fatal_events: reports.iter().map(|r| r.lost_fatal_events).sum(),
+        fallback_events: reports.iter().map(|r| r.fallback_events).sum(),
+        checkpoints_written,
+        overlay_retrains,
+        shards: reports,
+        overall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raslog::EventTypeId;
+
+    /// A learnable multi-machine trace: every machine emits the planted
+    /// `{1, 2} → 100` chain several times a week, staggered per machine
+    /// so the merged stream is time-diverse.
+    fn fleet_log(machines: u32, weeks: i64) -> Vec<MachineEvent> {
+        let mut out = Vec::new();
+        for week in 0..weeks {
+            let week_s = week * WEEK_MS / 1000;
+            for g in 0..6i64 {
+                for m in 0..machines {
+                    let base = week_s + g * 86_000 + (m as i64) * 7;
+                    let mk = |secs: i64, ty: u16, fatal: bool| {
+                        MachineEvent::new(
+                            m,
+                            CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal),
+                        )
+                    };
+                    out.push(mk(base, 1, false));
+                    out.push(mk(base + 60, 2, false));
+                    out.push(mk(base + 200, 100, true));
+                }
+            }
+        }
+        out.sort_by_key(|e| (e.event.time, e.machine, e.event.type_id));
+        out
+    }
+
+    fn test_config(supervise: bool) -> FleetConfig {
+        FleetConfig {
+            shards: 3,
+            base_training_weeks: 2,
+            supervise,
+            heartbeat: StdDuration::from_secs(10),
+            ..FleetConfig::default()
+        }
+    }
+
+    fn run(
+        events: &[MachineEvent],
+        weeks: i64,
+        config: &FleetConfig,
+        faults: &FaultSchedule,
+    ) -> FleetReport {
+        let mut flight = dml_obs::FlightRecorder::disabled();
+        run_fleet(events, weeks, config, faults, &mut flight)
+    }
+
+    #[test]
+    fn supervised_and_unsupervised_agree_on_clean_trace() {
+        let events = fleet_log(12, 5);
+        let on = run(&events, 5, &test_config(true), &FaultSchedule::new());
+        let off = run(&events, 5, &test_config(false), &FaultSchedule::new());
+        assert_eq!(on.restarts, 0);
+        assert_eq!(off.restarts, 0);
+        assert_eq!(on.shards.len(), off.shards.len());
+        for (a, b) in on.shards.iter().zip(off.shards.iter()) {
+            assert_eq!(a.warnings, b.warnings, "shard {} diverged", a.shard);
+            assert_eq!(a.accuracy, b.accuracy);
+        }
+        assert_eq!(on.overall, off.overall);
+        assert!(on.overall.recall() > 0.8, "recall {}", on.overall.recall());
+    }
+
+    #[test]
+    fn killed_shard_sheds_to_fallback_and_restarts_from_checkpoint() {
+        let events = fleet_log(12, 6);
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 1), FleetFault::Kill);
+        let report = run(&events, 6, &test_config(true), &faults);
+        let shard = &report.shards[1];
+        assert_eq!(report.kills_injected, 1);
+        assert_eq!(shard.restarts, 1);
+        assert_eq!(shard.cold_restarts, 0, "checkpoint was intact");
+        assert!(shard.fallback_events > 0, "down block must be shed");
+        assert!(shard.replayed_events > 0, "spool must replay at restart");
+        assert_eq!(report.lost_events, 0);
+        assert_eq!(report.lost_fatal_events, 0, "supervision never loses a fatal");
+        // Continuity: every shard still served its whole stream.
+        for s in &report.shards {
+            let expected: u64 = events
+                .iter()
+                .filter(|e| {
+                    (e.machine as usize) % 3 == s.shard && e.event.time.0 >= 2 * WEEK_MS
+                })
+                .count() as u64;
+            assert_eq!(s.events_served, expected, "shard {}", s.shard);
+        }
+    }
+
+    #[test]
+    fn chaos_recall_stays_close_to_clean_run() {
+        let events = fleet_log(12, 6);
+        let clean = run(&events, 6, &test_config(true), &FaultSchedule::new());
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 1), FleetFault::Kill);
+        faults.insert((4, 0), FleetFault::CorruptCheckpoint);
+        let chaos = run(&events, 6, &test_config(true), &faults);
+        assert_eq!(chaos.lost_fatal_events, 0);
+        let delta = (clean.overall.recall() - chaos.overall.recall()).abs();
+        assert!(delta <= 0.05, "recall delta {delta} too large");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_degrades_to_cold_restart() {
+        let events = fleet_log(12, 6);
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 2), FleetFault::CorruptCheckpoint);
+        let report = run(&events, 6, &test_config(true), &faults);
+        let shard = &report.shards[2];
+        assert_eq!(report.corruptions_injected, 1);
+        assert_eq!(shard.restarts, 1);
+        assert_eq!(shard.cold_restarts, 1, "must not trust a corrupt checkpoint");
+        assert_eq!(shard.checkpoint_corruptions, 1);
+        assert!(shard.replayed_events > 0, "spool still replays after cold start");
+        assert_eq!(report.lost_fatal_events, 0);
+    }
+
+    #[test]
+    fn stall_past_heartbeat_is_treated_as_down() {
+        let events = fleet_log(6, 5);
+        let mut config = test_config(true);
+        config.heartbeat = StdDuration::from_millis(250);
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 0), FleetFault::Stall(StdDuration::from_millis(1500)));
+        let report = run(&events, 5, &config, &faults);
+        assert_eq!(report.stalls_injected, 1);
+        assert_eq!(report.shards[0].restarts, 1);
+        assert!(report.shards[0].fallback_events > 0);
+        assert_eq!(report.lost_fatal_events, 0);
+    }
+
+    #[test]
+    fn unsupervised_kill_loses_the_shard_for_good() {
+        let events = fleet_log(12, 6);
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 1), FleetFault::Kill);
+        let report = run(&events, 6, &test_config(false), &faults);
+        let shard = &report.shards[1];
+        assert_eq!(shard.restarts, 0);
+        assert_eq!(shard.fallback_events, 0);
+        assert!(report.lost_events > 0);
+        assert!(report.lost_fatal_events > 0, "no supervision: fatals are lost");
+        assert!(
+            report.overall.missed_fatals > 0,
+            "lost fatals must show up as misses"
+        );
+    }
+
+    #[test]
+    fn disk_checkpoints_round_trip_through_restart() {
+        let dir = std::env::temp_dir().join(format!(
+            "dml-fleet-ckpt-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = fleet_log(12, 6);
+        let mut config = test_config(true);
+        config.checkpoint_dir = Some(dir.clone());
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 1), FleetFault::Kill);
+        let report = run(&events, 6, &config, &faults);
+        assert_eq!(report.shards[1].restarts, 1);
+        assert_eq!(report.shards[1].cold_restarts, 0);
+        assert_eq!(report.lost_fatal_events, 0);
+        assert!(dir.join("shard-1.ckpt").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn overlay_retrain_changes_repo_version_without_losing_recall() {
+        let events = fleet_log(12, 6);
+        let mut config = test_config(true);
+        config.overlay_retrain_weeks = 1;
+        config.overlay_window_weeks = 2;
+        let report = run(&events, 6, &config, &FaultSchedule::new());
+        assert!(report.overlay_retrains > 0);
+        for s in &report.shards {
+            assert_ne!(s.final_repo_version, 1, "shard {} never swapped", s.shard);
+        }
+        assert!(report.overall.recall() > 0.8, "recall {}", report.overall.recall());
+    }
+
+    #[test]
+    fn spool_sheds_oldest_nonfatal_first_and_never_a_fatal() {
+        let mut spool = Spool::new(4);
+        let ev = |secs: i64, fatal: bool| {
+            CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(1), fatal)
+        };
+        spool.push(ev(0, false));
+        spool.push(ev(1, true));
+        spool.push(ev(2, false));
+        spool.push(ev(3, true));
+        // Full. The next push evicts the oldest non-fatal (t=0).
+        spool.push(ev(4, true));
+        assert_eq!(spool.len(), 4);
+        assert_eq!(spool.dropped_nonfatal(), 1);
+        assert!(spool.events().iter().all(|e| e.time.0 != 0));
+        // Evict the remaining non-fatal (t=2), then overflow with fatals.
+        spool.push(ev(5, true));
+        assert_eq!(spool.dropped_nonfatal(), 2);
+        spool.push(ev(6, true));
+        assert_eq!(spool.overflow_fatals(), 1);
+        assert_eq!(spool.len(), 5, "fatal admitted past capacity");
+        let fatals = spool.events().iter().filter(|e| e.fatal).count();
+        assert_eq!(fatals, 5, "every fatal ever pushed is still buffered");
+    }
+
+    #[test]
+    fn report_exports_fleet_metric_family() {
+        let events = fleet_log(6, 4);
+        let mut config = test_config(true);
+        config.base_training_weeks = 2;
+        let report = run(&events, 4, &config, &FaultSchedule::new());
+        let mut registry = dml_obs::Registry::new();
+        registry.collect(&report);
+        let text = dml_obs::render_openmetrics(&registry.snapshot());
+        for name in [
+            "fleet_shards",
+            "fleet_machines",
+            "fleet_events_served",
+            "fleet_lost_fatal_events",
+            "fleet_recall",
+        ] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+}

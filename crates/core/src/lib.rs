@@ -32,8 +32,10 @@
 //! processes, plus crash-recovery checkpoints), [`resilience`]
 //! (degraded-mode retraining with panic isolation and the hardened
 //! driver), [`slo`] (the burn-rate accuracy watchdog), [`lifecycle`]
-//! (canary-gated installs, last-known-good rollback) and [`admission`]
-//! (bounded ingest queue with never-shed-fatal load shedding).
+//! (canary-gated installs, last-known-good rollback), [`admission`]
+//! (bounded ingest queue with never-shed-fatal load shedding) and
+//! [`fleet`] (sharded multi-machine serving with shard supervision,
+//! checkpoint/spool recovery and degraded-mode fallback).
 //!
 //! # Example
 //!
@@ -68,6 +70,7 @@ pub mod admission;
 pub mod config;
 pub mod driver;
 pub mod evaluation;
+pub mod fleet;
 pub mod knowledge;
 pub mod learners;
 pub mod lifecycle;
@@ -88,6 +91,9 @@ pub use config::FrameworkConfig;
 pub use driver::{run_driver, ChurnRecord, DriverConfig, DriverReport, TrainingPolicy};
 pub use evaluation::{
     coverage_counts, lead_times_ms, run_predictor, score, weekly_series, Accuracy, WeekAccuracy,
+};
+pub use fleet::{
+    run_fleet, FaultSchedule, FleetConfig, FleetFault, FleetReport, ShardReport, Spool,
 };
 pub use knowledge::{KnowledgeRepository, RuleChurn, StoredRule};
 pub use learners::{

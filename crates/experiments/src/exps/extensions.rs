@@ -55,8 +55,20 @@ pub fn ext_adaptive(opts: &Opts) {
 /// (canary rejections, rollbacks included); `--min-recall` /
 /// `--min-precision` gate the clean-log (0 % corruption) accuracy.
 pub fn chaos(opts: &Opts) {
-    println!("\n== Chaos sweep: hostile ingest at increasing corruption rates ==");
     let weeks = opts.weeks.unwrap_or(12);
+    // Validate the week budget before building anything: the hardened
+    // driver warms up on (weeks/3).max(2) weeks, and a warm-up that
+    // swallows the trace would panic mid-sweep instead of explaining.
+    let warm = (weeks / 3).max(2);
+    if warm >= weeks {
+        dml_obs::error!(
+            "--weeks {weeks} leaves no serving range after the {warm}-week warm-up; \
+use --weeks {} or more",
+            warm + 1
+        );
+        std::process::exit(2);
+    }
+    println!("\n== Chaos sweep: hostile ingest at increasing corruption rates ==");
     let scale = opts.scale.unwrap_or(0.05);
     let rates = [0.0, 0.01, 0.05, 0.10];
     let lifecycle_on = opts.lifecycle.enabled();

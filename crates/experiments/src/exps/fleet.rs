@@ -1,0 +1,175 @@
+//! `repro fleet` — fleet-scale sharded serving under failure-domain
+//! chaos, with the continuity gates of DESIGN.md §15.
+
+use crate::Opts;
+use experiments::fleet::{continuity_failures, run_fleet_spec, FleetRunOutcome, FleetRunSpec};
+use experiments::output::{f2, render_table};
+
+/// `repro fleet [--machines N] [--shards N] [--weeks N] [--chaos]
+/// [--supervise on|off] [--checkpoint-dir DIR] [--flight LOG.jsonl]`.
+///
+/// Clean mode serves the fleet trace and prints per-shard accuracy and
+/// aggregate throughput. `--chaos` additionally runs the chaos-free
+/// baseline, injects the seeded kill / stall / checkpoint-corruption /
+/// domain-outage plan, and exits nonzero unless zero fatal events were
+/// lost, every restartable faulted shard restarted, and aggregate recall
+/// stayed within 0.05 of the baseline.
+pub fn fleet(opts: &Opts) {
+    let weeks = opts.weeks.unwrap_or(12);
+    let warm = FleetRunSpec::warmup_for(weeks);
+    // Validate the week budget before generating anything: a warm-up
+    // that swallows the whole trace would otherwise surface as a panic
+    // (or an empty sweep) deep inside the run.
+    if warm >= weeks {
+        dml_obs::error!(
+            "--weeks {weeks} leaves no serving range after the {warm}-week warm-up; \
+use --weeks {} or more",
+            warm + 1
+        );
+        std::process::exit(2);
+    }
+    if opts.chaos && warm + 1 >= weeks {
+        dml_obs::error!(
+            "--chaos needs a serving week after the first checkpointed block \
+(warm-up is {warm} weeks); use --weeks {} or more",
+            warm + 2
+        );
+        std::process::exit(2);
+    }
+
+    let machines = opts.machines.unwrap_or(1000);
+    let shards = opts.shards.unwrap_or(8);
+    let spec = FleetRunSpec {
+        machines,
+        shards,
+        weeks,
+        warmup_weeks: warm,
+        supervise: opts.supervise,
+        chaos: opts.chaos,
+        seed: opts.seed,
+        checkpoint_dir: opts.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+    };
+    let mut flight = match &opts.flight {
+        Some(path) => {
+            match dml_obs::FlightRecorder::create(path, dml_obs::FlightConfig::default()) {
+                Ok(rec) => rec,
+                Err(e) => {
+                    dml_obs::error!("flight recorder {path}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => dml_obs::FlightRecorder::disabled(),
+    };
+    flight.record(
+        0,
+        dml_obs::FlightEvent::RunMeta {
+            label: format!(
+                "fleet machines={machines} shards={shards} weeks={weeks} supervise={} chaos={}",
+                if opts.supervise { "on" } else { "off" },
+                if opts.chaos { "on" } else { "off" }
+            ),
+            seed: opts.seed,
+        },
+    );
+
+    println!(
+        "\n== Fleet serving: {machines} machines / {shards} shards, {weeks} weeks \
+({warm} warm-up), supervise {} ==",
+        if opts.supervise { "on" } else { "off" }
+    );
+
+    if opts.chaos {
+        // Chaos-free baseline first (no flight: only the chaos run's
+        // incident stream is interesting).
+        let clean_spec = FleetRunSpec {
+            chaos: false,
+            checkpoint_dir: None,
+            ..spec.clone()
+        };
+        let mut no_flight = dml_obs::FlightRecorder::disabled();
+        let clean = run_fleet_spec(&clean_spec, &mut no_flight);
+        println!("\n-- chaos-free baseline --");
+        print_report(&clean);
+
+        let chaos = run_fleet_spec(&spec, &mut flight);
+        println!(
+            "\n-- chaos: {} kill(s), {} stall(s), {} corruption(s), {} domain outage(s) --",
+            chaos.plan.kills.len(),
+            chaos.plan.stalls.len(),
+            chaos.plan.corruptions.len(),
+            chaos.plan.outages.len()
+        );
+        for o in &chaos.plan.outages {
+            println!("  outage: {} at week {} (+{}s)", o.domain, o.week, o.onset_secs);
+        }
+        print_report(&chaos);
+        experiments::telemetry::export(&chaos.report);
+        flight.flush();
+
+        let failures = continuity_failures(&chaos, &clean.report, weeks, 0.05);
+        if failures.is_empty() {
+            println!(
+                "\nfleet chaos: continuity held — 0 fatals lost, {} restart(s) \
+({} cold), recall {} vs clean {}",
+                chaos.report.restarts,
+                chaos.report.cold_restarts,
+                f2(chaos.report.overall.recall()),
+                f2(clean.report.overall.recall())
+            );
+        } else {
+            for f in &failures {
+                dml_obs::error!("fleet chaos FAILED: {f}");
+            }
+            std::process::exit(1);
+        }
+    } else {
+        let outcome = run_fleet_spec(&spec, &mut flight);
+        print_report(&outcome);
+        experiments::telemetry::export(&outcome.report);
+        flight.flush();
+    }
+}
+
+fn print_report(outcome: &FleetRunOutcome) {
+    let r = &outcome.report;
+    let rows: Vec<Vec<String>> = r
+        .shards
+        .iter()
+        .map(|s| {
+            vec![
+                s.shard.to_string(),
+                s.machines.to_string(),
+                s.events_served.to_string(),
+                format!("{}/{}", f2(s.accuracy.precision()), f2(s.accuracy.recall())),
+                format!("{} ({} cold)", s.restarts, s.cold_restarts),
+                s.fallback_events.to_string(),
+                s.replayed_events.to_string(),
+                s.lost_fatal_events.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "shard", "machines", "events", "P/R", "restarts", "fallback", "replayed",
+                "lost fatals",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "aggregate: {} events in {:.2}s ({:.0} events/sec), precision {} recall {}, \
+{} checkpoints, {} overlay retrains, lost {} ({} fatal)",
+        r.events_served,
+        r.elapsed.as_secs_f64(),
+        r.events_per_sec(),
+        f2(r.overall.precision()),
+        f2(r.overall.recall()),
+        r.checkpoints_written,
+        r.overlay_retrains,
+        r.lost_events,
+        r.lost_fatal_events,
+    );
+}

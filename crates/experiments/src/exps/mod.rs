@@ -3,5 +3,6 @@
 pub mod accuracy;
 pub mod extensions;
 pub mod figures;
+pub mod fleet;
 pub mod obs;
 pub mod tables;

@@ -278,6 +278,28 @@ r={incumbent_recall:.3} (margin {margin:.2})"
             "rollback at week {week}: repo v{from_version} -> last-known-good v{to_version}, \
 early retrain in {next_retrain_weeks} week(s)"
         ),
+        FlightEvent::ShardDown { shard, week, cause } => {
+            format!("shard {shard} down at week {week} ({cause}); shedding to fallback")
+        }
+        FlightEvent::ShardRestarted {
+            shard,
+            week,
+            from_version,
+            replayed,
+            cold,
+        } => format!(
+            "shard {shard} restarted at week {week} from {} ({replayed} event(s) replayed)",
+            if *cold {
+                "cold (base repo)".to_string()
+            } else {
+                format!("checkpoint v{from_version}")
+            }
+        ),
+        FlightEvent::DomainOutage {
+            domain,
+            week,
+            machines,
+        } => format!("domain outage: {domain} ({machines} machine(s)) at week {week}"),
     }
 }
 

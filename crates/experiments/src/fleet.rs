@@ -1,0 +1,224 @@
+//! Fleet-scale serving harness: wires the bgl-sim fleet generator (with
+//! its failure-domain chaos plan) into `dml_core::fleet::run_fleet` and
+//! applies the continuity gates the `repro fleet` command enforces.
+
+use bgl_sim::{FleetChaosPlan, FleetGenerator, FleetPreset, ShardFault};
+use dml_core::fleet::{FaultSchedule, FleetConfig, FleetFault, FleetReport};
+use dml_obs::{FlightEvent, FlightRecorder};
+use raslog::{MachineEvent, WEEK_MS};
+
+/// Everything one `repro fleet` invocation needs to know.
+#[derive(Debug, Clone)]
+pub struct FleetRunSpec {
+    /// Simulated machines.
+    pub machines: u32,
+    /// Worker shards.
+    pub shards: usize,
+    /// Trace length in weeks.
+    pub weeks: i64,
+    /// Base-repository training weeks (the warm-up window).
+    pub warmup_weeks: i64,
+    /// Run the shard supervisor.
+    pub supervise: bool,
+    /// Inject the seeded chaos plan.
+    pub chaos: bool,
+    /// Dataset / chaos seed.
+    pub seed: u64,
+    /// Per-shard checkpoint directory (disk persistence when set).
+    pub checkpoint_dir: Option<std::path::PathBuf>,
+}
+
+impl FleetRunSpec {
+    /// The warm-up window `repro fleet` derives from a week count; kept
+    /// in one place so the up-front CLI validation and the run agree.
+    pub fn warmup_for(weeks: i64) -> i64 {
+        (weeks / 3).max(2)
+    }
+}
+
+/// One completed fleet run plus the inputs needed to judge it.
+pub struct FleetRunOutcome {
+    /// The supervisor's report.
+    pub report: FleetReport,
+    /// Shard-level faults actually scheduled (empty for clean runs).
+    pub schedule: FaultSchedule,
+    /// The chaos plan (empty for clean runs) — outages live here.
+    pub plan: FleetChaosPlan,
+}
+
+/// Translates a generator chaos plan into the supervisor's fault
+/// schedule. Stalls are mapped to four heartbeats so they reliably miss
+/// the deadline; when several faults land on the same `(week, shard)`
+/// the most destructive wins (corruption > kill > stall).
+pub fn fault_schedule(plan: &FleetChaosPlan, config: &FleetConfig) -> FaultSchedule {
+    let mut schedule = FaultSchedule::new();
+    let key = |f: &ShardFault| (f.week, f.shard % config.shards);
+    for f in &plan.stalls {
+        schedule.insert(key(f), FleetFault::Stall(config.heartbeat * 4));
+    }
+    for f in &plan.kills {
+        schedule.insert(key(f), FleetFault::Kill);
+    }
+    for f in &plan.corruptions {
+        schedule.insert(key(f), FleetFault::CorruptCheckpoint);
+    }
+    schedule
+}
+
+/// Restarts a fault schedule guarantees: every faulted `(week, shard)`
+/// with at least one later block to come back in.
+pub fn expected_restarts(schedule: &FaultSchedule, weeks: i64) -> u64 {
+    schedule.keys().filter(|(week, _)| *week < weeks - 1).count() as u64
+}
+
+/// Generates the trace (with domain outages when `chaos`) and serves it
+/// through the sharded fleet pipeline. Domain outages are stamped into
+/// the flight log so a validator can line them up with shard incidents.
+pub fn run_fleet_spec(spec: &FleetRunSpec, flight: &mut FlightRecorder) -> FleetRunOutcome {
+    let preset = FleetPreset::datacenter(spec.machines).with_weeks(spec.weeks);
+    let generator = FleetGenerator::new(preset, spec.seed);
+    let plan = if spec.chaos {
+        FleetChaosPlan::seeded(
+            spec.seed,
+            spec.warmup_weeks,
+            spec.weeks,
+            spec.shards,
+            &preset.topology,
+        )
+    } else {
+        FleetChaosPlan::default()
+    };
+    let events: Vec<MachineEvent> = generator.generate_with(&plan);
+
+    let config = FleetConfig {
+        shards: spec.shards,
+        base_training_weeks: spec.warmup_weeks,
+        supervise: spec.supervise,
+        checkpoint_dir: spec.checkpoint_dir.clone(),
+        ..FleetConfig::default()
+    };
+    let schedule = if spec.chaos {
+        fault_schedule(&plan, &config)
+    } else {
+        FaultSchedule::new()
+    };
+
+    for outage in &plan.outages {
+        flight.record(
+            outage.week * WEEK_MS + outage.onset_secs * 1000,
+            FlightEvent::DomainOutage {
+                domain: outage.domain.to_string(),
+                week: outage.week,
+                machines: preset.topology.machines_in(outage.domain).len() as u64,
+            },
+        );
+    }
+
+    let report = dml_core::fleet::run_fleet(&events, spec.weeks, &config, &schedule, flight);
+    FleetRunOutcome {
+        report,
+        schedule,
+        plan,
+    }
+}
+
+/// The continuity gates a chaos run must clear, as human-readable
+/// failures (empty = pass): no fatal event lost, every faulted shard
+/// restarted, and aggregate recall within `recall_margin` of the
+/// chaos-free baseline.
+pub fn continuity_failures(
+    chaos: &FleetRunOutcome,
+    clean: &FleetReport,
+    weeks: i64,
+    recall_margin: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    if chaos.report.lost_fatal_events > 0 {
+        failures.push(format!(
+            "{} fatal event(s) lost under supervision",
+            chaos.report.lost_fatal_events
+        ));
+    }
+    let expected = expected_restarts(&chaos.schedule, weeks);
+    if chaos.report.restarts < expected {
+        failures.push(format!(
+            "only {} restart(s) for {} restartable fault(s)",
+            chaos.report.restarts, expected
+        ));
+    }
+    let delta = clean.overall.recall() - chaos.report.overall.recall();
+    if delta > recall_margin {
+        failures.push(format!(
+            "chaos recall {:.3} fell more than {recall_margin} below clean recall {:.3}",
+            chaos.report.overall.recall(),
+            clean.overall.recall()
+        ));
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(chaos: bool) -> FleetRunSpec {
+        FleetRunSpec {
+            machines: 48,
+            shards: 4,
+            weeks: 6,
+            warmup_weeks: 2,
+            supervise: true,
+            chaos,
+            seed: 7,
+            checkpoint_dir: None,
+        }
+    }
+
+    #[test]
+    fn chaos_run_clears_the_continuity_gates() {
+        let mut flight = FlightRecorder::disabled();
+        let clean = run_fleet_spec(&spec(false), &mut flight);
+        let chaos = run_fleet_spec(&spec(true), &mut flight);
+        assert!(chaos.plan.shard_fault_count() > 0, "plan scheduled nothing");
+        let failures = continuity_failures(&chaos, &clean.report, 6, 0.05);
+        assert!(failures.is_empty(), "{failures:?}");
+    }
+
+    #[test]
+    fn clean_supervised_run_matches_unsupervised_bit_for_bit() {
+        let mut flight = FlightRecorder::disabled();
+        let on = run_fleet_spec(&spec(false), &mut flight);
+        let off = run_fleet_spec(
+            &FleetRunSpec {
+                supervise: false,
+                ..spec(false)
+            },
+            &mut flight,
+        );
+        assert_eq!(on.report.overall, off.report.overall);
+        for (a, b) in on.report.shards.iter().zip(off.report.shards.iter()) {
+            assert_eq!(a.warnings, b.warnings, "shard {} diverged", a.shard);
+        }
+    }
+
+    #[test]
+    fn fault_schedule_prefers_the_most_destructive_fault() {
+        let plan = FleetChaosPlan {
+            kills: vec![ShardFault { week: 3, shard: 1 }],
+            stalls: vec![ShardFault { week: 3, shard: 1 }],
+            corruptions: vec![ShardFault { week: 3, shard: 1 }],
+            outages: Vec::new(),
+        };
+        let schedule = fault_schedule(&plan, &FleetConfig::default());
+        assert_eq!(schedule.len(), 1);
+        assert_eq!(schedule[&(3, 1)], FleetFault::CorruptCheckpoint);
+    }
+
+    #[test]
+    fn final_week_faults_do_not_demand_a_restart() {
+        let mut schedule = FaultSchedule::new();
+        schedule.insert((3, 0), FleetFault::Kill);
+        schedule.insert((5, 1), FleetFault::Kill); // last serving week
+        assert_eq!(expected_restarts(&schedule, 6), 1);
+    }
+}

@@ -4,6 +4,7 @@
 //! table and figure of the paper (see DESIGN.md's experiment index).
 
 pub mod data;
+pub mod fleet;
 pub mod output;
 pub mod runs;
 pub mod slo;

@@ -58,6 +58,15 @@ pub struct Opts {
     pub admission: Option<usize>,
     /// Fail `robustness` when mean meta precision drops below this.
     pub min_precision: Option<f64>,
+    /// `fleet`: simulated machine count (default 1000).
+    pub machines: Option<u32>,
+    /// `fleet`: worker shard count (default 8).
+    pub shards: Option<usize>,
+    /// `fleet`: run the shard supervisor (`--supervise off` is the
+    /// bit-identity baseline; a dead shard stays dead).
+    pub supervise: bool,
+    /// `fleet`: persist per-shard checkpoints here and restart from disk.
+    pub checkpoint_dir: Option<String>,
 }
 
 impl Opts {
@@ -80,6 +89,10 @@ impl Opts {
             lifecycle: dml_core::LifecycleMode::Off,
             admission: None,
             min_precision: None,
+            machines: None,
+            shards: None,
+            supervise: true,
+            checkpoint_dir: None,
         };
         fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
             *i += 1;
@@ -157,6 +170,28 @@ impl Opts {
                         "--admission",
                     )?)
                 }
+                "--machines" => {
+                    opts.machines = Some(number(
+                        value(args, &mut i, "--machines")?,
+                        "--machines",
+                    )?)
+                }
+                "--shards" => {
+                    opts.shards = Some(number(value(args, &mut i, "--shards")?, "--shards")?)
+                }
+                "--supervise" => {
+                    opts.supervise = match value(args, &mut i, "--supervise")? {
+                        "on" => true,
+                        "off" => false,
+                        other => {
+                            return Err(format!("--supervise: expected on|off, got `{other}`"))
+                        }
+                    }
+                }
+                "--checkpoint-dir" => {
+                    opts.checkpoint_dir =
+                        Some(value(args, &mut i, "--checkpoint-dir")?.to_string())
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
             i += 1;
@@ -203,6 +238,8 @@ const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N
 [--overlap on|off] [--lifecycle off|canary|canary+rollback] [--admission CAPACITY]\n\
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
 ext-adaptive ext-location robustness chaos experiments smoke all\n\
+fleet:       fleet [--machines N] [--shards N] [--weeks N] [--chaos] [--supervise on|off] \
+[--checkpoint-dir DIR]   sharded serving with shard supervision and failure-domain chaos\n\
 telemetry:   health [--from SNAPSHOT.json]    renders the pipeline dashboard\n\
              trace --flight LOG.jsonl         prints a flight-recorder log\n\
              explain <warning-id> --flight LOG.jsonl  full provenance of one warning";
@@ -256,6 +293,7 @@ fn main() {
             }
         }
         "chaos" => exps::extensions::chaos(&opts),
+        "fleet" => exps::fleet::fleet(&opts),
         "ext-location" => exps::extensions::ext_location(&opts),
         "experiments" => exps::obs::experiments_cmd(&opts),
         "health" => exps::obs::health(&opts),

@@ -443,6 +443,30 @@ burn p={:.2}/{:.2} r={:.2}/{:.2} short/long)\n",
             c("admission.overflow_admits"),
         ));
     }
+    if snap.gauges.contains_key("fleet.shards") {
+        out.push_str(&format!(
+            "  fleet       {} shards / {} machines, {} events served ({:.0}/s), \
+precision {:.3} recall {:.3}\n",
+            g("fleet.shards"),
+            g("fleet.machines"),
+            c("fleet.events_served"),
+            g("fleet.events_per_sec"),
+            g("fleet.precision"),
+            g("fleet.recall"),
+        ));
+        out.push_str(&format!(
+            "              {} restarts ({} cold), {} fallback events, lost {} ({} fatal), \
+{} checkpoints, spool shed {} non-fatal / {} fatal overflow\n",
+            c("fleet.restarts"),
+            c("fleet.cold_restarts"),
+            c("fleet.fallback_events"),
+            c("fleet.lost_events"),
+            c("fleet.lost_fatal_events"),
+            c("fleet.checkpoints_written"),
+            c("fleet.spool_dropped_nonfatal"),
+            c("fleet.spool_overflow_fatals"),
+        ));
+    }
     if !snap.traces.is_empty() {
         out.push_str("  recent milestones:\n");
         let tail = snap.traces.len().saturating_sub(6);

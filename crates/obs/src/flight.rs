@@ -219,6 +219,41 @@ pub enum FlightEvent {
         /// Test week the alert fired on.
         week: i64,
     },
+    /// A fleet shard stopped serving mid-block (worker panic or missed
+    /// heartbeat deadline); its machines shed to the fallback predictor.
+    ShardDown {
+        /// Shard index within the fleet.
+        shard: u64,
+        /// Test week the shard went down in.
+        week: i64,
+        /// What took it down: `panic`, `heartbeat`, or `unsupervised`.
+        cause: String,
+    },
+    /// A down shard was brought back at the next block boundary.
+    ShardRestarted {
+        /// Shard index within the fleet.
+        shard: u64,
+        /// Test week the restart happened at.
+        week: i64,
+        /// Rule-set version of the checkpoint it resumed from (0 for a
+        /// cold restart).
+        from_version: u64,
+        /// Spooled events replayed to rebuild the sliding window.
+        replayed: u64,
+        /// True when the checkpoint was missing or corrupt and the shard
+        /// restarted cold over the base repository.
+        cold: bool,
+    },
+    /// A correlated failure-domain outage (PDU / switch / cooling) hit
+    /// the simulated fleet.
+    DomainOutage {
+        /// Domain label, e.g. `pdu-3` or `cooling-0`.
+        domain: String,
+        /// Test week the outage landed in.
+        week: i64,
+        /// Machines in the domain.
+        machines: u64,
+    },
 }
 
 impl FlightEvent {
@@ -235,6 +270,9 @@ impl FlightEvent {
             FlightEvent::CanaryRejected { .. } => "canary_rejected",
             FlightEvent::Rollback { .. } => "rollback",
             FlightEvent::SloAlert { .. } => "slo_alert",
+            FlightEvent::ShardDown { .. } => "shard_down",
+            FlightEvent::ShardRestarted { .. } => "shard_restarted",
+            FlightEvent::DomainOutage { .. } => "domain_outage",
         }
     }
 }

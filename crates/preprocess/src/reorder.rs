@@ -257,6 +257,36 @@ mod tests {
     }
 
     #[test]
+    fn arrival_exactly_on_the_watermark_is_admitted() {
+        let mut buf: ReorderBuffer<CleanEvent> = ReorderBuffer::new(Duration::from_secs(60));
+        let mut out = Vec::new();
+        assert!(buf.push(ev(100), &mut out)); // watermark now 40
+        assert_eq!(buf.watermark(), Some(Timestamp::from_secs(40)));
+        // t == watermark is the boundary: only *strictly* behind is late.
+        assert!(buf.push(ev(40), &mut out), "t == watermark must be admitted");
+        assert_eq!(times(&out), vec![40], "released straight away: t <= watermark");
+        assert_eq!(buf.stats().late_dropped, 0);
+        // One tick behind the boundary is dropped.
+        assert!(!buf.push(ev(39), &mut out));
+        assert_eq!(buf.stats().late_dropped, 1);
+        assert_eq!(times(&out), vec![40]);
+    }
+
+    #[test]
+    fn drain_releases_events_landing_exactly_on_the_watermark() {
+        let mut buf: ReorderBuffer<CleanEvent> = ReorderBuffer::new(Duration::from_secs(60));
+        let mut out = Vec::new();
+        assert!(buf.push(ev(80), &mut out)); // watermark 20: 80 stays pending
+        assert_eq!(buf.pending(), 1);
+        // The next arrival moves the watermark to exactly 80; the release
+        // rule is inclusive, so the buffered 80 comes out now, not later.
+        assert!(buf.push(ev(140), &mut out));
+        assert_eq!(buf.watermark(), Some(Timestamp::from_secs(80)));
+        assert_eq!(times(&out), vec![80]);
+        assert_eq!(buf.pending(), 1, "140 itself is past the watermark");
+    }
+
+    #[test]
     fn works_for_raw_events_too() {
         use raslog::{Facility, Location, RasEvent, RecordSource, Severity};
         let raw = |secs: i64, id: u64| RasEvent {

@@ -117,6 +117,33 @@ impl CleanEvent {
     }
 }
 
+/// A cleaned event tagged with the simulated machine that produced it.
+///
+/// Fleet-scale serving partitions a datacenter's merged stream by
+/// machine; the tag is what the sharding layer partitions on, and what
+/// failure-domain bookkeeping (PDU / switch / cooling groups) keys on.
+/// It deliberately lives here rather than in the simulator so that the
+/// core serving layer can speak it without depending on `bgl-sim`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MachineEvent {
+    /// Stable machine index within the simulated fleet, `0..machines`.
+    pub machine: u32,
+    /// The cleaned event itself.
+    pub event: CleanEvent,
+}
+
+impl MachineEvent {
+    /// Tags `event` as produced by `machine`.
+    pub fn new(machine: u32, event: CleanEvent) -> Self {
+        MachineEvent { machine, event }
+    }
+
+    /// Event time, for sorting merged fleet streams.
+    pub fn time(&self) -> Timestamp {
+        self.event.time
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

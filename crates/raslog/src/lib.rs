@@ -59,7 +59,7 @@ pub mod time;
 pub use catalog::{EventCatalog, EventTypeDef, EventTypeId};
 pub use error::ParseError;
 pub use io::{ParsePolicy, ReadOutcome};
-pub use event::{CleanEvent, JobId, RasEvent, RecordSource};
+pub use event::{CleanEvent, JobId, MachineEvent, RasEvent, RecordSource};
 pub use facility::Facility;
 pub use location::Location;
 pub use severity::Severity;

@@ -27,6 +27,13 @@ impl Timed for CleanEvent {
     }
 }
 
+impl Timed for crate::event::MachineEvent {
+    #[inline]
+    fn time(&self) -> Timestamp {
+        self.event.time
+    }
+}
+
 /// Returns the contiguous subslice of `events` (sorted by time) with times
 /// in `[from, to)`.
 pub fn window<T: Timed>(events: &[T], from: Timestamp, to: Timestamp) -> &[T] {

@@ -1,0 +1,107 @@
+//! Fleet serving end to end, at tier-1 scale: fleet generator →
+//! failure-domain chaos plan → sharded supervised serving. Supervision
+//! must hold the continuity gates — no fatal silently lost, every killed
+//! shard restarted, recall close to the chaos-free run.
+
+use dynamic_meta_learning::bgl_sim::{FleetChaosPlan, FleetGenerator, FleetPreset};
+use dynamic_meta_learning::dml_core::fleet::{
+    run_fleet, FaultSchedule, FleetConfig, FleetFault, FleetReport,
+};
+
+const MACHINES: u32 = 64;
+const SHARDS: usize = 4;
+const WEEKS: i64 = 8;
+const WARMUP: i64 = 2;
+
+fn run(chaos: bool, supervise: bool) -> (FleetReport, FaultSchedule) {
+    let preset = FleetPreset::datacenter(MACHINES).with_weeks(WEEKS);
+    let generator = FleetGenerator::new(preset, 42);
+    let plan = if chaos {
+        FleetChaosPlan::seeded(42, WARMUP, WEEKS, SHARDS, &preset.topology)
+    } else {
+        FleetChaosPlan::default()
+    };
+    let events = generator.generate_with(&plan);
+
+    let config = FleetConfig {
+        shards: SHARDS,
+        base_training_weeks: WARMUP,
+        supervise,
+        ..FleetConfig::default()
+    };
+    let mut schedule = FaultSchedule::new();
+    for f in &plan.stalls {
+        schedule.insert(
+            (f.week, f.shard % SHARDS),
+            FleetFault::Stall(config.heartbeat * 4),
+        );
+    }
+    for f in &plan.kills {
+        schedule.insert((f.week, f.shard % SHARDS), FleetFault::Kill);
+    }
+    for f in &plan.corruptions {
+        schedule.insert((f.week, f.shard % SHARDS), FleetFault::CorruptCheckpoint);
+    }
+
+    let mut flight = dml_obs::FlightRecorder::disabled();
+    let report = run_fleet(&events, WEEKS, &config, &schedule, &mut flight);
+    (report, schedule)
+}
+
+#[test]
+fn supervised_fleet_holds_continuity_under_chaos() {
+    let (clean, _) = run(false, true);
+    let (chaos, schedule) = run(true, true);
+    assert!(!schedule.is_empty(), "the seeded plan must inject faults");
+
+    // No fatal is ever silently lost under supervision.
+    assert_eq!(chaos.lost_fatal_events, 0, "lost fatals under supervision");
+    // Every faulted (week, shard) before the final serving week forces a
+    // restart from checkpoint (final-week faults have no next block).
+    let expected = schedule.keys().filter(|(week, _)| *week < WEEKS - 1).count() as u64;
+    assert!(
+        chaos.restarts >= expected,
+        "restarts {} < faults landing before the last week {expected}",
+        chaos.restarts
+    );
+    // Degraded-mode serving keeps aggregate recall close to chaos-free.
+    let delta = (chaos.overall.recall() - clean.overall.recall()).abs();
+    assert!(
+        delta <= 0.05,
+        "recall drifted {delta:.3} (chaos {:.3} vs clean {:.3})",
+        chaos.overall.recall(),
+        clean.overall.recall()
+    );
+    // The clean run saw no faults at all.
+    assert_eq!(clean.restarts, 0);
+    assert_eq!(clean.fallback_events, 0);
+}
+
+#[test]
+fn unsupervised_clean_run_is_bit_identical_to_supervised() {
+    let (supervised, _) = run(false, true);
+    let (unsupervised, _) = run(false, false);
+    assert_eq!(supervised.events_served, unsupervised.events_served);
+    assert_eq!(supervised.overall, unsupervised.overall);
+    for (a, b) in supervised.shards.iter().zip(&unsupervised.shards) {
+        assert_eq!(a.warnings, b.warnings, "shard {} warnings diverge", a.shard);
+        assert_eq!(a.accuracy, b.accuracy);
+    }
+}
+
+#[test]
+fn fleet_report_exports_the_fleet_metric_family() {
+    let (report, _) = run(false, true);
+    let mut registry = dml_obs::Registry::new();
+    registry.collect(&report);
+    let text = dml_obs::render_openmetrics(&registry.snapshot());
+    for family in [
+        "fleet_shards",
+        "fleet_machines",
+        "fleet_events_served",
+        "fleet_lost_fatal_events",
+        "fleet_recall",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+}
