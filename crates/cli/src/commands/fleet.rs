@@ -9,7 +9,7 @@ use std::io::Write;
 
 /// `[--machines N] [--shards N] [--weeks N] [--seed N] [--supervise on|off]
 /// [--chaos] [--checkpoint-dir DIR] [--out-warnings FILE]
-/// [--metrics-json FILE]`
+/// [--metrics-json FILE] [--trace N] [--flight FILE]`
 pub fn run(args: &Args) -> Result<(), CliError> {
     let machines: u32 = args.parsed_or("machines", 256)?;
     let shards: usize = args.parsed_or("shards", 8)?;
@@ -39,11 +39,21 @@ use --weeks {} or more",
     };
     let events = generator.generate_with(&plan);
 
+    let trace = match args.optional("trace") {
+        Some(raw) => {
+            let every: u64 = raw
+                .parse()
+                .map_err(|_| format!("--trace: cannot parse `{raw}`"))?;
+            dml_obs::TraceConfig::every(every)
+        }
+        None => dml_obs::TraceConfig::disabled(),
+    };
     let config = FleetConfig {
         shards,
         base_training_weeks: warmup,
         supervise,
         checkpoint_dir: args.optional("checkpoint-dir").map(Into::into),
+        trace,
         ..FleetConfig::default()
     };
     let mut schedule = FaultSchedule::new();
@@ -57,8 +67,13 @@ use --weeks {} or more",
         schedule.insert((f.week, f.shard % shards), FleetFault::CorruptCheckpoint);
     }
 
-    let mut flight = dml_obs::FlightRecorder::disabled();
+    let mut flight = match args.optional("flight") {
+        Some(path) => dml_obs::FlightRecorder::create(path, dml_obs::FlightConfig::default())
+            .map_err(|e| format!("flight recorder {path}: {e}"))?,
+        None => dml_obs::FlightRecorder::disabled(),
+    };
     let report = run_fleet(&events, weeks, &config, &schedule, &mut flight);
+    flight.flush();
 
     for s in &report.shards {
         dml_obs::info!(

@@ -83,6 +83,12 @@ pub struct FleetConfig {
     /// Write per-shard checkpoints under this directory (`shard-N.ckpt`)
     /// and restart from disk; `None` keeps checkpoints in memory.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Causal tracing across the fleet: ingest spans at partition,
+    /// dispatch / predict / warn spans on each shard worker, fallback
+    /// dispatch spans while a shard is down, resolve spans at scoring.
+    /// The default ([`dml_obs::TraceConfig::disabled`]) records nothing
+    /// and leaves the run bit-identical to the untraced fleet.
+    pub trace: dml_obs::TraceConfig,
 }
 
 impl Default for FleetConfig {
@@ -97,6 +103,7 @@ impl Default for FleetConfig {
             spool_capacity: 50_000,
             heartbeat: StdDuration::from_secs(5),
             checkpoint_dir: None,
+            trace: dml_obs::TraceConfig::disabled(),
         }
     }
 }
@@ -259,6 +266,13 @@ pub struct FleetReport {
     pub checkpoints_written: u64,
     /// Per-shard overlay retrains performed.
     pub overlay_retrains: u64,
+    /// Wall-clock latency per traced pipeline hop (`ingest`, `dispatch`,
+    /// `predict`, …), merged across the supervisor and every shard
+    /// worker. Empty when tracing is off.
+    pub stage_latency_us: BTreeMap<String, dml_obs::Histogram>,
+    /// Tracer accounting for the run (spans recorded / emitted,
+    /// promotions, pending drops). All zero when tracing is off.
+    pub trace: dml_obs::TraceCounters,
 }
 
 impl FleetReport {
@@ -295,6 +309,26 @@ impl dml_obs::MetricSource for FleetReport {
         registry.counter_add("fleet.spool_overflow_fatals", overflow);
         registry.gauge_set("fleet.precision", self.overall.precision());
         registry.gauge_set("fleet.recall", self.overall.recall());
+        // Per-shard labeled families: the fleet-wide series above stay
+        // the totals, the labels break them down by failure domain.
+        for s in &self.shards {
+            let shard = s.shard.to_string();
+            let labels = [("shard", shard.as_str())];
+            registry.counter_add_with("fleet.events_served", &labels, s.events_served);
+            registry.counter_add_with("fleet.warnings", &labels, s.warnings.len() as u64);
+            registry.counter_add_with("fleet.restarts", &labels, s.restarts);
+            registry.counter_add_with("fleet.fallback_events", &labels, s.fallback_events);
+            registry.counter_add_with("fleet.lost_events", &labels, s.lost_events);
+            registry.gauge_set_with("fleet.precision", &labels, s.accuracy.precision());
+            registry.gauge_set_with("fleet.recall", &labels, s.accuracy.recall());
+        }
+        for (stage, h) in &self.stage_latency_us {
+            registry.merge_histogram_with("fleet.stage_latency_us", &[("stage", stage)], h);
+        }
+        registry.counter_add("trace.spans_recorded", self.trace.spans_recorded);
+        registry.counter_add("trace.spans_emitted", self.trace.spans_emitted);
+        registry.counter_add("trace.traces_promoted", self.trace.traces_promoted);
+        registry.counter_add("trace.pending_dropped", self.trace.pending_dropped);
     }
 }
 
@@ -303,6 +337,10 @@ enum WorkerOutcome {
     Done {
         state: PredictorState,
         warnings: Vec<Warning>,
+        /// The worker's own tracer (dispatch / predict / warn spans for
+        /// its block); the supervisor absorbs it. Disabled when fleet
+        /// tracing is off.
+        tracer: Box<dml_obs::Tracer>,
     },
     Panicked(String),
 }
@@ -378,12 +416,28 @@ pub fn run_fleet(
     let shards = config.shards;
     let window_len = config.framework.window;
 
+    // The supervisor's tracer: ingest spans here, worker tracers folded
+    // in per block, fallback and resolve spans below, drained into the
+    // flight recorder at the end. Disabled config → every call no-ops.
+    let mut tracer = dml_obs::Tracer::new(config.trace);
+
     // Partition the stream: machine % shards. Per-shard streams stay
     // time-sorted because the input is.
     let mut shard_events: Vec<Vec<CleanEvent>> = vec![Vec::new(); shards];
     let mut shard_machines: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); shards];
     for me in events {
         let s = (me.machine as usize) % shards;
+        if tracer.enabled() {
+            let ctx = tracer.context(me.event.time.0, me.event.type_id.0, me.event.fatal);
+            tracer.record(
+                ctx,
+                dml_obs::trace::stage::INGEST,
+                Some(s as u32),
+                me.event.time.0,
+                0,
+                "ok",
+            );
+        }
         shard_events[s].push(me.event);
         shard_machines[s].insert(me.machine);
     }
@@ -584,6 +638,7 @@ pub fn run_fleet(
                 let repo = runtimes[s].repo.clone();
                 let state = runtimes[s].state.clone();
                 let fault = faults.get(&(week, s)).cloned();
+                let trace_config = config.trace;
                 scope.spawn(move || {
                     let result = catch_unwind(AssertUnwindSafe(|| {
                         match &fault {
@@ -594,14 +649,40 @@ pub fn run_fleet(
                             None => {}
                         }
                         let mut p = Predictor::restore(&repo, window_len, state);
+                        let mut tracer = dml_obs::Tracer::new(trace_config);
                         let mut warnings = Vec::new();
-                        for ev in slice {
-                            warnings.extend(p.observe(ev));
+                        if tracer.enabled() {
+                            for ev in slice {
+                                let ctx = tracer.context(ev.time.0, ev.type_id.0, ev.fatal);
+                                tracer.record(
+                                    ctx,
+                                    dml_obs::trace::stage::DISPATCH,
+                                    Some(s as u32),
+                                    ev.time.0,
+                                    0,
+                                    "ok",
+                                );
+                                crate::overlap::observe_traced(
+                                    &mut p,
+                                    &mut tracer,
+                                    Some(s as u32),
+                                    ev,
+                                    &mut warnings,
+                                );
+                            }
+                        } else {
+                            for ev in slice {
+                                warnings.extend(p.observe(ev));
+                            }
                         }
-                        (p.snapshot(), warnings)
+                        (p.snapshot(), warnings, tracer)
                     }));
                     let outcome = match result {
-                        Ok((state, warnings)) => WorkerOutcome::Done { state, warnings },
+                        Ok((state, warnings, tracer)) => WorkerOutcome::Done {
+                            state,
+                            warnings,
+                            tracer: Box::new(tracer),
+                        },
                         Err(payload) => WorkerOutcome::Panicked(panic_message(payload)),
                     };
                     let _ = tx.send((s, outcome));
@@ -646,7 +727,12 @@ pub fn run_fleet(
             let slice = week_slice(&shard_events[s], week);
             let rt = &mut runtimes[s];
             match outcomes.remove(&s) {
-                Some(WorkerOutcome::Done { state, warnings }) => {
+                Some(WorkerOutcome::Done {
+                    state,
+                    warnings,
+                    tracer: worker_tracer,
+                }) => {
+                    tracer.absorb(*worker_tracer);
                     rt.state = state;
                     rt.warnings.extend(warnings);
                     rt.events_served += slice.len() as u64;
@@ -721,7 +807,31 @@ pub fn run_fleet(
             merged.sort_by_key(|(s, ev)| (ev.time, *s, ev.type_id));
             let mut p = Predictor::restore(&base, window_len, fallback_state);
             for (s, ev) in &merged {
-                let warnings = p.observe(ev);
+                let warnings = if tracer.enabled() {
+                    // The degraded path is the chain worth keeping: a
+                    // dispatch span with outcome "fallback" marks where
+                    // the event crossed the shard restart.
+                    let ctx = tracer.context(ev.time.0, ev.type_id.0, ev.fatal);
+                    tracer.record(
+                        ctx,
+                        dml_obs::trace::stage::DISPATCH,
+                        Some(*s as u32),
+                        ev.time.0,
+                        0,
+                        "fallback",
+                    );
+                    let mut issued = Vec::new();
+                    crate::overlap::observe_traced(
+                        &mut p,
+                        &mut tracer,
+                        Some(*s as u32),
+                        ev,
+                        &mut issued,
+                    );
+                    issued
+                } else {
+                    p.observe(ev)
+                };
                 let rt = &mut runtimes[*s];
                 rt.warnings.extend(warnings);
                 rt.fallback_events += 1;
@@ -753,6 +863,33 @@ pub fn run_fleet(
     let mut overall = Accuracy::default();
     for (s, rt) in runtimes.into_iter().enumerate() {
         let serving = window(&shard_events[s], serve_from, serve_to);
+        // Close each linked warning's trace with a resolve span: did a
+        // matching fatal land inside the validity interval? This mirrors
+        // the scorer's hit test closely enough to label the chain.
+        if tracer.enabled() {
+            for w in &rt.warnings {
+                if let Some(id) = tracer.warning_trace(&w.id.to_string()) {
+                    let hit = serving.iter().find(|e| {
+                        e.fatal
+                            && e.time >= w.issued_at
+                            && e.time <= w.deadline
+                            && w.predicted.is_none_or(|t| t == e.type_id)
+                    });
+                    let (t_ms, outcome) = match hit {
+                        Some(e) => (e.time.0, "hit"),
+                        None => (w.deadline.0, "false_alarm"),
+                    };
+                    tracer.record(
+                        dml_obs::TraceContext { id, sampled: true },
+                        dml_obs::trace::stage::RESOLVE,
+                        Some(s as u32),
+                        t_ms,
+                        0,
+                        outcome,
+                    );
+                }
+            }
+        }
         let accuracy = score(&rt.warnings, serving);
         overall.true_warnings += accuracy.true_warnings;
         overall.false_warnings += accuracy.false_warnings;
@@ -777,6 +914,13 @@ pub fn run_fleet(
         });
     }
 
+    let stage_latency_us: BTreeMap<String, dml_obs::Histogram> = tracer
+        .stage_histograms()
+        .map(|(stage, h)| (stage.to_string(), h.clone()))
+        .collect();
+    tracer.drain_into(flight);
+    let trace = tracer.counters();
+
     FleetReport {
         machines: shard_machines.iter().map(|m| m.len() as u64).sum(),
         serving_weeks: weeks - config.base_training_weeks,
@@ -792,6 +936,8 @@ pub fn run_fleet(
         fallback_events: reports.iter().map(|r| r.fallback_events).sum(),
         checkpoints_written,
         overlay_retrains,
+        stage_latency_us,
+        trace,
         shards: reports,
         overall,
     }
@@ -1010,6 +1156,75 @@ mod tests {
     }
 
     #[test]
+    fn tracing_off_is_bit_identical_and_span_free() {
+        let events = fleet_log(12, 6);
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 1), FleetFault::Kill);
+        let base = run(&events, 6, &test_config(true), &faults);
+        let mut config = test_config(true);
+        config.trace = dml_obs::TraceConfig::disabled();
+        let off = run(&events, 6, &config, &faults);
+        assert_eq!(off.trace, dml_obs::TraceCounters::default());
+        assert!(off.stage_latency_us.is_empty());
+        assert_eq!(off.overall, base.overall);
+        for (a, b) in off.shards.iter().zip(base.shards.iter()) {
+            assert_eq!(a.warnings, b.warnings, "shard {} diverged", a.shard);
+        }
+    }
+
+    #[test]
+    fn traced_chaos_run_yields_complete_waterfalls() {
+        let events = fleet_log(12, 6);
+        let mut config = test_config(true);
+        config.trace = dml_obs::TraceConfig::every(1);
+        let mut faults = FaultSchedule::new();
+        faults.insert((3, 1), FleetFault::Kill);
+        let path = std::env::temp_dir().join(format!(
+            "dml-fleet-trace-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut flight =
+            dml_obs::FlightRecorder::create(&path, dml_obs::FlightConfig::default()).unwrap();
+        let report = run_fleet(&events, 6, &config, &faults, &mut flight);
+        flight.flush();
+        assert!(report.trace.spans_recorded > 0);
+        assert!(report.trace.spans_emitted > 0);
+        assert!(report.stage_latency_us.contains_key("predict"));
+
+        let (records, skipped) = dml_obs::read_flight_log(&path).unwrap();
+        assert_eq!(skipped, 0, "every line parses");
+        let mut spans: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+        for r in &records {
+            if let dml_obs::FlightEvent::TraceSpan {
+                trace,
+                stage,
+                outcome,
+                ..
+            } = &r.event
+            {
+                spans
+                    .entry(trace.clone())
+                    .or_default()
+                    .push((stage.clone(), outcome.clone()));
+            }
+        }
+        let has = |t: &[(String, String)], stage: &str| t.iter().any(|(s, _)| s == stage);
+        // The acceptance chain: one event, ingested and shed to the
+        // fallback across the killed shard's restart, that still produced
+        // a warning and had it resolved.
+        let crossing = spans.values().any(|t| {
+            t.iter().any(|(s, o)| s == "dispatch" && o == "fallback")
+                && has(t, "ingest")
+                && has(t, "predict")
+                && has(t, "warn")
+                && has(t, "resolve")
+        });
+        assert!(crossing, "no ingest→resolve chain crossed the restart");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn report_exports_fleet_metric_family() {
         let events = fleet_log(6, 4);
         let mut config = test_config(true);
@@ -1026,6 +1241,14 @@ mod tests {
             "fleet_recall",
         ] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        // Per-shard breakdowns ride the same families as labeled series.
+        for labeled in [
+            "dml_fleet_events_served_total{shard=\"0\"}",
+            "dml_fleet_events_served_total{shard=\"2\"}",
+            "dml_fleet_recall{shard=\"1\"}",
+        ] {
+            assert!(text.contains(labeled), "missing {labeled} in:\n{text}");
         }
     }
 }

@@ -167,6 +167,10 @@ pub(crate) struct EngineControl<'a, E> {
     /// Bounded ingest queue on the serving hot path. `None` serves
     /// directly (zero cost).
     pub admission: Option<&'a RefCell<AdmissionQueue>>,
+    /// Causal tracer for the serving path (admission / predict / warn
+    /// spans). `None` — or a disabled tracer — leaves the untraced fast
+    /// paths bit-identical.
+    pub tracer: Option<dml_obs::SharedTracer>,
 }
 
 impl<E> Default for EngineControl<'_, E> {
@@ -175,6 +179,7 @@ impl<E> Default for EngineControl<'_, E> {
             gate: None,
             supervisor: None,
             admission: None,
+            tracer: None,
         }
     }
 }
@@ -184,11 +189,28 @@ impl<E> Default for EngineControl<'_, E> {
 /// report in whole-second bursts); the queue is fully drained into the
 /// predictor after each batch, so with nothing shed the serve order —
 /// and thus every warning — is identical to `observe_all`.
-fn serve_slice(
+///
+/// With a `tracer` supplied *and enabled*, every event gets a
+/// [`dml_obs::TraceContext`] recomputed from its identity and the serve
+/// records admission / predict / warn spans against it; warning-producing
+/// traces are promoted past the sampler and linked by warning id. A
+/// `None` or disabled tracer takes the exact pre-tracing fast paths, so
+/// the untraced drivers stay bit-identical. Shared by the overlapped
+/// engine and the serial hardened driver (`shard` is `None` off-fleet).
+pub(crate) fn serve_slice(
     predictor: &mut Predictor,
     slice: &[CleanEvent],
     admission: Option<&RefCell<AdmissionQueue>>,
+    tracer: Option<&dml_obs::SharedTracer>,
+    shard: Option<u32>,
 ) -> Vec<Warning> {
+    if let Some(shared) = tracer {
+        if dml_obs::with_tracer(shared, |t| t.enabled()) {
+            return dml_obs::with_tracer(shared, |t| {
+                serve_slice_traced(predictor, slice, admission, t, shard)
+            });
+        }
+    }
     let Some(queue) = admission else {
         return predictor.observe_all(slice);
     };
@@ -203,6 +225,71 @@ fn serve_slice(
             j += 1;
         }
         q.drain(|ev| warnings.extend(predictor.observe(&ev)));
+        i = j;
+    }
+    warnings
+}
+
+/// Observes one event under the tracer: a wall-clock-timed predict span,
+/// and on any warning a promotion plus warn span and warning-id link so
+/// `repro trace --id` can find the chain from the warning.
+pub(crate) fn observe_traced(
+    predictor: &mut Predictor,
+    tracer: &mut dml_obs::Tracer,
+    shard: Option<u32>,
+    ev: &CleanEvent,
+    warnings: &mut Vec<Warning>,
+) {
+    use dml_obs::trace::stage;
+    let ctx = tracer.context(ev.time.0, ev.type_id.0, ev.fatal);
+    let start = Instant::now();
+    let issued = predictor.observe(ev);
+    let dur_us = start.elapsed().as_micros() as u64;
+    let outcome = if issued.is_empty() { "ok" } else { "warning" };
+    tracer.record(ctx, stage::PREDICT, shard, ev.time.0, dur_us, outcome);
+    if !issued.is_empty() {
+        tracer.promote(ctx.id);
+        tracer.record(ctx, stage::WARN, shard, ev.time.0, 0, "ok");
+        for w in &issued {
+            tracer.link_warning(w.id.to_string(), ctx.id);
+        }
+    }
+    warnings.extend(issued);
+}
+
+/// The traced twin of [`serve_slice`]: same batching and drain order, one
+/// tracer lock held for the whole slice.
+fn serve_slice_traced(
+    predictor: &mut Predictor,
+    slice: &[CleanEvent],
+    admission: Option<&RefCell<AdmissionQueue>>,
+    tracer: &mut dml_obs::Tracer,
+    shard: Option<u32>,
+) -> Vec<Warning> {
+    use dml_obs::trace::stage;
+    let mut warnings = Vec::new();
+    let Some(queue) = admission else {
+        for ev in slice {
+            observe_traced(predictor, tracer, shard, ev, &mut warnings);
+        }
+        return warnings;
+    };
+    let mut q = queue.borrow_mut();
+    let mut i = 0;
+    while i < slice.len() {
+        let t = slice[i].time;
+        let mut j = i;
+        while j < slice.len() && slice[j].time == t {
+            let ev = slice[j];
+            let ctx = tracer.context(ev.time.0, ev.type_id.0, ev.fatal);
+            let start = Instant::now();
+            let admitted = q.offer(ev);
+            let dur_us = start.elapsed().as_micros() as u64;
+            let outcome = if admitted { "ok" } else { "shed" };
+            tracer.record(ctx, stage::ADMISSION, shard, ev.time.0, dur_us, outcome);
+            j += 1;
+        }
+        q.drain(|ev| observe_traced(predictor, tracer, shard, &ev, &mut warnings));
         i = j;
     }
     warnings
@@ -415,6 +502,8 @@ where
                             &mut predictor,
                             &block[served..upto],
                             control.admission,
+                            control.tracer.as_ref(),
+                            None,
                         ));
                         on_warnings(&report.warnings[before..]);
                         served = upto;
@@ -435,6 +524,8 @@ where
                         &mut predictor,
                         &block[served..],
                         control.admission,
+                        control.tracer.as_ref(),
+                        None,
                     ));
                     on_warnings(&report.warnings[before..]);
                     served = block.len();

@@ -506,6 +506,11 @@ pub struct HardenedConfig {
     /// `None` (the default) serves directly with zero overhead. Only the
     /// overlapped driver honours it.
     pub admission: Option<AdmissionConfig>,
+    /// Causal tracer shared with the caller. Both drivers record
+    /// admission / predict / warn spans against it on the serving path;
+    /// `None` (the default) — or a disabled [`dml_obs::TraceConfig`] —
+    /// leaves the serve bit-identical to the untraced schedule.
+    pub tracer: Option<dml_obs::SharedTracer>,
 }
 
 /// A [`DriverReport`] plus robustness accounting.
@@ -618,9 +623,13 @@ pub fn run_hardened_driver_with(
         predictor.warm_up(slice_of((week - 1).max(0), week));
         predictor.reset_metrics();
         let before = report.warnings.len();
-        report
-            .warnings
-            .extend(predictor.observe_all(slice_of(week, block_end)));
+        report.warnings.extend(crate::overlap::serve_slice(
+            &mut predictor,
+            slice_of(week, block_end),
+            None,
+            config.tracer.as_ref(),
+            None,
+        ));
         if config.flight.is_some() {
             for w in &report.warnings[before..] {
                 record_flight(&config.flight, w.issued_at.0, w.flight_event());
@@ -973,6 +982,7 @@ pub fn run_overlapped_hardened_driver_with(
             None
         },
         admission: admission_queue.as_ref(),
+        tracer: config.tracer.clone(),
     };
 
     let report = crate::overlap::run_overlapped_engine(
@@ -1044,6 +1054,7 @@ mod tests {
             flight: None,
             lifecycle: LifecycleConfig::default(),
             admission: None,
+            tracer: None,
         }
     }
 

@@ -82,6 +82,23 @@ pub fn build_corrupted_dataset(
     seed: u64,
     plan: &bgl_sim::CorruptionPlan,
 ) -> (Dataset, dml_core::IngestHealth) {
+    build_corrupted_dataset_traced(preset, seed, plan, None)
+}
+
+/// [`build_corrupted_dataset`] with causal tracing: every parsed record
+/// gets an `ingest` span and rides the reorder buffer under a `reorder`
+/// span. Trace identity is the record's *categorized* `(time, type_id,
+/// fatal)` tuple — the same one the serving stages derive — so the
+/// ingest-side spans join the chains the driver records later. Unknown
+/// records (dropped by the categorizer) trace under a sentinel type so
+/// their drops are still visible. A `None` or disabled tracer takes the
+/// exact untraced path.
+pub fn build_corrupted_dataset_traced(
+    preset: SystemPreset,
+    seed: u64,
+    plan: &bgl_sim::CorruptionPlan,
+    tracer: Option<&dml_obs::SharedTracer>,
+) -> (Dataset, dml_core::IngestHealth) {
     let generator = Generator::new(preset, seed);
     let catalog = generator.catalog().clone();
     let categorizer = Categorizer::new(catalog.clone());
@@ -111,7 +128,31 @@ pub fn build_corrupted_dataset(
                 .expect("lenient in-memory read is infallible");
         ingest.lines += outcome.lines;
         ingest.parse_skipped += outcome.skipped;
-        let (delivered, rstats) = preprocess::resequence(outcome.events, plan.max_displacement());
+        // Trace identity must match what the serving stages will derive
+        // from the CleanEvent, so categorize here (cheap catalog lookup)
+        // rather than using the raw facility code.
+        let identity = |e: &raslog::RasEvent| match categorizer.categorize(e) {
+            Some(ty) => (e.time.0, ty.0, catalog.is_fatal(ty)),
+            None => (e.time.0, u16::MAX, false),
+        };
+        let (delivered, rstats) = match tracer {
+            Some(tr) if dml_obs::with_tracer(tr, |t| t.enabled()) => {
+                dml_obs::with_tracer(tr, |t| {
+                    for e in &outcome.events {
+                        let (t_ms, ty, fatal) = identity(e);
+                        let ctx = t.context(t_ms, ty, fatal);
+                        t.record(ctx, dml_obs::trace::stage::INGEST, None, t_ms, 0, "ok");
+                    }
+                });
+                preprocess::resequence_traced(
+                    outcome.events,
+                    plan.max_displacement(),
+                    tr,
+                    identity,
+                )
+            }
+            _ => preprocess::resequence(outcome.events, plan.max_displacement()),
+        };
         ingest.late_dropped += rstats.late_dropped;
         ingest.resequenced += rstats.released;
         let (mut week_clean, week_stats) = clean_log(&delivered, &categorizer, &filter);
@@ -172,6 +213,30 @@ mod tests {
         assert_eq!(ingest.parse_skipped, 0);
         assert_eq!(ingest.late_dropped, 0);
         assert_eq!(ingest.resequenced, hostile.raw_events);
+    }
+
+    #[test]
+    fn traced_dataset_build_matches_untraced_and_records_spans() {
+        let preset = SystemPreset::sdsc().with_weeks(2).with_volume_scale(0.05);
+        let plan = bgl_sim::CorruptionPlan::clean(1);
+        let (plain, _) = build_corrupted_dataset(preset.clone(), 7, &plan);
+
+        let tracer = dml_obs::shared(dml_obs::Tracer::new(dml_obs::TraceConfig::every(1)));
+        let (traced, _) = build_corrupted_dataset_traced(preset.clone(), 7, &plan, Some(&tracer));
+        assert_eq!(traced.clean, plain.clean, "tracing must not change data");
+        let counters = dml_obs::with_tracer(&tracer, |t| t.counters());
+        assert!(
+            counters.spans_recorded as usize >= 2 * traced.clean.len(),
+            "every event gets an ingest and a reorder span"
+        );
+
+        let off = dml_obs::shared(dml_obs::Tracer::new(dml_obs::TraceConfig::disabled()));
+        let (quiet, _) = build_corrupted_dataset_traced(preset, 7, &plan, Some(&off));
+        assert_eq!(quiet.clean, plain.clean);
+        assert_eq!(
+            dml_obs::with_tracer(&off, |t| t.counters()),
+            dml_obs::TraceCounters::default()
+        );
     }
 
     #[test]

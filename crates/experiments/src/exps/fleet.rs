@@ -6,7 +6,8 @@ use experiments::fleet::{continuity_failures, run_fleet_spec, FleetRunOutcome, F
 use experiments::output::{f2, render_table};
 
 /// `repro fleet [--machines N] [--shards N] [--weeks N] [--chaos]
-/// [--supervise on|off] [--checkpoint-dir DIR] [--flight LOG.jsonl]`.
+/// [--supervise on|off] [--checkpoint-dir DIR] [--flight LOG.jsonl]
+/// [--trace N]`.
 ///
 /// Clean mode serves the fleet trace and prints per-shard accuracy and
 /// aggregate throughput. `--chaos` additionally runs the chaos-free
@@ -48,6 +49,10 @@ use --weeks {} or more",
         chaos: opts.chaos,
         seed: opts.seed,
         checkpoint_dir: opts.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+        trace: match opts.trace_sample {
+            Some(n) => dml_obs::TraceConfig::every(n),
+            None => dml_obs::TraceConfig::disabled(),
+        },
     };
     let mut flight = match &opts.flight {
         Some(path) => {
@@ -85,6 +90,7 @@ use --weeks {} or more",
         let clean_spec = FleetRunSpec {
             chaos: false,
             checkpoint_dir: None,
+            trace: dml_obs::TraceConfig::disabled(),
             ..spec.clone()
         };
         let mut no_flight = dml_obs::FlightRecorder::disabled();

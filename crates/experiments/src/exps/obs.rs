@@ -38,6 +38,10 @@ fn instrument_options(opts: &Opts) -> InstrumentOptions {
         slo: Some(slo),
         lifecycle,
         admission: opts.admission.map(dml_core::AdmissionConfig::new),
+        trace: match opts.trace_sample {
+            Some(n) => dml_obs::TraceConfig::every(n),
+            None => dml_obs::TraceConfig::disabled(),
+        },
     }
 }
 
@@ -300,19 +304,56 @@ early retrain in {next_retrain_weeks} week(s)"
             week,
             machines,
         } => format!("domain outage: {domain} ({machines} machine(s)) at week {week}"),
+        FlightEvent::TraceSpan {
+            trace,
+            stage,
+            shard,
+            dur_us,
+            outcome,
+        } => match shard {
+            Some(s) => format!("span {trace} {stage} [shard {s}] {dur_us}us {outcome}"),
+            None => format!("span {trace} {stage} {dur_us}us {outcome}"),
+        },
     }
 }
 
-/// `repro trace --flight LOG.jsonl` — prints a flight-recorder log as
-/// one human-readable line per record, with per-kind totals.
+/// The shard a flight record is scoped to, if any (`--shard` filter).
+fn record_shard(e: &FlightEvent) -> Option<u32> {
+    match e {
+        FlightEvent::TraceSpan { shard, .. } => *shard,
+        FlightEvent::ShardDown { shard, .. } | FlightEvent::ShardRestarted { shard, .. } => {
+            u32::try_from(*shard).ok()
+        }
+        _ => None,
+    }
+}
+
+/// `repro trace --flight LOG.jsonl [--kind K] [--shard N] [--last N]` —
+/// prints a flight-recorder log as one human-readable line per record,
+/// with per-kind totals. `--id TRACE` instead renders one causal
+/// trace's per-stage waterfall.
 pub fn trace(opts: &Opts) {
     let records = read_flight_or_exit(opts, "trace");
+    if let Some(id) = &opts.trace_id {
+        trace_waterfall(&records, id);
+        return;
+    }
+    let mut filtered: Vec<&dml_obs::FlightRecord> = records
+        .iter()
+        .filter(|r| opts.kind.as_deref().is_none_or(|k| r.event.kind() == k))
+        .filter(|r| opts.shard.is_none_or(|s| record_shard(&r.event) == Some(s)))
+        .collect();
+    let matched = filtered.len();
+    if let Some(n) = opts.last {
+        filtered.drain(..matched.saturating_sub(n));
+    }
     let mut by_kind: std::collections::BTreeMap<&str, usize> = std::collections::BTreeMap::new();
-    for r in &records {
+    for r in &filtered {
         *by_kind.entry(r.event.kind()).or_default() += 1;
     }
     println!(
-        "{} records ({})",
+        "{} of {} record(s) shown ({})",
+        filtered.len(),
         records.len(),
         by_kind
             .iter()
@@ -320,8 +361,54 @@ pub fn trace(opts: &Opts) {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    for r in &records {
+    for r in &filtered {
         println!("#{:<6} t=+{:<12} {}", r.seq, format!("{}ms", r.t_ms), fmt_event(&r.event));
+    }
+}
+
+/// `repro trace --id TRACE --flight LOG.jsonl` — the per-stage latency
+/// waterfall of one causal trace: every hop the sampled event crossed,
+/// in pipeline order, with offsets from the trace's first span.
+fn trace_waterfall(records: &[dml_obs::FlightRecord], id: &str) {
+    let want = id.trim_start_matches('t');
+    let spans: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            FlightEvent::TraceSpan {
+                trace,
+                stage,
+                shard,
+                dur_us,
+                outcome,
+            } if trace.trim_start_matches('t') == want => {
+                Some((r.t_ms, stage, *shard, *dur_us, outcome))
+            }
+            _ => None,
+        })
+        .collect();
+    if spans.is_empty() {
+        dml_obs::error!(
+            "trace {id} not found in this flight log (list candidates with \
+`repro trace --kind trace_span --flight ...`)"
+        );
+        std::process::exit(1);
+    }
+    let t0 = spans.iter().map(|s| s.0).min().unwrap_or(0);
+    let t1 = spans.iter().map(|s| s.0).max().unwrap_or(0);
+    println!("trace t{want}: {} span(s) over {} ms", spans.len(), t1 - t0);
+    for (t_ms, stage, shard, dur_us, outcome) in &spans {
+        let shard = match shard {
+            Some(s) => format!("shard {s}"),
+            None => "-".to_string(),
+        };
+        println!(
+            "  +{:<10} {:<9} {:<8} {:>8}us  {}",
+            format!("{}ms", t_ms - t0),
+            stage,
+            shard,
+            dur_us,
+            outcome
+        );
     }
 }
 

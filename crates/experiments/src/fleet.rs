@@ -26,6 +26,9 @@ pub struct FleetRunSpec {
     pub seed: u64,
     /// Per-shard checkpoint directory (disk persistence when set).
     pub checkpoint_dir: Option<std::path::PathBuf>,
+    /// Causal tracing across the fleet pipeline (disabled keeps the run
+    /// bit-identical; sampled spans land in the flight log).
+    pub trace: dml_obs::TraceConfig,
 }
 
 impl FleetRunSpec {
@@ -95,6 +98,7 @@ pub fn run_fleet_spec(spec: &FleetRunSpec, flight: &mut FlightRecorder) -> Fleet
         base_training_weeks: spec.warmup_weeks,
         supervise: spec.supervise,
         checkpoint_dir: spec.checkpoint_dir.clone(),
+        trace: spec.trace,
         ..FleetConfig::default()
     };
     let schedule = if spec.chaos {
@@ -171,6 +175,7 @@ mod tests {
             chaos,
             seed: 7,
             checkpoint_dir: None,
+            trace: dml_obs::TraceConfig::disabled(),
         }
     }
 

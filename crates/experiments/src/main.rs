@@ -67,6 +67,18 @@ pub struct Opts {
     pub supervise: bool,
     /// `fleet`: persist per-shard checkpoints here and restart from disk.
     pub checkpoint_dir: Option<String>,
+    /// Causal-trace sampling: keep every Nth trace end to end (1 = all,
+    /// fatals always kept). `None` leaves tracing off — the serving
+    /// paths stay bit-identical.
+    pub trace_sample: Option<u64>,
+    /// `trace`: render one trace's per-stage waterfall by id.
+    pub trace_id: Option<String>,
+    /// `trace`: only records of this kind (e.g. `trace_span`).
+    pub kind: Option<String>,
+    /// `trace`: only spans served by this shard.
+    pub shard: Option<u32>,
+    /// `trace`: only the last N records after filtering.
+    pub last: Option<usize>,
 }
 
 impl Opts {
@@ -93,6 +105,11 @@ impl Opts {
             shards: None,
             supervise: true,
             checkpoint_dir: None,
+            trace_sample: None,
+            trace_id: None,
+            kind: None,
+            shard: None,
+            last: None,
         };
         fn value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, String> {
             *i += 1;
@@ -192,6 +209,18 @@ impl Opts {
                     opts.checkpoint_dir =
                         Some(value(args, &mut i, "--checkpoint-dir")?.to_string())
                 }
+                "--trace" => {
+                    opts.trace_sample =
+                        Some(number(value(args, &mut i, "--trace")?, "--trace")?)
+                }
+                "--id" => opts.trace_id = Some(value(args, &mut i, "--id")?.to_string()),
+                "--kind" => opts.kind = Some(value(args, &mut i, "--kind")?.to_string()),
+                "--shard" => {
+                    opts.shard = Some(number(value(args, &mut i, "--shard")?, "--shard")?)
+                }
+                "--last" => {
+                    opts.last = Some(number(value(args, &mut i, "--last")?, "--last")?)
+                }
                 other => return Err(format!("unknown option `{other}`")),
             }
             i += 1;
@@ -235,14 +264,19 @@ impl Opts {
 const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE] \
 [--metrics-json FILE] [--metrics-openmetrics FILE] [--flight FILE] \
 [--slo-precision T] [--slo-recall T] [--quiet] [--chaos] [--min-recall T] [--min-precision T] \
-[--overlap on|off] [--lifecycle off|canary|canary+rollback] [--admission CAPACITY]\n\
+[--overlap on|off] [--lifecycle off|canary|canary+rollback] [--admission CAPACITY] [--trace N]\n\
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
 ext-adaptive ext-location robustness chaos experiments smoke all\n\
 fleet:       fleet [--machines N] [--shards N] [--weeks N] [--chaos] [--supervise on|off] \
-[--checkpoint-dir DIR]   sharded serving with shard supervision and failure-domain chaos\n\
+[--checkpoint-dir DIR] [--trace N]   sharded serving with shard supervision and failure-domain \
+chaos\n\
 telemetry:   health [--from SNAPSHOT.json]    renders the pipeline dashboard\n\
-             trace --flight LOG.jsonl         prints a flight-recorder log\n\
-             explain <warning-id> --flight LOG.jsonl  full provenance of one warning";
+             trace --flight LOG.jsonl [--kind K] [--shard N] [--last N]  prints a \
+flight-recorder log\n\
+             trace --id TRACE --flight LOG.jsonl      one trace's per-stage waterfall\n\
+             explain <warning-id> --flight LOG.jsonl  full provenance of one warning\n\
+tracing:     --trace N samples every Nth causal trace (1 = all, fatals always kept) into \
+the flight log";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -6,7 +6,7 @@
 //! a versioned [`MetricsSnapshot`]; `repro health` renders the dashboard
 //! and validates that every stage reported ([`REQUIRED_STAGE_METRICS`]).
 
-use crate::data::build_corrupted_dataset;
+use crate::data::build_corrupted_dataset_traced;
 use crate::slo::{run_watchdog, SloAlert, SloConfig};
 use bgl_sim::{CorruptionPlan, SystemPreset};
 use dml_core::{
@@ -119,6 +119,10 @@ pub struct InstrumentOptions {
     /// Event-storm admission control in front of the predictor.
     /// `None` serves every event unconditionally.
     pub admission: Option<AdmissionConfig>,
+    /// Causal tracing (`repro ... --trace N`). The default is disabled,
+    /// which keeps every serving path bit-identical; sampled spans drain
+    /// into the flight recorder when one is attached.
+    pub trace: dml_obs::TraceConfig,
 }
 
 /// Appends one record to the run's flight recorder, if attached.
@@ -162,11 +166,15 @@ pub fn run_instrumented_opts(
     assert!(weeks >= 3, "instrumented run needs >= 3 weeks, got {weeks}");
     let span = SpanTimer::start("driver.wall_ms");
 
+    let tracer = dml_obs::shared(dml_obs::Tracer::new(options.trace));
+    let tracing = options.trace.enabled;
+
     // The lossless corruption plan sends every record through the text
     // serialize → lenient-parse → resequence path, so ingest counters
     // reflect a real parse, not synthetic events.
     // (`build_corrupted_dataset` exports the preprocess stats itself.)
-    let (ds, ingest) = build_corrupted_dataset(preset, seed, &CorruptionPlan::clean(seed));
+    let (ds, ingest) =
+        build_corrupted_dataset_traced(preset, seed, &CorruptionPlan::clean(seed), Some(&tracer));
     with_registry(|r| {
         r.trace(format!(
             "dataset {} weeks={} raw={} clean={}",
@@ -202,6 +210,7 @@ pub fn run_instrumented_opts(
         flight: options.flight.clone(),
         lifecycle: options.lifecycle,
         admission: options.admission,
+        tracer: Some(tracer.clone()),
         ..HardenedConfig::default()
     };
     // Lifecycle and admission control live in the overlapped engine;
@@ -237,36 +246,43 @@ pub fn run_instrumented_opts(
 
     // Outcome-resolved records: every hit/false-alarm/miss the monitor
     // decided during the replay (warnings still inside their prediction
-    // window at end-of-log stay unresolved, as they would live).
-    if options.flight.is_some() {
+    // window at end-of-log stay unresolved, as they would live). A
+    // resolved warning also closes its causal trace with a `resolve`
+    // span, joining the chain via the warning-id link the serving path
+    // registered when the warning was issued.
+    if options.flight.is_some() || tracing {
         for outcome in tracker.drain_resolutions() {
-            let (t_ms, event) = match outcome {
-                WarningOutcome::Hit { id, time, lead_ms } => (
-                    time.0,
-                    FlightEvent::WarningResolved {
-                        id: Some(id.to_string()),
-                        outcome: "hit".to_string(),
-                        lead_ms: Some(lead_ms),
-                    },
-                ),
-                WarningOutcome::FalseAlarm { id, time } => (
-                    time.0,
-                    FlightEvent::WarningResolved {
-                        id: Some(id.to_string()),
-                        outcome: "false_alarm".to_string(),
-                        lead_ms: None,
-                    },
-                ),
-                WarningOutcome::Miss { time } => (
-                    time.0,
-                    FlightEvent::WarningResolved {
-                        id: None,
-                        outcome: "miss".to_string(),
-                        lead_ms: None,
-                    },
-                ),
+            let (t_ms, warning_id, kind, lead_ms) = match outcome {
+                WarningOutcome::Hit { id, time, lead_ms } => {
+                    (time.0, Some(id.to_string()), "hit", Some(lead_ms))
+                }
+                WarningOutcome::FalseAlarm { id, time } => {
+                    (time.0, Some(id.to_string()), "false_alarm", None)
+                }
+                WarningOutcome::Miss { time } => (time.0, None, "miss", None),
             };
-            flight_record(&options.flight, t_ms, event);
+            if tracing {
+                if let Some(wid) = &warning_id {
+                    dml_obs::with_tracer(&tracer, |t| {
+                        if let Some(trace_id) = t.warning_trace(wid) {
+                            let ctx = dml_obs::TraceContext {
+                                id: trace_id,
+                                sampled: true,
+                            };
+                            t.record(ctx, dml_obs::trace::stage::RESOLVE, None, t_ms, 0, kind);
+                        }
+                    });
+                }
+            }
+            flight_record(
+                &options.flight,
+                t_ms,
+                FlightEvent::WarningResolved {
+                    id: warning_id,
+                    outcome: kind.to_string(),
+                    lead_ms,
+                },
+            );
         }
     }
 
@@ -280,7 +296,15 @@ pub fn run_instrumented_opts(
         flight_record(&options.flight, alert.week * WEEK_MS, alert.flight_event());
     }
     if let Some(rec) = &options.flight {
-        rec.lock().unwrap_or_else(|p| p.into_inner()).flush();
+        let mut fr = rec.lock().unwrap_or_else(|p| p.into_inner());
+        if tracing {
+            dml_obs::with_tracer(&tracer, |t| t.drain_into(&mut fr));
+        }
+        fr.flush();
+    }
+    if tracing {
+        // After the drain so `trace.spans_emitted` reflects the log.
+        dml_obs::with_tracer(&tracer, |t| export(t));
     }
 
     with_registry(|r| {
@@ -298,6 +322,30 @@ pub fn run_instrumented_opts(
         name: ds.name.clone(),
         report: hardened,
         slo_alerts,
+    }
+}
+
+/// Extracts the label value from a single-label series key of the form
+/// `name{label="value"}` (the only shape the registry emits today).
+fn series_label<'a>(key: &'a str, name: &str, label: &str) -> Option<&'a str> {
+    key.strip_prefix(name)?
+        .strip_prefix('{')?
+        .strip_prefix(label)?
+        .strip_prefix("=\"")?
+        .strip_suffix("\"}")
+}
+
+/// Pipeline position of a trace stage, for display ordering.
+fn stage_rank(stage: &str) -> usize {
+    match stage {
+        "ingest" => 0,
+        "reorder" => 1,
+        "admission" => 2,
+        "dispatch" => 3,
+        "predict" => 4,
+        "warn" => 5,
+        "resolve" => 6,
+        _ => 7,
     }
 }
 
@@ -465,6 +513,78 @@ precision {:.3} recall {:.3}\n",
             c("fleet.checkpoints_written"),
             c("fleet.spool_dropped_nonfatal"),
             c("fleet.spool_overflow_fatals"),
+        ));
+    }
+    // Per-shard breakdown, from the labeled fleet.* series.
+    let shard_ids: std::collections::BTreeSet<u64> = snap
+        .labeled_counters
+        .keys()
+        .filter_map(|k| series_label(k, "fleet.events_served", "shard"))
+        .filter_map(|v| v.parse().ok())
+        .collect();
+    if !shard_ids.is_empty() {
+        out.push_str(
+            "              shard    served  warnings  restarts  fallback    lost  precision  recall\n",
+        );
+        for s in &shard_ids {
+            let lc = |name: &str| {
+                snap.labeled_counters
+                    .get(&format!("{name}{{shard=\"{s}\"}}"))
+                    .copied()
+                    .unwrap_or(0)
+            };
+            let lg = |name: &str| {
+                snap.labeled_gauges
+                    .get(&format!("{name}{{shard=\"{s}\"}}"))
+                    .copied()
+                    .unwrap_or(0.0)
+            };
+            out.push_str(&format!(
+                "              {:>5}  {:>8}  {:>8}  {:>8}  {:>8}  {:>6}  {:>9.3}  {:>6.3}\n",
+                s,
+                lc("fleet.events_served"),
+                lc("fleet.warnings"),
+                lc("fleet.restarts"),
+                lc("fleet.fallback_events"),
+                lc("fleet.lost_events"),
+                lg("fleet.precision"),
+                lg("fleet.recall"),
+            ));
+        }
+    }
+    // "Where the time goes": per-hop latency from the causal tracer
+    // (single-node `trace.*` series, or the fleet supervisor's).
+    let stage_source = if snap
+        .labeled_histograms
+        .keys()
+        .any(|k| k.starts_with("trace.stage_latency_us{"))
+    {
+        "trace.stage_latency_us"
+    } else {
+        "fleet.stage_latency_us"
+    };
+    let mut stage_rows = Vec::new();
+    for (key, h) in &snap.labeled_histograms {
+        if let Some(stage) = series_label(key, stage_source, "stage") {
+            stage_rows.push((stage_rank(stage), stage, h));
+        }
+    }
+    if !stage_rows.is_empty() {
+        stage_rows.sort_by_key(|&(rank, stage, _)| (rank, stage));
+        out.push_str("  trace       where the time goes (per-hop latency, us):\n");
+        for (_, stage, h) in &stage_rows {
+            out.push_str(&format!(
+                "              {:<10} n={:<9} p50={:<8.0} p95={:<8.0} p99={:<8.0} max={:.0}\n",
+                stage, h.count, h.p50, h.p95, h.p99, h.max,
+            ));
+        }
+        out.push_str(&format!(
+            "              {} spans recorded, {} emitted to flight, {} traces tail-promoted, \
+{} pending dropped\n",
+            c("trace.spans_recorded"),
+            c("trace.spans_emitted"),
+            c("trace.traces_promoted"),
+            c("trace.pending_dropped"),
         ));
     }
     if !snap.traces.is_empty() {

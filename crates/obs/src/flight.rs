@@ -31,7 +31,11 @@ use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// Current flight-record schema version (the `v` field on every line).
-pub const FLIGHT_SCHEMA_VERSION: u32 = 1;
+/// v2 added `trace_span` records; v1 logs remain readable.
+pub const FLIGHT_SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version [`read_flight_log`] still accepts.
+pub const FLIGHT_SCHEMA_MIN_VERSION: u32 = 1;
 
 /// How often the recorder forces written records to stable storage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -254,6 +258,23 @@ pub enum FlightEvent {
         /// Machines in the domain.
         machines: u64,
     },
+    /// One hop of one sampled causal trace (schema v2; see
+    /// [`crate::trace`]). The record's own `t_ms` is the hop start.
+    TraceSpan {
+        /// Trace id in display form (`t<16 hex digits>`).
+        trace: String,
+        /// Pipeline stage: `ingest`, `reorder`, `admission`, `dispatch`,
+        /// `predict`, `warn`, `resolve`.
+        stage: String,
+        /// Shard that served the hop, when shard-scoped.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        shard: Option<u32>,
+        /// Hop duration (wall-clock microseconds).
+        dur_us: u64,
+        /// What the hop decided: `ok`, `shed`, `warning`, `fallback`,
+        /// `hit`, `false_alarm`, …
+        outcome: String,
+    },
 }
 
 impl FlightEvent {
@@ -273,6 +294,7 @@ impl FlightEvent {
             FlightEvent::ShardDown { .. } => "shard_down",
             FlightEvent::ShardRestarted { .. } => "shard_restarted",
             FlightEvent::DomainOutage { .. } => "domain_outage",
+            FlightEvent::TraceSpan { .. } => "trace_span",
         }
     }
 }
@@ -462,7 +484,9 @@ pub fn read_flight_log(path: impl AsRef<Path>) -> Result<(Vec<FlightRecord>, usi
             continue;
         }
         match serde_json::from_str::<FlightRecord>(line) {
-            Ok(r) if r.v == FLIGHT_SCHEMA_VERSION => records.push(r),
+            Ok(r) if (FLIGHT_SCHEMA_MIN_VERSION..=FLIGHT_SCHEMA_VERSION).contains(&r.v) => {
+                records.push(r)
+            }
             _ => skipped += 1,
         }
     }
@@ -637,6 +661,68 @@ mod tests {
         assert_eq!(records.len(), 1);
         assert_eq!(skipped, 1);
         assert_eq!(records[0].t_ms, 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trace_span_records_round_trip_at_v2() {
+        let path = temp_path("trace_span");
+        let mut rec = FlightRecorder::create(&path, FlightConfig::default()).unwrap();
+        rec.record(
+            42,
+            FlightEvent::TraceSpan {
+                trace: "t00000000deadbeef".to_string(),
+                stage: "predict".to_string(),
+                shard: Some(3),
+                dur_us: 17,
+                outcome: "warning".to_string(),
+            },
+        );
+        rec.record(
+            43,
+            FlightEvent::TraceSpan {
+                trace: "t00000000deadbeef".to_string(),
+                stage: "ingest".to_string(),
+                shard: None,
+                dur_us: 2,
+                outcome: "ok".to_string(),
+            },
+        );
+        drop(rec);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"v\":2"));
+        assert!(
+            !text.contains("\"shard\":null"),
+            "absent shard must be omitted, not null"
+        );
+        let (records, skipped) = read_flight_log(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].event.kind(), "trace_span");
+        match &records[0].event {
+            FlightEvent::TraceSpan { trace, stage, shard, dur_us, outcome } => {
+                assert_eq!(trace, "t00000000deadbeef");
+                assert_eq!(stage, "predict");
+                assert_eq!(*shard, Some(3));
+                assert_eq!(*dur_us, 17);
+                assert_eq!(outcome, "warning");
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn v1_logs_remain_readable() {
+        let path = temp_path("v1_compat");
+        std::fs::write(
+            &path,
+            "{\"v\":1,\"seq\":0,\"t_ms\":5,\"kind\":\"checkpoint\",\"repo_version\":2}\n",
+        )
+        .unwrap();
+        let (records, skipped) = read_flight_log(&path).unwrap();
+        assert_eq!(records.len(), 1);
+        assert_eq!(skipped, 0);
         std::fs::remove_file(&path).ok();
     }
 

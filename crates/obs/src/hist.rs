@@ -9,6 +9,20 @@
 
 use serde::{Deserialize, Serialize};
 
+/// One exemplar: a concrete traced observation pinned to the bucket it
+/// landed in, so a p99 bucket links to a real trace id (`repro trace
+/// --id`). Latest observation per bucket wins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Index of the bucket the observation landed in (the overflow
+    /// bucket is `bounds.len()`).
+    pub bucket: u32,
+    /// The observed value.
+    pub value: f64,
+    /// Trace id of the event behind the observation, display form.
+    pub trace: String,
+}
+
 /// A fixed-bucket histogram: counts per bucket plus count/sum/min/max.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Histogram {
@@ -20,6 +34,9 @@ pub struct Histogram {
     sum: f64,
     min: f64,
     max: f64,
+    /// At most one traced exemplar per bucket, sorted by bucket index.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    exemplars: Vec<Exemplar>,
 }
 
 impl Default for Histogram {
@@ -45,6 +62,7 @@ impl Histogram {
             sum: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
+            exemplars: Vec::new(),
         }
     }
 
@@ -103,6 +121,27 @@ impl Histogram {
         self.max = self.max.max(v);
     }
 
+    /// Records one observation and pins it as the bucket's exemplar
+    /// (latest per bucket wins).
+    pub fn record_exemplar(&mut self, v: f64, trace: impl Into<String>) {
+        self.record(v);
+        let bucket = self.bounds.partition_point(|&b| b < v) as u32;
+        let exemplar = Exemplar {
+            bucket,
+            value: v,
+            trace: trace.into(),
+        };
+        match self.exemplars.binary_search_by_key(&bucket, |e| e.bucket) {
+            Ok(i) => self.exemplars[i] = exemplar,
+            Err(i) => self.exemplars.insert(i, exemplar),
+        }
+    }
+
+    /// The per-bucket exemplars, sorted by bucket index.
+    pub fn exemplars(&self) -> &[Exemplar] {
+        &self.exemplars
+    }
+
     /// Folds another histogram with identical bounds into this one.
     pub fn merge(&mut self, other: &Histogram) {
         assert_eq!(self.bounds, other.bounds, "merging mismatched buckets");
@@ -113,6 +152,12 @@ impl Histogram {
         self.sum += other.sum;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+        for e in &other.exemplars {
+            match self.exemplars.binary_search_by_key(&e.bucket, |x| x.bucket) {
+                Ok(i) => self.exemplars[i] = e.clone(),
+                Err(i) => self.exemplars.insert(i, e.clone()),
+            }
+        }
     }
 
     /// Observations recorded.
@@ -280,6 +325,28 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 5.0);
         assert_eq!(a.min(), 0.5);
+    }
+
+    #[test]
+    fn exemplars_pin_latest_per_bucket_and_survive_merge() {
+        let mut h = Histogram::new(vec![1.0, 10.0]);
+        h.record_exemplar(0.5, "t0000000000000001");
+        h.record_exemplar(0.7, "t0000000000000002"); // same bucket: replaces
+        h.record_exemplar(100.0, "t0000000000000003"); // overflow bucket
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.exemplars().len(), 2);
+        assert_eq!(h.exemplars()[0].trace, "t0000000000000002");
+        assert_eq!(h.exemplars()[1].bucket, 2);
+        let mut other = Histogram::new(vec![1.0, 10.0]);
+        other.record_exemplar(5.0, "t0000000000000004");
+        h.merge(&other);
+        assert_eq!(h.exemplars().len(), 3);
+        assert_eq!(h.exemplars()[1].trace, "t0000000000000004");
+        // Plain serialization omits the field when no exemplars exist.
+        let plain = serde_json::to_string(&Histogram::new(vec![1.0])).unwrap();
+        assert!(!plain.contains("exemplars"), "{plain}");
+        let back: Histogram = serde_json::from_str(&plain).unwrap();
+        assert!(back.exemplars().is_empty());
     }
 
     #[test]

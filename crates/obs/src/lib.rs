@@ -18,6 +18,9 @@
 //!   histogram;
 //! * [`FlightRecorder`] — a bounded, crash-tolerant append-only JSONL
 //!   audit log of prediction-lifecycle events (see [`flight`]);
+//! * [`Tracer`] — deterministic, sampled causal tracing of one event's
+//!   path through the pipeline stages, emitting `trace_span` flight
+//!   records (see [`trace`]);
 //! * [`render_openmetrics`] — OpenMetrics/Prometheus text exposition of
 //!   a snapshot;
 //! * [`log`] — a leveled stderr logger (macros [`error!`], [`warn!`],
@@ -48,13 +51,18 @@ pub mod openmetrics;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use flight::{
     looks_like_flight_log, read_flight_log, FlightConfig, FlightEvent, FlightPrecursor,
-    FlightRecord, FlightRecorder, FsyncPolicy, FLIGHT_SCHEMA_VERSION,
+    FlightRecord, FlightRecorder, FsyncPolicy, FLIGHT_SCHEMA_MIN_VERSION, FLIGHT_SCHEMA_VERSION,
 };
-pub use hist::Histogram;
+pub use hist::{Exemplar, Histogram};
 pub use openmetrics::render_openmetrics;
-pub use registry::{MetricSource, Registry, TraceEntry, TraceRing};
+pub use registry::{series_key, MetricSource, Registry, TraceEntry, TraceRing};
 pub use snapshot::{render_text, HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
 pub use span::{time, SpanTimer};
+pub use trace::{
+    shared, with_tracer, SharedTracer, Span, TraceConfig, TraceContext, TraceCounters, TraceId,
+    Tracer,
+};

@@ -7,12 +7,19 @@
 //! cumulative `_bucket{le="..."}` series plus `_sum`/`_count`, and the
 //! exposition ends with the mandatory `# EOF` terminator.
 //!
+//! Labeled series (`fleet.events_served{shard="3"}`) render under the
+//! same family as their unlabeled sibling — OpenMetrics requires every
+//! sample of a family to sit contiguously under one `# TYPE` header —
+//! and histogram exemplars render with the OpenMetrics exemplar syntax
+//! (`_bucket{le="..."} N # {trace_id="..."} V`), linking a latency
+//! bucket to a concrete traced event.
+//!
 //! The renderer is deterministic (snapshots iterate `BTreeMap`s) and
 //! never emits the same metric family twice — name collisions after
 //! sanitation are skipped, keeping the exposition parseable.
 
 use crate::snapshot::{HistogramSnapshot, MetricsSnapshot};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt::Write;
 
 /// Maps a dotted metric name to an OpenMetrics family name:
@@ -40,53 +47,161 @@ fn fmt_value(v: f64) -> String {
     }
 }
 
-fn render_histogram(out: &mut String, name: &str, h: &HistogramSnapshot) {
-    let _ = writeln!(out, "# TYPE {name} histogram");
-    let _ = writeln!(out, "# HELP {name} fixed-bucket histogram");
+/// Splits a canonical series key into its dotted name and the label
+/// text (braces stripped): `fleet.recall{shard="3"}` →
+/// `("fleet.recall", Some("shard=\"3\""))`.
+fn split_key(key: &str) -> (&str, Option<&str>) {
+    match key.split_once('{') {
+        Some((name, rest)) => (name, rest.strip_suffix('}')),
+        None => (key, None),
+    }
+}
+
+/// Label set for a bucket sample: the series labels (if any) with the
+/// `le` bound appended.
+fn bucket_labels(labels: Option<&str>, le: &str) -> String {
+    match labels {
+        Some(l) if !l.is_empty() => format!("{l},le=\"{le}\""),
+        _ => format!("le=\"{le}\""),
+    }
+}
+
+/// The OpenMetrics exemplar suffix for bucket `idx`, when the histogram
+/// pinned one there.
+fn exemplar_suffix(h: &HistogramSnapshot, idx: u32) -> String {
+    h.exemplars
+        .iter()
+        .find(|e| e.bucket == idx)
+        .map(|e| format!(" # {{trace_id=\"{}\"}} {}", e.trace, fmt_value(e.value)))
+        .unwrap_or_default()
+}
+
+/// Renders one histogram series (labeled or not) under an
+/// already-emitted family header.
+fn render_histogram_series(
+    out: &mut String,
+    name: &str,
+    labels: Option<&str>,
+    h: &HistogramSnapshot,
+) {
     let mut cumulative = 0u64;
-    for (bound, count) in h.bounds.iter().zip(&h.counts) {
+    for (i, (bound, count)) in h.bounds.iter().zip(&h.counts).enumerate() {
         cumulative += count;
         let _ = writeln!(
             out,
-            "{name}_bucket{{le=\"{}\"}} {cumulative}",
-            fmt_value(*bound)
+            "{name}_bucket{{{}}} {cumulative}{}",
+            bucket_labels(labels, &fmt_value(*bound)),
+            exemplar_suffix(h, i as u32)
         );
     }
     // The trailing overflow bucket folds into +Inf, which must equal
     // the total observation count.
-    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
-    let _ = writeln!(out, "{name}_sum {}", fmt_value(h.sum));
-    let _ = writeln!(out, "{name}_count {}", h.count);
+    let _ = writeln!(
+        out,
+        "{name}_bucket{{{}}} {}{}",
+        bucket_labels(labels, "+Inf"),
+        h.count,
+        exemplar_suffix(h, h.bounds.len() as u32)
+    );
+    let suffix = labels
+        .filter(|l| !l.is_empty())
+        .map(|l| format!("{{{l}}}"))
+        .unwrap_or_default();
+    let _ = writeln!(out, "{name}_sum{suffix} {}", fmt_value(h.sum));
+    let _ = writeln!(out, "{name}_count{suffix} {}", h.count);
 }
 
 /// Renders a snapshot in the OpenMetrics text exposition format.
 pub fn render_openmetrics(snap: &MetricsSnapshot) -> String {
+    // Regroup labeled series under their family's dotted name so every
+    // family renders exactly one TYPE/HELP header followed by all of
+    // its samples (unlabeled first, then labeled in key order).
+    // One family: the unlabeled sample (if any) plus its labeled series.
+    type Family<'a, T> = BTreeMap<&'a str, (Option<T>, Vec<(&'a str, T)>)>;
+    let mut counters: Family<'_, u64> = BTreeMap::new();
+    for (dotted, v) in &snap.counters {
+        counters.entry(dotted).or_default().0 = Some(*v);
+    }
+    for (key, v) in &snap.labeled_counters {
+        let (dotted, labels) = split_key(key);
+        counters
+            .entry(dotted)
+            .or_default()
+            .1
+            .push((labels.unwrap_or(""), *v));
+    }
+    let mut gauges: Family<'_, f64> = BTreeMap::new();
+    for (dotted, v) in &snap.gauges {
+        gauges.entry(dotted).or_default().0 = Some(*v);
+    }
+    for (key, v) in &snap.labeled_gauges {
+        let (dotted, labels) = split_key(key);
+        gauges
+            .entry(dotted)
+            .or_default()
+            .1
+            .push((labels.unwrap_or(""), *v));
+    }
+    type HistFamily<'a> = (
+        Option<&'a HistogramSnapshot>,
+        Vec<(&'a str, &'a HistogramSnapshot)>,
+    );
+    let mut histograms: BTreeMap<&str, HistFamily> = BTreeMap::new();
+    for (dotted, h) in &snap.histograms {
+        histograms.entry(dotted).or_default().0 = Some(h);
+    }
+    for (key, h) in &snap.labeled_histograms {
+        let (dotted, labels) = split_key(key);
+        histograms
+            .entry(dotted)
+            .or_default()
+            .1
+            .push((labels.unwrap_or(""), h));
+    }
+
     let mut out = String::new();
     let mut emitted: BTreeSet<String> = BTreeSet::new();
-    for (dotted, v) in &snap.counters {
+    for (dotted, (bare, labeled)) in &counters {
         let name = family_name(dotted);
         if !emitted.insert(name.clone()) {
             continue;
         }
         let _ = writeln!(out, "# TYPE {name} counter");
         let _ = writeln!(out, "# HELP {name} counter {dotted}");
-        let _ = writeln!(out, "{name}_total {v}");
+        if let Some(v) = bare {
+            let _ = writeln!(out, "{name}_total {v}");
+        }
+        for (labels, v) in labeled {
+            let _ = writeln!(out, "{name}_total{{{labels}}} {v}");
+        }
     }
-    for (dotted, v) in &snap.gauges {
+    for (dotted, (bare, labeled)) in &gauges {
         let name = family_name(dotted);
         if !emitted.insert(name.clone()) {
             continue;
         }
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "# HELP {name} gauge {dotted}");
-        let _ = writeln!(out, "{name} {}", fmt_value(*v));
+        if let Some(v) = bare {
+            let _ = writeln!(out, "{name} {}", fmt_value(*v));
+        }
+        for (labels, v) in labeled {
+            let _ = writeln!(out, "{name}{{{labels}}} {}", fmt_value(*v));
+        }
     }
-    for (dotted, h) in &snap.histograms {
+    for (dotted, (bare, labeled)) in &histograms {
         let name = family_name(dotted);
         if !emitted.insert(name.clone()) {
             continue;
         }
-        render_histogram(&mut out, &name, h);
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let _ = writeln!(out, "# HELP {name} fixed-bucket histogram");
+        if let Some(h) = bare {
+            render_histogram_series(&mut out, &name, None, h);
+        }
+        for (labels, h) in labeled {
+            render_histogram_series(&mut out, &name, Some(labels), h);
+        }
     }
     out.push_str("# EOF\n");
     out
@@ -133,11 +248,25 @@ mod tests {
         }
     }
 
-    #[test]
-    fn no_duplicate_family_or_sample_names() {
-        let text = render_openmetrics(&sample());
+    fn labeled_sample() -> MetricsSnapshot {
+        let mut r = Registry::new();
+        r.counter_add("fleet.events_served", 10);
+        r.counter_add_with("fleet.events_served", &[("shard", "0")], 6);
+        r.counter_add_with("fleet.events_served", &[("shard", "1")], 4);
+        r.gauge_set_with("fleet.recall", &[("shard", "0")], 0.9);
+        let mut h = crate::Histogram::new(vec![10.0, 100.0]);
+        h.record_exemplar(5.0, "t00000000000000aa");
+        h.record(50.0);
+        r.merge_histogram_with("trace.stage_latency_us", &[("stage", "predict")], &h);
+        r.snapshot()
+    }
+
+    fn assert_no_duplicates(text: &str) {
         let mut seen = std::collections::BTreeSet::new();
         for line in text.lines().filter(|l| !l.starts_with('#')) {
+            // An exemplar suffix (` # {...} v`) is not part of the
+            // sample identity.
+            let line = line.split(" # ").next().unwrap();
             let sample_id = line.rsplit_once(' ').unwrap().0.to_string();
             assert!(seen.insert(sample_id), "duplicate sample: {line}");
         }
@@ -146,6 +275,58 @@ mod tests {
             let fam = line.split_whitespace().nth(2).unwrap().to_string();
             assert!(families.insert(fam), "duplicate family: {line}");
         }
+    }
+
+    #[test]
+    fn no_duplicate_family_or_sample_names() {
+        assert_no_duplicates(&render_openmetrics(&sample()));
+        assert_no_duplicates(&render_openmetrics(&labeled_sample()));
+    }
+
+    #[test]
+    fn labeled_series_group_under_one_family_header() {
+        let text = render_openmetrics(&labeled_sample());
+        assert!(text.contains("dml_fleet_events_served_total 10"));
+        assert!(text.contains("dml_fleet_events_served_total{shard=\"0\"} 6"));
+        assert!(text.contains("dml_fleet_events_served_total{shard=\"1\"} 4"));
+        assert!(text.contains("dml_fleet_recall{shard=\"0\"} 0.9"));
+        assert_eq!(
+            text.matches("# TYPE dml_fleet_events_served counter").count(),
+            1,
+            "one header for the whole family:\n{text}"
+        );
+        // Labeled samples sit contiguously under their header.
+        let lines: Vec<&str> = text.lines().collect();
+        let header = lines
+            .iter()
+            .position(|l| *l == "# TYPE dml_fleet_events_served counter")
+            .unwrap();
+        assert!(lines[header + 2].starts_with("dml_fleet_events_served_total "));
+        assert!(lines[header + 3].starts_with("dml_fleet_events_served_total{shard=\"0\"}"));
+        assert!(lines[header + 4].starts_with("dml_fleet_events_served_total{shard=\"1\"}"));
+    }
+
+    #[test]
+    fn labeled_histograms_inject_le_and_render_exemplars() {
+        let text = render_openmetrics(&labeled_sample());
+        assert!(
+            text.contains(
+                "dml_trace_stage_latency_us_bucket{stage=\"predict\",le=\"10\"} 1 # {trace_id=\"t00000000000000aa\"} 5"
+            ),
+            "missing labeled bucket with exemplar in:\n{text}"
+        );
+        assert!(text.contains("dml_trace_stage_latency_us_bucket{stage=\"predict\",le=\"+Inf\"} 2"));
+        assert!(text.contains("dml_trace_stage_latency_us_sum{stage=\"predict\"} 55"));
+        assert!(text.contains("dml_trace_stage_latency_us_count{stage=\"predict\"} 2"));
+    }
+
+    #[test]
+    fn unlabeled_rendering_is_unchanged_by_the_label_support() {
+        // The exact shapes the pre-label renderer produced.
+        let text = render_openmetrics(&sample());
+        assert!(text.contains("dml_predict_match_latency_us_bucket{le=\"0.25\"} 1"));
+        assert!(text.contains("dml_predict_match_latency_us_sum "));
+        assert!(!text.contains("{,"), "no stray comma from empty labels:\n{text}");
     }
 
     #[test]

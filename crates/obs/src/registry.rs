@@ -87,7 +87,45 @@ pub struct Registry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Labeled series, keyed by canonical [`series_key`] strings
+    /// (`name{k="v",k2="v2"}`, label keys sorted, values escaped).
+    labeled_counters: BTreeMap<String, u64>,
+    labeled_gauges: BTreeMap<String, f64>,
+    labeled_histograms: BTreeMap<String, Histogram>,
     trace: TraceRing,
+}
+
+/// Canonical series key for a labeled metric: `name{k="v",k2="v2"}`.
+/// Label keys are sorted so the same label set always yields the same
+/// key, and values are escaped per OpenMetrics (backslash, quote,
+/// newline). An empty label set degenerates to the bare name.
+pub fn series_key(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut sorted: Vec<(&str, &str)> = labels.to_vec();
+    sorted.sort();
+    let mut out = String::with_capacity(name.len() + 16 * sorted.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in sorted.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                other => out.push(other),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
 }
 
 impl Default for Registry {
@@ -104,6 +142,9 @@ impl Registry {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            labeled_counters: BTreeMap::new(),
+            labeled_gauges: BTreeMap::new(),
+            labeled_histograms: BTreeMap::new(),
             trace: TraceRing::new(DEFAULT_TRACE_CAPACITY),
         }
     }
@@ -177,6 +218,51 @@ impl Registry {
         }
     }
 
+    /// Adds `delta` to a labeled counter series, e.g.
+    /// `fleet.events_served{shard="3"}`.
+    pub fn counter_add_with(&mut self, name: &str, labels: &[(&str, &str)], delta: u64) {
+        if !self.enabled {
+            return;
+        }
+        *self
+            .labeled_counters
+            .entry(series_key(name, labels))
+            .or_insert(0) += delta;
+    }
+
+    /// Sets a labeled gauge series (last write wins).
+    pub fn gauge_set_with(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if !self.enabled {
+            return;
+        }
+        self.labeled_gauges.insert(series_key(name, labels), value);
+    }
+
+    /// Folds an externally accumulated histogram into a labeled series,
+    /// e.g. `trace.stage_latency_us{stage="predict"}`.
+    pub fn merge_histogram_with(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        if !self.enabled {
+            return;
+        }
+        match self.labeled_histograms.get_mut(&series_key(name, labels)) {
+            Some(existing) => existing.merge(h),
+            None => {
+                self.labeled_histograms
+                    .insert(series_key(name, labels), h.clone());
+            }
+        }
+    }
+
+    /// The current value of a labeled counter series, if recorded.
+    pub fn labeled_counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        self.labeled_counters.get(&series_key(name, labels)).copied()
+    }
+
+    /// The current value of a labeled gauge series, if recorded.
+    pub fn labeled_gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.labeled_gauges.get(&series_key(name, labels)).copied()
+    }
+
     /// Appends a milestone to the trace ring.
     pub fn trace(&mut self, label: impl Into<String>) {
         if !self.enabled {
@@ -206,9 +292,14 @@ impl Registry {
     }
 
     /// Number of distinct metrics recorded (counters + gauges +
-    /// histograms).
+    /// histograms, labeled series included).
     pub fn len(&self) -> usize {
-        self.counters.len() + self.gauges.len() + self.histograms.len()
+        self.counters.len()
+            + self.gauges.len()
+            + self.histograms.len()
+            + self.labeled_counters.len()
+            + self.labeled_gauges.len()
+            + self.labeled_histograms.len()
     }
 
     /// Whether nothing has been recorded.
@@ -232,6 +323,13 @@ impl Registry {
             gauges: self.gauges.clone(),
             histograms: self
                 .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
+                .collect(),
+            labeled_counters: self.labeled_counters.clone(),
+            labeled_gauges: self.labeled_gauges.clone(),
+            labeled_histograms: self
+                .labeled_histograms
                 .iter()
                 .map(|(k, h)| (k.clone(), HistogramSnapshot::of(h)))
                 .collect(),
@@ -273,6 +371,9 @@ mod tests {
         r.gauge_set("b", 1.0);
         r.record_ms("c", 5.0);
         r.merge_histogram("d", &Histogram::latency_us());
+        r.counter_add_with("e", &[("shard", "1")], 1);
+        r.gauge_set_with("f", &[("shard", "1")], 1.0);
+        r.merge_histogram_with("g", &[("stage", "x")], &Histogram::latency_us());
         r.trace("event");
         struct S;
         impl MetricSource for S {
@@ -328,5 +429,62 @@ mod tests {
         r.merge_histogram("x", &h);
         r.merge_histogram("x", &h);
         assert_eq!(r.histogram("x").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn series_key_sorts_labels_and_escapes_values() {
+        assert_eq!(series_key("m", &[]), "m");
+        assert_eq!(
+            series_key("m", &[("zeta", "1"), ("alpha", "2")]),
+            "m{alpha=\"2\",zeta=\"1\"}"
+        );
+        assert_eq!(
+            series_key("m", &[("l", "a\"b\\c\nd")]),
+            "m{l=\"a\\\"b\\\\c\\nd\"}"
+        );
+    }
+
+    #[test]
+    fn labeled_series_accumulate_independently_of_unlabeled() {
+        let mut r = Registry::new();
+        r.counter_add("fleet.events_served", 10);
+        r.counter_add_with("fleet.events_served", &[("shard", "0")], 4);
+        r.counter_add_with("fleet.events_served", &[("shard", "0")], 2);
+        r.counter_add_with("fleet.events_served", &[("shard", "1")], 3);
+        r.gauge_set_with("fleet.recall", &[("shard", "0")], 0.9);
+        assert_eq!(r.counter("fleet.events_served"), Some(10));
+        assert_eq!(
+            r.labeled_counter("fleet.events_served", &[("shard", "0")]),
+            Some(6)
+        );
+        assert_eq!(
+            r.labeled_counter("fleet.events_served", &[("shard", "1")]),
+            Some(3)
+        );
+        assert_eq!(r.labeled_gauge("fleet.recall", &[("shard", "0")]), Some(0.9));
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.labeled_counters.get("fleet.events_served{shard=\"0\"}"),
+            Some(&6)
+        );
+    }
+
+    #[test]
+    fn labeled_histograms_merge_per_series() {
+        let mut h = Histogram::latency_us();
+        h.record(5.0);
+        let mut r = Registry::new();
+        r.merge_histogram_with("trace.stage_latency_us", &[("stage", "predict")], &h);
+        r.merge_histogram_with("trace.stage_latency_us", &[("stage", "predict")], &h);
+        r.merge_histogram_with("trace.stage_latency_us", &[("stage", "ingest")], &h);
+        let snap = r.snapshot();
+        assert_eq!(
+            snap.labeled_histograms["trace.stage_latency_us{stage=\"predict\"}"].count,
+            2
+        );
+        assert_eq!(
+            snap.labeled_histograms["trace.stage_latency_us{stage=\"ingest\"}"].count,
+            1
+        );
     }
 }

@@ -22,7 +22,7 @@
 //! a snapshot round-trips byte-identically through
 //! [`MetricsSnapshot::from_json`] → [`MetricsSnapshot::to_json`].
 
-use crate::hist::Histogram;
+use crate::hist::{Exemplar, Histogram};
 use crate::registry::TraceEntry;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -52,6 +52,9 @@ pub struct HistogramSnapshot {
     pub p95: f64,
     /// 99th percentile.
     pub p99: f64,
+    /// Traced exemplars, at most one per bucket (absent when none).
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub exemplars: Vec<Exemplar>,
 }
 
 impl HistogramSnapshot {
@@ -67,6 +70,7 @@ impl HistogramSnapshot {
             p50: h.p50(),
             p95: h.p95(),
             p99: h.p99(),
+            exemplars: h.exemplars().to_vec(),
         }
     }
 
@@ -91,6 +95,19 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histograms by dotted name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Labeled counter series keyed by canonical
+    /// [`series_key`](crate::registry::series_key) strings
+    /// (`name{k="v"}`). Absent from the JSON when empty, so pre-label
+    /// snapshots parse and re-serialize byte-identically.
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub labeled_counters: BTreeMap<String, u64>,
+    /// Labeled gauge series (see [`MetricsSnapshot::labeled_counters`]).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub labeled_gauges: BTreeMap<String, f64>,
+    /// Labeled histogram series (see
+    /// [`MetricsSnapshot::labeled_counters`]).
+    #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
+    pub labeled_histograms: BTreeMap<String, HistogramSnapshot>,
     /// Trace-ring milestones, oldest first.
     pub traces: Vec<TraceEntry>,
 }
@@ -186,6 +203,32 @@ pub fn render_text(snap: &MetricsSnapshot) -> String {
                 h.max
             ));
     }
+    for (name, v) in &snap.labeled_counters {
+        groups
+            .entry(name.split('.').next().unwrap_or(""))
+            .or_default()
+            .push(format!("  {name} = {v}"));
+    }
+    for (name, v) in &snap.labeled_gauges {
+        groups
+            .entry(name.split('.').next().unwrap_or(""))
+            .or_default()
+            .push(format!("  {name} = {v:.4}"));
+    }
+    for (name, h) in &snap.labeled_histograms {
+        groups
+            .entry(name.split('.').next().unwrap_or(""))
+            .or_default()
+            .push(format!(
+                "  {name}: n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p95,
+                h.p99,
+                h.max
+            ));
+    }
     let _ = prefix; // group key computed inline above
     let mut out = format!("metrics snapshot v{}\n", snap.version);
     for (group, lines) in &groups {
@@ -265,6 +308,36 @@ mod tests {
         assert!(text.contains("ingest.lines = 100"));
         assert!(text.contains("p95="));
         assert!(text.contains("#0 retrain week=4 rules=10"));
+    }
+
+    #[test]
+    fn unlabeled_snapshot_json_omits_labeled_fields() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(!json.contains("labeled_counters"), "{json}");
+        assert!(!json.contains("labeled_gauges"));
+        assert!(!json.contains("labeled_histograms"));
+        // A pre-label snapshot (no labeled keys at all) still parses.
+        let parsed = MetricsSnapshot::from_json(&json).unwrap();
+        assert!(parsed.labeled_counters.is_empty());
+        assert_eq!(parsed.to_json(), json, "round trip stays byte-identical");
+    }
+
+    #[test]
+    fn labeled_series_round_trip_through_json() {
+        let mut r = sample_registry();
+        r.counter_add_with("fleet.events_served", &[("shard", "2")], 9);
+        r.gauge_set_with("fleet.recall", &[("shard", "2")], 0.5);
+        let mut h = Histogram::latency_us();
+        h.record_exemplar(3.0, "t0000000000000042");
+        r.merge_histogram_with("trace.stage_latency_us", &[("stage", "predict")], &h);
+        let snap = r.snapshot();
+        let json = snap.to_json();
+        assert!(json.contains("fleet.events_served{shard=\\\"2\\\"}"));
+        let parsed = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(parsed, snap);
+        let hs = &parsed.labeled_histograms["trace.stage_latency_us{stage=\"predict\"}"];
+        assert_eq!(hs.exemplars.len(), 1);
+        assert_eq!(hs.exemplars[0].trace, "t0000000000000042");
     }
 
     #[test]

@@ -1,0 +1,651 @@
+//! Deterministic, sampled causal tracing of an event's journey through
+//! the pipeline.
+//!
+//! The serving path is a chain of hops — ingest, reorder, admission,
+//! shard dispatch, predictor match, warning issue, resolution — and the
+//! aggregate metrics in [`Registry`](crate::Registry) say nothing about
+//! any *one* event's trip through them. This module adds that missing
+//! axis: a [`Tracer`] stamps each event with a [`TraceContext`] and each
+//! hop appends a [`Span`]; sampled trace spans land in the
+//! [`FlightRecorder`](crate::FlightRecorder) as `trace_span` records
+//! (flight schema v2) that `repro trace --id` renders as a per-stage
+//! latency waterfall.
+//!
+//! ## Identity, not randomness
+//!
+//! A [`TraceId`] is an FNV-1a hash of the event's identity
+//! `(t_ms, type_id, fatal)` — no RNG, no thread-local counter. Any stage
+//! holding the event can recompute the same id and the same sampling
+//! verdict with [`Tracer::context`], so the context never has to be
+//! physically threaded through queues, spools or checkpoints, and a
+//! replayed run traces identically.
+//!
+//! ## Sampling: head-based with tail promotion
+//!
+//! Head sampling keeps every `sample_every`-th trace (seed-offset so
+//! different runs keep different cohorts) and **every fatal event**.
+//! Events outside the head sample buffer their spans in a bounded
+//! pending map; if the event later proves interesting — it produces a
+//! warning — [`Tracer::promote`] moves the buffered spans into the keep
+//! set, so warning-producing traces are always complete even when they
+//! lost the head-sampling coin flip. Pending spans for traces that never
+//! get promoted are dropped at [`Tracer::drain_into`] time (counted, not
+//! silent), and the pending buffer evicts whole oldest-first traces past
+//! `pending_capacity`.
+//!
+//! ## Off means off
+//!
+//! [`TraceConfig::disabled`] (the `Default`) makes every call a no-op
+//! that allocates nothing and records nothing: driver results are
+//! bit-identical with tracing off, enforced by `tests/tracing.rs`.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+use std::sync::{Arc, Mutex};
+
+use crate::flight::{FlightEvent, FlightRecorder};
+use crate::hist::Histogram;
+use crate::registry::{MetricSource, Registry};
+
+/// Pipeline stages a trace span can name, in causal order. Free-form
+/// strings are accepted by [`Tracer::record`]; these constants keep the
+/// writers and the renderers agreeing on spelling.
+pub mod stage {
+    /// Raw delivery accepted into the pipeline.
+    pub const INGEST: &str = "ingest";
+    /// Watermark re-sequencing in the reorder buffer.
+    pub const REORDER: &str = "reorder";
+    /// Event-storm admission control (offer + drain).
+    pub const ADMISSION: &str = "admission";
+    /// Routing to a shard worker (or the fleet fallback).
+    pub const DISPATCH: &str = "dispatch";
+    /// Predictor sliding-window match.
+    pub const PREDICT: &str = "predict";
+    /// Warning issued against this event's window.
+    pub const WARN: &str = "warn";
+    /// Warning outcome decided (hit / false alarm / expired).
+    pub const RESOLVE: &str = "resolve";
+
+    /// Causal rank used to order same-timestamp spans deterministically.
+    pub fn rank(stage: &str) -> u8 {
+        match stage {
+            INGEST => 0,
+            REORDER => 1,
+            ADMISSION => 2,
+            DISPATCH => 3,
+            PREDICT => 4,
+            WARN => 5,
+            RESOLVE => 6,
+            _ => 7,
+        }
+    }
+}
+
+/// Stable identity of one traced event, derived (FNV-1a) from the
+/// event's `(t_ms, type_id, fatal)` identity rather than randomness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Derives the id for an event's identity tuple.
+    pub fn of_event(t_ms: i64, type_id: u16, fatal: bool) -> Self {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |b: u8| {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for b in t_ms.to_le_bytes() {
+            eat(b);
+        }
+        for b in type_id.to_le_bytes() {
+            eat(b);
+        }
+        eat(fatal as u8);
+        TraceId(h)
+    }
+
+    /// Raw 64-bit value.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{:016x}", self.0)
+    }
+}
+
+impl FromStr for TraceId {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let hex = s.strip_prefix('t').unwrap_or(s);
+        u64::from_str_radix(hex, 16)
+            .map(TraceId)
+            .map_err(|e| format!("bad trace id {s:?}: {e}"))
+    }
+}
+
+/// Tracing parameters. The `Default` is fully disabled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Master switch; off makes every tracer call a no-op.
+    pub enabled: bool,
+    /// Head-sample every Nth trace id (1 = everything). Fatals are
+    /// always sampled regardless.
+    pub sample_every: u64,
+    /// Seed mixed into the sampling decision so different runs keep
+    /// different cohorts while each run stays deterministic.
+    pub seed: u64,
+    /// Spans buffered for not-yet-interesting traces awaiting tail
+    /// promotion; oldest whole traces are evicted past this.
+    pub pending_capacity: usize,
+}
+
+impl TraceConfig {
+    /// Tracing fully off (the `Default`).
+    pub fn disabled() -> Self {
+        TraceConfig {
+            enabled: false,
+            sample_every: 0,
+            seed: 0,
+            pending_capacity: 0,
+        }
+    }
+
+    /// Head-sample every `n`th trace, with tail promotion for warnings
+    /// and unconditional capture of fatals.
+    pub fn every(n: u64) -> Self {
+        TraceConfig {
+            enabled: true,
+            sample_every: n.max(1),
+            seed: 0,
+            pending_capacity: 4096,
+        }
+    }
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig::disabled()
+    }
+}
+
+/// A stamped event: its id plus the head-sampling verdict. Cheap to
+/// copy; recomputable at any stage via [`Tracer::context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The event's stable trace id.
+    pub id: TraceId,
+    /// Head-sample verdict (fatals are always `true`).
+    pub sampled: bool,
+}
+
+/// One hop of one traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Which trace this span belongs to.
+    pub id: TraceId,
+    /// Stage name (see [`stage`]).
+    pub stage: &'static str,
+    /// Shard that served the hop, when the hop is shard-scoped.
+    pub shard: Option<u32>,
+    /// Hop start, event-stream milliseconds.
+    pub start_ms: i64,
+    /// Hop duration in microseconds (wall clock).
+    pub dur_us: u64,
+    /// What the hop decided: `ok`, `shed`, `warning`, `fallback`,
+    /// `hit`, `false_alarm`, …
+    pub outcome: &'static str,
+}
+
+/// Monotonic tracer counters (also exported as `trace.*` metrics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceCounters {
+    /// Spans offered to [`Tracer::record`] while enabled.
+    pub spans_recorded: u64,
+    /// Spans written to the flight recorder by [`Tracer::drain_into`].
+    pub spans_emitted: u64,
+    /// Traces tail-promoted after losing the head-sample coin flip.
+    pub traces_promoted: u64,
+    /// Pending (never-promoted) spans evicted or dropped at drain.
+    pub pending_dropped: u64,
+}
+
+/// The causal tracer: stamps contexts, collects spans, promotes
+/// interesting traces, and drains sampled spans into the flight
+/// recorder. One tracer per execution domain (driver, shard worker);
+/// worker tracers merge into a supervisor tracer via [`Tracer::absorb`].
+#[derive(Debug)]
+pub struct Tracer {
+    config: TraceConfig,
+    /// Trace ids tail-promoted into the keep set.
+    promoted: BTreeSet<u64>,
+    /// Buffered spans for traces that may yet be promoted.
+    pending: BTreeMap<u64, Vec<Span>>,
+    /// FIFO eviction order over `pending` keys.
+    pending_order: VecDeque<u64>,
+    /// Total spans buffered across `pending`.
+    pending_len: usize,
+    /// Spans already in the keep set, awaiting drain.
+    ready: Vec<Span>,
+    /// Per-stage hop-latency histograms (all traffic, sampled or not).
+    stage_hist: BTreeMap<&'static str, Histogram>,
+    /// warning id (display form) → trace that produced it.
+    warning_traces: BTreeMap<String, TraceId>,
+    counters: TraceCounters,
+}
+
+impl Tracer {
+    /// A tracer with the given config.
+    pub fn new(config: TraceConfig) -> Self {
+        Tracer {
+            config,
+            promoted: BTreeSet::new(),
+            pending: BTreeMap::new(),
+            pending_order: VecDeque::new(),
+            pending_len: 0,
+            ready: Vec::new(),
+            stage_hist: BTreeMap::new(),
+            warning_traces: BTreeMap::new(),
+            counters: TraceCounters::default(),
+        }
+    }
+
+    /// A fully inert tracer.
+    pub fn disabled() -> Self {
+        Tracer::new(TraceConfig::disabled())
+    }
+
+    /// True when tracing is on.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// The active config.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    /// Stamps (or re-derives) the context for an event's identity. Pure:
+    /// calling it twice for the same event is free of side effects, so
+    /// admission offer and drain can both stamp without double counting.
+    pub fn context(&self, t_ms: i64, type_id: u16, fatal: bool) -> TraceContext {
+        let id = TraceId::of_event(t_ms, type_id, fatal);
+        let sampled = self.config.enabled
+            && (fatal
+                || id.raw()
+                    .wrapping_add(self.config.seed)
+                    .is_multiple_of(self.config.sample_every.max(1)));
+        TraceContext { id, sampled }
+    }
+
+    /// Appends one hop. Sampled/promoted spans go straight to the keep
+    /// set; others buffer in the bounded pending map awaiting promotion.
+    /// Always feeds the per-stage latency histogram while enabled.
+    pub fn record(
+        &mut self,
+        ctx: TraceContext,
+        stage: &'static str,
+        shard: Option<u32>,
+        start_ms: i64,
+        dur_us: u64,
+        outcome: &'static str,
+    ) {
+        if !self.config.enabled {
+            return;
+        }
+        self.counters.spans_recorded += 1;
+        self.stage_hist
+            .entry(stage)
+            .or_insert_with(Histogram::latency_us)
+            .record(dur_us as f64);
+        let span = Span {
+            id: ctx.id,
+            stage,
+            shard,
+            start_ms,
+            dur_us,
+            outcome,
+        };
+        if ctx.sampled || self.promoted.contains(&ctx.id.raw()) {
+            self.ready.push(span);
+            return;
+        }
+        let key = ctx.id.raw();
+        if !self.pending.contains_key(&key) {
+            self.pending_order.push_back(key);
+        }
+        self.pending.entry(key).or_default().push(span);
+        self.pending_len += 1;
+        while self.pending_len > self.config.pending_capacity.max(1) {
+            let Some(oldest) = self.pending_order.pop_front() else {
+                break;
+            };
+            if let Some(spans) = self.pending.remove(&oldest) {
+                self.pending_len -= spans.len();
+                self.counters.pending_dropped += spans.len() as u64;
+            }
+        }
+    }
+
+    /// Tail-promotes a trace into the keep set (e.g. it produced a
+    /// warning): buffered spans move to ready and future spans bypass
+    /// the pending buffer.
+    pub fn promote(&mut self, id: TraceId) {
+        if !self.config.enabled || !self.promoted.insert(id.raw()) {
+            return;
+        }
+        self.counters.traces_promoted += 1;
+        if let Some(spans) = self.pending.remove(&id.raw()) {
+            self.pending_len -= spans.len();
+            self.pending_order.retain(|k| *k != id.raw());
+            self.ready.extend(spans);
+        }
+    }
+
+    /// Associates an issued warning (by display id) with the trace that
+    /// produced it, for later resolution spans and exemplars.
+    pub fn link_warning(&mut self, warning_id: impl Into<String>, id: TraceId) {
+        if self.config.enabled {
+            self.warning_traces.insert(warning_id.into(), id);
+        }
+    }
+
+    /// The trace behind a previously linked warning id.
+    pub fn warning_trace(&self, warning_id: &str) -> Option<TraceId> {
+        self.warning_traces.get(warning_id).copied()
+    }
+
+    /// Warning-id → trace links recorded so far.
+    pub fn warning_links(&self) -> impl Iterator<Item = (&str, TraceId)> {
+        self.warning_traces.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Per-stage hop-latency histograms observed so far.
+    pub fn stage_histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> {
+        self.stage_hist.iter().map(|(s, h)| (*s, h))
+    }
+
+    /// Counter snapshot.
+    pub fn counters(&self) -> TraceCounters {
+        self.counters
+    }
+
+    /// Merges a subordinate tracer (e.g. a shard worker's) into this
+    /// one: promotions replay, ready spans append, pending spans merge
+    /// under this tracer's capacity, histograms and links fold in.
+    pub fn absorb(&mut self, other: Tracer) {
+        if !self.config.enabled {
+            return;
+        }
+        let other_promoted: Vec<u64> = other.promoted.iter().copied().collect();
+        self.counters.spans_recorded += other.counters.spans_recorded;
+        self.counters.pending_dropped += other.counters.pending_dropped;
+        // traces_promoted is recounted by the promote() replay below.
+        self.ready.extend(other.ready);
+        for (stage, hist) in other.stage_hist {
+            self.stage_hist
+                .entry(stage)
+                .or_insert_with(Histogram::latency_us)
+                .merge(&hist);
+        }
+        self.warning_traces.extend(other.warning_traces);
+        for id in other_promoted {
+            self.promote(TraceId(id));
+        }
+        for key in other.pending_order {
+            let Some(spans) = other.pending.get(&key) else {
+                continue;
+            };
+            if self.promoted.contains(&key) {
+                self.ready.extend(spans.iter().cloned());
+                continue;
+            }
+            if !self.pending.contains_key(&key) {
+                self.pending_order.push_back(key);
+            }
+            self.pending_len += spans.len();
+            self.pending.entry(key).or_default().extend(spans.iter().cloned());
+            while self.pending_len > self.config.pending_capacity.max(1) {
+                let Some(oldest) = self.pending_order.pop_front() else {
+                    break;
+                };
+                if let Some(dropped) = self.pending.remove(&oldest) {
+                    self.pending_len -= dropped.len();
+                    self.counters.pending_dropped += dropped.len() as u64;
+                }
+            }
+        }
+    }
+
+    /// Writes every kept span to the flight recorder as `trace_span`
+    /// records, deterministically ordered by `(start_ms, id, stage
+    /// rank)`, and drops never-promoted pending spans (counted).
+    pub fn drain_into(&mut self, flight: &mut FlightRecorder) {
+        if !self.config.enabled {
+            return;
+        }
+        let mut ready = std::mem::take(&mut self.ready);
+        ready.sort_by_key(|s| (s.start_ms, s.id.raw(), stage::rank(s.stage), s.shard));
+        for span in ready {
+            flight.record(
+                span.start_ms,
+                FlightEvent::TraceSpan {
+                    trace: span.id.to_string(),
+                    stage: span.stage.to_string(),
+                    shard: span.shard,
+                    dur_us: span.dur_us,
+                    outcome: span.outcome.to_string(),
+                },
+            );
+            self.counters.spans_emitted += 1;
+        }
+        self.counters.pending_dropped += self.pending_len as u64;
+        self.pending.clear();
+        self.pending_order.clear();
+        self.pending_len = 0;
+    }
+}
+
+impl MetricSource for Tracer {
+    fn export(&self, registry: &mut Registry) {
+        registry.counter_add("trace.spans_recorded", self.counters.spans_recorded);
+        registry.counter_add("trace.spans_emitted", self.counters.spans_emitted);
+        registry.counter_add("trace.traces_promoted", self.counters.traces_promoted);
+        registry.counter_add("trace.pending_dropped", self.counters.pending_dropped);
+        for (stage, hist) in &self.stage_hist {
+            registry.merge_histogram_with("trace.stage_latency_us", &[("stage", stage)], hist);
+        }
+    }
+}
+
+/// A tracer shared across driver closures and threads.
+pub type SharedTracer = Arc<Mutex<Tracer>>;
+
+/// Wraps a tracer for sharing.
+pub fn shared(tracer: Tracer) -> SharedTracer {
+    Arc::new(Mutex::new(tracer))
+}
+
+/// Runs `f` on the tracer behind a [`SharedTracer`], recovering a
+/// poisoned lock (a panicked worker must not take tracing down).
+pub fn with_tracer<R>(tracer: &SharedTracer, f: impl FnOnce(&mut Tracer) -> R) -> R {
+    let mut guard = match tracer.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keep_all() -> TraceConfig {
+        TraceConfig::every(1)
+    }
+
+    #[test]
+    fn trace_id_is_stable_and_round_trips_display() {
+        let a = TraceId::of_event(1234, 7, true);
+        let b = TraceId::of_event(1234, 7, true);
+        assert_eq!(a, b);
+        assert_ne!(a, TraceId::of_event(1234, 7, false));
+        let s = a.to_string();
+        assert!(s.starts_with('t') && s.len() == 17, "{s}");
+        assert_eq!(s.parse::<TraceId>().unwrap(), a);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        let ctx = t.context(10, 1, true);
+        assert!(!ctx.sampled, "disabled tracer samples nothing");
+        t.record(ctx, stage::INGEST, None, 10, 5, "ok");
+        t.promote(ctx.id);
+        let mut flight = FlightRecorder::disabled();
+        t.drain_into(&mut flight);
+        assert_eq!(t.counters(), TraceCounters::default());
+        assert_eq!(t.stage_histograms().count(), 0);
+    }
+
+    #[test]
+    fn fatals_are_always_sampled() {
+        let t = Tracer::new(TraceConfig {
+            sample_every: u64::MAX,
+            ..keep_all()
+        });
+        assert!(t.context(10, 1, true).sampled);
+    }
+
+    #[test]
+    fn unsampled_spans_buffer_until_promoted() {
+        let mut config = keep_all();
+        config.sample_every = u64::MAX; // head-sample nothing
+        let mut t = Tracer::new(config);
+        let ctx = t.context(10, 1, false);
+        assert!(!ctx.sampled);
+        t.record(ctx, stage::INGEST, None, 10, 5, "ok");
+        t.record(ctx, stage::PREDICT, Some(2), 10, 9, "warning");
+        t.promote(ctx.id);
+        assert_eq!(t.counters().traces_promoted, 1);
+        // Post-promotion spans bypass the pending buffer.
+        t.record(ctx, stage::WARN, Some(2), 10, 1, "ok");
+        let dir = std::env::temp_dir().join(format!(
+            "dml-trace-test-{}-{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut flight =
+            FlightRecorder::create(&dir, crate::flight::FlightConfig::default()).unwrap();
+        t.drain_into(&mut flight);
+        drop(flight);
+        let (records, skipped) = crate::read_flight_log(&dir).unwrap();
+        let _ = std::fs::remove_file(&dir);
+        assert_eq!(skipped, 0);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.event.kind() == "trace_span"));
+        assert_eq!(t.counters().spans_emitted, 3);
+        assert_eq!(t.counters().pending_dropped, 0);
+    }
+
+    #[test]
+    fn never_promoted_pending_spans_are_dropped_at_drain() {
+        let mut config = keep_all();
+        config.sample_every = u64::MAX;
+        let mut t = Tracer::new(config);
+        let ctx = t.context(10, 1, false);
+        t.record(ctx, stage::INGEST, None, 10, 5, "ok");
+        let mut flight = FlightRecorder::disabled();
+        t.drain_into(&mut flight);
+        assert_eq!(t.counters().spans_emitted, 0);
+        assert_eq!(t.counters().pending_dropped, 1);
+    }
+
+    #[test]
+    fn pending_buffer_evicts_oldest_whole_trace() {
+        let mut config = keep_all();
+        config.sample_every = u64::MAX;
+        config.pending_capacity = 2;
+        let mut t = Tracer::new(config);
+        let old = t.context(10, 1, false);
+        t.record(old, stage::INGEST, None, 10, 1, "ok");
+        t.record(old, stage::PREDICT, None, 10, 1, "ok");
+        let newer = t.context(20, 1, false);
+        t.record(newer, stage::INGEST, None, 20, 1, "ok");
+        assert_eq!(t.counters().pending_dropped, 2, "old trace evicted whole");
+        // Promoting the evicted trace keeps only post-promotion spans.
+        t.promote(old.id);
+        t.record(old, stage::WARN, None, 10, 1, "ok");
+        let mut flight = FlightRecorder::disabled();
+        t.drain_into(&mut flight);
+        assert_eq!(t.counters().spans_emitted, 1);
+    }
+
+    #[test]
+    fn absorb_merges_worker_tracers() {
+        let mut config = keep_all();
+        config.sample_every = u64::MAX;
+        let mut supervisor = Tracer::new(config);
+        let mut worker = Tracer::new(config);
+        let warned = worker.context(10, 1, false);
+        worker.record(warned, stage::PREDICT, Some(1), 10, 7, "warning");
+        worker.promote(warned.id);
+        worker.link_warning("w-1", warned.id);
+        let quiet = worker.context(20, 2, false);
+        worker.record(quiet, stage::PREDICT, Some(1), 20, 3, "ok");
+        supervisor.absorb(worker);
+        assert_eq!(supervisor.counters().traces_promoted, 1);
+        assert_eq!(supervisor.warning_trace("w-1"), Some(warned.id));
+        let mut flight = FlightRecorder::disabled();
+        supervisor.drain_into(&mut flight);
+        assert_eq!(supervisor.counters().spans_emitted, 1, "promoted span kept");
+        assert_eq!(supervisor.counters().pending_dropped, 1, "quiet span dropped");
+        let hist: Vec<_> = supervisor.stage_histograms().collect();
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].1.count(), 2, "both worker hops in the stage histogram");
+    }
+
+    #[test]
+    fn sampling_seed_shifts_the_cohort_deterministically() {
+        let base = Tracer::new(TraceConfig {
+            enabled: true,
+            sample_every: 4,
+            seed: 0,
+            pending_capacity: 16,
+        });
+        let shifted = Tracer::new(TraceConfig {
+            enabled: true,
+            sample_every: 4,
+            seed: 1,
+            pending_capacity: 16,
+        });
+        let picks = |t: &Tracer| -> Vec<bool> {
+            (0..64).map(|i| t.context(i, 1, false).sampled).collect()
+        };
+        assert_eq!(picks(&base), picks(&base), "deterministic");
+        assert_ne!(picks(&base), picks(&shifted), "seed moves the cohort");
+        assert!(picks(&base).iter().any(|s| *s), "some traces kept");
+    }
+
+    #[test]
+    fn export_emits_trace_counters_and_labeled_stage_histograms() {
+        let mut t = Tracer::new(keep_all());
+        let ctx = t.context(10, 1, false);
+        t.record(ctx, stage::PREDICT, None, 10, 50, "ok");
+        let mut registry = Registry::new();
+        registry.collect(&t);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("trace.spans_recorded"), 1);
+        let text = crate::render_openmetrics(&snap);
+        assert!(
+            text.contains("dml_trace_stage_latency_us_count{stage=\"predict\"}"),
+            "missing labeled stage histogram in:\n{text}"
+        );
+    }
+}

@@ -20,5 +20,5 @@ pub use categorizer::{CategorizeStats, Categorizer};
 pub use discovery::{discover_catalog, DiscoveryConfig, DiscoveryStats};
 pub use filter::{filter_events, FilterConfig, FilterStats};
 pub use pipeline::{clean_log, PipelineStats};
-pub use reorder::{resequence, ReorderBuffer, ReorderStats};
+pub use reorder::{resequence, resequence_traced, ReorderBuffer, ReorderStats};
 pub use threshold::{find_threshold, ThresholdSearch};

@@ -167,6 +167,51 @@ pub fn resequence<T: Timed>(
     (out, buffer.stats())
 }
 
+/// [`resequence`] with causal tracing: each delivery gets a `reorder`
+/// span (outcome `ok` or `late_dropped`) recorded against the trace id
+/// derived from `identity(&event)` — `(t_ms, type_id, fatal)`, the same
+/// tuple every later stage derives, so reorder spans join the event's
+/// chain without threading a context through the buffer. A disabled
+/// tracer degrades to plain [`resequence`].
+pub fn resequence_traced<T: Timed>(
+    deliveries: impl IntoIterator<Item = T>,
+    horizon: Duration,
+    tracer: &dml_obs::SharedTracer,
+    identity: impl Fn(&T) -> (i64, u16, bool),
+) -> (Vec<T>, ReorderStats) {
+    dml_obs::with_tracer(tracer, |tr| {
+        if !tr.enabled() {
+            let mut buffer = ReorderBuffer::new(horizon);
+            let mut out = Vec::new();
+            for ev in deliveries {
+                buffer.push(ev, &mut out);
+            }
+            buffer.flush(&mut out);
+            return (out, buffer.stats());
+        }
+        let mut buffer = ReorderBuffer::new(horizon);
+        let mut out = Vec::new();
+        for ev in deliveries {
+            let (t_ms, type_id, fatal) = identity(&ev);
+            let ctx = tr.context(t_ms, type_id, fatal);
+            let start = std::time::Instant::now();
+            let kept = buffer.push(ev, &mut out);
+            let dur_us = start.elapsed().as_micros() as u64;
+            let outcome = if kept { "ok" } else { "late_dropped" };
+            tr.record(
+                ctx,
+                dml_obs::trace::stage::REORDER,
+                None,
+                t_ms,
+                dur_us,
+                outcome,
+            );
+        }
+        buffer.flush(&mut out);
+        (out, buffer.stats())
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -284,6 +329,36 @@ mod tests {
         assert_eq!(buf.watermark(), Some(Timestamp::from_secs(80)));
         assert_eq!(times(&out), vec![80]);
         assert_eq!(buf.pending(), 1, "140 itself is past the watermark");
+    }
+
+    #[test]
+    fn traced_resequence_matches_untraced_and_spans_every_delivery() {
+        let input = vec![ev(0), ev(500), ev(10)]; // 10 is 490 s late
+        let (plain, plain_stats) = resequence(input.clone(), Duration::from_secs(60));
+
+        let tracer = dml_obs::shared(dml_obs::Tracer::new(dml_obs::TraceConfig::every(1)));
+        let (traced, traced_stats) = resequence_traced(
+            input.clone(),
+            Duration::from_secs(60),
+            &tracer,
+            |e: &CleanEvent| (e.time.0, e.type_id.0, e.fatal),
+        );
+        assert_eq!(traced, plain);
+        assert_eq!(traced_stats, plain_stats);
+        let counters = dml_obs::with_tracer(&tracer, |t| t.counters());
+        assert_eq!(counters.spans_recorded, 3, "one reorder span per delivery");
+
+        // Off means off: same output, nothing recorded.
+        let off = dml_obs::shared(dml_obs::Tracer::new(dml_obs::TraceConfig::disabled()));
+        let (untraced, _) = resequence_traced(
+            input,
+            Duration::from_secs(60),
+            &off,
+            |e: &CleanEvent| (e.time.0, e.type_id.0, e.fatal),
+        );
+        assert_eq!(untraced, plain);
+        let counters = dml_obs::with_tracer(&off, |t| t.counters());
+        assert_eq!(counters.spans_recorded, 0);
     }
 
     #[test]

@@ -27,24 +27,45 @@ fn dataset(seed: u64) -> Vec<raslog::CleanEvent> {
     clean
 }
 
-/// A 4-week fixed-seed log small enough for the default (non-ignored)
-/// suite, generated once and shared by every smoke test in this binary.
+const SMOKE_WEEKS: i64 = 8;
+
+fn smoke_log(seed: u64) -> Vec<raslog::CleanEvent> {
+    let generator = Generator::new(
+        SystemPreset::sdsc()
+            .with_weeks(SMOKE_WEEKS)
+            .with_volume_scale(0.05),
+        seed,
+    );
+    let categorizer = Categorizer::new(generator.catalog().clone());
+    let mut clean = Vec::new();
+    for week in 0..SMOKE_WEEKS {
+        let (raw, _) = generator.week_events(week);
+        let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
+        clean.append(&mut c);
+    }
+    clean
+}
+
+/// An 8-week fixed-seed log small enough for the default (non-ignored)
+/// suite, generated once and shared by every fast variant in this
+/// binary (mirrors `tests/oracle_recovery.rs`).
 fn smoke_dataset() -> &'static [raslog::CleanEvent] {
     static DATA: OnceLock<Vec<raslog::CleanEvent>> = OnceLock::new();
-    DATA.get_or_init(|| {
-        let generator = Generator::new(
-            SystemPreset::sdsc().with_weeks(4).with_volume_scale(0.05),
-            17,
-        );
-        let categorizer = Categorizer::new(generator.catalog().clone());
-        let mut clean = Vec::new();
-        for week in 0..4 {
-            let (raw, _) = generator.week_events(week);
-            let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
-            clean.append(&mut c);
-        }
-        clean
-    })
+    DATA.get_or_init(|| smoke_log(17))
+}
+
+/// Driver config the fast variants share: the smoke log's week budget
+/// leaves 4 serving weeks after warm-up.
+fn smoke_config(policy: TrainingPolicy) -> DriverConfig {
+    DriverConfig {
+        framework: FrameworkConfig {
+            retrain_weeks: 2,
+            ..FrameworkConfig::default()
+        },
+        policy,
+        initial_training_weeks: 4,
+        only_kind: None,
+    }
 }
 
 fn config(policy: TrainingPolicy) -> DriverConfig {
@@ -119,7 +140,7 @@ fn smoke_warnings_are_ordered_and_carry_provenance() {
         initial_training_weeks: 2,
         only_kind: None,
     };
-    let report = run_driver(clean, 4, &cfg);
+    let report = run_driver(clean, SMOKE_WEEKS, &cfg);
     assert!(report.churn.len() >= 2, "initial training plus a retrain");
     for w in report.warnings.windows(2) {
         assert!(w[0].issued_at <= w[1].issued_at);
@@ -225,6 +246,119 @@ fn deterministic_given_seed() {
     assert_eq!(a, b);
     let ra = run_driver(&a, WEEKS, &config(TrainingPolicy::SlidingWeeks(12)));
     let rb = run_driver(&b, WEEKS, &config(TrainingPolicy::SlidingWeeks(12)));
+    assert_eq!(ra.warnings, rb.warnings);
+    assert_eq!(ra.overall, rb.overall);
+}
+
+// ---------------------------------------------------------------------
+// Fast un-ignored variants of the quarantined tests above, over the
+// shared 8-week smoke log. The originals stay `#[ignore]`d for
+// `--ignored` runs at full scale.
+
+/// Fast variant of `meta_recall_at_least_each_base_learner`.
+#[test]
+fn fast_meta_recall_at_least_each_base_learner() {
+    let clean = smoke_dataset();
+    let meta = run_driver(clean, SMOKE_WEEKS, &smoke_config(TrainingPolicy::Static));
+    for kind in [
+        RuleKind::Association,
+        RuleKind::Statistical,
+        RuleKind::Distribution,
+    ] {
+        let base = run_driver(
+            clean,
+            SMOKE_WEEKS,
+            &DriverConfig {
+                only_kind: Some(kind),
+                ..smoke_config(TrainingPolicy::Static)
+            },
+        );
+        assert!(
+            meta.overall.recall() + 1e-9 >= base.overall.recall(),
+            "meta {} < {kind:?} {}",
+            meta.overall.recall(),
+            base.overall.recall()
+        );
+    }
+}
+
+/// Fast variant of `churn_bookkeeping_is_consistent`.
+#[test]
+fn fast_churn_bookkeeping_is_consistent() {
+    let clean = smoke_dataset();
+    let report = run_driver(clean, SMOKE_WEEKS, &smoke_config(TrainingPolicy::SlidingWeeks(4)));
+    assert!(report.churn.len() >= 2);
+    for c in &report.churn {
+        assert_eq!(c.unchanged + c.added, c.total, "at week {}", c.week);
+    }
+    for pair in report.churn.windows(2) {
+        assert_eq!(
+            pair[1].unchanged + pair[1].removed_by_learner,
+            pair[0].total,
+            "between weeks {} and {}",
+            pair[0].week,
+            pair[1].week
+        );
+    }
+}
+
+/// Fast variant of `larger_window_increases_recall`.
+#[test]
+fn fast_larger_window_increases_recall() {
+    let clean = smoke_dataset();
+    let run_window = |mins: i64| {
+        let mut cfg = smoke_config(TrainingPolicy::SlidingWeeks(4));
+        cfg.framework.window = Duration::from_mins(mins);
+        run_driver(clean, SMOKE_WEEKS, &cfg).overall
+    };
+    let small = run_window(5);
+    let large = run_window(120);
+    assert!(
+        large.recall() >= small.recall() - 0.02,
+        "recall should not shrink with the window: {} vs {}",
+        large.recall(),
+        small.recall()
+    );
+}
+
+/// Fast variant of `reviser_never_underperforms_badly`.
+#[test]
+fn fast_reviser_never_underperforms_badly() {
+    let clean = smoke_dataset();
+    let run_reviser = |on: bool| {
+        run_driver(
+            clean,
+            SMOKE_WEEKS,
+            &DriverConfig {
+                framework: FrameworkConfig {
+                    use_reviser: on,
+                    retrain_weeks: 2,
+                    ..FrameworkConfig::default()
+                },
+                ..smoke_config(TrainingPolicy::SlidingWeeks(4))
+            },
+        )
+        .overall
+    };
+    let with = run_reviser(true);
+    let without = run_reviser(false);
+    assert!(
+        with.precision() + 0.05 >= without.precision(),
+        "reviser hurt precision: {} vs {}",
+        with.precision(),
+        without.precision()
+    );
+}
+
+/// Fast variant of `deterministic_given_seed`: the shared log against a
+/// freshly generated twin with the same seed.
+#[test]
+fn fast_deterministic_given_seed() {
+    let a = smoke_dataset();
+    let b = smoke_log(17);
+    assert_eq!(a, &b[..]);
+    let ra = run_driver(a, SMOKE_WEEKS, &smoke_config(TrainingPolicy::SlidingWeeks(4)));
+    let rb = run_driver(&b, SMOKE_WEEKS, &smoke_config(TrainingPolicy::SlidingWeeks(4)));
     assert_eq!(ra.warnings, rb.warnings);
     assert_eq!(ra.overall, rb.overall);
 }

@@ -1,0 +1,141 @@
+//! Causal tracing must be purely observational: a disabled tracer is a
+//! no-op on every serving path, and an *enabled* tracer — sampling every
+//! trace — still leaves the serial, overlapped and fleet driver reports
+//! bit-identical to the untraced baseline. Only the span stream differs.
+
+use dynamic_meta_learning::dml_core::fleet::{run_fleet, FaultSchedule, FleetConfig};
+use dynamic_meta_learning::dml_core::{
+    run_hardened_driver, run_overlapped_hardened_driver, DriverConfig, FrameworkConfig,
+    HardenedConfig, SwapMode, TrainingPolicy,
+};
+use dynamic_meta_learning::dml_obs::{self, TraceConfig, TraceCounters, Tracer};
+use raslog::{CleanEvent, EventTypeId, Timestamp};
+
+fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+    CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+}
+
+/// Six weeks of a steady {1,2} → fatal 100 cascade.
+fn cascade_log(weeks: i64) -> Vec<CleanEvent> {
+    let week_secs = raslog::WEEK_MS / 1000;
+    let mut events = Vec::new();
+    for w in 0..weeks {
+        for i in 0..10 {
+            let base = w * week_secs + i * 60_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 60, 2, false));
+            events.push(ev(base + 200, 100, true));
+        }
+    }
+    events
+}
+
+fn config(tracer: Option<dml_obs::SharedTracer>) -> HardenedConfig {
+    HardenedConfig {
+        driver: DriverConfig {
+            framework: FrameworkConfig {
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            policy: TrainingPolicy::SlidingWeeks(2),
+            initial_training_weeks: 2,
+            only_kind: None,
+        },
+        tracer,
+        ..HardenedConfig::default()
+    }
+}
+
+#[test]
+fn serial_driver_is_bit_identical_with_tracing_off_and_on() {
+    let log = cascade_log(6);
+    let baseline = run_hardened_driver(&log, 6, &config(None));
+    assert!(
+        !baseline.report.warnings.is_empty(),
+        "the cascade must produce warnings for the test to mean anything"
+    );
+
+    let off = dml_obs::shared(Tracer::new(TraceConfig::disabled()));
+    let quiet = run_hardened_driver(&log, 6, &config(Some(off.clone())));
+    assert_eq!(quiet.report.warnings, baseline.report.warnings);
+    assert_eq!(quiet.report.overall, baseline.report.overall);
+    assert_eq!(
+        dml_obs::with_tracer(&off, |t| t.counters()),
+        TraceCounters::default(),
+        "a disabled tracer must touch nothing"
+    );
+
+    let on = dml_obs::shared(Tracer::new(TraceConfig::every(1)));
+    let traced = run_hardened_driver(&log, 6, &config(Some(on.clone())));
+    assert_eq!(traced.report.warnings, baseline.report.warnings);
+    assert_eq!(traced.report.overall, baseline.report.overall);
+    let counters = dml_obs::with_tracer(&on, |t| t.counters());
+    assert!(counters.spans_recorded > 0, "sampling everything records spans");
+    assert!(counters.traces_promoted > 0, "warnings promote their traces");
+}
+
+#[test]
+fn overlapped_driver_is_bit_identical_with_tracing_off_and_on() {
+    let log = cascade_log(6);
+    let baseline = run_overlapped_hardened_driver(&log, 6, &config(None), SwapMode::overlapped());
+
+    let off = dml_obs::shared(Tracer::new(TraceConfig::disabled()));
+    let quiet =
+        run_overlapped_hardened_driver(&log, 6, &config(Some(off.clone())), SwapMode::overlapped());
+    assert_eq!(quiet.report.warnings, baseline.report.warnings);
+    assert_eq!(quiet.report.overall, baseline.report.overall);
+    assert_eq!(
+        dml_obs::with_tracer(&off, |t| t.counters()),
+        TraceCounters::default()
+    );
+
+    let on = dml_obs::shared(Tracer::new(TraceConfig::every(1)));
+    let traced =
+        run_overlapped_hardened_driver(&log, 6, &config(Some(on.clone())), SwapMode::overlapped());
+    assert_eq!(traced.report.warnings, baseline.report.warnings);
+    assert_eq!(traced.report.overall, baseline.report.overall);
+    assert!(dml_obs::with_tracer(&on, |t| t.counters()).spans_recorded > 0);
+}
+
+#[test]
+fn fleet_driver_is_bit_identical_with_tracing_off_and_on() {
+    use dynamic_meta_learning::bgl_sim::{FleetGenerator, FleetPreset};
+
+    let preset = FleetPreset::datacenter(48).with_weeks(6);
+    let generator = FleetGenerator::new(preset, 7);
+    let events = generator.generate();
+    let config = |trace: TraceConfig| FleetConfig {
+        shards: 4,
+        base_training_weeks: 2,
+        trace,
+        ..FleetConfig::default()
+    };
+
+    let mut no_flight = dml_obs::FlightRecorder::disabled();
+    let baseline = run_fleet(
+        &events,
+        6,
+        &config(TraceConfig::disabled()),
+        &FaultSchedule::new(),
+        &mut no_flight,
+    );
+    let traced = run_fleet(
+        &events,
+        6,
+        &config(TraceConfig::every(1)),
+        &FaultSchedule::new(),
+        &mut no_flight,
+    );
+    assert_eq!(traced.overall, baseline.overall);
+    assert_eq!(traced.events_served, baseline.events_served);
+    for (a, b) in traced.shards.iter().zip(baseline.shards.iter()) {
+        assert_eq!(a.warnings, b.warnings, "shard {} diverged under tracing", a.shard);
+    }
+    assert_eq!(baseline.trace, TraceCounters::default());
+    assert!(traced.trace.spans_recorded > 0);
+    assert!(
+        traced.stage_latency_us.contains_key("predict"),
+        "traced fleet run reports per-stage latency, got {:?}",
+        traced.stage_latency_us.keys().collect::<Vec<_>>()
+    );
+}
