@@ -13,13 +13,11 @@
 //! confidence for each of them — exactly the discrimination the paper's
 //! learner needs.
 
+use crate::generic::{count_sharded, default_partitions, PAR_THRESHOLD};
 use crate::itemset::{is_subset_sorted, join_step, normalize, Itemset};
 use crate::Item;
 use rayon::prelude::*;
 use std::collections::HashMap;
-
-/// See [`PAR_THRESHOLD`](crate::generic) — same rationale.
-const PAR_THRESHOLD: usize = 64;
 
 /// One training transaction: the antecedent items observed before an
 /// occurrence of `class`.
@@ -55,7 +53,9 @@ pub struct ClassRule<I, C> {
 /// Mines class rules with the levelwise Apriori strategy.
 ///
 /// `max_len` bounds the antecedent size (the paper's rules have small
-/// bodies; 4 is a practical default).
+/// bodies; 4 is a practical default). Candidate counting is
+/// hash-partitioned across one worker per available core; use
+/// [`mine_class_rules_with_partitions`] to pin the worker count.
 ///
 /// # Panics
 /// Panics when `min_support` is outside `(0, 1]`, `min_confidence` is
@@ -65,6 +65,26 @@ pub fn mine_class_rules<I: Item, C: Item>(
     min_support: f64,
     min_confidence: f64,
     max_len: usize,
+) -> Vec<ClassRule<I, C>> {
+    mine_class_rules_with_partitions(
+        transactions,
+        min_support,
+        min_confidence,
+        max_len,
+        default_partitions(),
+    )
+}
+
+/// [`mine_class_rules`] with an explicit counting-partition count.
+/// The mined rule set — contents *and* ordering — is identical at every
+/// `partitions` value; the value only controls how counting work spreads
+/// across workers.
+pub fn mine_class_rules_with_partitions<I: Item, C: Item>(
+    transactions: &[ClassTransaction<I, C>],
+    min_support: f64,
+    min_confidence: f64,
+    max_len: usize,
+    partitions: usize,
 ) -> Vec<ClassRule<I, C>> {
     assert!(
         min_support > 0.0 && min_support <= 1.0,
@@ -138,11 +158,8 @@ pub fn mine_class_rules<I: Item, C: Item>(
         let mut k = 0;
         while !level.is_empty() && k < max_len {
             // Emit rules for this level.
-            let counts_class: Vec<usize> = if level.len() >= PAR_THRESHOLD {
-                level.par_iter().map(|c| count_in(c, class_idx)).collect()
-            } else {
-                level.iter().map(|c| count_in(c, class_idx)).collect()
-            };
+            let counts_class: Vec<usize> =
+                count_sharded(&level, partitions, |c| count_in(c, class_idx));
             let mut survivors = Vec::new();
             for (cand, joint) in level.iter().zip(&counts_class) {
                 if *joint < min_count {
@@ -270,6 +287,24 @@ mod tests {
         // Transactions with empty antecedents produce no rules either.
         let txs = vec![ClassTransaction::new(Vec::<u32>::new(), 0u8)];
         assert!(mine_class_rules(&txs, 0.1, 0.1, 3).is_empty());
+    }
+
+    #[test]
+    fn partition_count_never_changes_rules() {
+        // Enough distinct items that level sizes cross the sharding
+        // threshold inside the per-class loop.
+        let txs: Vec<ClassTransaction<u32, u8>> = (0..60)
+            .map(|i| {
+                ClassTransaction::new((0..12).map(|j| (i + j * 5) % 30).collect(), (i % 2) as u8)
+            })
+            .collect();
+        let reference = mine_class_rules_with_partitions(&txs, 0.05, 0.0, 3, 1);
+        assert!(!reference.is_empty());
+        for parts in [2, 3, 7, 16] {
+            let got = mine_class_rules_with_partitions(&txs, 0.05, 0.0, 3, parts);
+            assert_eq!(got, reference, "partitions = {parts}");
+        }
+        assert_eq!(mine_class_rules(&txs, 0.05, 0.0, 3), reference);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Classic Apriori: frequent itemsets and all-rules induction.
 
-use crate::itemset::{is_normalized, is_subset_sorted, join_step, normalize, Itemset};
+use crate::itemset::{
+    is_normalized, is_subset_sorted, itemset_hash, join_step, normalize, Itemset,
+};
 use crate::Item;
 use rayon::prelude::*;
 use std::borrow::Cow;
@@ -8,7 +10,56 @@ use std::collections::HashMap;
 
 /// Parallelize support counting only past this many candidate itemsets;
 /// below it the Rayon dispatch overhead dominates.
-const PAR_THRESHOLD: usize = 64;
+pub(crate) const PAR_THRESHOLD: usize = 64;
+
+/// Default shard count for partitioned candidate counting: one per
+/// available core.
+pub(crate) fn default_partitions() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Hash-partitioned candidate counting: candidates are sharded by
+/// [`itemset_hash`] across `partitions` workers, each worker fills a
+/// private `(candidate index, count)` table over its shard, and the
+/// tables are merged once per pass by scattering into the output vector.
+///
+/// Every candidate is counted by exactly one worker with the same
+/// `count_one` closure the serial path uses, so the returned counts —
+/// and everything mined from them — are identical at every partition
+/// count, including 1. Small candidate sets take the serial path
+/// outright (the dispatch overhead dominates below
+/// [`PAR_THRESHOLD`]).
+pub(crate) fn count_sharded<I: Item>(
+    candidates: &[Itemset<I>],
+    partitions: usize,
+    count_one: impl Fn(&Itemset<I>) -> usize + Sync,
+) -> Vec<usize> {
+    if candidates.len() < PAR_THRESHOLD || partitions <= 1 {
+        return candidates.iter().map(&count_one).collect();
+    }
+    let mut shards: Vec<Vec<u32>> = vec![Vec::new(); partitions];
+    for (i, cand) in candidates.iter().enumerate() {
+        shards[(itemset_hash(cand) % partitions as u64) as usize].push(i as u32);
+    }
+    let tables: Vec<Vec<(u32, usize)>> = shards
+        .par_iter()
+        .map(|shard| {
+            shard
+                .iter()
+                .map(|&i| (i, count_one(&candidates[i as usize])))
+                .collect()
+        })
+        .collect();
+    let mut counts = vec![0usize; candidates.len()];
+    for table in tables {
+        for (i, c) in table {
+            counts[i as usize] = c;
+        }
+    }
+    counts
+}
 
 /// A frequent itemset with its absolute support count.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,24 +94,26 @@ pub struct AssociationRule<I> {
     pub confidence: f64,
 }
 
-fn count_candidates<I: Item>(candidates: &[Itemset<I>], transactions: &[Cow<'_, [I]>]) -> Vec<usize> {
-    let count_one = |cand: &Itemset<I>| {
+fn count_candidates<I: Item>(
+    candidates: &[Itemset<I>],
+    transactions: &[Cow<'_, [I]>],
+    partitions: usize,
+) -> Vec<usize> {
+    count_sharded(candidates, partitions, |cand: &Itemset<I>| {
         transactions
             .iter()
             .filter(|t| is_subset_sorted(cand, t))
             .count()
-    };
-    if candidates.len() >= PAR_THRESHOLD {
-        candidates.par_iter().map(count_one).collect()
-    } else {
-        candidates.iter().map(count_one).collect()
-    }
+    })
 }
 
 /// Levelwise Apriori. Returns every itemset with relative support
 /// `≥ min_support`, up to `max_len` items, sorted by `(len, items)`.
 ///
 /// Transactions are normalized (sorted + deduplicated) internally.
+/// Candidate counting is hash-partitioned across one worker per
+/// available core; use [`frequent_itemsets_with_partitions`] to pin the
+/// worker count.
 ///
 /// # Panics
 /// Panics when `min_support` is outside `(0, 1]` or `max_len == 0`.
@@ -68,6 +121,19 @@ pub fn frequent_itemsets<I: Item>(
     transactions: &[Vec<I>],
     min_support: f64,
     max_len: usize,
+) -> Vec<FrequentItemset<I>> {
+    frequent_itemsets_with_partitions(transactions, min_support, max_len, default_partitions())
+}
+
+/// [`frequent_itemsets`] with an explicit counting-partition count.
+/// Output is identical at every `partitions` value (the parity suite
+/// holds it to exact `Vec` equality, ordering included); the value only
+/// controls how counting work spreads across workers.
+pub fn frequent_itemsets_with_partitions<I: Item>(
+    transactions: &[Vec<I>],
+    min_support: f64,
+    max_len: usize,
+    partitions: usize,
 ) -> Vec<FrequentItemset<I>> {
     assert!(
         min_support > 0.0 && min_support <= 1.0,
@@ -115,7 +181,7 @@ pub fn frequent_itemsets<I: Item>(
         all.extend(level.iter().cloned());
         let sets: Vec<Itemset<I>> = level.iter().map(|f| f.items.clone()).collect();
         let candidates = join_step(&sets);
-        let counts = count_candidates(&candidates, &txs);
+        let counts = count_candidates(&candidates, &txs, partitions);
         level = candidates
             .into_iter()
             .zip(counts)
@@ -328,5 +394,31 @@ mod tests {
     #[should_panic(expected = "min_support")]
     fn zero_support_panics() {
         frequent_itemsets::<u32>(&[vec![1]], 0.0, 2);
+    }
+
+    #[test]
+    fn partition_count_never_changes_output() {
+        // Wide universe so candidate counts cross PAR_THRESHOLD and the
+        // sharded path actually engages.
+        let txs: Vec<Vec<u32>> = (0..40)
+            .map(|i| (0..20).map(|j| (i + j * 3) % 25).collect())
+            .collect();
+        let reference = frequent_itemsets_with_partitions(&txs, 0.2, 3, 1);
+        assert!(reference.len() >= PAR_THRESHOLD, "test must exercise sharding");
+        for parts in [2, 3, 7, 16] {
+            let got = frequent_itemsets_with_partitions(&txs, 0.2, 3, parts);
+            assert_eq!(got, reference, "partitions = {parts}");
+        }
+        assert_eq!(frequent_itemsets(&txs, 0.2, 3), reference);
+    }
+
+    #[test]
+    fn count_sharded_matches_serial_closure() {
+        let candidates: Vec<Itemset<u32>> = (0..200u32).map(|i| vec![i, i + 1]).collect();
+        let count_one = |c: &Itemset<u32>| (c[0] as usize) * 2 + 1;
+        let serial: Vec<usize> = candidates.iter().map(count_one).collect();
+        for parts in [1, 2, 5, 13] {
+            assert_eq!(count_sharded(&candidates, parts, count_one), serial);
+        }
     }
 }

@@ -19,6 +19,44 @@ pub fn is_normalized<I: Item>(items: &[I]) -> bool {
     items.windows(2).all(|w| w[0] < w[1])
 }
 
+/// FNV-1a, a fixed-key hasher: no per-process random state, so shard
+/// assignment is identical on every run. Partitioned counting only uses
+/// the hash to decide *which worker* counts a candidate — counts
+/// themselves are partition-independent — but a deterministic hash keeps
+/// scheduling reproducible and debuggable.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl core::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+/// Deterministic hash of an itemset, used to shard candidate counting
+/// across workers (see `count_sharded` in the miners).
+pub fn itemset_hash<I: Item>(items: &[I]) -> u64 {
+    use core::hash::Hasher;
+    let mut h = Fnv1a::default();
+    for i in items {
+        i.hash(&mut h);
+    }
+    h.finish()
+}
+
 /// `true` when sorted slice `needle` is a subset of sorted slice `haystack`
 /// (two-pointer merge; O(|haystack|)).
 pub fn is_subset_sorted<I: Item>(needle: &[I], haystack: &[I]) -> bool {

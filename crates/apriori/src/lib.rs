@@ -19,7 +19,13 @@
 //!   `confidence = support(X ∪ {f}) / support(X)`.
 //!
 //! Items are generic over any `Copy + Ord + Hash` type. Candidate support
-//! counting is parallelized with Rayon when the candidate set is large.
+//! counting is hash-partitioned across Rayon workers when the candidate
+//! set is large: each candidate is assigned to exactly one worker by a
+//! deterministic itemset hash, each worker fills a private count table,
+//! and the tables merge once per levelwise pass. The mined output is
+//! bit-identical at every worker count (the `_with_partitions` variants
+//! pin it explicitly; the plain entry points use one partition per
+//! available core).
 //!
 //! # Example
 //!
@@ -42,9 +48,14 @@ mod classrules;
 mod generic;
 mod itemset;
 
-pub use classrules::{mine_class_rules, ClassRule, ClassTransaction};
-pub use generic::{frequent_itemsets, generate_rules, AssociationRule, FrequentItemset};
-pub use itemset::{is_normalized, is_subset_sorted, join_step, Itemset};
+pub use classrules::{
+    mine_class_rules, mine_class_rules_with_partitions, ClassRule, ClassTransaction,
+};
+pub use generic::{
+    frequent_itemsets, frequent_itemsets_with_partitions, generate_rules, AssociationRule,
+    FrequentItemset,
+};
+pub use itemset::{is_normalized, is_subset_sorted, itemset_hash, join_step, Itemset};
 
 /// Bound on item types usable by the miners.
 pub trait Item: Copy + Eq + Ord + core::hash::Hash + core::fmt::Debug + Send + Sync {}

@@ -1,7 +1,8 @@
 //! Property tests: the levelwise miner must agree with brute force.
 
 use apriori::{
-    frequent_itemsets, generate_rules, is_subset_sorted, mine_class_rules, ClassTransaction,
+    frequent_itemsets, frequent_itemsets_with_partitions, generate_rules, is_subset_sorted,
+    mine_class_rules, mine_class_rules_with_partitions, ClassTransaction,
 };
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -109,6 +110,51 @@ proptest! {
             prop_assert!((rule.support - joint as f64 / n as f64).abs() < 1e-12);
             prop_assert!((rule.confidence - joint as f64 / ante as f64).abs() < 1e-12);
             prop_assert!(rule.support >= min_support - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sharded_counting_is_exact_at_every_worker_count(
+        txs in arb_transactions(),
+        support_pct in 1u32..60,
+        max_len in 1usize..5,
+    ) {
+        // The hash-partitioned parallel pass must return the *exact*
+        // itemsets, counts and ordering of the serial pass, at every
+        // worker count — including degenerate ones (1 worker, more
+        // workers than candidates).
+        let min_support = support_pct as f64 / 100.0;
+        let serial = frequent_itemsets(&txs, min_support, max_len);
+        for partitions in [1usize, 2, 3, 7, 64] {
+            let sharded =
+                frequent_itemsets_with_partitions(&txs, min_support, max_len, partitions);
+            prop_assert_eq!(&sharded, &serial, "diverged at {} partitions", partitions);
+        }
+    }
+
+    #[test]
+    fn sharded_class_rules_are_exact_at_every_worker_count(
+        txs in prop::collection::vec(
+            (prop::collection::vec(0u8..6, 0..5), 0u8..3),
+            1..25,
+        ),
+        support_pct in 5u32..50,
+    ) {
+        let transactions: Vec<ClassTransaction<u8, u8>> = txs
+            .iter()
+            .map(|(items, class)| ClassTransaction::new(items.clone(), *class))
+            .collect();
+        let min_support = support_pct as f64 / 100.0;
+        let serial = mine_class_rules(&transactions, min_support, 0.0, 4);
+        for partitions in [1usize, 2, 5, 32] {
+            let sharded = mine_class_rules_with_partitions(
+                &transactions,
+                min_support,
+                0.0,
+                4,
+                partitions,
+            );
+            prop_assert_eq!(&sharded, &serial, "diverged at {} partitions", partitions);
         }
     }
 

@@ -10,14 +10,12 @@
 //! `DML_BENCH_QUICK=1` shrinks the workload to a CI-smoke size (same
 //! schema, fewer weeks and repetitions).
 
-use bgl_sim::{Generator, SystemPreset};
 use criterion::{criterion_group, Criterion, Throughput};
-use dml_bench::fixtures;
+use dml_bench::{fixtures, provenance};
 use dml_core::{
     run_driver, run_overlapped_driver, DriverConfig, DriverReport, FrameworkConfig, SwapMode,
     TrainingPolicy,
 };
-use preprocess::{clean_log, Categorizer, FilterConfig};
 use raslog::CleanEvent;
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -34,23 +32,15 @@ fn build_workload() -> Workload {
     let quick = fixtures::quick_mode();
     // Full mode: 26 weeks of initial training and a >6-month replay with
     // a retraining every 4 weeks — the paper's dynamic schedule at bench
-    // scale. Quick mode keeps the same shape at CI-smoke size.
-    let (weeks, scale, initial, window, retrain_every) = if quick {
-        (12i64, 0.05, 4i64, 4i64, 2i64)
+    // scale. Quick mode keeps the same shape at CI-smoke size. The
+    // workload is served through the BinLog fixture cache, so repeat
+    // runs skip generation + preprocessing entirely.
+    let (weeks, permille, initial, window, retrain_every) = if quick {
+        (12i64, 50u32, 4i64, 4i64, 2i64)
     } else {
-        (56i64, 0.2, 26i64, 26i64, 4i64)
+        (56i64, 200u32, 26i64, 26i64, 4i64)
     };
-    let generator = Generator::new(
-        SystemPreset::sdsc().with_weeks(weeks).with_volume_scale(scale),
-        42,
-    );
-    let categorizer = Categorizer::new(generator.catalog().clone());
-    let mut events = Vec::new();
-    for week in 0..weeks {
-        let (raw, _) = generator.week_events(week);
-        let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
-        events.append(&mut c);
-    }
+    let events = fixtures::clean_workload(weeks, permille, 42);
     Workload {
         events,
         weeks,
@@ -123,7 +113,7 @@ fn write_bench_json() -> std::io::Result<()> {
          \"overlapped\": {{ \"wall_ms\": {:.1}, \"events_per_sec\": {:.0}, \
          \"retrain_wall_ms\": {:.1}, \"retrain_overlap_ms\": {:.1}, \"blocked_wait_ms\": {:.1}, \
          \"swap_staleness_events\": {}, \"swaps_mid_block\": {}, \"swaps_at_boundary\": {} }},\n  \
-         \"speedup\": {:.3}\n}}\n",
+         \"speedup\": {:.3},\n  \"machine\": {},\n  \"provenance\": \"{}\"\n}}\n",
         w.mode,
         w.weeks,
         w.events.len(),
@@ -138,6 +128,8 @@ fn write_bench_json() -> std::io::Result<()> {
         stats.swaps_mid_block,
         stats.swaps_at_boundary,
         serial_wall / over_wall.max(1e-9),
+        provenance::machine_json(),
+        provenance::measured_provenance("cargo bench -p dml-bench --bench driver_throughput"),
     );
     let path = fixtures::bench_output_path("BENCH_driver.json");
     std::fs::write(&path, json)?;

@@ -1,93 +1,163 @@
-//! Predictor hot path: per-event observe() cost with metrics on.
+//! Predictor hot path: batch serving vs the retired per-event loop.
 //!
-//! Two configurations bound the cost of the PR-2 instrumentation: the
-//! default (counters inline, latency `Instant` pairs every 64th event)
-//! versus latency sampling disabled (counters only). The acceptance
-//! budget is < 5 % overhead on the instrumented path.
+//! Three configurations are measured over the same trained repository
+//! and test week, each on a fresh predictor:
 //!
-//! Besides the criterion groups, the bench writes `BENCH_predictor.json`
-//! (events/sec for both configurations, the measured overhead, and the
-//! sampled match-latency percentiles) to seed the perf trajectory.
+//! * **batch sampled** — `observe_all` (the production path) with the
+//!   default latency sampling; this is the headline number.
+//! * **batch counters-only** — latency sampling disabled, bounding the
+//!   PR-2 instrumentation overhead (< 5 % acceptance budget).
+//! * **per-event** — `observe_all_per_event`, the retired
+//!   one-`observe`-call-per-event serving loop, kept as the baseline the
+//!   batch path must beat (≥ 1.5× acceptance) and as the parity oracle.
+//!
+//! The bench writes `BENCH_predictor.json` at the workspace root with
+//! all three throughputs, the sampled match-latency percentiles, and
+//! machine provenance. `DML_BENCH_QUICK=1` shrinks the workload to a
+//! CI-smoke size (same schema, fewer weeks and repetitions) and skips
+//! the Criterion groups.
 
 use criterion::{criterion_group, Criterion, Throughput};
-use dml_bench::fixtures;
+use dml_bench::{fixtures, provenance};
 use dml_core::{
-    FrameworkConfig, MetaLearner, Predictor, PredictorMetrics, DEFAULT_LATENCY_SAMPLE_EVERY,
+    FrameworkConfig, KnowledgeRepository, MetaLearner, Predictor, PredictorMetrics,
+    DEFAULT_LATENCY_SAMPLE_EVERY,
 };
+use raslog::CleanEvent;
+use std::sync::OnceLock;
 use std::time::Instant;
 
-fn bench_predictor_hot_path(c: &mut Criterion) {
+struct Setup {
+    repo: KnowledgeRepository,
+    config: FrameworkConfig,
+    test: Vec<CleanEvent>,
+    mode: &'static str,
+    reps: usize,
+}
+
+fn build_setup() -> Setup {
+    let quick = fixtures::quick_mode();
     let config = FrameworkConfig::default();
-    let outcome = MetaLearner::new(config).train(fixtures::training_slice(26));
-    let test = fixtures::test_week(26);
+    // The single-system fixture is both sparse (~130 events/week) and
+    // fatal-heavy (~30 %) — a warning-construction microbench, not a
+    // serving-loop one. The hot path is measured on the fleet serving
+    // mix instead: dense, noise-dominated, ~1.4 % fatal.
+    let (events, train_weeks, reps, mode) = if quick {
+        (fixtures::serving_stream(50, 4, 7), 2i64, 3, "quick")
+    } else {
+        (fixtures::serving_stream(200, 10, 7), 4i64, 12, "full")
+    };
+    let week = raslog::WEEK_MS;
+    let train = raslog::store::window(
+        &events,
+        raslog::Timestamp::ZERO,
+        raslog::Timestamp(train_weeks * week),
+    );
+    let test = raslog::store::window(
+        &events,
+        raslog::Timestamp(train_weeks * week),
+        raslog::Timestamp(i64::MAX),
+    )
+    .to_vec();
+    let outcome = MetaLearner::new(config).train(train);
+    Setup {
+        repo: outcome.repo,
+        config,
+        test,
+        mode,
+        reps,
+    }
+}
+
+fn setup() -> &'static Setup {
+    static SETUP: OnceLock<Setup> = OnceLock::new();
+    SETUP.get_or_init(build_setup)
+}
+
+/// How one rep serves the test week.
+#[derive(Clone, Copy)]
+enum Path {
+    Batch,
+    PerEvent,
+}
+
+/// Best-of-`reps` wall time for one configuration, plus its metrics.
+fn events_per_sec(s: &Setup, path: Path, every: u32) -> (f64, PredictorMetrics) {
+    let mut best = f64::INFINITY;
+    let mut metrics = PredictorMetrics::default();
+    for _ in 0..s.reps {
+        let mut p = Predictor::new(&s.repo, s.config.window);
+        p.set_latency_sampling(every);
+        let t = Instant::now();
+        match path {
+            Path::Batch => std::hint::black_box(p.observe_all(&s.test)),
+            Path::PerEvent => std::hint::black_box(p.observe_all_per_event(&s.test)),
+        };
+        best = best.min(t.elapsed().as_secs_f64());
+        metrics = p.metrics().clone();
+    }
+    (s.test.len() as f64 / best.max(1e-9), metrics)
+}
+
+fn bench_predictor_hot_path(c: &mut Criterion) {
+    let s = setup();
     let mut group = c.benchmark_group("predictor_hot_path");
-    group.throughput(Throughput::Elements(test.len() as u64));
-    for (label, every) in [
-        ("sampled_metrics", DEFAULT_LATENCY_SAMPLE_EVERY),
-        ("counters_only", 0),
+    group.throughput(Throughput::Elements(s.test.len() as u64));
+    for (label, path, every) in [
+        ("batch_sampled_metrics", Path::Batch, DEFAULT_LATENCY_SAMPLE_EVERY),
+        ("batch_counters_only", Path::Batch, 0),
+        ("per_event_retired", Path::PerEvent, DEFAULT_LATENCY_SAMPLE_EVERY),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                let mut p = Predictor::new(&outcome.repo, config.window);
+                let mut p = Predictor::new(&s.repo, s.config.window);
                 p.set_latency_sampling(every);
-                std::hint::black_box(p.observe_all(test))
+                match path {
+                    Path::Batch => std::hint::black_box(p.observe_all(&s.test)),
+                    Path::PerEvent => std::hint::black_box(p.observe_all_per_event(&s.test)),
+                }
             });
         });
     }
     group.finish();
 }
 
-/// Best-of-`reps` wall time for one configuration, plus its metrics.
-fn events_per_sec(
-    repo: &dml_core::KnowledgeRepository,
-    config: &FrameworkConfig,
-    test: &[raslog::CleanEvent],
-    every: u32,
-    reps: usize,
-) -> (f64, PredictorMetrics) {
-    let mut best = f64::INFINITY;
-    let mut metrics = PredictorMetrics::default();
-    for _ in 0..reps {
-        let mut p = Predictor::new(repo, config.window);
-        p.set_latency_sampling(every);
-        let t = Instant::now();
-        std::hint::black_box(p.observe_all(test));
-        best = best.min(t.elapsed().as_secs_f64());
-        metrics = p.metrics().clone();
-    }
-    (test.len() as f64 / best.max(1e-9), metrics)
-}
-
-/// Writes the machine-readable summary the perf harness tracks.
+/// Writes the machine-readable summary the perf harness ratchets on.
 fn write_bench_json() -> std::io::Result<&'static str> {
-    let config = FrameworkConfig::default();
-    let outcome = MetaLearner::new(config).train(fixtures::training_slice(26));
-    let test = fixtures::test_week(26);
-    let reps = 15;
-    let (instr, m) = events_per_sec(
-        &outcome.repo,
-        &config,
-        test,
-        DEFAULT_LATENCY_SAMPLE_EVERY,
-        reps,
+    let s = setup();
+    let (batch, m) = events_per_sec(s, Path::Batch, DEFAULT_LATENCY_SAMPLE_EVERY);
+    let (counters_only, _) = events_per_sec(s, Path::Batch, 0);
+    let (per_event, pm) = events_per_sec(s, Path::PerEvent, DEFAULT_LATENCY_SAMPLE_EVERY);
+    assert_eq!(
+        (m.events_observed, m.warnings_issued),
+        (pm.events_observed, pm.warnings_issued),
+        "batch and per-event paths disagree on counters — parity broken"
     );
-    let (base, _) = events_per_sec(&outcome.repo, &config, test, 0, reps);
-    let overhead_pct = 100.0 * (base / instr - 1.0);
+    let overhead_pct = 100.0 * (counters_only / batch - 1.0);
     let h = &m.match_latency_us;
     let json = format!(
-        "{{\n  \"bench\": \"predictor_hot_path\",\n  \"events\": {},\n  \"rules\": {},\n  \
+        "{{\n  \"bench\": \"predictor_hot_path\",\n  \"mode\": \"{}\",\n  \"events\": {},\n  \
+         \"rules\": {},\n  \"batch_events_per_sec\": {:.0},\n  \
+         \"per_event_events_per_sec\": {:.0},\n  \"batch_speedup\": {:.3},\n  \
          \"instrumented_events_per_sec\": {:.0},\n  \"baseline_events_per_sec\": {:.0},\n  \
          \"instrumentation_overhead_pct\": {:.2},\n  \"match_latency_us\": {{ \"p50\": {:.2}, \
-         \"p95\": {:.2}, \"p99\": {:.2}, \"samples\": {} }}\n}}\n",
-        test.len(),
-        outcome.repo.len(),
-        instr,
-        base,
+         \"p95\": {:.2}, \"p99\": {:.2}, \"samples\": {} }},\n  \"machine\": {},\n  \
+         \"provenance\": \"{}\"\n}}\n",
+        s.mode,
+        s.test.len(),
+        s.repo.len(),
+        batch,
+        per_event,
+        batch / per_event.max(1e-9),
+        batch,
+        counters_only,
         overhead_pct,
         h.p50(),
         h.p95(),
         h.p99(),
         h.count(),
+        provenance::machine_json(),
+        provenance::measured_provenance("cargo bench -p dml-bench --bench predictor_hot_path"),
     );
     let path = fixtures::bench_output_path("BENCH_predictor.json");
     std::fs::write(&path, json)?;
@@ -97,10 +167,17 @@ fn write_bench_json() -> std::io::Result<&'static str> {
 criterion_group!(benches, bench_predictor_hot_path);
 
 fn main() {
-    benches();
-    Criterion::default().configure_from_args().final_summary();
+    // Quick mode skips the Criterion groups entirely — CI only needs the
+    // JSON artifact, produced from the small workload.
+    if !fixtures::quick_mode() {
+        benches();
+        Criterion::default().configure_from_args().final_summary();
+    }
     match write_bench_json() {
         Ok(path) => eprintln!("wrote {path}"),
-        Err(e) => eprintln!("BENCH_predictor.json not written: {e}"),
+        Err(e) => {
+            eprintln!("BENCH_predictor.json not written: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -6,6 +6,7 @@
 
 use bgl_sim::{Generator, SystemPreset};
 use preprocess::{clean_log, Categorizer, FilterConfig};
+use raslog::store::BinLog;
 use raslog::{CleanEvent, RasEvent, Timestamp, WEEK_MS};
 use std::sync::OnceLock;
 
@@ -20,6 +21,37 @@ pub fn bench_output_path(name: &str) -> std::path::PathBuf {
         .join("..")
         .join("..")
         .join(name)
+}
+
+/// Where binary fixture caches live (`target/bench-cache/`). Delete the
+/// directory to invalidate every cache.
+pub fn cache_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..")
+        .join("target")
+        .join("bench-cache")
+}
+
+/// A clean-event fixture served through the [`BinLog`] cache.
+///
+/// Generating and preprocessing 30 weeks of synthetic log dominates
+/// bench startup; the binary cache cuts a warm start to one sequential
+/// file read. `key` must encode every parameter the fixture depends on
+/// (weeks, volume scale, seed) — the binary format stores events, not
+/// provenance. Any read failure (missing file, wrong version or
+/// endianness, torn tail) falls back to `build` and rewrites the cache;
+/// a failed write still returns the freshly built fixture.
+pub fn cached_clean(key: &str, build: impl FnOnce() -> Vec<CleanEvent>) -> Vec<CleanEvent> {
+    let path = cache_dir().join(format!("{key}.dmlb"));
+    if let Ok(events) = BinLog::read_clean_file(&path) {
+        return events;
+    }
+    let events = build();
+    if let Err(e) = BinLog::write_clean_file(&path, &events) {
+        eprintln!("bench cache write failed for {key}: {e} (continuing uncached)");
+    }
+    events
 }
 
 /// `true` when `DML_BENCH_QUICK` asks for the small CI-smoke workload.
@@ -59,19 +91,58 @@ pub fn typed_week() -> &'static Vec<CleanEvent> {
     })
 }
 
-/// The shared preprocessed dataset.
-pub fn clean_dataset() -> &'static Vec<CleanEvent> {
-    static CLEAN: OnceLock<Vec<CleanEvent>> = OnceLock::new();
-    CLEAN.get_or_init(|| {
-        let generator = generator();
+/// Generates and preprocesses an SDSC-like clean dataset, served through
+/// the [`BinLog`] cache (`volume_permille` is the volume scale × 1000 —
+/// kept integral so it can key the cache file exactly).
+pub fn clean_workload(weeks: i64, volume_permille: u32, seed: u64) -> Vec<CleanEvent> {
+    let key = format!("clean_sdsc_w{weeks}_vs{volume_permille}_seed{seed}");
+    cached_clean(&key, || {
+        let generator = Generator::new(
+            SystemPreset::sdsc()
+                .with_weeks(weeks)
+                .with_volume_scale(volume_permille as f64 / 1000.0),
+            seed,
+        );
         let categorizer = Categorizer::new(generator.catalog().clone());
         let mut clean = Vec::new();
-        for week in 0..WEEKS {
+        for week in 0..weeks {
             let (raw, _) = generator.week_events(week);
             let (mut c, _) = clean_log(&raw, &categorizer, &FilterConfig::standard());
             clean.append(&mut c);
         }
         clean
+    })
+}
+
+/// The shared preprocessed dataset (BinLog-cached across bench runs).
+pub fn clean_dataset() -> &'static Vec<CleanEvent> {
+    static CLEAN: OnceLock<Vec<CleanEvent>> = OnceLock::new();
+    CLEAN.get_or_init(|| clean_workload(WEEKS, 200, 42))
+}
+
+/// A fleet-scale *serving mix*: the cleaned event streams of `machines`
+/// machines merged into one time-sorted feed, noise-dominated (~1.4 %
+/// fatal) like a production RAS stream rather than the fatal-heavy
+/// single-system fixture, and dense enough that the prediction window
+/// actually holds events (~10 at 200 machines). The predictor hot-path
+/// bench trains and serves on this stream; it is BinLog-cached like the
+/// other fixtures.
+pub fn serving_stream(machines: u32, weeks: i64, seed: u64) -> Vec<CleanEvent> {
+    let key = format!("serving_m{machines}_w{weeks}_seed{seed}");
+    cached_clean(&key, || {
+        let preset = bgl_sim::FleetPreset {
+            topology: bgl_sim::topology::FleetTopology::new(machines),
+            weeks,
+            chains_per_machine_week: 0.5,
+            noise_per_machine_week: 40.0,
+            isolated_fatal_prob: 0.01,
+            outage_background_per_machine_week: 0.05,
+        };
+        bgl_sim::FleetGenerator::new(preset, seed)
+            .generate()
+            .into_iter()
+            .map(|me| me.event)
+            .collect()
     })
 }
 

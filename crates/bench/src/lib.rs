@@ -6,3 +6,4 @@
 //! every bench measures the same workloads.
 
 pub mod fixtures;
+pub mod provenance;

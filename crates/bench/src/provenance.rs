@@ -1,0 +1,152 @@
+//! Machine provenance for bench artifacts.
+//!
+//! Every `BENCH_*.json` the harness tracks must say *where* its numbers
+//! came from: a throughput figure without the CPU, core count and date
+//! behind it cannot be compared across PRs, and the ratchet script in CI
+//! refuses to treat provenance-free output as a measurement. This module
+//! collects that context from the host — no extra dependencies, just
+//! `/proc/cpuinfo` (when present) and the standard library.
+
+/// Hardware and platform identity of the bench host.
+#[derive(Debug, Clone)]
+pub struct MachineInfo {
+    /// CPU model string (from `/proc/cpuinfo`, or `unknown-cpu`).
+    pub cpu: String,
+    /// Logical cores visible to the process.
+    pub cores: usize,
+    /// Operating system (`std::env::consts::OS`).
+    pub os: &'static str,
+    /// Architecture (`std::env::consts::ARCH`).
+    pub arch: &'static str,
+}
+
+/// Reads the bench host's identity.
+pub fn machine_info() -> MachineInfo {
+    MachineInfo {
+        cpu: cpu_model(),
+        cores: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        os: std::env::consts::OS,
+        arch: std::env::consts::ARCH,
+    }
+}
+
+fn cpu_model() -> String {
+    let sanitize = |s: &str| {
+        s.chars()
+            .filter(|c| !matches!(c, '"' | '\\' | '\n' | '\r'))
+            .collect::<String>()
+            .trim()
+            .to_string()
+    };
+    if let Ok(info) = std::fs::read_to_string("/proc/cpuinfo") {
+        for line in info.lines() {
+            // x86 says "model name", arm64 says "Processor" / "CPU part".
+            if let Some(rest) = line
+                .strip_prefix("model name")
+                .or_else(|| line.strip_prefix("Processor"))
+            {
+                if let Some(name) = rest.split(':').nth(1) {
+                    let name = sanitize(name);
+                    if !name.is_empty() {
+                        return name;
+                    }
+                }
+            }
+        }
+    }
+    "unknown-cpu".to_string()
+}
+
+/// Today's UTC date as `YYYY-MM-DD`, from the system clock.
+pub fn utc_date() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs() as i64)
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days(secs.div_euclid(86_400));
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+/// Days-since-epoch → (year, month, day), proleptic Gregorian
+/// (Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// The `"machine"` JSON object for a bench artifact.
+pub fn machine_json() -> String {
+    let m = machine_info();
+    format!(
+        "{{ \"cpu\": \"{}\", \"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\" }}",
+        m.cpu, m.cores, m.os, m.arch
+    )
+}
+
+/// The `"provenance"` string for a real measurement: date, host summary
+/// and the exact command that regenerates the artifact. Set
+/// `DML_BENCH_NOTE` to append an environment caveat (e.g. an offline
+/// build with path-shimmed dependencies).
+pub fn measured_provenance(regen_cmd: &str) -> String {
+    let m = machine_info();
+    let mut p = format!(
+        "measured {} on {} ({} cores, {}/{}); regenerate with `{}`",
+        utc_date(),
+        m.cpu,
+        m.cores,
+        m.os,
+        m.arch,
+        regen_cmd,
+    );
+    if let Ok(note) = std::env::var("DML_BENCH_NOTE") {
+        let note: String = note
+            .chars()
+            .filter(|c| !matches!(c, '"' | '\\' | '\n' | '\r'))
+            .collect();
+        if !note.trim().is_empty() {
+            p.push_str("; ");
+            p.push_str(note.trim());
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn civil_from_days_matches_known_dates() {
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+        assert_eq!(civil_from_days(19_723), (2024, 1, 1));
+        assert_eq!(civil_from_days(20_673), (2026, 8, 8));
+        assert_eq!(civil_from_days(-1), (1969, 12, 31));
+    }
+
+    #[test]
+    fn provenance_is_json_safe() {
+        let p = measured_provenance("cargo bench -p dml-bench");
+        assert!(p.starts_with("measured "));
+        assert!(!p.contains('"') && !p.contains('\\') && !p.contains('\n'));
+        let mj = machine_json();
+        assert!(mj.starts_with("{ \"cpu\": \""));
+        assert_eq!(mj.matches('{').count(), mj.matches('}').count());
+    }
+
+    #[test]
+    fn machine_info_is_populated() {
+        let m = machine_info();
+        assert!(m.cores >= 1);
+        assert!(!m.cpu.is_empty());
+    }
+}

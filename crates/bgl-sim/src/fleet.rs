@@ -298,6 +298,35 @@ impl FleetGenerator {
             .flat_map(|w| self.week_events_with(w, plan))
             .collect()
     }
+
+    /// Writes the whole clean trace to `path` in the [`BinLog`] binary
+    /// format (atomic temp-file + rename).
+    ///
+    /// [`BinLog`]: raslog::BinLog
+    pub fn write_binlog(&self, path: &std::path::Path) -> Result<usize, raslog::BinLogError> {
+        let events = self.generate();
+        raslog::BinLog::write_file(path, &events)?;
+        Ok(events.len())
+    }
+
+    /// The whole clean trace, served from a [`BinLog`] cache at `path`.
+    ///
+    /// Any read failure — missing file, version/endianness mismatch,
+    /// torn tail — falls back to regenerating and rewriting the cache;
+    /// a failed *write* still returns the freshly generated trace. The
+    /// caller owns the cache key: `path` must encode every parameter the
+    /// trace depends on (preset and seed), since the binary format
+    /// stores events, not provenance.
+    ///
+    /// [`BinLog`]: raslog::BinLog
+    pub fn generate_cached(&self, path: &std::path::Path) -> Vec<MachineEvent> {
+        if let Ok(events) = raslog::BinLog::read_file(path) {
+            return events;
+        }
+        let events = self.generate();
+        let _ = raslog::BinLog::write_file(path, &events);
+        events
+    }
 }
 
 fn poisson(rng: &mut StdRng, mean: f64) -> usize {
@@ -313,6 +342,24 @@ mod tests {
 
     fn small() -> FleetGenerator {
         FleetGenerator::new(FleetPreset::datacenter(60).with_weeks(4), 11)
+    }
+
+    #[test]
+    fn binlog_cache_round_trips_and_recovers_from_corruption() {
+        let g = small();
+        let dir = std::env::temp_dir().join(format!("dml-fleet-cache-{}", std::process::id()));
+        let path = dir.join("trace.dmlb");
+        let fresh = g.generate();
+        // First call populates the cache, second serves from it.
+        assert_eq!(g.generate_cached(&path), fresh);
+        assert_eq!(raslog::BinLog::read_file(&path).unwrap(), fresh);
+        assert_eq!(g.generate_cached(&path), fresh);
+        // A torn cache regenerates instead of erroring.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        assert_eq!(g.generate_cached(&path), fresh);
+        assert_eq!(raslog::BinLog::read_file(&path).unwrap(), fresh);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

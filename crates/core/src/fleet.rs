@@ -671,9 +671,7 @@ pub fn run_fleet(
                                 );
                             }
                         } else {
-                            for ev in slice {
-                                warnings.extend(p.observe(ev));
-                            }
+                            warnings = p.observe_all(slice);
                         }
                         (p.snapshot(), warnings, tracer)
                     }));

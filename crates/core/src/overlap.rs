@@ -214,8 +214,14 @@ pub(crate) fn serve_slice(
     let Some(queue) = admission else {
         return predictor.observe_all(slice);
     };
+    // Offer/drain cadence is per log second (shed decisions depend on
+    // queue occupancy at each drain), but serving is deferred: admitted
+    // events collect into one buffer and take the batch path in a single
+    // sweep. Admission never consults predictor state, so the admitted
+    // set — and with it every warning — is identical to the per-event
+    // serve order.
     let mut q = queue.borrow_mut();
-    let mut warnings = Vec::new();
+    let mut admitted = Vec::with_capacity(slice.len());
     let mut i = 0;
     while i < slice.len() {
         let t = slice[i].time;
@@ -224,10 +230,10 @@ pub(crate) fn serve_slice(
             q.offer(slice[j]);
             j += 1;
         }
-        q.drain(|ev| warnings.extend(predictor.observe(&ev)));
+        q.drain(|ev| admitted.push(ev));
         i = j;
     }
-    warnings
+    predictor.observe_all(&admitted)
 }
 
 /// Observes one event under the tracer: a wall-clock-timed predict span,

@@ -21,6 +21,7 @@ use crate::evaluation::Accuracy;
 use crate::knowledge::KnowledgeRepository;
 use crate::rules::{Rule, RuleId, RuleKind};
 use dml_obs::Histogram;
+use raslog::batch::{decode_midplane, EventBatch};
 use raslog::{CleanEvent, Duration, EventTypeId, Timestamp};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -75,23 +76,43 @@ impl DeadlineTable {
     }
 }
 
+/// How many `u64` words cover the full `u16` event-type space. The
+/// presence bitmask is allocated at this fixed size (8 KiB per
+/// predictor) so hostile type ids never need growth logic and mask
+/// word indexes are always in bounds.
+const PRESENT_MASK_WORDS: usize = (u16::MAX as usize + 1) / 64;
+
 /// Dense multiplicity table of the event types currently inside the
-/// sliding window (the `present` set of Algorithm 2).
-#[derive(Debug, Clone, Default)]
+/// sliding window (the `present` set of Algorithm 2), plus a presence
+/// bitmask (bit `ty` set iff `counts[ty] > 0`).
+///
+/// The mask is maintained inside `add`/`remove` so every serving path
+/// — live or retired — keeps it coherent by construction; the live
+/// matcher tests whole antecedents against it with a couple of
+/// word-AND compares instead of per-item count probes.
+#[derive(Debug, Clone)]
 struct TypeCounts {
     counts: Vec<u32>,
+    mask: Vec<u64>,
 }
 
 impl TypeCounts {
     fn with_capacity(n: usize) -> Self {
         TypeCounts {
             counts: vec![0; n],
+            mask: vec![0; PRESENT_MASK_WORDS],
         }
     }
 
     #[inline]
     fn contains(&self, ty: EventTypeId) -> bool {
         self.counts.get(ty.0 as usize).is_some_and(|&c| c > 0)
+    }
+
+    /// One word of the presence bitmask (`w < PRESENT_MASK_WORDS`).
+    #[inline]
+    fn word(&self, w: u16) -> u64 {
+        self.mask[w as usize]
     }
 
     #[inline]
@@ -101,12 +122,17 @@ impl TypeCounts {
             self.counts.resize(slot + 1, 0);
         }
         self.counts[slot] += 1;
+        self.mask[slot >> 6] |= 1u64 << (slot & 63);
     }
 
     #[inline]
     fn remove(&mut self, ty: EventTypeId) {
-        if let Some(c) = self.counts.get_mut(ty.0 as usize) {
+        let slot = ty.0 as usize;
+        if let Some(c) = self.counts.get_mut(slot) {
             *c = c.saturating_sub(1);
+            if *c == 0 {
+                self.mask[slot >> 6] &= !(1u64 << (slot & 63));
+            }
         }
     }
 }
@@ -395,6 +421,127 @@ pub struct PredictorState {
     pub dist_armed: bool,
 }
 
+/// Flattened, cache-dense projections of the repository's match
+/// indexes, built once per predictor (and per restore/hot-swap, since
+/// those construct a fresh predictor too).
+///
+/// The per-candidate pointer chase of the retired matcher — rule id →
+/// `StoredRule` → enum discriminant → antecedent `Vec` on its own heap
+/// block — is replaced by a sequential scan of small inline entries
+/// with the antecedent items packed in one arena. `repo.get` is only
+/// touched after a rule actually fires, to build provenance; warnings
+/// are rare, candidate probes are not.
+struct MatchTables {
+    /// By trigger type: half-open `(start, end)` range into `assoc`.
+    /// Types past the table end (possible on hostile inputs) match the
+    /// E-List behaviour: no candidates.
+    assoc_index: Vec<(u32, u32)>,
+    /// Association candidates, grouped by trigger type in E-List order
+    /// (order is load-bearing: warnings must come out in the retired
+    /// path's order for parity).
+    assoc: Vec<AssocEntry>,
+    /// Overflow antecedent presence pairs for the rare candidate whose
+    /// antecedent touches more than two mask words (`AssocEntry` holds
+    /// the first two inline).
+    pairs: Vec<(u16, u64)>,
+    /// Statistical rules as `(k, id)`, ascending `k`.
+    stat: Vec<(usize, RuleId)>,
+    /// Location-recurrence rules as `(k, id)`, ascending `k`.
+    loc: Vec<(usize, RuleId)>,
+}
+
+/// One association candidate, sized for a straight-line presence test:
+/// the antecedent folds into per-word bitmasks, of which the first two
+/// live inline (`w1`/`m1` is a vacuous `(0, 0)` when one suffices —
+/// `word & 0 == 0` always holds) and any overflow spills to
+/// `MatchTables::pairs`. The candidate matches iff every pair satisfies
+/// `present.word(w) & m == m`; no per-item probing, no iterator setup
+/// on the common path.
+struct AssocEntry {
+    id: RuleId,
+    /// Predicted fatal type.
+    fatal: EventTypeId,
+    w0: u16,
+    w1: u16,
+    m0: u64,
+    m1: u64,
+    /// `pairs[start..end]` holds mask words three and up (empty for
+    /// nearly every rule).
+    start: u32,
+    end: u32,
+}
+
+impl MatchTables {
+    fn build(repo: &KnowledgeRepository) -> Self {
+        let mut assoc_index = Vec::with_capacity(repo.type_table_len());
+        let mut assoc = Vec::new();
+        let mut pairs: Vec<(u16, u64)> = Vec::new();
+        for ty in 0..repo.type_table_len() {
+            let start = assoc.len() as u32;
+            for &id in repo.rules_triggered_by(EventTypeId(ty as u16)) {
+                let Rule::Association(a) = &repo.get(id).rule else {
+                    unreachable!("E-List indexes only association rules")
+                };
+                // Fold the antecedent into per-word masks, ascending by
+                // word: first two inline, the rest spilled.
+                let mut words: Vec<(u16, u64)> = Vec::new();
+                for &item in &a.antecedent {
+                    let (w, bit) = (item.0 >> 6, 1u64 << (item.0 & 63));
+                    match words.iter_mut().find(|&&mut (pw, _)| pw == w) {
+                        Some((_, m)) => *m |= bit,
+                        None => words.push((w, bit)),
+                    }
+                }
+                words.sort_unstable_by_key(|&(w, _)| w);
+                let (w0, m0) = words.first().copied().unwrap_or((0, 0));
+                let (w1, m1) = words.get(1).copied().unwrap_or((0, 0));
+                let s = pairs.len() as u32;
+                if words.len() > 2 {
+                    pairs.extend(&words[2..]);
+                }
+                assoc.push(AssocEntry {
+                    id,
+                    fatal: a.fatal,
+                    w0,
+                    w1,
+                    m0,
+                    m1,
+                    start: s,
+                    end: pairs.len() as u32,
+                });
+            }
+            assoc_index.push((start, assoc.len() as u32));
+        }
+        let stat = repo
+            .statistical_rules()
+            .iter()
+            .map(|&id| {
+                let Rule::Statistical(s) = &repo.get(id).rule else {
+                    unreachable!("statistical index holds only statistical rules")
+                };
+                (s.k, id)
+            })
+            .collect();
+        let loc = repo
+            .location_rules()
+            .iter()
+            .map(|&id| {
+                let Rule::Location(l) = &repo.get(id).rule else {
+                    unreachable!("location index holds only location rules")
+                };
+                (l.k, id)
+            })
+            .collect();
+        MatchTables {
+            assoc_index,
+            assoc,
+            pairs,
+            stat,
+            loc,
+        }
+    }
+}
+
 /// The online matcher.
 pub struct Predictor<'r> {
     repo: &'r KnowledgeRepository,
@@ -427,6 +574,16 @@ pub struct Predictor<'r> {
     metrics: PredictorMetrics,
     /// Sample the match latency every Nth event (0 disables timing).
     latency_sample_every: u32,
+    /// Reusable struct-of-arrays scratch for [`Predictor::observe_all`]:
+    /// one batch build per served chunk, zero steady-state allocation.
+    batch_scratch: EventBatch,
+    /// Flattened match tables the live engine sweeps (the retired
+    /// baseline deliberately keeps walking the repository indexes).
+    tables: MatchTables,
+    /// Reusable buffer for candidates that passed the presence test of
+    /// one event, awaiting rate-limit gating (the scan phase only reads
+    /// `self`, so it stays branch-lean; gating then mutates freely).
+    match_scratch: Vec<(RuleId, EventTypeId)>,
 }
 
 impl<'r> Predictor<'r> {
@@ -463,6 +620,9 @@ impl<'r> Predictor<'r> {
             dist_thresholds,
             metrics,
             latency_sample_every: DEFAULT_LATENCY_SAMPLE_EVERY,
+            batch_scratch: EventBatch::new(),
+            tables: MatchTables::build(repo),
+            match_scratch: Vec::new(),
         }
     }
 
@@ -543,6 +703,12 @@ impl<'r> Predictor<'r> {
     }
 
     /// Feeds one event; returns the warnings it triggers.
+    ///
+    /// The single-event entry point for genuinely per-event consumers
+    /// (traced serving, spool replay of individual records). It serves
+    /// through the live engine — the same flattened tables as the batch
+    /// sweep — but keeps the one-`Vec`-per-call shape; chunked callers
+    /// go through [`Self::observe_all`] instead.
     pub fn observe(&mut self, ev: &CleanEvent) -> Vec<Warning> {
         let timed = self.latency_sample_every != 0
             && self
@@ -555,7 +721,15 @@ impl<'r> Predictor<'r> {
             self.metrics.fatals_observed += 1;
         }
 
-        let warnings = self.match_event(ev);
+        let mut warnings = Vec::new();
+        self.evict_scan(ev.time);
+        self.match_core(
+            ev.time,
+            ev.type_id,
+            ev.fatal,
+            if ev.fatal { ev.location.midplane() } else { None },
+            &mut warnings,
+        );
 
         self.metrics.warnings_issued += warnings.len() as u64;
         let occupancy = (self.recent.len() + self.recent_fatals.len()) as u64;
@@ -570,9 +744,270 @@ impl<'r> Predictor<'r> {
         warnings
     }
 
-    /// The matching core of Algorithm 2 (uninstrumented).
-    fn match_event(&mut self, ev: &CleanEvent) -> Vec<Warning> {
-        self.evict(ev.time);
+    /// The matching core of Algorithm 2 (uninstrumented), appending any
+    /// warnings to `warnings`. `midplane` is the event's midplane when
+    /// fatal (`None` otherwise — non-fatal matching never consults it),
+    /// pre-decomposed so the batch sweep can feed column loads straight
+    /// in without touching a `Location`.
+    ///
+    /// The caller evicts first: [`Self::observe`] scans the deque
+    /// fronts per call, the batch sweep amortizes the check through a
+    /// register-held horizon. Candidate probing goes through the
+    /// flattened [`MatchTables`]; the repository is only consulted once
+    /// a rule fires (provenance).
+    #[inline]
+    fn match_core(
+        &mut self,
+        time: Timestamp,
+        type_id: EventTypeId,
+        fatal: bool,
+        midplane: Option<(u8, u8)>,
+        warnings: &mut Vec<Warning>,
+    ) {
+        let issued_before = warnings.len();
+
+        if fatal {
+            self.recent_fatals.push_back((time, midplane));
+            let count = self.recent_fatals.len();
+            for i in 0..self.tables.stat.len() {
+                let (k, id) = self.tables.stat[i];
+                if k > count {
+                    break; // ascending k: no further rule can match
+                }
+                if self.warn_allowed(time, id, None) {
+                    let Rule::Statistical(s) = &self.repo.get(id).rule else {
+                        unreachable!()
+                    };
+                    let provenance = Provenance {
+                        repo_version: self.repo_version,
+                        probability: Some(s.probability),
+                        training: self.repo.get(id).training_counts,
+                        precursors: self.fatal_precursors(),
+                        ..Provenance::default()
+                    };
+                    self.issue(
+                        warnings,
+                        time,
+                        id,
+                        RuleKind::Statistical,
+                        None,
+                        time + self.window,
+                        provenance,
+                    );
+                }
+            }
+            // Location-recurrence rules: same-midplane fatal count.
+            if !self.tables.loc.is_empty() {
+                if let Some(mp) = midplane {
+                    let same_mp = self
+                        .recent_fatals
+                        .iter()
+                        .filter(|&&(_, m)| m == Some(mp))
+                        .count();
+                    for i in 0..self.tables.loc.len() {
+                        let (k, id) = self.tables.loc[i];
+                        if k > same_mp {
+                            break; // ascending k
+                        }
+                        if self.warn_allowed(time, id, None) {
+                            let Rule::Location(l) = &self.repo.get(id).rule else {
+                                unreachable!()
+                            };
+                            let provenance = Provenance {
+                                repo_version: self.repo_version,
+                                probability: Some(l.probability),
+                                training: self.repo.get(id).training_counts,
+                                precursors: self.location_precursors(mp),
+                                ..Provenance::default()
+                            };
+                            self.issue(
+                                warnings,
+                                time,
+                                id,
+                                RuleKind::Location,
+                                None,
+                                time + self.window,
+                                provenance,
+                            );
+                        }
+                    }
+                }
+            }
+            // The failure closes the current gap; re-arm the distribution
+            // rules for the next one and resolve their pending warnings.
+            self.last_fatal = Some(time);
+            self.dist_armed = true;
+            for i in 0..self.dist_thresholds.len() {
+                let id = self.dist_thresholds[i].0;
+                self.active.clear(id.0 as usize);
+            }
+        } else {
+            // Insert first so single-item antecedents match their own
+            // arrival.
+            self.recent.push_back((time, type_id));
+            self.present.add(type_id);
+
+            let (cs, ce) = self
+                .tables
+                .assoc_index
+                .get(type_id.0 as usize)
+                .copied()
+                .unwrap_or((0, 0));
+            // Scan phase: straight-line presence tests, hits buffered.
+            // Gating and issuing run afterwards in the same candidate
+            // order, so intra-event suppression (a second rule
+            // predicting an already-warned fatal) behaves exactly like
+            // the retired check-then-issue interleaving.
+            let mut hits = std::mem::take(&mut self.match_scratch);
+            hits.clear();
+            for e in &self.tables.assoc[cs as usize..ce as usize] {
+                let hit = (self.present.word(e.w0) & e.m0 == e.m0)
+                    && (self.present.word(e.w1) & e.m1 == e.m1);
+                if hit
+                    && (e.start == e.end
+                        || self.tables.pairs[e.start as usize..e.end as usize]
+                            .iter()
+                            .all(|&(w, m)| self.present.word(w) & m == m))
+                {
+                    hits.push((e.id, e.fatal));
+                }
+            }
+            for &(id, fatal_ty) in &hits {
+                if self.warn_allowed(time, id, Some(fatal_ty)) {
+                    let Rule::Association(a) = &self.repo.get(id).rule else {
+                        unreachable!()
+                    };
+                    let provenance = Provenance {
+                        repo_version: self.repo_version,
+                        support: Some(a.support),
+                        confidence: Some(a.confidence),
+                        training: self.repo.get(id).training_counts,
+                        precursors: self.assoc_precursors(&a.antecedent),
+                        ..Provenance::default()
+                    };
+                    self.issue(
+                        warnings,
+                        time,
+                        id,
+                        RuleKind::Association,
+                        Some(fatal_ty),
+                        time + self.window,
+                        provenance,
+                    );
+                }
+            }
+            self.match_scratch = hits;
+
+            // Distribution fallback: only when nothing else fired for
+            // this event.
+            if warnings.len() == issued_before && self.dist_armed {
+                if let Some(last) = self.last_fatal {
+                    let elapsed = time - last;
+                    for i in 0..self.dist_thresholds.len() {
+                        let (id, trigger, expire) = self.dist_thresholds[i];
+                        if elapsed >= trigger {
+                            let deadline = (last + expire).max(time + self.window);
+                            if self.warn_allowed(time, id, None) {
+                                let Rule::Distribution(d) = &self.repo.get(id).rule else {
+                                    unreachable!()
+                                };
+                                let provenance = Provenance {
+                                    repo_version: self.repo_version,
+                                    probability: Some(d.threshold),
+                                    training: self.repo.get(id).training_counts,
+                                    precursors: vec![Precursor {
+                                        time: last,
+                                        event_type: None,
+                                    }],
+                                    ..Provenance::default()
+                                };
+                                self.issue(
+                                    warnings,
+                                    time,
+                                    id,
+                                    RuleKind::Distribution,
+                                    None,
+                                    deadline,
+                                    provenance,
+                                );
+                            }
+                            self.dist_armed = false;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Feeds a slice of events through the batch path, collecting all
+    /// warnings: the slice is projected once into the predictor-owned
+    /// struct-of-arrays scratch and swept by
+    /// [`Self::observe_batch`] — zero per-event allocation, and after
+    /// the first chunk the scratch columns stop reallocating too.
+    pub fn observe_all(&mut self, events: &[CleanEvent]) -> Vec<Warning> {
+        let mut batch = std::mem::take(&mut self.batch_scratch);
+        batch.clear();
+        batch.extend_from_events(events);
+        let mut out = Vec::new();
+        self.observe_batch(&batch, &mut out);
+        self.batch_scratch = batch;
+        out
+    }
+
+    /// The retired per-event serving loop, frozen as the bench baseline
+    /// and parity oracle.
+    ///
+    /// This is the pre-batch implementation verbatim — one `Vec` per
+    /// event, a `u64` division per latency-sample check, candidate
+    /// probing through the repository indexes rather than the flattened
+    /// tables. Do not optimize it: its whole purpose is to stay what
+    /// the engine used to be, so `BENCH_predictor.json`'s speedup is
+    /// measured against a fixed point and the parity suite checks the
+    /// live paths against unchanged semantics. It shares every piece of
+    /// mutable window state with the live engine (the flattened tables
+    /// are read-only projections), so the paths can even be interleaved.
+    pub fn observe_all_per_event(&mut self, events: &[CleanEvent]) -> Vec<Warning> {
+        let mut out = Vec::new();
+        for ev in events {
+            out.extend(self.observe_retired(ev));
+        }
+        out
+    }
+
+    /// Frozen pre-batch `observe` (see [`Self::observe_all_per_event`]).
+    fn observe_retired(&mut self, ev: &CleanEvent) -> Vec<Warning> {
+        let timed = self.latency_sample_every != 0
+            && self
+                .metrics
+                .events_observed
+                .is_multiple_of(self.latency_sample_every as u64);
+        let start = timed.then(Instant::now);
+        self.metrics.events_observed += 1;
+        if ev.fatal {
+            self.metrics.fatals_observed += 1;
+        }
+
+        let warnings = self.match_event_retired(ev);
+
+        self.metrics.warnings_issued += warnings.len() as u64;
+        let occupancy = (self.recent.len() + self.recent_fatals.len()) as u64;
+        if occupancy > self.metrics.window_peak {
+            self.metrics.window_peak = occupancy;
+        }
+        if let Some(t) = start {
+            self.metrics
+                .match_latency_us
+                .record(t.elapsed().as_secs_f64() * 1e6);
+        }
+        warnings
+    }
+
+    /// Frozen pre-batch matcher (see [`Self::observe_all_per_event`]):
+    /// walks the repository's rule indexes with the original
+    /// id → stored-rule → antecedent pointer chase.
+    fn match_event_retired(&mut self, ev: &CleanEvent) -> Vec<Warning> {
+        self.evict_scan(ev.time);
         let mut warnings = Vec::new();
 
         if ev.fatal {
@@ -724,21 +1159,93 @@ impl<'r> Predictor<'r> {
         warnings
     }
 
-    /// Feeds a slice of events, collecting all warnings.
-    pub fn observe_all(&mut self, events: &[CleanEvent]) -> Vec<Warning> {
-        let mut out = Vec::new();
-        for ev in events {
-            out.extend(self.observe(ev));
+    /// Sweeps a prebuilt [`EventBatch`] against the rule tables,
+    /// appending warnings to `out`.
+    ///
+    /// Semantically identical to calling [`Self::observe`] per event
+    /// (the parity suite holds it to that bit-for-bit), but the serving
+    /// machinery is amortized across the chunk: the latency-sample
+    /// check is a countdown instead of a `u64` division per event, the
+    /// hot counters accumulate in locals and hit `self.metrics` once
+    /// per batch, warnings append straight into `out` with no
+    /// per-event `Vec` round trip, and the match loop reads ~11-byte
+    /// column rows instead of 32-byte event structs.
+    pub fn observe_batch(&mut self, batch: &EventBatch, out: &mut Vec<Warning>) {
+        let (t_ms, type_ids, fatals, midplanes) = batch.columns();
+        let every = self.latency_sample_every as u64;
+        // Events until the next sampled one, preserving the per-event
+        // cadence `events_observed % every == 0` exactly.
+        let mut until_sample = if every == 0 {
+            u64::MAX
+        } else {
+            match self.metrics.events_observed % every {
+                0 => 0,
+                r => every - r,
+            }
+        };
+        let mut fatal_count = 0u64;
+        let mut peak = self.metrics.window_peak;
+        let issued_before = out.len();
+        // The window bookkeeping lives in registers for the whole sweep:
+        // `horizon` is the earliest time at which any entry could leave
+        // the window (so the common case is one compare, no deque
+        // probes), `occ` mirrors `recent.len() + recent_fatals.len()`
+        // (each event pushes exactly one entry; evictions are counted
+        // out by `evict_scan`'s return value).
+        let window = self.window;
+        let mut horizon = self.horizon_from_fronts();
+        let mut occ = (self.recent.len() + self.recent_fatals.len()) as u64;
+        // Zipped column iteration: one induction variable, no per-column
+        // bounds checks inside the sweep.
+        let rows = t_ms
+            .iter()
+            .zip(type_ids)
+            .zip(fatals)
+            .zip(midplanes)
+            .map(|(((&t, &ty), &fatal), &mp)| (t, ty, fatal, mp));
+        for (t, ty, fatal, mp) in rows {
+            let timed = every != 0 && until_sample == 0;
+            let start = timed.then(Instant::now);
+            if timed {
+                until_sample = every;
+            }
+            until_sample = until_sample.wrapping_sub(1);
+
+            let time = Timestamp(t);
+            if time > horizon {
+                occ -= self.evict_scan(time) as u64;
+                horizon = self.horizon_from_fronts();
+            }
+            fatal_count += fatal as u64;
+            self.match_core(
+                time,
+                EventTypeId(ty),
+                fatal,
+                if fatal { decode_midplane(mp) } else { None },
+                out,
+            );
+            // This event pushed exactly one window entry at `time`.
+            horizon = horizon.min(time + window);
+            occ += 1;
+            if occ > peak {
+                peak = occ;
+            }
+            if let Some(t) = start {
+                self.metrics
+                    .match_latency_us
+                    .record(t.elapsed().as_secs_f64() * 1e6);
+            }
         }
-        out
+        self.metrics.events_observed += t_ms.len() as u64;
+        self.metrics.fatals_observed += fatal_count;
+        self.metrics.warnings_issued += (out.len() - issued_before) as u64;
+        self.metrics.window_peak = peak;
     }
 
     /// Feeds events without recording warnings (state warm-up across a
-    /// retraining boundary).
+    /// retraining boundary). Runs through the batch path.
     pub fn warm_up(&mut self, events: &[CleanEvent]) {
-        for ev in events {
-            let _ = self.observe(ev);
-        }
+        let _ = self.observe_all(events);
     }
 
     /// The rate-limiting gate: whether `rule` (and its predicted target,
@@ -840,12 +1347,17 @@ impl<'r> Predictor<'r> {
         out
     }
 
-    fn evict(&mut self, now: Timestamp) {
+    /// Pops every window entry older than `now - window`, returning how
+    /// many entries were removed (the batch sweep tracks its occupancy
+    /// counter from it; per-event callers discard it).
+    fn evict_scan(&mut self, now: Timestamp) -> usize {
         let cutoff = now - self.window;
+        let mut popped = 0usize;
         while let Some(&(t, ty)) = self.recent.front() {
             if t < cutoff {
                 self.recent.pop_front();
                 self.present.remove(ty);
+                popped += 1;
             } else {
                 break;
             }
@@ -853,9 +1365,26 @@ impl<'r> Predictor<'r> {
         while let Some(&(t, _)) = self.recent_fatals.front() {
             if t < cutoff {
                 self.recent_fatals.pop_front();
+                popped += 1;
             } else {
                 break;
             }
+        }
+        popped
+    }
+
+    /// The time up to which no window entry can need eviction: the
+    /// earliest entry's time plus the window, or `i64::MAX` when the
+    /// window is empty. The batch sweep holds this in a register so the
+    /// common no-eviction case is one compare with no deque probes.
+    fn horizon_from_fronts(&self) -> Timestamp {
+        let f1 = self.recent.front().map(|&(t, _)| t);
+        let f2 = self.recent_fatals.front().map(|&(t, _)| t);
+        match (f1, f2) {
+            (Some(a), Some(b)) => a.min(b) + self.window,
+            (Some(a), None) => a + self.window,
+            (None, Some(b)) => b + self.window,
+            (None, None) => Timestamp(i64::MAX),
         }
     }
 }

@@ -1,0 +1,354 @@
+//! Bit-for-bit parity between the batch serving path and the retired
+//! per-event loop.
+//!
+//! `Predictor::observe_all` (struct-of-arrays sweep over the flattened
+//! match tables) must produce *exactly* what the frozen pre-batch
+//! implementation (`observe_all_per_event`) produces: the same warnings
+//! in the same order with the same ids and provenance, and the same
+//! hot-path counters — on hostile inputs too (unsorted timestamps,
+//! duplicate times, out-of-table type ids, fatal bursts with and
+//! without midplanes). The property tests below hold that line; the
+//! deterministic tests extend it through the serial, overlapped and
+//! fleet drivers.
+
+use dml_core::rules::{AssociationRule, LocationRule, StatisticalRule};
+use dml_core::{
+    run_driver, run_overlapped_driver, DriverConfig, FrameworkConfig, KnowledgeRepository,
+    MetaLearner, Predictor, PredictorMetrics, Rule, SwapMode, TrainingPolicy, Warning,
+};
+use dml_core::{FaultSchedule, FleetConfig, FleetFault};
+use proptest::prelude::*;
+use raslog::store::window;
+use raslog::{CleanEvent, Duration, EventTypeId, Location, MachineEvent, Timestamp, WEEK_MS};
+
+/// Hostile event streams: deliberately *not* sorted by time, type ids
+/// both inside and far outside any rule table, fatal events with every
+/// location shape (midplane present, rack-only, system-wide).
+fn arb_hostile_events() -> impl Strategy<Value = Vec<CleanEvent>> {
+    let ty = prop_oneof![
+        0u16..8,
+        0u16..8,
+        0u16..8,
+        prop_oneof![Just(999u16), Just(u16::MAX)]
+    ];
+    let loc = prop_oneof![
+        Just(Location::System),
+        (0u8..3).prop_map(|rack| Location::Rack { rack }),
+        (0u8..3, 0u8..2).prop_map(|(rack, midplane)| Location::Midplane { rack, midplane }),
+    ];
+    prop::collection::vec((0i64..40_000, ty, any::<bool>(), loc), 0..200).prop_map(|raw| {
+        raw.into_iter()
+            .map(|(secs, ty, fatal, location)| {
+                let mut ev = CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal);
+                ev.location = location;
+                ev
+            })
+            .collect()
+    })
+}
+
+/// Repositories mixing association, statistical and location rules.
+fn arb_repo() -> impl Strategy<Value = KnowledgeRepository> {
+    (
+        prop::collection::vec((prop::collection::vec(0u16..8, 1..4), 0u16..8), 0..6),
+        prop::collection::vec(1usize..4, 0..3),
+        prop::collection::vec(1usize..3, 0..2),
+    )
+        .prop_map(|(assocs, stats, locs)| {
+            let mut rules: Vec<Rule> = assocs
+                .into_iter()
+                .map(|(items, fatal)| {
+                    let mut antecedent: Vec<EventTypeId> =
+                        items.into_iter().map(EventTypeId).collect();
+                    antecedent.sort_unstable();
+                    antecedent.dedup();
+                    Rule::Association(AssociationRule {
+                        antecedent,
+                        fatal: EventTypeId(fatal),
+                        support: 0.1,
+                        confidence: 0.5,
+                    })
+                })
+                .collect();
+            rules.extend(stats.into_iter().map(|k| {
+                Rule::Statistical(StatisticalRule {
+                    k,
+                    probability: 0.9,
+                })
+            }));
+            rules.extend(locs.into_iter().map(|k| {
+                Rule::Location(LocationRule {
+                    k,
+                    probability: 0.8,
+                })
+            }));
+            KnowledgeRepository::new(rules)
+        })
+}
+
+/// The counter half of the metrics (histogram *samples* are wall-clock
+/// durations and cannot be compared; the sample *count* can and must
+/// match, since both paths share the sampling cadence).
+fn counters(m: &PredictorMetrics) -> (u64, u64, u64, u64, u64, u64, u64) {
+    (
+        m.events_observed,
+        m.fatals_observed,
+        m.warnings_issued,
+        m.warnings_suppressed,
+        m.warnings_expired,
+        m.window_peak,
+        m.match_latency_us.count(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// One batch sweep == the frozen per-event loop: warnings (ids,
+    /// provenance and all), counters, histogram sample count.
+    #[test]
+    fn batch_path_is_bit_identical_to_retired_loop(
+        events in arb_hostile_events(),
+        repo in arb_repo(),
+        window_secs in 10i64..7200,
+    ) {
+        let window = Duration::from_secs(window_secs);
+        let mut batch = Predictor::new(&repo, window);
+        let mut retired = Predictor::new(&repo, window);
+        let batch_warnings = batch.observe_all(&events);
+        let retired_warnings = retired.observe_all_per_event(&events);
+        prop_assert_eq!(batch_warnings, retired_warnings);
+        prop_assert_eq!(counters(batch.metrics()), counters(retired.metrics()));
+    }
+
+    /// Chunked batch serving (arbitrary chunk boundaries, as the drivers
+    /// produce) still equals one retired pass over the whole stream.
+    #[test]
+    fn chunked_batches_match_one_retired_pass(
+        events in arb_hostile_events(),
+        repo in arb_repo(),
+        chunk in 1usize..40,
+    ) {
+        let window = Duration::from_secs(600);
+        let mut batch = Predictor::new(&repo, window);
+        let mut retired = Predictor::new(&repo, window);
+        let mut batch_warnings = Vec::new();
+        for c in events.chunks(chunk) {
+            batch_warnings.extend(batch.observe_all(c));
+        }
+        let retired_warnings = retired.observe_all_per_event(&events);
+        prop_assert_eq!(batch_warnings, retired_warnings);
+        prop_assert_eq!(counters(batch.metrics()), counters(retired.metrics()));
+    }
+
+    /// The live single-event entry (`observe`, used by traced serving
+    /// and spool replay) serves through the same flattened tables as the
+    /// batch sweep — and must match the retired loop event for event.
+    #[test]
+    fn live_per_event_observe_matches_retired(
+        events in arb_hostile_events(),
+        repo in arb_repo(),
+    ) {
+        let window = Duration::from_secs(600);
+        let mut live = Predictor::new(&repo, window);
+        let mut retired = Predictor::new(&repo, window);
+        let mut live_warnings = Vec::new();
+        for ev in &events {
+            live_warnings.extend(live.observe(ev));
+        }
+        let retired_warnings = retired.observe_all_per_event(&events);
+        prop_assert_eq!(live_warnings, retired_warnings);
+        prop_assert_eq!(counters(live.metrics()), counters(retired.metrics()));
+    }
+
+    /// The two paths share every piece of mutable state, so a predictor
+    /// may interleave them mid-stream without drift.
+    #[test]
+    fn interleaving_paths_never_diverges(
+        events in arb_hostile_events(),
+        repo in arb_repo(),
+        flips in prop::collection::vec(any::<bool>(), 8..9),
+    ) {
+        let window = Duration::from_secs(600);
+        let mut mixed = Predictor::new(&repo, window);
+        let mut retired = Predictor::new(&repo, window);
+        let mut mixed_warnings = Vec::new();
+        let chunk = (events.len() / 8).max(1);
+        for (i, c) in events.chunks(chunk).enumerate() {
+            if flips[i % flips.len()] {
+                mixed_warnings.extend(mixed.observe_all(c));
+            } else {
+                mixed_warnings.extend(mixed.observe_all_per_event(c));
+            }
+        }
+        let retired_warnings = retired.observe_all_per_event(&events);
+        prop_assert_eq!(mixed_warnings, retired_warnings);
+        prop_assert_eq!(counters(mixed.metrics()), counters(retired.metrics()));
+    }
+}
+
+/// A learnable planted-chain log: `{1, 2} → 100` several times a week.
+fn planted_log(weeks: i64) -> Vec<CleanEvent> {
+    let mut out = Vec::new();
+    for week in 0..weeks {
+        let week_s = week * WEEK_MS / 1000;
+        for g in 0..8i64 {
+            let base = week_s + g * 80_000;
+            out.push(CleanEvent::new(
+                Timestamp::from_secs(base),
+                EventTypeId(1),
+                false,
+            ));
+            out.push(CleanEvent::new(
+                Timestamp::from_secs(base + 60),
+                EventTypeId(2),
+                false,
+            ));
+            out.push(CleanEvent::new(
+                Timestamp::from_secs(base + 200),
+                EventTypeId(100),
+                true,
+            ));
+        }
+    }
+    out
+}
+
+fn driver_config() -> DriverConfig {
+    DriverConfig {
+        framework: FrameworkConfig {
+            retrain_weeks: 2,
+            ..FrameworkConfig::default()
+        },
+        policy: TrainingPolicy::SlidingWeeks(2),
+        initial_training_weeks: 2,
+        only_kind: None,
+    }
+}
+
+/// The serial driver (batch-served blocks) against a hand-rolled replica
+/// of its serving loop that feeds every block through the retired
+/// per-event path — warm-up included.
+#[test]
+fn serial_driver_matches_per_event_replica() {
+    let events = planted_log(6);
+    let config = driver_config();
+    let report = run_driver(&events, 6, &config);
+
+    let meta = MetaLearner::new(config.framework);
+    let mut reference: Vec<Warning> = Vec::new();
+    let mut metrics = PredictorMetrics::default();
+    let retrain_every = config.framework.retrain_weeks;
+    let mut week = config.initial_training_weeks;
+    let mut outcome = meta.train(window(
+        &events,
+        Timestamp::ZERO,
+        Timestamp(week * WEEK_MS),
+    ));
+    outcome.repo.set_version(1);
+    let mut version = 2;
+    while week < 6 {
+        let block_end = (week + retrain_every).min(6);
+        let mut p = Predictor::new(&outcome.repo, config.framework.window);
+        let warm = window(
+            &events,
+            Timestamp((week - 1).max(0) * WEEK_MS),
+            Timestamp(week * WEEK_MS),
+        );
+        let _ = p.observe_all_per_event(warm);
+        p.reset_metrics();
+        let block = window(
+            &events,
+            Timestamp(week * WEEK_MS),
+            Timestamp(block_end * WEEK_MS),
+        );
+        reference.extend(p.observe_all_per_event(block));
+        metrics.merge(p.metrics());
+        if block_end < 6 {
+            outcome = meta.train(window(
+                &events,
+                Timestamp((block_end - 2).max(0) * WEEK_MS),
+                Timestamp(block_end * WEEK_MS),
+            ));
+            outcome.repo.set_version(version);
+            version += 1;
+        }
+        week = block_end;
+    }
+
+    assert_eq!(report.warnings, reference);
+    assert_eq!(counters(&report.predictor_metrics), counters(&metrics));
+}
+
+/// The overlapped driver's admission-queue batching serves the same
+/// stream of warnings as the serial driver (and therefore, by the test
+/// above, as the per-event replica).
+#[test]
+fn overlapped_driver_matches_serial() {
+    let events = planted_log(6);
+    let config = driver_config();
+    let serial = run_driver(&events, 6, &config);
+    let overlapped = run_overlapped_driver(&events, 6, &config, SwapMode::Synchronous);
+    assert_eq!(serial.warnings, overlapped.warnings);
+    assert_eq!(
+        counters(&serial.predictor_metrics),
+        counters(&overlapped.predictor_metrics)
+    );
+}
+
+/// The planted chain emitted per machine, staggered so the merged fleet
+/// stream is time-diverse.
+fn fleet_planted_log(machines: u32, weeks: i64) -> Vec<MachineEvent> {
+    let mut out = Vec::new();
+    for m in 0..machines {
+        for week in 0..weeks {
+            let week_s = week * WEEK_MS / 1000;
+            for g in 0..6i64 {
+                let base = week_s + g * 100_000 + (m as i64) * 7;
+                for (off, ty, fatal) in [(0i64, 1u16, false), (60, 2, false), (200, 100, true)] {
+                    out.push(MachineEvent {
+                        machine: m,
+                        event: CleanEvent::new(
+                            Timestamp::from_secs(base + off),
+                            EventTypeId(ty),
+                            fatal,
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by_key(|e| (e.event.time, e.machine, e.event.type_id));
+    out
+}
+
+/// The fleet driver: an untraced run (workers serve whole week blocks
+/// through `observe_all`) against a fully traced run (workers and the
+/// fallback serve event by event through `observe`), with a shard kill
+/// in the middle so spool replay, checkpoint restore and the fallback
+/// predictor all run in both. Every shard must issue the same warnings.
+#[test]
+fn fleet_batch_workers_match_per_event_workers_under_chaos() {
+    let events = fleet_planted_log(8, 6);
+    let mut faults = FaultSchedule::new();
+    faults.insert((3, 1), FleetFault::Kill);
+    let run = |trace: dml_obs::TraceConfig| {
+        let config = FleetConfig {
+            shards: 2,
+            base_training_weeks: 2,
+            supervise: true,
+            trace,
+            ..FleetConfig::default()
+        };
+        let mut flight = dml_obs::FlightRecorder::disabled();
+        dml_core::run_fleet(&events, 6, &config, &faults, &mut flight)
+    };
+    let batched = run(dml_obs::TraceConfig::disabled());
+    let per_event = run(dml_obs::TraceConfig::every(1));
+    assert_eq!(batched.shards.len(), per_event.shards.len());
+    for (a, b) in batched.shards.iter().zip(per_event.shards.iter()) {
+        assert_eq!(a.warnings, b.warnings, "shard {} diverged", a.shard);
+        assert_eq!(a.events_served, b.events_served);
+        assert_eq!(a.restarts, b.restarts);
+    }
+}

@@ -1,0 +1,141 @@
+//! `repro bench` — re-run both perf benches on the full workload
+//! (criterion groups in fast `--test` mode) and diff the fresh numbers
+//! against the checked-in `BENCH_*.json` floors.
+//!
+//! The benches write their JSON artifacts to the workspace root (the
+//! same files that are checked in), so this command snapshots the
+//! committed contents first, runs the benches, prints a before/after
+//! table, and then restores the committed artifacts — a casual re-run
+//! must never silently replace a committed measurement. To refresh the
+//! committed artifacts, run the benches directly
+//! (`cargo bench -p dml-bench --bench <name>`).
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The two ratcheted benches and the headline metrics compared for each.
+/// Metrics are located by `(anchor, key)`: the value of the first `key`
+/// after `anchor` in the JSON text — enough structure for the flat,
+/// hand-formatted bench artifacts without a runtime JSON dependency.
+const BENCHES: &[(&str, &str, &[(&str, &str, &str)])] = &[
+    (
+        "driver_throughput",
+        "BENCH_driver.json",
+        &[
+            ("serial events/s", "\"serial\"", "\"events_per_sec\""),
+            ("overlapped events/s", "\"overlapped\"", "\"events_per_sec\""),
+            ("overlap speedup", "", "\"speedup\""),
+        ],
+    ),
+    (
+        "predictor_hot_path",
+        "BENCH_predictor.json",
+        &[
+            ("batch events/s", "", "\"batch_events_per_sec\""),
+            ("per-event events/s", "", "\"per_event_events_per_sec\""),
+            ("batch speedup", "", "\"batch_speedup\""),
+        ],
+    ),
+];
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+/// The first number following `key` after `anchor` (`""` = whole text).
+fn number_after(json: &str, anchor: &str, key: &str) -> Option<f64> {
+    let start = if anchor.is_empty() {
+        0
+    } else {
+        json.find(anchor)? + anchor.len()
+    };
+    let after_key = &json[start..];
+    let at = after_key.find(key)? + key.len();
+    let tail = after_key[at..].trim_start_matches([':', ' ']);
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e'))
+        .unwrap_or(tail.len());
+    tail[..end].parse().ok()
+}
+
+fn is_placeholder(json: &str) -> bool {
+    json.contains("seed placeholder")
+}
+
+fn fmt(v: Option<f64>) -> String {
+    match v {
+        Some(v) if v.abs() >= 1000.0 => format!("{v:.0}"),
+        Some(v) => format!("{v:.3}"),
+        None => "-".to_string(),
+    }
+}
+
+/// Runs both benches on the full workload and prints the before/after
+/// table. `--test` keeps criterion's sampling groups to one iteration;
+/// the JSON measurement is the same full workload the committed floors
+/// were measured on, so the ratios in the table are comparable.
+pub fn bench(_opts: &crate::Opts) {
+    let root = workspace_root();
+    let mut failed = false;
+    for (bench, artifact, metrics) in BENCHES {
+        let path = root.join(artifact);
+        let committed = std::fs::read_to_string(&path).ok();
+        println!("== {bench} (full workload) ==");
+        let status = Command::new(env!("CARGO"))
+            .args(["bench", "-p", "dml-bench", "--bench", bench, "--", "--test"])
+            .current_dir(&root)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                dml_obs::error!("{bench} exited with {s}");
+                failed = true;
+                continue;
+            }
+            Err(e) => {
+                dml_obs::error!("could not run cargo bench for {bench}: {e}");
+                failed = true;
+                continue;
+            }
+        }
+        let fresh = match std::fs::read_to_string(&path) {
+            Ok(s) => s,
+            Err(e) => {
+                dml_obs::error!("{artifact} missing after the bench ran: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let before = committed.as_deref().unwrap_or("");
+        let floor_note = if is_placeholder(before) {
+            " (placeholder, no floor)"
+        } else {
+            ""
+        };
+        println!("  {:<22} {:>14} {:>14}", "metric", "checked-in", "fresh run");
+        for (label, anchor, key) in *metrics {
+            println!(
+                "  {:<22} {:>14} {:>14}",
+                label,
+                fmt(number_after(before, anchor, key)),
+                fmt(number_after(&fresh, anchor, key)),
+            );
+        }
+        println!("  checked-in artifact: {artifact}{floor_note}");
+        // A casual re-run must not replace the committed measurement.
+        if let Some(original) = committed {
+            if let Err(e) = std::fs::write(&path, original) {
+                dml_obs::error!("could not restore {artifact}: {e}");
+                failed = true;
+            }
+        }
+    }
+    println!(
+        "note: absolute events/sec depend on this machine; the speedup ratios are the \
+         comparable columns. CI ratchets fresh full-workload ratios against the committed \
+         floors via scripts/bench_ratchet.py."
+    );
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -1,6 +1,7 @@
 //! Experiment implementations, grouped by output kind.
 
 pub mod accuracy;
+pub mod bench;
 pub mod extensions;
 pub mod figures;
 pub mod fleet;

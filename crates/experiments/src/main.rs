@@ -270,6 +270,8 @@ ext-adaptive ext-location robustness chaos experiments smoke all\n\
 fleet:       fleet [--machines N] [--shards N] [--weeks N] [--chaos] [--supervise on|off] \
 [--checkpoint-dir DIR] [--trace N]   sharded serving with shard supervision and failure-domain \
 chaos\n\
+perf:        bench    reruns both perf benches on the full workload and diffs the fresh \
+numbers against the checked-in BENCH_*.json (restores the committed artifacts afterwards)\n\
 telemetry:   health [--from SNAPSHOT.json]    renders the pipeline dashboard\n\
              trace --flight LOG.jsonl [--kind K] [--shard N] [--last N]  prints a \
 flight-recorder log\n\
@@ -327,6 +329,7 @@ fn main() {
             }
         }
         "chaos" => exps::extensions::chaos(&opts),
+        "bench" => exps::bench::bench(&opts),
         "fleet" => exps::fleet::fleet(&opts),
         "ext-location" => exps::extensions::ext_location(&opts),
         "experiments" => exps::obs::experiments_cmd(&opts),

@@ -1,0 +1,217 @@
+//! Struct-of-arrays event batches for the serving hot path.
+//!
+//! A [`CleanEvent`] is ~32 bytes with a [`Location`](crate::Location)
+//! enum and an optional job id, but the predictor's inner loop only ever
+//! reads three columns — arrival time, event-type id and the fatal flag —
+//! plus the midplane of fatal arrivals. [`EventBatch`] stores exactly
+//! those columns in parallel `Vec`s, built **once per served chunk**, so
+//! the match loop streams ~11 bytes per event instead of pulling whole
+//! structs through the cache, and the per-event dispatch (one `Vec`
+//! return per `observe` call) disappears entirely.
+//!
+//! The batch is a hot-path *projection*, not a lossless container: full
+//! event fidelity (location, job id) lives in the text and
+//! [`BinLog`](crate::store::BinLog) formats; a batch keeps only what
+//! Algorithm 2 consults.
+
+use crate::event::CleanEvent;
+
+/// Encoded "no midplane" sentinel (see [`encode_midplane`]).
+pub const MIDPLANE_NONE: u32 = u32::MAX;
+
+/// Packs `Location::midplane()` into one word: `(rack << 8) | midplane`,
+/// or [`MIDPLANE_NONE`] when the location is above midplane depth. Only
+/// fatal rows ever read this column, so non-fatal rows store the sentinel
+/// without consulting the location at all.
+#[inline]
+pub fn encode_midplane(midplane: Option<(u8, u8)>) -> u32 {
+    match midplane {
+        Some((rack, mp)) => ((rack as u32) << 8) | mp as u32,
+        None => MIDPLANE_NONE,
+    }
+}
+
+/// Inverse of [`encode_midplane`].
+#[inline]
+pub fn decode_midplane(encoded: u32) -> Option<(u8, u8)> {
+    if encoded == MIDPLANE_NONE {
+        None
+    } else {
+        Some(((encoded >> 8) as u8, encoded as u8))
+    }
+}
+
+/// A chunk of events in struct-of-arrays layout: parallel columns of
+/// arrival time (ms), `u16` event-type id and fatal flag, plus the
+/// encoded midplane of fatal rows.
+///
+/// All columns always have identical length. Build one per served chunk
+/// with [`EventBatch::from_events`], or reuse an allocation across chunks
+/// with [`EventBatch::clear`] + [`EventBatch::extend_from_events`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventBatch {
+    t_ms: Vec<i64>,
+    type_ids: Vec<u16>,
+    fatal: Vec<bool>,
+    midplane: Vec<u32>,
+}
+
+impl EventBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        EventBatch::default()
+    }
+
+    /// An empty batch with room for `n` events in every column.
+    pub fn with_capacity(n: usize) -> Self {
+        EventBatch {
+            t_ms: Vec::with_capacity(n),
+            type_ids: Vec::with_capacity(n),
+            fatal: Vec::with_capacity(n),
+            midplane: Vec::with_capacity(n),
+        }
+    }
+
+    /// Builds a batch from a chunk of events.
+    pub fn from_events(events: &[CleanEvent]) -> Self {
+        let mut batch = EventBatch::with_capacity(events.len());
+        batch.extend_from_events(events);
+        batch
+    }
+
+    /// Empties the batch, keeping the column allocations.
+    pub fn clear(&mut self) {
+        self.t_ms.clear();
+        self.type_ids.clear();
+        self.fatal.clear();
+        self.midplane.clear();
+    }
+
+    /// Appends one event.
+    #[inline]
+    pub fn push(&mut self, ev: &CleanEvent) {
+        self.push_raw(
+            ev.time.0,
+            ev.type_id.0,
+            ev.fatal,
+            if ev.fatal {
+                encode_midplane(ev.location.midplane())
+            } else {
+                MIDPLANE_NONE
+            },
+        );
+    }
+
+    /// Appends one already-decomposed row (the [`BinLog`] decode path —
+    /// `midplane` must follow the [`encode_midplane`] convention).
+    ///
+    /// [`BinLog`]: crate::store::BinLog
+    #[inline]
+    pub fn push_raw(&mut self, t_ms: i64, type_id: u16, fatal: bool, midplane: u32) {
+        self.t_ms.push(t_ms);
+        self.type_ids.push(type_id);
+        self.fatal.push(fatal);
+        self.midplane.push(midplane);
+    }
+
+    /// Appends a chunk of events.
+    pub fn extend_from_events(&mut self, events: &[CleanEvent]) {
+        self.t_ms.reserve(events.len());
+        self.type_ids.reserve(events.len());
+        self.fatal.reserve(events.len());
+        self.midplane.reserve(events.len());
+        for ev in events {
+            self.push(ev);
+        }
+    }
+
+    /// Number of events in the batch.
+    pub fn len(&self) -> usize {
+        self.t_ms.len()
+    }
+
+    /// `true` when the batch holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.t_ms.is_empty()
+    }
+
+    /// All four columns at once: `(t_ms, type_ids, fatal, midplane)` —
+    /// the shape the batch sweep consumes.
+    #[inline]
+    pub fn columns(&self) -> (&[i64], &[u16], &[bool], &[u32]) {
+        (&self.t_ms, &self.type_ids, &self.fatal, &self.midplane)
+    }
+
+    /// Arrival times, milliseconds since the log epoch.
+    pub fn times_ms(&self) -> &[i64] {
+        &self.t_ms
+    }
+
+    /// Event-type ids.
+    pub fn type_ids(&self) -> &[u16] {
+        &self.type_ids
+    }
+
+    /// Fatal flags.
+    pub fn fatal_flags(&self) -> &[bool] {
+        &self.fatal
+    }
+
+    /// Decoded midplane of row `i` (fatal rows only carry real values).
+    pub fn midplane_at(&self, i: usize) -> Option<(u8, u8)> {
+        decode_midplane(self.midplane[i])
+    }
+}
+
+impl From<&[CleanEvent]> for EventBatch {
+    fn from(events: &[CleanEvent]) -> Self {
+        EventBatch::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::location::Location;
+    use crate::{EventTypeId, Timestamp};
+
+    fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+        CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+    }
+
+    #[test]
+    fn columns_mirror_the_events() {
+        let mut fatal_ev = ev(5, 100, true);
+        fatal_ev.location = Location::Midplane {
+            rack: 3,
+            midplane: 1,
+        };
+        let events = [ev(0, 1, false), fatal_ev, ev(9, 2, false)];
+        let batch = EventBatch::from_events(&events);
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.times_ms(), &[0, 5_000, 9_000]);
+        assert_eq!(batch.type_ids(), &[1, 100, 2]);
+        assert_eq!(batch.fatal_flags(), &[false, true, false]);
+        assert_eq!(batch.midplane_at(1), Some((3, 1)));
+        assert_eq!(batch.midplane_at(0), None, "non-fatal rows carry no midplane");
+    }
+
+    #[test]
+    fn clear_reuses_allocations() {
+        let mut batch = EventBatch::from_events(&[ev(0, 1, false), ev(1, 2, true)]);
+        let cap = batch.t_ms.capacity();
+        batch.clear();
+        assert!(batch.is_empty());
+        assert_eq!(batch.t_ms.capacity(), cap);
+        batch.extend_from_events(&[ev(2, 3, false)]);
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch.type_ids(), &[3]);
+    }
+
+    #[test]
+    fn midplane_encoding_round_trips() {
+        for mp in [None, Some((0, 0)), Some((7, 1)), Some((255, 255))] {
+            assert_eq!(decode_midplane(encode_midplane(mp)), mp);
+        }
+    }
+}

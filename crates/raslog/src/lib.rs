@@ -46,6 +46,7 @@
 //! assert_eq!(raslog::io::parse_line(&line).unwrap(), event);
 //! ```
 
+pub mod batch;
 pub mod catalog;
 pub mod error;
 pub mod event;
@@ -56,6 +57,7 @@ pub mod severity;
 pub mod store;
 pub mod time;
 
+pub use batch::EventBatch;
 pub use catalog::{EventCatalog, EventTypeDef, EventTypeId};
 pub use error::ParseError;
 pub use io::{ParsePolicy, ReadOutcome};
@@ -63,5 +65,5 @@ pub use event::{CleanEvent, JobId, MachineEvent, RasEvent, RecordSource};
 pub use facility::Facility;
 pub use location::Location;
 pub use severity::Severity;
-pub use store::LogStore;
+pub use store::{BinLog, BinLogError, LogStore};
 pub use time::{Duration, Timestamp, DAY_MS, HOUR_MS, MINUTE_MS, SECOND_MS, WEEK_MS};

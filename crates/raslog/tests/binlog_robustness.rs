@@ -1,0 +1,138 @@
+//! Robustness of the `DMLB` binary log format: hostile headers are
+//! rejected with a clear, actionable error; torn tails are detected and
+//! reported (never a panic or silent short read); and a round trip
+//! through either serialization — text lines or binary — preserves
+//! every field of every event.
+
+use raslog::store::{BinLogError, BINLOG_VERSION};
+use raslog::{BinLog, CleanEvent, EventTypeId, JobId, Location, MachineEvent, Timestamp};
+
+/// One event of every location shape, with and without job ids, fatal
+/// and not — the full field space of [`MachineEvent`].
+fn exhaustive_events() -> Vec<MachineEvent> {
+    let locations = [
+        Location::System,
+        Location::Rack { rack: 3 },
+        Location::Midplane {
+            rack: 1,
+            midplane: 1,
+        },
+        Location::chip(2, 0, 7, 11, 1),
+    ];
+    let mut out = Vec::new();
+    let mut t = 0i64;
+    for (i, loc) in locations.iter().enumerate() {
+        for job in [None, Some(JobId(99 + i as u32))] {
+            for fatal in [false, true] {
+                let mut ev = CleanEvent::new(
+                    Timestamp::from_secs(t),
+                    EventTypeId((i * 100) as u16),
+                    fatal,
+                );
+                ev.location = *loc;
+                ev.job_id = job;
+                out.push(MachineEvent::new(i as u32 * 17, ev));
+                t += 61;
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn wrong_magic_is_rejected_with_a_clear_error() {
+    let mut bytes = BinLog::to_bytes(&exhaustive_events());
+    bytes[..4].copy_from_slice(b"GZIP");
+    let err = BinLog::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, BinLogError::BadMagic));
+    assert!(err.to_string().contains("bad magic"), "{err}");
+}
+
+#[test]
+fn future_version_is_rejected_and_named() {
+    let mut bytes = BinLog::to_bytes(&exhaustive_events());
+    bytes[4..6].copy_from_slice(&(BINLOG_VERSION + 1).to_le_bytes());
+    let err = BinLog::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(
+        err,
+        BinLogError::BadVersion { found } if found == BINLOG_VERSION + 1
+    ));
+    let msg = err.to_string();
+    assert!(
+        msg.contains(&format!("version {}", BINLOG_VERSION + 1)),
+        "{msg}"
+    );
+}
+
+#[test]
+fn byte_swapped_endian_tag_is_diagnosed_as_endianness() {
+    let mut bytes = BinLog::to_bytes(&exhaustive_events());
+    bytes.swap(6, 7);
+    let err = BinLog::from_bytes(&bytes).unwrap_err();
+    assert!(matches!(err, BinLogError::BadEndianness));
+    assert!(err.to_string().contains("byte order"), "{err}");
+}
+
+#[test]
+fn torn_tail_reports_decoded_count_and_tear_offset() {
+    let events = exhaustive_events();
+    let bytes = BinLog::to_bytes(&events);
+
+    // Walk the records to find where the fourth one starts, then tear
+    // the file a few bytes into it.
+    let mut offset = 16; // header
+    for _ in 0..3 {
+        offset += 1 + bytes[offset] as usize;
+    }
+    let torn = &bytes[..offset + 3];
+    match BinLog::from_bytes(torn).unwrap_err() {
+        BinLogError::Truncated {
+            events_read,
+            offset: tear,
+        } => {
+            assert_eq!(events_read, 3);
+            assert_eq!(tear, offset);
+        }
+        other => panic!("expected Truncated, got {other}"),
+    }
+
+    // A tear exactly on a record boundary (count still says more follow)
+    // is reported at the boundary.
+    let boundary = &bytes[..offset];
+    match BinLog::from_bytes(boundary).unwrap_err() {
+        BinLogError::Truncated {
+            events_read,
+            offset: tear,
+        } => {
+            assert_eq!(events_read, 3);
+            assert_eq!(tear, offset);
+        }
+        other => panic!("expected Truncated, got {other}"),
+    }
+}
+
+#[test]
+fn binary_round_trip_preserves_every_field() {
+    let events = exhaustive_events();
+    let decoded = BinLog::from_bytes(&BinLog::to_bytes(&events)).unwrap();
+    assert_eq!(decoded, events);
+}
+
+#[test]
+fn text_and_binary_agree_on_every_field() {
+    let clean: Vec<CleanEvent> = exhaustive_events().into_iter().map(|m| m.event).collect();
+
+    let mut text = Vec::new();
+    raslog::io::write_clean_log(&clean, &mut text).unwrap();
+    let via_text = raslog::io::read_clean_log(text.as_slice()).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("dml-binlog-rt-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("round_trip.dmlb");
+    BinLog::write_clean_file(&path, &clean).unwrap();
+    let via_binary = BinLog::read_clean_file(&path).unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(via_text, clean);
+    assert_eq!(via_binary, clean);
+}

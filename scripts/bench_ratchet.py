@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Ratchet gate for the checked-in bench artifacts.
+
+Usage: bench_ratchet.py FLOOR.json CURRENT.json
+
+FLOOR.json is the committed artifact (the floor the repo has already
+measured and ratcheted to); CURRENT.json is the artifact a fresh bench
+run just wrote. The gate compares the machine-independent *ratio*
+metrics — absolute events/sec depend on the runner, speedup ratios do
+not — and fails on a regression of more than RATCHET_TOLERANCE.
+
+Exit codes:
+  0  pass (or skip: the committed floor is still a seed placeholder)
+  1  regression, schema violation, or a placeholder/zero current run
+  2  usage / unreadable input
+"""
+
+import json
+import sys
+
+# >10 % below the committed floor fails the gate.
+RATCHET_TOLERANCE = 0.10
+
+# Per-bench contract: required top-level keys, the counters that prove
+# the run actually measured something, and the ratcheted ratio metrics.
+CONTRACTS = {
+    "driver_throughput": {
+        "require": ["bench", "mode", "weeks", "events", "serial", "overlapped", "speedup"],
+        "nonzero": [
+            ("events",),
+            ("serial", "events_per_sec"),
+            ("overlapped", "events_per_sec"),
+        ],
+        "ratchet": [("speedup",)],
+    },
+    "predictor_hot_path": {
+        "require": [
+            "bench", "mode", "events", "rules", "batch_events_per_sec",
+            "per_event_events_per_sec", "batch_speedup", "match_latency_us",
+        ],
+        "nonzero": [
+            ("events",),
+            ("batch_events_per_sec",),
+            ("per_event_events_per_sec",),
+        ],
+        "ratchet": [("batch_speedup",)],
+    },
+}
+
+
+def lookup(report, path):
+    value = report
+    for key in path:
+        value = value[key]
+    return value
+
+
+def is_placeholder(report):
+    return str(report.get("provenance", "")).startswith("seed placeholder")
+
+
+def fail(msg):
+    print(f"bench-ratchet FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__.strip())
+        sys.exit(2)
+    try:
+        with open(sys.argv[1]) as f:
+            floor = json.load(f)
+        with open(sys.argv[2]) as f:
+            current = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench-ratchet: cannot read inputs: {e}")
+        sys.exit(2)
+
+    name = current.get("bench")
+    contract = CONTRACTS.get(name)
+    if contract is None:
+        fail(f"unknown bench {name!r} in {sys.argv[2]}")
+
+    # The fresh run must be a real measurement, always.
+    if is_placeholder(current):
+        fail(f"{sys.argv[2]} still carries seed-placeholder provenance — "
+             "the bench did not overwrite it")
+    for key in contract["require"]:
+        if key not in current:
+            fail(f"{name}: missing key {key!r} in the fresh report")
+    for path in contract["nonzero"]:
+        if lookup(current, path) <= 0:
+            fail(f"{name}: {'.'.join(path)} is zero in the fresh report — "
+                 "not a measurement")
+
+    # No committed floor yet: nothing to ratchet against. Skip cleanly —
+    # the placeholder disappears the first time a real artifact lands.
+    if is_placeholder(floor):
+        print(f"bench-ratchet SKIP: {sys.argv[1]} is a seed placeholder, "
+              f"no floor to ratchet {name} against")
+        return
+
+    if floor.get("bench") != name:
+        fail(f"floor is for {floor.get('bench')!r}, current is {name!r}")
+    # Speedup ratios are machine-independent but not workload-size-
+    # independent: a quick-mode run cannot be ratcheted against a
+    # full-mode floor.
+    if floor.get("mode") != current.get("mode"):
+        fail(f"{name}: floor was measured in {floor.get('mode')!r} mode but the "
+             f"fresh run is {current.get('mode')!r} — run the bench in the same "
+             "mode as the committed floor")
+
+    for path in contract["ratchet"]:
+        metric = ".".join(path)
+        floor_v = lookup(floor, path)
+        current_v = lookup(current, path)
+        if floor_v <= 0:
+            fail(f"{name}: committed floor {metric}={floor_v} is not positive "
+                 "yet provenance claims a measurement")
+        bound = floor_v * (1.0 - RATCHET_TOLERANCE)
+        status = "ok" if current_v >= bound else "REGRESSION"
+        print(f"  {name}.{metric}: floor {floor_v:.3f} → current {current_v:.3f} "
+              f"(bound {bound:.3f}) {status}")
+        if current_v < bound:
+            fail(f"{name}: {metric} regressed more than "
+                 f"{RATCHET_TOLERANCE:.0%} below the committed floor")
+    print(f"bench-ratchet PASS: {name}")
+
+
+if __name__ == "__main__":
+    main()
