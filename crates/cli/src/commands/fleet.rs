@@ -6,10 +6,11 @@ use crate::CliError;
 use bgl_sim::{FleetChaosPlan, FleetGenerator, FleetPreset};
 use dml_core::fleet::{run_fleet, FaultSchedule, FleetConfig, FleetFault};
 use std::io::Write;
+use std::path::Path;
 
 /// `[--machines N] [--shards N] [--weeks N] [--seed N] [--supervise on|off]
 /// [--chaos] [--checkpoint-dir DIR] [--out-warnings FILE]
-/// [--metrics-json FILE] [--trace N] [--flight FILE]`
+/// [--metrics-json FILE] [--metrics-history FILE] [--trace N] [--flight FILE]`
 pub fn run(args: &Args) -> Result<(), CliError> {
     let machines: u32 = args.parsed_or("machines", 256)?;
     let shards: usize = args.parsed_or("shards", 8)?;
@@ -48,12 +49,16 @@ use --weeks {} or more",
         }
         None => dml_obs::TraceConfig::disabled(),
     };
+    let history = args
+        .optional("metrics-history")
+        .map(|_| dml_obs::shared_history(dml_obs::TimeSeriesStore::new()));
     let config = FleetConfig {
         shards,
         base_training_weeks: warmup,
         supervise,
         checkpoint_dir: args.optional("checkpoint-dir").map(Into::into),
         trace,
+        history: history.clone(),
         ..FleetConfig::default()
     };
     let mut schedule = FaultSchedule::new();
@@ -121,6 +126,15 @@ precision {:.2} recall {:.2}, {} restarts, lost {} ({} fatal)",
     let mut registry = dml_obs::Registry::new();
     registry.collect(&report);
     crate::commands::write_metrics_if_asked(args, &registry)?;
+    if let (Some(path), Some(history)) = (args.optional("metrics-history"), &history) {
+        let label = format!("dml fleet seed={seed} machines={machines} shards={shards}");
+        dml_obs::with_history(history, |store| {
+            store
+                .write_file(Path::new(path), &label)
+                .map_err(|e| format!("write {path}: {e}"))
+        })?;
+        dml_obs::info!("metrics history → {path}");
+    }
 
     if chaos && supervise && report.lost_fatal_events > 0 {
         return Err(format!(

@@ -49,5 +49,6 @@ pub fn usage() -> &'static str {
      run `dml <command>` with missing flags to see what it needs\n\
      --quiet (or DML_LOG=error) silences progress output; \
      --metrics-json FILE dumps stage metrics where supported \
-     (--metrics-openmetrics FILE for Prometheus exposition text)"
+     (--metrics-openmetrics FILE for Prometheus exposition text; \
+     fleet also takes --metrics-history FILE for per-week time series)"
 }

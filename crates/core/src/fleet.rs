@@ -89,6 +89,11 @@ pub struct FleetConfig {
     /// The default ([`dml_obs::TraceConfig::disabled`]) records nothing
     /// and leaves the run bit-identical to the untraced fleet.
     pub trace: dml_obs::TraceConfig,
+    /// Metrics time-series store scraped at the end of every serving
+    /// week — fleet totals plus per-shard labeled `fleet.*{shard=…}`
+    /// series. Strictly observational: `None` (the default) and `Some`
+    /// produce bit-identical fleet reports.
+    pub history: Option<dml_obs::SharedHistory>,
 }
 
 impl Default for FleetConfig {
@@ -104,6 +109,7 @@ impl Default for FleetConfig {
             heartbeat: StdDuration::from_secs(5),
             checkpoint_dir: None,
             trace: dml_obs::TraceConfig::disabled(),
+            history: None,
         }
     }
 }
@@ -850,6 +856,38 @@ pub fn run_fleet(
                     rt.lost_fatals += slice.iter().filter(|e| e.fatal).count() as u64;
                 }
             }
+        }
+
+        // 8. Scrape the week into the history store: fleet totals plus
+        // per-shard labeled breakdowns. Strictly observational — the
+        // supervisor and workers never read it.
+        if let Some(history) = &config.history {
+            let mut scrape = dml_obs::Registry::new();
+            let mut down_now = 0u64;
+            for (s, rt) in runtimes.iter().enumerate() {
+                let shard = s.to_string();
+                let labels = [("shard", shard.as_str())];
+                scrape.counter_add_with("fleet.events_served", &labels, rt.events_served);
+                scrape.counter_add_with("fleet.warnings", &labels, rt.warnings.len() as u64);
+                scrape.counter_add_with("fleet.restarts", &labels, rt.restarts);
+                scrape.counter_add_with("fleet.fallback_events", &labels, rt.fallback_events);
+                scrape.counter_add_with("fleet.lost_events", &labels, rt.lost_events);
+                scrape.counter_add("fleet.events_served", rt.events_served);
+                scrape.counter_add("fleet.warnings", rt.warnings.len() as u64);
+                scrape.counter_add("fleet.restarts", rt.restarts);
+                scrape.counter_add("fleet.cold_restarts", rt.cold_restarts);
+                scrape.counter_add("fleet.fallback_events", rt.fallback_events);
+                scrape.counter_add("fleet.lost_events", rt.lost_events);
+                scrape.counter_add("fleet.lost_fatal_events", rt.lost_fatals);
+                scrape.counter_add("fleet.spool_dropped_nonfatal", rt.spool.dropped_nonfatal());
+                if rt.down || rt.dead {
+                    down_now += 1;
+                }
+            }
+            scrape.gauge_set("fleet.shards_down", down_now as f64);
+            dml_obs::with_history(history, |store| {
+                store.scrape((week + 1) * WEEK_MS, &scrape.snapshot())
+            });
         }
     }
     let elapsed = serving_start.elapsed();

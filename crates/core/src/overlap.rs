@@ -171,6 +171,10 @@ pub(crate) struct EngineControl<'a, E> {
     /// spans). `None` — or a disabled tracer — leaves the untraced fast
     /// paths bit-identical.
     pub tracer: Option<dml_obs::SharedTracer>,
+    /// Metrics time-series store scraped at block boundaries with the
+    /// engine-side report counters (warnings, retrainings, predictor
+    /// metrics). Strictly observational; `None` costs nothing.
+    pub history: Option<dml_obs::SharedHistory>,
 }
 
 impl<E> Default for EngineControl<'_, E> {
@@ -180,6 +184,7 @@ impl<E> Default for EngineControl<'_, E> {
             supervisor: None,
             admission: None,
             tracer: None,
+            history: None,
         }
     }
 }
@@ -610,6 +615,20 @@ where
             // Checkpoint against whatever will serve next (the
             // rolled-back repository, after a rollback).
             on_boundary(block_end, &repo, boundary_state);
+
+            // Scrape the engine-owned accounting at the boundary. Runs
+            // after the block is fully served and installs are folded in;
+            // nothing on the serving or retraining path reads the store.
+            if let Some(history) = &control.history {
+                let mut scrape = dml_obs::Registry::new();
+                scrape.counter_add("driver.warnings", report.warnings.len() as u64);
+                scrape.counter_add("driver.retrainings", report.churn.len() as u64);
+                scrape.gauge_set("driver.rules_installed", repo.len() as f64);
+                scrape.collect(&report.predictor_metrics);
+                dml_obs::with_history(history, |store| {
+                    store.scrape(block_end * WEEK_MS, &scrape.snapshot())
+                });
+            }
 
             // Schedule the retraining for the next block.
             if block_end < total_weeks && dc.policy != TrainingPolicy::Static {

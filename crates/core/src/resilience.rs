@@ -511,6 +511,10 @@ pub struct HardenedConfig {
     /// `None` (the default) — or a disabled [`dml_obs::TraceConfig`] —
     /// leaves the serve bit-identical to the untraced schedule.
     pub tracer: Option<dml_obs::SharedTracer>,
+    /// Metrics time-series store scraped at every week-block boundary
+    /// (driver, predictor and health counters). Strictly observational:
+    /// `None` (the default) and `Some` produce bit-identical reports.
+    pub history: Option<dml_obs::SharedHistory>,
 }
 
 /// A [`DriverReport`] plus robustness accounting.
@@ -690,6 +694,17 @@ pub fn run_hardened_driver_with(
             );
             note_degraded_transition(&config.flight, block_end * WEEK_MS, &degraded, &next);
             outcome = next;
+        }
+        // Scrape the boundary into the history store (strictly
+        // observational — nothing below ever reads it back).
+        if let Some(history) = &config.history {
+            let mut scrape = dml_obs::Registry::new();
+            scrape.collect(&report);
+            scrape.collect(&health);
+            scrape.gauge_set("driver.rule_set_version", rule_set_version as f64);
+            dml_obs::with_history(history, |store| {
+                store.scrape(block_end * WEEK_MS, &scrape.snapshot())
+            });
         }
         week = block_end;
     }
@@ -972,6 +987,23 @@ pub fn run_overlapped_hardened_driver_with(
                 Err(e) => dml_obs::warn!("checkpoint write failed (continuing): {e}"),
             }
         }
+        // Scrape the wrapper-side accounting at the boundary (the engine
+        // scrapes its own report via `control.history`). Observational:
+        // nothing on the serving or retraining path reads the store.
+        if let Some(history) = &config.history {
+            let mut scrape = dml_obs::Registry::new();
+            scrape.collect(&*health.borrow());
+            scrape.gauge_set("driver.rule_set_version", version.get() as f64);
+            if let Some(queue) = admission_queue.as_ref() {
+                scrape.collect(&queue.borrow().stats());
+            }
+            if lifecycle_on {
+                scrape.collect(&*watchdog.borrow());
+            }
+            dml_obs::with_history(history, |store| {
+                store.scrape(week * WEEK_MS, &scrape.snapshot())
+            });
+        }
     };
 
     let control = crate::overlap::EngineControl {
@@ -983,6 +1015,7 @@ pub fn run_overlapped_hardened_driver_with(
         },
         admission: admission_queue.as_ref(),
         tracer: config.tracer.clone(),
+        history: config.history.clone(),
     };
 
     let report = crate::overlap::run_overlapped_engine(
@@ -1055,6 +1088,7 @@ mod tests {
             lifecycle: LifecycleConfig::default(),
             admission: None,
             tracer: None,
+            history: None,
         }
     }
 

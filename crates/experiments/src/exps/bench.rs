@@ -17,6 +17,7 @@ use std::process::Command;
 /// Metrics are located by `(anchor, key)`: the value of the first `key`
 /// after `anchor` in the JSON text — enough structure for the flat,
 /// hand-formatted bench artifacts without a runtime JSON dependency.
+#[allow(clippy::type_complexity)]
 const BENCHES: &[(&str, &str, &[(&str, &str, &str)])] = &[
     (
         "driver_throughput",
@@ -60,6 +61,42 @@ fn number_after(json: &str, anchor: &str, key: &str) -> Option<f64> {
 
 fn is_placeholder(json: &str) -> bool {
     json.contains("seed placeholder")
+}
+
+/// Appends the fresh measured speedup ratio to `BENCH_history.jsonl`
+/// with machine provenance. The ratios are the machine-comparable
+/// columns, and the log is what `repro health --diff` understands for
+/// perf regressions; absolute events/sec are deliberately left out.
+fn append_bench_history(root: &Path, bench: &str, fresh: &str) {
+    let ratio_key = if bench == "predictor_hot_path" {
+        "batch_speedup"
+    } else {
+        "speedup"
+    };
+    let Some(ratio) = number_after(fresh, "", &format!("\"{ratio_key}\"")) else {
+        return;
+    };
+    let machine: String = std::env::var("HOSTNAME")
+        .unwrap_or_else(|_| "unknown".into())
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        .collect();
+    let line = format!(
+        "{{\"v\": 1, \"kind\": \"bench\", \"bench\": \"{bench}\", \"mode\": \"repro-bench\", \
+\"machine\": \"{machine}/{}-{}\", \"{ratio_key}\": {ratio}}}",
+        std::env::consts::OS,
+        std::env::consts::ARCH,
+    );
+    let path = root.join("BENCH_history.jsonl");
+    use std::io::Write as _;
+    match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        Ok(mut f) => {
+            if writeln!(f, "{line}").is_ok() {
+                dml_obs::info!("{bench} {ratio_key} {ratio:.2}x appended to BENCH_history.jsonl");
+            }
+        }
+        Err(e) => dml_obs::warn!("could not append to BENCH_history.jsonl: {e}"),
+    }
 }
 
 fn fmt(v: Option<f64>) -> String {
@@ -122,6 +159,9 @@ pub fn bench(_opts: &crate::Opts) {
             );
         }
         println!("  checked-in artifact: {artifact}{floor_note}");
+        if !is_placeholder(&fresh) {
+            append_bench_history(&root, bench, &fresh);
+        }
         // A casual re-run must not replace the committed measurement.
         if let Some(original) = committed {
             if let Err(e) = std::fs::write(&path, original) {

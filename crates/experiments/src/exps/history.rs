@@ -1,0 +1,519 @@
+//! `repro health --history` / `repro health --diff` — renders a
+//! `--metrics-history` artifact (per-stage trends, sparklines, top
+//! movers) and diffs two artifacts run-to-run, flagging regressions
+//! with a nonzero exit so CI can gate on them. Also understands
+//! `BENCH_history.jsonl` (the bench-ratchet provenance log) so perf
+//! ratios can be diffed the same way.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use dml_obs::{HistoryArtifact, SeriesData};
+use raslog::WEEK_MS;
+
+/// Wall-clock series are machine-dependent and never comparable across
+/// runs; they are excluded from diffing and from the top-movers list.
+const WALL_CLOCK_MARKERS: &[&str] =
+    &["_us", "wall_ms", "_per_sec", "per_sec", "bytes", "overlap_ms", "wait_ms"];
+
+/// Series where a drop in value is a regression.
+const HIGHER_BETTER: &[&str] = &["precision", "recall", "speedup", "kept", "coverage", "replayed"];
+
+/// Series where a rise in value is a regression (loss and failure
+/// counters).
+const LOWER_BETTER: &[&str] = &[
+    "dropped", "skipped", "shed", "lost", "missed", "false", "failures", "evicted", "errors",
+    "corrupt", "rollbacks", "restarts", "down",
+];
+
+/// Relative tolerance for the run-to-run diff: changes within 1% of
+/// the larger magnitude are treated as noise.
+const DIFF_TOLERANCE: f64 = 0.01;
+
+/// Relative tolerance for bench-ratio diffs (perf ratios are noisier
+/// than deterministic pipeline metrics).
+const BENCH_TOLERANCE: f64 = 0.10;
+
+fn is_wall_clock(name: &str) -> bool {
+    WALL_CLOCK_MARKERS.iter().any(|m| name.contains(m))
+}
+
+/// -1 = lower is better, +1 = higher is better, 0 = no known
+/// direction (changes are reported but are not regressions).
+fn direction(name: &str) -> i32 {
+    if LOWER_BETTER.iter().any(|m| name.contains(m)) {
+        -1
+    } else if HIGHER_BETTER.iter().any(|m| name.contains(m)) {
+        1
+    } else {
+        0
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+fn fmt_delta_pct(from: f64, to: f64) -> String {
+    // A percentage against a zero base is meaningless noise.
+    if from.abs() < 1e-9 {
+        return format!("{} from 0", fmt_value(to));
+    }
+    format!("{:+.1}%", (to - from) / from.abs() * 100.0)
+}
+
+/// Unicode sparkline over the last `width` points of a series.
+fn sparkline(points: &[(i64, f64)], width: usize) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let tail = &points[points.len().saturating_sub(width)..];
+    if tail.is_empty() {
+        return String::new();
+    }
+    let lo = tail.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let hi = tail.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let span = hi - lo;
+    tail.iter()
+        .map(|p| {
+            if span <= 0.0 || !span.is_finite() {
+                BARS[3]
+            } else {
+                let idx = ((p.1 - lo) / span * 7.0).round() as usize;
+                BARS[idx.min(7)]
+            }
+        })
+        .collect()
+}
+
+fn read_artifact(path: &str) -> Result<HistoryArtifact, i32> {
+    match dml_obs::read_history(Path::new(path)) {
+        Ok((artifact, skipped)) => {
+            if skipped > 0 {
+                dml_obs::warn!("{skipped} malformed line(s) skipped in {path}");
+            }
+            Ok(artifact)
+        }
+        Err(e) => {
+            dml_obs::error!("{path}: {e}");
+            Err(2)
+        }
+    }
+}
+
+/// The stage prefix a series is grouped under in the rendered report:
+/// everything before the first `.`, so `driver.precision` and
+/// `driver.warnings` land in the same block.
+fn stage_of(name: &str) -> &str {
+    name.split('.').next().unwrap_or(name)
+}
+
+/// `repro health --history FILE` — renders the artifact. Returns the
+/// process exit code (0 rendered, 2 unreadable).
+pub fn render(path: &str) -> i32 {
+    let artifact = match read_artifact(path) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let points_total: usize = artifact.series.values().map(|s| s.points.len()).sum();
+    println!("== metrics history: {} ==", artifact.label);
+    println!(
+        "  {} scrape(s), {} series, {} point(s), ring capacity {}",
+        artifact.scrapes,
+        artifact.series.len(),
+        points_total,
+        artifact.capacity,
+    );
+    if artifact.evicted_points > 0 {
+        println!(
+            "!! {} point(s) evicted from full rings — oldest history is \
+incomplete; rerun with a larger ring if the full run matters",
+            artifact.evicted_points
+        );
+    }
+
+    let mut stages: BTreeMap<&str, Vec<(&String, &SeriesData)>> = BTreeMap::new();
+    for (name, series) in &artifact.series {
+        stages.entry(stage_of(name)).or_default().push((name, series));
+    }
+    for (stage, rows) in &stages {
+        println!("\n[{stage}]");
+        for (name, series) in rows {
+            let Some((_, last)) = series.latest() else {
+                continue;
+            };
+            let first = series.points.first().map(|p| p.1).unwrap_or(last);
+            let trend = if series.points.len() >= 2 && !is_wall_clock(name) {
+                format!(" ({})", fmt_delta_pct(first, last))
+            } else {
+                String::new()
+            };
+            println!(
+                "  {:<44} {:<10} {} last {}{}",
+                name,
+                series.kind.as_str(),
+                sparkline(&series.points, 40),
+                fmt_value(last),
+                trend,
+            );
+        }
+    }
+
+    if !artifact.alerts.is_empty() {
+        println!("\n[alerts] {} transition(s)", artifact.alerts.len());
+        for a in &artifact.alerts {
+            println!(
+                "  week {:<4} {:<8} {:<6} {} on {} = {}",
+                a.t_ms.div_euclid(WEEK_MS),
+                a.state,
+                a.severity,
+                a.rule,
+                a.series,
+                fmt_value(a.value),
+            );
+        }
+    }
+
+    // Top movers: the series whose value changed the most, first
+    // scrape to last, relative to its starting magnitude.
+    let mut movers: Vec<(&String, f64, f64, f64)> = artifact
+        .series
+        .iter()
+        .filter(|(name, s)| s.points.len() >= 2 && !is_wall_clock(name))
+        .map(|(name, s)| {
+            let first = s.points.first().map(|p| p.1).unwrap_or(0.0);
+            let last = s.points.last().map(|p| p.1).unwrap_or(0.0);
+            // Symmetric denominator so a zero-base series ranks by its
+            // bounded relative change instead of swamping the list.
+            let rel = (last - first).abs() / first.abs().max(last.abs()).max(1e-9);
+            (name, first, last, rel)
+        })
+        .filter(|(_, _, _, rel)| *rel > 0.0)
+        .collect();
+    movers.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap_or(std::cmp::Ordering::Equal));
+    if !movers.is_empty() {
+        println!("\n[top movers]");
+        for (name, first, last, _) in movers.iter().take(5) {
+            println!(
+                "  {:<44} {} -> {} ({})",
+                name,
+                fmt_value(*first),
+                fmt_value(*last),
+                fmt_delta_pct(*first, *last),
+            );
+        }
+    }
+    0
+}
+
+/// One compared series in the run-to-run diff.
+struct SeriesDelta {
+    name: String,
+    from: f64,
+    to: f64,
+}
+
+/// `repro health --diff A B` — run-to-run regression report. Returns
+/// the process exit code: 0 clean, 1 regression detected, 2 unreadable
+/// or mismatched inputs.
+pub fn diff(path_a: &str, path_b: &str) -> i32 {
+    let text_a = match std::fs::read_to_string(path_a) {
+        Ok(t) => t,
+        Err(e) => {
+            dml_obs::error!("{path_a}: {e}");
+            return 2;
+        }
+    };
+    let text_b = match std::fs::read_to_string(path_b) {
+        Ok(t) => t,
+        Err(e) => {
+            dml_obs::error!("{path_b}: {e}");
+            return 2;
+        }
+    };
+    match (looks_like_bench_history(&text_a), looks_like_bench_history(&text_b)) {
+        (true, true) => return bench_diff(&text_a, &text_b, path_a, path_b),
+        (false, false) => {}
+        _ => {
+            dml_obs::error!(
+                "cannot diff a bench history against a metrics history \
+({path_a} vs {path_b})"
+            );
+            return 2;
+        }
+    }
+    let artifact_a = match read_artifact(path_a) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let artifact_b = match read_artifact(path_b) {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+
+    println!("== history diff ==");
+    println!("  A: {path_a} — {} ({} scrapes, {} series)", artifact_a.label, artifact_a.scrapes, artifact_a.series.len());
+    println!("  B: {path_b} — {} ({} scrapes, {} series)", artifact_b.label, artifact_b.scrapes, artifact_b.series.len());
+
+    let only_a: Vec<&String> = artifact_a
+        .series
+        .keys()
+        .filter(|k| !artifact_b.series.contains_key(*k))
+        .collect();
+    let only_b: Vec<&String> = artifact_b
+        .series
+        .keys()
+        .filter(|k| !artifact_a.series.contains_key(*k))
+        .collect();
+    for (label, names) in [("only in A", &only_a), ("only in B", &only_b)] {
+        if !names.is_empty() {
+            let shown: Vec<&str> = names.iter().take(8).map(|s| s.as_str()).collect();
+            let more = if names.len() > 8 {
+                format!(" (+{} more)", names.len() - 8)
+            } else {
+                String::new()
+            };
+            println!("  {label}: {}{more}", shown.join(", "));
+        }
+    }
+
+    let mut regressions: Vec<SeriesDelta> = Vec::new();
+    let mut improvements: Vec<SeriesDelta> = Vec::new();
+    let mut neutral_changes: Vec<SeriesDelta> = Vec::new();
+    let mut clean = 0usize;
+    let mut skipped_wall_clock = 0usize;
+    for (name, series_a) in &artifact_a.series {
+        let Some(series_b) = artifact_b.series.get(name) else {
+            continue;
+        };
+        if is_wall_clock(name) {
+            skipped_wall_clock += 1;
+            continue;
+        }
+        let (Some((_, from)), Some((_, to))) = (series_a.latest(), series_b.latest()) else {
+            continue;
+        };
+        let denom = from.abs().max(to.abs()).max(1e-9);
+        if (to - from).abs() <= DIFF_TOLERANCE * denom {
+            clean += 1;
+            continue;
+        }
+        let delta = SeriesDelta { name: name.clone(), from, to };
+        match direction(name) {
+            1 if to < from => regressions.push(delta),
+            -1 if to > from => regressions.push(delta),
+            1 | -1 => improvements.push(delta),
+            _ => neutral_changes.push(delta),
+        }
+    }
+
+    if !regressions.is_empty() {
+        println!("\nregressions ({}):", regressions.len());
+        for d in &regressions {
+            let better = if direction(&d.name) > 0 { "higher" } else { "lower" };
+            println!(
+                "!! {:<44} {} -> {} ({})  [{} is better]",
+                d.name,
+                fmt_value(d.from),
+                fmt_value(d.to),
+                fmt_delta_pct(d.from, d.to),
+                better,
+            );
+        }
+    }
+    if !improvements.is_empty() {
+        println!("\nimprovements ({}):", improvements.len());
+        for d in &improvements {
+            println!(
+                "   {:<44} {} -> {} ({})",
+                d.name,
+                fmt_value(d.from),
+                fmt_value(d.to),
+                fmt_delta_pct(d.from, d.to),
+            );
+        }
+    }
+    if !neutral_changes.is_empty() {
+        println!("\nchanged (no known direction, {}):", neutral_changes.len());
+        for d in &neutral_changes {
+            println!(
+                "   {:<44} {} -> {} ({})",
+                d.name,
+                fmt_value(d.from),
+                fmt_value(d.to),
+                fmt_delta_pct(d.from, d.to),
+            );
+        }
+    }
+    println!(
+        "\n{clean} series within tolerance, {skipped_wall_clock} wall-clock series skipped"
+    );
+    if regressions.is_empty() {
+        println!("no regressions");
+        0
+    } else {
+        let names: Vec<&str> = regressions.iter().map(|d| d.name.as_str()).collect();
+        dml_obs::error!("REGRESSION in {}: {}", path_b, names.join(", "));
+        1
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BENCH_history.jsonl support
+// ---------------------------------------------------------------------------
+
+/// A `BENCH_history.jsonl` line is `{"v": 1, "kind": "bench", ...}` —
+/// sniffed by the `kind` field of the first non-blank line.
+pub fn looks_like_bench_history(text: &str) -> bool {
+    let Some(line) = text.lines().find(|l| !l.trim().is_empty()) else {
+        return false;
+    };
+    line.trim_start().starts_with('{') && str_field(line, "kind").as_deref() == Some("bench")
+}
+
+/// Position just past `"key":` (and any spacing) in a JSONL line, or
+/// None. Tolerates `json.dumps` spacing so python round-trips survive.
+fn field_start(line: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\"");
+    let at = line.find(&needle)? + needle.len();
+    let rest = &line[at..];
+    let colon = rest.find(':')?;
+    let after = &rest[colon + 1..];
+    let skip = after.len() - after.trim_start().len();
+    Some(at + colon + 1 + skip)
+}
+
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let start = field_start(line, key)?;
+    let rest = line[start..].strip_prefix('"')?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn f64_field(line: &str, key: &str) -> Option<f64> {
+    let start = field_start(line, key)?;
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// The latest ratio metrics per (bench, mode) in a bench-history log.
+fn latest_bench_ratios(text: &str) -> BTreeMap<String, Vec<(String, f64)>> {
+    let mut latest: BTreeMap<String, Vec<(String, f64)>> = BTreeMap::new();
+    for line in text.lines() {
+        if line.trim().is_empty() || str_field(line, "kind").as_deref() != Some("bench") {
+            continue;
+        }
+        let Some(bench) = str_field(line, "bench") else {
+            continue;
+        };
+        let mode = str_field(line, "mode").unwrap_or_default();
+        let key = if mode.is_empty() { bench } else { format!("{bench}/{mode}") };
+        let mut ratios = Vec::new();
+        for ratio_key in ["speedup", "batch_speedup"] {
+            if let Some(v) = f64_field(line, ratio_key) {
+                ratios.push((ratio_key.to_string(), v));
+            }
+        }
+        if !ratios.is_empty() {
+            // Last line per key wins: the most recent measured run.
+            latest.insert(key, ratios);
+        }
+    }
+    latest
+}
+
+/// Diff two `BENCH_history.jsonl` logs on their most recent ratio per
+/// bench. Returns the process exit code (0 clean, 1 regression).
+fn bench_diff(text_a: &str, text_b: &str, path_a: &str, path_b: &str) -> i32 {
+    let latest_a = latest_bench_ratios(text_a);
+    let latest_b = latest_bench_ratios(text_b);
+    println!("== bench history diff ==");
+    println!("  A: {path_a} ({} bench(es))", latest_a.len());
+    println!("  B: {path_b} ({} bench(es))", latest_b.len());
+    let mut regressed: Vec<String> = Vec::new();
+    for (key, ratios_a) in &latest_a {
+        let Some(ratios_b) = latest_b.get(key) else {
+            println!("  {key}: only in A");
+            continue;
+        };
+        for (ratio_key, from) in ratios_a {
+            let Some((_, to)) = ratios_b.iter().find(|(k, _)| k == ratio_key) else {
+                continue;
+            };
+            let floor = from * (1.0 - BENCH_TOLERANCE);
+            if *to < floor {
+                println!(
+                    "!! {key} {ratio_key}: {from:.2}x -> {to:.2}x ({}) — below the \
+{:.0}% tolerance",
+                    fmt_delta_pct(*from, *to),
+                    BENCH_TOLERANCE * 100.0,
+                );
+                regressed.push(format!("{key}.{ratio_key}"));
+            } else {
+                println!(
+                    "   {key} {ratio_key}: {from:.2}x -> {to:.2}x ({})",
+                    fmt_delta_pct(*from, *to),
+                );
+            }
+        }
+    }
+    for key in latest_b.keys() {
+        if !latest_a.contains_key(key) {
+            println!("  {key}: only in B");
+        }
+    }
+    if regressed.is_empty() {
+        println!("no bench regressions");
+        0
+    } else {
+        dml_obs::error!("BENCH REGRESSION: {}", regressed.join(", "));
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_classify_names() {
+        assert_eq!(direction("driver.precision"), 1);
+        assert_eq!(direction("fleet.lost_events"), -1);
+        assert_eq!(direction("driver.warnings"), 0);
+    }
+
+    #[test]
+    fn wall_clock_series_are_excluded() {
+        assert!(is_wall_clock("driver.retrain_wall_ms"));
+        assert!(is_wall_clock("predict.latency_us"));
+        assert!(is_wall_clock("driver.events_per_sec"));
+        assert!(!is_wall_clock("driver.precision"));
+    }
+
+    #[test]
+    fn sparkline_is_width_bounded_and_flat_safe() {
+        let flat: Vec<(i64, f64)> = (0..10).map(|i| (i, 2.0)).collect();
+        assert_eq!(sparkline(&flat, 40).chars().count(), 10);
+        let ramp: Vec<(i64, f64)> = (0..100).map(|i| (i, i as f64)).collect();
+        assert_eq!(sparkline(&ramp, 40).chars().count(), 40);
+    }
+
+    #[test]
+    fn bench_history_sniff_and_latest_wins() {
+        let log = concat!(
+            "{\"v\": 1, \"kind\": \"bench\", \"bench\": \"driver_throughput\", ",
+            "\"mode\": \"batch\", \"machine\": \"ci\", \"speedup\": 2.0}\n",
+            "{\"v\": 1, \"kind\": \"bench\", \"bench\": \"driver_throughput\", ",
+            "\"mode\": \"batch\", \"machine\": \"ci\", \"speedup\": 3.5}\n",
+        );
+        assert!(looks_like_bench_history(log));
+        assert!(!looks_like_bench_history("{\"kind\": \"meta\"}"));
+        let latest = latest_bench_ratios(log);
+        assert_eq!(latest["driver_throughput/batch"], vec![("speedup".to_string(), 3.5)]);
+    }
+}

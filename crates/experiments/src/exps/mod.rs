@@ -5,5 +5,6 @@ pub mod bench;
 pub mod extensions;
 pub mod figures;
 pub mod fleet;
+pub mod history;
 pub mod obs;
 pub mod tables;

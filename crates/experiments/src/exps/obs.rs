@@ -42,6 +42,7 @@ fn instrument_options(opts: &Opts) -> InstrumentOptions {
             Some(n) => dml_obs::TraceConfig::every(n),
             None => dml_obs::TraceConfig::disabled(),
         },
+        history: None,
     }
 }
 
@@ -141,15 +142,29 @@ pub fn experiments_cmd(opts: &Opts) {
 /// (exit 1 on missing stage metrics — the CI gate); without it, a short
 /// instrumented run produces the snapshot first.
 pub fn health(opts: &Opts) {
+    if let Some((a, b)) = &opts.diff {
+        std::process::exit(super::history::diff(a, b));
+    }
+    if let Some(path) = &opts.history {
+        std::process::exit(super::history::render(path));
+    }
     let snap = match &opts.from {
         Some(path) => {
-            // A flight-recorder log is also JSON-per-line; catch the
-            // mix-up before serde produces an inscrutable type error.
+            // A flight-recorder log or a metrics-history artifact is
+            // also JSON-per-line; catch the mix-up before serde
+            // produces an inscrutable type error.
             if let Ok(text) = std::fs::read_to_string(path) {
                 if dml_obs::looks_like_flight_log(&text) {
                     dml_obs::error!(
                         "{path} is a flight-recorder log, not a metrics snapshot; \
 inspect it with `repro trace --flight {path}`"
+                    );
+                    std::process::exit(2);
+                }
+                if dml_obs::looks_like_history(&text) {
+                    dml_obs::error!(
+                        "{path} is a metrics-history artifact, not a metrics snapshot; \
+render it with `repro health --history {path}`"
                     );
                     std::process::exit(2);
                 }
@@ -282,6 +297,18 @@ r={incumbent_recall:.3} (margin {margin:.2})"
             "rollback at week {week}: repo v{from_version} -> last-known-good v{to_version}, \
 early retrain in {next_retrain_weeks} week(s)"
         ),
+        FlightEvent::AlertFired {
+            rule,
+            series,
+            severity,
+            value,
+            week,
+        } => format!(
+            "alert fired: {rule} ({severity}) on {series} = {value:.3} at week {week}"
+        ),
+        FlightEvent::AlertResolved { rule, series, week } => {
+            format!("alert resolved: {rule} on {series} at week {week}")
+        }
         FlightEvent::ShardDown { shard, week, cause } => {
             format!("shard {shard} down at week {week} ({cause}); shedding to fallback")
         }

@@ -35,6 +35,14 @@ pub struct Opts {
     pub metrics_json: Option<String>,
     /// Dump the snapshot as OpenMetrics/Prometheus exposition text.
     pub metrics_openmetrics: Option<String>,
+    /// Dump the run's metrics time-series history (versioned JSONL).
+    pub metrics_history: Option<String>,
+    /// `health`: render a metrics-history artifact (sparklines, trends,
+    /// top movers) instead of running.
+    pub history: Option<String>,
+    /// `health`: diff two history (or bench-history) artifacts; exits
+    /// nonzero on a regression.
+    pub diff: Option<(String, String)>,
     /// Record the run's provenance stream (flight recorder JSONL); for
     /// `trace`/`explain`, the log to read instead.
     pub flight: Option<String>,
@@ -92,6 +100,9 @@ impl Opts {
             min_recall: None,
             metrics_json: None,
             metrics_openmetrics: None,
+            metrics_history: None,
+            history: None,
+            diff: None,
             flight: None,
             slo_precision: None,
             slo_recall: None,
@@ -138,6 +149,18 @@ impl Opts {
                 "--metrics-openmetrics" => {
                     opts.metrics_openmetrics =
                         Some(value(args, &mut i, "--metrics-openmetrics")?.to_string())
+                }
+                "--metrics-history" => {
+                    opts.metrics_history =
+                        Some(value(args, &mut i, "--metrics-history")?.to_string())
+                }
+                "--history" => {
+                    opts.history = Some(value(args, &mut i, "--history")?.to_string())
+                }
+                "--diff" => {
+                    let a = value(args, &mut i, "--diff")?.to_string();
+                    let b = value(args, &mut i, "--diff")?.to_string();
+                    opts.diff = Some((a, b));
                 }
                 "--flight" => opts.flight = Some(value(args, &mut i, "--flight")?.to_string()),
                 "--slo-precision" => {
@@ -262,7 +285,7 @@ impl Opts {
 }
 
 const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N] [--json FILE] \
-[--metrics-json FILE] [--metrics-openmetrics FILE] [--flight FILE] \
+[--metrics-json FILE] [--metrics-openmetrics FILE] [--metrics-history FILE] [--flight FILE] \
 [--slo-precision T] [--slo-recall T] [--quiet] [--chaos] [--min-recall T] [--min-precision T] \
 [--overlap on|off] [--lifecycle off|canary|canary+rollback] [--admission CAPACITY] [--trace N]\n\
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
@@ -271,8 +294,13 @@ fleet:       fleet [--machines N] [--shards N] [--weeks N] [--chaos] [--supervis
 [--checkpoint-dir DIR] [--trace N]   sharded serving with shard supervision and failure-domain \
 chaos\n\
 perf:        bench    reruns both perf benches on the full workload and diffs the fresh \
-numbers against the checked-in BENCH_*.json (restores the committed artifacts afterwards)\n\
+numbers against the checked-in BENCH_*.json (restores the committed artifacts afterwards; \
+fresh measured ratios append to BENCH_history.jsonl)\n\
 telemetry:   health [--from SNAPSHOT.json]    renders the pipeline dashboard\n\
+             health --history HISTORY.jsonl   per-stage trends, sparklines and top movers \
+from a --metrics-history artifact\n\
+             health --diff A B                run-to-run regression report over two history \
+(or BENCH_history) artifacts; exits 1 on regression\n\
              trace --flight LOG.jsonl [--kind K] [--shard N] [--last N]  prints a \
 flight-recorder log\n\
              trace --id TRACE --flight LOG.jsonl      one trace's per-stage waterfall\n\
@@ -374,6 +402,16 @@ fn main() {
             Ok(()) => dml_obs::info!("OpenMetrics exposition written to {path}"),
             Err(e) => {
                 dml_obs::error!("write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Some(path) = &opts.metrics_history {
+        let label = format!("repro {cmd} seed={}", opts.seed);
+        match experiments::telemetry::write_history(path, &label) {
+            Ok(()) => dml_obs::info!("metrics history written to {path}"),
+            Err(e) => {
+                dml_obs::error!("{e}");
                 std::process::exit(1);
             }
         }

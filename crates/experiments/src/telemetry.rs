@@ -7,20 +7,29 @@
 //! and validates that every stage reported ([`REQUIRED_STAGE_METRICS`]).
 
 use crate::data::build_corrupted_dataset_traced;
-use crate::slo::{run_watchdog, SloAlert, SloConfig};
+use crate::slo::{per_cycle_accuracy, run_watchdog, SloAlert, SloConfig};
 use bgl_sim::{CorruptionPlan, SystemPreset};
 use dml_core::{
     run_hardened_driver, run_overlapped_hardened_driver, AccuracyTracker, AdmissionConfig,
     DriverConfig, FrameworkConfig, HardenedConfig, HardenedReport, LifecycleConfig,
     SharedFlightRecorder, SwapMode, TrainingPolicy, WarningOutcome,
 };
-use dml_obs::{FlightEvent, MetricSource, MetricsSnapshot, Registry, SpanTimer};
+use dml_obs::{FlightEvent, MetricSource, MetricsSnapshot, Registry, SharedHistory, SpanTimer};
 use raslog::{Duration, Timestamp, WEEK_MS};
 use std::sync::{Mutex, OnceLock};
 
 fn registry() -> &'static Mutex<Registry> {
     static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(Registry::new()))
+}
+
+/// The process-wide metrics-history store every instrumented run scrapes
+/// into; `--metrics-history FILE` freezes it as the JSONL artifact.
+pub fn history() -> SharedHistory {
+    static HISTORY: OnceLock<SharedHistory> = OnceLock::new();
+    HISTORY
+        .get_or_init(|| dml_obs::shared_history(dml_obs::TimeSeriesStore::new()))
+        .clone()
 }
 
 /// Runs `f` with the process-wide registry locked.
@@ -39,9 +48,11 @@ pub fn snapshot() -> MetricsSnapshot {
     with_registry(|r| r.snapshot())
 }
 
-/// Clears the global registry (tests and `repro all` between phases).
+/// Clears the global registry and history store (tests and `repro all`
+/// between phases).
 pub fn reset() {
     with_registry(|r| *r = Registry::new());
+    dml_obs::with_history(&history(), |store| store.clear());
 }
 
 /// Writes the global registry's snapshot to `path`.
@@ -49,6 +60,15 @@ pub fn write_snapshot(path: &str) -> Result<(), String> {
     snapshot()
         .write_file(path)
         .map_err(|e| format!("write {path}: {e}"))
+}
+
+/// Writes the process-wide history store to `path` as the versioned
+/// JSONL artifact.
+pub fn write_history(path: &str, label: &str) -> Result<(), String> {
+    dml_obs::with_history(&history(), |store| {
+        store.write_file(std::path::Path::new(path), label)
+    })
+    .map_err(|e| format!("write {path}: {e}"))
 }
 
 /// Metric names an instrumented end-to-end run must report — at least
@@ -78,6 +98,9 @@ pub const REQUIRED_STAGE_METRICS: &[&str] = &[
     "accuracy.rolling_recall",
     // accuracy-SLO watchdog
     "slo.cycles",
+    // metrics history + alert rules
+    "tsdb.scrapes",
+    "alerts.evaluations",
 ];
 
 /// Checks a snapshot against [`REQUIRED_STAGE_METRICS`].
@@ -123,6 +146,10 @@ pub struct InstrumentOptions {
     /// which keeps every serving path bit-identical; sampled spans drain
     /// into the flight recorder when one is attached.
     pub trace: dml_obs::TraceConfig,
+    /// Metrics time-series store the run scrapes into. `None` uses the
+    /// process-wide [`history`] store (so `--metrics-history` works on
+    /// every command); supply one to keep a run's history isolated.
+    pub history: Option<SharedHistory>,
 }
 
 /// Appends one record to the run's flight recorder, if attached.
@@ -168,6 +195,10 @@ pub fn run_instrumented_opts(
 
     let tracer = dml_obs::shared(dml_obs::Tracer::new(options.trace));
     let tracing = options.trace.enabled;
+    let run_history = options.history.clone().unwrap_or_else(history);
+    // Several presets can run through one process-wide store; rebase the
+    // time axis so this run's scrapes land after any previous run's.
+    dml_obs::with_history(&run_history, |store| store.begin_run());
 
     // The lossless corruption plan sends every record through the text
     // serialize → lenient-parse → resequence path, so ingest counters
@@ -211,6 +242,7 @@ pub fn run_instrumented_opts(
         lifecycle: options.lifecycle,
         admission: options.admission,
         tracer: Some(tracer.clone()),
+        history: Some(run_history.clone()),
         ..HardenedConfig::default()
     };
     // Lifecycle and admission control live in the overlapped engine;
@@ -295,6 +327,76 @@ pub fn run_instrumented_opts(
     for alert in &slo_alerts {
         flight_record(&options.flight, alert.week * WEEK_MS, alert.flight_event());
     }
+
+    // Mirror the watchdog through the declarative rules engine: scrape
+    // the cumulative per-cycle accuracy counters into the history store
+    // at each retrain-cycle boundary and evaluate the built-in burn-rate
+    // rules there. With only these rules loaded the engine pages on
+    // exactly the same cycles as the watchdog (tests/history.rs).
+    let slo_config = options.slo.unwrap_or_default();
+    let mut engine = dml_obs::RulesEngine::new(dml_obs::slo_burn_rules(
+        slo_config.min_precision,
+        slo_config.min_recall,
+        slo_config.short_cycles,
+        slo_config.long_cycles,
+        slo_config.warn_burn,
+        slo_config.page_burn,
+    ));
+    let mut cum = dml_core::Accuracy::default();
+    for cycle in per_cycle_accuracy(&hardened.report) {
+        cum.true_warnings += cycle.accuracy.true_warnings;
+        cum.false_warnings += cycle.accuracy.false_warnings;
+        cum.covered_fatals += cycle.accuracy.covered_fatals;
+        cum.missed_fatals += cycle.accuracy.missed_fatals;
+        let t_ms = cycle.week * WEEK_MS;
+        let events = dml_obs::with_history(&run_history, |store| {
+            let mut scrape = Registry::new();
+            scrape.counter_add("slo.cycle_true_warnings", cum.true_warnings);
+            scrape.counter_add("slo.cycle_false_warnings", cum.false_warnings);
+            scrape.counter_add("slo.cycle_covered_fatals", cum.covered_fatals);
+            scrape.counter_add("slo.cycle_missed_fatals", cum.missed_fatals);
+            store.scrape(t_ms, &scrape.snapshot());
+            let events = engine.evaluate(t_ms, store);
+            for ev in &events {
+                if let Some(record) = ev.record() {
+                    store.note_alert(record);
+                }
+            }
+            events
+        });
+        for ev in events {
+            let event = match ev.kind {
+                dml_obs::AlertEventKind::Fired => FlightEvent::AlertFired {
+                    rule: ev.rule,
+                    series: ev.series,
+                    severity: ev.severity.as_str().to_string(),
+                    value: ev.value,
+                    week: cycle.week,
+                },
+                dml_obs::AlertEventKind::Resolved => FlightEvent::AlertResolved {
+                    rule: ev.rule,
+                    series: ev.series,
+                    week: cycle.week,
+                },
+                dml_obs::AlertEventKind::StillFiring => continue,
+            };
+            flight_record(&options.flight, t_ms, event);
+        }
+    }
+    // Final scrape: the finished run's full export lands at the
+    // end-of-run boundary, so the history's last points are the run's
+    // final values (`repro health --diff` compares those).
+    dml_obs::with_history(&run_history, |store| {
+        let mut scrape = Registry::new();
+        scrape.collect(&hardened);
+        scrape.collect(&tracker);
+        scrape.collect(&watchdog);
+        scrape.collect(&engine);
+        store.scrape(ds.weeks * WEEK_MS, &scrape.snapshot());
+    });
+    export(&engine);
+    dml_obs::with_history(&run_history, |store| export(&*store));
+
     if let Some(rec) = &options.flight {
         let mut fr = rec.lock().unwrap_or_else(|p| p.into_inner());
         if tracing {
@@ -462,6 +564,26 @@ burn p={:.2}/{:.2} r={:.2}/{:.2} short/long)\n",
         g("slo.recall_burn_short"),
         g("slo.recall_burn_long"),
     ));
+    if snap.counters.contains_key("alerts.evaluations") {
+        out.push_str(&format!(
+            "  alerts      {} rules, {} evaluations, {} breaches, {} fired / {} resolved, {} firing now\n",
+            g("alerts.rules"),
+            c("alerts.evaluations"),
+            c("alerts.breaches"),
+            c("alerts.fired"),
+            c("alerts.resolved"),
+            g("alerts.firing"),
+        ));
+    }
+    if snap.counters.contains_key("tsdb.scrapes") {
+        out.push_str(&format!(
+            "  history     {} scrapes into {} series ({} points retained, {} evicted)\n",
+            c("tsdb.scrapes"),
+            g("tsdb.series"),
+            g("tsdb.points"),
+            c("tsdb.evicted_points"),
+        ));
+    }
     if snap.counters.contains_key("lifecycle.canaries_run")
         || snap.counters.contains_key("lifecycle.rollbacks")
     {
@@ -586,6 +708,37 @@ precision {:.3} recall {:.3}\n",
             c("trace.traces_promoted"),
             c("trace.pending_dropped"),
         ));
+    }
+    // Every counter that means "data we silently did not process" in one
+    // place: the individual stage lines above bury them, and a lossy run
+    // must never read as clean.
+    let loss_rows: &[(&str, u64)] = &[
+        ("ingest parse-skipped lines", c("ingest.parse_skipped")),
+        ("ingest late-dropped events", c("ingest.late_dropped")),
+        (
+            "admission shed (duplicate + non-fatal)",
+            c("admission.shed_duplicate") + c("admission.shed_nonfatal"),
+        ),
+        ("admission shed FATAL events", c("admission.shed_fatal")),
+        ("fleet lost events", c("fleet.lost_events")),
+        ("fleet lost FATAL events", c("fleet.lost_fatal_events")),
+        ("fleet spool shed non-fatal", c("fleet.spool_dropped_nonfatal")),
+        ("flight records dropped", c("flight.records_dropped")),
+        ("trace pending spans dropped", c("trace.pending_dropped")),
+        ("history points evicted", c("tsdb.evicted_points")),
+    ];
+    let lost_total: u64 = loss_rows.iter().map(|(_, v)| *v).sum();
+    if lost_total == 0 {
+        out.push_str("  data loss   none recorded (all loss counters zero)\n");
+    } else {
+        out.push_str(&format!(
+            "  data loss   !! {lost_total} items lost or dropped — this run under-reports:\n"
+        ));
+        for (label, v) in loss_rows {
+            if *v > 0 {
+                out.push_str(&format!("              !! {label}: {v}\n"));
+            }
+        }
     }
     if !snap.traces.is_empty() {
         out.push_str("  recent milestones:\n");

@@ -223,6 +223,29 @@ pub enum FlightEvent {
         /// Test week the alert fired on.
         week: i64,
     },
+    /// A declarative alert rule transitioned into firing (or changed
+    /// severity while firing).
+    AlertFired {
+        /// Rule name (`slo-precision-burn`, user-defined, …).
+        rule: String,
+        /// Primary series the rule watches.
+        series: String,
+        /// Severity: `warn` or `page`.
+        severity: String,
+        /// Condition-specific observed value at the transition.
+        value: f64,
+        /// Test week of the triggering scrape.
+        week: i64,
+    },
+    /// A firing alert rule's condition went clean.
+    AlertResolved {
+        /// Rule name.
+        rule: String,
+        /// Primary series the rule watches.
+        series: String,
+        /// Test week of the resolving scrape.
+        week: i64,
+    },
     /// A fleet shard stopped serving mid-block (worker panic or missed
     /// heartbeat deadline); its machines shed to the fallback predictor.
     ShardDown {
@@ -291,6 +314,8 @@ impl FlightEvent {
             FlightEvent::CanaryRejected { .. } => "canary_rejected",
             FlightEvent::Rollback { .. } => "rollback",
             FlightEvent::SloAlert { .. } => "slo_alert",
+            FlightEvent::AlertFired { .. } => "alert_fired",
+            FlightEvent::AlertResolved { .. } => "alert_resolved",
             FlightEvent::ShardDown { .. } => "shard_down",
             FlightEvent::ShardRestarted { .. } => "shard_restarted",
             FlightEvent::DomainOutage { .. } => "domain_outage",

@@ -23,6 +23,13 @@
 //!   records (see [`trace`]);
 //! * [`render_openmetrics`] — OpenMetrics/Prometheus text exposition of
 //!   a snapshot;
+//! * [`TimeSeriesStore`] — a bounded in-memory time-series store scraped
+//!   at week-block boundaries, persisted as a versioned JSONL history
+//!   artifact (see [`tsdb`]);
+//! * [`RulesEngine`] — declarative alert rules (threshold /
+//!   rate-of-change / absence / burn-rate) with `for`-duration
+//!   pending→firing→resolved state machines over the store (see
+//!   [`rules`]);
 //! * [`log`] — a leveled stderr logger (macros [`error!`], [`warn!`],
 //!   [`info!`], [`debug!`]) honoring the `DML_LOG` environment variable
 //!   and the CLIs' `--quiet`.
@@ -49,9 +56,11 @@ pub mod hist;
 pub mod log;
 pub mod openmetrics;
 pub mod registry;
+pub mod rules;
 pub mod snapshot;
 pub mod span;
 pub mod trace;
+pub mod tsdb;
 
 pub use flight::{
     looks_like_flight_log, read_flight_log, FlightConfig, FlightEvent, FlightPrecursor,
@@ -62,7 +71,16 @@ pub use openmetrics::render_openmetrics;
 pub use registry::{series_key, MetricSource, Registry, TraceEntry, TraceRing};
 pub use snapshot::{render_text, HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
 pub use span::{time, SpanTimer};
+pub use rules::{
+    slo_burn_rules, AlertEvent, AlertEventKind, AlertRule, AlertSeverity, AlertState,
+    RuleCondition, RulesEngine,
+};
 pub use trace::{
     shared, with_tracer, SharedTracer, Span, TraceConfig, TraceContext, TraceCounters, TraceId,
     Tracer,
+};
+pub use tsdb::{
+    history_scrape, looks_like_history, parse_history, read_history, shared_history, with_history,
+    AlertRecord, HistoryArtifact, SeriesData, SeriesKind, SharedHistory, TimeSeriesStore,
+    HISTORY_SCHEMA_VERSION,
 };

@@ -1,0 +1,660 @@
+//! Declarative alert rules evaluated against the time-series store.
+//!
+//! Four rule kinds — threshold, rate-of-change, absence, burn-rate —
+//! each with a `for`-duration state machine: a breaching rule sits
+//! *pending* until it has breached `for_scrapes + 1` consecutive
+//! evaluations, then *fires*; a clean evaluation while firing *resolves*
+//! it. The engine emits [`AlertEvent`]s; callers land those as
+//! `alert_fired` / `alert_resolved` flight records and as `alert` lines
+//! in the history artifact.
+//!
+//! The burn-rate kind re-expresses the `dml_core::slo` watchdog as data:
+//! with only [`slo_burn_rules`] loaded and the `slo.cycle_*` counters
+//! scraped once per retrain cycle, the engine's breaching evaluations
+//! are bit-identical (same week, objective, severity, same f64 burn
+//! arithmetic) to `SloWatchdog::on_cycle` — asserted by a property test
+//! in `tests/history.rs`.
+
+use crate::registry::{MetricSource, Registry};
+use crate::tsdb::{AlertRecord, TimeSeriesStore};
+
+/// How loudly a breaching rule alerts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum AlertSeverity {
+    Warn,
+    Page,
+}
+
+impl AlertSeverity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertSeverity::Warn => "warn",
+            AlertSeverity::Page => "page",
+        }
+    }
+}
+
+/// The predicate half of a rule.
+#[derive(Debug, Clone)]
+pub enum RuleCondition {
+    /// Latest value outside `[below, above]` (either bound optional;
+    /// breach when `value > above` or `value < below`).
+    Threshold {
+        series: String,
+        above: Option<f64>,
+        below: Option<f64>,
+    },
+    /// Counter growing faster than `max_per_sec` over the trailing
+    /// `window_ms`.
+    RateOfChange {
+        series: String,
+        window_ms: i64,
+        max_per_sec: f64,
+    },
+    /// Series missing entirely, or its newest point older than
+    /// `stale_ms` at evaluation time.
+    Absence { series: String, stale_ms: i64 },
+    /// The SLO watchdog's error-budget burn, generalized: `good` and
+    /// `bad` are cumulative counters; each evaluation with fresh data
+    /// appends `good_delta / (good_delta + bad_delta)` to a ratio
+    /// history and compares short/long trailing means against `floor`
+    /// via `burn = (1 - observed) / (1 - floor)`. Severity is dynamic:
+    /// `Page` when `min(burn_short, burn_long) >= page_burn`, `Warn`
+    /// when it exceeds `warn_burn`.
+    BurnRate {
+        good: String,
+        bad: String,
+        floor: f64,
+        short_window: usize,
+        long_window: usize,
+        warn_burn: f64,
+        page_burn: f64,
+    },
+}
+
+impl RuleCondition {
+    /// The series named in alerts for this condition.
+    pub fn series(&self) -> &str {
+        match self {
+            RuleCondition::Threshold { series, .. }
+            | RuleCondition::RateOfChange { series, .. }
+            | RuleCondition::Absence { series, .. } => series,
+            RuleCondition::BurnRate { good, .. } => good,
+        }
+    }
+}
+
+/// One declarative rule.
+#[derive(Debug, Clone)]
+pub struct AlertRule {
+    pub name: String,
+    /// Severity for threshold / rate / absence breaches. Burn-rate
+    /// rules escalate dynamically and ignore this as a floor only.
+    pub severity: AlertSeverity,
+    /// Extra consecutive breaching evaluations required before firing:
+    /// `0` fires on the first breach, `n` on the `(n+1)`-th.
+    pub for_scrapes: usize,
+    pub condition: RuleCondition,
+}
+
+impl AlertRule {
+    pub fn threshold_above(name: &str, series: &str, above: f64, severity: AlertSeverity) -> Self {
+        AlertRule {
+            name: name.to_string(),
+            severity,
+            for_scrapes: 0,
+            condition: RuleCondition::Threshold {
+                series: series.to_string(),
+                above: Some(above),
+                below: None,
+            },
+        }
+    }
+
+    pub fn threshold_below(name: &str, series: &str, below: f64, severity: AlertSeverity) -> Self {
+        AlertRule {
+            name: name.to_string(),
+            severity,
+            for_scrapes: 0,
+            condition: RuleCondition::Threshold {
+                series: series.to_string(),
+                above: None,
+                below: Some(below),
+            },
+        }
+    }
+
+    pub fn absence(name: &str, series: &str, stale_ms: i64, severity: AlertSeverity) -> Self {
+        AlertRule {
+            name: name.to_string(),
+            severity,
+            for_scrapes: 0,
+            condition: RuleCondition::Absence {
+                series: series.to_string(),
+                stale_ms,
+            },
+        }
+    }
+
+    /// Requires `n` extra consecutive breaching scrapes before firing.
+    pub fn for_scrapes(mut self, n: usize) -> Self {
+        self.for_scrapes = n;
+        self
+    }
+}
+
+/// Where a rule's state machine sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    Inactive,
+    /// Breaching, but not yet for `for_scrapes + 1` evaluations.
+    Pending,
+    Firing,
+}
+
+/// What a single evaluation said about one rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertEventKind {
+    /// Transitioned into firing (or escalated/de-escalated severity
+    /// while already firing).
+    Fired,
+    /// Still breaching while firing — no transition, but an
+    /// observation (the watchdog alerts on every breaching cycle).
+    StillFiring,
+    /// Transitioned back to inactive.
+    Resolved,
+}
+
+/// One emitted alert observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertEvent {
+    pub rule: String,
+    pub series: String,
+    pub severity: AlertSeverity,
+    pub kind: AlertEventKind,
+    pub t_ms: i64,
+    /// Condition-specific: the observed value (threshold), rate
+    /// (rate-of-change), staleness ms (absence), or short-window
+    /// observed ratio (burn-rate).
+    pub value: f64,
+}
+
+impl AlertEvent {
+    /// `true` for the observations that correspond to watchdog alerts.
+    pub fn is_breach(&self) -> bool {
+        matches!(self.kind, AlertEventKind::Fired | AlertEventKind::StillFiring)
+    }
+
+    /// The history-artifact record for a state *transition* (fired /
+    /// resolved); `StillFiring` observations are not transitions.
+    pub fn record(&self) -> Option<AlertRecord> {
+        let state = match self.kind {
+            AlertEventKind::Fired => "firing",
+            AlertEventKind::Resolved => "resolved",
+            AlertEventKind::StillFiring => return None,
+        };
+        Some(AlertRecord {
+            t_ms: self.t_ms,
+            rule: self.rule.clone(),
+            series: self.series.clone(),
+            severity: self.severity.as_str().to_string(),
+            state: state.to_string(),
+            value: self.value,
+        })
+    }
+}
+
+/// Per-rule mutable evaluation state.
+#[derive(Debug)]
+struct RuleRuntime {
+    state: AlertState,
+    /// Consecutive breaching evaluations (including the current one).
+    streak: usize,
+    /// Severity announced by the most recent `Fired`.
+    firing_severity: AlertSeverity,
+    /// Burn-rate only: per-cycle observed ratios, mirroring
+    /// `SloWatchdog::history`.
+    ratio_history: Vec<f64>,
+    /// Burn-rate only: previous cumulative good/bad counter values.
+    last_good: f64,
+    last_bad: f64,
+    /// Burn-rate only: timestamp of the newest point already consumed.
+    last_seen_t: i64,
+}
+
+impl RuleRuntime {
+    fn new() -> RuleRuntime {
+        RuleRuntime {
+            state: AlertState::Inactive,
+            streak: 0,
+            firing_severity: AlertSeverity::Warn,
+            ratio_history: Vec::new(),
+            last_good: 0.0,
+            last_bad: 0.0,
+            last_seen_t: i64::MIN,
+        }
+    }
+}
+
+/// Outcome of one condition check.
+enum Check {
+    /// Condition is clean at this evaluation.
+    Clean,
+    /// Condition breaches with this severity and observed value.
+    Breach(AlertSeverity, f64),
+    /// No fresh data for this condition — state is held untouched
+    /// (burn-rate between cycle boundaries).
+    NoData,
+}
+
+/// The engine: rules plus per-rule state machines.
+#[derive(Debug)]
+pub struct RulesEngine {
+    rules: Vec<AlertRule>,
+    runtimes: Vec<RuleRuntime>,
+    evaluations: u64,
+    breaches: u64,
+    fired: u64,
+    resolved: u64,
+}
+
+impl RulesEngine {
+    pub fn new(rules: Vec<AlertRule>) -> RulesEngine {
+        let runtimes = rules.iter().map(|_| RuleRuntime::new()).collect();
+        RulesEngine {
+            rules,
+            runtimes,
+            evaluations: 0,
+            breaches: 0,
+            fired: 0,
+            resolved: 0,
+        }
+    }
+
+    pub fn rules(&self) -> &[AlertRule] {
+        &self.rules
+    }
+
+    pub fn firing(&self) -> usize {
+        self.runtimes
+            .iter()
+            .filter(|r| r.state == AlertState::Firing)
+            .count()
+    }
+
+    pub fn state(&self, rule: &str) -> Option<AlertState> {
+        self.rules
+            .iter()
+            .position(|r| r.name == rule)
+            .map(|i| self.runtimes[i].state)
+    }
+
+    /// Evaluates every rule against the store at `t_ms`, advancing the
+    /// state machines and returning the emitted events in rule order.
+    pub fn evaluate(&mut self, t_ms: i64, store: &TimeSeriesStore) -> Vec<AlertEvent> {
+        self.evaluations += 1;
+        let mut events = Vec::new();
+        for (rule, rt) in self.rules.iter().zip(self.runtimes.iter_mut()) {
+            let check = check_condition(&rule.condition, rule.severity, t_ms, store, rt);
+            let (severity, value) = match check {
+                Check::NoData => continue,
+                Check::Clean => {
+                    rt.streak = 0;
+                    match rt.state {
+                        AlertState::Firing => {
+                            rt.state = AlertState::Inactive;
+                            self.resolved += 1;
+                            events.push(AlertEvent {
+                                rule: rule.name.clone(),
+                                series: rule.condition.series().to_string(),
+                                severity: rt.firing_severity,
+                                kind: AlertEventKind::Resolved,
+                                t_ms,
+                                value: 0.0,
+                            });
+                        }
+                        AlertState::Pending => rt.state = AlertState::Inactive,
+                        AlertState::Inactive => {}
+                    }
+                    continue;
+                }
+                Check::Breach(severity, value) => (severity, value),
+            };
+
+            rt.streak += 1;
+            self.breaches += 1;
+            let kind = match rt.state {
+                AlertState::Inactive | AlertState::Pending => {
+                    if rt.streak > rule.for_scrapes {
+                        rt.state = AlertState::Firing;
+                        rt.firing_severity = severity;
+                        self.fired += 1;
+                        Some(AlertEventKind::Fired)
+                    } else {
+                        rt.state = AlertState::Pending;
+                        None
+                    }
+                }
+                AlertState::Firing => {
+                    if severity != rt.firing_severity {
+                        // Escalation (or de-escalation) re-fires at the
+                        // new severity so pages are never hidden behind
+                        // an earlier warn.
+                        rt.firing_severity = severity;
+                        self.fired += 1;
+                        Some(AlertEventKind::Fired)
+                    } else {
+                        Some(AlertEventKind::StillFiring)
+                    }
+                }
+            };
+            if let Some(kind) = kind {
+                events.push(AlertEvent {
+                    rule: rule.name.clone(),
+                    series: rule.condition.series().to_string(),
+                    severity,
+                    kind,
+                    t_ms,
+                    value,
+                });
+            }
+        }
+        events
+    }
+}
+
+impl MetricSource for RulesEngine {
+    fn export(&self, registry: &mut Registry) {
+        registry.gauge_set("alerts.rules", self.rules.len() as f64);
+        registry.counter_add("alerts.evaluations", self.evaluations);
+        registry.counter_add("alerts.breaches", self.breaches);
+        registry.counter_add("alerts.fired", self.fired);
+        registry.counter_add("alerts.resolved", self.resolved);
+        registry.gauge_set("alerts.firing", self.firing() as f64);
+    }
+}
+
+fn check_condition(
+    condition: &RuleCondition,
+    default_severity: AlertSeverity,
+    t_ms: i64,
+    store: &TimeSeriesStore,
+    rt: &mut RuleRuntime,
+) -> Check {
+    match condition {
+        RuleCondition::Threshold { series, above, below } => {
+            let Some(series) = store.series(series) else {
+                return Check::Clean;
+            };
+            let Some((_, v)) = series.latest() else {
+                return Check::Clean;
+            };
+            let breach = above.map(|a| v > a).unwrap_or(false)
+                || below.map(|b| v < b).unwrap_or(false);
+            if breach {
+                Check::Breach(default_severity, v)
+            } else {
+                Check::Clean
+            }
+        }
+        RuleCondition::RateOfChange { series, window_ms, max_per_sec } => {
+            let Some(series) = store.series(series) else {
+                return Check::Clean;
+            };
+            match series.rate_per_sec(*window_ms) {
+                Some(rate) if rate > *max_per_sec => Check::Breach(default_severity, rate),
+                _ => Check::Clean,
+            }
+        }
+        RuleCondition::Absence { series, stale_ms } => {
+            match store.series(series).and_then(|s| s.latest()) {
+                None => Check::Breach(default_severity, f64::from(i32::MAX)),
+                Some((t, _)) if t_ms - t > *stale_ms => {
+                    Check::Breach(default_severity, (t_ms - t) as f64)
+                }
+                Some(_) => Check::Clean,
+            }
+        }
+        RuleCondition::BurnRate {
+            good,
+            bad,
+            floor,
+            short_window,
+            long_window,
+            warn_burn,
+            page_burn,
+        } => {
+            let g = store.series(good).and_then(|s| s.latest());
+            let b = store.series(bad).and_then(|s| s.latest());
+            let (Some((tg, gv)), Some((tb, bv))) = (g, b) else {
+                return Check::NoData;
+            };
+            let newest = tg.max(tb);
+            if newest <= rt.last_seen_t {
+                // No new cycle landed since the last evaluation: the
+                // watchdog only speaks at cycle boundaries, so hold.
+                return Check::NoData;
+            }
+            rt.last_seen_t = newest;
+            let good_delta = gv - rt.last_good;
+            let bad_delta = bv - rt.last_bad;
+            rt.last_good = gv;
+            rt.last_bad = bv;
+            // Zero-denominator cycles observe 0.0, exactly like
+            // `Accuracy::precision()` / `recall()`.
+            let denom = good_delta + bad_delta;
+            let observed = if denom > 0.0 { good_delta / denom } else { 0.0 };
+            rt.ratio_history.push(observed);
+            let short = window_mean(&rt.ratio_history, *short_window);
+            let long = window_mean(&rt.ratio_history, *long_window);
+            let burn_short = burn_rate(short, *floor);
+            let burn_long = burn_rate(long, *floor);
+            // Both windows must agree the budget is burning — min()
+            // mirrors the watchdog's multiwindow AND.
+            let worst = burn_short.min(burn_long);
+            if worst >= *page_burn {
+                Check::Breach(AlertSeverity::Page, short)
+            } else if worst > *warn_burn {
+                Check::Breach(AlertSeverity::Warn, short)
+            } else {
+                Check::Clean
+            }
+        }
+    }
+}
+
+/// Mean of the trailing `window` entries (clamped to what exists) —
+/// the same arithmetic, in the same order, as `SloWatchdog`.
+fn window_mean(history: &[f64], window: usize) -> f64 {
+    let n = window.max(1).min(history.len());
+    if n == 0 {
+        return 0.0;
+    }
+    let sum: f64 = history[history.len() - n..].iter().sum();
+    sum / n as f64
+}
+
+/// Error-budget burn: how much faster than allowed the budget drains.
+fn burn_rate(observed: f64, floor: f64) -> f64 {
+    (1.0 - observed) / (1.0 - floor).max(1e-9)
+}
+
+/// The built-in rules re-expressing the `dml_core::slo` watchdog: one
+/// burn-rate rule per objective over the cumulative per-cycle accuracy
+/// counters the instrumented harness scrapes at each retrain cycle.
+pub fn slo_burn_rules(
+    min_precision: f64,
+    min_recall: f64,
+    short_cycles: usize,
+    long_cycles: usize,
+    warn_burn: f64,
+    page_burn: f64,
+) -> Vec<AlertRule> {
+    let burn = |name: &str, good: &str, bad: &str, floor: f64| AlertRule {
+        name: name.to_string(),
+        severity: AlertSeverity::Warn,
+        for_scrapes: 0,
+        condition: RuleCondition::BurnRate {
+            good: good.to_string(),
+            bad: bad.to_string(),
+            floor,
+            short_window: short_cycles,
+            long_window: long_cycles,
+            warn_burn,
+            page_burn,
+        },
+    };
+    vec![
+        burn(
+            "slo-precision-burn",
+            "slo.cycle_true_warnings",
+            "slo.cycle_false_warnings",
+            min_precision,
+        ),
+        burn(
+            "slo-recall-burn",
+            "slo.cycle_covered_fatals",
+            "slo.cycle_missed_fatals",
+            min_recall,
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn gauge_scrape(store: &mut TimeSeriesStore, t_ms: i64, name: &str, v: f64) {
+        let mut registry = Registry::new();
+        registry.gauge_set(name, v);
+        store.scrape(t_ms, &registry.snapshot());
+    }
+
+    #[test]
+    fn threshold_fires_and_resolves_immediately_without_for() {
+        let mut store = TimeSeriesStore::new();
+        let mut engine = RulesEngine::new(vec![AlertRule::threshold_above(
+            "hot", "g", 10.0, AlertSeverity::Page,
+        )]);
+
+        gauge_scrape(&mut store, 0, "g", 5.0);
+        assert!(engine.evaluate(0, &store).is_empty());
+        assert_eq!(engine.state("hot"), Some(AlertState::Inactive));
+
+        gauge_scrape(&mut store, 1000, "g", 11.0);
+        let events = engine.evaluate(1000, &store);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertEventKind::Fired);
+        assert_eq!(events[0].severity, AlertSeverity::Page);
+        assert_eq!(engine.state("hot"), Some(AlertState::Firing));
+
+        gauge_scrape(&mut store, 2000, "g", 12.0);
+        let events = engine.evaluate(2000, &store);
+        assert_eq!(events[0].kind, AlertEventKind::StillFiring);
+
+        gauge_scrape(&mut store, 3000, "g", 3.0);
+        let events = engine.evaluate(3000, &store);
+        assert_eq!(events[0].kind, AlertEventKind::Resolved);
+        assert_eq!(engine.state("hot"), Some(AlertState::Inactive));
+        assert_eq!(engine.firing(), 0);
+    }
+
+    #[test]
+    fn for_duration_holds_pending_until_streak_clears_it() {
+        let mut store = TimeSeriesStore::new();
+        let rule = AlertRule::threshold_above("slow", "g", 1.0, AlertSeverity::Warn).for_scrapes(2);
+        let mut engine = RulesEngine::new(vec![rule]);
+
+        gauge_scrape(&mut store, 0, "g", 2.0);
+        assert!(engine.evaluate(0, &store).is_empty());
+        assert_eq!(engine.state("slow"), Some(AlertState::Pending));
+
+        gauge_scrape(&mut store, 1000, "g", 2.0);
+        assert!(engine.evaluate(1000, &store).is_empty());
+        assert_eq!(engine.state("slow"), Some(AlertState::Pending));
+
+        // A clean scrape resets the streak entirely.
+        gauge_scrape(&mut store, 2000, "g", 0.5);
+        assert!(engine.evaluate(2000, &store).is_empty());
+        assert_eq!(engine.state("slow"), Some(AlertState::Inactive));
+
+        // Three consecutive breaches are required again from scratch.
+        for (i, t) in [3000i64, 4000, 5000].iter().enumerate() {
+            gauge_scrape(&mut store, *t, "g", 2.0);
+            let events = engine.evaluate(*t, &store);
+            if i < 2 {
+                assert!(events.is_empty(), "still pending at breach {}", i + 1);
+            } else {
+                assert_eq!(events[0].kind, AlertEventKind::Fired);
+            }
+        }
+    }
+
+    #[test]
+    fn absence_rule_detects_missing_and_stale_series() {
+        let mut store = TimeSeriesStore::new();
+        let mut engine = RulesEngine::new(vec![AlertRule::absence(
+            "gone", "heartbeat", 5_000, AlertSeverity::Warn,
+        )]);
+        // Missing entirely.
+        let events = engine.evaluate(0, &store);
+        assert_eq!(events[0].kind, AlertEventKind::Fired);
+
+        // Fresh point resolves it.
+        gauge_scrape(&mut store, 10_000, "heartbeat", 1.0);
+        let events = engine.evaluate(10_000, &store);
+        assert_eq!(events[0].kind, AlertEventKind::Resolved);
+
+        // Stale again once the clock outruns it.
+        let events = engine.evaluate(20_000, &store);
+        assert_eq!(events[0].kind, AlertEventKind::Fired);
+        assert_eq!(events[0].value, 10_000.0);
+    }
+
+    #[test]
+    fn rate_of_change_fires_on_fast_counter() {
+        let mut store = TimeSeriesStore::new();
+        let mut engine = RulesEngine::new(vec![AlertRule {
+            name: "spike".to_string(),
+            severity: AlertSeverity::Page,
+            for_scrapes: 0,
+            condition: RuleCondition::RateOfChange {
+                series: "c".to_string(),
+                window_ms: 10_000,
+                max_per_sec: 5.0,
+            },
+        }]);
+        let mut registry = Registry::new();
+        registry.counter_add("c", 10);
+        store.scrape(0, &registry.snapshot());
+        assert!(engine.evaluate(0, &store).is_empty(), "one point has no rate");
+        registry.counter_add("c", 100);
+        store.scrape(1000, &registry.snapshot());
+        let events = engine.evaluate(1000, &store);
+        assert_eq!(events[0].kind, AlertEventKind::Fired);
+        assert!(events[0].value > 5.0);
+    }
+
+    #[test]
+    fn burn_rule_holds_state_between_cycles() {
+        let mut store = TimeSeriesStore::new();
+        let mut engine = RulesEngine::new(vec![slo_burn_rules(0.4, 0.4, 2, 6, 1.0, 1.5)
+            .into_iter()
+            .next()
+            .unwrap()]);
+        // All-false cycle: observed precision 0, burn >> page.
+        let mut registry = Registry::new();
+        registry.counter_add("slo.cycle_true_warnings", 0);
+        registry.counter_add("slo.cycle_false_warnings", 10);
+        store.scrape(0, &registry.snapshot());
+        let events = engine.evaluate(0, &store);
+        assert_eq!(events[0].kind, AlertEventKind::Fired);
+        assert_eq!(events[0].severity, AlertSeverity::Page);
+
+        // Re-evaluating without a new cycle emits nothing and keeps the
+        // ratio history at one entry.
+        assert!(engine.evaluate(1, &store).is_empty());
+        assert_eq!(engine.state("slo-precision-burn"), Some(AlertState::Firing));
+    }
+}

@@ -1,0 +1,904 @@
+//! Bounded in-memory time-series store scraped at week-block boundaries.
+//!
+//! Every driver (serial hardened, overlapped, fleet) can carry an
+//! optional [`SharedHistory`]; at each block boundary it scrapes a
+//! metrics snapshot into fixed-capacity rings — cumulative counters,
+//! gauge tracks, and histogram percentile tracks. The store is strictly
+//! observational: drivers never read it back, so reports are
+//! bit-identical with scraping on or off.
+//!
+//! Honesty: rings evict their oldest point when full, and every eviction
+//! is counted (`tsdb.evicted_points`), so a truncated history can never
+//! masquerade as a complete one.
+//!
+//! The store persists as a versioned JSONL artifact (`--metrics-history
+//! FILE`): one `meta` line, one `series` line per series, one `alert`
+//! line per alert-state transition. Writer and reader are hand-rolled —
+//! the schema is small and flat, and this keeps the artifact drivable in
+//! environments without a runtime JSON dependency.
+
+use crate::registry::{MetricSource, Registry};
+use crate::snapshot::MetricsSnapshot;
+use std::collections::{BTreeMap, VecDeque};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Version stamped on every line of the history artifact.
+pub const HISTORY_SCHEMA_VERSION: u32 = 1;
+
+/// Default ring capacity per series — enough for multi-year weekly
+/// scrapes while bounding memory for tight scrape loops.
+pub const DEFAULT_RING_CAPACITY: usize = 512;
+
+/// What a series measures; decides which queries make sense on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeriesKind {
+    /// Cumulative, nondecreasing; query via deltas and rates.
+    Counter,
+    /// Point-in-time level.
+    Gauge,
+    /// A percentile (or count/max) track derived from a histogram.
+    Percentile,
+}
+
+impl SeriesKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Percentile => "percentile",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<SeriesKind> {
+        match s {
+            "counter" => Some(SeriesKind::Counter),
+            "gauge" => Some(SeriesKind::Gauge),
+            "percentile" => Some(SeriesKind::Percentile),
+            _ => None,
+        }
+    }
+}
+
+/// One fixed-capacity ring of `(t_ms, value)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    kind: SeriesKind,
+    points: VecDeque<(i64, f64)>,
+    capacity: usize,
+    evicted: u64,
+}
+
+impl Series {
+    fn new(kind: SeriesKind, capacity: usize) -> Series {
+        Series {
+            kind,
+            points: VecDeque::new(),
+            capacity: capacity.max(1),
+            evicted: 0,
+        }
+    }
+
+    fn push(&mut self, t_ms: i64, value: f64) -> bool {
+        // One point per scrape instant: a re-scrape at the same t_ms
+        // overwrites rather than duplicating the tick.
+        if let Some(last) = self.points.back_mut() {
+            if last.0 == t_ms {
+                last.1 = value;
+                return false;
+            }
+        }
+        let mut evicted = false;
+        if self.points.len() == self.capacity {
+            self.points.pop_front();
+            self.evicted += 1;
+            evicted = true;
+        }
+        self.points.push_back((t_ms, value));
+        evicted
+    }
+
+    pub fn kind(&self) -> SeriesKind {
+        self.kind
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Points evicted from this ring since creation.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    pub fn points(&self) -> impl Iterator<Item = (i64, f64)> + '_ {
+        self.points.iter().copied()
+    }
+
+    pub fn first(&self) -> Option<(i64, f64)> {
+        self.points.front().copied()
+    }
+
+    pub fn latest(&self) -> Option<(i64, f64)> {
+        self.points.back().copied()
+    }
+
+    /// Change in value over (roughly) the trailing `window_ms`: latest
+    /// minus the newest point at or before `latest.t - window_ms`,
+    /// falling back to the oldest retained point. `None` with fewer than
+    /// two points.
+    pub fn delta_over(&self, window_ms: i64) -> Option<f64> {
+        let (latest_t, latest_v) = self.latest()?;
+        let cutoff = latest_t - window_ms;
+        let mut reference = self.first()?;
+        if self.points.len() < 2 {
+            return None;
+        }
+        for &(t, v) in self.points.iter() {
+            if t <= cutoff {
+                reference = (t, v);
+            } else {
+                break;
+            }
+        }
+        if reference.0 == latest_t {
+            return None;
+        }
+        Some(latest_v - reference.1)
+    }
+
+    /// Per-second rate over the same window as [`Series::delta_over`].
+    pub fn rate_per_sec(&self, window_ms: i64) -> Option<f64> {
+        let (latest_t, latest_v) = self.latest()?;
+        let cutoff = latest_t - window_ms;
+        let mut reference = self.first()?;
+        if self.points.len() < 2 {
+            return None;
+        }
+        for &(t, v) in self.points.iter() {
+            if t <= cutoff {
+                reference = (t, v);
+            } else {
+                break;
+            }
+        }
+        let dt_ms = latest_t - reference.0;
+        if dt_ms <= 0 {
+            return None;
+        }
+        Some((latest_v - reference.1) / (dt_ms as f64 / 1000.0))
+    }
+}
+
+/// One alert-state transition, retained in the store so the history
+/// artifact is self-contained (the rules engine writes these via
+/// [`TimeSeriesStore::note_alert`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AlertRecord {
+    pub t_ms: i64,
+    pub rule: String,
+    pub series: String,
+    /// `warn` or `page`.
+    pub severity: String,
+    /// `firing` or `resolved`.
+    pub state: String,
+    pub value: f64,
+}
+
+/// The bounded store: a ring per series plus scrape/eviction accounting.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    capacity: usize,
+    series: BTreeMap<String, Series>,
+    scrapes: u64,
+    evicted_points: u64,
+    alerts: Vec<AlertRecord>,
+    /// Offset added to every scraped/alerted timestamp — see
+    /// [`TimeSeriesStore::begin_run`].
+    offset_ms: i64,
+    /// Newest offset-applied timestamp ingested so far.
+    max_t: i64,
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> Self {
+        TimeSeriesStore::new()
+    }
+}
+
+impl TimeSeriesStore {
+    pub fn new() -> TimeSeriesStore {
+        TimeSeriesStore::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// Per-series ring capacity (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> TimeSeriesStore {
+        TimeSeriesStore {
+            capacity: capacity.max(1),
+            series: BTreeMap::new(),
+            scrapes: 0,
+            evicted_points: 0,
+            alerts: Vec::new(),
+            offset_ms: 0,
+            max_t: i64::MIN,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn scrapes(&self) -> u64 {
+        self.scrapes
+    }
+
+    /// Total points evicted across all rings — the honesty counter.
+    pub fn evicted_points(&self) -> u64 {
+        self.evicted_points
+    }
+
+    pub fn series_count(&self) -> usize {
+        self.series.len()
+    }
+
+    pub fn points_total(&self) -> usize {
+        self.series.values().map(Series::len).sum()
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    pub fn series(&self, name: &str) -> Option<&Series> {
+        self.series.get(name)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Series)> {
+        self.series.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    pub fn alerts(&self) -> &[AlertRecord] {
+        &self.alerts
+    }
+
+    pub fn note_alert(&mut self, mut record: AlertRecord) {
+        record.t_ms += self.offset_ms;
+        self.max_t = self.max_t.max(record.t_ms);
+        self.alerts.push(record);
+    }
+
+    /// Rebases the time axis for a new run sharing this store: every
+    /// subsequent scrape/alert timestamp is shifted to land strictly
+    /// after the newest point already held, so per-series timelines stay
+    /// monotonic when one process drives several run-relative clocks
+    /// (e.g. `repro experiments` runs one instrumented pipeline per
+    /// preset into the process-wide store). No-op on an empty store.
+    pub fn begin_run(&mut self) {
+        if self.max_t > i64::MIN {
+            self.offset_ms = self.max_t + 1;
+        }
+    }
+
+    /// Drops every series, point and alert (capacity is kept).
+    pub fn clear(&mut self) {
+        self.series.clear();
+        self.scrapes = 0;
+        self.evicted_points = 0;
+        self.alerts.clear();
+        self.offset_ms = 0;
+        self.max_t = i64::MIN;
+    }
+
+    fn observe(&mut self, name: &str, kind: SeriesKind, t_ms: i64, value: f64) {
+        let capacity = self.capacity;
+        let series = self
+            .series
+            .entry(name.to_string())
+            .or_insert_with(|| Series::new(kind, capacity));
+        if series.push(t_ms, value) {
+            self.evicted_points += 1;
+        }
+    }
+
+    /// Ingests one snapshot at `t_ms`: plain and labeled counters and
+    /// gauges point-for-point, histograms as derived `count` /
+    /// percentile / `max` tracks.
+    pub fn scrape(&mut self, t_ms: i64, snap: &MetricsSnapshot) {
+        let t_ms = t_ms + self.offset_ms;
+        self.max_t = self.max_t.max(t_ms);
+        self.scrapes += 1;
+        for (name, &v) in &snap.counters {
+            self.observe(name, SeriesKind::Counter, t_ms, v as f64);
+        }
+        for (name, &v) in &snap.gauges {
+            self.observe(name, SeriesKind::Gauge, t_ms, v);
+        }
+        for (name, h) in &snap.histograms {
+            self.observe(&format!("{name}.count"), SeriesKind::Counter, t_ms, h.count as f64);
+            self.observe(&format!("{name}.p50"), SeriesKind::Percentile, t_ms, h.p50);
+            self.observe(&format!("{name}.p95"), SeriesKind::Percentile, t_ms, h.p95);
+            self.observe(&format!("{name}.p99"), SeriesKind::Percentile, t_ms, h.p99);
+            self.observe(&format!("{name}.max"), SeriesKind::Percentile, t_ms, h.max);
+        }
+        for (key, &v) in &snap.labeled_counters {
+            self.observe(key, SeriesKind::Counter, t_ms, v as f64);
+        }
+        for (key, &v) in &snap.labeled_gauges {
+            self.observe(key, SeriesKind::Gauge, t_ms, v);
+        }
+        for (key, h) in &snap.labeled_histograms {
+            // Label block stays at the end of the derived name so
+            // per-shard percentile tracks group under one family.
+            let (base, labels) = match key.find('{') {
+                Some(i) => (&key[..i], &key[i..]),
+                None => (key.as_str(), ""),
+            };
+            self.observe(
+                &format!("{base}.count{labels}"),
+                SeriesKind::Counter,
+                t_ms,
+                h.count as f64,
+            );
+            self.observe(&format!("{base}.p95{labels}"), SeriesKind::Percentile, t_ms, h.p95);
+            self.observe(&format!("{base}.p99{labels}"), SeriesKind::Percentile, t_ms, h.p99);
+        }
+    }
+
+    /// Collects `sources` into a throwaway registry and scrapes the
+    /// result — the one-line hook drivers call at block boundaries.
+    pub fn scrape_sources(&mut self, t_ms: i64, sources: &[&dyn MetricSource]) {
+        let mut registry = Registry::new();
+        for source in sources {
+            registry.collect(*source);
+        }
+        self.scrape(t_ms, &registry.snapshot());
+    }
+
+    /// Serializes the store as the JSONL history artifact.
+    pub fn to_jsonl(&self, label: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"v\":{},\"kind\":\"meta\",\"label\":\"{}\",\"capacity\":{},\"scrapes\":{},\"series\":{},\"evicted_points\":{}}}\n",
+            HISTORY_SCHEMA_VERSION,
+            escape_json(label),
+            self.capacity,
+            self.scrapes,
+            self.series.len(),
+            self.evicted_points,
+        ));
+        for (name, series) in &self.series {
+            out.push_str(&format!(
+                "{{\"v\":{},\"kind\":\"series\",\"name\":\"{}\",\"type\":\"{}\",\"evicted\":{},\"points\":[",
+                HISTORY_SCHEMA_VERSION,
+                escape_json(name),
+                series.kind.as_str(),
+                series.evicted,
+            ));
+            for (i, (t, v)) in series.points().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{t},{}]", fmt_json_f64(v)));
+            }
+            out.push_str("]}\n");
+        }
+        for a in &self.alerts {
+            out.push_str(&format!(
+                "{{\"v\":{},\"kind\":\"alert\",\"t_ms\":{},\"rule\":\"{}\",\"series\":\"{}\",\"severity\":\"{}\",\"state\":\"{}\",\"value\":{}}}\n",
+                HISTORY_SCHEMA_VERSION,
+                a.t_ms,
+                escape_json(&a.rule),
+                escape_json(&a.series),
+                escape_json(&a.severity),
+                escape_json(&a.state),
+                fmt_json_f64(a.value),
+            ));
+        }
+        out
+    }
+
+    /// Writes the artifact to `path`.
+    pub fn write_file(&self, path: &Path, label: &str) -> std::io::Result<()> {
+        std::fs::write(path, self.to_jsonl(label))
+    }
+}
+
+impl MetricSource for TimeSeriesStore {
+    fn export(&self, registry: &mut Registry) {
+        registry.counter_add("tsdb.scrapes", self.scrapes);
+        registry.counter_add("tsdb.evicted_points", self.evicted_points);
+        registry.gauge_set("tsdb.series", self.series.len() as f64);
+        registry.gauge_set("tsdb.points", self.points_total() as f64);
+        registry.counter_add("tsdb.alerts_recorded", self.alerts.len() as u64);
+    }
+}
+
+/// The store behind a mutex, cloneable into driver configs.
+pub type SharedHistory = Arc<Mutex<TimeSeriesStore>>;
+
+/// Wraps a store for sharing with drivers.
+pub fn shared_history(store: TimeSeriesStore) -> SharedHistory {
+    Arc::new(Mutex::new(store))
+}
+
+/// Runs `f` against the shared store, riding through poisoned locks
+/// (the store is plain data; a panicked scraper leaves it readable).
+pub fn with_history<R>(history: &SharedHistory, f: impl FnOnce(&mut TimeSeriesStore) -> R) -> R {
+    let mut guard = match history.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    f(&mut guard)
+}
+
+/// Scrapes `sources` into the shared store at `t_ms`.
+pub fn history_scrape(history: &SharedHistory, t_ms: i64, sources: &[&dyn MetricSource]) {
+    with_history(history, |store| store.scrape_sources(t_ms, sources));
+}
+
+// ---------------------------------------------------------------------
+// Artifact reading — a lenient, dependency-free JSONL parser restricted
+// to the writer's schema. Malformed lines are counted and skipped, not
+// fatal; only a missing/invalid meta line rejects the file.
+// ---------------------------------------------------------------------
+
+/// One parsed series from an artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesData {
+    pub kind: SeriesKind,
+    pub evicted: u64,
+    pub points: Vec<(i64, f64)>,
+}
+
+impl SeriesData {
+    pub fn latest(&self) -> Option<(i64, f64)> {
+        self.points.last().copied()
+    }
+}
+
+/// A fully parsed history artifact.
+#[derive(Debug, Clone, Default)]
+pub struct HistoryArtifact {
+    pub label: String,
+    pub capacity: u64,
+    pub scrapes: u64,
+    pub evicted_points: u64,
+    pub series: BTreeMap<String, SeriesData>,
+    pub alerts: Vec<AlertRecord>,
+}
+
+/// `true` when `text` looks like a metrics-history artifact (used by
+/// `repro health --from` to redirect users to `--history`).
+pub fn looks_like_history(text: &str) -> bool {
+    let Some(first) = text.lines().find(|l| !l.trim().is_empty()) else {
+        return false;
+    };
+    let first = first.trim_start();
+    first.starts_with('{')
+        && first.contains("\"kind\"")
+        && json_str_field(first, "kind").as_deref() == Some("meta")
+        && first.contains("\"scrapes\"")
+}
+
+/// Parses an artifact, returning it plus the number of skipped
+/// (malformed or unknown-kind) lines.
+pub fn parse_history(text: &str) -> Result<(HistoryArtifact, usize), String> {
+    let mut artifact = HistoryArtifact::default();
+    let mut seen_meta = false;
+    let mut skipped = 0usize;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let Some(kind) = json_str_field(line, "kind") else {
+            skipped += 1;
+            continue;
+        };
+        match kind.as_str() {
+            "meta" => {
+                let v = json_u64_field(line, "v").unwrap_or(0);
+                if v != u64::from(HISTORY_SCHEMA_VERSION) {
+                    return Err(format!(
+                        "unsupported history schema v{v} (this build reads v{HISTORY_SCHEMA_VERSION})"
+                    ));
+                }
+                artifact.label = json_str_field(line, "label").unwrap_or_default();
+                artifact.capacity = json_u64_field(line, "capacity").unwrap_or(0);
+                artifact.scrapes = json_u64_field(line, "scrapes").unwrap_or(0);
+                artifact.evicted_points = json_u64_field(line, "evicted_points").unwrap_or(0);
+                seen_meta = true;
+            }
+            "series" => {
+                let (Some(name), Some(ty)) =
+                    (json_str_field(line, "name"), json_str_field(line, "type"))
+                else {
+                    skipped += 1;
+                    continue;
+                };
+                let Some(kind) = SeriesKind::parse(&ty) else {
+                    skipped += 1;
+                    continue;
+                };
+                let Some(points) = json_points_field(line, "points") else {
+                    skipped += 1;
+                    continue;
+                };
+                artifact.series.insert(
+                    name,
+                    SeriesData {
+                        kind,
+                        evicted: json_u64_field(line, "evicted").unwrap_or(0),
+                        points,
+                    },
+                );
+            }
+            "alert" => {
+                let (Some(rule), Some(state)) =
+                    (json_str_field(line, "rule"), json_str_field(line, "state"))
+                else {
+                    skipped += 1;
+                    continue;
+                };
+                artifact.alerts.push(AlertRecord {
+                    t_ms: json_i64_field(line, "t_ms").unwrap_or(0),
+                    rule,
+                    series: json_str_field(line, "series").unwrap_or_default(),
+                    severity: json_str_field(line, "severity").unwrap_or_default(),
+                    state,
+                    value: json_f64_field(line, "value").unwrap_or(0.0),
+                });
+            }
+            _ => skipped += 1,
+        }
+    }
+    if !seen_meta {
+        return Err("not a metrics-history artifact (no meta line)".to_string());
+    }
+    Ok((artifact, skipped))
+}
+
+/// Reads and parses an artifact from disk.
+pub fn read_history(path: &Path) -> Result<(HistoryArtifact, usize), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_history(&text)
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_json_f64(v: f64) -> String {
+    if !v.is_finite() {
+        // JSON has no Inf/NaN; the artifact clamps rather than corrupting
+        // the line. These never show up on the scraped families.
+        return "0".to_string();
+    }
+    if v == v.trunc() && v.abs() < 9.0e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Byte offset just past `"key":` (and any whitespace) in `line`, or
+/// `None`. Tolerates `json.dumps`-style spacing so python-edited
+/// artifacts (the CI regression injector) stay readable.
+fn find_field(line: &str, key: &str) -> Option<usize> {
+    let needle = format!("\"{key}\"");
+    let mut search_from = 0usize;
+    loop {
+        let at = line[search_from..].find(&needle)? + search_from;
+        let mut rest = line[at + needle.len()..].char_indices().peekable();
+        let mut offset = at + needle.len();
+        let mut colon = false;
+        for (i, c) in rest.by_ref() {
+            if c.is_whitespace() {
+                continue;
+            }
+            if c == ':' {
+                colon = true;
+                offset = at + needle.len() + i + 1;
+            }
+            break;
+        }
+        if colon {
+            // Skip whitespace after the colon.
+            let tail = &line[offset..];
+            let skip = tail.len() - tail.trim_start().len();
+            return Some(offset + skip);
+        }
+        search_from = at + needle.len();
+    }
+}
+
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let at = find_field(line, key)?;
+    let tail = &line[at..];
+    let mut chars = tail.chars();
+    if chars.next() != Some('"') {
+        return None;
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in chars {
+        if escaped {
+            match c {
+                'n' => out.push('\n'),
+                'r' => out.push('\r'),
+                't' => out.push('\t'),
+                // \uXXXX escapes from our own writer are control chars;
+                // decode the common form, drop anything exotic.
+                'u' => out.push('\u{fffd}'),
+                c => out.push(c),
+            }
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(out);
+        } else {
+            out.push(c);
+        }
+    }
+    None
+}
+
+fn json_number_slice<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let at = find_field(line, key)?;
+    let tail = &line[at..];
+    let end = tail
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(tail.len());
+    if end == 0 {
+        return None;
+    }
+    Some(&tail[..end])
+}
+
+fn json_u64_field(line: &str, key: &str) -> Option<u64> {
+    json_number_slice(line, key)?.parse().ok()
+}
+
+fn json_i64_field(line: &str, key: &str) -> Option<i64> {
+    json_number_slice(line, key)?.parse().ok()
+}
+
+fn json_f64_field(line: &str, key: &str) -> Option<f64> {
+    json_number_slice(line, key)?.parse().ok()
+}
+
+/// Parses `"points":[[t,v],...]`, tolerating whitespace between tokens.
+fn json_points_field(line: &str, key: &str) -> Option<Vec<(i64, f64)>> {
+    let at = find_field(line, key)?;
+    let bytes = &line.as_bytes()[at..];
+    if bytes.first() != Some(&b'[') {
+        return None;
+    }
+    let text = &line[at..];
+    let mut points = Vec::new();
+    let mut chars = text.char_indices().skip(1).peekable();
+    loop {
+        // Skip whitespace and commas up to the next '[' or the closing ']'.
+        let mut start = None;
+        for (i, c) in chars.by_ref() {
+            if c == '[' {
+                start = Some(i);
+                break;
+            }
+            if c == ']' {
+                return Some(points);
+            }
+            if !c.is_whitespace() && c != ',' {
+                return None;
+            }
+        }
+        let start = start?;
+        let close = text[start..].find(']')? + start;
+        let pair = &text[start + 1..close];
+        let mut parts = pair.split(',').map(str::trim);
+        let t: i64 = parts.next()?.parse().ok()?;
+        let v: f64 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        points.push((t, v));
+        // Resume scanning after the inner close bracket.
+        while let Some(&(i, _)) = chars.peek() {
+            if i > close {
+                break;
+            }
+            chars.next();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest_and_counts() {
+        let mut store = TimeSeriesStore::with_capacity(4);
+        let mut registry = Registry::new();
+        for i in 0..10i64 {
+            registry.gauge_set("g", i as f64);
+            store.scrape(i * 1000, &registry.snapshot());
+        }
+        let series = store.series("g").unwrap();
+        assert_eq!(series.len(), 4);
+        assert_eq!(series.first(), Some((6000, 6.0)));
+        assert_eq!(series.latest(), Some((9000, 9.0)));
+        assert_eq!(series.evicted(), 6);
+        assert_eq!(store.evicted_points(), 6);
+        assert_eq!(store.scrapes(), 10);
+    }
+
+    #[test]
+    fn begin_run_rebases_overlapping_run_clocks_monotonically() {
+        let mut store = TimeSeriesStore::new();
+        let mut registry = Registry::new();
+        for t in [1000i64, 2000] {
+            registry.gauge_set("g", t as f64);
+            store.scrape(t, &registry.snapshot());
+        }
+        // A second run restarts its run-relative clock from zero; the
+        // rebase must keep the shared series strictly time-ordered.
+        store.begin_run();
+        let mut registry = Registry::new();
+        for t in [1000i64, 2000] {
+            registry.gauge_set("g", -(t as f64));
+            store.scrape(t, &registry.snapshot());
+        }
+        store.note_alert(AlertRecord {
+            t_ms: 1500,
+            rule: "r".into(),
+            series: "g".into(),
+            severity: "warn".into(),
+            state: "firing".into(),
+            value: 0.0,
+        });
+        let ts: Vec<i64> = store.series("g").unwrap().points().map(|p| p.0).collect();
+        let mut sorted = ts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(ts, sorted, "timelines must stay strictly monotonic");
+        assert_eq!(ts.len(), 4);
+        assert!(store.alerts()[0].t_ms > ts[1], "alerts rebase too");
+        // An empty store's rebase is a no-op.
+        let mut fresh = TimeSeriesStore::new();
+        fresh.begin_run();
+        let mut registry = Registry::new();
+        registry.gauge_set("g", 1.0);
+        fresh.scrape(7, &registry.snapshot());
+        assert_eq!(fresh.series("g").unwrap().latest(), Some((7, 1.0)));
+    }
+
+    #[test]
+    fn same_instant_rescrape_overwrites() {
+        let mut store = TimeSeriesStore::new();
+        let mut registry = Registry::new();
+        registry.gauge_set("g", 1.0);
+        store.scrape(5, &registry.snapshot());
+        registry.gauge_set("g", 2.0);
+        store.scrape(5, &registry.snapshot());
+        let series = store.series("g").unwrap();
+        assert_eq!(series.len(), 1);
+        assert_eq!(series.latest(), Some((5, 2.0)));
+        assert_eq!(store.evicted_points(), 0);
+    }
+
+    #[test]
+    fn counter_delta_and_rate() {
+        let mut store = TimeSeriesStore::new();
+        let mut registry = Registry::new();
+        for i in 0..5u64 {
+            registry.counter_add("c", 10);
+            store.scrape(i as i64 * 1000, &registry.snapshot());
+        }
+        let series = store.series("c").unwrap();
+        assert_eq!(series.kind(), SeriesKind::Counter);
+        // Cumulative 10,20,30,40,50 at t=0..4000.
+        assert_eq!(series.delta_over(2000), Some(20.0));
+        assert_eq!(series.rate_per_sec(2000), Some(10.0));
+        assert_eq!(series.delta_over(1_000_000), Some(40.0));
+    }
+
+    #[test]
+    fn histograms_become_percentile_tracks() {
+        let mut store = TimeSeriesStore::new();
+        let mut registry = Registry::new();
+        let mut h = crate::hist::Histogram::latency_us();
+        for v in [10, 20, 30, 40, 1000] {
+            h.record(v as f64);
+        }
+        registry.merge_histogram("lat_us", &h);
+        store.scrape(1000, &registry.snapshot());
+        assert!(store.series("lat_us.count").is_some());
+        assert!(store.series("lat_us.p95").is_some());
+        assert_eq!(store.series("lat_us.count").unwrap().kind(), SeriesKind::Counter);
+        assert_eq!(store.series("lat_us.p95").unwrap().kind(), SeriesKind::Percentile);
+    }
+
+    #[test]
+    fn labeled_series_keep_label_blocks() {
+        let mut store = TimeSeriesStore::new();
+        let mut registry = Registry::new();
+        registry.counter_add_with("fleet.events_served", &[("shard", "3")], 42);
+        store.scrape(7, &registry.snapshot());
+        let series = store.series("fleet.events_served{shard=\"3\"}").unwrap();
+        assert_eq!(series.latest(), Some((7, 42.0)));
+    }
+
+    #[test]
+    fn artifact_round_trips() {
+        let mut store = TimeSeriesStore::with_capacity(8);
+        let mut registry = Registry::new();
+        for i in 0..3i64 {
+            registry.counter_add("c", 5);
+            registry.gauge_set("g", 0.25 * i as f64);
+            registry.gauge_set_with("fleet.precision", &[("shard", "0")], 0.5);
+            store.scrape(i * 604_800_000, &registry.snapshot());
+        }
+        store.note_alert(AlertRecord {
+            t_ms: 604_800_000,
+            rule: "slo-precision-burn".to_string(),
+            series: "slo.cycle_true_warnings".to_string(),
+            severity: "page".to_string(),
+            state: "firing".to_string(),
+            value: 0.125,
+        });
+        let text = store.to_jsonl("unit test");
+        assert!(looks_like_history(&text));
+        let (parsed, skipped) = parse_history(&text).expect("round trip parses");
+        assert_eq!(skipped, 0);
+        assert_eq!(parsed.label, "unit test");
+        assert_eq!(parsed.scrapes, 3);
+        assert_eq!(parsed.series.len(), store.series_count());
+        let c = &parsed.series["c"];
+        assert_eq!(c.kind, SeriesKind::Counter);
+        assert_eq!(c.points, vec![(0, 5.0), (604_800_000, 10.0), (1_209_600_000, 15.0)]);
+        assert!(parsed.series.contains_key("fleet.precision{shard=\"0\"}"));
+        assert_eq!(parsed.alerts.len(), 1);
+        assert_eq!(parsed.alerts[0].rule, "slo-precision-burn");
+        assert_eq!(parsed.alerts[0].value, 0.125);
+    }
+
+    #[test]
+    fn parser_tolerates_python_spacing_and_skips_junk() {
+        let text = concat!(
+            "{\"v\": 1, \"kind\": \"meta\", \"label\": \"x\", \"capacity\": 8, ",
+            "\"scrapes\": 2, \"series\": 1, \"evicted_points\": 0}\n",
+            "{\"v\": 1, \"kind\": \"series\", \"name\": \"driver.precision\", ",
+            "\"type\": \"gauge\", \"evicted\": 0, \"points\": [[0, 0.5], [604800000, 0.75]]}\n",
+            "not json at all\n",
+        );
+        let (parsed, skipped) = parse_history(text).expect("lenient parse");
+        assert_eq!(skipped, 1);
+        assert_eq!(parsed.series["driver.precision"].points, vec![(0, 0.5), (604_800_000, 0.75)]);
+    }
+
+    #[test]
+    fn non_history_text_is_rejected_and_not_sniffed() {
+        assert!(parse_history("{\"kind\":\"series\"}").is_err());
+        assert!(!looks_like_history("{\"v\":2,\"seq\":0,\"kind\":\"run_meta\"}"));
+        assert!(!looks_like_history(""));
+    }
+}

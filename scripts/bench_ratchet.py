@@ -16,6 +16,8 @@ Exit codes:
 """
 
 import json
+import os
+import platform
 import sys
 
 # >10 % below the committed floor fails the gate.
@@ -64,6 +66,29 @@ def fail(msg):
     sys.exit(1)
 
 
+def append_history(floor_path, name, current, contract):
+    """Append the fresh measured ratios to BENCH_history.jsonl (next to
+    the committed floor artifact) with machine provenance. The log is
+    what `repro health --diff` understands for perf regressions."""
+    entry = {
+        "v": 1,
+        "kind": "bench",
+        "bench": name,
+        "mode": str(current.get("mode", "")),
+        "machine": f"{platform.node() or 'unknown'}/"
+                   f"{platform.system().lower()}-{platform.machine()}",
+    }
+    for path in contract["ratchet"]:
+        entry[".".join(path)] = lookup(current, path)
+    history = os.path.join(os.path.dirname(floor_path) or ".", "BENCH_history.jsonl")
+    try:
+        with open(history, "a") as f:
+            f.write(json.dumps(entry) + "\n")
+        print(f"  appended fresh ratios to {history}")
+    except OSError as e:
+        print(f"bench-ratchet: could not append {history}: {e}")
+
+
 def main():
     if len(sys.argv) != 3:
         print(__doc__.strip())
@@ -93,6 +118,10 @@ def main():
         if lookup(current, path) <= 0:
             fail(f"{name}: {'.'.join(path)} is zero in the fresh report — "
                  "not a measurement")
+
+    # The fresh run is a validated measurement: record it in the
+    # history log whether the ratchet passes, fails, or skips.
+    append_history(sys.argv[1], name, current, contract)
 
     # No committed floor yet: nothing to ratchet against. Skip cleanly —
     # the placeholder disappears the first time a real artifact lands.

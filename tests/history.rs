@@ -1,0 +1,345 @@
+//! The metrics-history scraper must be purely observational: every
+//! driver report stays bit-identical with the time-series store on or
+//! off. And the generic alert-rules engine, loaded with only the
+//! built-in SLO burn rules, must page on exactly the cycles the
+//! `SloWatchdog` pages on — same weeks, same objectives, same
+//! severities.
+
+use dynamic_meta_learning::dml_core::fleet::{run_fleet, FaultSchedule, FleetConfig};
+use dynamic_meta_learning::dml_core::{
+    run_hardened_driver, run_overlapped_hardened_driver, Accuracy, CycleAccuracy, DriverConfig,
+    FrameworkConfig, HardenedConfig, SloConfig, SloWatchdog, SwapMode, TrainingPolicy,
+};
+use dynamic_meta_learning::dml_obs::{
+    self, slo_burn_rules, AlertRule, AlertSeverity, RuleCondition, RulesEngine, SharedHistory,
+    TimeSeriesStore,
+};
+use proptest::prelude::*;
+use raslog::{CleanEvent, EventTypeId, Timestamp, WEEK_MS};
+
+fn ev(secs: i64, ty: u16, fatal: bool) -> CleanEvent {
+    CleanEvent::new(Timestamp::from_secs(secs), EventTypeId(ty), fatal)
+}
+
+/// Six weeks of a steady {1,2} → fatal 100 cascade.
+fn cascade_log(weeks: i64) -> Vec<CleanEvent> {
+    let week_secs = WEEK_MS / 1000;
+    let mut events = Vec::new();
+    for w in 0..weeks {
+        for i in 0..10 {
+            let base = w * week_secs + i * 60_000;
+            events.push(ev(base, 1, false));
+            events.push(ev(base + 60, 2, false));
+            events.push(ev(base + 200, 100, true));
+        }
+    }
+    events
+}
+
+fn config(history: Option<SharedHistory>) -> HardenedConfig {
+    HardenedConfig {
+        driver: DriverConfig {
+            framework: FrameworkConfig {
+                retrain_weeks: 2,
+                ..FrameworkConfig::default()
+            },
+            policy: TrainingPolicy::SlidingWeeks(2),
+            initial_training_weeks: 2,
+            only_kind: None,
+        },
+        history,
+        ..HardenedConfig::default()
+    }
+}
+
+fn fresh_history() -> SharedHistory {
+    dml_obs::shared_history(TimeSeriesStore::new())
+}
+
+#[test]
+fn serial_driver_is_bit_identical_with_history_off_and_on() {
+    let log = cascade_log(6);
+    let baseline = run_hardened_driver(&log, 6, &config(None));
+    assert!(
+        !baseline.report.warnings.is_empty(),
+        "the cascade must produce warnings for the test to mean anything"
+    );
+
+    let history = fresh_history();
+    let scraped = run_hardened_driver(&log, 6, &config(Some(history.clone())));
+    assert_eq!(scraped.report.warnings, baseline.report.warnings);
+    assert_eq!(scraped.report.overall, baseline.report.overall);
+    assert_eq!(scraped.report.weekly, baseline.report.weekly);
+
+    dml_obs::with_history(&history, |store| {
+        assert!(store.scrapes() > 0, "each week block boundary scrapes once");
+        assert!(
+            store.series("driver.warnings").is_some(),
+            "the driver report lands as series, got {:?}",
+            store.names().collect::<Vec<_>>()
+        );
+    });
+}
+
+#[test]
+fn overlapped_driver_is_bit_identical_with_history_off_and_on() {
+    let log = cascade_log(6);
+    let baseline = run_overlapped_hardened_driver(&log, 6, &config(None), SwapMode::overlapped());
+
+    let history = fresh_history();
+    let scraped = run_overlapped_hardened_driver(
+        &log,
+        6,
+        &config(Some(history.clone())),
+        SwapMode::overlapped(),
+    );
+    assert_eq!(scraped.report.warnings, baseline.report.warnings);
+    assert_eq!(scraped.report.overall, baseline.report.overall);
+    assert_eq!(scraped.report.weekly, baseline.report.weekly);
+    dml_obs::with_history(&history, |store| {
+        assert!(store.scrapes() > 0);
+        assert!(store.series("driver.warnings").is_some());
+    });
+}
+
+#[test]
+fn fleet_driver_is_bit_identical_with_history_off_and_on() {
+    use dynamic_meta_learning::bgl_sim::{FleetGenerator, FleetPreset};
+
+    let preset = FleetPreset::datacenter(48).with_weeks(6);
+    let generator = FleetGenerator::new(preset, 7);
+    let events = generator.generate();
+    let config = |history: Option<SharedHistory>| FleetConfig {
+        shards: 4,
+        base_training_weeks: 2,
+        history,
+        ..FleetConfig::default()
+    };
+
+    let mut no_flight = dml_obs::FlightRecorder::disabled();
+    let baseline = run_fleet(&events, 6, &config(None), &FaultSchedule::new(), &mut no_flight);
+    let history = fresh_history();
+    let scraped = run_fleet(
+        &events,
+        6,
+        &config(Some(history.clone())),
+        &FaultSchedule::new(),
+        &mut no_flight,
+    );
+    assert_eq!(scraped.overall, baseline.overall);
+    assert_eq!(scraped.events_served, baseline.events_served);
+    for (a, b) in scraped.shards.iter().zip(baseline.shards.iter()) {
+        assert_eq!(a.warnings, b.warnings, "shard {} diverged under scraping", a.shard);
+    }
+    dml_obs::with_history(&history, |store| {
+        assert!(store.scrapes() > 0, "one scrape per served week");
+        assert!(
+            store.series("fleet.events_served{shard=\"0\"}").is_some(),
+            "per-shard labeled series present, got {:?}",
+            store.names().collect::<Vec<_>>()
+        );
+        assert!(store.series("fleet.events_served").is_some());
+    });
+}
+
+#[test]
+fn ring_eviction_is_bounded_and_counted() {
+    let mut store = TimeSeriesStore::with_capacity(8);
+    let mut reg = dml_obs::Registry::new();
+    for t in 0..40i64 {
+        reg.counter_add("x.count", 1);
+        store.scrape(t * 1_000, &reg.snapshot());
+    }
+    let series = store.series("x.count").expect("series exists");
+    assert_eq!(series.len(), 8, "ring holds exactly its capacity");
+    assert_eq!(series.evicted(), 32, "the overflow is counted, not hidden");
+    assert_eq!(store.evicted_points(), 32);
+    // The newest points survive, the oldest are gone.
+    assert_eq!(series.latest().map(|p| p.0), Some(39_000));
+    assert_eq!(series.first().map(|p| p.0), Some(32_000));
+}
+
+#[test]
+fn rule_state_machine_walks_pending_firing_resolved() {
+    let rule = AlertRule {
+        name: "queue-deep".into(),
+        severity: AlertSeverity::Warn,
+        for_scrapes: 2,
+        condition: RuleCondition::Threshold {
+            series: "q.depth".into(),
+            above: Some(10.0),
+            below: None,
+        },
+    };
+    let mut engine = RulesEngine::new(vec![rule]);
+    let mut store = TimeSeriesStore::new();
+    let feed = |t: i64, v: f64, engine: &mut RulesEngine, store: &mut TimeSeriesStore| {
+        let mut reg = dml_obs::Registry::new();
+        reg.gauge_set("q.depth", v);
+        store.scrape(t, &reg.snapshot());
+        engine.evaluate(t, store)
+    };
+    // Two breaching scrapes stay pending (for_scrapes = 2)...
+    assert!(feed(1, 20.0, &mut engine, &mut store).is_empty());
+    assert!(feed(2, 20.0, &mut engine, &mut store).is_empty());
+    // ...the third fires...
+    let events = feed(3, 20.0, &mut engine, &mut store);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].kind, dml_obs::AlertEventKind::Fired);
+    // ...and a clean scrape resolves it.
+    let events = feed(4, 1.0, &mut engine, &mut store);
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].kind, dml_obs::AlertEventKind::Resolved);
+    // A single blip after that never leaves pending.
+    assert!(feed(5, 20.0, &mut engine, &mut store).is_empty());
+    assert!(feed(6, 1.0, &mut engine, &mut store).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog <-> rules-engine equivalence
+// ---------------------------------------------------------------------------
+
+/// `(week, objective, severity)` for every watchdog alert over a cycle
+/// sequence.
+fn watchdog_alerts(cycles: &[CycleAccuracy], config: SloConfig) -> Vec<(i64, String, String)> {
+    let mut watchdog = SloWatchdog::new(config);
+    let mut out = Vec::new();
+    for cycle in cycles {
+        for alert in watchdog.on_cycle(cycle) {
+            out.push((
+                alert.week,
+                alert.slo.to_string(),
+                alert.severity.as_str().to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `(week, objective, severity)` for every *breaching* rules-engine
+/// observation when the engine is fed the same cycles as cumulative
+/// `slo.cycle_*` counters — the exact path the instrumented harness
+/// scrapes.
+fn engine_breaches(cycles: &[CycleAccuracy], config: SloConfig) -> Vec<(i64, String, String)> {
+    let mut engine = RulesEngine::new(slo_burn_rules(
+        config.min_precision,
+        config.min_recall,
+        config.short_cycles,
+        config.long_cycles,
+        config.warn_burn,
+        config.page_burn,
+    ));
+    let mut store = TimeSeriesStore::new();
+    let mut cum = Accuracy::default();
+    let mut out = Vec::new();
+    for cycle in cycles {
+        cum.true_warnings += cycle.accuracy.true_warnings;
+        cum.false_warnings += cycle.accuracy.false_warnings;
+        cum.covered_fatals += cycle.accuracy.covered_fatals;
+        cum.missed_fatals += cycle.accuracy.missed_fatals;
+        let t_ms = cycle.week * WEEK_MS;
+        let mut reg = dml_obs::Registry::new();
+        reg.counter_add("slo.cycle_true_warnings", cum.true_warnings);
+        reg.counter_add("slo.cycle_false_warnings", cum.false_warnings);
+        reg.counter_add("slo.cycle_covered_fatals", cum.covered_fatals);
+        reg.counter_add("slo.cycle_missed_fatals", cum.missed_fatals);
+        store.scrape(t_ms, &reg.snapshot());
+        for event in engine.evaluate(t_ms, &store) {
+            if event.is_breach() {
+                let slo = match event.rule.as_str() {
+                    "slo-precision-burn" => "precision",
+                    "slo-recall-burn" => "recall",
+                    other => panic!("unexpected rule {other}"),
+                };
+                out.push((
+                    t_ms / WEEK_MS,
+                    slo.to_string(),
+                    event.severity.as_str().to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+fn cycles_from_counts(counts: &[(u64, u64, u64, u64)]) -> Vec<CycleAccuracy> {
+    counts
+        .iter()
+        .enumerate()
+        .map(|(week, &(tw, fw, cf, mf))| CycleAccuracy {
+            week: week as i64,
+            accuracy: Accuracy {
+                true_warnings: tw,
+                false_warnings: fw,
+                covered_fatals: cf,
+                missed_fatals: mf,
+            },
+        })
+        .collect()
+}
+
+#[test]
+fn builtin_slo_rules_page_exactly_like_the_watchdog() {
+    // A collapse right out of the gate pages (the long window has no
+    // healthy history to absorb it), recovery resolves, and a later
+    // mediocre stretch warns: exercises page, warn, and resolution on
+    // both objectives.
+    let counts = [
+        (0, 5, 0, 10),
+        (0, 5, 0, 10),
+        (0, 5, 0, 10),
+        (9, 1, 9, 1),
+        (9, 1, 9, 1),
+        (2, 5, 2, 5),
+        (2, 5, 2, 5),
+        (0, 0, 0, 0), // zero-denominator cycle: both ratios read 0.0
+        (9, 1, 9, 1),
+    ];
+    let cycles = cycles_from_counts(&counts);
+    let config = SloConfig::default();
+    let expected = watchdog_alerts(&cycles, config);
+    assert!(
+        expected.iter().any(|(_, _, sev)| sev == "page"),
+        "the scenario must page for the test to mean anything: {expected:?}"
+    );
+    assert!(
+        expected.iter().any(|(_, _, sev)| sev == "warn"),
+        "the scenario must also warn: {expected:?}"
+    );
+    assert_eq!(engine_breaches(&cycles, config), expected);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// For ANY cycle-count sequence, the rules engine loaded with only
+    /// the built-in SLO burn rules breaches on exactly the watchdog's
+    /// alert stream: same weeks, same objectives, same severities.
+    #[test]
+    fn slo_rules_match_watchdog_on_random_histories(
+        counts in prop::collection::vec((0u64..12, 0u64..12, 0u64..12, 0u64..12), 1..24)
+    ) {
+        let cycles = cycles_from_counts(&counts);
+        let config = SloConfig::default();
+        prop_assert_eq!(engine_breaches(&cycles, config), watchdog_alerts(&cycles, config));
+    }
+}
+
+#[test]
+fn history_artifact_round_trips_through_the_writer_and_parser() {
+    let log = cascade_log(6);
+    let history = fresh_history();
+    let _ = run_hardened_driver(&log, 6, &config(Some(history.clone())));
+    let text = dml_obs::with_history(&history, |store| store.to_jsonl("round-trip"));
+    assert!(dml_obs::looks_like_history(&text));
+    let (artifact, skipped) = dml_obs::parse_history(&text).expect("parses");
+    assert_eq!(skipped, 0);
+    assert_eq!(artifact.label, "round-trip");
+    dml_obs::with_history(&history, |store| {
+        assert_eq!(artifact.scrapes, store.scrapes());
+        assert_eq!(artifact.series.len(), store.series_count());
+        let from_store: Vec<(i64, f64)> =
+            store.series("driver.warnings").expect("series").points().collect();
+        assert_eq!(artifact.series["driver.warnings"].points, from_store);
+    });
+}
