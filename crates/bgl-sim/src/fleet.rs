@@ -134,6 +134,16 @@ pub struct FleetChaosPlan {
     pub corruptions: Vec<ShardFault>,
     /// Failure-domain outages woven into the trace itself.
     pub outages: Vec<DomainOutage>,
+    /// Rollout-targeted: fleet retrains on these weeks train on a
+    /// poisoned window (every fatal stripped), so any staged candidate
+    /// must be caught at canary. Empty unless
+    /// [`FleetChaosPlan::with_rollout_faults`] was applied.
+    #[serde(default)]
+    pub poison_retrain_weeks: Vec<i64>,
+    /// Rollout-targeted: the registry's on-disk checkpoint is scribbled
+    /// on these weeks (the weekly self-check must ride through it).
+    #[serde(default)]
+    pub corrupt_registry_weeks: Vec<i64>,
 }
 
 impl FleetChaosPlan {
@@ -179,12 +189,41 @@ impl FleetChaosPlan {
             stalls,
             corruptions,
             outages,
+            ..FleetChaosPlan::default()
         }
     }
 
     /// Total scheduled shard-level faults.
     pub fn shard_fault_count(&self) -> usize {
         self.kills.len() + self.stalls.len() + self.corruptions.len()
+    }
+
+    /// Adds rollout-targeted faults for a run serving weeks
+    /// `[warmup_weeks, weeks)`. Strictly append-only — the seeded
+    /// kill/stall/corruption/outage draws are untouched, so a plan with
+    /// rollout faults injects the exact same shard-level chaos as one
+    /// without:
+    ///
+    /// * **every** serving week's retrain window is poisoned, so every
+    ///   candidate the registry stages is garbage the canary stage must
+    ///   catch — the fleet must finish the run on the known-good base;
+    /// * one extra kill lands on shard 0 (the canary of an unpinned
+    ///   plan) mid-run, stressing rollback while the victim is down;
+    /// * one registry-checkpoint corruption mid-run exercises the
+    ///   weekly self-check.
+    pub fn with_rollout_faults(mut self, warmup_weeks: i64, weeks: i64) -> Self {
+        let first = warmup_weeks + 1;
+        if first >= weeks {
+            return self;
+        }
+        self.poison_retrain_weeks = (first..weeks).collect();
+        let mid = (first + weeks) / 2;
+        self.corrupt_registry_weeks = vec![mid];
+        self.kills.push(ShardFault {
+            week: mid,
+            shard: 0,
+        });
+        self
     }
 }
 
@@ -440,5 +479,34 @@ mod tests {
         // Too-short runs get an empty plan rather than out-of-range faults.
         let empty = FleetChaosPlan::seeded(7, 11, 12, 8, &topo);
         assert_eq!(empty.shard_fault_count(), 0);
+    }
+
+    #[test]
+    fn rollout_faults_are_append_only_over_the_seeded_plan() {
+        let topo = FleetTopology::new(200);
+        let base = FleetChaosPlan::seeded(7, 4, 12, 8, &topo);
+        let with = base.clone().with_rollout_faults(4, 12);
+        // The seeded draws are untouched: same stalls, corruptions and
+        // outages, and every original kill is still scheduled.
+        assert_eq!(with.stalls, base.stalls);
+        assert_eq!(with.corruptions, base.corruptions);
+        assert_eq!(with.outages, base.outages);
+        assert_eq!(&with.kills[..base.kills.len()], &base.kills[..]);
+        assert_eq!(with.kills.len(), base.kills.len() + 1);
+        // Every serving week's retrain is poisoned; the extra faults
+        // land inside the serving range.
+        assert_eq!(with.poison_retrain_weeks, (5..12).collect::<Vec<_>>());
+        assert_eq!(with.corrupt_registry_weeks.len(), 1);
+        for w in with
+            .corrupt_registry_weeks
+            .iter()
+            .chain([with.kills.last().unwrap().week].iter())
+        {
+            assert!(*w > 4 && *w < 12, "fault week {w} outside serving range");
+        }
+        // Too-short runs stay untouched.
+        let empty = FleetChaosPlan::default().with_rollout_faults(11, 12);
+        assert!(empty.poison_retrain_weeks.is_empty());
+        assert!(empty.kills.is_empty());
     }
 }

@@ -5,11 +5,13 @@ use crate::args::Args;
 use crate::CliError;
 use bgl_sim::{FleetChaosPlan, FleetGenerator, FleetPreset};
 use dml_core::fleet::{run_fleet, FaultSchedule, FleetConfig, FleetFault};
+use dml_core::registry::{parse_pins, parse_stage_fractions, RolloutChaos, RolloutConfig};
 use std::io::Write;
 use std::path::Path;
 
 /// `[--machines N] [--shards N] [--weeks N] [--seed N] [--supervise on|off]
-/// [--chaos] [--checkpoint-dir DIR] [--out-warnings FILE]
+/// [--chaos] [--checkpoint-dir DIR] [--rollout off|staged]
+/// [--rollout-stages FRACS] [--pin-shard S=V,..] [--out-warnings FILE]
 /// [--metrics-json FILE] [--metrics-history FILE] [--trace N] [--flight FILE]`
 pub fn run(args: &Args) -> Result<(), CliError> {
     let machines: u32 = args.parsed_or("machines", 256)?;
@@ -30,14 +32,30 @@ use --weeks {} or more",
         other => return Err(format!("--supervise: expected on|off, got `{other}`")),
     };
     let chaos = args.switch("chaos");
+    let rollout = match args.optional("rollout").unwrap_or("off") {
+        "staged" => true,
+        "off" => false,
+        other => return Err(format!("--rollout: expected off|staged, got `{other}`")),
+    };
+    let stage_fractions = match args.optional("rollout-stages") {
+        Some(raw) => parse_stage_fractions(raw).map_err(|e| format!("--rollout-stages: {e}"))?,
+        None => RolloutConfig::default().stage_fractions,
+    };
+    let pins = match args.optional("pin-shard") {
+        Some(raw) => parse_pins(raw).map_err(|e| format!("--pin-shard: {e}"))?,
+        None => Default::default(),
+    };
 
     let preset = FleetPreset::datacenter(machines).with_weeks(weeks);
     let generator = FleetGenerator::new(preset, seed);
-    let plan = if chaos {
+    let mut plan = if chaos {
         FleetChaosPlan::seeded(seed, warmup, weeks, shards, &preset.topology)
     } else {
         FleetChaosPlan::default()
     };
+    if chaos && rollout {
+        plan = plan.with_rollout_faults(warmup, weeks);
+    }
     let events = generator.generate_with(&plan);
 
     let trace = match args.optional("trace") {
@@ -59,6 +77,15 @@ use --weeks {} or more",
         checkpoint_dir: args.optional("checkpoint-dir").map(Into::into),
         trace,
         history: history.clone(),
+        rollout: rollout.then(|| RolloutConfig {
+            stage_fractions,
+            pins,
+            chaos: RolloutChaos {
+                poison_retrain_weeks: plan.poison_retrain_weeks.iter().copied().collect(),
+                corrupt_registry_weeks: plan.corrupt_registry_weeks.iter().copied().collect(),
+            },
+            ..RolloutConfig::default()
+        }),
         ..FleetConfig::default()
     };
     let mut schedule = FaultSchedule::new();
@@ -109,6 +136,19 @@ precision {:.2} recall {:.2}, {} restarts, lost {} ({} fatal)",
         report.lost_events,
         report.lost_fatal_events,
     );
+    if report.rollout_enabled {
+        println!(
+            "rollout: {} fleet retrain(s) ({} poisoned), {} started / {} promoted / \
+{} rolled back, {} registry corruption(s), known-good {:?}",
+            report.fleet_retrains,
+            report.poisoned_retrains,
+            report.rollouts_started,
+            report.rollouts_promoted,
+            report.rollouts_rolled_back,
+            report.registry_corruptions,
+            report.rollout_known_good,
+        );
+    }
 
     if let Some(out) = args.optional("out-warnings") {
         let mut writer = crate::commands::create(out)?;

@@ -50,5 +50,7 @@ pub fn usage() -> &'static str {
      --quiet (or DML_LOG=error) silences progress output; \
      --metrics-json FILE dumps stage metrics where supported \
      (--metrics-openmetrics FILE for Prometheus exposition text; \
-     fleet also takes --metrics-history FILE for per-week time series)"
+     fleet also takes --metrics-history FILE for per-week time series, \
+     --rollout off|staged, --rollout-stages FRACS and --pin-shard S=V,.. \
+     for staged rule rollouts through the versioned registry)"
 }

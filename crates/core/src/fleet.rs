@@ -37,6 +37,13 @@
 //! Fault injection is first-class: a [`FaultSchedule`] maps
 //! `(week, shard)` to [`FleetFault`]s (kill, stall, checkpoint
 //! corruption), so chaos experiments are reproducible.
+//!
+//! With [`FleetConfig::rollout`] set, rule distribution is owned by the
+//! versioned registry ([`RuleRegistry`](crate::registry::RuleRegistry)):
+//! fleet retrains produce staged candidates that canary on one shard and
+//! only spread after holding within margin, with automatic fleet-wide
+//! rollback to the known-good ring when a stage pages. `None` (the
+//! default) keeps this path bit-identical to the registry-free driver.
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -51,10 +58,15 @@ use raslog::{CleanEvent, MachineEvent, Timestamp, WEEK_MS};
 use crate::config::FrameworkConfig;
 use crate::evaluation::{score, Accuracy};
 use crate::knowledge::KnowledgeRepository;
+use crate::lifecycle::{canary_compare, RetrainBackoff};
 use crate::meta::MetaLearner;
-use crate::persist::{load_checkpoint_file, save_checkpoint_file, Checkpoint};
+use crate::persist::{
+    load_checkpoint_file, load_registry_file, save_checkpoint_file, save_registry_file, Checkpoint,
+};
 use crate::predictor::{Predictor, PredictorState, Warning};
+use crate::registry::{RolloutConfig, RolloutDecision, RuleRegistry, StagePlan};
 use crate::rules::Rule;
+use crate::slo::{any_page, CycleAccuracy, SloWatchdog};
 
 /// Fleet serving parameters.
 #[derive(Debug, Clone)]
@@ -94,6 +106,13 @@ pub struct FleetConfig {
     /// series. Strictly observational: `None` (the default) and `Some`
     /// produce bit-identical fleet reports.
     pub history: Option<dml_obs::SharedHistory>,
+    /// Registry-owned staged rollout of fleet retrains (canary →
+    /// fractions → fleet-wide, automatic rollback). `None` (the
+    /// default) disables the registry entirely and is bit-identical to
+    /// the registry-free driver; when set, per-shard overlay retrains
+    /// ([`FleetConfig::overlay_retrain_weeks`]) are superseded — the
+    /// registry owns rule distribution.
+    pub rollout: Option<RolloutConfig>,
 }
 
 impl Default for FleetConfig {
@@ -110,6 +129,7 @@ impl Default for FleetConfig {
             checkpoint_dir: None,
             trace: dml_obs::TraceConfig::disabled(),
             history: None,
+            rollout: None,
         }
     }
 }
@@ -272,6 +292,22 @@ pub struct FleetReport {
     pub checkpoints_written: u64,
     /// Per-shard overlay retrains performed.
     pub overlay_retrains: u64,
+    /// Whether the staged-rollout registry was active for this run.
+    pub rollout_enabled: bool,
+    /// Fleet retrains performed by the registry (candidates produced).
+    pub fleet_retrains: u64,
+    /// Fleet retrains whose training window was chaos-poisoned.
+    pub poisoned_retrains: u64,
+    /// Staged rollouts begun.
+    pub rollouts_started: u64,
+    /// Candidates promoted fleet-wide.
+    pub rollouts_promoted: u64,
+    /// Candidates rolled back by a paging stage.
+    pub rollouts_rolled_back: u64,
+    /// Registry checkpoints found corrupt by the weekly self-check.
+    pub registry_corruptions: u64,
+    /// Known-good versions retained by the registry at end of run.
+    pub rollout_known_good: Vec<u64>,
     /// Wall-clock latency per traced pipeline hop (`ingest`, `dispatch`,
     /// `predict`, …), merged across the supervisor and every shard
     /// worker. Empty when tracing is off.
@@ -309,6 +345,15 @@ impl dml_obs::MetricSource for FleetReport {
         registry.counter_add("fleet.fallback_events", self.fallback_events);
         registry.counter_add("fleet.checkpoints_written", self.checkpoints_written);
         registry.counter_add("fleet.overlay_retrains", self.overlay_retrains);
+        if self.rollout_enabled {
+            registry.counter_add("fleet.fleet_retrains", self.fleet_retrains);
+            registry.counter_add("fleet.poisoned_retrains", self.poisoned_retrains);
+            registry.counter_add("fleet.rollouts_started", self.rollouts_started);
+            registry.counter_add("fleet.rollouts_promoted", self.rollouts_promoted);
+            registry.counter_add("fleet.rollouts_rolled_back", self.rollouts_rolled_back);
+            registry.counter_add("fleet.registry_corruptions", self.registry_corruptions);
+            registry.gauge_set("fleet.rollout_known_good", self.rollout_known_good.len() as f64);
+        }
         let dropped: u64 = self.shards.iter().map(|s| s.spool_dropped_nonfatal).sum();
         let overflow: u64 = self.shards.iter().map(|s| s.spool_overflow_fatals).sum();
         registry.counter_add("fleet.spool_dropped_nonfatal", dropped);
@@ -327,6 +372,7 @@ impl dml_obs::MetricSource for FleetReport {
             registry.counter_add_with("fleet.lost_events", &labels, s.lost_events);
             registry.gauge_set_with("fleet.precision", &labels, s.accuracy.precision());
             registry.gauge_set_with("fleet.recall", &labels, s.accuracy.recall());
+            registry.gauge_set_with("fleet.repo_version", &labels, s.final_repo_version as f64);
         }
         for (stage, h) in &self.stage_latency_us {
             registry.merge_histogram_with("fleet.stage_latency_us", &[("stage", stage)], h);
@@ -370,6 +416,42 @@ struct ShardRuntime {
     lost_events: u64,
     lost_fatals: u64,
     checkpoint_corruptions: u64,
+}
+
+/// Supervisor-side state of the staged-rollout registry loop.
+struct RolloutRuntime {
+    cfg: RolloutConfig,
+    registry: RuleRegistry,
+    backoff: RetrainBackoff,
+    /// Per staged shard, reset when a rollout ends.
+    watchdogs: BTreeMap<usize, SloWatchdog>,
+    /// First week the next fleet retrain may run.
+    next_retrain_week: i64,
+    /// Each shard's warning count at the start of the current serving
+    /// week — next week's stage judgement scores the delta.
+    warn_marks: Vec<usize>,
+    /// Which shards served the previous week via the fallback (their
+    /// week says nothing about the candidate).
+    down_last_week: Vec<bool>,
+    fleet_retrains: u64,
+    poisoned_retrains: u64,
+    registry_corruptions: u64,
+    /// Stage-transition timeline entries awaiting the weekly history
+    /// scrape (`repro health --history` renders them as alerts).
+    pending_alerts: Vec<dml_obs::AlertRecord>,
+}
+
+impl RolloutRuntime {
+    fn transition(&mut self, week: i64, rule: &str, severity: &str, state: &str, value: f64) {
+        self.pending_alerts.push(dml_obs::AlertRecord {
+            t_ms: (week + 1) * WEEK_MS,
+            rule: rule.to_string(),
+            series: "fleet.rollout_stage".to_string(),
+            severity: severity.to_string(),
+            state: state.to_string(),
+            value,
+        });
+    }
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -512,9 +594,47 @@ pub fn run_fleet(
     // so repeated incidents keep its sliding window warm.
     let mut fallback_state = Predictor::new(&base, window_len).snapshot();
 
+    // Registry-owned rule distribution: the stage plan excludes pinned
+    // shards, the known-good ring starts with the base (v1), and the
+    // first fleet retrain is due one cadence after base training.
+    let mut rollout: Option<RolloutRuntime> = config.rollout.as_ref().map(|rc| {
+        let pin_set: BTreeSet<usize> = rc.pins.keys().copied().collect();
+        for (&s, &v) in &rc.pins {
+            if s >= shards {
+                dml_obs::warn!("pin {s}={v} ignored: shard out of range");
+            } else if v != base.version() {
+                dml_obs::warn!(
+                    "pin {s}={v}: only base v{} exists at start; shard {s} serves the base",
+                    base.version()
+                );
+            }
+        }
+        RolloutRuntime {
+            registry: RuleRegistry::new(
+                StagePlan::build(shards, &rc.stage_fractions, &pin_set),
+                rc.dwell_weeks,
+                rc.known_good_capacity,
+                base.version(),
+                (*base).clone(),
+            ),
+            backoff: RetrainBackoff::default(),
+            watchdogs: BTreeMap::new(),
+            next_retrain_week: config.base_training_weeks + rc.retrain_weeks.max(1),
+            warn_marks: vec![0; shards],
+            down_last_week: vec![false; shards],
+            fleet_retrains: 0,
+            poisoned_retrains: 0,
+            registry_corruptions: 0,
+            pending_alerts: Vec::new(),
+            cfg: rc.clone(),
+        }
+    });
+
     let mut kills_injected = 0u64;
     let mut stalls_injected = 0u64;
     let mut corruptions_injected = 0u64;
+    // Per-shard high-water marks of warnings already flight-recorded.
+    let mut flight_marks = vec![0usize; shards];
     let serving_start = Instant::now();
 
     for week in config.base_training_weeks..weeks {
@@ -580,8 +700,220 @@ pub fn run_fleet(
             }
         }
 
-        // 2. Per-shard overlay retrain at the configured cadence.
-        if config.overlay_retrain_weeks > 0
+        // 2a. Registry-owned rollout loop: judge last week's staged
+        // serving, act on the verdict, self-check the on-disk registry
+        // checkpoint, then produce a fresh candidate when one is due.
+        if let Some(ro) = rollout.as_mut() {
+            if ro.registry.active() {
+                let staged: Vec<usize> = ro.registry.staged_shards().to_vec();
+                let (cand_version, cand) = {
+                    let (v, r) = ro.registry.candidate().expect("active rollout has a candidate");
+                    (v, r.clone())
+                };
+                let inc = ro.registry.incumbent().1.clone();
+                // Judge week `week - 1` of every staged shard that a live
+                // worker actually served: shadow-replay the candidate vs
+                // the incumbent over the shard's own traffic, and feed
+                // the shard's live accuracy to its burn-rate watchdog.
+                let mut page = false;
+                let mut evaluated = false;
+                let slo = ro.cfg.slo;
+                for &s in &staged {
+                    if ro.down_last_week[s] {
+                        continue; // fallback served it — not candidate evidence
+                    }
+                    let tail = week_slice(&shard_events[s], week - 1);
+                    if tail.is_empty() {
+                        continue;
+                    }
+                    evaluated = true;
+                    let warm = week_slice(&shard_events[s], week - 2);
+                    let verdict =
+                        canary_compare(&cand, &inc, warm, tail, window_len, ro.cfg.margin);
+                    if !verdict.accepted {
+                        page = true;
+                    }
+                    let live = score(&runtimes[s].warnings[ro.warn_marks[s]..], tail);
+                    let alerts = ro
+                        .watchdogs
+                        .entry(s)
+                        .or_insert_with(|| SloWatchdog::new(slo))
+                        .on_cycle(&CycleAccuracy {
+                            week: week - 1,
+                            accuracy: live,
+                        });
+                    if any_page(&alerts) {
+                        page = true;
+                    }
+                }
+                match ro.registry.observe_week(page, evaluated) {
+                    RolloutDecision::Rollback { from, stage, to } => {
+                        // Fleet-wide rollback: every staged shard reverts
+                        // to the known-good version under its original
+                        // stamp, so post-rollback warning provenance
+                        // names the known-good rule set.
+                        let repo = Arc::new(
+                            ro.registry
+                                .known_good(to)
+                                .expect("rollback target is retained in the ring"),
+                        );
+                        for &s in &staged {
+                            let rt = &mut runtimes[s];
+                            rt.repo = repo.clone();
+                            rt.state = rebase_state(&rt.state);
+                        }
+                        ro.watchdogs.clear();
+                        ro.next_retrain_week = week
+                            + ro.backoff
+                                .on_page(ro.cfg.backoff_base_weeks, ro.cfg.backoff_cap_weeks);
+                        flight.record(
+                            t_ms,
+                            dml_obs::FlightEvent::RolloutRolledBack {
+                                week,
+                                from_version: from,
+                                to_version: to,
+                                stage: stage as u64,
+                                shards_reverted: staged.len() as u64,
+                            },
+                        );
+                        ro.transition(week, "rollout-rollback", "page", "firing", from as f64);
+                    }
+                    RolloutDecision::Advance { stage } => {
+                        let newly: Vec<usize> = ro
+                            .registry
+                            .staged_shards()
+                            .iter()
+                            .copied()
+                            .filter(|s| !staged.contains(s))
+                            .collect();
+                        let repo = Arc::new(cand.clone());
+                        for &s in &newly {
+                            let rt = &mut runtimes[s];
+                            rt.repo = repo.clone();
+                            rt.state = rebase_state(&rt.state);
+                        }
+                        flight.record(
+                            t_ms,
+                            dml_obs::FlightEvent::RolloutStage {
+                                week,
+                                version: cand_version,
+                                stage: stage as u64,
+                                stages: ro.registry.plan().len() as u64,
+                                shards: ro.registry.staged_shards().len() as u64,
+                                promoted: false,
+                            },
+                        );
+                        ro.transition(week, "rollout-stage", "warn", "firing", stage as f64);
+                    }
+                    RolloutDecision::Promote { version } => {
+                        // The final stage already serves the candidate
+                        // everywhere eligible; promotion just makes it
+                        // the incumbent and a known-good ring member.
+                        ro.backoff.on_healthy();
+                        ro.watchdogs.clear();
+                        ro.next_retrain_week = week + ro.cfg.retrain_weeks.max(1);
+                        flight.record(
+                            t_ms,
+                            dml_obs::FlightEvent::RolloutStage {
+                                week,
+                                version,
+                                stage: ro.registry.plan().len() as u64,
+                                stages: ro.registry.plan().len() as u64,
+                                shards: staged.len() as u64,
+                                promoted: true,
+                            },
+                        );
+                        ro.transition(week, "rollout-stage", "warn", "resolved", version as f64);
+                    }
+                    RolloutDecision::Hold | RolloutDecision::Idle => {}
+                }
+            }
+
+            // Persist and self-check the registry checkpoint. A
+            // scribbled file must never take the registry down: the
+            // in-memory state keeps serving, the corruption is counted,
+            // and a good copy is rewritten.
+            if let Some(dir) = &config.checkpoint_dir {
+                let path = dir.join("registry.ckpt");
+                if let Err(e) = save_registry_file(&ro.registry.checkpoint(), &path) {
+                    dml_obs::warn!("registry checkpoint write failed (continuing): {e}");
+                }
+                if ro.cfg.chaos.corrupt_registry_weeks.contains(&week) {
+                    if let Err(e) = std::fs::write(&path, b"\x00registry\x00") {
+                        dml_obs::warn!("could not corrupt {}: {e}", path.display());
+                    }
+                }
+                if let Err(e) = load_registry_file(&path) {
+                    ro.registry_corruptions += 1;
+                    dml_obs::warn!(
+                        "registry checkpoint corrupt (in-memory registry keeps serving): {e}"
+                    );
+                    if let Err(e) = save_registry_file(&ro.registry.checkpoint(), &path) {
+                        dml_obs::warn!("registry checkpoint rewrite failed: {e}");
+                    }
+                }
+            }
+
+            // Fleet retrain when due and nothing is staging: the
+            // candidate is a full replacement trained on the trailing
+            // window of the merged fleet stream (never base-merged — a
+            // poisoned window must yield a candidate the canary catches,
+            // not one masked by inherited base rules).
+            if !ro.registry.active() && week >= ro.next_retrain_week {
+                let from = Timestamp((week - ro.cfg.window_weeks).max(0) * WEEK_MS);
+                let mut train: Vec<CleanEvent> = window(events, from, Timestamp(week * WEEK_MS))
+                    .iter()
+                    .map(|m| m.event)
+                    .collect();
+                if ro.cfg.chaos.poison_retrain_weeks.contains(&week) {
+                    // Chaos: strip every fatal so the candidate learns no
+                    // failure signatures and its recall collapses.
+                    train.retain(|e| !e.fatal);
+                    ro.poisoned_retrains += 1;
+                }
+                ro.fleet_retrains += 1;
+                let candidate = MetaLearner::new(config.framework).train(&train).repo;
+                let begun = ro.registry.begin(candidate).map(|(v, s)| (v, s.to_vec()));
+                if let Some((version, canary)) = begun {
+                    let repo = Arc::new(
+                        ro.registry
+                            .candidate()
+                            .expect("begin staged a candidate")
+                            .1
+                            .clone(),
+                    );
+                    for &s in &canary {
+                        let rt = &mut runtimes[s];
+                        rt.repo = repo.clone();
+                        rt.state = rebase_state(&rt.state);
+                    }
+                    flight.record(
+                        t_ms,
+                        dml_obs::FlightEvent::RolloutStage {
+                            week,
+                            version,
+                            stage: 0,
+                            stages: ro.registry.plan().len() as u64,
+                            shards: canary.len() as u64,
+                            promoted: false,
+                        },
+                    );
+                    ro.transition(week, "rollout-stage", "warn", "firing", 0.0);
+                }
+                ro.next_retrain_week = week + ro.cfg.retrain_weeks.max(1);
+            }
+
+            // Mark the start of this serving week: next week's stage
+            // judgement scores `warnings[mark..]` against the week.
+            for (s, rt) in runtimes.iter().enumerate() {
+                ro.warn_marks[s] = rt.warnings.len();
+            }
+        }
+
+        // 2. Per-shard overlay retrain at the configured cadence
+        // (superseded entirely when the rollout registry owns rules).
+        if config.rollout.is_none()
+            && config.overlay_retrain_weeks > 0
             && week > config.base_training_weeks
             && (week - config.base_training_weeks) % config.overlay_retrain_weeks == 0
         {
@@ -885,9 +1217,54 @@ pub fn run_fleet(
                 }
             }
             scrape.gauge_set("fleet.shards_down", down_now as f64);
+            if let Some(ro) = rollout.as_ref() {
+                // The stage gauge doubles as the rollout heartbeat: -1
+                // while idle, the stage index while staging. The
+                // `rollout-stall` absence rule pages when it goes stale.
+                let stage = ro
+                    .registry
+                    .current_stage()
+                    .map(|s| s as f64)
+                    .unwrap_or(-1.0);
+                scrape.gauge_set("fleet.rollout_stage", stage);
+                scrape.counter_add("fleet.fleet_retrains", ro.fleet_retrains);
+                scrape.counter_add("fleet.rollouts_started", ro.registry.started);
+                scrape.counter_add("fleet.rollouts_promoted", ro.registry.promoted);
+                scrape.counter_add("fleet.rollouts_rolled_back", ro.registry.rolled_back);
+            }
+            let snapshot = scrape.snapshot();
             dml_obs::with_history(history, |store| {
-                store.scrape((week + 1) * WEEK_MS, &scrape.snapshot())
+                store.scrape((week + 1) * WEEK_MS, &snapshot);
+                if let Some(ro) = rollout.as_mut() {
+                    for alert in ro.pending_alerts.drain(..) {
+                        store.note_alert(alert);
+                    }
+                }
             });
+        }
+
+        // Per-warning provenance into the flight log (mirroring the
+        // single-node drivers): each week's newly issued warnings, in
+        // issue order, so `repro explain` resolves fleet warnings —
+        // including which repository version issued them mid-rollout.
+        if flight.is_enabled() {
+            for (s, rt) in runtimes.iter().enumerate() {
+                let from = flight_marks[s].min(rt.warnings.len());
+                for w in &rt.warnings[from..] {
+                    flight.record(w.issued_at.0, w.flight_event());
+                }
+                flight_marks[s] = rt.warnings.len();
+            }
+        }
+
+        // 9. Rollout bookkeeping: remember which shards ended the week
+        // down (their next week is fallback-served, not candidate
+        // evidence) and drop stage transitions nobody scraped.
+        if let Some(ro) = rollout.as_mut() {
+            for (s, rt) in runtimes.iter().enumerate() {
+                ro.down_last_week[s] = rt.down || rt.dead;
+            }
+            ro.pending_alerts.clear();
         }
     }
     let elapsed = serving_start.elapsed();
@@ -957,6 +1334,22 @@ pub fn run_fleet(
     tracer.drain_into(flight);
     let trace = tracer.counters();
 
+    let (rollout_enabled, rollout_counts, rollout_known_good) = match &rollout {
+        Some(ro) => (
+            true,
+            [
+                ro.fleet_retrains,
+                ro.poisoned_retrains,
+                ro.registry.started,
+                ro.registry.promoted,
+                ro.registry.rolled_back,
+                ro.registry_corruptions,
+            ],
+            ro.registry.ring().versions(),
+        ),
+        None => (false, [0; 6], Vec::new()),
+    };
+
     FleetReport {
         machines: shard_machines.iter().map(|m| m.len() as u64).sum(),
         serving_weeks: weeks - config.base_training_weeks,
@@ -972,6 +1365,14 @@ pub fn run_fleet(
         fallback_events: reports.iter().map(|r| r.fallback_events).sum(),
         checkpoints_written,
         overlay_retrains,
+        rollout_enabled,
+        fleet_retrains: rollout_counts[0],
+        poisoned_retrains: rollout_counts[1],
+        rollouts_started: rollout_counts[2],
+        rollouts_promoted: rollout_counts[3],
+        rollouts_rolled_back: rollout_counts[4],
+        registry_corruptions: rollout_counts[5],
+        rollout_known_good,
         stage_latency_us,
         trace,
         shards: reports,
@@ -1286,5 +1687,132 @@ mod tests {
         ] {
             assert!(text.contains(labeled), "missing {labeled} in:\n{text}");
         }
+    }
+
+    /// Canary → fleet-wide in two stages, one-week dwell: retrain at
+    /// week 4, canary judged at 5, promoted at 6 (`weeks = 7`).
+    fn rollout_config() -> crate::registry::RolloutConfig {
+        crate::registry::RolloutConfig {
+            retrain_weeks: 2,
+            window_weeks: 2,
+            stage_fractions: Vec::new(),
+            dwell_weeks: 1,
+            ..crate::registry::RolloutConfig::default()
+        }
+    }
+
+    #[test]
+    fn healthy_rollout_promotes_the_candidate_fleet_wide() {
+        let events = fleet_log(12, 7);
+        let mut config = test_config(true);
+        config.rollout = Some(rollout_config());
+        let report = run(&events, 7, &config, &FaultSchedule::new());
+        assert!(report.rollout_enabled);
+        assert_eq!(report.fleet_retrains, 1);
+        assert_eq!(report.rollouts_started, 1);
+        assert_eq!(report.rollouts_promoted, 1);
+        assert_eq!(report.rollouts_rolled_back, 0);
+        assert_eq!(report.rollout_known_good, vec![1, 2]);
+        for s in &report.shards {
+            assert_eq!(s.final_repo_version, 2, "shard {} not promoted", s.shard);
+        }
+        assert_eq!(report.lost_fatal_events, 0);
+        assert!(report.overall.recall() > 0.8, "recall {}", report.overall.recall());
+    }
+
+    #[test]
+    fn poisoned_retrain_is_caught_at_canary_and_rolled_back() {
+        let events = fleet_log(12, 6);
+        let mut config = test_config(true);
+        let mut rc = rollout_config();
+        rc.chaos.poison_retrain_weeks.insert(4);
+        config.rollout = Some(rc);
+        let report = run(&events, 6, &config, &FaultSchedule::new());
+        assert_eq!(report.poisoned_retrains, 1);
+        assert_eq!(report.rollouts_started, 1);
+        assert_eq!(report.rollouts_rolled_back, 1);
+        assert_eq!(report.rollouts_promoted, 0);
+        assert_eq!(report.rollout_known_good, vec![1], "garbage never enters the ring");
+        for s in &report.shards {
+            assert_eq!(s.final_repo_version, 1, "shard {} off known-good", s.shard);
+        }
+        // Post-rollback provenance: the canary's warnings after the
+        // rollback week name the known-good version, not the candidate.
+        let canary = &report.shards[0];
+        let post: Vec<_> = canary
+            .warnings
+            .iter()
+            .filter(|w| w.issued_at.0 >= 5 * WEEK_MS)
+            .collect();
+        assert!(!post.is_empty(), "canary kept serving after rollback");
+        assert!(post.iter().all(|w| w.id.repo_version == 1));
+        // Blast radius: shards outside the canary stage never saw the
+        // candidate — bit-identical to a registry-free run.
+        let baseline = run(&events, 6, &test_config(true), &FaultSchedule::new());
+        for s in [1usize, 2] {
+            assert_eq!(
+                report.shards[s].warnings, baseline.shards[s].warnings,
+                "non-canary shard {s} was perturbed by the rollout"
+            );
+        }
+        assert_eq!(report.lost_fatal_events, 0);
+    }
+
+    #[test]
+    fn pinned_shard_never_receives_a_staged_candidate() {
+        let events = fleet_log(12, 7);
+        let mut config = test_config(true);
+        let mut rc = rollout_config();
+        rc.pins.insert(1, 1);
+        config.rollout = Some(rc);
+        let report = run(&events, 7, &config, &FaultSchedule::new());
+        assert_eq!(report.rollouts_promoted, 1);
+        assert_eq!(report.shards[0].final_repo_version, 2);
+        assert_eq!(report.shards[1].final_repo_version, 1, "pinned shard swapped");
+        assert_eq!(report.shards[2].final_repo_version, 2);
+    }
+
+    #[test]
+    fn rollout_with_no_due_retrain_is_bit_identical_to_none() {
+        let events = fleet_log(12, 6);
+        let off = run(&events, 6, &test_config(true), &FaultSchedule::new());
+        let mut config = test_config(true);
+        let mut rc = rollout_config();
+        rc.retrain_weeks = 100; // never due inside the run
+        config.rollout = Some(rc);
+        let idle = run(&events, 6, &config, &FaultSchedule::new());
+        assert!(idle.rollout_enabled);
+        assert_eq!(idle.fleet_retrains, 0);
+        assert_eq!(idle.overall, off.overall);
+        for (a, b) in idle.shards.iter().zip(off.shards.iter()) {
+            assert_eq!(a.warnings, b.warnings, "shard {} diverged", a.shard);
+            assert_eq!(a.final_repo_version, b.final_repo_version);
+        }
+    }
+
+    #[test]
+    fn rollout_scrapes_stage_gauge_and_stage_alerts_into_history() {
+        let events = fleet_log(12, 7);
+        let mut config = test_config(true);
+        config.rollout = Some(rollout_config());
+        config.history = Some(dml_obs::shared_history(dml_obs::TimeSeriesStore::new()));
+        let report = run(&events, 7, &config, &FaultSchedule::new());
+        assert_eq!(report.rollouts_promoted, 1);
+        let history = config.history.clone().unwrap();
+        dml_obs::with_history(&history, |store| {
+            let stage = store
+                .series("fleet.rollout_stage")
+                .expect("stage gauge scraped");
+            let points: Vec<(i64, f64)> = stage.points().collect();
+            assert!(points.iter().any(|p| p.1 >= 0.0), "staging weeks recorded");
+            assert!(points.iter().any(|p| p.1 < 0.0), "idle weeks recorded");
+            let rules: Vec<&str> = store.alerts().iter().map(|a| a.rule.as_str()).collect();
+            assert!(rules.contains(&"rollout-stage"), "stage transitions: {rules:?}");
+            let resolved = store
+                .alerts()
+                .iter()
+                .any(|a| a.rule == "rollout-stage" && a.state == "resolved");
+            assert!(resolved, "promotion must resolve the stage timeline");
+        });
     }
 }

@@ -33,9 +33,11 @@
 //! (degraded-mode retraining with panic isolation and the hardened
 //! driver), [`slo`] (the burn-rate accuracy watchdog), [`lifecycle`]
 //! (canary-gated installs, last-known-good rollback), [`admission`]
-//! (bounded ingest queue with never-shed-fatal load shedding) and
-//! [`fleet`] (sharded multi-machine serving with shard supervision,
-//! checkpoint/spool recovery and degraded-mode fallback).
+//! (bounded ingest queue with never-shed-fatal load shedding), [`fleet`]
+//! (sharded multi-machine serving with shard supervision,
+//! checkpoint/spool recovery and degraded-mode fallback) and
+//! [`registry`] (the versioned rule-repository registry driving staged
+//! canary rollouts with automatic fleet-wide rollback).
 //!
 //! # Example
 //!
@@ -78,6 +80,7 @@ pub mod meta;
 pub mod overlap;
 pub mod persist;
 pub mod predictor;
+pub mod registry;
 pub mod resilience;
 pub mod reviser;
 pub mod rules;
@@ -106,8 +109,10 @@ pub use lifecycle::{
 pub use meta::{MetaLearner, TrainingOutcome};
 pub use overlap::{run_overlapped_driver, OverlapStats, RetrainRequest, SwapContext, SwapMode};
 pub use persist::{
-    load_checkpoint, load_checkpoint_file, load_repository, load_repository_file, save_checkpoint,
-    save_checkpoint_file, save_repository, save_repository_file, Checkpoint, PersistError,
+    load_checkpoint, load_checkpoint_file, load_registry, load_registry_file, load_repository,
+    load_repository_file, save_checkpoint, save_checkpoint_file, save_registry,
+    save_registry_file, save_repository, save_repository_file, Checkpoint, PersistError,
+    RegistryCheckpoint,
 };
 pub use predictor::{
     Precursor, Predictor, PredictorMetrics, PredictorState, Provenance, Warning, WarningId,
@@ -118,6 +123,10 @@ pub use resilience::{
     run_overlapped_hardened_driver_with, HardenedConfig, HardenedReport, IngestHealth,
     LearnerHealth, LearnerOutcome, PipelineHealth, ResilienceConfig, ResilientTrainer,
     SharedFlightRecorder,
+};
+pub use registry::{
+    parse_pins, parse_stage_fractions, RolloutChaos, RolloutConfig, RolloutDecision, RolloutState,
+    RuleRegistry, StagePlan,
 };
 pub use rules::{Rule, RuleId, RuleIdentity, RuleKind};
 pub use slo::{

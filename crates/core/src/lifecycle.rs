@@ -239,6 +239,33 @@ impl KnownGoodRing {
         self.entries.iter().map(|(v, _)| *v).collect()
     }
 
+    /// The retained repository stamped `version`, if any.
+    pub fn get(&self, version: u64) -> Option<KnowledgeRepository> {
+        self.entries
+            .iter()
+            .find(|(v, _)| *v == version)
+            .map(|(_, r)| r.clone())
+    }
+
+    /// Retained `(version, repository)` entries, oldest first (registry
+    /// checkpointing).
+    pub fn entries(&self) -> Vec<(u64, KnowledgeRepository)> {
+        self.entries.iter().cloned().collect()
+    }
+
+    /// Rebuilds a ring from checkpointed entries (crash recovery).
+    pub fn restore(
+        capacity: usize,
+        entries: Vec<(u64, KnowledgeRepository)>,
+        serving: u64,
+    ) -> Self {
+        KnownGoodRing {
+            capacity: capacity.max(1),
+            entries: entries.into_iter().collect(),
+            serving,
+        }
+    }
+
     /// Entries currently retained.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -415,6 +442,20 @@ mod tests {
         assert!(ring.versions().contains(&1), "{:?}", ring.versions());
         // The push made v3 serving again.
         assert_eq!(ring.serving(), 3);
+    }
+
+    #[test]
+    fn ring_restores_from_checkpointed_entries() {
+        let mut ring = KnownGoodRing::new(3);
+        let repo = KnowledgeRepository::default();
+        ring.push(1, repo.clone());
+        ring.push(2, repo.clone());
+        ring.mark_serving(1);
+        let restored = KnownGoodRing::restore(3, ring.entries(), ring.serving());
+        assert_eq!(restored.versions(), ring.versions());
+        assert_eq!(restored.serving(), 1);
+        assert!(restored.get(2).is_some());
+        assert!(restored.get(9).is_none());
     }
 
     #[test]

@@ -157,6 +157,70 @@ pub fn load_checkpoint_file(path: impl AsRef<Path>) -> Result<Checkpoint, Persis
     load_checkpoint(std::io::BufReader::new(file))
 }
 
+/// The registry checkpoint format this build reads and writes.
+pub const REGISTRY_FORMAT_VERSION: u32 = 1;
+
+/// A crash-recovery snapshot of the fleet rule registry
+/// ([`RuleRegistry`](crate::registry::RuleRegistry)): the incumbent
+/// version plus every retained known-good repository, so a restarted
+/// fleet can resume rollouts with its rollback targets intact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegistryCheckpoint {
+    /// Format version gate (see [`REGISTRY_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// The version the non-staged fleet serves.
+    pub incumbent_version: u64,
+    /// The known-good ring's serving marker.
+    pub serving: u64,
+    /// Retained `(version, repository)` entries, oldest first.
+    pub known_good: Vec<(u64, KnowledgeRepository)>,
+}
+
+/// Writes a registry checkpoint as JSON.
+pub fn save_registry<W: Write>(checkpoint: &RegistryCheckpoint, w: W) -> Result<(), PersistError> {
+    serde_json::to_writer(w, checkpoint).map_err(|e| PersistError::Json(e.to_string()))
+}
+
+/// Reads a registry checkpoint back, rejecting incompatible formats.
+pub fn load_registry<R: Read>(r: R) -> Result<RegistryCheckpoint, PersistError> {
+    let cp: RegistryCheckpoint =
+        serde_json::from_reader(r).map_err(|e| PersistError::Json(e.to_string()))?;
+    if cp.format_version != REGISTRY_FORMAT_VERSION {
+        return Err(PersistError::IncompatibleVersion {
+            found: cp.format_version,
+            expected: REGISTRY_FORMAT_VERSION,
+        });
+    }
+    Ok(cp)
+}
+
+/// Saves a registry checkpoint atomically (temp file + rename, like
+/// [`save_checkpoint_file`]).
+pub fn save_registry_file(
+    checkpoint: &RegistryCheckpoint,
+    path: impl AsRef<Path>,
+) -> Result<(), PersistError> {
+    let path = path.as_ref();
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    {
+        let file = std::fs::File::create(&tmp)?;
+        let mut w = std::io::BufWriter::new(file);
+        save_registry(checkpoint, &mut w)?;
+        let file = w.into_inner().map_err(|e| PersistError::Io(e.into_error()))?;
+        file.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a registry checkpoint from a file path.
+pub fn load_registry_file(path: impl AsRef<Path>) -> Result<RegistryCheckpoint, PersistError> {
+    let file = std::fs::File::open(path)?;
+    load_registry(std::io::BufReader::new(file))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -298,6 +362,49 @@ mod tests {
         assert_eq!(back.repo.identities(), cp.repo.identities());
         // Overwriting an existing checkpoint also goes through the rename.
         save_checkpoint_file(&cp, &path).unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn registry_checkpoint_round_trips_through_a_file() {
+        let repo = sample_repo();
+        let cp = RegistryCheckpoint {
+            format_version: REGISTRY_FORMAT_VERSION,
+            incumbent_version: 3,
+            serving: 1,
+            known_good: vec![(1, KnowledgeRepository::default()), (3, repo.clone())],
+        };
+        let path = std::env::temp_dir().join("dml_registry_roundtrip.json");
+        save_registry_file(&cp, &path).unwrap();
+        let back = load_registry_file(&path).unwrap();
+        assert_eq!(back.incumbent_version, 3);
+        assert_eq!(back.serving, 1);
+        assert_eq!(back.known_good.len(), 2);
+        assert_eq!(back.known_good[1].1.identities(), repo.identities());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_registry_checkpoint_is_rejected_not_fatal() {
+        let path = std::env::temp_dir().join("dml_registry_corrupt.json");
+        std::fs::write(&path, b"\x00corrupt\x00").unwrap();
+        assert!(load_registry_file(&path).is_err());
+        let mut cp = RegistryCheckpoint {
+            format_version: 99,
+            incumbent_version: 1,
+            serving: 1,
+            known_good: Vec::new(),
+        };
+        let mut buf = Vec::new();
+        save_registry(&cp, &mut buf).unwrap();
+        match load_registry(buf.as_slice()) {
+            Err(PersistError::IncompatibleVersion { found: 99, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        cp.format_version = REGISTRY_FORMAT_VERSION;
+        buf.clear();
+        save_registry(&cp, &mut buf).unwrap();
+        assert!(load_registry(buf.as_slice()).is_ok());
         std::fs::remove_file(&path).ok();
     }
 

@@ -1,0 +1,673 @@
+//! Fleet-wide rule-repository registry: versioned candidates, staged
+//! canary rollout, and automatic fleet rollback.
+//!
+//! PR 5's lifecycle machinery hardens *one* driver: canary-gate each
+//! retrain, roll back to a known-good version when the SLO watchdog
+//! pages. At fleet scale ([`run_fleet`](crate::fleet::run_fleet)) the
+//! risk changes shape — a bad retrain pushed everywhere at once degrades
+//! every failure domain simultaneously, exactly the correlated
+//! regression that dominates real datacenter incidents. The registry
+//! bounds that blast radius by owning the whole
+//! retrain → distribute → watch → rollback loop:
+//!
+//! * a fleet retrain produces one **versioned candidate** (versions are
+//!   assigned monotonically by the registry, so warning provenance and
+//!   [`KnownGoodRing`] ordering always agree);
+//! * the candidate advances through a **staged rollout**
+//!   ([`StagePlan`]): canary on one shard → configurable fractions →
+//!   fleet-wide, promoted past a stage only after every staged shard
+//!   held within margin for a dwell period (judged by
+//!   [`canary_compare`](crate::lifecycle::canary_compare) shadow-replay
+//!   over the shard's own recent traffic plus a per-shard
+//!   [`SloWatchdog`](crate::slo::SloWatchdog) burn-rate gate);
+//! * any stage that pages triggers an **automatic fleet-wide rollback**
+//!   to the newest [`KnownGoodRing`] entry, re-installed with its
+//!   original version stamp so post-rollback warnings name the
+//!   known-good version;
+//! * heterogeneous machines can be **pinned** (`shard → version`):
+//!   pinned shards never receive a staged candidate and never promote.
+//!
+//! The state machine itself ([`RuleRegistry`]) is pure — it never
+//! touches predictors or threads — so its invariants are property
+//! tested directly: a paging stage is never promoted past, rollback
+//! always lands a ring member, pinned shards are never staged.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::knowledge::KnowledgeRepository;
+use crate::lifecycle::KnownGoodRing;
+use crate::slo::SloConfig;
+
+/// Staged-rollout parameters. Carried by
+/// [`FleetConfig::rollout`](crate::fleet::FleetConfig::rollout);
+/// `None` there keeps the fleet driver bit-identical to the
+/// registry-free build.
+#[derive(Debug, Clone)]
+pub struct RolloutConfig {
+    /// Serving weeks between fleet retrains (candidate production).
+    pub retrain_weeks: i64,
+    /// Trailing weeks of the merged fleet stream a candidate trains on.
+    pub window_weeks: i64,
+    /// Intermediate stage fractions of the eligible fleet, each in
+    /// `(0, 1)`. The full plan is always
+    /// `canary (1 shard) → fractions… → fleet-wide`.
+    pub stage_fractions: Vec<f64>,
+    /// Healthy weeks a stage must hold before the next stage installs.
+    pub dwell_weeks: i64,
+    /// How much worse than the incumbent a staged shard may score on
+    /// shadow-replay (precision and recall each) before the stage pages.
+    pub margin: f64,
+    /// Known-good versions retained for rollback.
+    pub known_good_capacity: usize,
+    /// Weeks until the first retry retrain after a rollback.
+    pub backoff_base_weeks: i64,
+    /// Cap on the exponential post-rollback retrain backoff.
+    pub backoff_cap_weeks: i64,
+    /// Floors and burn windows of the per-shard live watchdog.
+    pub slo: SloConfig,
+    /// `shard → version` pins: pinned shards never receive a staged
+    /// candidate (heterogeneous machines that must stay on a vetted
+    /// rule set).
+    pub pins: BTreeMap<usize, u64>,
+    /// Rollout-targeted fault injection (chaos experiments only).
+    pub chaos: RolloutChaos,
+}
+
+impl Default for RolloutConfig {
+    fn default() -> Self {
+        RolloutConfig {
+            retrain_weeks: 2,
+            window_weeks: 4,
+            stage_fractions: vec![0.5],
+            dwell_weeks: 1,
+            margin: 0.05,
+            known_good_capacity: 4,
+            backoff_base_weeks: 1,
+            backoff_cap_weeks: 8,
+            slo: SloConfig::default(),
+            pins: BTreeMap::new(),
+            chaos: RolloutChaos::default(),
+        }
+    }
+}
+
+/// Rollout-targeted chaos: which serving weeks get which registry fault.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RolloutChaos {
+    /// Fleet retrains landing on these weeks train on a **poisoned
+    /// window** (every fatal stripped), producing a garbage candidate
+    /// the canary stage must catch.
+    pub poison_retrain_weeks: BTreeSet<i64>,
+    /// The registry checkpoint on disk is scribbled on these weeks; the
+    /// weekly self-check must survive the corrupt load.
+    pub corrupt_registry_weeks: BTreeSet<i64>,
+}
+
+/// Parses a `--rollout-stages` spec: comma-separated intermediate
+/// fractions, e.g. `"0.25,0.5"`. Empty input means no intermediate
+/// stage (canary → fleet-wide).
+pub fn parse_stage_fractions(spec: &str) -> Result<Vec<f64>, String> {
+    let spec = spec.trim();
+    if spec.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let f: f64 = part
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad stage fraction `{part}`"))?;
+        if !(f > 0.0 && f < 1.0) {
+            return Err(format!("stage fraction `{part}` must be in (0, 1)"));
+        }
+        out.push(f);
+    }
+    Ok(out)
+}
+
+/// Parses a `--pin-shard` spec: comma-separated `shard=version` pairs,
+/// e.g. `"2=1,5=1"`.
+pub fn parse_pins(spec: &str) -> Result<BTreeMap<usize, u64>, String> {
+    let mut pins = BTreeMap::new();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let (s, v) = part
+            .trim()
+            .split_once('=')
+            .ok_or_else(|| format!("bad pin `{part}` (want shard=version)"))?;
+        let shard: usize = s.trim().parse().map_err(|_| format!("bad pin shard `{s}`"))?;
+        let version: u64 = v
+            .trim()
+            .parse()
+            .map_err(|_| format!("bad pin version `{v}`"))?;
+        pins.insert(shard, version);
+    }
+    Ok(pins)
+}
+
+/// Which shards each rollout stage covers, cumulative and pin-aware.
+///
+/// Stage 0 is always a single canary shard; the last stage is always
+/// every eligible (non-pinned) shard; intermediate stages are the
+/// configured fractions, rounded up, deduplicated, strictly growing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagePlan {
+    stages: Vec<Vec<usize>>,
+}
+
+impl StagePlan {
+    /// Builds the plan for `shards` workers, excluding `pins`.
+    pub fn build(shards: usize, fractions: &[f64], pins: &BTreeSet<usize>) -> StagePlan {
+        let eligible: Vec<usize> = (0..shards).filter(|s| !pins.contains(s)).collect();
+        if eligible.is_empty() {
+            return StagePlan { stages: Vec::new() };
+        }
+        let n = eligible.len();
+        let mut counts = vec![1usize];
+        for f in fractions {
+            counts.push(((f * n as f64).ceil() as usize).clamp(1, n));
+        }
+        counts.push(n);
+        counts.sort_unstable();
+        let mut grown = Vec::new();
+        let mut last = 0usize;
+        for c in counts {
+            if c > last {
+                grown.push(c);
+                last = c;
+            }
+        }
+        StagePlan {
+            stages: grown
+                .into_iter()
+                .map(|c| eligible[..c].to_vec())
+                .collect(),
+        }
+    }
+
+    /// Number of stages (0 when every shard is pinned).
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Whether no stage can run (every shard pinned).
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// The cumulative shard set covered at `stage`.
+    pub fn shards_at(&self, stage: usize) -> &[usize] {
+        &self.stages[stage]
+    }
+}
+
+/// Where an in-flight rollout stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutState {
+    /// No candidate in flight; the incumbent serves everywhere.
+    Idle,
+    /// `version` is installed on the cumulative stage-`stage` shard set
+    /// and has held healthy for `healthy_weeks` of the dwell.
+    Staging {
+        /// Candidate version under evaluation.
+        version: u64,
+        /// Current stage index into the [`StagePlan`].
+        stage: usize,
+        /// Healthy weeks accumulated at this stage.
+        healthy_weeks: i64,
+    },
+}
+
+/// What one observed week means for the rollout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RolloutDecision {
+    /// No rollout in flight, or nothing to act on.
+    Idle,
+    /// Stage dwell continues.
+    Hold,
+    /// Stage held for the dwell: install the candidate on the (larger)
+    /// cumulative shard set of `stage`.
+    Advance {
+        /// The new stage index.
+        stage: usize,
+    },
+    /// Every stage held: the candidate is the new incumbent and a
+    /// known-good ring member.
+    Promote {
+        /// The promoted version.
+        version: u64,
+    },
+    /// A stage paged: revert every staged shard to the known-good
+    /// version `to` (a [`KnownGoodRing`] member, original stamp).
+    Rollback {
+        /// The abandoned candidate version.
+        from: u64,
+        /// The stage that paged.
+        stage: usize,
+        /// The rollback target version.
+        to: u64,
+    },
+}
+
+/// The versioned rule-repository registry: one incumbent, at most one
+/// staged candidate, a bounded known-good ring behind it.
+#[derive(Debug, Clone)]
+pub struct RuleRegistry {
+    plan: StagePlan,
+    dwell_weeks: i64,
+    ring: KnownGoodRing,
+    incumbent_version: u64,
+    incumbent: KnowledgeRepository,
+    candidate: Option<KnowledgeRepository>,
+    state: RolloutState,
+    next_version: u64,
+    /// Rollouts begun / promoted / rolled back (metric export).
+    pub started: u64,
+    /// Candidates that survived every stage.
+    pub promoted: u64,
+    /// Candidates abandoned by a paging stage.
+    pub rolled_back: u64,
+}
+
+impl RuleRegistry {
+    /// A registry serving `base` (stamped `base_version`) with the given
+    /// plan, dwell, and ring capacity. The base is the first known-good
+    /// entry.
+    pub fn new(
+        plan: StagePlan,
+        dwell_weeks: i64,
+        known_good_capacity: usize,
+        base_version: u64,
+        base: KnowledgeRepository,
+    ) -> Self {
+        let mut ring = KnownGoodRing::new(known_good_capacity);
+        ring.push(base_version, base.clone());
+        RuleRegistry {
+            plan,
+            dwell_weeks: dwell_weeks.max(1),
+            ring,
+            incumbent_version: base_version,
+            incumbent: base,
+            candidate: None,
+            state: RolloutState::Idle,
+            next_version: base_version + 1,
+            started: 0,
+            promoted: 0,
+            rolled_back: 0,
+        }
+    }
+
+    /// The version and repository the non-staged fleet serves.
+    pub fn incumbent(&self) -> (u64, &KnowledgeRepository) {
+        (self.incumbent_version, &self.incumbent)
+    }
+
+    /// The staged candidate, if a rollout is in flight.
+    pub fn candidate(&self) -> Option<(u64, &KnowledgeRepository)> {
+        match (self.state, &self.candidate) {
+            (RolloutState::Staging { version, .. }, Some(repo)) => Some((version, repo)),
+            _ => None,
+        }
+    }
+
+    /// Whether a rollout is in flight.
+    pub fn active(&self) -> bool {
+        matches!(self.state, RolloutState::Staging { .. })
+    }
+
+    /// The in-flight stage index, if any.
+    pub fn current_stage(&self) -> Option<usize> {
+        match self.state {
+            RolloutState::Staging { stage, .. } => Some(stage),
+            RolloutState::Idle => None,
+        }
+    }
+
+    /// The rollout plan in force.
+    pub fn plan(&self) -> &StagePlan {
+        &self.plan
+    }
+
+    /// The known-good ring (read-only).
+    pub fn ring(&self) -> &KnownGoodRing {
+        &self.ring
+    }
+
+    /// Shards currently serving the staged candidate (empty when idle).
+    pub fn staged_shards(&self) -> &[usize] {
+        match self.state {
+            RolloutState::Staging { stage, .. } => self.plan.shards_at(stage),
+            RolloutState::Idle => &[],
+        }
+    }
+
+    /// Accepts a freshly trained candidate: stamps it with the next
+    /// monotone version and enters the canary stage. Returns the
+    /// assigned version and the canary shard set, or `None` when a
+    /// rollout is already in flight or every shard is pinned.
+    pub fn begin(&mut self, mut candidate: KnowledgeRepository) -> Option<(u64, &[usize])> {
+        if self.active() || self.plan.is_empty() {
+            return None;
+        }
+        let version = self.next_version;
+        self.next_version += 1;
+        candidate.set_version(version);
+        self.candidate = Some(candidate);
+        self.state = RolloutState::Staging {
+            version,
+            stage: 0,
+            healthy_weeks: 0,
+        };
+        self.started += 1;
+        Some((version, self.plan.shards_at(0)))
+    }
+
+    /// Feeds one observed serving week of the staged shards. `page` is
+    /// true when any staged shard regressed past margin (shadow-replay)
+    /// or its live SLO watchdog paged; `evaluated` is false when no
+    /// staged shard produced a judgeable week (all down, or no traffic)
+    /// — the dwell then simply does not advance.
+    pub fn observe_week(&mut self, page: bool, evaluated: bool) -> RolloutDecision {
+        let RolloutState::Staging {
+            version,
+            stage,
+            healthy_weeks,
+        } = self.state
+        else {
+            return RolloutDecision::Idle;
+        };
+        if page {
+            // Fleet-wide rollback: the newest known-good older than the
+            // candidate (the incumbent — promoted candidates always
+            // out-version ring entries) with its original stamp.
+            let to = self
+                .ring
+                .newest_before(version)
+                .map(|(v, _)| v)
+                .unwrap_or(self.incumbent_version);
+            self.ring.mark_serving(to);
+            self.candidate = None;
+            self.state = RolloutState::Idle;
+            self.rolled_back += 1;
+            return RolloutDecision::Rollback {
+                from: version,
+                stage,
+                to,
+            };
+        }
+        if !evaluated {
+            return RolloutDecision::Hold;
+        }
+        let healthy = healthy_weeks + 1;
+        if healthy < self.dwell_weeks {
+            self.state = RolloutState::Staging {
+                version,
+                stage,
+                healthy_weeks: healthy,
+            };
+            return RolloutDecision::Hold;
+        }
+        if stage + 1 < self.plan.len() {
+            self.state = RolloutState::Staging {
+                version,
+                stage: stage + 1,
+                healthy_weeks: 0,
+            };
+            return RolloutDecision::Advance { stage: stage + 1 };
+        }
+        // Every stage held: promote.
+        let repo = self.candidate.take().expect("staging without candidate");
+        self.ring.push(version, repo.clone());
+        self.incumbent_version = version;
+        self.incumbent = repo;
+        self.state = RolloutState::Idle;
+        self.promoted += 1;
+        RolloutDecision::Promote { version }
+    }
+
+    /// The repository for a retained known-good `version` (pin installs
+    /// and rollback re-installs).
+    pub fn known_good(&self, version: u64) -> Option<KnowledgeRepository> {
+        self.ring.get(version)
+    }
+
+    /// A serializable snapshot for crash recovery
+    /// ([`save_registry_file`](crate::persist::save_registry_file)).
+    pub fn checkpoint(&self) -> crate::persist::RegistryCheckpoint {
+        crate::persist::RegistryCheckpoint {
+            format_version: crate::persist::REGISTRY_FORMAT_VERSION,
+            incumbent_version: self.incumbent_version,
+            serving: self.ring.serving(),
+            known_good: self.ring.entries(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn repo() -> KnowledgeRepository {
+        KnowledgeRepository::default()
+    }
+
+    fn registry(shards: usize, fractions: &[f64], pins: &[usize], dwell: i64) -> RuleRegistry {
+        let pins: BTreeSet<usize> = pins.iter().copied().collect();
+        RuleRegistry::new(
+            StagePlan::build(shards, fractions, &pins),
+            dwell,
+            4,
+            1,
+            repo(),
+        )
+    }
+
+    #[test]
+    fn stage_plan_grows_from_canary_to_fleet() {
+        let plan = StagePlan::build(8, &[0.5], &BTreeSet::new());
+        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.shards_at(0), &[0]);
+        assert_eq!(plan.shards_at(1), &[0, 1, 2, 3]);
+        assert_eq!(plan.shards_at(2), (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stage_plan_dedups_degenerate_fractions() {
+        // 2 eligible shards: canary=1, ceil(0.1*2)=1 (dup), fleet=2.
+        let plan = StagePlan::build(2, &[0.1, 0.9], &BTreeSet::new());
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.shards_at(0), &[0]);
+        assert_eq!(plan.shards_at(1), &[0, 1]);
+    }
+
+    #[test]
+    fn stage_plan_skips_pinned_shards() {
+        let pins: BTreeSet<usize> = [0, 2].into_iter().collect();
+        let plan = StagePlan::build(4, &[], &pins);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.shards_at(plan.len() - 1), &[1, 3]);
+        assert!(StagePlan::build(2, &[], &[0, 1].into_iter().collect()).is_empty());
+    }
+
+    #[test]
+    fn healthy_weeks_advance_stages_and_promote() {
+        let mut reg = registry(4, &[0.5], &[], 1);
+        let (v, canary) = reg.begin(repo()).expect("idle registry accepts");
+        assert_eq!(v, 2);
+        assert_eq!(canary, &[0]);
+        assert_eq!(reg.observe_week(false, true), RolloutDecision::Advance { stage: 1 });
+        assert_eq!(reg.staged_shards(), &[0, 1]);
+        assert_eq!(reg.observe_week(false, true), RolloutDecision::Advance { stage: 2 });
+        assert_eq!(reg.staged_shards(), &[0, 1, 2, 3]);
+        assert_eq!(reg.observe_week(false, true), RolloutDecision::Promote { version: 2 });
+        assert!(!reg.active());
+        assert_eq!(reg.incumbent().0, 2);
+        assert_eq!(reg.ring().versions(), vec![1, 2]);
+        assert_eq!(reg.promoted, 1);
+    }
+
+    #[test]
+    fn dwell_holds_before_advancing() {
+        let mut reg = registry(2, &[], &[], 3);
+        reg.begin(repo()).unwrap();
+        assert_eq!(reg.observe_week(false, true), RolloutDecision::Hold);
+        assert_eq!(reg.observe_week(false, true), RolloutDecision::Hold);
+        assert_eq!(reg.observe_week(false, true), RolloutDecision::Advance { stage: 1 });
+    }
+
+    #[test]
+    fn unevaluated_weeks_do_not_advance_the_dwell() {
+        let mut reg = registry(2, &[], &[], 1);
+        reg.begin(repo()).unwrap();
+        assert_eq!(reg.observe_week(false, false), RolloutDecision::Hold);
+        assert_eq!(reg.observe_week(false, false), RolloutDecision::Hold);
+        assert_eq!(reg.observe_week(false, true), RolloutDecision::Advance { stage: 1 });
+    }
+
+    #[test]
+    fn page_rolls_back_to_the_incumbent_stamp() {
+        let mut reg = registry(4, &[0.5], &[], 1);
+        let (v, _) = reg.begin(repo()).unwrap();
+        reg.observe_week(false, true);
+        let d = reg.observe_week(true, true);
+        assert_eq!(d, RolloutDecision::Rollback { from: v, stage: 1, to: 1 });
+        assert!(!reg.active());
+        assert_eq!(reg.incumbent().0, 1);
+        assert_eq!(reg.ring().serving(), 1);
+        assert_eq!(reg.rolled_back, 1);
+        assert!(reg.candidate().is_none());
+        // The next candidate gets a fresh version — abandoned versions
+        // are never reused.
+        let (v2, _) = reg.begin(repo()).unwrap();
+        assert_eq!(v2, v + 1);
+    }
+
+    #[test]
+    fn begin_refuses_overlapping_rollouts_and_empty_plans() {
+        let mut reg = registry(2, &[], &[], 1);
+        assert!(reg.begin(repo()).is_some());
+        assert!(reg.begin(repo()).is_none(), "one candidate at a time");
+        let mut all_pinned = registry(2, &[], &[0, 1], 1);
+        assert!(all_pinned.begin(repo()).is_none());
+    }
+
+    #[test]
+    fn checkpoint_captures_ring_and_incumbent() {
+        let mut reg = registry(2, &[], &[], 1);
+        reg.begin(repo()).unwrap();
+        reg.observe_week(false, true);
+        reg.observe_week(false, true);
+        let cp = reg.checkpoint();
+        assert_eq!(cp.incumbent_version, 2);
+        assert_eq!(cp.serving, 2);
+        assert_eq!(cp.known_good.iter().map(|(v, _)| *v).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn parse_helpers_accept_cli_spellings() {
+        assert_eq!(parse_stage_fractions("").unwrap(), Vec::<f64>::new());
+        assert_eq!(parse_stage_fractions("0.25, 0.5").unwrap(), vec![0.25, 0.5]);
+        assert!(parse_stage_fractions("1.5").is_err());
+        assert!(parse_stage_fractions("x").is_err());
+        let pins = parse_pins("2=1, 5=3").unwrap();
+        assert_eq!(pins.get(&2), Some(&1));
+        assert_eq!(pins.get(&5), Some(&3));
+        assert!(parse_pins("2").is_err());
+        assert!(parse_pins("a=b").is_err());
+    }
+
+    proptest! {
+        /// Random page/pass sequences never promote past a paging stage:
+        /// the first page ends the rollout with a rollback, and any
+        /// promote happens strictly before any page.
+        #[test]
+        fn never_promotes_past_a_paging_stage(
+            shards in 1usize..12,
+            frac in 0.05f64..0.95,
+            dwell in 1i64..4,
+            weeks in proptest::collection::vec(any::<bool>(), 1..40),
+        ) {
+            let mut reg = registry(shards, &[frac], &[], dwell);
+            // No pins and at least one shard: the plan is never empty.
+            prop_assert!(reg.begin(KnowledgeRepository::default()).is_some());
+            let mut paged = false;
+            for &page in &weeks {
+                match reg.observe_week(page, true) {
+                    RolloutDecision::Promote { .. } => {
+                        prop_assert!(!paged, "promoted after a page");
+                        prop_assert!(!page, "promoted on the paging week");
+                        break;
+                    }
+                    RolloutDecision::Rollback { .. } => {
+                        prop_assert!(page, "rolled back without a page");
+                        paged = true;
+                        break;
+                    }
+                    RolloutDecision::Idle => {
+                        prop_assert!(false, "registry went idle mid-rollout");
+                    }
+                    RolloutDecision::Hold | RolloutDecision::Advance { .. } => {
+                        prop_assert!(!page, "a paging week must roll back");
+                    }
+                }
+            }
+        }
+
+        /// Rollback always lands on a known-good ring member, and the
+        /// ring keeps serving it.
+        #[test]
+        fn rollback_always_lands_a_ring_member(
+            shards in 1usize..10,
+            rollouts in proptest::collection::vec(
+                proptest::collection::vec(any::<bool>(), 1..12), 1..6),
+        ) {
+            let mut reg = registry(shards, &[0.5], &[], 1);
+            for seq in &rollouts {
+                if reg.begin(KnowledgeRepository::default()).is_none() { break; }
+                for &page in seq {
+                    match reg.observe_week(page, true) {
+                        RolloutDecision::Rollback { to, .. } => {
+                            prop_assert!(reg.ring().versions().contains(&to));
+                            prop_assert_eq!(reg.ring().serving(), to);
+                            prop_assert_eq!(reg.incumbent().0, to);
+                            break;
+                        }
+                        RolloutDecision::Promote { version } => {
+                            prop_assert!(reg.ring().versions().contains(&version));
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                // Abandon any still-staging candidate before the next
+                // round so `begin` is reachable.
+                if reg.active() {
+                    let d = reg.observe_week(true, true);
+                    prop_assert!(matches!(d, RolloutDecision::Rollback { .. }));
+                }
+            }
+        }
+
+        /// Pinned shards never appear in any stage of any plan.
+        #[test]
+        fn pinned_shards_are_never_staged(
+            shards in 1usize..16,
+            fracs in proptest::collection::vec(0.05f64..0.95, 0..3),
+            pin_bits in proptest::collection::vec(any::<bool>(), 16..17),
+        ) {
+            let pins: BTreeSet<usize> =
+                (0..shards).filter(|&s| pin_bits[s]).collect();
+            let plan = StagePlan::build(shards, &fracs, &pins);
+            for stage in 0..plan.len() {
+                for s in plan.shards_at(stage) {
+                    prop_assert!(!pins.contains(s), "pinned shard {s} staged");
+                }
+            }
+            if pins.len() < shards {
+                prop_assert!(!plan.is_empty());
+                let last = plan.shards_at(plan.len() - 1);
+                prop_assert_eq!(last.len(), shards - pins.len());
+            }
+        }
+    }
+}

@@ -276,6 +276,12 @@ impl MetricSource for SloWatchdog {
     }
 }
 
+/// Whether any alert in a batch escalated to a page (the rollback /
+/// rollout-abort trigger).
+pub fn any_page(alerts: &[SloAlert]) -> bool {
+    alerts.iter().any(|a| a.severity == SloSeverity::Page)
+}
+
 /// Runs the watchdog over a finished driver report; returns the alerts
 /// and the watchdog (for metric export).
 pub fn run_watchdog(report: &DriverReport, config: SloConfig) -> (Vec<SloAlert>, SloWatchdog) {
@@ -414,6 +420,24 @@ mod tests {
             }
             other => panic!("wrong event: {other:?}"),
         }
+    }
+
+    #[test]
+    fn any_page_only_fires_on_pages() {
+        let warn = SloAlert {
+            slo: "recall",
+            severity: SloSeverity::Warn,
+            observed: 0.3,
+            floor: 0.4,
+            burn_short: 1.1,
+            burn_long: 1.1,
+            week: 3,
+        };
+        let mut page = warn.clone();
+        page.severity = SloSeverity::Page;
+        assert!(!any_page(&[]));
+        assert!(!any_page(&[warn.clone()]));
+        assert!(any_page(&[warn, page]));
     }
 
     #[test]

@@ -6,15 +6,24 @@ use experiments::fleet::{continuity_failures, run_fleet_spec, FleetRunOutcome, F
 use experiments::output::{f2, render_table};
 
 /// `repro fleet [--machines N] [--shards N] [--weeks N] [--chaos]
-/// [--supervise on|off] [--checkpoint-dir DIR] [--flight LOG.jsonl]
+/// [--supervise on|off] [--checkpoint-dir DIR] [--rollout off|staged]
+/// [--rollout-stages FRACS] [--pin-shard S=V,..] [--flight LOG.jsonl]
 /// [--trace N]`.
 ///
 /// Clean mode serves the fleet trace and prints per-shard accuracy and
-/// aggregate throughput. `--chaos` additionally runs the chaos-free
-/// baseline, injects the seeded kill / stall / checkpoint-corruption /
-/// domain-outage plan, and exits nonzero unless zero fatal events were
-/// lost, every restartable faulted shard restarted, and aggregate recall
-/// stayed within 0.05 of the baseline.
+/// aggregate throughput. `--rollout staged` turns on the versioned rule
+/// registry: fleet retrains produce candidates that advance canary →
+/// staged fractions → fleet-wide, with automatic rollback to the last
+/// known-good version when a stage pages. `--chaos` additionally runs
+/// the chaos-free baseline, injects the seeded kill / stall /
+/// checkpoint-corruption / domain-outage plan (plus poisoned retrains
+/// and registry-checkpoint corruption when rollout is on), and exits
+/// nonzero unless zero fatal events were lost, every restartable
+/// faulted shard restarted, and aggregate precision and recall stayed
+/// within margin of the baseline. Chaos + rollout instead requires the
+/// registry to catch the poisoned candidates: at least one rollback,
+/// zero promotions of poisoned candidates, and every shard back on a
+/// known-good version.
 pub fn fleet(opts: &Opts) {
     let weeks = opts.weeks.unwrap_or(12);
     let warm = FleetRunSpec::warmup_for(weeks);
@@ -40,6 +49,21 @@ use --weeks {} or more",
 
     let machines = opts.machines.unwrap_or(1000);
     let shards = opts.shards.unwrap_or(8);
+    // Flag values were syntax-checked at parse time; resolve them here.
+    let rollout_stages = match &opts.rollout_stages {
+        Some(raw) => dml_core::parse_stage_fractions(raw).unwrap_or_else(|e| {
+            dml_obs::error!("--rollout-stages: {e}");
+            std::process::exit(2);
+        }),
+        None => dml_core::RolloutConfig::default().stage_fractions,
+    };
+    let pins = match &opts.pin_shard {
+        Some(raw) => dml_core::parse_pins(raw).unwrap_or_else(|e| {
+            dml_obs::error!("--pin-shard: {e}");
+            std::process::exit(2);
+        }),
+        None => std::collections::BTreeMap::new(),
+    };
     let spec = FleetRunSpec {
         machines,
         shards,
@@ -49,6 +73,9 @@ use --weeks {} or more",
         chaos: opts.chaos,
         seed: opts.seed,
         checkpoint_dir: opts.checkpoint_dir.as_ref().map(std::path::PathBuf::from),
+        rollout: opts.rollout,
+        rollout_stages,
+        pins,
         trace: match opts.trace_sample {
             Some(n) => dml_obs::TraceConfig::every(n),
             None => dml_obs::TraceConfig::disabled(),
@@ -70,9 +97,11 @@ use --weeks {} or more",
         0,
         dml_obs::FlightEvent::RunMeta {
             label: format!(
-                "fleet machines={machines} shards={shards} weeks={weeks} supervise={} chaos={}",
+                "fleet machines={machines} shards={shards} weeks={weeks} supervise={} chaos={} \
+rollout={}",
                 if opts.supervise { "on" } else { "off" },
-                if opts.chaos { "on" } else { "off" }
+                if opts.chaos { "on" } else { "off" },
+                if opts.rollout { "staged" } else { "off" }
             ),
             seed: opts.seed,
         },
@@ -85,10 +114,13 @@ use --weeks {} or more",
     );
 
     if opts.chaos {
-        // Chaos-free baseline first (no flight: only the chaos run's
-        // incident stream is interesting).
+        // Chaos-free, registry-free baseline first (no flight: only the
+        // chaos run's incident stream is interesting). Rollout is forced
+        // off so the baseline is the incumbent-only serving path the
+        // registry must protect.
         let clean_spec = FleetRunSpec {
             chaos: false,
+            rollout: false,
             checkpoint_dir: None,
             trace: dml_obs::TraceConfig::disabled(),
             ..spec.clone()
@@ -100,11 +132,13 @@ use --weeks {} or more",
 
         let chaos = run_fleet_spec(&spec, &mut flight);
         println!(
-            "\n-- chaos: {} kill(s), {} stall(s), {} corruption(s), {} domain outage(s) --",
+            "\n-- chaos: {} kill(s), {} stall(s), {} corruption(s), {} domain outage(s), \
+{} poisoned retrain week(s) --",
             chaos.plan.kills.len(),
             chaos.plan.stalls.len(),
             chaos.plan.corruptions.len(),
-            chaos.plan.outages.len()
+            chaos.plan.outages.len(),
+            chaos.plan.poison_retrain_weeks.len(),
         );
         for o in &chaos.plan.outages {
             println!("  outage: {} at week {} (+{}s)", o.domain, o.week, o.onset_secs);
@@ -113,21 +147,71 @@ use --weeks {} or more",
         experiments::telemetry::export(&chaos.report);
         flight.flush();
 
-        let failures = continuity_failures(&chaos, &clean.report, weeks, 0.05);
-        if failures.is_empty() {
-            println!(
-                "\nfleet chaos: continuity held — 0 fatals lost, {} restart(s) \
-({} cold), recall {} vs clean {}",
-                chaos.report.restarts,
-                chaos.report.cold_restarts,
-                f2(chaos.report.overall.recall()),
-                f2(clean.report.overall.recall())
-            );
-        } else {
-            for f in &failures {
-                dml_obs::error!("fleet chaos FAILED: {f}");
+        if opts.rollout {
+            // A rollout chaos run serves poisoned candidates on the
+            // canary by design, so accuracy continuity vs. the baseline
+            // is not the gate; catching the poison is. Require: every
+            // poisoned retrain rolled back (none promoted), every shard
+            // back on a known-good version, and zero fatals lost.
+            let r = &chaos.report;
+            let mut failures: Vec<String> = Vec::new();
+            if r.poisoned_retrains == 0 {
+                failures.push("chaos plan poisoned no retrain window".to_string());
             }
-            std::process::exit(1);
+            if r.rollouts_started == 0 {
+                failures.push("no staged rollout ever began".to_string());
+            }
+            if r.rollouts_promoted > 0 {
+                failures.push(format!(
+                    "{} poisoned candidate(s) were promoted fleet-wide",
+                    r.rollouts_promoted
+                ));
+            }
+            if r.rollouts_started > 0 && r.rollouts_rolled_back == 0 {
+                failures.push("no rollout was rolled back".to_string());
+            }
+            for s in &r.shards {
+                if !r.rollout_known_good.contains(&s.final_repo_version) {
+                    failures.push(format!(
+                        "shard {} finished on version {} (not known-good {:?})",
+                        s.shard, s.final_repo_version, r.rollout_known_good
+                    ));
+                }
+            }
+            if r.lost_fatal_events > 0 {
+                failures.push(format!("{} fatal event(s) lost", r.lost_fatal_events));
+            }
+            if failures.is_empty() {
+                println!(
+                    "\nfleet rollout chaos: registry held — {} poisoned retrain(s) caught, \
+{} rollback(s), 0 promoted, all shards on known-good {:?}, 0 fatals lost",
+                    r.poisoned_retrains, r.rollouts_rolled_back, r.rollout_known_good
+                );
+            } else {
+                for f in &failures {
+                    dml_obs::error!("fleet rollout chaos FAILED: {f}");
+                }
+                std::process::exit(1);
+            }
+        } else {
+            let failures = continuity_failures(&chaos, &clean.report, weeks, 0.05);
+            if failures.is_empty() {
+                println!(
+                    "\nfleet chaos: continuity held — 0 fatals lost, {} restart(s) \
+({} cold), precision {} recall {} vs clean {} {}",
+                    chaos.report.restarts,
+                    chaos.report.cold_restarts,
+                    f2(chaos.report.overall.precision()),
+                    f2(chaos.report.overall.recall()),
+                    f2(clean.report.overall.precision()),
+                    f2(clean.report.overall.recall())
+                );
+            } else {
+                for f in &failures {
+                    dml_obs::error!("fleet chaos FAILED: {f}");
+                }
+                std::process::exit(1);
+            }
         }
     } else {
         let outcome = run_fleet_spec(&spec, &mut flight);
@@ -178,4 +262,23 @@ fn print_report(outcome: &FleetRunOutcome) {
         r.lost_events,
         r.lost_fatal_events,
     );
+    if r.rollout_enabled {
+        let versions: Vec<String> = r
+            .shards
+            .iter()
+            .map(|s| format!("{}=v{}", s.shard, s.final_repo_version))
+            .collect();
+        println!(
+            "rollout:   {} fleet retrain(s) ({} poisoned), {} started / {} promoted / \
+{} rolled back, {} registry corruption(s) healed, known-good {:?}",
+            r.fleet_retrains,
+            r.poisoned_retrains,
+            r.rollouts_started,
+            r.rollouts_promoted,
+            r.rollouts_rolled_back,
+            r.registry_corruptions,
+            r.rollout_known_good,
+        );
+        println!("           shard versions: {}", versions.join(" "));
+    }
 }

@@ -331,6 +331,38 @@ early retrain in {next_retrain_weeks} week(s)"
             week,
             machines,
         } => format!("domain outage: {domain} ({machines} machine(s)) at week {week}"),
+        FlightEvent::RolloutStage {
+            week,
+            version,
+            stage,
+            stages,
+            shards,
+            promoted,
+        } => {
+            if *promoted {
+                format!(
+                    "rollout promoted at week {week}: repo v{version} fleet-wide \
+after {stages} stage(s) ({shards} shard(s))"
+                )
+            } else {
+                format!(
+                    "rollout stage {}/{stages} at week {week}: repo v{version} \
+staged to {shards} shard(s){}",
+                    stage + 1,
+                    if *stage == 0 { " (canary)" } else { "" }
+                )
+            }
+        }
+        FlightEvent::RolloutRolledBack {
+            week,
+            from_version,
+            to_version,
+            stage,
+            shards_reverted,
+        } => format!(
+            "rollout rolled back at week {week}: candidate v{from_version} paged at stage {stage}, \
+{shards_reverted} shard(s) reverted to known-good v{to_version}"
+        ),
         FlightEvent::TraceSpan {
             trace,
             stage,

@@ -4,6 +4,7 @@
 
 use bgl_sim::{FleetChaosPlan, FleetGenerator, FleetPreset, ShardFault};
 use dml_core::fleet::{FaultSchedule, FleetConfig, FleetFault, FleetReport};
+use dml_core::registry::{RolloutChaos, RolloutConfig};
 use dml_obs::{FlightEvent, FlightRecorder};
 use raslog::{MachineEvent, WEEK_MS};
 
@@ -29,6 +30,18 @@ pub struct FleetRunSpec {
     /// Causal tracing across the fleet pipeline (disabled keeps the run
     /// bit-identical; sampled spans land in the flight log).
     pub trace: dml_obs::TraceConfig,
+    /// Registry-owned staged rollout of fleet retrains
+    /// (`--rollout staged`); off is bit-identical to the registry-free
+    /// driver. Under `--chaos` the plan gains rollout-targeted faults:
+    /// every retrain window poisoned, a canary-shard kill, a registry
+    /// checkpoint corruption.
+    pub rollout: bool,
+    /// Intermediate rollout stage fractions (`--rollout-stages`), each
+    /// in (0, 1); empty means canary → fleet-wide.
+    pub rollout_stages: Vec<f64>,
+    /// `shard → version` pins (`--pin-shard`): pinned shards never
+    /// receive a staged candidate.
+    pub pins: std::collections::BTreeMap<usize, u64>,
 }
 
 impl FleetRunSpec {
@@ -81,24 +94,39 @@ pub fn run_fleet_spec(spec: &FleetRunSpec, flight: &mut FlightRecorder) -> Fleet
     let preset = FleetPreset::datacenter(spec.machines).with_weeks(spec.weeks);
     let generator = FleetGenerator::new(preset, spec.seed);
     let plan = if spec.chaos {
-        FleetChaosPlan::seeded(
+        let plan = FleetChaosPlan::seeded(
             spec.seed,
             spec.warmup_weeks,
             spec.weeks,
             spec.shards,
             &preset.topology,
-        )
+        );
+        if spec.rollout {
+            plan.with_rollout_faults(spec.warmup_weeks, spec.weeks)
+        } else {
+            plan
+        }
     } else {
         FleetChaosPlan::default()
     };
     let events: Vec<MachineEvent> = generator.generate_with(&plan);
 
+    let rollout = spec.rollout.then(|| RolloutConfig {
+        stage_fractions: spec.rollout_stages.clone(),
+        pins: spec.pins.clone(),
+        chaos: RolloutChaos {
+            poison_retrain_weeks: plan.poison_retrain_weeks.iter().copied().collect(),
+            corrupt_registry_weeks: plan.corrupt_registry_weeks.iter().copied().collect(),
+        },
+        ..RolloutConfig::default()
+    });
     let config = FleetConfig {
         shards: spec.shards,
         base_training_weeks: spec.warmup_weeks,
         supervise: spec.supervise,
         checkpoint_dir: spec.checkpoint_dir.clone(),
         trace: spec.trace,
+        rollout,
         ..FleetConfig::default()
     };
     let schedule = if spec.chaos {
@@ -128,13 +156,14 @@ pub fn run_fleet_spec(spec: &FleetRunSpec, flight: &mut FlightRecorder) -> Fleet
 
 /// The continuity gates a chaos run must clear, as human-readable
 /// failures (empty = pass): no fatal event lost, every faulted shard
-/// restarted, and aggregate recall within `recall_margin` of the
-/// chaos-free baseline.
+/// restarted, and aggregate recall *and precision* each within `margin`
+/// of the chaos-free baseline — a chaos run that held recall by spraying
+/// false warnings is just as broken as one that went blind.
 pub fn continuity_failures(
     chaos: &FleetRunOutcome,
     clean: &FleetReport,
     weeks: i64,
-    recall_margin: f64,
+    margin: f64,
 ) -> Vec<String> {
     let mut failures = Vec::new();
     if chaos.report.lost_fatal_events > 0 {
@@ -151,11 +180,19 @@ pub fn continuity_failures(
         ));
     }
     let delta = clean.overall.recall() - chaos.report.overall.recall();
-    if delta > recall_margin {
+    if delta > margin {
         failures.push(format!(
-            "chaos recall {:.3} fell more than {recall_margin} below clean recall {:.3}",
+            "chaos recall {:.3} fell more than {margin} below clean recall {:.3}",
             chaos.report.overall.recall(),
             clean.overall.recall()
+        ));
+    }
+    let pdelta = clean.overall.precision() - chaos.report.overall.precision();
+    if pdelta > margin {
+        failures.push(format!(
+            "chaos precision {:.3} fell more than {margin} below clean precision {:.3}",
+            chaos.report.overall.precision(),
+            clean.overall.precision()
         ));
     }
     failures
@@ -176,6 +213,9 @@ mod tests {
             seed: 7,
             checkpoint_dir: None,
             trace: dml_obs::TraceConfig::disabled(),
+            rollout: false,
+            rollout_stages: Vec::new(),
+            pins: std::collections::BTreeMap::new(),
         }
     }
 
@@ -212,7 +252,7 @@ mod tests {
             kills: vec![ShardFault { week: 3, shard: 1 }],
             stalls: vec![ShardFault { week: 3, shard: 1 }],
             corruptions: vec![ShardFault { week: 3, shard: 1 }],
-            outages: Vec::new(),
+            ..FleetChaosPlan::default()
         };
         let schedule = fault_schedule(&plan, &FleetConfig::default());
         assert_eq!(schedule.len(), 1);
@@ -225,5 +265,61 @@ mod tests {
         schedule.insert((3, 0), FleetFault::Kill);
         schedule.insert((5, 1), FleetFault::Kill); // last serving week
         assert_eq!(expected_restarts(&schedule, 6), 1);
+    }
+
+    #[test]
+    fn precision_collapse_fails_the_continuity_gate() {
+        let mut flight = FlightRecorder::disabled();
+        let clean = run_fleet_spec(&spec(false), &mut flight);
+        let mut chaos = run_fleet_spec(&spec(false), &mut flight);
+        // Same run, doctored counts: recall held, precision cratered.
+        chaos.report.overall.false_warnings += 10_000;
+        let failures = continuity_failures(&chaos, &clean.report, 6, 0.05);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("precision"), "{failures:?}");
+    }
+
+    #[test]
+    fn clean_rollout_promotes_and_matches_registry_free_blast_radius() {
+        let mut flight = FlightRecorder::disabled();
+        let mut s = spec(false);
+        s.weeks = 8;
+        let baseline = run_fleet_spec(&s, &mut flight);
+        s.rollout = true;
+        let rolled = run_fleet_spec(&s, &mut flight);
+        assert!(rolled.report.rollout_enabled);
+        assert_eq!(rolled.report.rollouts_promoted, 1);
+        assert_eq!(rolled.report.rollouts_rolled_back, 0);
+        for sh in &rolled.report.shards {
+            assert_eq!(sh.final_repo_version, 2, "shard {} not promoted", sh.shard);
+        }
+        assert_eq!(rolled.report.lost_fatal_events, 0);
+        // A healthy promotion may shift accuracy, but never by much on a
+        // stable trace.
+        let delta = (baseline.report.overall.recall() - rolled.report.overall.recall()).abs();
+        assert!(delta <= 0.1, "recall delta {delta} too large");
+    }
+
+    #[test]
+    fn chaos_rollout_rolls_back_and_finishes_on_known_good() {
+        let mut flight = FlightRecorder::disabled();
+        let mut s = spec(true);
+        s.weeks = 8;
+        s.rollout = true;
+        let outcome = run_fleet_spec(&s, &mut flight);
+        assert!(!outcome.plan.poison_retrain_weeks.is_empty());
+        assert!(outcome.report.poisoned_retrains >= 1);
+        assert!(outcome.report.rollouts_started >= 1);
+        assert_eq!(outcome.report.rollouts_promoted, 0, "poisoned candidate promoted");
+        assert!(outcome.report.rollouts_rolled_back >= 1, "no rollback recorded");
+        for sh in &outcome.report.shards {
+            assert_eq!(
+                sh.final_repo_version, 1,
+                "shard {} finished off the known-good base",
+                sh.shard
+            );
+        }
+        assert_eq!(outcome.report.rollout_known_good, vec![1]);
+        assert_eq!(outcome.report.lost_fatal_events, 0);
     }
 }

@@ -75,6 +75,15 @@ pub struct Opts {
     pub supervise: bool,
     /// `fleet`: persist per-shard checkpoints here and restart from disk.
     pub checkpoint_dir: Option<String>,
+    /// `fleet`: staged rule rollout through the versioned registry
+    /// (`--rollout staged`). Off keeps serving bit-identical.
+    pub rollout: bool,
+    /// `fleet`: staged-rollout fleet fractions after the canary
+    /// (`--rollout-stages 0.25,0.5`).
+    pub rollout_stages: Option<String>,
+    /// `fleet`: pin shards to a repository version
+    /// (`--pin-shard 2=1,5=1`); pinned shards never join a rollout.
+    pub pin_shard: Option<String>,
     /// Causal-trace sampling: keep every Nth trace end to end (1 = all,
     /// fatals always kept). `None` leaves tracing off — the serving
     /// paths stay bit-identical.
@@ -116,6 +125,9 @@ impl Opts {
             shards: None,
             supervise: true,
             checkpoint_dir: None,
+            rollout: false,
+            rollout_stages: None,
+            pin_shard: None,
             trace_sample: None,
             trace_id: None,
             kind: None,
@@ -232,6 +244,26 @@ impl Opts {
                     opts.checkpoint_dir =
                         Some(value(args, &mut i, "--checkpoint-dir")?.to_string())
                 }
+                "--rollout" => {
+                    opts.rollout = match value(args, &mut i, "--rollout")? {
+                        "staged" => true,
+                        "off" => false,
+                        other => {
+                            return Err(format!("--rollout: expected off|staged, got `{other}`"))
+                        }
+                    }
+                }
+                "--rollout-stages" => {
+                    let raw = value(args, &mut i, "--rollout-stages")?;
+                    dml_core::parse_stage_fractions(raw)
+                        .map_err(|e| format!("--rollout-stages: {e}"))?;
+                    opts.rollout_stages = Some(raw.to_string());
+                }
+                "--pin-shard" => {
+                    let raw = value(args, &mut i, "--pin-shard")?;
+                    dml_core::parse_pins(raw).map_err(|e| format!("--pin-shard: {e}"))?;
+                    opts.pin_shard = Some(raw.to_string());
+                }
                 "--trace" => {
                     opts.trace_sample =
                         Some(number(value(args, &mut i, "--trace")?, "--trace")?)
@@ -291,7 +323,8 @@ const USAGE: &str = "usage: repro <experiment> [--seed N] [--scale X] [--weeks N
 experiments: table2 table3 table4 table5 fig4 fig5 fig7..fig13 \
 ext-adaptive ext-location robustness chaos experiments smoke all\n\
 fleet:       fleet [--machines N] [--shards N] [--weeks N] [--chaos] [--supervise on|off] \
-[--checkpoint-dir DIR] [--trace N]   sharded serving with shard supervision and failure-domain \
+[--checkpoint-dir DIR] [--rollout off|staged] [--rollout-stages FRACS] [--pin-shard S=V,..] \
+[--trace N]   sharded serving with shard supervision, staged rule rollout and failure-domain \
 chaos\n\
 perf:        bench    reruns both perf benches on the full workload and diffs the fresh \
 numbers against the checked-in BENCH_*.json (restores the committed artifacts afterwards; \

@@ -637,6 +637,19 @@ precision {:.3} recall {:.3}\n",
             c("fleet.spool_overflow_fatals"),
         ));
     }
+    if snap.counters.contains_key("fleet.fleet_retrains") {
+        out.push_str(&format!(
+            "  rollout     {} fleet retrains ({} poisoned), {} started / {} promoted / \
+{} rolled back, {} registry corruptions healed, {} known-good held\n",
+            c("fleet.fleet_retrains"),
+            c("fleet.poisoned_retrains"),
+            c("fleet.rollouts_started"),
+            c("fleet.rollouts_promoted"),
+            c("fleet.rollouts_rolled_back"),
+            c("fleet.registry_corruptions"),
+            g("fleet.rollout_known_good"),
+        ));
+    }
     // Per-shard breakdown, from the labeled fleet.* series.
     let shard_ids: std::collections::BTreeSet<u64> = snap
         .labeled_counters
@@ -646,7 +659,7 @@ precision {:.3} recall {:.3}\n",
         .collect();
     if !shard_ids.is_empty() {
         out.push_str(
-            "              shard    served  warnings  restarts  fallback    lost  precision  recall\n",
+            "              shard    served  warnings  restarts  fallback    lost  precision  recall  repo\n",
         );
         for s in &shard_ids {
             let lc = |name: &str| {
@@ -662,7 +675,7 @@ precision {:.3} recall {:.3}\n",
                     .unwrap_or(0.0)
             };
             out.push_str(&format!(
-                "              {:>5}  {:>8}  {:>8}  {:>8}  {:>8}  {:>6}  {:>9.3}  {:>6.3}\n",
+                "              {:>5}  {:>8}  {:>8}  {:>8}  {:>8}  {:>6}  {:>9.3}  {:>6.3}  {:>4}\n",
                 s,
                 lc("fleet.events_served"),
                 lc("fleet.warnings"),
@@ -671,6 +684,7 @@ precision {:.3} recall {:.3}\n",
                 lc("fleet.lost_events"),
                 lg("fleet.precision"),
                 lg("fleet.recall"),
+                format!("v{}", lg("fleet.repo_version") as u64),
             ));
         }
     }

@@ -28,6 +28,42 @@ fn deterministic_part(snap: &MetricsSnapshot) -> MetricsSnapshot {
     d
 }
 
+/// The rollout dashboard section renders from a fleet report's snapshot
+/// alone (local registry — no global state touched).
+#[test]
+fn health_dashboard_renders_the_rollout_section() {
+    let spec = experiments::fleet::FleetRunSpec {
+        machines: 48,
+        shards: 3,
+        weeks: 7,
+        warmup_weeks: 2,
+        supervise: true,
+        chaos: false,
+        seed: 11,
+        checkpoint_dir: None,
+        rollout: true,
+        rollout_stages: Vec::new(),
+        pins: Default::default(),
+        trace: dml_obs::TraceConfig::disabled(),
+    };
+    let mut flight = dml_obs::FlightRecorder::disabled();
+    let outcome = experiments::fleet::run_fleet_spec(&spec, &mut flight);
+    assert!(outcome.report.rollout_enabled);
+    let mut registry = dml_obs::Registry::new();
+    registry.collect(&outcome.report);
+    let health = telemetry::render_health(&registry.snapshot());
+    assert!(health.contains("rollout"), "no rollout row in:\n{health}");
+    assert!(
+        health.contains("fleet retrains"),
+        "rollout row misses the retrain counters:\n{health}"
+    );
+    // The per-shard table carries the served repository version.
+    assert!(health.contains("repo"), "per-shard table misses the repo column:\n{health}");
+    for line in health.lines().filter(|l| l.trim_start().starts_with("rollout")) {
+        assert!(line.contains("started"), "malformed rollout row: {line}");
+    }
+}
+
 #[test]
 fn instrumented_run_reports_every_stage_deterministically() {
     let first = run_once();

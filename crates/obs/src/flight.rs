@@ -281,6 +281,38 @@ pub enum FlightEvent {
         /// Machines in the domain.
         machines: u64,
     },
+    /// A staged fleet rollout entered a stage: the candidate version is
+    /// now serving on the cumulative stage shard set. `promoted` marks
+    /// the terminal record of a fully promoted candidate.
+    RolloutStage {
+        /// Test week the stage was entered at.
+        week: i64,
+        /// Candidate repository version under rollout.
+        version: u64,
+        /// Stage index (0 = canary), or the stage count when `promoted`.
+        stage: u64,
+        /// Total stages in the rollout plan.
+        stages: u64,
+        /// Shards serving the candidate after this transition.
+        shards: u64,
+        /// True when every stage held and the candidate became the
+        /// fleet-wide incumbent.
+        promoted: bool,
+    },
+    /// A rollout stage paged: every shard serving the candidate was
+    /// reverted to the known-good version named by `to_version`.
+    RolloutRolledBack {
+        /// Test week the rollback happened at.
+        week: i64,
+        /// The abandoned candidate version.
+        from_version: u64,
+        /// The known-good version re-installed fleet-wide.
+        to_version: u64,
+        /// Stage index that paged.
+        stage: u64,
+        /// Shards reverted off the candidate.
+        shards_reverted: u64,
+    },
     /// One hop of one sampled causal trace (schema v2; see
     /// [`crate::trace`]). The record's own `t_ms` is the hop start.
     TraceSpan {
@@ -319,6 +351,8 @@ impl FlightEvent {
             FlightEvent::ShardDown { .. } => "shard_down",
             FlightEvent::ShardRestarted { .. } => "shard_restarted",
             FlightEvent::DomainOutage { .. } => "domain_outage",
+            FlightEvent::RolloutStage { .. } => "rollout_stage",
+            FlightEvent::RolloutRolledBack { .. } => "rollout_rolled_back",
             FlightEvent::TraceSpan { .. } => "trace_span",
         }
     }
@@ -610,6 +644,53 @@ mod tests {
                 assert_eq!(id.as_deref(), Some("w2-r7-1000000"));
                 assert_eq!(outcome, "hit");
                 assert_eq!(*lead_ms, Some(100_000));
+            }
+            other => panic!("wrong kind: {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rollout_records_round_trip_with_snake_case_kinds() {
+        let path = temp_path("rollout");
+        let mut rec = FlightRecorder::create(&path, FlightConfig::default()).unwrap();
+        rec.record(
+            0,
+            FlightEvent::RolloutStage {
+                week: 6,
+                version: 2,
+                stage: 0,
+                stages: 3,
+                shards: 1,
+                promoted: false,
+            },
+        );
+        rec.record(
+            1,
+            FlightEvent::RolloutRolledBack {
+                week: 7,
+                from_version: 2,
+                to_version: 1,
+                stage: 0,
+                shards_reverted: 1,
+            },
+        );
+        rec.flush();
+        drop(rec);
+        let (records, skipped) = read_flight_log(&path).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(records[0].event.kind(), "rollout_stage");
+        assert_eq!(records[1].event.kind(), "rollout_rolled_back");
+        match &records[1].event {
+            FlightEvent::RolloutRolledBack {
+                from_version,
+                to_version,
+                shards_reverted,
+                ..
+            } => {
+                assert_eq!(*from_version, 2);
+                assert_eq!(*to_version, 1);
+                assert_eq!(*shards_reverted, 1);
             }
             other => panic!("wrong kind: {other:?}"),
         }

@@ -72,8 +72,8 @@ pub use registry::{series_key, MetricSource, Registry, TraceEntry, TraceRing};
 pub use snapshot::{render_text, HistogramSnapshot, MetricsSnapshot, SNAPSHOT_VERSION};
 pub use span::{time, SpanTimer};
 pub use rules::{
-    slo_burn_rules, AlertEvent, AlertEventKind, AlertRule, AlertSeverity, AlertState,
-    RuleCondition, RulesEngine,
+    rollout_rules, slo_burn_rules, AlertEvent, AlertEventKind, AlertRule, AlertSeverity,
+    AlertState, RuleCondition, RulesEngine,
 };
 pub use trace::{
     shared, with_tracer, SharedTracer, Span, TraceConfig, TraceContext, TraceCounters, TraceId,

@@ -520,6 +520,21 @@ pub fn slo_burn_rules(
     ]
 }
 
+/// The rollout-stall watchdog: while a staged fleet rollout is
+/// configured, the fleet driver scrapes `fleet.rollout_stage` every
+/// serving week (stage index while a candidate is in flight, `-1`
+/// idle). If that series goes stale for `stale_ms` the rollout
+/// machinery itself has wedged — a candidate could be stuck half-rolled
+/// out with nobody watching it, which is a page.
+pub fn rollout_rules(stale_ms: i64) -> Vec<AlertRule> {
+    vec![AlertRule::absence(
+        "rollout-stall",
+        "fleet.rollout_stage",
+        stale_ms,
+        AlertSeverity::Page,
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -610,6 +625,24 @@ mod tests {
         let events = engine.evaluate(20_000, &store);
         assert_eq!(events[0].kind, AlertEventKind::Fired);
         assert_eq!(events[0].value, 10_000.0);
+    }
+
+    #[test]
+    fn rollout_stall_rule_pages_when_the_stage_gauge_goes_stale() {
+        let mut store = TimeSeriesStore::new();
+        let mut engine = RulesEngine::new(rollout_rules(2 * 1_000));
+        // A live rollout loop keeps the gauge fresh — even the idle
+        // value (-1) counts as a heartbeat.
+        gauge_scrape(&mut store, 0, "fleet.rollout_stage", -1.0);
+        assert!(engine.evaluate(500, &store).is_empty());
+        gauge_scrape(&mut store, 1_000, "fleet.rollout_stage", 0.0);
+        assert!(engine.evaluate(1_500, &store).is_empty());
+        // The loop wedges: no scrape for longer than the stale window.
+        let events = engine.evaluate(5_000, &store);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, AlertEventKind::Fired);
+        assert_eq!(events[0].severity, AlertSeverity::Page);
+        assert_eq!(events[0].rule, "rollout-stall");
     }
 
     #[test]

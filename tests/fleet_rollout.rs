@@ -1,0 +1,146 @@
+//! Staged rule rollout end to end, at tier-1 fleet scale: fleet
+//! generator → versioned registry → canary stage → automatic rollback.
+//! The registry's blast-radius guarantees must hold — a poisoned
+//! candidate never leaves the canary, every other shard serves
+//! bit-identically to a registry-free run, and post-rollback provenance
+//! names the known-good version.
+
+use dynamic_meta_learning::bgl_sim::{FleetGenerator, FleetPreset};
+use dynamic_meta_learning::dml_core::fleet::{run_fleet, FaultSchedule, FleetConfig, FleetReport};
+use dynamic_meta_learning::dml_core::registry::RolloutConfig;
+use dynamic_meta_learning::raslog::WEEK_MS;
+
+const MACHINES: u32 = 64;
+const SHARDS: usize = 4;
+const WEEKS: i64 = 8;
+const WARMUP: i64 = 2;
+
+/// Retrain at week 4 over the trailing 2 weeks; canary judged at 5.
+fn rollout_config() -> RolloutConfig {
+    RolloutConfig {
+        retrain_weeks: 2,
+        window_weeks: 2,
+        stage_fractions: Vec::new(),
+        dwell_weeks: 1,
+        ..RolloutConfig::default()
+    }
+}
+
+fn run(rollout: Option<RolloutConfig>, flight: &mut dml_obs::FlightRecorder) -> FleetReport {
+    let preset = FleetPreset::datacenter(MACHINES).with_weeks(WEEKS);
+    let events = FleetGenerator::new(preset, 42).generate();
+    let config = FleetConfig {
+        shards: SHARDS,
+        base_training_weeks: WARMUP,
+        supervise: true,
+        rollout,
+        ..FleetConfig::default()
+    };
+    run_fleet(&events, WEEKS, &config, &FaultSchedule::new(), flight)
+}
+
+/// Every serving week's retrain window poisoned (fatal precursors
+/// stripped): every candidate the registry stages is garbage.
+fn poisoned_config() -> RolloutConfig {
+    let mut rc = rollout_config();
+    for week in WARMUP + 1..WEEKS {
+        rc.chaos.poison_retrain_weeks.insert(week);
+    }
+    rc
+}
+
+#[test]
+fn poisoned_candidates_never_leave_the_canary() {
+    let mut no_flight = dml_obs::FlightRecorder::disabled();
+    let report = run(Some(poisoned_config()), &mut no_flight);
+    assert!(report.rollout_enabled);
+    assert!(report.poisoned_retrains >= 1, "no retrain window was poisoned");
+    assert!(report.rollouts_started >= 1, "no rollout ever began");
+    assert_eq!(report.rollouts_promoted, 0, "a poisoned candidate was promoted");
+    assert!(report.rollouts_rolled_back >= 1, "no rollback happened");
+    assert_eq!(report.rollout_known_good, vec![1], "garbage entered the known-good ring");
+    for s in &report.shards {
+        assert_eq!(s.final_repo_version, 1, "shard {} off known-good", s.shard);
+    }
+    assert_eq!(report.lost_fatal_events, 0);
+
+    // Post-rollback provenance: the first rollback lands at week 5 and
+    // the earliest next candidate at week 6, so every canary warning in
+    // week 5 must name the re-installed known-good version.
+    let canary = &report.shards[0];
+    let post: Vec<_> = canary
+        .warnings
+        .iter()
+        .filter(|w| w.issued_at.0 >= 5 * WEEK_MS && w.issued_at.0 < 6 * WEEK_MS)
+        .collect();
+    assert!(!post.is_empty(), "canary issued nothing after the rollback");
+    assert!(
+        post.iter().all(|w| w.id.repo_version == 1),
+        "post-rollback warnings name a non-known-good version"
+    );
+
+    // Blast radius: shards outside the canary stage are bit-identical
+    // to a registry-free run — they never served a candidate.
+    let baseline = run(None, &mut dml_obs::FlightRecorder::disabled());
+    assert!(!baseline.rollout_enabled);
+    for s in 1..SHARDS {
+        assert_eq!(
+            report.shards[s].warnings, baseline.shards[s].warnings,
+            "non-canary shard {s} was perturbed by the rollout"
+        );
+        assert_eq!(report.shards[s].accuracy, baseline.shards[s].accuracy);
+    }
+}
+
+#[test]
+fn rollback_is_flight_recorded_with_the_known_good_version() {
+    let path = std::env::temp_dir().join(format!("fleet_rollout_{}.jsonl", std::process::id()));
+    let mut flight =
+        dml_obs::FlightRecorder::create(&path, dml_obs::FlightConfig::default()).unwrap();
+    let report = run(Some(poisoned_config()), &mut flight);
+    flight.flush();
+    drop(flight);
+    assert!(report.rollouts_rolled_back >= 1);
+
+    let (records, skipped) = dml_obs::read_flight_log(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(skipped, 0);
+    let stages: Vec<_> = records
+        .iter()
+        .filter(|r| r.event.kind() == "rollout_stage")
+        .collect();
+    assert!(!stages.is_empty(), "no rollout_stage record in the flight log");
+    let rollbacks: Vec<_> = records
+        .iter()
+        .filter_map(|r| match &r.event {
+            dml_obs::FlightEvent::RolloutRolledBack {
+                from_version,
+                to_version,
+                ..
+            } => Some((*from_version, *to_version)),
+            _ => None,
+        })
+        .collect();
+    assert!(!rollbacks.is_empty(), "no rollout_rolled_back record in the flight log");
+    for (from, to) in rollbacks {
+        assert_eq!(to, 1, "rollback must re-install the known-good base");
+        assert!(from >= 2, "rollback must abandon a stamped candidate");
+    }
+}
+
+#[test]
+fn rollout_disabled_is_bit_identical_to_an_idle_registry() {
+    let mut no_flight = dml_obs::FlightRecorder::disabled();
+    let off = run(None, &mut no_flight);
+    let mut idle = rollout_config();
+    idle.retrain_weeks = 100; // never due inside the run
+    let on = run(Some(idle), &mut no_flight);
+    assert!(on.rollout_enabled);
+    assert_eq!(on.fleet_retrains, 0);
+    assert_eq!(on.overall, off.overall);
+    assert_eq!(on.events_served, off.events_served);
+    for (a, b) in on.shards.iter().zip(off.shards.iter()) {
+        assert_eq!(a.warnings, b.warnings, "shard {} diverged", a.shard);
+        assert_eq!(a.final_repo_version, b.final_repo_version);
+    }
+}
